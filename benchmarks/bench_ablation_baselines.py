@@ -1,0 +1,110 @@
+"""A3 (ablation): Reward Repair vs the related-work baselines.
+
+Section VI contrasts Reward Repair with (a) potential-based reward
+shaping — which by the Ng-Harada-Russell theorem *cannot* change the
+optimal policy, so it cannot make the car controller safe — and
+(b) CMDP-style expectation constraints (Constrained Policy
+Optimization), which bound an expected cost rather than enforcing a
+logical rule.  This benchmark runs all three on the car case study.
+"""
+
+import pytest
+
+from conftest import report
+from repro.baselines import lagrangian_constrained_policy, shaped_mdp
+from repro.casestudies import car
+from repro.core import QValueConstraint, RewardRepair
+from repro.mdp import value_iteration
+
+
+@pytest.fixture(scope="module")
+def mdp():
+    return car.build_car_mdp()
+
+
+@pytest.fixture(scope="module")
+def unsafe_mdp(mdp):
+    repairer = RewardRepair(mdp, car.car_features(), discount=car.DISCOUNT)
+    return repairer.mdp_with(car.PAPER_LEARNED_THETA)
+
+
+def test_reward_repair_makes_policy_safe(benchmark, mdp):
+    """The paper's method: safe policy, small reward change."""
+    repairer = RewardRepair(mdp, car.car_features(), discount=car.DISCOUNT)
+    result = benchmark.pedantic(
+        lambda: repairer.q_constrained(
+            car.PAPER_LEARNED_THETA,
+            [QValueConstraint("S1", car.LEFT, car.FORWARD)],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert car.policy_is_safe(mdp, result.policy_after)
+    report(
+        benchmark,
+        {
+            "method": "Reward Repair (paper)",
+            "safe": True,
+            "theta_delta_norm": round(
+                float((result.theta_delta() ** 2).sum()) ** 0.5, 4
+            ),
+        },
+    )
+
+
+def test_reward_shaping_cannot_fix_safety(benchmark, mdp, unsafe_mdp):
+    """Shaping baseline: policy invariance means S1 stays unsafe."""
+
+    def run():
+        potential = {s: car.distance_to_unsafe(s) for s in mdp.states}
+        shaped = shaped_mdp(unsafe_mdp, potential.__getitem__, car.DISCOUNT)
+        _, policy = value_iteration(shaped, discount=car.DISCOUNT)
+        return policy
+
+    policy = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert policy["S1"] == car.FORWARD  # invariance: still unsafe
+    report(
+        benchmark,
+        {
+            "method": "potential-based reward shaping (Ng et al.)",
+            "safe": car.policy_is_safe(mdp, policy),
+            "action_at_S1": policy["S1"],
+            "note": "policy invariance: shaping cannot repair safety",
+        },
+    )
+
+
+def test_lagrangian_cmdp_baseline(benchmark, mdp, unsafe_mdp):
+    """CMDP baseline: a hard-enough expected-cost bound also avoids S2,
+    but via policy search rather than reward repair — the learned reward
+    itself stays untrusted."""
+
+    def run():
+        return lagrangian_constrained_policy(
+            unsafe_mdp,
+            cost=lambda s: 1.0 if s in ("S2", "S10") else 0.0,
+            cost_bound=1e-4,
+            discount=car.DISCOUNT,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.feasible
+    # The constrained policy itself avoids unsafe states from S0.
+    chain = unsafe_mdp.induced_dtmc(result.policy)
+    current = "S0"
+    visited = []
+    for _ in range(len(mdp.states)):
+        visited.append(current)
+        (current,) = chain.successors(current)
+        if current == "End":
+            break
+    assert "S2" not in visited and "S10" not in visited
+    report(
+        benchmark,
+        {
+            "method": "Lagrangian CMDP (Achiam et al. setting)",
+            "multiplier": round(result.multiplier, 2),
+            "expected_cost": f"{result.expected_cost:.2e}",
+            "trajectory_from_S0": visited,
+        },
+    )

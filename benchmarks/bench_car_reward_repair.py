@@ -1,0 +1,117 @@
+"""E5-E6 (Section V-B, Figure 1): car controller Reward Repair.
+
+Paper rows reproduced:
+
+* E5 — MaxEnt IRL reward (paper: θ = (0.38, 0.34, 0.53)) makes the
+  optimal policy take action 0 (forward) at S1, driving into the van.
+* E6 — the repaired reward (paper: θ2 raised 0.34 → 0.44 by
+  ``min ‖Δθ‖ s.t. Q(S1,1) > Q(S1,0)``) makes the optimal policy change
+  lane at S1 and avoid all unsafe states.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.casestudies import car
+from repro.core import QValueConstraint, RewardRepair
+from repro.learning import MaxEntIRL
+
+
+@pytest.fixture(scope="module")
+def mdp():
+    return car.build_car_mdp()
+
+
+@pytest.fixture(scope="module")
+def repairer(mdp):
+    return RewardRepair(mdp, car.car_features(), discount=car.DISCOUNT)
+
+
+def test_learned_reward_unsafe(benchmark, mdp, repairer):
+    """E5: the paper's learned θ yields the unsafe forward at S1."""
+    policy = benchmark(
+        lambda: repairer.optimal_policy(car.PAPER_LEARNED_THETA)
+    )
+    assert policy["S1"] == car.FORWARD
+    assert not car.policy_is_safe(mdp, policy)
+    report(
+        benchmark,
+        {
+            "paper_theta": list(car.PAPER_LEARNED_THETA),
+            "action_at_S1": policy["S1"],
+            "paper_action_at_S1": car.FORWARD,
+            "unsafe_from": car.states_leading_to_unsafe(mdp, policy),
+        },
+    )
+
+
+def test_irl_reproduces_unsafe_learning(benchmark, mdp):
+    """E5 (our own learning): MaxEnt IRL from the expert demo also lands
+    in the unsafe regime, confirming the paper's failure mode."""
+
+    def learn():
+        irl = MaxEntIRL(
+            mdp, car.car_features(), horizon=7, learning_rate=0.2,
+            max_iterations=250,
+        )
+        return irl.fit([car.expert_demonstration()])
+
+    fit = benchmark.pedantic(learn, rounds=1, iterations=1)
+    repairer = RewardRepair(mdp, car.car_features(), discount=car.DISCOUNT)
+    policy = repairer.optimal_policy(fit.theta)
+    assert policy["S1"] == car.FORWARD
+    report(
+        benchmark,
+        {
+            "irl_theta": [round(t, 3) for t in fit.theta],
+            "paper_theta": list(car.PAPER_LEARNED_THETA),
+            "action_at_S1": policy["S1"],
+        },
+    )
+
+
+def test_repaired_reward_safe(benchmark, mdp, repairer):
+    """E6: minimal-norm Q-constrained repair flips S1 to the lane change."""
+    result = benchmark.pedantic(
+        lambda: repairer.q_constrained(
+            car.PAPER_LEARNED_THETA,
+            [QValueConstraint("S1", car.LEFT, car.FORWARD)],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.feasible
+    assert result.policy_after["S1"] == car.LEFT
+    assert car.policy_is_safe(mdp, result.policy_after)
+    delta = result.theta_delta()
+    # The distance-to-unsafe weight must carry the repair (paper: +0.10).
+    assert delta[1] > 0
+    assert abs(delta[1]) == pytest.approx(max(abs(delta)), abs=1e-9)
+    report(
+        benchmark,
+        {
+            "paper_repaired_theta": list(car.PAPER_REPAIRED_THETA),
+            "measured_theta_after": [round(t, 3) for t in result.theta_after],
+            "theta_delta": [round(d, 3) for d in delta],
+            "action_at_S1": result.policy_after["S1"],
+            "policy_safe": car.policy_is_safe(mdp, result.policy_after),
+        },
+    )
+
+
+def test_paper_repaired_theta_matches_paper_policy(benchmark, mdp, repairer):
+    """E6 cross-check: the paper's θ' reproduces the paper's policy rows."""
+    policy = benchmark(
+        lambda: repairer.optimal_policy(car.PAPER_REPAIRED_THETA)
+    )
+    paper_policy = {"S1": 1, "S5": 0, "S6": 0, "S7": 0, "S8": 2, "S9": 2, "S3": 0}
+    matches = {s: policy[s] for s in paper_policy}
+    assert matches == paper_policy
+    report(
+        benchmark,
+        {
+            "paper_policy_rows": paper_policy,
+            "measured_policy_rows": matches,
+        },
+    )

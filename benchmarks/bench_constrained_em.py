@@ -1,0 +1,95 @@
+"""A6 (extension): constrained EM for HMMs.
+
+The paper's conclusion proposes folding temporal constraints into the
+E-step for hidden-state models.  This bench quantifies the trade-off on
+a synthetic two-state HMM: as the constraint weight grows the forbidden
+transition's learned probability decays toward 0, at a measured (small)
+log-likelihood cost.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.hmm import HMM, baum_welch, constrained_baum_welch, forbid_transition
+
+
+@pytest.fixture(scope="module")
+def training_data():
+    truth = HMM(
+        states=["calm", "storm"],
+        symbols=["low", "high"],
+        initial={"calm": 0.8, "storm": 0.2},
+        transitions={
+            "calm": {"calm": 0.85, "storm": 0.15},
+            "storm": {"calm": 0.4, "storm": 0.6},
+        },
+        emissions={
+            "calm": {"low": 0.9, "high": 0.1},
+            "storm": {"low": 0.25, "high": 0.75},
+        },
+    )
+    rng = np.random.default_rng(23)
+    return [truth.sample(80, rng)[1] for _ in range(15)]
+
+
+def test_constraint_weight_sweep(benchmark, training_data):
+    """Forbidden-transition probability decays monotonically in λ."""
+
+    def sweep():
+        rows = {}
+        for weight in (0.0, 1.0, 3.0, 6.0, 10.0):
+            constraints = (
+                [forbid_transition("h0", "h1", weight=weight)] if weight else []
+            )
+            model, trace = constrained_baum_welch(
+                training_data,
+                states=["h0", "h1"],
+                constraints=constraints,
+                iterations=25,
+                seed=5,
+            )
+            rows[weight] = (float(model.A[0, 1]), trace[-1])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    probabilities = [rows[w][0] for w in sorted(rows)]
+    assert probabilities == sorted(probabilities, reverse=True)
+    assert rows[10.0][0] < rows[0.0][0] / 3
+    report(
+        benchmark,
+        {
+            f"lambda={w:g}": f"A[h0,h1]={p:.4f}, loglik={ll:.1f}"
+            for w, (p, ll) in sorted(rows.items())
+        },
+    )
+
+
+def test_likelihood_cost_is_bounded(benchmark, training_data):
+    """The constraint trades only a modest likelihood amount."""
+
+    def run_both():
+        free, free_trace = baum_welch(
+            training_data, states=["h0", "h1"], iterations=25, seed=5
+        )
+        constrained, constrained_trace = constrained_baum_welch(
+            training_data,
+            states=["h0", "h1"],
+            constraints=[forbid_transition("h0", "h1", weight=6.0)],
+            iterations=25,
+            seed=5,
+        )
+        return free_trace[-1], constrained_trace[-1]
+
+    free_ll, constrained_ll = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert constrained_ll <= free_ll + 1e-6
+    # ...but within 10% of the unconstrained likelihood.
+    assert constrained_ll >= free_ll * 1.10  # log-likelihoods are negative
+    report(
+        benchmark,
+        {
+            "free_loglik": round(free_ll, 1),
+            "constrained_loglik": round(constrained_ll, 1),
+            "relative_cost": f"{(constrained_ll - free_ll) / abs(free_ll):.2%}",
+        },
+    )

@@ -1,0 +1,71 @@
+"""A7 (extension): continuous-time rate repair.
+
+The paper's other-dynamical-models direction: the same parametric-
+checking + NLP pipeline repairs a CTMC's rates against an expected-
+hitting-time bound.  Benchmarked on a three-stage service pipeline.
+"""
+
+import pytest
+
+from conftest import report
+from repro.ctmc import CTMC, expected_time_repair
+
+
+@pytest.fixture(scope="module")
+def service_pipeline():
+    return CTMC(
+        states=["queue", "triage", "work", "done"],
+        rates={
+            "queue": {"triage": 2.0},
+            "triage": {"work": 1.0, "queue": 0.2},
+            "work": {"done": 0.4},
+        },
+        initial_state="queue",
+        labels={"done": {"done"}},
+    )
+
+
+def test_rate_repair_meets_bound(benchmark, service_pipeline):
+    original = service_pipeline.expected_time_to({"done"})["queue"]
+    result = benchmark(
+        lambda: expected_time_repair(
+            service_pipeline, {"done"}, bound=3.0, max_speedup=3.0
+        )
+    )
+    assert result.status == "repaired"
+    assert result.expected_time <= 3.0 + 1e-6
+    # The slowest stage (work, rate 0.4) gets the biggest speed-up.
+    assert result.scales["work"] == max(result.scales.values())
+    report(
+        benchmark,
+        {
+            "expected_time_before": round(original, 3),
+            "bound": 3.0,
+            "expected_time_after": round(result.expected_time, 3),
+            **{f"speedup[{s}]": round(v, 3) for s, v in result.scales.items()},
+        },
+    )
+
+
+def test_bound_sweep_monotone_effort(benchmark, service_pipeline):
+    """Tighter time bounds need larger total speed-ups until infeasible."""
+
+    def sweep():
+        rows = {}
+        for bound in (4.0, 3.0, 2.5, 2.0, 1.0):
+            result = expected_time_repair(
+                service_pipeline, {"done"}, bound=bound, max_speedup=3.0
+            )
+            total = sum(result.scales.values()) if result.feasible else None
+            rows[bound] = (result.status, total)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    efforts = [
+        total
+        for _, (status, total) in sorted(rows.items(), reverse=True)
+        if status == "repaired"
+    ]
+    assert efforts == sorted(efforts)
+    assert rows[1.0][0] == "infeasible"
+    report(benchmark, {f"bound={b:g}": v for b, v in sorted(rows.items())})

@@ -1,0 +1,100 @@
+"""A5 (ablation/scalability): the two parametric-checking engines.
+
+The paper's Proposition 2 reduction needs a closed-form rational
+function; this bench compares the classic Daws state-elimination engine
+against the fraction-free Bareiss/Cramer engine on chains of growing
+size, and shows both agree exactly with the concrete checker at sample
+points.
+"""
+
+import time
+
+import pytest
+
+from conftest import report
+from repro.checking import DTMCModelChecker, ParametricDTMC
+from repro.logic.pctl import AtomicProposition, Eventually
+from repro.symbolic import Polynomial
+
+P = Polynomial.variable("p")
+
+
+def ladder(n: int) -> ParametricDTMC:
+    """An n-rung ladder: forward with p-perturbed probability, slip back."""
+    states = list(range(n + 1))
+    transitions = {}
+    for i in range(n):
+        forward = 0.6 + (P if i == 0 else 0)
+        transitions[i] = {
+            i + 1: forward,
+            max(0, i - 1): 0.3 - (P if i == 0 else 0),
+            i: 0.1,
+        }
+        if max(0, i - 1) == i:  # state 0 folds the back-edge into a loop
+            transitions[i] = {1: 0.6 + P, 0: 0.4 - P}
+    transitions[n] = {n: 1}
+    return ParametricDTMC(
+        states=states,
+        transitions=transitions,
+        initial_state=0,
+        labels={n: {"top"}},
+    )
+
+
+@pytest.mark.parametrize("size", [4, 8, 12, 16])
+def test_gauss_engine_scaling(benchmark, size):
+    model = ladder(size)
+    function = benchmark(
+        lambda: model.reachability_probability({size}, method="gauss")
+    )
+    # Exactness check at a sample point.
+    point = {"p": 0.05}
+    concrete = DTMCModelChecker(model.instantiate(point)).path_probabilities(
+        Eventually(AtomicProposition("top"))
+    )[0]
+    assert float(function.evaluate(point)) == pytest.approx(concrete, abs=1e-9)
+    report(
+        benchmark,
+        {
+            "states": size + 1,
+            "num_terms": len(function.numerator),
+            "den_terms": len(function.denominator),
+        },
+    )
+
+
+@pytest.mark.parametrize("size", [4, 8])
+def test_engines_agree(benchmark, size):
+    model = ladder(size)
+
+    def run_both():
+        gauss = model.reachability_probability({size}, method="gauss")
+        eliminate = model.reachability_probability({size}, method="eliminate")
+        return gauss, eliminate
+
+    gauss, eliminate = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert gauss == eliminate
+    report(benchmark, {"states": size + 1, "agree": True})
+
+
+def test_engine_speed_comparison(benchmark):
+    """Head-to-head timing on the 8-rung ladder."""
+    model = ladder(8)
+
+    def timed():
+        t0 = time.perf_counter()
+        model.reachability_probability({8}, method="gauss")
+        gauss_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        model.reachability_probability({8}, method="eliminate")
+        eliminate_time = time.perf_counter() - t0
+        return gauss_time, eliminate_time
+
+    gauss_time, eliminate_time = benchmark.pedantic(timed, rounds=1, iterations=1)
+    report(
+        benchmark,
+        {
+            "gauss_seconds": round(gauss_time, 4),
+            "eliminate_seconds": round(eliminate_time, 4),
+        },
+    )

@@ -1,0 +1,103 @@
+"""E7 (Section IV-C, Proposition 4): posterior-regularised projection.
+
+Shape criteria: on the car MDP with the rule ``G ¬collision``,
+
+* the projected distribution ``Q`` zeroes the probability mass on
+  collision trajectories as λ grows (exponentially in λ), and
+* satisfying trajectories keep their relative probabilities exactly.
+"""
+
+import math
+
+import pytest
+
+from conftest import report
+from repro.casestudies import car
+from repro.learning.posterior_regularization import project_distribution
+from repro.learning.trajectory_distribution import TrajectoryDistribution
+from repro.logic.ltl import LGlobally, state_atom
+from repro.logic.rules import LtlRule
+
+
+@pytest.fixture(scope="module")
+def base_distribution():
+    mdp = car.build_car_mdp()
+    features = car.car_features()
+    rewards = {
+        s: float(features(s) @ car.PAPER_LEARNED_THETA) for s in mdp.states
+    }
+    return TrajectoryDistribution.from_maxent(
+        mdp, rewards, horizon=6, stop_states={"End"}
+    )
+
+
+def collision_mass(distribution) -> float:
+    return distribution.event_probability(lambda u: u.visits("S2"))
+
+
+def test_projection_suppresses_collisions(benchmark, base_distribution):
+    """E7: violation mass decays exponentially in the rule weight λ."""
+
+    def sweep():
+        masses = {}
+        for weight in (0.0, 2.0, 5.0, 10.0, 50.0):
+            rule = LtlRule(LGlobally(~state_atom("S2")), weight=weight)
+            projected = project_distribution(base_distribution, [rule])
+            masses[weight] = collision_mass(projected)
+        return masses
+
+    masses = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    values = [masses[w] for w in sorted(masses)]
+    assert values == sorted(values, reverse=True)  # monotone decay
+    assert masses[0.0] == pytest.approx(collision_mass(base_distribution))
+    assert masses[50.0] < 1e-12
+    report(
+        benchmark,
+        {f"lambda={w:g}": f"{m:.3e}" for w, m in sorted(masses.items())},
+    )
+
+
+def test_satisfying_ratios_preserved(benchmark, base_distribution):
+    """E7: Q equals P (up to one normaliser) on satisfying trajectories."""
+    rule = LtlRule(LGlobally(~state_atom("S2")), weight=8.0)
+    projected = benchmark(
+        lambda: project_distribution(base_distribution, [rule])
+    )
+    ratios = [
+        projected.probability(u) / base_distribution.probability(u)
+        for u in base_distribution.support()
+        if not u.visits("S2")
+    ]
+    spread = max(ratios) / min(ratios)
+    assert spread == pytest.approx(1.0, abs=1e-9)
+    report(
+        benchmark,
+        {
+            "satisfying_trajectories": len(ratios),
+            "ratio_spread": f"{spread:.12f}",
+            "common_ratio": f"{ratios[0]:.6f}",
+        },
+    )
+
+
+def test_projection_factor_is_exp_lambda(benchmark, base_distribution):
+    """E7: each violating trajectory is damped by exactly exp(-λ·viol)."""
+    weight = 3.0
+    rule = LtlRule(LGlobally(~state_atom("S2")), weight=weight)
+    projected = benchmark(
+        lambda: project_distribution(base_distribution, [rule])
+    )
+    satisfying_ratio = next(
+        projected.probability(u) / base_distribution.probability(u)
+        for u in base_distribution.support()
+        if not u.visits("S2")
+    )
+    for trajectory in base_distribution.support():
+        if trajectory.visits("S2"):
+            ratio = projected.probability(trajectory) / base_distribution.probability(
+                trajectory
+            )
+            assert ratio / satisfying_ratio == pytest.approx(
+                math.exp(-weight), rel=1e-9
+            )
+    report(benchmark, {"lambda": weight, "damping": f"exp(-{weight}) verified"})

@@ -1,0 +1,88 @@
+"""A8 (scalability): grid size vs exact parametric checking cost.
+
+The exact rational-function engine is meant for laptop-scale case
+studies (repro band: the paper's models are 9–12 states).  This bench
+records where exactness stops being interactive: the 3×3 grid closes in
+well under a second, the 4×4 grid (17 states, 2 parameters) in seconds;
+a 5×5 grid is beyond interactive use — the documented boundary where
+one switches to the statistical checker.
+"""
+
+import pytest
+
+from conftest import report
+from repro.casestudies.wsn import (
+    attempts_property,
+    build_wsn_chain,
+    build_wsn_parametric,
+)
+from repro.checking import DTMCModelChecker
+
+
+@pytest.mark.parametrize("size", [3, 4])
+def test_parametric_reward_by_grid_size(benchmark, size):
+    parametric = build_wsn_parametric(size=size)
+    function = benchmark.pedantic(
+        lambda: parametric.expected_reward({"n11"}), rounds=1, iterations=1
+    )
+    concrete = DTMCModelChecker(build_wsn_chain(size=size)).check(
+        attempts_property(1)
+    ).value
+    assert float(function.evaluate({"p": 0.0, "q": 0.0})) == pytest.approx(
+        concrete, rel=1e-9
+    )
+    report(
+        benchmark,
+        {
+            "grid": f"{size}x{size}",
+            "states": size * size,
+            "numerator_terms": len(function.numerator),
+            "denominator_terms": len(function.denominator),
+            "expected_attempts": round(concrete, 2),
+        },
+    )
+
+
+def test_concrete_checking_scales_further(benchmark):
+    """The concrete checker handles grids the exact parametric engine
+    cannot — quantifying the exact/numeric trade."""
+
+    def sweep():
+        values = {}
+        for size in (3, 4, 5, 6, 8):
+            chain = build_wsn_chain(size=size)
+            values[size] = DTMCModelChecker(chain).check(
+                attempts_property(1)
+            ).value
+        return values
+
+    values = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    sizes = sorted(values)
+    # Bigger grids need more attempts (longer routes).
+    assert [values[s] for s in sizes] == sorted(values[s] for s in sizes)
+    report(
+        benchmark,
+        {f"{s}x{s}": round(v, 1) for s, v in sorted(values.items())},
+    )
+
+
+def test_statistical_checker_at_scale(benchmark):
+    """SMC estimates the 6×6 grid's attempt count within a few percent."""
+    from repro.checking import StatisticalModelChecker
+    from repro.logic import parse_pctl
+
+    chain = build_wsn_chain(size=6)
+    exact = DTMCModelChecker(chain).check(attempts_property(1)).value
+
+    def estimate():
+        smc = StatisticalModelChecker(chain, seed=3)
+        return smc.estimate_reward(
+            parse_pctl('R<=1 [ F "delivered" ]'), samples=2000
+        ).estimate
+
+    measured = benchmark.pedantic(estimate, rounds=1, iterations=1)
+    assert measured == pytest.approx(exact, rel=0.1)
+    report(
+        benchmark,
+        {"exact": round(exact, 1), "smc_estimate": round(measured, 1)},
+    )

@@ -1,0 +1,92 @@
+"""E1-E3 (Section V-A.1): the three WSN Model Repair cases.
+
+Paper rows reproduced:
+
+=====  ==========================  =============================
+case   paper                       shape criterion
+=====  ==========================  =============================
+E1     X=100 satisfied unmodified  status == already_satisfied
+E2     X=40 repaired, p=.045,      status == repaired, both
+       q=.03 (ignore probs drop)   corrections >= 0, verified
+E3     X=19 infeasible             status == infeasible
+=====  ==========================  =============================
+"""
+
+import pytest
+
+from conftest import report
+from repro.casestudies import wsn
+from repro.checking import DTMCModelChecker
+
+
+def test_case_satisfied_x100(benchmark):
+    """E1: the learned model already satisfies R{attempts}<=100."""
+    result = benchmark(lambda: wsn.model_repair_problem(100).repair())
+    assert result.status == "already_satisfied"
+    value = DTMCModelChecker(wsn.build_wsn_chain()).check(
+        wsn.attempts_property(1)
+    ).value
+    report(
+        benchmark,
+        {
+            "paper": "X=100 satisfied without modification",
+            "measured_status": result.status,
+            "expected_attempts": round(value, 2),
+        },
+    )
+
+
+def test_case_feasible_x40(benchmark):
+    """E2: X=40 is repairable by lowering ignore probabilities."""
+    result = benchmark(lambda: wsn.model_repair_problem(40).repair())
+    assert result.status == "repaired"
+    assert result.verified
+    assert all(v >= 0 for v in result.assignment.values())
+    repaired_value = DTMCModelChecker(result.repaired_model).check(
+        wsn.attempts_property(1)
+    ).value
+    report(
+        benchmark,
+        {
+            "paper": "X=40 repaired with p=0.045, q=0.03",
+            "measured_status": result.status,
+            "correction_p": round(result.assignment["p"], 4),
+            "correction_q": round(result.assignment["q"], 4),
+            "epsilon_prop1": round(result.epsilon, 4),
+            "attempts_after_repair": round(repaired_value, 2),
+        },
+    )
+
+
+def test_case_infeasible_x19(benchmark):
+    """E3: X=19 cannot be met within the perturbation bounds."""
+    result = benchmark(lambda: wsn.model_repair_problem(19).repair())
+    assert result.status == "infeasible"
+    report(
+        benchmark,
+        {
+            "paper": "X=19 infeasible",
+            "measured_status": result.status,
+        },
+    )
+
+
+def test_feasibility_frontier(benchmark):
+    """Sweep the bound X to locate the feasibility crossover.
+
+    The paper's three cases imply a frontier between 19 and 40; this
+    sweep pins it down for our calibration.
+    """
+
+    def sweep():
+        verdicts = {}
+        for bound in (25, 30, 35, 40, 45, 50):
+            verdicts[bound] = wsn.model_repair_problem(bound).repair().status
+        return verdicts
+
+    verdicts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Monotone: once repairable/satisfied, stays so as X grows.
+    order = {"infeasible": 0, "repaired": 1, "already_satisfied": 2}
+    ranks = [order[verdicts[b]] for b in sorted(verdicts)]
+    assert ranks == sorted(ranks)
+    report(benchmark, {f"X={b}": v for b, v in sorted(verdicts.items())})

@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one row/series of the paper's evaluation
+(Section V) or one ablation from DESIGN.md.  Timings come from
+pytest-benchmark; the reproduced quantities are attached to each
+benchmark's ``extra_info`` so they appear in ``--benchmark-json``
+exports, and printed so a plain run shows the paper-vs-measured rows.
+"""
+
+from __future__ import annotations
+
+
+def report(benchmark, rows: dict) -> None:
+    """Attach reproduced quantities to the benchmark and print them."""
+    for key, value in rows.items():
+        benchmark.extra_info[key] = value
+    width = max(len(k) for k in rows)
+    print()
+    for key, value in rows.items():
+        print(f"    {key:<{width}} : {value}")

@@ -1,0 +1,97 @@
+"""Constrained EM for hidden Markov models (the paper's conclusion).
+
+A network-intrusion monitor learns an HMM over hidden {benign, attack}
+modes from alert-volume observations.  Domain knowledge says an attack
+never de-escalates silently ("attack -> benign without a 'quiet'
+observation is implausible"); plain Baum-Welch learns such transitions
+anyway from noisy data, while constrained Baum-Welch folds the rule
+into the E-step — exactly the extension sketched in the paper's
+conclusion.  Finally, the learned hidden chain is Model-Repaired
+against a PCTL recovery-time property.
+
+Run with::
+
+    python examples/hmm_constrained_learning.py
+"""
+
+import numpy as np
+
+from repro.hmm import (
+    HMM,
+    baum_welch,
+    constrained_baum_welch,
+    forbid_transition,
+    repair_hidden_chain,
+)
+from repro.logic import parse_pctl
+
+
+def ground_truth() -> HMM:
+    return HMM(
+        states=["benign", "attack"],
+        symbols=["quiet", "noisy"],
+        initial={"benign": 0.9, "attack": 0.1},
+        transitions={
+            "benign": {"benign": 0.9, "attack": 0.1},
+            "attack": {"benign": 0.25, "attack": 0.75},
+        },
+        emissions={
+            "benign": {"quiet": 0.85, "noisy": 0.15},
+            "attack": {"quiet": 0.2, "noisy": 0.8},
+        },
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    truth = ground_truth()
+    sequences = [truth.sample(80, rng)[1] for _ in range(20)]
+    print(f"training on {len(sequences)} alert sequences of length 80")
+
+    plain, plain_trace = baum_welch(
+        sequences, states=["h_benign", "h_attack"], iterations=30, seed=1
+    )
+    print()
+    print("plain Baum-Welch:")
+    print(f"  log-likelihood: {plain_trace[-1]:.1f}")
+    print(f"  P(h_benign -> h_attack) = {plain.A[0, 1]:.4f}")
+    print(f"  P(h_attack -> h_benign) = {plain.A[1, 0]:.4f}")
+
+    rule = forbid_transition("h_attack", "h_benign", weight=6.0)
+    constrained, constrained_trace = constrained_baum_welch(
+        sequences,
+        states=["h_benign", "h_attack"],
+        constraints=[rule],
+        iterations=30,
+        seed=1,
+    )
+    print()
+    print(f"constrained Baum-Welch (rule: {rule.name}, lambda=6):")
+    print(f"  log-likelihood: {constrained_trace[-1]:.1f}")
+    print(f"  P(h_attack -> h_benign) = {constrained.A[1, 0]:.4f} "
+          f"(plain: {plain.A[1, 0]:.4f})")
+    cost = constrained_trace[-1] - plain_trace[-1]
+    print(f"  likelihood cost of the constraint: {cost:.2f} nats")
+
+    print()
+    print("Model Repair on the constrained model's hidden chain:")
+    print("  the hard constraint drove recovery to ~0, breaking the")
+    print("  liveness property 'expected steps back to benign <= 4' —")
+    print("  Model Repair restores the minimum recovery rate:")
+    formula = parse_pctl('R<=4 [ F "recovered" ]')
+    repaired_hmm, result = repair_hidden_chain(
+        constrained,
+        formula,
+        labels={"h_benign": {"recovered"}},
+        initial_state="h_attack",
+        state_rewards={"h_attack": 1.0},
+    )
+    print(f"  status: {result.status}, epsilon = {result.epsilon:.4f}")
+    if result.feasible:
+        print(f"  repaired P(h_attack -> h_benign) = "
+              f"{repaired_hmm.A[1, 0]:.4f} "
+              f"(was {constrained.A[1, 0]:.2e})")
+
+
+if __name__ == "__main__":
+    main()

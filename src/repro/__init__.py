@@ -1,0 +1,94 @@
+"""Trusted Machine Learning for Markov Decision Processes.
+
+A complete implementation of *"Model, Data and Reward Repair: Trusted
+Machine Learning for Markov Decision Processes"* (Ghosh, Jha, Tiwari,
+Lincoln, Zhu — DSN 2018): repair a learned MDP/Markov-chain model so it
+provably satisfies PCTL trust properties, by perturbing the model
+(Model Repair), the training data (Data Repair) or the reward function
+(Reward Repair).
+
+Quickstart
+----------
+>>> from repro import chain_dtmc, parse_pctl, ModelRepair
+>>> chain = chain_dtmc(5, forward_probability=0.5)
+>>> result = ModelRepair.for_chain(
+...     chain, parse_pctl('R<=6 [ F "goal" ]')
+... ).repair()
+>>> result.status
+'repaired'
+
+Architecture
+------------
+``repro.symbolic``    exact polynomials / rational functions
+``repro.mdp``         MDPs, chains, policies, solvers, simulation
+``repro.logic``       PCTL (+ parser), finite-trace LTL, rules
+``repro.checking``    concrete + parametric PCTL model checking
+``repro.learning``    MLE, MaxEnt IRL, posterior regularisation
+``repro.optimize``    nonlinear programs over named variables
+``repro.core``        the three repairs + the TML pipeline
+``repro.casestudies`` the paper's WSN and car studies
+``repro.baselines``   shaping / CMDP / greedy comparators
+``repro.io``          JSON round-trip, PRISM export
+"""
+
+from repro.mdp import (
+    DTMC,
+    MDP,
+    DeterministicPolicy,
+    Simulator,
+    StochasticPolicy,
+    Trajectory,
+    chain_dtmc,
+    grid_dtmc,
+    policy_iteration,
+    q_values,
+    value_iteration,
+)
+from repro.logic import parse_pctl
+from repro.checking import (
+    DTMCModelChecker,
+    MDPModelChecker,
+    ParametricDTMC,
+    parametric_constraint,
+)
+from repro.core import (
+    DataRepair,
+    ModelRepair,
+    QValueConstraint,
+    RewardRepair,
+    TrustedLearningPipeline,
+)
+from repro.data import TraceDataset, TraceGroup
+from repro.learning import MaxEntIRL, TabularFeatureMap, learn_dtmc
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DTMC",
+    "MDP",
+    "Trajectory",
+    "DeterministicPolicy",
+    "StochasticPolicy",
+    "Simulator",
+    "chain_dtmc",
+    "grid_dtmc",
+    "value_iteration",
+    "policy_iteration",
+    "q_values",
+    "parse_pctl",
+    "DTMCModelChecker",
+    "MDPModelChecker",
+    "ParametricDTMC",
+    "parametric_constraint",
+    "ModelRepair",
+    "DataRepair",
+    "RewardRepair",
+    "QValueConstraint",
+    "TrustedLearningPipeline",
+    "TraceDataset",
+    "TraceGroup",
+    "MaxEntIRL",
+    "TabularFeatureMap",
+    "learn_dtmc",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Baselines from the paper's related-work section.
+
+``reward_shaping``
+    Potential-based reward shaping (Ng, Harada & Russell 1999).  The
+    invariance theorem means shaping *cannot* change an unsafe optimal
+    policy — the contrast motivating Reward Repair (Section VI).
+``constrained_policy``
+    A Lagrangian constrained-policy-optimisation baseline (Achiam et
+    al.'s CMDP setting, tabular): expected auxiliary cost constraints
+    instead of logical constraints.
+``greedy_repair``
+    Greedy coordinate-stepping repair baselines for Model and Data
+    Repair — what one would do without the parametric-checking + NLP
+    reduction; used by the ablation benchmarks.
+"""
+
+from repro.baselines.reward_shaping import shaped_mdp, shaping_action_rewards
+from repro.baselines.constrained_policy import (
+    LagrangianResult,
+    lagrangian_constrained_policy,
+)
+from repro.baselines.greedy_repair import (
+    GreedyRepairResult,
+    greedy_data_repair,
+    greedy_model_repair,
+)
+
+__all__ = [
+    "shaped_mdp",
+    "shaping_action_rewards",
+    "lagrangian_constrained_policy",
+    "LagrangianResult",
+    "greedy_model_repair",
+    "greedy_data_repair",
+    "GreedyRepairResult",
+]

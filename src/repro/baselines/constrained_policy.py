@@ -1,0 +1,129 @@
+"""Lagrangian constrained policy optimisation (CMDP baseline).
+
+The related-work comparator (Achiam et al., Constrained Policy
+Optimization): constraints are *expectations of auxiliary costs*
+``E[Σ γ^t c(s_t)] ≤ d`` rather than logical formulas.  The tabular
+solution is Lagrangian: maximise ``reward − λ·cost`` and bisect on the
+multiplier ``λ`` until the cost constraint is (just) met.
+
+The ablation benchmark uses this to show where expectation constraints
+and logical constraints differ: a CMDP constraint on expected collision
+cost can trade a little collision probability for reward, while the
+paper's Reward Repair drives rule-violating trajectories to probability
+zero.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from repro.mdp.model import MDP
+from repro.mdp.policy import DeterministicPolicy
+from repro.mdp.solvers import policy_evaluation, value_iteration
+
+State = Hashable
+
+
+class LagrangianResult:
+    """Outcome of the Lagrangian CMDP solve.
+
+    Attributes
+    ----------
+    policy:
+        The best cost-feasible policy found (or the min-cost policy if
+        none is feasible).
+    multiplier:
+        The final Lagrange multiplier λ.
+    expected_reward / expected_cost:
+        Discounted values of the returned policy at the initial state.
+    feasible:
+        Whether the cost bound is met.
+    """
+
+    def __init__(
+        self,
+        policy: DeterministicPolicy,
+        multiplier: float,
+        expected_reward: float,
+        expected_cost: float,
+        feasible: bool,
+    ):
+        self.policy = policy
+        self.multiplier = multiplier
+        self.expected_reward = expected_reward
+        self.expected_cost = expected_cost
+        self.feasible = feasible
+
+    def __repr__(self) -> str:
+        return (
+            f"LagrangianResult(lambda={self.multiplier:.4g}, "
+            f"reward={self.expected_reward:.4g}, "
+            f"cost={self.expected_cost:.4g}, feasible={self.feasible})"
+        )
+
+
+def _evaluate(
+    mdp: MDP,
+    policy: DeterministicPolicy,
+    rewards: Dict[State, float],
+    discount: float,
+) -> float:
+    """Discounted value of ``policy`` at the initial state under rewards."""
+    surrogate = mdp.with_rewards(state_rewards=rewards)
+    values = policy_evaluation(surrogate, policy, discount)
+    return values[mdp.initial_state]
+
+
+def lagrangian_constrained_policy(
+    mdp: MDP,
+    cost: Callable[[State], float],
+    cost_bound: float,
+    discount: float = 0.95,
+    max_multiplier: float = 1e4,
+    iterations: int = 60,
+) -> LagrangianResult:
+    """Solve ``max E[reward] s.t. E[discounted cost] ≤ cost_bound``.
+
+    Bisection on the multiplier: λ too small → cost constraint violated;
+    λ large → conservative.  Each inner solve is plain value iteration
+    on the scalarised reward ``r(s) − λ·c(s)``.
+    """
+    reward_map = {s: mdp.state_rewards[s] for s in mdp.states}
+    cost_map = {s: float(cost(s)) for s in mdp.states}
+
+    def solve(multiplier: float) -> Tuple[DeterministicPolicy, float, float]:
+        scalarised = {
+            s: reward_map[s] - multiplier * cost_map[s] for s in mdp.states
+        }
+        _, policy = value_iteration(
+            mdp.with_rewards(state_rewards=scalarised), discount=discount
+        )
+        achieved_reward = _evaluate(mdp, policy, reward_map, discount)
+        achieved_cost = _evaluate(mdp, policy, cost_map, discount)
+        return policy, achieved_reward, achieved_cost
+
+    low, high = 0.0, max_multiplier
+    policy, reward_value, cost_value = solve(low)
+    if cost_value <= cost_bound:
+        return LagrangianResult(policy, low, reward_value, cost_value, True)
+    best: Optional[LagrangianResult] = None
+    for _ in range(iterations):
+        mid = (low + high) / 2.0
+        policy, reward_value, cost_value = solve(mid)
+        if cost_value <= cost_bound:
+            candidate = LagrangianResult(policy, mid, reward_value, cost_value, True)
+            if best is None or candidate.expected_reward > best.expected_reward:
+                best = candidate
+            high = mid
+        else:
+            low = mid
+    if best is not None:
+        return best
+    policy, reward_value, cost_value = solve(max_multiplier)
+    return LagrangianResult(
+        policy,
+        max_multiplier,
+        reward_value,
+        cost_value,
+        cost_value <= cost_bound,
+    )

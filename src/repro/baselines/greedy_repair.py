@@ -1,0 +1,173 @@
+"""Greedy repair baselines (ablation comparators).
+
+Without the paper's parametric-checking + nonlinear-programming
+reduction, the natural approach is greedy coordinate stepping: nudge one
+repair parameter at a time, re-checking the model concretely after each
+step, until the property holds or no step helps.  The ablation
+benchmarks compare this against the NLP route on repair cost (it is
+typically worse — greedy overshoots the cheap direction) and on solver
+calls.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional, Sequence
+
+from repro.checking.dtmc import DTMCModelChecker
+from repro.checking.parametric import ParametricDTMC
+from repro.core.costs import frobenius_cost
+from repro.data.dataset import TraceDataset
+from repro.logic.pctl import (
+    ProbabilisticOperator,
+    RewardOperator,
+    StateFormula,
+)
+from repro.mdp.model import DTMC, ModelValidationError
+from repro.optimize import Variable
+
+Assignment = Dict[str, float]
+
+
+class GreedyRepairResult:
+    """Outcome of a greedy repair run.
+
+    Attributes
+    ----------
+    feasible:
+        Whether a satisfying assignment was found.
+    assignment:
+        The parameter values reached.
+    cost:
+        Repair cost at the final assignment.
+    checks:
+        Number of concrete model-checker calls spent.
+    repaired_model:
+        Instantiated model when feasible, else ``None``.
+    """
+
+    def __init__(
+        self,
+        feasible: bool,
+        assignment: Assignment,
+        cost: float,
+        checks: int,
+        repaired_model: Optional[DTMC],
+    ):
+        self.feasible = feasible
+        self.assignment = dict(assignment)
+        self.cost = cost
+        self.checks = checks
+        self.repaired_model = repaired_model
+
+    def __repr__(self) -> str:
+        return (
+            f"GreedyRepairResult(feasible={self.feasible}, "
+            f"cost={self.cost:.6g}, checks={self.checks})"
+        )
+
+
+def _property_value(chain: DTMC, formula: StateFormula) -> float:
+    """The quantitative value the formula's comparison ranges over."""
+    result = DTMCModelChecker(chain).check(formula)
+    if result.value is None:
+        raise ValueError("greedy repair needs a top-level P or R operator")
+    return result.value
+
+
+def _improvement_sign(formula: StateFormula) -> float:
+    """+1 when larger values help satisfy the formula, −1 otherwise."""
+    if isinstance(formula, (ProbabilisticOperator, RewardOperator)):
+        return 1.0 if formula.comparison in (">", ">=") else -1.0
+    raise ValueError("greedy repair needs a top-level P or R operator")
+
+
+def greedy_model_repair(
+    parametric_model: ParametricDTMC,
+    formula: StateFormula,
+    variables: Sequence[Variable],
+    step: float = 0.01,
+    max_steps: int = 500,
+    cost: Callable[[Assignment], float] = frobenius_cost,
+) -> GreedyRepairResult:
+    """Greedy coordinate stepping over the repair parameters.
+
+    Each round tries ``± step`` on every parameter (respecting bounds),
+    instantiates, re-checks concretely, and keeps the move with the best
+    property improvement.  Stops when satisfied, stuck, or out of steps.
+    """
+    assignment: Assignment = {v.name: v.initial for v in variables}
+    bounds = {v.name: (v.lower, v.upper) for v in variables}
+    sign = _improvement_sign(formula)
+    checks = 0
+
+    def instantiate(point: Assignment) -> Optional[DTMC]:
+        try:
+            return parametric_model.instantiate(point)
+        except (ModelValidationError, ZeroDivisionError):
+            return None
+
+    chain = instantiate(assignment)
+    if chain is None:
+        raise ValueError("initial assignment is not a valid model")
+    checks += 1
+    if DTMCModelChecker(chain).check(formula).holds:
+        return GreedyRepairResult(True, assignment, cost(assignment), checks, chain)
+    value = _property_value(chain, formula)
+    for _ in range(max_steps):
+        best_move: Optional[Assignment] = None
+        best_value = value
+        best_chain = None
+        for variable in variables:
+            for direction in (+step, -step):
+                candidate = dict(assignment)
+                lower, upper = bounds[variable.name]
+                moved = min(max(candidate[variable.name] + direction, lower), upper)
+                if moved == candidate[variable.name]:
+                    continue
+                candidate[variable.name] = moved
+                candidate_chain = instantiate(candidate)
+                if candidate_chain is None:
+                    continue
+                checks += 1
+                candidate_value = _property_value(candidate_chain, formula)
+                if sign * (candidate_value - best_value) > 1e-12:
+                    best_move = candidate
+                    best_value = candidate_value
+                    best_chain = candidate_chain
+        if best_move is None:
+            return GreedyRepairResult(
+                False, assignment, cost(assignment), checks, None
+            )
+        assignment, value, chain = best_move, best_value, best_chain
+        if DTMCModelChecker(chain).check(formula).holds:
+            return GreedyRepairResult(
+                True, assignment, cost(assignment), checks, chain
+            )
+    return GreedyRepairResult(False, assignment, cost(assignment), checks, None)
+
+
+def greedy_data_repair(
+    dataset: TraceDataset,
+    build_repair,
+    step: float = 0.02,
+    max_steps: int = 500,
+) -> GreedyRepairResult:
+    """Greedy stepping over per-group drop probabilities.
+
+    ``build_repair`` is a callable ``dataset -> DataRepair`` (the same
+    factory the pipeline uses); its parametric model and formula drive
+    the greedy loop.
+    """
+    repair = build_repair(dataset)
+    parametric = repair.parametric_model()
+    variables = [
+        Variable(f"drop_{name}", 0.0, repair.max_drop, initial=0.0)
+        for name in dataset.droppable_groups()
+    ]
+    return greedy_model_repair(
+        parametric_model=parametric,
+        formula=repair.formula,
+        variables=variables,
+        step=step,
+        max_steps=max_steps,
+    )

@@ -1,0 +1,13 @@
+"""The paper's two case studies (Section V).
+
+``wsn``
+    Query routing in a 3×3 wireless sensor network grid — Model Repair
+    and Data Repair on the ``R{attempts} ≤ X [F delivered]`` property.
+``car``
+    Obstacle avoidance for an autonomous car (Figure 1) — Reward Repair
+    on the collision-avoidance constraint ``Q(S1,1) > Q(S1,0)``.
+"""
+
+from repro.casestudies import car, wsn
+
+__all__ = ["car", "wsn"]

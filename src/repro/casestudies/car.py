@@ -1,0 +1,219 @@
+"""Obstacle-avoidance car controller (Section V-B, Figure 1).
+
+The scenario: a car at S0 must overtake a van parked at road position 2
+of the right lane (state S2 — the collision state), by changing into the
+left lane and merging back behind the van, finishing the manoeuvre at S4.
+
+Geometry (road positions 0–4, two lanes):
+
+====== ========== ====
+state  lane       pos
+====== ========== ====
+S0–S4  right      0–4
+S5–S9  left       0–4
+S2     collision  2
+S4     target sink
+S10    off-road / failed manoeuvre (unsafe sink)
+====== ========== ====
+
+Actions: ``0`` move forward, ``1`` change lane left, ``2`` change lane
+right — lane changes preserve road position (the paper's expert goes
+``S1 −1→ S6`` and ``S8 −2→ S3``).  Manoeuvre-breaking moves (changing
+left from the left lane, merging right alongside or before the van,
+running past S9) lead to the unsafe sink S10.  S2 is *pass-through*:
+the dynamics do not know a collision is fatal — that is exactly why the
+learned reward can be unsafe and needs repair.  S4 and S10 drain into a
+zero-reward ``End`` state so the target reward is collected once.
+
+Features (paper): ``φ1`` = right-lane indicator, ``φ2`` = distance to
+the nearest unsafe state (Manhattan over (position, lane), normalised
+by 3), ``φ3`` = target-sink indicator.  With the paper's learned weights
+``θ = (0.38, 0.34, 0.53)`` the optimal policy drives S1 → S2 (unsafe);
+raising the distance weight to ≈ 0.44 — the paper's repaired value —
+flips S1 to the safe lane change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.learning.irl import TabularFeatureMap
+from repro.mdp.model import MDP
+from repro.mdp.policy import DeterministicPolicy
+from repro.mdp.trajectory import Trajectory
+
+RIGHT_LANE = ["S0", "S1", "S2", "S3", "S4"]
+LEFT_LANE = ["S5", "S6", "S7", "S8", "S9"]
+COLLISION = "S2"
+TARGET = "S4"
+OFF_ROAD = "S10"
+END = "End"
+
+FORWARD, LEFT, RIGHT = 0, 1, 2
+
+#: The reward weights the paper reports MaxEnt IRL learning (Sec. V-B).
+PAPER_LEARNED_THETA = np.array([0.38, 0.34, 0.53])
+#: The paper's repaired weights (distance weight raised 0.34 → 0.44).
+PAPER_REPAIRED_THETA = np.array([0.38, 0.44, 0.53])
+
+#: Discount used throughout the case study.
+DISCOUNT = 0.9
+
+
+def _position(state: str) -> Tuple[int, int]:
+    """``(road position, lane)`` with right lane = 0, left lane = 1."""
+    if state in RIGHT_LANE:
+        return RIGHT_LANE.index(state), 0
+    if state in LEFT_LANE:
+        return LEFT_LANE.index(state), 1
+    raise ValueError(f"state {state!r} has no road position")
+
+
+def build_car_mdp() -> MDP:
+    """The 12-state obstacle-avoidance MDP of Figure 1.
+
+    Labels: ``collision`` on S2, ``unsafe`` on S2 and S10, ``target`` on
+    S4, ``left``/``right`` lane markers.
+    """
+    transitions: Dict[str, Dict[int, Dict[str, float]]] = {}
+
+    def deterministic(target: str) -> Dict[str, float]:
+        return {target: 1.0}
+
+    # Right lane: forward advances; left changes lane at the same
+    # position (only sensible before/at the van); right runs off-road.
+    transitions["S0"] = {
+        FORWARD: deterministic("S1"),
+        LEFT: deterministic("S5"),
+        RIGHT: deterministic(OFF_ROAD),
+    }
+    transitions["S1"] = {
+        FORWARD: deterministic("S2"),
+        LEFT: deterministic("S6"),
+        RIGHT: deterministic(OFF_ROAD),
+    }
+    transitions["S2"] = {
+        FORWARD: deterministic("S3"),
+        LEFT: deterministic(OFF_ROAD),
+        RIGHT: deterministic(OFF_ROAD),
+    }
+    transitions["S3"] = {
+        FORWARD: deterministic("S4"),
+        LEFT: deterministic(OFF_ROAD),
+        RIGHT: deterministic(OFF_ROAD),
+    }
+    transitions["S4"] = {FORWARD: deterministic(END)}
+    # Left lane: forward advances (S9 runs out of road); merging right
+    # is only safe behind the van (S8 → S3) or at the end (S9 → S4);
+    # alongside or before the van it breaks the manoeuvre.
+    transitions["S5"] = {
+        FORWARD: deterministic("S6"),
+        LEFT: deterministic(OFF_ROAD),
+        RIGHT: deterministic(OFF_ROAD),
+    }
+    transitions["S6"] = {
+        FORWARD: deterministic("S7"),
+        LEFT: deterministic(OFF_ROAD),
+        RIGHT: deterministic(OFF_ROAD),
+    }
+    transitions["S7"] = {
+        FORWARD: deterministic("S8"),
+        LEFT: deterministic(OFF_ROAD),
+        RIGHT: deterministic(OFF_ROAD),
+    }
+    transitions["S8"] = {
+        FORWARD: deterministic("S9"),
+        LEFT: deterministic(OFF_ROAD),
+        RIGHT: deterministic("S3"),
+    }
+    transitions["S9"] = {
+        FORWARD: deterministic(OFF_ROAD),
+        LEFT: deterministic(OFF_ROAD),
+        RIGHT: deterministic("S4"),
+    }
+    transitions[OFF_ROAD] = {FORWARD: deterministic(END)}
+    transitions[END] = {FORWARD: deterministic(END)}
+
+    states = RIGHT_LANE + LEFT_LANE + [OFF_ROAD, END]
+    labels = {
+        COLLISION: {"collision", "unsafe"},
+        OFF_ROAD: {"unsafe", "offroad"},
+        TARGET: {"target"},
+    }
+    for state in RIGHT_LANE:
+        labels.setdefault(state, set()).add("rightlane")
+    for state in LEFT_LANE:
+        labels.setdefault(state, set()).add("leftlane")
+    return MDP(
+        states=states,
+        transitions=transitions,
+        initial_state="S0",
+        labels=labels,
+    )
+
+
+def distance_to_unsafe(state: str) -> float:
+    """Manhattan distance (position, lane) to the nearest unsafe state."""
+    if state in (COLLISION, OFF_ROAD, END):
+        return 0.0
+    position, lane = _position(state)
+    van_position, van_lane = _position(COLLISION)
+    return abs(position - van_position) + abs(lane - van_lane)
+
+
+def car_features() -> TabularFeatureMap:
+    """The three-feature map ``(φ1, φ2, φ3)`` of Section V-B."""
+    table: Dict[str, List[float]] = {}
+    mdp = build_car_mdp()
+    for state in mdp.states:
+        lane_indicator = 1.0 if state in RIGHT_LANE else 0.0
+        distance = distance_to_unsafe(state) / 3.0
+        target = 1.0 if state == TARGET else 0.0
+        table[state] = [lane_indicator, distance, target]
+    return TabularFeatureMap(table)
+
+
+def expert_demonstration() -> Trajectory:
+    """The paper's expert manoeuvre: out at S1, back in at S8."""
+    return Trajectory(
+        [
+            ("S0", FORWARD),
+            ("S1", LEFT),
+            ("S6", FORWARD),
+            ("S7", FORWARD),
+            ("S8", RIGHT),
+            ("S3", FORWARD),
+            ("S4", None),
+        ]
+    )
+
+
+def states_leading_to_unsafe(mdp: MDP, policy: DeterministicPolicy) -> List[str]:
+    """Non-sink states from which the policy reaches an unsafe state.
+
+    The paper calls the learned policy unsafe because "action 0 in state
+    S1 would lead the car to state S2" — i.e. safety is judged from
+    every state, not just the initial one.
+    """
+    unsafe = mdp.states_with_atom("unsafe")
+    offenders = []
+    for state in mdp.states:
+        if state in unsafe or state == END:
+            continue
+        current = state
+        for _ in range(len(mdp.states)):
+            action = policy[current]
+            (current,) = mdp.successors(current, action)
+            if current in unsafe:
+                offenders.append(state)
+                break
+            if current == END:
+                break
+    return offenders
+
+
+def policy_is_safe(mdp: MDP, policy: DeterministicPolicy) -> bool:
+    """True when no safe state's policy trajectory reaches S2 or S10."""
+    return not states_leading_to_unsafe(mdp, policy)

@@ -1,0 +1,398 @@
+"""Wireless-sensor-network query routing (Section V-A).
+
+A 3×3 grid of nodes ``n11 … n33``: row 1 holds the *station* nodes
+(``n11`` talks to the base station), row 3 the *field* nodes; queries
+originate at the field corner ``n33`` and must be routed peer-to-peer to
+``n11``.  Each routing step the current holder picks a random neighbour
+and attempts a forward; the attempt succeeds when the radio works
+(probability ``forward_probability``) *and* the neighbour does not
+ignore the message (its node-dependent *ignore probability*).  Every
+attempt costs one reward unit, so the paper's property
+
+    ``R{attempts} <= X [ F delivered ]``
+
+bounds the expected number of forwarding attempts end-to-end.
+
+Model Repair (Section V-A.1) adds two correction parameters, mirroring
+the paper: ``p`` lowers the ignore probability of field/station nodes
+(rows 1 and 3), ``q`` that of interior nodes (row 2).  The defaults are
+calibrated so the paper's three cases reproduce:
+
+* ``X = 100`` — already satisfied;
+* ``X = 40`` — repairable with small corrections;
+* ``X = 19`` — infeasible within the correction bounds.
+
+Data Repair (Section V-A.2) works on one-step *observation* traces
+(MLE factorises over transitions, so per-transition traces are an exact
+decomposition of full routing traces), grouped the paper's way:
+successful forwards (pinned — known reliable), failed forwards, and
+failures specifically at ``n11`` and near the source at ``n32``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.checking.parametric import ParametricDTMC
+from repro.core.model_repair import ModelRepair
+from repro.core.data_repair import DataRepair
+from repro.data.dataset import TraceDataset, TraceGroup
+from repro.logic.parser import parse_pctl
+from repro.logic.pctl import StateFormula
+from repro.mdp.model import DTMC
+from repro.mdp.trajectory import Trajectory
+from repro.optimize import Variable
+from repro.symbolic import Polynomial
+
+GRID_SIZE = 3
+STATION_NODE = "n11"
+SOURCE_NODE = "n33"
+
+#: Calibrated defaults (see module docstring and EXPERIMENTS.md).
+DEFAULT_FORWARD_PROBABILITY = 0.8
+DEFAULT_IGNORE_FIELD_STATION = 0.55
+DEFAULT_IGNORE_INTERIOR = 0.45
+DEFAULT_MAX_CORRECTION = 0.1
+
+
+def node_name(row: int, col: int) -> str:
+    """``n<row><col>`` with 1-based grid coordinates."""
+    return f"n{row}{col}"
+
+
+def grid_nodes(size: int = GRID_SIZE) -> List[str]:
+    """All node names in row-major order."""
+    return [
+        node_name(row, col)
+        for row in range(1, size + 1)
+        for col in range(1, size + 1)
+    ]
+
+
+def neighbours(node: str, size: int = GRID_SIZE) -> List[str]:
+    """4-adjacent grid neighbours."""
+    row, col = int(node[1]), int(node[2])
+    adjacent = []
+    for d_row, d_col in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+        r, c = row + d_row, col + d_col
+        if 1 <= r <= size and 1 <= c <= size:
+            adjacent.append(node_name(r, c))
+    return adjacent
+
+
+def is_field_or_station(node: str, size: int = GRID_SIZE) -> bool:
+    """Row 1 (station) and row ``size`` (field) nodes."""
+    row = int(node[1])
+    return row == 1 or row == size
+
+
+def ignore_probabilities(
+    ignore_field_station: float = DEFAULT_IGNORE_FIELD_STATION,
+    ignore_interior: float = DEFAULT_IGNORE_INTERIOR,
+    size: int = GRID_SIZE,
+) -> Dict[str, float]:
+    """The node-dependent ignore probability map."""
+    return {
+        node: (
+            ignore_field_station
+            if is_field_or_station(node, size)
+            else ignore_interior
+        )
+        for node in grid_nodes(size)
+    }
+
+
+def _routing_rows(
+    ignore: Mapping[str, object],
+    forward_probability: object,
+    size: int,
+):
+    """Shared row construction for concrete and parametric chains.
+
+    From holder ``u`` the message moves to neighbour ``v`` with
+    probability ``(1/deg(u)) · f · (1 − ignore(v))`` and stays with the
+    remaining mass; the station node is absorbing.
+    """
+    rows: Dict[str, Dict[str, object]] = {}
+    for node in grid_nodes(size):
+        if node == STATION_NODE:
+            rows[node] = {node: 1.0}
+            continue
+        targets = neighbours(node, size)
+        share = 1.0 / len(targets)
+        row: Dict[str, object] = {}
+        stay = 1.0
+        for target in targets:
+            move = share * forward_probability * (1.0 - ignore[target])
+            row[target] = move
+            stay = stay - move
+        row[node] = stay
+        rows[node] = row
+    return rows
+
+
+def build_wsn_chain(
+    forward_probability: float = DEFAULT_FORWARD_PROBABILITY,
+    ignore_field_station: float = DEFAULT_IGNORE_FIELD_STATION,
+    ignore_interior: float = DEFAULT_IGNORE_INTERIOR,
+    size: int = GRID_SIZE,
+) -> DTMC:
+    """The routing chain with the query at ``n33`` heading for ``n11``.
+
+    Reward 1 on every non-station state (one attempt per step); the
+    station node is labelled ``delivered``.
+    """
+    ignore = ignore_probabilities(ignore_field_station, ignore_interior, size)
+    rows = _routing_rows(ignore, forward_probability, size)
+    nodes = grid_nodes(size)
+    return DTMC(
+        states=nodes,
+        transitions={s: {t: float(p) for t, p in row.items()} for s, row in rows.items()},
+        initial_state=SOURCE_NODE,
+        labels={STATION_NODE: {"delivered"}},
+        state_rewards={n: (0.0 if n == STATION_NODE else 1.0) for n in nodes},
+    )
+
+
+def build_wsn_parametric(
+    forward_probability: float = DEFAULT_FORWARD_PROBABILITY,
+    ignore_field_station: float = DEFAULT_IGNORE_FIELD_STATION,
+    ignore_interior: float = DEFAULT_IGNORE_INTERIOR,
+    size: int = GRID_SIZE,
+    field_station_parameter: str = "p",
+    interior_parameter: str = "q",
+) -> ParametricDTMC:
+    """The Model Repair parametrisation of the routing chain.
+
+    Ignore probabilities become ``base − p`` on field/station nodes and
+    ``base − q`` on interior nodes — lowering an ignore probability
+    raises the chance a forward attempt is accepted.
+    """
+    p = Polynomial.variable(field_station_parameter)
+    q = Polynomial.variable(interior_parameter)
+    base = ignore_probabilities(ignore_field_station, ignore_interior, size)
+    ignore = {
+        node: (
+            Polynomial.constant(base[node])
+            - (p if is_field_or_station(node, size) else q)
+        )
+        for node in grid_nodes(size)
+    }
+    rows = _routing_rows(ignore, Polynomial.constant(forward_probability), size)
+    nodes = grid_nodes(size)
+    return ParametricDTMC(
+        states=nodes,
+        transitions=rows,
+        initial_state=SOURCE_NODE,
+        labels={STATION_NODE: {"delivered"}},
+        state_rewards={n: (0.0 if n == STATION_NODE else 1.0) for n in nodes},
+    )
+
+
+def attempts_property(bound: float) -> StateFormula:
+    """``R{attempts} <= bound [ F delivered ]``."""
+    return parse_pctl(f'R{{"attempts"}}<={bound} [ F "delivered" ]')
+
+
+def model_repair_problem(
+    bound: float,
+    max_correction: float = DEFAULT_MAX_CORRECTION,
+    forward_probability: float = DEFAULT_FORWARD_PROBABILITY,
+    ignore_field_station: float = DEFAULT_IGNORE_FIELD_STATION,
+    ignore_interior: float = DEFAULT_IGNORE_INTERIOR,
+) -> ModelRepair:
+    """The Section V-A.1 Model Repair problem for a given ``X``."""
+    chain = build_wsn_chain(
+        forward_probability, ignore_field_station, ignore_interior
+    )
+    parametric = build_wsn_parametric(
+        forward_probability, ignore_field_station, ignore_interior
+    )
+    variables = [
+        Variable("p", 0.0, max_correction, initial=0.0),
+        Variable("q", 0.0, max_correction, initial=0.0),
+    ]
+    return ModelRepair.from_parametric(
+        chain=chain,
+        formula=attempts_property(bound),
+        parametric_model=parametric,
+        variables=variables,
+    )
+
+
+# ----------------------------------------------------------------------
+# Data Repair (Section V-A.2)
+# ----------------------------------------------------------------------
+GROUP_FORWARD_SUCCESS = "forward-success"
+GROUP_FORWARD_FAIL = "forward-fail"
+GROUP_IGNORE_STATION = "ignore-n11"
+GROUP_IGNORE_NEAR_SOURCE = "ignore-n32"
+
+#: Data Repair scenario calibration: a healthier network whose MLE model
+#: lands slightly above the bound, so *small* drop probabilities repair
+#: it (the paper's Section V-A.2 shape; its X = 19 sits one unit above
+#: this grid's structural floor of 18 attempts, our bound sits a unit
+#: below the learned value — see EXPERIMENTS.md).
+DATA_SCENARIO_IGNORE_FIELD_STATION = 0.22
+DATA_SCENARIO_IGNORE_INTERIOR = 0.18
+DEFAULT_DATA_REPAIR_BOUND = 27.0
+
+
+def generate_observation_dataset(
+    episodes: int = 400,
+    seed: int = 7,
+    forward_probability: float = DEFAULT_FORWARD_PROBABILITY,
+    ignore_field_station: float = DATA_SCENARIO_IGNORE_FIELD_STATION,
+    ignore_interior: float = DATA_SCENARIO_IGNORE_INTERIOR,
+    max_steps: int = 500,
+    size: int = GRID_SIZE,
+) -> TraceDataset:
+    """Simulate routing episodes and emit grouped one-step observations.
+
+    Each attempt becomes a length-2 trace (holder, outcome-state).
+    Failed attempts are grouped by the *intended* target — information
+    the trace collector has even though the observation itself is a
+    self-loop — into the paper's three droppable pools; successful
+    forwards form a pinned (reliable) group.
+    """
+    rng = np.random.default_rng(seed)
+    ignore = ignore_probabilities(ignore_field_station, ignore_interior, size)
+    buckets: Dict[str, List[Trajectory]] = {
+        GROUP_FORWARD_SUCCESS: [],
+        GROUP_FORWARD_FAIL: [],
+        GROUP_IGNORE_STATION: [],
+        GROUP_IGNORE_NEAR_SOURCE: [],
+    }
+    for _ in range(episodes):
+        holder = SOURCE_NODE
+        for _ in range(max_steps):
+            if holder == STATION_NODE:
+                break
+            targets = neighbours(holder, size)
+            target = targets[rng.integers(len(targets))]
+            succeeded = rng.random() < forward_probability * (1.0 - ignore[target])
+            if succeeded:
+                buckets[GROUP_FORWARD_SUCCESS].append(
+                    Trajectory.from_states([holder, target])
+                )
+                holder = target
+            else:
+                if target == STATION_NODE:
+                    bucket = GROUP_IGNORE_STATION
+                elif target == "n32":
+                    bucket = GROUP_IGNORE_NEAR_SOURCE
+                else:
+                    bucket = GROUP_FORWARD_FAIL
+                buckets[bucket].append(Trajectory.from_states([holder, holder]))
+    return TraceDataset(
+        [
+            TraceGroup(GROUP_FORWARD_SUCCESS, buckets[GROUP_FORWARD_SUCCESS],
+                       droppable=False),
+            TraceGroup(GROUP_FORWARD_FAIL, buckets[GROUP_FORWARD_FAIL]),
+            TraceGroup(GROUP_IGNORE_STATION, buckets[GROUP_IGNORE_STATION]),
+            TraceGroup(GROUP_IGNORE_NEAR_SOURCE,
+                       buckets[GROUP_IGNORE_NEAR_SOURCE]),
+        ]
+    )
+
+
+def data_repair_problem(
+    dataset: TraceDataset,
+    bound: float,
+    max_drop: float = 0.9,
+    size: int = GRID_SIZE,
+) -> DataRepair:
+    """The Section V-A.2 Data Repair problem for a given ``X``."""
+    nodes = grid_nodes(size)
+    return DataRepair(
+        dataset=dataset,
+        formula=attempts_property(bound),
+        initial_state=SOURCE_NODE,
+        states=nodes,
+        labels={STATION_NODE: {"delivered"}},
+        state_rewards={n: (0.0 if n == STATION_NODE else 1.0) for n in nodes},
+        max_drop=max_drop,
+    )
+
+
+# ----------------------------------------------------------------------
+# MDP formulation (the paper models the network as an MDP; the chain
+# above is the induced model under uniform-random routing)
+# ----------------------------------------------------------------------
+def build_wsn_mdp(
+    forward_probability: float = DEFAULT_FORWARD_PROBABILITY,
+    ignore_field_station: float = DEFAULT_IGNORE_FIELD_STATION,
+    ignore_interior: float = DEFAULT_IGNORE_INTERIOR,
+    size: int = GRID_SIZE,
+):
+    """The routing MDP: the holder *chooses* which neighbour to try.
+
+    Action ``to_<node>`` attempts a forward to that neighbour; it
+    succeeds with ``f · (1 − ignore(neighbour))`` and otherwise the
+    message stays for another attempt.  The chain built by
+    :func:`build_wsn_chain` is exactly this MDP under the
+    uniform-random routing policy.
+    """
+    from repro.mdp.model import MDP
+
+    ignore = ignore_probabilities(ignore_field_station, ignore_interior, size)
+    nodes = grid_nodes(size)
+    transitions = {}
+    for node in nodes:
+        if node == STATION_NODE:
+            transitions[node] = {"deliver": {node: 1.0}}
+            continue
+        actions = {}
+        for target in neighbours(node, size):
+            success = forward_probability * (1.0 - ignore[target])
+            actions[f"to_{target}"] = {target: success, node: 1.0 - success}
+        transitions[node] = actions
+    return MDP(
+        states=nodes,
+        transitions=transitions,
+        initial_state=SOURCE_NODE,
+        labels={STATION_NODE: {"delivered"}},
+        state_rewards={n: (0.0 if n == STATION_NODE else 1.0) for n in nodes},
+    )
+
+
+def optimal_routing(
+    forward_probability: float = DEFAULT_FORWARD_PROBABILITY,
+    ignore_field_station: float = DEFAULT_IGNORE_FIELD_STATION,
+    ignore_interior: float = DEFAULT_IGNORE_INTERIOR,
+    size: int = GRID_SIZE,
+):
+    """Best-case routing: Rmin expected attempts and the witness policy.
+
+    Returns ``(expected_attempts, DeterministicPolicy)`` where the
+    policy greedily routes toward the station along the min-expected-
+    attempts direction — the lower envelope the Model Repair cases are
+    measured against (uniform routing sits well above it).
+    """
+    from repro.checking.mdp import MDPModelChecker
+    from repro.mdp.policy import DeterministicPolicy
+
+    mdp = build_wsn_mdp(
+        forward_probability, ignore_field_station, ignore_interior, size
+    )
+    checker = MDPModelChecker(mdp)
+    values = checker.expected_rewards(
+        attempts_property(1), maximise=False
+    )
+    mapping = {}
+    for state in mdp.states:
+        best_action = None
+        best_value = float("inf")
+        for action in mdp.actions(state):
+            total = mdp.reward(state, action) + sum(
+                prob * values[target]
+                for target, prob in mdp.transitions[state][action].items()
+            )
+            if total < best_value - 1e-12:
+                best_value = total
+                best_action = action
+        mapping[state] = best_action
+    policy = DeterministicPolicy(mapping)
+    return values[mdp.initial_state], policy

@@ -1,0 +1,79 @@
+"""PCTL model checking.
+
+Three engines, mirroring what the paper gets from PRISM:
+
+``DTMCModelChecker``
+    Full PCTL on discrete-time Markov chains: qualitative graph
+    precomputation (prob0/prob1) followed by exact linear-system solves,
+    plus the expected-reachability-reward operator.
+``MDPModelChecker``
+    PCTL on MDPs with min/max quantification over memoryless schedulers
+    (value iteration with graph-based seeding).
+``ParametricDTMC`` / parametric checking
+    The paper's key reduction (Propositions 2 and 3): state elimination
+    on a chain whose transition probabilities are rational functions of
+    repair parameters, yielding the constraint ``f(v) ⋈ b`` handed to
+    the nonlinear optimiser.
+"""
+
+from repro.checking.graph import (
+    backward_reachable,
+    prob0_states,
+    prob1_states,
+    prob0A_states,
+    prob0E_states,
+    prob1A_states,
+    prob1E_states,
+)
+from repro.checking.dtmc import DTMCModelChecker
+from repro.checking.mdp import MDPModelChecker
+from repro.checking.parametric import (
+    ParametricConstraint,
+    ParametricDTMC,
+    parametric_constraint,
+)
+from repro.checking.result import ModelCheckingResult
+from repro.checking.counterexample import Counterexample, counterexample, strongest_evidence_paths
+from repro.checking.steady_state import (
+    long_run_average_reward,
+    long_run_distribution,
+    stationary_distribution,
+    steady_state_probabilities,
+)
+from repro.checking.graph import (
+    bottom_strongly_connected_components,
+    strongly_connected_components,
+)
+from repro.checking.statistical import (
+    SMCResult,
+    StatisticalModelChecker,
+    chernoff_sample_size,
+)
+
+__all__ = [
+    "DTMCModelChecker",
+    "MDPModelChecker",
+    "ParametricDTMC",
+    "ParametricConstraint",
+    "parametric_constraint",
+    "ModelCheckingResult",
+    "StatisticalModelChecker",
+    "SMCResult",
+    "chernoff_sample_size",
+    "Counterexample",
+    "counterexample",
+    "strongest_evidence_paths",
+    "long_run_distribution",
+    "long_run_average_reward",
+    "stationary_distribution",
+    "steady_state_probabilities",
+    "strongly_connected_components",
+    "bottom_strongly_connected_components",
+    "backward_reachable",
+    "prob0_states",
+    "prob1_states",
+    "prob0A_states",
+    "prob0E_states",
+    "prob1A_states",
+    "prob1E_states",
+]

@@ -1,0 +1,173 @@
+"""Counterexample generation for violated reachability bounds.
+
+When ``P <= b [φ1 U φ2]`` is violated, the classic evidence (Han &
+Katoen) is a *smallest* set of finite paths, each satisfying the until
+formula, whose probability mass together exceeds ``b``.  Best-first
+search over path prefixes (ordered by probability) enumerates paths in
+non-increasing probability order, so collecting them greedily yields a
+minimal-cardinality evidence set.
+
+Repair workflows use this to show *which* behaviours make a learned
+model untrustworthy before deciding what to perturb.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.checking.graph import backward_reachable
+from repro.checking.parametric import label_satisfaction_set
+from repro.logic.pctl import ProbabilisticOperator, Until
+from repro.mdp.model import DTMC
+
+State = Hashable
+
+
+class Counterexample:
+    """Evidence for a violated ``P <= b`` reachability bound.
+
+    Attributes
+    ----------
+    paths:
+        Evidence paths in non-increasing probability order, each ending
+        in a target state.
+    probabilities:
+        The probability of each path.
+    total_probability:
+        Their sum — exceeds the violated bound when ``complete``.
+    complete:
+        Whether enough mass was collected to exceed the bound (the
+        search budget can cut collection short on stiff models).
+    """
+
+    def __init__(
+        self,
+        paths: List[Tuple[State, ...]],
+        probabilities: List[float],
+        bound: float,
+        complete: bool,
+    ):
+        self.paths = paths
+        self.probabilities = probabilities
+        self.bound = bound
+        self.complete = complete
+
+    @property
+    def total_probability(self) -> float:
+        """Accumulated probability mass of the evidence paths."""
+        return float(sum(self.probabilities))
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __repr__(self) -> str:
+        return (
+            f"Counterexample(paths={len(self.paths)}, "
+            f"mass={self.total_probability:.6g} > bound={self.bound:.6g}, "
+            f"complete={self.complete})"
+        )
+
+
+def strongest_evidence_paths(
+    chain: DTMC,
+    targets: Set[State],
+    allowed: Optional[Set[State]] = None,
+    count: int = 1,
+    max_expansions: int = 100_000,
+) -> List[Tuple[Tuple[State, ...], float]]:
+    """The ``count`` most probable until-satisfying paths from ``s0``.
+
+    Best-first (uniform-cost in −log probability) search over prefixes;
+    prefixes leaving ``allowed`` before the targets are pruned.
+    """
+    allowed = set(chain.states) if allowed is None else set(allowed)
+    # Prune prefixes that can no longer reach the targets — without this,
+    # non-target absorbing regions generate unbounded constant-probability
+    # expansions.
+    useful = backward_reachable(chain, targets, through=allowed)
+    tie_breaker = itertools.count()
+    heap: List[Tuple[float, int, Tuple[State, ...], float]] = []
+    start = chain.initial_state
+    heapq.heappush(heap, (-1.0, next(tie_breaker), (start,), 1.0))
+    found: List[Tuple[Tuple[State, ...], float]] = []
+    expansions = 0
+    while heap and len(found) < count and expansions < max_expansions:
+        _, _, path, probability = heapq.heappop(heap)
+        state = path[-1]
+        if state in targets:
+            found.append((path, probability))
+            continue
+        if state not in allowed:
+            continue
+        expansions += 1
+        for target, step in chain.transitions[state].items():
+            extended = probability * step
+            if extended <= 0.0 or target not in useful:
+                continue
+            heapq.heappush(
+                heap,
+                (-extended, next(tie_breaker), path + (target,), extended),
+            )
+    return found
+
+
+def counterexample(
+    chain: DTMC,
+    formula: ProbabilisticOperator,
+    max_paths: int = 10_000,
+    max_expansions: int = 200_000,
+) -> Counterexample:
+    """Evidence that an upper-bound until formula is violated.
+
+    Raises ``ValueError`` when the formula is not an upper-bound
+    (``<``/``<=``) until/eventually property — lower-bound violations
+    have no finite-path evidence.
+    """
+    if formula.comparison not in ("<", "<="):
+        raise ValueError("counterexamples exist for upper-bound formulas only")
+    path_formula = formula.path
+    if not isinstance(path_formula, Until) or path_formula.step_bound is not None:
+        raise ValueError("counterexamples support unbounded until formulas")
+    allowed = set(
+        label_satisfaction_set(chain.states, chain.labels, path_formula.left)
+    )
+    targets = set(
+        label_satisfaction_set(chain.states, chain.labels, path_formula.right)
+    )
+    useful = backward_reachable(chain, targets, through=allowed)
+    tie_breaker = itertools.count()
+    heap: List[Tuple[float, int, Tuple[State, ...], float]] = []
+    heapq.heappush(heap, (-1.0, next(tie_breaker), (chain.initial_state,), 1.0))
+    paths: List[Tuple[State, ...]] = []
+    probabilities: List[float] = []
+    mass = 0.0
+    expansions = 0
+    while heap and mass <= formula.bound and len(paths) < max_paths:
+        if expansions >= max_expansions:
+            break
+        _, _, path, probability = heapq.heappop(heap)
+        state = path[-1]
+        if state in targets:
+            paths.append(path)
+            probabilities.append(probability)
+            mass += probability
+            continue
+        if state not in allowed:
+            continue
+        expansions += 1
+        for target, step in chain.transitions[state].items():
+            extended = probability * step
+            if extended <= 0.0 or target not in useful:
+                continue
+            heapq.heappush(
+                heap,
+                (-extended, next(tie_breaker), path + (target,), extended),
+            )
+    return Counterexample(
+        paths=paths,
+        probabilities=probabilities,
+        bound=formula.bound,
+        complete=mass > formula.bound,
+    )

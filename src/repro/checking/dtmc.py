@@ -1,0 +1,243 @@
+"""PCTL model checking for discrete-time Markov chains.
+
+The checker computes satisfaction sets bottom-up over the formula
+structure.  Quantitative sub-results (until-probabilities, expected
+rewards) use the standard pipeline: qualitative prob0/prob1 graph
+precomputation, then an exact linear solve on the remaining states.
+
+This replaces the concrete-model role PRISM plays in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Set
+
+import numpy as np
+
+from repro.checking.graph import prob0_states, prob1_states
+from repro.checking.result import ModelCheckingResult
+from repro.logic.pctl import (
+    And,
+    CumulativeRewardOperator,
+    SteadyStateOperator,
+    AtomicProposition,
+    Eventually,
+    FalseFormula,
+    Globally,
+    Implies,
+    Next,
+    Not,
+    Or,
+    PathFormula,
+    ProbabilisticOperator,
+    RewardOperator,
+    StateFormula,
+    TrueFormula,
+    Until,
+    check_comparison,
+)
+from repro.mdp.model import DTMC
+from repro.mdp.solvers import expected_total_reward
+
+State = Hashable
+
+
+class DTMCModelChecker:
+    """Checks PCTL formulas on a :class:`~repro.mdp.DTMC`.
+
+    Examples
+    --------
+    >>> from repro.mdp import chain_dtmc
+    >>> from repro.logic import parse_pctl
+    >>> checker = DTMCModelChecker(chain_dtmc(5, forward_probability=0.9))
+    >>> checker.check(parse_pctl('P>=0.5 [ F "goal" ]')).holds
+    True
+    """
+
+    def __init__(self, chain: DTMC):
+        self.chain = chain
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def check(self, formula: StateFormula) -> ModelCheckingResult:
+        """Check ``formula``; ``result.holds`` is satisfaction at ``s0``."""
+        sat = self.satisfaction_set(formula)
+        value = None
+        values = None
+        if isinstance(formula, ProbabilisticOperator):
+            values = self.path_probabilities(formula.path)
+            value = values[self.chain.initial_state]
+        elif isinstance(formula, RewardOperator):
+            values = self.expected_rewards(formula)
+            value = values[self.chain.initial_state]
+        elif isinstance(formula, SteadyStateOperator):
+            values = self.steady_state_values(formula.operand)
+            value = values[self.chain.initial_state]
+        elif isinstance(formula, CumulativeRewardOperator):
+            values = self.cumulative_rewards(formula.steps)
+            value = values[self.chain.initial_state]
+        return ModelCheckingResult(
+            holds=self.chain.initial_state in sat,
+            satisfaction_set=sat,
+            value=value,
+            values=values,
+        )
+
+    def satisfaction_set(self, formula: StateFormula) -> FrozenSet[State]:
+        """All states satisfying a state formula."""
+        if isinstance(formula, TrueFormula):
+            return frozenset(self.chain.states)
+        if isinstance(formula, FalseFormula):
+            return frozenset()
+        if isinstance(formula, AtomicProposition):
+            return self.chain.states_with_atom(formula.name)
+        if isinstance(formula, Not):
+            return frozenset(self.chain.states) - self.satisfaction_set(
+                formula.operand
+            )
+        if isinstance(formula, And):
+            return self.satisfaction_set(formula.left) & self.satisfaction_set(
+                formula.right
+            )
+        if isinstance(formula, Or):
+            return self.satisfaction_set(formula.left) | self.satisfaction_set(
+                formula.right
+            )
+        if isinstance(formula, Implies):
+            return (
+                frozenset(self.chain.states) - self.satisfaction_set(formula.left)
+            ) | self.satisfaction_set(formula.right)
+        if isinstance(formula, ProbabilisticOperator):
+            probabilities = self.path_probabilities(formula.path)
+            return frozenset(
+                s
+                for s in self.chain.states
+                if check_comparison(
+                    formula.comparison, probabilities[s], formula.bound
+                )
+            )
+        if isinstance(formula, RewardOperator):
+            rewards = self.expected_rewards(formula)
+            return frozenset(
+                s
+                for s in self.chain.states
+                if check_comparison(formula.comparison, rewards[s], formula.bound)
+            )
+        if isinstance(formula, SteadyStateOperator):
+            values = self.steady_state_values(formula.operand)
+            return frozenset(
+                s
+                for s in self.chain.states
+                if check_comparison(formula.comparison, values[s], formula.bound)
+            )
+        if isinstance(formula, CumulativeRewardOperator):
+            values = self.cumulative_rewards(formula.steps)
+            return frozenset(
+                s
+                for s in self.chain.states
+                if check_comparison(formula.comparison, values[s], formula.bound)
+            )
+        raise TypeError(f"unsupported state formula {formula!r}")
+
+    # ------------------------------------------------------------------
+    # Quantitative operators
+    # ------------------------------------------------------------------
+    def path_probabilities(self, path: PathFormula) -> Dict[State, float]:
+        """``Pr_s(ψ)`` for every state ``s``."""
+        if isinstance(path, Next):
+            return self._next_probabilities(path)
+        if isinstance(path, Globally):
+            # Pr(G φ) = 1 − Pr(F ¬φ), also for the bounded variant.
+            dual = Eventually(Not(path.operand), path.step_bound)
+            complement = self.path_probabilities(dual)
+            return {s: 1.0 - p for s, p in complement.items()}
+        if isinstance(path, Until):
+            if path.step_bound is None:
+                return self._until_probabilities(path)
+            return self._bounded_until_probabilities(path)
+        raise TypeError(f"unsupported path formula {path!r}")
+
+    def _next_probabilities(self, path: Next) -> Dict[State, float]:
+        sat = self.satisfaction_set(path.operand)
+        return {
+            s: sum(p for t, p in self.chain.transitions[s].items() if t in sat)
+            for s in self.chain.states
+        }
+
+    def _until_probabilities(self, path: Until) -> Dict[State, float]:
+        left = self.satisfaction_set(path.left)
+        right = self.satisfaction_set(path.right)
+        zero = prob0_states(self.chain, right, allowed=set(left) | set(right))
+        one = prob1_states(self.chain, right, allowed=set(left) | set(right))
+        values: Dict[State, float] = {}
+        unknown = []
+        for state in self.chain.states:
+            if state in one:
+                values[state] = 1.0
+            elif state in zero:
+                values[state] = 0.0
+            else:
+                unknown.append(state)
+        if unknown:
+            idx = {s: i for i, s in enumerate(unknown)}
+            n = len(unknown)
+            matrix = np.eye(n)
+            vector = np.zeros(n)
+            for state in unknown:
+                i = idx[state]
+                for target, prob in self.chain.transitions[state].items():
+                    if target in idx:
+                        matrix[i, idx[target]] -= prob
+                    elif target in one:
+                        vector[i] += prob
+            solution = np.linalg.solve(matrix, vector)
+            for state in unknown:
+                values[state] = float(np.clip(solution[idx[state]], 0.0, 1.0))
+        return values
+
+    def _bounded_until_probabilities(self, path: Until) -> Dict[State, float]:
+        left = self.satisfaction_set(path.left)
+        right = self.satisfaction_set(path.right)
+        # x_s^0 = [s ∈ right];  x_s^{k+1} = [s∈right] + [s∈left\right]·Σ P x^k
+        values = {s: (1.0 if s in right else 0.0) for s in self.chain.states}
+        for _ in range(path.step_bound):
+            updated: Dict[State, float] = {}
+            for state in self.chain.states:
+                if state in right:
+                    updated[state] = 1.0
+                elif state in left:
+                    updated[state] = sum(
+                        prob * values[target]
+                        for target, prob in self.chain.transitions[state].items()
+                    )
+                else:
+                    updated[state] = 0.0
+            values = updated
+        return values
+
+    def expected_rewards(self, formula: RewardOperator) -> Dict[State, float]:
+        """``R[F φ]``: expected cumulative reward until reaching ``φ``."""
+        targets: Set[State] = set(self.satisfaction_set(formula.path.right))
+        return expected_total_reward(self.chain, targets)
+
+    def cumulative_rewards(self, steps: int) -> Dict[State, float]:
+        """``R[C<=k]``: expected reward accumulated over ``k`` steps."""
+        values = {s: 0.0 for s in self.chain.states}
+        for _ in range(steps):
+            values = {
+                s: self.chain.state_rewards[s]
+                + sum(
+                    prob * values[target]
+                    for target, prob in self.chain.transitions[s].items()
+                )
+                for s in self.chain.states
+            }
+        return values
+
+    def steady_state_values(self, operand) -> Dict[State, float]:
+        """``S[φ]``: long-run probability of being in ``Sat(φ)``."""
+        from repro.checking.steady_state import steady_state_probabilities
+
+        satisfying = set(self.satisfaction_set(operand))
+        return steady_state_probabilities(self.chain, satisfying)

@@ -1,0 +1,289 @@
+"""Qualitative graph precomputations for PCTL model checking.
+
+These are the standard prob0/prob1 algorithms (Baier & Katoen, ch. 10):
+before any numeric solve, the checker identifies the states whose
+until-probability is exactly 0 or exactly 1 purely from the transition
+graph.  This both shrinks the linear systems and makes the numeric part
+well-conditioned.
+
+For MDPs the qualitative sets come in existential/universal flavours:
+
+========  =========================================
+set       meaning
+========  =========================================
+prob0A    Pmax(φ1 U φ2) = 0   (no scheduler can reach)
+prob0E    Pmin(φ1 U φ2) = 0   (some scheduler avoids)
+prob1E    Pmax(φ1 U φ2) = 1   (some scheduler surely reaches)
+prob1A    Pmin(φ1 U φ2) = 1   (every scheduler surely reaches)
+========  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.mdp.model import DTMC, MDP
+
+State = Hashable
+
+
+def _predecessor_map(chain: DTMC) -> Dict[State, List[State]]:
+    preds: Dict[State, List[State]] = {s: [] for s in chain.states}
+    for source, row in chain.transitions.items():
+        for target in row:
+            preds[target].append(source)
+    return preds
+
+
+def backward_reachable(
+    chain: DTMC,
+    targets: Iterable[State],
+    through: Optional[Set[State]] = None,
+) -> FrozenSet[State]:
+    """States with a path to ``targets`` whose interior stays in ``through``.
+
+    ``through`` defaults to all states.  Target states themselves are
+    always included.
+    """
+    allowed = set(chain.states) if through is None else set(through)
+    preds = _predecessor_map(chain)
+    reached = set(targets)
+    frontier = list(reached)
+    while frontier:
+        state = frontier.pop()
+        for pred in preds[state]:
+            if pred not in reached and pred in allowed:
+                reached.add(pred)
+                frontier.append(pred)
+    return frozenset(reached)
+
+
+def prob0_states(
+    chain: DTMC,
+    targets: Iterable[State],
+    allowed: Optional[Set[State]] = None,
+) -> FrozenSet[State]:
+    """States with ``Pr(allowed U targets) = 0``.
+
+    With ``allowed=None`` this is plain reachability ``Pr(F targets)=0``.
+    """
+    targets = set(targets)
+    can_reach = backward_reachable(chain, targets, through=allowed)
+    return frozenset(set(chain.states) - can_reach)
+
+
+def prob1_states(
+    chain: DTMC,
+    targets: Iterable[State],
+    allowed: Optional[Set[State]] = None,
+) -> FrozenSet[State]:
+    """States with ``Pr(allowed U targets) = 1``.
+
+    A state fails to reach with probability 1 exactly when it can reach
+    (staying in ``allowed`` and avoiding ``targets``) a state whose
+    until-probability is 0.
+    """
+    targets = set(targets)
+    zero = prob0_states(chain, targets, allowed)
+    interior = (set(chain.states) if allowed is None else set(allowed)) - targets
+    # Backward closure of the zero set through interior states.
+    can_fail = backward_reachable(chain, zero, through=interior)
+    return frozenset(set(chain.states) - can_fail)
+
+
+# ----------------------------------------------------------------------
+# MDP qualitative sets
+# ----------------------------------------------------------------------
+def prob0A_states(
+    mdp: MDP,
+    targets: Iterable[State],
+    allowed: Optional[Set[State]] = None,
+) -> FrozenSet[State]:
+    """States where no scheduler reaches ``targets`` (Pmax = 0)."""
+    targets = set(targets)
+    interior = (set(mdp.states) if allowed is None else set(allowed)) - targets
+    reached: Set[State] = set(targets)
+    changed = True
+    while changed:
+        changed = False
+        for state in mdp.states:
+            if state in reached or state not in interior:
+                continue
+            for action in mdp.actions(state):
+                if any(t in reached for t in mdp.successors(state, action)):
+                    reached.add(state)
+                    changed = True
+                    break
+    return frozenset(set(mdp.states) - reached)
+
+
+def prob0E_states(
+    mdp: MDP,
+    targets: Iterable[State],
+    allowed: Optional[Set[State]] = None,
+) -> FrozenSet[State]:
+    """States where some scheduler avoids ``targets`` forever (Pmin = 0).
+
+    Computed as the complement of the least fixpoint of states forced
+    (under every action) to hit the growing set with positive
+    probability.
+    """
+    targets = set(targets)
+    interior = (set(mdp.states) if allowed is None else set(allowed)) - targets
+    positive: Set[State] = set(targets)
+    changed = True
+    while changed:
+        changed = False
+        for state in mdp.states:
+            if state in positive or state not in interior:
+                continue
+            if all(
+                any(t in positive for t in mdp.successors(state, action))
+                for action in mdp.actions(state)
+            ):
+                positive.add(state)
+                changed = True
+    return frozenset(set(mdp.states) - positive)
+
+
+def prob1E_states(
+    mdp: MDP,
+    targets: Iterable[State],
+    allowed: Optional[Set[State]] = None,
+) -> FrozenSet[State]:
+    """States where some scheduler reaches ``targets`` surely (Pmax = 1).
+
+    De Alfaro's nested fixpoint: the outer loop shrinks a candidate set
+    ``X``; the inner loop grows, from the targets, the states having an
+    action that stays inside ``X`` and makes progress toward the current
+    inner set.
+    """
+    targets = set(targets)
+    interior = (set(mdp.states) if allowed is None else set(allowed)) - targets
+    x: Set[State] = set(mdp.states)
+    while True:
+        y: Set[State] = set(targets)
+        changed = True
+        while changed:
+            changed = False
+            for state in mdp.states:
+                if state in y or state not in interior:
+                    continue
+                for action in mdp.actions(state):
+                    successors = mdp.successors(state, action)
+                    if all(t in x for t in successors) and any(
+                        t in y for t in successors
+                    ):
+                        y.add(state)
+                        changed = True
+                        break
+        if y == x:
+            return frozenset(x)
+        x = y
+
+
+def prob1A_states(
+    mdp: MDP,
+    targets: Iterable[State],
+    allowed: Optional[Set[State]] = None,
+) -> FrozenSet[State]:
+    """States where every scheduler reaches ``targets`` surely (Pmin = 1).
+
+    ``Pmin(s) < 1`` exactly when some scheduler reaches, with positive
+    probability and avoiding the targets, a state from which some
+    scheduler avoids the targets forever (a ``prob0E`` state).
+    """
+    targets = set(targets)
+    interior = (set(mdp.states) if allowed is None else set(allowed)) - targets
+    escape = set(prob0E_states(mdp, targets, allowed))
+    # Existential backward closure of the escape set through interior states.
+    can_escape: Set[State] = set(escape)
+    changed = True
+    while changed:
+        changed = False
+        for state in mdp.states:
+            if state in can_escape or state not in interior:
+                continue
+            for action in mdp.actions(state):
+                if any(t in can_escape for t in mdp.successors(state, action)):
+                    can_escape.add(state)
+                    changed = True
+                    break
+    return frozenset(set(mdp.states) - can_escape)
+
+
+# ----------------------------------------------------------------------
+# Strongly connected components
+# ----------------------------------------------------------------------
+def strongly_connected_components(chain: DTMC) -> List[FrozenSet[State]]:
+    """Tarjan's SCC decomposition of a chain's transition graph.
+
+    Returned in reverse topological order (every edge leaving an SCC
+    points to an earlier-listed SCC), which is what the steady-state
+    machinery wants.  Iterative implementation — no recursion limits.
+    """
+    index_counter = 0
+    indices: Dict[State, int] = {}
+    lowlinks: Dict[State, int] = {}
+    on_stack: Dict[State, bool] = {}
+    stack: List[State] = []
+    components: List[FrozenSet[State]] = []
+
+    for root in chain.states:
+        if root in indices:
+            continue
+        work: List[Tuple[State, Iterator[State]]] = [
+            (root, iter(chain.successors(root)))
+        ]
+        indices[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            state, successors = work[-1]
+            advanced = False
+            for target in successors:
+                if target not in indices:
+                    indices[target] = lowlinks[target] = index_counter
+                    index_counter += 1
+                    stack.append(target)
+                    on_stack[target] = True
+                    work.append((target, iter(chain.successors(target))))
+                    advanced = True
+                    break
+                if on_stack.get(target):
+                    lowlinks[state] = min(lowlinks[state], indices[target])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[state])
+            if lowlinks[state] == indices[state]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == state:
+                        break
+                components.append(frozenset(component))
+    return components
+
+
+def bottom_strongly_connected_components(chain: DTMC) -> List[FrozenSet[State]]:
+    """The chain's bottom SCCs (no edge leaves them).
+
+    A finite chain's long-run behaviour is entirely determined by which
+    BSCC it is absorbed into and the stationary distribution within it.
+    """
+    bottoms = []
+    for component in strongly_connected_components(chain):
+        closed = all(
+            target in component
+            for state in component
+            for target in chain.successors(state)
+        )
+        if closed:
+            bottoms.append(component)
+    return bottoms

@@ -1,0 +1,354 @@
+"""PCTL model checking for MDPs.
+
+Semantics follow PRISM: a formula ``P ⋈ b [ψ]`` holds in a state when
+*every* (memoryless) scheduler satisfies the bound — so upper-bound
+comparisons constrain the maximal probability over schedulers and
+lower-bound comparisons the minimal one.  Likewise ``R ⋈ b [F φ]``
+constrains the max/min expected reachability reward.
+
+Quantitative values come from value iteration seeded by the qualitative
+sets of :mod:`repro.checking.graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Set
+
+import numpy as np
+
+from repro.checking.graph import (
+    prob0A_states,
+    prob0E_states,
+    prob1A_states,
+    prob1E_states,
+)
+from repro.checking.result import ModelCheckingResult
+from repro.logic.pctl import (
+    And,
+    CumulativeRewardOperator,
+    AtomicProposition,
+    Eventually,
+    FalseFormula,
+    Globally,
+    Implies,
+    Next,
+    Not,
+    Or,
+    PathFormula,
+    ProbabilisticOperator,
+    RewardOperator,
+    StateFormula,
+    TrueFormula,
+    Until,
+    check_comparison,
+)
+from repro.mdp.model import MDP
+
+State = Hashable
+
+_VI_TOLERANCE = 1e-10
+_VI_MAX_ITERATIONS = 100_000
+
+
+class MDPModelChecker:
+    """Checks PCTL formulas on an :class:`~repro.mdp.MDP`.
+
+    Examples
+    --------
+    >>> from repro.mdp import random_mdp
+    >>> from repro.logic import parse_pctl
+    >>> checker = MDPModelChecker(random_mdp(6, seed=0))
+    >>> result = checker.check(parse_pctl("P>=0.0 [ F true ]"))
+    >>> result.holds
+    True
+    """
+
+    def __init__(self, mdp: MDP):
+        self.mdp = mdp
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def check(self, formula: StateFormula) -> ModelCheckingResult:
+        """Check ``formula``; ``result.holds`` is satisfaction at ``s0``."""
+        sat = self.satisfaction_set(formula)
+        value = None
+        values = None
+        if isinstance(formula, ProbabilisticOperator):
+            values = self.path_probabilities(
+                formula.path, maximise=formula.comparison in ("<", "<=")
+            )
+            value = values[self.mdp.initial_state]
+        elif isinstance(formula, RewardOperator):
+            values = self.expected_rewards(
+                formula, maximise=formula.comparison in ("<", "<=")
+            )
+            value = values[self.mdp.initial_state]
+        elif isinstance(formula, CumulativeRewardOperator):
+            values = self.cumulative_rewards(
+                formula.steps, maximise=formula.comparison in ("<", "<=")
+            )
+            value = values[self.mdp.initial_state]
+        return ModelCheckingResult(
+            holds=self.mdp.initial_state in sat,
+            satisfaction_set=sat,
+            value=value,
+            values=values,
+        )
+
+    def satisfaction_set(self, formula: StateFormula) -> FrozenSet[State]:
+        """All states satisfying a state formula (for-all-schedulers)."""
+        if isinstance(formula, TrueFormula):
+            return frozenset(self.mdp.states)
+        if isinstance(formula, FalseFormula):
+            return frozenset()
+        if isinstance(formula, AtomicProposition):
+            return self.mdp.states_with_atom(formula.name)
+        if isinstance(formula, Not):
+            return frozenset(self.mdp.states) - self.satisfaction_set(formula.operand)
+        if isinstance(formula, And):
+            return self.satisfaction_set(formula.left) & self.satisfaction_set(
+                formula.right
+            )
+        if isinstance(formula, Or):
+            return self.satisfaction_set(formula.left) | self.satisfaction_set(
+                formula.right
+            )
+        if isinstance(formula, Implies):
+            return (
+                frozenset(self.mdp.states) - self.satisfaction_set(formula.left)
+            ) | self.satisfaction_set(formula.right)
+        if isinstance(formula, ProbabilisticOperator):
+            maximise = formula.comparison in ("<", "<=")
+            probabilities = self.path_probabilities(formula.path, maximise=maximise)
+            return frozenset(
+                s
+                for s in self.mdp.states
+                if check_comparison(formula.comparison, probabilities[s], formula.bound)
+            )
+        if isinstance(formula, RewardOperator):
+            maximise = formula.comparison in ("<", "<=")
+            rewards = self.expected_rewards(formula, maximise=maximise)
+            return frozenset(
+                s
+                for s in self.mdp.states
+                if check_comparison(formula.comparison, rewards[s], formula.bound)
+            )
+        if isinstance(formula, CumulativeRewardOperator):
+            maximise = formula.comparison in ("<", "<=")
+            rewards = self.cumulative_rewards(formula.steps, maximise=maximise)
+            return frozenset(
+                s
+                for s in self.mdp.states
+                if check_comparison(formula.comparison, rewards[s], formula.bound)
+            )
+        raise TypeError(f"unsupported state formula {formula!r}")
+
+    # ------------------------------------------------------------------
+    # Quantitative operators
+    # ------------------------------------------------------------------
+    def path_probabilities(
+        self, path: PathFormula, maximise: bool
+    ) -> Dict[State, float]:
+        """``Pmax``/``Pmin`` of a path formula, per state."""
+        if isinstance(path, Next):
+            return self._next_probabilities(path, maximise)
+        if isinstance(path, Globally):
+            dual = Eventually(Not(path.operand), path.step_bound)
+            complement = self.path_probabilities(dual, maximise=not maximise)
+            return {s: 1.0 - p for s, p in complement.items()}
+        if isinstance(path, Until):
+            if path.step_bound is None:
+                return self._until_probabilities(path, maximise)
+            return self._bounded_until_probabilities(path, maximise)
+        raise TypeError(f"unsupported path formula {path!r}")
+
+    def _next_probabilities(self, path: Next, maximise: bool) -> Dict[State, float]:
+        sat = self.satisfaction_set(path.operand)
+        pick = max if maximise else min
+        return {
+            s: pick(
+                sum(
+                    prob
+                    for target, prob in self.mdp.transitions[s][action].items()
+                    if target in sat
+                )
+                for action in self.mdp.actions(s)
+            )
+            for s in self.mdp.states
+        }
+
+    def _until_probabilities(self, path: Until, maximise: bool) -> Dict[State, float]:
+        left = self.satisfaction_set(path.left)
+        right = self.satisfaction_set(path.right)
+        allowed = set(left) | set(right)
+        if maximise:
+            zero = prob0A_states(self.mdp, right, allowed)
+            one = prob1E_states(self.mdp, right, allowed)
+        else:
+            zero = prob0E_states(self.mdp, right, allowed)
+            one = prob1A_states(self.mdp, right, allowed)
+        values = {
+            s: (1.0 if s in one else 0.0)
+            for s in self.mdp.states
+        }
+        unknown = [s for s in self.mdp.states if s not in one and s not in zero]
+        pick = max if maximise else min
+        for _ in range(_VI_MAX_ITERATIONS):
+            delta = 0.0
+            for state in unknown:
+                best = pick(
+                    sum(
+                        prob * values[target]
+                        for target, prob in self.mdp.transitions[state][action].items()
+                    )
+                    for action in self.mdp.actions(state)
+                )
+                delta = max(delta, abs(best - values[state]))
+                values[state] = best
+            if delta < _VI_TOLERANCE:
+                break
+        return {s: float(np.clip(v, 0.0, 1.0)) for s, v in values.items()}
+
+    def _bounded_until_probabilities(
+        self, path: Until, maximise: bool
+    ) -> Dict[State, float]:
+        left = self.satisfaction_set(path.left)
+        right = self.satisfaction_set(path.right)
+        pick = max if maximise else min
+        values = {s: (1.0 if s in right else 0.0) for s in self.mdp.states}
+        for _ in range(path.step_bound):
+            updated: Dict[State, float] = {}
+            for state in self.mdp.states:
+                if state in right:
+                    updated[state] = 1.0
+                elif state in left:
+                    updated[state] = pick(
+                        sum(
+                            prob * values[target]
+                            for target, prob in self.mdp.transitions[state][
+                                action
+                            ].items()
+                        )
+                        for action in self.mdp.actions(state)
+                    )
+                else:
+                    updated[state] = 0.0
+            values = updated
+        return values
+
+    def expected_rewards(
+        self, formula: RewardOperator, maximise: bool
+    ) -> Dict[State, float]:
+        """``Rmax``/``Rmin`` of cumulative reward to reach the target.
+
+        A state's value is ``inf`` unless the target is reached with
+        probability 1 — under every scheduler for ``Rmax``, under some
+        scheduler for ``Rmin`` (standard PCTL reward semantics).
+        """
+        targets: Set[State] = set(self.satisfaction_set(formula.path.right))
+        if maximise:
+            finite = prob1A_states(self.mdp, targets)
+        else:
+            finite = prob1E_states(self.mdp, targets)
+        values: Dict[State, float] = {}
+        for state in self.mdp.states:
+            values[state] = 0.0 if state in targets else (
+                0.0 if state in finite else np.inf
+            )
+        unknown = [s for s in self.mdp.states if s in finite and s not in targets]
+        pick = max if maximise else min
+        for _ in range(_VI_MAX_ITERATIONS):
+            delta = 0.0
+            for state in unknown:
+                candidates = []
+                for action in self.mdp.actions(state):
+                    total = self.mdp.reward(state, action)
+                    diverged = False
+                    for target, prob in self.mdp.transitions[state][action].items():
+                        if values[target] == np.inf:
+                            diverged = True
+                            break
+                        total += prob * values[target]
+                    candidates.append(np.inf if diverged else total)
+                # For Rmin, actions leading to inf states are avoided when
+                # possible (the prob1E scheduler exists by construction).
+                best = pick(candidates)
+                if best == np.inf and not maximise:
+                    finite_candidates = [c for c in candidates if c != np.inf]
+                    best = min(finite_candidates) if finite_candidates else np.inf
+                if values[state] != np.inf:
+                    delta = max(delta, abs(best - values[state]))
+                values[state] = best
+            if delta < _VI_TOLERANCE:
+                break
+        return values
+
+    def cumulative_rewards(
+        self, steps: int, maximise: bool
+    ) -> Dict[State, float]:
+        """``R[C<=k]`` max/min over schedulers (finite-horizon DP)."""
+        pick = max if maximise else min
+        values = {s: 0.0 for s in self.mdp.states}
+        for _ in range(steps):
+            values = {
+                s: pick(
+                    self.mdp.reward(s, action)
+                    + sum(
+                        prob * values[target]
+                        for target, prob in self.mdp.transitions[s][
+                            action
+                        ].items()
+                    )
+                    for action in self.mdp.actions(s)
+                )
+                for s in self.mdp.states
+            }
+        return values
+
+    # ------------------------------------------------------------------
+    # Witness schedulers
+    # ------------------------------------------------------------------
+    def witness_scheduler(self, path: PathFormula, maximise: bool):
+        """A memoryless scheduler achieving Pmax/Pmin of ``path``.
+
+        Returns a :class:`~repro.mdp.DeterministicPolicy` greedy with
+        respect to the converged probabilities — the standard witness
+        for unbounded until; for bounded formulas the memoryless greedy
+        policy is a witness only at the final step, so those raise.
+        """
+        from repro.mdp.policy import DeterministicPolicy
+
+        if isinstance(path, Globally):
+            if path.step_bound is not None:
+                raise ValueError("witnesses need unbounded path formulas")
+            # The witness for G φ is the opposite-direction witness for F ¬φ.
+            dual = Eventually(Not(path.operand))
+            return self.witness_scheduler(dual, maximise=not maximise)
+        if not isinstance(path, Until) or path.step_bound is not None:
+            raise ValueError("witnesses need unbounded until formulas")
+        values = self.path_probabilities(path, maximise=maximise)
+        pick = max if maximise else min
+        mapping = {}
+        for state in self.mdp.states:
+            actions = self.mdp.actions(state)
+            scored = [
+                (
+                    sum(
+                        prob * values[target]
+                        for target, prob in self.mdp.transitions[state][
+                            action
+                        ].items()
+                    ),
+                    index,
+                    action,
+                )
+                for index, action in enumerate(actions)
+            ]
+            best_value = pick(score for score, _i, _a in scored)
+            mapping[state] = next(
+                action
+                for score, _i, action in scored
+                if abs(score - best_value) < 1e-12
+            )
+        return DeterministicPolicy(mapping)

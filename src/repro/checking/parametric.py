@@ -1,0 +1,615 @@
+"""Parametric model checking by state elimination.
+
+This module plays the role PRISM's parametric engine plays in the paper
+(Propositions 2 and 3): given a Markov chain whose transition
+probabilities are *rational functions* of repair parameters, it computes
+
+* the reachability probability ``Pr(φ1 U φ2)``, and
+* the expected cumulative reward ``R [F φ]``,
+
+as closed-form rational functions of the parameters.  Model Repair and
+Data Repair then hand ``f(v) ⋈ b`` to the nonlinear optimiser.
+
+Algorithm: Daws-style state elimination (also used by PARAM and Storm).
+Working with a *sub-stochastic* matrix (mass that can never reach the
+target is simply dropped), each non-initial, non-target state ``s`` is
+eliminated by redirecting every ``u → s → v`` pair through
+
+    p'(u, v) = p(u, v) + p(u, s) · p(s, v) / (1 − p(s, s))
+
+and, for expected rewards, accumulating
+
+    r'(u) = r(u) + p(u, s) · r(s) / (1 − p(s, s)).
+
+The standard *graph-preserving* assumption applies: a transition's
+rational function must be structurally nonzero and must stay positive on
+the parameter region of interest (the repair formulations guarantee this
+through their box constraints, Equation 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Set, Union
+
+from repro.logic.pctl import (
+    And,
+    AtomicProposition,
+    Eventually,
+    FalseFormula,
+    Globally,
+    Implies,
+    Not,
+    Or,
+    ProbabilisticOperator,
+    RewardOperator,
+    StateFormula,
+    TrueFormula,
+    Until,
+    check_comparison,
+)
+from repro.mdp.model import DTMC
+from repro.symbolic import Polynomial, RationalFunction, bareiss_determinant
+
+State = Hashable
+Coefficient = Union[int, float, RationalFunction, Polynomial]
+
+
+def _as_rational(value: Coefficient) -> RationalFunction:
+    if isinstance(value, RationalFunction):
+        return value
+    if isinstance(value, Polynomial):
+        return RationalFunction(value)
+    return RationalFunction.constant(value)
+
+
+def label_satisfaction_set(
+    states: Iterable[State],
+    labels: Mapping[State, frozenset],
+    formula: StateFormula,
+) -> FrozenSet[State]:
+    """Satisfaction set of a label-only (non-probabilistic) formula.
+
+    Parametric checking requires the path formula's endpoints to be
+    boolean combinations of atomic propositions; nested ``P``/``R``
+    operators raise ``TypeError``.
+    """
+    states = list(states)
+    if isinstance(formula, TrueFormula):
+        return frozenset(states)
+    if isinstance(formula, FalseFormula):
+        return frozenset()
+    if isinstance(formula, AtomicProposition):
+        return frozenset(
+            s for s in states if formula.name in labels.get(s, frozenset())
+        )
+    if isinstance(formula, Not):
+        return frozenset(states) - label_satisfaction_set(
+            states, labels, formula.operand
+        )
+    if isinstance(formula, And):
+        return label_satisfaction_set(
+            states, labels, formula.left
+        ) & label_satisfaction_set(states, labels, formula.right)
+    if isinstance(formula, Or):
+        return label_satisfaction_set(
+            states, labels, formula.left
+        ) | label_satisfaction_set(states, labels, formula.right)
+    if isinstance(formula, Implies):
+        return (
+            frozenset(states) - label_satisfaction_set(states, labels, formula.left)
+        ) | label_satisfaction_set(states, labels, formula.right)
+    raise TypeError(
+        f"parametric checking needs label-only sub-formulas, got {formula!r}"
+    )
+
+
+class ParametricDTMC:
+    """A Markov chain whose transitions are rational functions.
+
+    Parameters
+    ----------
+    states:
+        State identifiers.
+    transitions:
+        ``{source: {target: coefficient}}`` where coefficients may be
+        numbers, :class:`Polynomial` or :class:`RationalFunction`.
+        Structural zeros are simply omitted.
+    initial_state:
+        Start state.
+    labels:
+        Atomic-proposition labelling.
+    state_rewards:
+        Optional symbolic (or numeric) state rewards.
+
+    Examples
+    --------
+    >>> from repro.symbolic import Polynomial
+    >>> p = Polynomial.variable("p")
+    >>> pm = ParametricDTMC(
+    ...     states=["a", "b"],
+    ...     transitions={"a": {"b": p, "a": 1 - p}, "b": {"b": 1}},
+    ...     initial_state="a",
+    ...     labels={"b": {"done"}},
+    ... )
+    >>> f = pm.reachability_probability({"b"})
+    >>> f.evaluate({"p": 0.3})
+    Fraction(1, 1)
+    """
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        transitions: Mapping[State, Mapping[State, Coefficient]],
+        initial_state: State,
+        labels: Optional[Mapping[State, Iterable[str]]] = None,
+        state_rewards: Optional[Mapping[State, Coefficient]] = None,
+    ):
+        self.states = list(states)
+        if initial_state not in set(self.states):
+            raise ValueError(f"unknown initial state {initial_state!r}")
+        self.initial_state = initial_state
+        self.transitions: Dict[State, Dict[State, RationalFunction]] = {}
+        for source in self.states:
+            row = transitions.get(source, {})
+            symbolic_row = {}
+            for target, value in row.items():
+                if target not in set(self.states):
+                    raise ValueError(f"unknown target state {target!r}")
+                rational = _as_rational(value)
+                if not rational.is_zero():
+                    symbolic_row[target] = rational
+            self.transitions[source] = symbolic_row
+        self.labels: Dict[State, frozenset] = {
+            s: frozenset((labels or {}).get(s, frozenset())) for s in self.states
+        }
+        self.state_rewards: Dict[State, RationalFunction] = {
+            s: _as_rational((state_rewards or {}).get(s, 0)) for s in self.states
+        }
+
+    # ------------------------------------------------------------------
+    # Constructors / conversion
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_dtmc(chain: DTMC) -> "ParametricDTMC":
+        """Lift a concrete chain to a (constant) parametric one."""
+        return ParametricDTMC(
+            states=chain.states,
+            transitions={
+                s: {t: p for t, p in row.items()}
+                for s, row in chain.transitions.items()
+            },
+            initial_state=chain.initial_state,
+            labels=chain.labels,
+            state_rewards=chain.state_rewards,
+        )
+
+    def parameters(self) -> FrozenSet[str]:
+        """All parameter names appearing anywhere in the model."""
+        names: Set[str] = set()
+        for row in self.transitions.values():
+            for function in row.values():
+                names |= function.variables()
+        for function in self.state_rewards.values():
+            names |= function.variables()
+        return frozenset(names)
+
+    def instantiate(self, assignment: Mapping[str, float]) -> DTMC:
+        """Evaluate every function at ``assignment`` and build a DTMC.
+
+        Raises :class:`~repro.mdp.ModelValidationError` if the assignment
+        leaves the well-formed region (negative probabilities or rows not
+        summing to 1).
+        """
+        transitions = {
+            s: {t: float(f.evaluate(assignment)) for t, f in row.items()}
+            for s, row in self.transitions.items()
+        }
+        rewards = {
+            s: float(f.evaluate(assignment)) for s, f in self.state_rewards.items()
+        }
+        return DTMC(
+            states=self.states,
+            transitions=transitions,
+            initial_state=self.initial_state,
+            labels=self.labels,
+            state_rewards=rewards,
+        )
+
+    # ------------------------------------------------------------------
+    # Parametric analysis
+    # ------------------------------------------------------------------
+    def reachability_probability(
+        self,
+        targets: Iterable[State],
+        allowed: Optional[Set[State]] = None,
+        method: str = "gauss",
+    ) -> RationalFunction:
+        """``Pr_{s0}(allowed U targets)`` as a rational function.
+
+        ``allowed`` defaults to all states (plain ``F targets``).
+
+        Parameters
+        ----------
+        method:
+            ``"gauss"`` (default) solves the reachability linear system
+            by fraction-free Cramer's rule — intermediate polynomial
+            degrees stay bounded by the state count, so it scales to
+            denser models.  ``"eliminate"`` is classic Daws state
+            elimination; equivalent output, but intermediate rational
+            functions can blow up on dense graphs.
+        """
+        targets = set(targets)
+        if self.initial_state in targets:
+            return RationalFunction.one()
+        matrix = self._restricted_matrix(targets, allowed)
+        if matrix is None:
+            return RationalFunction.zero()
+        if method == "gauss":
+            rhs = {}
+            for state, row in matrix.items():
+                if state in targets:
+                    continue
+                mass = RationalFunction.zero()
+                for target in targets:
+                    if target in row:
+                        mass = mass + row[target]
+                rhs[state] = mass
+            return self._cramer_solve(matrix, targets, rhs)
+        if method != "eliminate":
+            raise ValueError(f"unknown method {method!r}")
+        rewards = {s: RationalFunction.zero() for s in matrix}
+        matrix, rewards = self._eliminate(
+            matrix, rewards, targets | {self.initial_state}
+        )
+        row = matrix[self.initial_state]
+        numerator = RationalFunction.zero()
+        for target in targets:
+            if target in row:
+                numerator = numerator + row[target]
+        self_loop = row.get(self.initial_state, RationalFunction.zero())
+        return numerator / (RationalFunction.one() - self_loop)
+
+    def bounded_reachability_probability(
+        self,
+        targets: Iterable[State],
+        steps: int,
+        allowed: Optional[Set[State]] = None,
+    ) -> RationalFunction:
+        """``Pr_{s0}(allowed U≤steps targets)`` as a rational function.
+
+        Computed by ``steps`` symbolic vector-matrix iterations; the
+        result's polynomial degree grows with ``steps``, so this is
+        meant for modest bounds (the usual case for bounded-time
+        properties).
+        """
+        targets = set(targets)
+        if steps < 0:
+            raise ValueError("step bound must be non-negative")
+        allowed_set = (
+            set(self.states) if allowed is None else set(allowed)
+        ) - targets
+        values: Dict[State, RationalFunction] = {
+            s: (RationalFunction.one() if s in targets else RationalFunction.zero())
+            for s in self.states
+        }
+        for _ in range(steps):
+            updated: Dict[State, RationalFunction] = {}
+            for state in self.states:
+                if state in targets:
+                    updated[state] = RationalFunction.one()
+                elif state in allowed_set:
+                    total = RationalFunction.zero()
+                    for target, function in self.transitions[state].items():
+                        value = values[target]
+                        if not value.is_zero():
+                            total = total + function * value
+                    updated[state] = total
+                else:
+                    updated[state] = RationalFunction.zero()
+            values = updated
+        return values[self.initial_state]
+
+    def expected_reward(
+        self, targets: Iterable[State], method: str = "gauss"
+    ) -> RationalFunction:
+        """``E[cumulative reward until reaching targets]`` symbolically.
+
+        Requires (graph-preserving assumption) that the targets are
+        reached with probability 1 from every state that the initial
+        state can reach; otherwise the expected reward is infinite and a
+        ``ValueError`` is raised.  ``method`` as in
+        :meth:`reachability_probability`.
+        """
+        targets = set(targets)
+        if self.initial_state in targets:
+            return RationalFunction.zero()
+        reachable = self._forward_reachable(targets)
+        can_reach = self._states_reaching(targets)
+        stuck = reachable - can_reach
+        if stuck:
+            raise ValueError(
+                "expected reward is infinite: states "
+                f"{sorted(map(str, stuck))} reachable from the initial state "
+                "cannot reach the target"
+            )
+        matrix = self._restricted_matrix(targets, allowed=None)
+        if matrix is None or self.initial_state not in matrix:
+            raise ValueError("initial state cannot reach the target")
+        if method == "gauss":
+            rhs = {
+                state: self.state_rewards[state]
+                for state in matrix
+                if state not in targets
+            }
+            return self._cramer_solve(matrix, targets, rhs)
+        if method != "eliminate":
+            raise ValueError(f"unknown method {method!r}")
+        rewards = {s: self.state_rewards[s] for s in matrix}
+        matrix, rewards = self._eliminate(
+            matrix, rewards, targets | {self.initial_state}
+        )
+        self_loop = matrix[self.initial_state].get(
+            self.initial_state, RationalFunction.zero()
+        )
+        return rewards[self.initial_state] / (RationalFunction.one() - self_loop)
+
+    def _cramer_solve(
+        self,
+        matrix: Dict[State, Dict[State, RationalFunction]],
+        targets: Set[State],
+        rhs: Dict[State, RationalFunction],
+    ) -> RationalFunction:
+        """Solve ``(I − Q)·x = rhs`` for ``x[initial]`` symbolically.
+
+        ``Q`` is the transient-to-transient block of ``matrix``.  Each
+        row is cleared to polynomials by multiplying with the product of
+        its entries' denominators; the same scaling multiplies both
+        Cramer determinants, so the ratio is unaffected.
+        """
+        transient = [s for s in matrix if s not in targets]
+        index = {s: i for i, s in enumerate(transient)}
+        n = len(transient)
+        poly_rows: list = []
+        rhs_polys: list = []
+        for state in transient:
+            entries: Dict[State, RationalFunction] = {
+                t: f for t, f in matrix[state].items() if t in index
+            }
+            unique_denominators = {
+                f.denominator for f in entries.values()
+            } | {rhs[state].denominator}
+            row_denominator = Polynomial.one()
+            for den in unique_denominators:
+                if den != Polynomial.one():
+                    row_denominator = row_denominator * den
+            row = [Polynomial.zero()] * n
+            i = index[state]
+            row[i] = row_denominator
+            for target, function in entries.items():
+                scale = row_denominator.exact_div(function.denominator)
+                row[index[target]] = row[index[target]] - (
+                    function.numerator * scale
+                )
+            rhs_scale = row_denominator.exact_div(rhs[state].denominator)
+            poly_rows.append(row)
+            rhs_polys.append(rhs[state].numerator * rhs_scale)
+        denominator_det = bareiss_determinant(poly_rows)
+        if denominator_det.is_zero():
+            raise ValueError("singular reachability system")
+        column = index[self.initial_state]
+        replaced = [
+            [
+                (rhs_polys[i] if j == column else poly_rows[i][j])
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+        numerator_det = bareiss_determinant(replaced)
+        return RationalFunction(numerator_det, denominator_det)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _successor_graph(self) -> Dict[State, Set[State]]:
+        return {s: set(row) for s, row in self.transitions.items()}
+
+    def _states_reaching(
+        self, targets: Set[State], allowed: Optional[Set[State]] = None
+    ) -> Set[State]:
+        """States with a structural path to the targets via ``allowed``."""
+        allowed = set(self.states) if allowed is None else set(allowed)
+        predecessors: Dict[State, Set[State]] = {s: set() for s in self.states}
+        for source, row in self.transitions.items():
+            for target in row:
+                predecessors[target].add(source)
+        reached = set(targets)
+        frontier = list(targets)
+        while frontier:
+            state = frontier.pop()
+            for pred in predecessors[state]:
+                if pred not in reached and (pred in allowed or pred in targets):
+                    reached.add(pred)
+                    frontier.append(pred)
+        return reached
+
+    def _forward_reachable(self, targets: Set[State]) -> Set[State]:
+        """States reachable from the initial state, stopping at targets."""
+        seen = {self.initial_state}
+        frontier = [self.initial_state]
+        while frontier:
+            state = frontier.pop()
+            if state in targets:
+                continue
+            for target in self.transitions[state]:
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return seen
+
+    def _restricted_matrix(
+        self, targets: Set[State], allowed: Optional[Set[State]]
+    ) -> Optional[Dict[State, Dict[State, RationalFunction]]]:
+        """Sub-stochastic matrix keeping only states that matter.
+
+        Keeps states that are (a) forward-reachable from the initial
+        state, (b) able to reach the targets through ``allowed`` states,
+        plus the targets themselves (made absorbing).  Returns ``None``
+        when the initial state cannot reach the targets at all.
+        """
+        can_reach = self._states_reaching(targets, allowed)
+        if self.initial_state not in can_reach:
+            return None
+        keep = (self._forward_reachable(targets) & can_reach) | targets
+        if allowed is not None:
+            keep = {
+                s
+                for s in keep
+                if s in targets or s in allowed or s == self.initial_state
+            }
+        matrix: Dict[State, Dict[State, RationalFunction]] = {}
+        for state in self.states:
+            if state not in keep:
+                continue
+            if state in targets:
+                matrix[state] = {}
+                continue
+            matrix[state] = {
+                target: function
+                for target, function in self.transitions[state].items()
+                if target in keep
+            }
+        return matrix
+
+    @staticmethod
+    def _eliminate(
+        matrix: Dict[State, Dict[State, RationalFunction]],
+        rewards: Dict[State, RationalFunction],
+        protected: Set[State],
+    ):
+        """Eliminate every state not in ``protected``.
+
+        Callers protect the targets and the initial state; every other
+        state is removed by the Daws redirection rule.
+        """
+        one = RationalFunction.one()
+        predecessors: Dict[State, Set[State]] = {s: set() for s in matrix}
+        for source, row in matrix.items():
+            for target in row:
+                predecessors[target].add(source)
+        # Eliminate in insertion order; any order is correct.
+        for state in list(matrix):
+            if state in protected:
+                continue
+            row = matrix[state]
+            self_loop = row.get(state, RationalFunction.zero())
+            factor = one / (one - self_loop)
+            out_edges = {t: f for t, f in row.items() if t != state}
+            reward_here = rewards[state]
+            for pred in list(predecessors[state]):
+                if pred == state or pred not in matrix:
+                    continue
+                weight = matrix[pred].pop(state, None)
+                if weight is None:
+                    continue
+                through = weight * factor
+                rewards[pred] = rewards[pred] + through * reward_here
+                for target, function in out_edges.items():
+                    updated = matrix[pred].get(target, RationalFunction.zero()) + (
+                        through * function
+                    )
+                    matrix[pred][target] = updated
+                    predecessors[target].add(pred)
+            # Absorb the self-loop's reward contribution is already in
+            # `factor`; drop the state.
+            for target in row:
+                predecessors[target].discard(state)
+            del matrix[state]
+            del predecessors[state]
+        return matrix, rewards
+
+
+class ParametricConstraint:
+    """The reduced constraint ``f(v) ⋈ b`` of Propositions 2/3.
+
+    Attributes
+    ----------
+    function:
+        The rational function produced by parametric model checking.
+    comparison / bound:
+        Taken from the PCTL operator.
+    """
+
+    def __init__(self, function: RationalFunction, comparison: str, bound: float):
+        self.function = function
+        self.comparison = comparison
+        self.bound = float(bound)
+
+    def holds_at(self, assignment: Mapping[str, float]) -> bool:
+        """Whether the constraint is satisfied at a parameter point."""
+        return check_comparison(
+            self.comparison, float(self.function.evaluate(assignment)), self.bound
+        )
+
+    def margin(self, assignment: Mapping[str, float]) -> float:
+        """Signed slack: positive when the constraint holds.
+
+        For ``<``/``<=`` this is ``b − f(v)``; for ``>``/``>=`` it is
+        ``f(v) − b`` — the quantity an optimiser must keep non-negative.
+        """
+        value = float(self.function.evaluate(assignment))
+        if self.comparison in ("<", "<="):
+            return self.bound - value
+        return value - self.bound
+
+    def __repr__(self) -> str:
+        return f"ParametricConstraint(f {self.comparison} {self.bound})"
+
+
+def parametric_constraint(
+    model: ParametricDTMC, formula: StateFormula
+) -> ParametricConstraint:
+    """Reduce ``model |= formula`` to a rational constraint.
+
+    Supports the non-nested PCTL fragment of the paper's repairs:
+    ``P ⋈ b [φ1 U φ2]`` (incl. ``F``), ``P ⋈ b [G φ]`` via its dual, and
+    ``R ⋈ b [F φ]``, where ``φ1``, ``φ2``, ``φ`` are label-only formulas.
+    """
+    if isinstance(formula, ProbabilisticOperator):
+        path = formula.path
+        if isinstance(path, Globally):
+            inner = label_satisfaction_set(model.states, model.labels, path.operand)
+            complement = set(model.states) - set(inner)
+            if path.step_bound is None:
+                reach_bad = model.reachability_probability(complement)
+            else:
+                reach_bad = model.bounded_reachability_probability(
+                    complement, path.step_bound
+                )
+            return ParametricConstraint(
+                RationalFunction.one() - reach_bad,
+                formula.comparison,
+                formula.bound,
+            )
+        if isinstance(path, Until):
+            left = label_satisfaction_set(model.states, model.labels, path.left)
+            right = label_satisfaction_set(model.states, model.labels, path.right)
+            if path.step_bound is None:
+                function = model.reachability_probability(
+                    right, allowed=set(left)
+                )
+            else:
+                function = model.bounded_reachability_probability(
+                    right, path.step_bound, allowed=set(left)
+                )
+            return ParametricConstraint(function, formula.comparison, formula.bound)
+        raise TypeError(f"unsupported parametric path formula {path!r}")
+    if isinstance(formula, RewardOperator):
+        targets = label_satisfaction_set(
+            model.states, model.labels, formula.path.right
+        )
+        function = model.expected_reward(targets)
+        return ParametricConstraint(function, formula.comparison, formula.bound)
+    raise TypeError(
+        "parametric checking expects a top-level P or R operator, "
+        f"got {formula!r}"
+    )

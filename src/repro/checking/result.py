@@ -1,0 +1,49 @@
+"""Result objects returned by the model checkers."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Optional
+
+State = Hashable
+
+
+class ModelCheckingResult:
+    """Outcome of checking one PCTL state formula on a model.
+
+    Attributes
+    ----------
+    holds:
+        Whether the model's initial state satisfies the formula
+        (the paper's ``M |= φ``).
+    satisfaction_set:
+        All states satisfying the formula.
+    value:
+        When the top-level operator is ``P`` or ``R``: the quantitative
+        value at the initial state (a probability or an expected reward;
+        may be ``inf`` for rewards).  ``None`` for purely boolean
+        formulas.
+    values:
+        Per-state quantitative values (same caveats), or ``None``.
+    """
+
+    def __init__(
+        self,
+        holds: bool,
+        satisfaction_set: FrozenSet[State],
+        value: Optional[float] = None,
+        values: Optional[Dict[State, float]] = None,
+    ):
+        self.holds = bool(holds)
+        self.satisfaction_set = frozenset(satisfaction_set)
+        self.value = value
+        self.values = dict(values) if values is not None else None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def __repr__(self) -> str:
+        quantitative = f", value={self.value:.6g}" if self.value is not None else ""
+        return (
+            f"ModelCheckingResult(holds={self.holds}, "
+            f"|sat|={len(self.satisfaction_set)}{quantitative})"
+        )

@@ -1,0 +1,263 @@
+"""Statistical model checking (SMC) by Monte-Carlo simulation.
+
+A complement to the exact engines: estimate ``Pr(φ1 U φ2)`` or the
+expected reachability reward by sampling trajectories, with
+Chernoff–Hoeffding sample-size guarantees and a sequential
+probability-ratio test (SPRT) for qualitative verdicts.  Useful when the
+state space is too large to enumerate, and used by the test suite to
+cross-validate the exact checkers on big random models.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Optional, Set
+
+import numpy as np
+
+from repro.logic.pctl import (
+    Eventually,
+    ProbabilisticOperator,
+    RewardOperator,
+    StateFormula,
+    Until,
+    check_comparison,
+)
+from repro.checking.parametric import label_satisfaction_set
+from repro.mdp.model import DTMC
+
+State = Hashable
+
+
+def chernoff_sample_size(epsilon: float, delta: float) -> int:
+    """Samples needed so ``P(|p̂ − p| > ε) ≤ δ`` (additive Chernoff).
+
+    ``n ≥ ln(2/δ) / (2 ε²)``.
+
+    Examples
+    --------
+    >>> chernoff_sample_size(0.01, 0.05)
+    18445
+    """
+    if not 0 < epsilon < 1 or not 0 < delta < 1:
+        raise ValueError("epsilon and delta must lie in (0, 1)")
+    return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
+
+
+class SMCResult:
+    """Outcome of a statistical check.
+
+    Attributes
+    ----------
+    estimate:
+        Point estimate of the checked quantity.
+    samples:
+        Trajectories drawn.
+    epsilon / delta:
+        The additive-error guarantee (estimation mode), or ``None`` for
+        SPRT verdicts.
+    holds:
+        Verdict against the formula's bound, when one was requested.
+    """
+
+    def __init__(
+        self,
+        estimate: float,
+        samples: int,
+        epsilon: Optional[float],
+        delta: Optional[float],
+        holds: Optional[bool] = None,
+    ):
+        self.estimate = estimate
+        self.samples = samples
+        self.epsilon = epsilon
+        self.delta = delta
+        self.holds = holds
+
+    def __repr__(self) -> str:
+        verdict = f", holds={self.holds}" if self.holds is not None else ""
+        return (
+            f"SMCResult(estimate={self.estimate:.6g}, "
+            f"samples={self.samples}{verdict})"
+        )
+
+
+class StatisticalModelChecker:
+    """Monte-Carlo checking of reachability-style PCTL on a chain.
+
+    Parameters
+    ----------
+    chain:
+        The model to sample.
+    seed:
+        Seed for reproducible runs.
+    max_steps:
+        Truncation horizon per sampled path.  Unbounded-until estimates
+        are exact in the limit only if paths decide within the horizon;
+        the checker counts undecided paths as not-satisfying and reports
+        them via :attr:`undecided_rate`.
+    """
+
+    def __init__(self, chain: DTMC, seed: Optional[int] = None,
+                 max_steps: int = 10_000):
+        self.chain = chain
+        self.rng = np.random.default_rng(seed)
+        self.max_steps = max_steps
+        self.undecided_rate = 0.0
+
+    # ------------------------------------------------------------------
+    # Path sampling
+    # ------------------------------------------------------------------
+    def _sample_until(self, allowed: Set[State], targets: Set[State],
+                      step_bound: Optional[int]):
+        """One path; returns (satisfied, accumulated_reward, decided)."""
+        state = self.chain.initial_state
+        reward = 0.0
+        horizon = self.max_steps if step_bound is None else step_bound
+        for step in range(horizon + 1):
+            if state in targets:
+                return True, reward, True
+            if state not in allowed:
+                return False, reward, True
+            reward += self.chain.state_rewards[state]
+            successors = self.chain.successors(state)
+            if successors == [state]:
+                return False, reward, True  # absorbing non-target
+            probs = np.array(
+                [self.chain.probability(state, t) for t in successors]
+            )
+            state = successors[self.rng.choice(len(successors), p=probs)]
+        return False, reward, step_bound is not None
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def estimate_probability(
+        self,
+        path: Until,
+        epsilon: float = 0.01,
+        delta: float = 0.05,
+    ) -> SMCResult:
+        """Estimate ``Pr(φ1 U φ2)`` to ±ε with confidence 1−δ."""
+        allowed = label_satisfaction_set(
+            self.chain.states, self.chain.labels, path.left
+        )
+        targets = label_satisfaction_set(
+            self.chain.states, self.chain.labels, path.right
+        )
+        n = chernoff_sample_size(epsilon, delta)
+        hits = 0
+        undecided = 0
+        for _ in range(n):
+            satisfied, _, decided = self._sample_until(
+                set(allowed), set(targets), path.step_bound
+            )
+            hits += satisfied
+            undecided += not decided
+        self.undecided_rate = undecided / n
+        return SMCResult(hits / n, n, epsilon, delta)
+
+    def estimate_reward(
+        self,
+        formula: RewardOperator,
+        samples: int = 10_000,
+    ) -> SMCResult:
+        """Estimate the expected reachability reward by plain averaging."""
+        targets = label_satisfaction_set(
+            self.chain.states, self.chain.labels, formula.path.right
+        )
+        total = 0.0
+        undecided = 0
+        for _ in range(samples):
+            satisfied, reward, decided = self._sample_until(
+                set(self.chain.states), set(targets), None
+            )
+            total += reward
+            undecided += not (satisfied and decided)
+        self.undecided_rate = undecided / samples
+        return SMCResult(total / samples, samples, None, None)
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        formula: StateFormula,
+        epsilon: float = 0.01,
+        delta: float = 0.05,
+        reward_samples: int = 10_000,
+    ) -> SMCResult:
+        """Estimate, then compare against the formula's bound.
+
+        For ``P ⋈ b`` formulas the verdict is reliable (within the
+        Chernoff guarantee) whenever the true probability is at least ε
+        away from ``b``.
+        """
+        if isinstance(formula, ProbabilisticOperator):
+            if not isinstance(formula.path, Until):
+                raise TypeError("SMC supports until/eventually path formulas")
+            result = self.estimate_probability(formula.path, epsilon, delta)
+            result.holds = check_comparison(
+                formula.comparison, result.estimate, formula.bound
+            )
+            return result
+        if isinstance(formula, RewardOperator):
+            result = self.estimate_reward(formula, samples=reward_samples)
+            result.holds = check_comparison(
+                formula.comparison, result.estimate, formula.bound
+            )
+            return result
+        raise TypeError("SMC expects a top-level P or R operator")
+
+    def sprt(
+        self,
+        formula: ProbabilisticOperator,
+        indifference: float = 0.01,
+        alpha: float = 0.01,
+        beta: float = 0.01,
+        max_samples: int = 1_000_000,
+    ) -> SMCResult:
+        """Wald's sequential probability-ratio test for ``P ⋈ b [ψ]``.
+
+        Tests ``H0: p ≥ b + δ`` against ``H1: p ≤ b − δ`` with error
+        bounds α, β; usually needs far fewer samples than fixed-size
+        estimation when the true probability is away from the bound.
+        The verdict is mapped back through the comparison operator.
+        """
+        if not isinstance(formula.path, Until):
+            raise TypeError("SMC supports until/eventually path formulas")
+        p0 = min(1.0 - 1e-9, formula.bound + indifference)
+        p1 = max(1e-9, formula.bound - indifference)
+        accept_h1 = math.log((1 - beta) / alpha)
+        accept_h0 = math.log(beta / (1 - alpha))
+        allowed = label_satisfaction_set(
+            self.chain.states, self.chain.labels, formula.path.left
+        )
+        targets = label_satisfaction_set(
+            self.chain.states, self.chain.labels, formula.path.right
+        )
+        log_ratio = 0.0
+        hits = 0
+        for count in range(1, max_samples + 1):
+            satisfied, _, _ = self._sample_until(
+                set(allowed), set(targets), formula.path.step_bound
+            )
+            hits += satisfied
+            if satisfied:
+                log_ratio += math.log(p1 / p0)
+            else:
+                log_ratio += math.log((1 - p1) / (1 - p0))
+            if log_ratio >= accept_h1:
+                greater = False  # H1: p below the bound region
+                break
+            if log_ratio <= accept_h0:
+                greater = True  # H0: p above the bound region
+                break
+        else:
+            greater = hits / max_samples >= formula.bound
+            count = max_samples
+        if formula.comparison in (">", ">="):
+            holds = greater
+        else:
+            holds = not greater
+        return SMCResult(hits / count, count, None, None, holds=holds)

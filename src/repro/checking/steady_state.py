@@ -1,0 +1,139 @@
+"""Long-run (steady-state) analysis of Markov chains.
+
+The long-run behaviour of a finite chain decomposes over its bottom
+SCCs: from any start state, the chain is absorbed into some BSCC with a
+computable probability and thereafter follows that BSCC's unique
+stationary distribution.  This module provides
+
+* per-BSCC stationary distributions,
+* the per-state long-run distribution (the mixture above),
+* long-run average state reward,
+
+which back the PCTL steady-state operator ``S ⋈ b [φ]`` in
+:class:`~repro.checking.DTMCModelChecker`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Set
+
+import numpy as np
+
+from repro.checking.graph import bottom_strongly_connected_components
+from repro.mdp.model import DTMC
+
+State = Hashable
+
+
+def stationary_distribution(
+    chain: DTMC, component: FrozenSet[State]
+) -> Dict[State, float]:
+    """The stationary distribution of one bottom SCC.
+
+    Solves ``π P = π, Σπ = 1`` restricted to the component (which is
+    closed and irreducible by construction).
+    """
+    members = sorted(component, key=str)
+    index = {s: i for i, s in enumerate(members)}
+    n = len(members)
+    if n == 1:
+        return {members[0]: 1.0}
+    matrix = np.zeros((n, n))
+    for state in members:
+        for target, probability in chain.transitions[state].items():
+            matrix[index[state], index[target]] = probability
+    # (P^T − I) π = 0 with one row replaced by normalisation.
+    system = np.vstack([(matrix.T - np.eye(n))[:-1], np.ones(n)])
+    rhs = np.zeros(n)
+    rhs[-1] = 1.0
+    solution, _, _, _ = np.linalg.lstsq(system, rhs, rcond=None)
+    solution = np.clip(solution, 0.0, None)
+    solution /= solution.sum()
+    return {s: float(solution[index[s]]) for s in members}
+
+
+def absorption_probabilities(
+    chain: DTMC, components: List[FrozenSet[State]]
+) -> Dict[State, List[float]]:
+    """``Pr_s(absorbed into components[k])`` for every state ``s``.
+
+    Standard absorbing-chain solve: transient states form a linear
+    system per target component.
+    """
+    union: Set[State] = set()
+    for component in components:
+        union |= component
+    transient = [s for s in chain.states if s not in union]
+    t_index = {s: i for i, s in enumerate(transient)}
+    n = len(transient)
+    matrix = np.eye(n)
+    for state in transient:
+        for target, probability in chain.transitions[state].items():
+            if target in t_index:
+                matrix[t_index[state], t_index[target]] -= probability
+    result: Dict[State, List[float]] = {s: [0.0] * len(components) for s in chain.states}
+    for k, component in enumerate(components):
+        for state in component:
+            result[state][k] = 1.0
+        if not transient:
+            continue
+        rhs = np.zeros(n)
+        for state in transient:
+            for target, probability in chain.transitions[state].items():
+                if target in component:
+                    rhs[t_index[state]] += probability
+        solution = np.linalg.solve(matrix, rhs)
+        for state in transient:
+            result[state][k] = float(np.clip(solution[t_index[state]], 0.0, 1.0))
+    return result
+
+
+def long_run_distribution(chain: DTMC) -> Dict[State, Dict[State, float]]:
+    """Per-start-state long-run occupancy distribution.
+
+    ``result[s][t]`` is the long-run fraction of time in ``t`` when the
+    chain starts in ``s``.
+    """
+    components = bottom_strongly_connected_components(chain)
+    stationaries = [stationary_distribution(chain, c) for c in components]
+    absorption = absorption_probabilities(chain, components)
+    result: Dict[State, Dict[State, float]] = {}
+    for state in chain.states:
+        mixture: Dict[State, float] = {}
+        for weight, stationary in zip(absorption[state], stationaries):
+            if weight == 0.0:
+                continue
+            for target, probability in stationary.items():
+                mixture[target] = mixture.get(target, 0.0) + weight * probability
+        result[state] = mixture
+    return result
+
+
+def steady_state_probabilities(
+    chain: DTMC, satisfying: Set[State]
+) -> Dict[State, float]:
+    """Long-run probability of being in ``satisfying``, per start state.
+
+    This is the quantity the PCTL operator ``S ⋈ b [φ]`` compares.
+    """
+    occupancy = long_run_distribution(chain)
+    return {
+        state: sum(
+            probability
+            for target, probability in occupancy[state].items()
+            if target in satisfying
+        )
+        for state in chain.states
+    }
+
+
+def long_run_average_reward(chain: DTMC) -> Dict[State, float]:
+    """Long-run average state reward per time step, per start state."""
+    occupancy = long_run_distribution(chain)
+    return {
+        state: sum(
+            probability * chain.state_rewards[target]
+            for target, probability in occupancy[state].items()
+        )
+        for state in chain.states
+    }

@@ -1,0 +1,5 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script."""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

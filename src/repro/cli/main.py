@@ -1,0 +1,212 @@
+"""Command-line entry points.
+
+Subcommands::
+
+    repro check <model.json> "<pctl formula>"
+    repro model-repair <model.json> "<pctl formula>" [--max-perturbation D]
+    repro export-prism <model.json> [-o out.pm]
+    repro wsn-demo [--bound X]
+    repro car-demo
+
+``check`` and ``model-repair`` operate on JSON models written by
+:func:`repro.io.save_model`; the demo commands run the paper's case
+studies end-to-end and print a short report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.checking import DTMCModelChecker, MDPModelChecker
+    from repro.io import load_model
+    from repro.logic import parse_pctl
+    from repro.mdp import DTMC
+
+    model = load_model(args.model)
+    formula = parse_pctl(args.formula)
+    checker = (
+        DTMCModelChecker(model) if isinstance(model, DTMC) else MDPModelChecker(model)
+    )
+    result = checker.check(formula)
+    verdict = "satisfied" if result.holds else "violated"
+    print(f"{args.formula}: {verdict}")
+    if result.value is not None:
+        print(f"value at initial state: {result.value:.6g}")
+    return 0 if result.holds else 1
+
+
+def _cmd_model_repair(args: argparse.Namespace) -> int:
+    from repro.core import ModelRepair
+    from repro.io import load_model, save_model
+    from repro.logic import parse_pctl
+    from repro.mdp import DTMC
+
+    model = load_model(args.model)
+    if not isinstance(model, DTMC):
+        print("model-repair operates on DTMC models", file=sys.stderr)
+        return 2
+    repair = ModelRepair.for_chain(
+        model,
+        parse_pctl(args.formula),
+        max_perturbation=args.max_perturbation,
+    )
+    result = repair.repair()
+    print(f"status: {result.status}")
+    if result.status == "repaired":
+        print(f"cost g(Z) = {result.objective_value:.6g}")
+        print(f"epsilon (Prop. 1 bound) = {result.epsilon:.6g}")
+        nonzero = {
+            k: round(v, 6) for k, v in result.assignment.items() if abs(v) > 1e-9
+        }
+        print(f"perturbation: {nonzero}")
+        if args.output:
+            save_model(result.repaired_model, args.output)
+            print(f"repaired model written to {args.output}")
+    return 0 if result.feasible else 1
+
+
+def _cmd_counterexample(args: argparse.Namespace) -> int:
+    from repro.checking import DTMCModelChecker, counterexample
+    from repro.io import load_model
+    from repro.logic import parse_pctl
+    from repro.logic.pctl import ProbabilisticOperator
+    from repro.mdp import DTMC
+
+    model = load_model(args.model)
+    if not isinstance(model, DTMC):
+        print("counterexample operates on DTMC models", file=sys.stderr)
+        return 2
+    formula = parse_pctl(args.formula)
+    if not isinstance(formula, ProbabilisticOperator):
+        print("counterexample needs a P<=b / P<b formula", file=sys.stderr)
+        return 2
+    check = DTMCModelChecker(model).check(formula)
+    if check.holds:
+        print("property holds; no counterexample exists")
+        return 0
+    evidence = counterexample(model, formula, max_paths=args.max_paths)
+    print(
+        f"violated: probability {check.value:.6g} exceeds bound "
+        f"{formula.bound:.6g}"
+    )
+    print(
+        f"evidence ({len(evidence)} paths, mass "
+        f"{evidence.total_probability:.6g}, complete={evidence.complete}):"
+    )
+    for path, probability in zip(evidence.paths, evidence.probabilities):
+        rendered = " -> ".join(str(state) for state in path)
+        print(f"  {probability:.6g}  {rendered}")
+    return 1
+
+
+def _cmd_export_prism(args: argparse.Namespace) -> int:
+    from repro.io import dtmc_to_prism, load_model, mdp_to_prism
+    from repro.mdp import DTMC
+
+    model = load_model(args.model)
+    text = dtmc_to_prism(model) if isinstance(model, DTMC) else mdp_to_prism(model)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_wsn_demo(args: argparse.Namespace) -> int:
+    from repro.casestudies import wsn
+
+    print(f"WSN query routing: R{{attempts}} <= {args.bound} [ F delivered ]")
+    result = wsn.model_repair_problem(args.bound).repair()
+    print(f"status: {result.status}")
+    if result.status == "repaired":
+        print(
+            "corrections: "
+            + ", ".join(f"{k}={v:.4f}" for k, v in result.assignment.items())
+        )
+        print(f"epsilon = {result.epsilon:.4f}, verified = {result.verified}")
+    return 0
+
+
+def _cmd_car_demo(_args: argparse.Namespace) -> int:
+    from repro.casestudies import car
+    from repro.core import QValueConstraint, RewardRepair
+
+    mdp = car.build_car_mdp()
+    repair = RewardRepair(mdp, car.car_features(), discount=car.DISCOUNT)
+    learned_policy = repair.optimal_policy(car.PAPER_LEARNED_THETA)
+    print(f"learned theta  : {np.round(car.PAPER_LEARNED_THETA, 3)}")
+    print(f"action at S1   : {learned_policy['S1']} (0 = drive into the van)")
+    print(
+        "unsafe from    : "
+        f"{car.states_leading_to_unsafe(mdp, learned_policy)}"
+    )
+    result = repair.q_constrained(
+        car.PAPER_LEARNED_THETA,
+        [QValueConstraint("S1", car.LEFT, car.FORWARD)],
+    )
+    print(f"repaired theta : {np.round(result.theta_after, 3)}")
+    print(f"action at S1   : {result.policy_after['S1']} (1 = change lane)")
+    print(f"policy safe    : {car.policy_is_safe(mdp, result.policy_after)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Trusted Machine Learning for MDPs: "
+        "model, data and reward repair under PCTL constraints.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="model-check a PCTL formula")
+    check.add_argument("model", help="JSON model file (see repro.io.save_model)")
+    check.add_argument("formula", help='PCTL text, e.g. \'P>=0.9 [ F "goal" ]\'')
+    check.set_defaults(func=_cmd_check)
+
+    repair = sub.add_parser("model-repair", help="repair a chain toward a formula")
+    repair.add_argument("model")
+    repair.add_argument("formula")
+    repair.add_argument("--max-perturbation", type=float, default=None)
+    repair.add_argument("-o", "--output", default=None)
+    repair.set_defaults(func=_cmd_model_repair)
+
+    cx = sub.add_parser(
+        "counterexample",
+        help="evidence paths for a violated P<=b reachability bound",
+    )
+    cx.add_argument("model")
+    cx.add_argument("formula")
+    cx.add_argument("--max-paths", type=int, default=25)
+    cx.set_defaults(func=_cmd_counterexample)
+
+    export = sub.add_parser("export-prism", help="export a model to PRISM syntax")
+    export.add_argument("model")
+    export.add_argument("-o", "--output", default=None)
+    export.set_defaults(func=_cmd_export_prism)
+
+    wsn_demo = sub.add_parser("wsn-demo", help="run the WSN model-repair case study")
+    wsn_demo.add_argument("--bound", type=float, default=40.0)
+    wsn_demo.set_defaults(func=_cmd_wsn_demo)
+
+    car_demo = sub.add_parser("car-demo", help="run the car reward-repair case study")
+    car_demo.set_defaults(func=_cmd_car_demo)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""The paper's contribution: Model, Data and Reward Repair.
+
+``ModelRepair``
+    Definition 1 / Section IV-A — minimally perturb transition
+    probabilities so the chain satisfies a PCTL property, via parametric
+    model checking + nonlinear optimisation (Proposition 2).
+``DataRepair``
+    Definition 3 / Section IV-B — the machine-teaching formulation:
+    drop traces so the re-learned model satisfies the property
+    (Proposition 3).
+``RewardRepair``
+    Definition 2 / Section IV-C — project a learned reward onto the
+    safety envelope, by posterior regularisation (Proposition 4) or by
+    Q-value-constrained minimal weight change (the car case study).
+``TrustedLearningPipeline``
+    The Section II decision procedure tying them together.
+"""
+
+from repro.core.costs import (
+    NAMED_COSTS,
+    frobenius_cost,
+    l1_cost,
+    max_cost,
+    resolve_cost,
+    weighted_quadratic_cost,
+)
+from repro.core.model_repair import ModelRepair, ModelRepairResult
+from repro.core.data_repair import DataRepair, DataRepairResult
+from repro.core.reward_repair import (
+    QValueConstraint,
+    RewardRepair,
+    RewardRepairResult,
+)
+from repro.core.pipeline import (
+    PipelineReport,
+    PipelineStage,
+    TrustedLearningPipeline,
+    TrustedRewardPipeline,
+)
+
+__all__ = [
+    "ModelRepair",
+    "ModelRepairResult",
+    "DataRepair",
+    "DataRepairResult",
+    "RewardRepair",
+    "RewardRepairResult",
+    "QValueConstraint",
+    "TrustedLearningPipeline",
+    "TrustedRewardPipeline",
+    "PipelineReport",
+    "PipelineStage",
+    "frobenius_cost",
+    "l1_cost",
+    "max_cost",
+    "weighted_quadratic_cost",
+    "resolve_cost",
+    "NAMED_COSTS",
+]

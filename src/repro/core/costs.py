@@ -1,0 +1,65 @@
+"""Repair cost functions ``g``.
+
+Equation 1 minimises a cost of the perturbation; the paper's "typical
+function is the sum of squares of the perturbation variables" (the
+squared Frobenius norm of ``Z``).  Alternatives here support the
+cost-function ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+Assignment = Mapping[str, float]
+CostFunction = Callable[[Assignment], float]
+
+
+def frobenius_cost(assignment: Assignment) -> float:
+    """``Σ v_k²`` — the paper's default ``‖Z‖_F²``."""
+    return sum(value * value for value in assignment.values())
+
+
+def l1_cost(assignment: Assignment) -> float:
+    """``Σ |v_k|`` — sparsity-encouraging alternative."""
+    return sum(abs(value) for value in assignment.values())
+
+
+def max_cost(assignment: Assignment) -> float:
+    """``max |v_k|`` — directly minimises the ε of Proposition 1."""
+    return max((abs(value) for value in assignment.values()), default=0.0)
+
+
+def weighted_quadratic_cost(weights: Mapping[str, float]) -> CostFunction:
+    """``Σ w_k v_k²`` with per-variable weights.
+
+    Lets an application make some transitions more expensive to perturb
+    than others (the paper: "which part of the car controller can be
+    modified").
+    """
+
+    def cost(assignment: Assignment) -> float:
+        return sum(
+            weights.get(name, 1.0) * value * value
+            for name, value in assignment.items()
+        )
+
+    return cost
+
+
+NAMED_COSTS = {
+    "frobenius": frobenius_cost,
+    "l1": l1_cost,
+    "max": max_cost,
+}
+
+
+def resolve_cost(cost) -> CostFunction:
+    """Accept a cost function or one of the names in :data:`NAMED_COSTS`."""
+    if callable(cost):
+        return cost
+    try:
+        return NAMED_COSTS[cost]
+    except KeyError:
+        raise ValueError(
+            f"unknown cost {cost!r}; expected one of {sorted(NAMED_COSTS)}"
+        ) from None

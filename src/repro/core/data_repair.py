@@ -1,0 +1,274 @@
+"""Data Repair (Definition 3, Equations 7–15).
+
+A machine-teaching problem: perturb the dataset ``D`` (by dropping
+traces) so that the model re-learned from the perturbed data satisfies
+``φ``, at minimal teaching effort:
+
+    min  E_T(D, D') = ‖p‖²            (Eqs. 7, 11: perturbation effort)
+    s.t. ML(D') |= φ                  (Eqs. 8, 12)
+         ML = regularised MLE          (Eqs. 9–10, 13–14: inner problem,
+                                        solved in closed form)
+
+The inner maximum-likelihood problem has a closed-form solution whose
+transition probabilities are *rational functions* of the per-group drop
+probabilities ``p_g`` (see :func:`repro.learning.mle.parametric_mle_dtmc`),
+so the outer problem reduces — exactly as Proposition 3 states — to a
+nonlinear program over rational constraints, solved the same way as
+Model Repair.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Mapping, Optional, Sequence
+
+from repro.checking.dtmc import DTMCModelChecker
+from repro.checking.parametric import parametric_constraint
+from repro.data.dataset import TraceDataset
+from repro.learning.mle import (
+    learn_dtmc,
+    parametric_augment_mle_dtmc,
+    parametric_mle_dtmc,
+)
+from repro.logic.pctl import StateFormula
+from repro.mdp.model import DTMC
+from repro.optimize import (
+    Constraint,
+    NonlinearProgram,
+    Variable,
+    constraint_from_parametric,
+)
+
+State = Hashable
+Assignment = Dict[str, float]
+
+_MAX_DROP = 1.0 - 1e-6
+
+
+class DataRepairResult:
+    """Outcome of a Data Repair attempt.
+
+    Attributes
+    ----------
+    status:
+        ``"already_satisfied"``, ``"repaired"`` or ``"infeasible"``.
+    drop_probabilities:
+        Per-group drop probability ``p_g`` (the repair).  In
+        ``"augment"`` mode these are the duplication weights ``w_g``
+        instead.
+    repaired_model:
+        The chain learned from the repaired data distribution.
+    expected_dropped:
+        Expected number of traces removed (added, in ``"augment"``
+        mode).
+    effort:
+        The teaching-effort objective ``Σ p_g²`` at the solution.
+    verified:
+        Whether the repaired model was concretely re-checked.
+    """
+
+    def __init__(
+        self,
+        status: str,
+        drop_probabilities: Mapping[str, float],
+        repaired_model: Optional[DTMC],
+        expected_dropped: float,
+        effort: float,
+        verified: bool,
+        message: str = "",
+    ):
+        self.status = status
+        self.drop_probabilities = dict(drop_probabilities)
+        self.repaired_model = repaired_model
+        self.expected_dropped = expected_dropped
+        self.effort = effort
+        self.verified = verified
+        self.message = message
+
+    @property
+    def feasible(self) -> bool:
+        """True unless the repair problem was infeasible."""
+        return self.status != "infeasible"
+
+    def __repr__(self) -> str:
+        probs = {k: round(v, 6) for k, v in self.drop_probabilities.items()}
+        return (
+            f"DataRepairResult(status={self.status!r}, drops={probs}, "
+            f"expected_dropped={self.expected_dropped:.3g}, "
+            f"verified={self.verified})"
+        )
+
+
+class DataRepair:
+    """A configured Data Repair problem; call :meth:`repair` to solve.
+
+    Parameters
+    ----------
+    dataset:
+        Grouped traces.  Only groups with ``droppable=True`` receive a
+        drop parameter; the rest are pinned (the paper's reliable
+        points, ``p_i = 1`` in its keep-convention).
+    formula:
+        The PCTL property the re-learned model must satisfy.
+    initial_state:
+        Initial state for the learned chain.
+    states / labels / state_rewards:
+        Model structure for the learned chain (labels drive the PCTL
+        atoms, rewards drive ``R`` properties).
+    effort:
+        The outer objective over drop probabilities; defaults to
+        ``Σ p_g²`` (the paper's ``‖p‖²`` with the keep/drop convention
+        folded in).
+    max_drop:
+        Upper bound on every drop probability (< 1 keeps the learned
+        chain's structure intact — Equation 6's analogue).
+    mode:
+        ``"drop"`` (the paper's main formulation: group ``g`` kept with
+        weight ``1 − p_g``) or ``"augment"`` (the paper's "data points
+        being added" variant: group ``g`` duplicated with weight
+        ``1 + w_g``, ``0 ≤ w_g ≤ max_augment``).
+    max_augment:
+        Upper bound on the duplication weights in ``"augment"`` mode.
+    """
+
+    def __init__(
+        self,
+        dataset: TraceDataset,
+        formula: StateFormula,
+        initial_state: State,
+        states: Optional[Sequence[State]] = None,
+        labels: Optional[Mapping[State, Iterable[str]]] = None,
+        state_rewards: Optional[Mapping[State, float]] = None,
+        effort: Optional[Callable[[Assignment], float]] = None,
+        max_drop: float = _MAX_DROP,
+        mode: str = "drop",
+        max_augment: float = 4.0,
+    ):
+        if mode not in ("drop", "augment"):
+            raise ValueError(f"unknown Data Repair mode {mode!r}")
+        self.mode = mode
+        if max_augment <= 0:
+            raise ValueError("max_augment must be positive")
+        self.max_augment = float(max_augment)
+        self.dataset = dataset
+        self.formula = formula
+        self.initial_state = initial_state
+        self.states = list(states) if states is not None else dataset.states()
+        if initial_state not in set(self.states):
+            self.states.append(initial_state)
+        self.labels = labels
+        self.state_rewards = state_rewards
+        self.effort = effort or (
+            lambda assignment: sum(value * value for value in assignment.values())
+        )
+        if not 0 < max_drop < 1:
+            raise ValueError("max_drop must lie strictly between 0 and 1")
+        self.max_drop = max_drop
+
+    # ------------------------------------------------------------------
+    # Pieces
+    # ------------------------------------------------------------------
+    def learned_model(self) -> DTMC:
+        """``ML(D)`` — the chain learned from the unrepaired data."""
+        return learn_dtmc(
+            self.dataset.all_traces(),
+            initial_state=self.initial_state,
+            states=self.states,
+            labels=self.labels,
+            state_rewards=self.state_rewards,
+        )
+
+    def parametric_model(self):
+        """``ML(D_p)`` symbolically, as a function of the repair vector."""
+        if self.mode == "augment":
+            weight_parameters = {
+                name: f"weight_{name}"
+                for name in self.dataset.droppable_groups()
+            }
+            return parametric_augment_mle_dtmc(
+                grouped_counts=self.dataset.grouped_counts(),
+                initial_state=self.initial_state,
+                states=self.states,
+                weight_parameters=weight_parameters,
+                labels=self.labels,
+                state_rewards=self.state_rewards,
+            )
+        drop_parameters = {
+            name: f"drop_{name}" for name in self.dataset.droppable_groups()
+        }
+        return parametric_mle_dtmc(
+            grouped_counts=self.dataset.grouped_counts(),
+            initial_state=self.initial_state,
+            states=self.states,
+            drop_parameters=drop_parameters,
+            labels=self.labels,
+            state_rewards=self.state_rewards,
+        )
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def repair(self, extra_starts: int = 8, seed: int = 0) -> DataRepairResult:
+        """Run the full Data Repair pipeline (learn → reduce → optimise).
+
+        Mirrors :meth:`repro.core.model_repair.ModelRepair.repair`, with
+        the drop probabilities as the decision variables.
+        """
+        original = self.learned_model()
+        if DTMCModelChecker(original).check(self.formula).holds:
+            return DataRepairResult(
+                status="already_satisfied",
+                drop_probabilities={},
+                repaired_model=original,
+                expected_dropped=0.0,
+                effort=0.0,
+                verified=True,
+                message="model learned from the original data already satisfies φ",
+            )
+        droppable = self.dataset.droppable_groups()
+        if not droppable:
+            return DataRepairResult(
+                status="infeasible",
+                drop_probabilities={},
+                repaired_model=None,
+                expected_dropped=0.0,
+                effort=0.0,
+                verified=False,
+                message="no group is droppable",
+            )
+        parametric = parametric_constraint(self.parametric_model(), self.formula)
+        prefix = "weight_" if self.mode == "augment" else "drop_"
+        upper = self.max_augment if self.mode == "augment" else self.max_drop
+        variables = [
+            Variable(f"{prefix}{name}", 0.0, upper, initial=0.0)
+            for name in droppable
+        ]
+        program = NonlinearProgram(
+            variables=variables,
+            objective=self.effort,
+            constraints=[constraint_from_parametric(parametric)],
+        )
+        outcome = program.solve(extra_starts=extra_starts, seed=seed)
+        drop_probabilities = {
+            name: outcome.assignment[f"{prefix}{name}"] for name in droppable
+        }
+        if not outcome.feasible:
+            return DataRepairResult(
+                status="infeasible",
+                drop_probabilities=drop_probabilities,
+                repaired_model=None,
+                expected_dropped=self.dataset.expected_dropped(drop_probabilities),
+                effort=outcome.objective_value,
+                verified=False,
+                message=outcome.message,
+            )
+        repaired = self.parametric_model().instantiate(outcome.assignment)
+        verified = DTMCModelChecker(repaired).check(self.formula).holds
+        return DataRepairResult(
+            status="repaired",
+            drop_probabilities=drop_probabilities,
+            repaired_model=repaired,
+            expected_dropped=self.dataset.expected_dropped(drop_probabilities),
+            effort=outcome.objective_value,
+            verified=verified,
+            message=outcome.message,
+        )

@@ -1,0 +1,397 @@
+"""Model Repair (Definition 1, Equations 1–6).
+
+Given a chain ``M`` that violates a PCTL property ``φ``, find the
+smallest perturbation ``Z`` of the transition probabilities such that
+``M_Z |= φ``:
+
+    min  g(Z)                                   (Eq. 1, 4)
+    s.t. M_Z |= φ                               (Eq. 2 → 5 via parametric
+                                                 model checking)
+         P(i,j) + Z(i,j) = 0  iff  P(i,j) = 0   (Eq. 3: structure
+                                                 preserved)
+         0 < P(i,j) + Z(i,j) < 1                (Eq. 6: stochasticity)
+
+Two ways to define the feasible repair space ``Feas_MP``:
+
+* :meth:`ModelRepair.for_chain` — one perturbation variable per
+  controllable edge, with each controllable row's last edge dependent so
+  the row keeps summing to 1 (the generic ``Z`` matrix of Section IV-A).
+* :meth:`ModelRepair.from_parametric` — a hand-built parametric chain
+  with shared correction parameters (the WSN case study's ``p`` on
+  field/station nodes and ``q`` on interior nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.checking.dtmc import DTMCModelChecker
+from repro.checking.parametric import (
+    ParametricConstraint,
+    ParametricDTMC,
+    parametric_constraint,
+)
+from repro.core.costs import frobenius_cost, resolve_cost
+from repro.logic.pctl import StateFormula
+from repro.mdp.bisimulation import perturbation_bound
+from repro.mdp.model import DTMC
+from repro.optimize import (
+    Constraint,
+    NonlinearProgram,
+    Variable,
+    constraint_from_parametric,
+)
+from repro.symbolic import Polynomial
+
+State = Hashable
+Assignment = Dict[str, float]
+
+_DEFAULT_MARGIN = 1e-6
+
+
+class ModelRepairResult:
+    """Outcome of a Model Repair attempt.
+
+    Attributes
+    ----------
+    status:
+        ``"already_satisfied"``, ``"repaired"`` or ``"infeasible"``.
+    repaired_model:
+        The repaired chain (the original when already satisfied,
+        ``None`` when infeasible).
+    assignment:
+        Solved values of the repair parameters.
+    objective_value:
+        ``g(Z)`` at the solution.
+    epsilon:
+        Proposition 1's ε-bisimulation bound between original and
+        repaired model (0 when no repair was needed).
+    verified:
+        Whether the repaired model was re-checked concretely and found
+        to satisfy the property.
+    """
+
+    def __init__(
+        self,
+        status: str,
+        repaired_model: Optional[DTMC],
+        assignment: Assignment,
+        objective_value: float,
+        epsilon: float,
+        verified: bool,
+        message: str = "",
+    ):
+        self.status = status
+        self.repaired_model = repaired_model
+        self.assignment = dict(assignment)
+        self.objective_value = objective_value
+        self.epsilon = epsilon
+        self.verified = verified
+        self.message = message
+
+    @property
+    def feasible(self) -> bool:
+        """True unless the repair problem was infeasible."""
+        return self.status != "infeasible"
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelRepairResult(status={self.status!r}, "
+            f"objective={self.objective_value:.6g}, epsilon={self.epsilon:.6g}, "
+            f"verified={self.verified})"
+        )
+
+
+class ModelRepair:
+    """A configured Model Repair problem; call :meth:`repair` to solve.
+
+    Use the :meth:`for_chain` / :meth:`from_parametric` constructors
+    rather than ``__init__`` directly.
+    """
+
+    def __init__(
+        self,
+        original: DTMC,
+        formula: StateFormula,
+        parametric_model: ParametricDTMC,
+        variables: Sequence[Variable],
+        cost: Callable[[Assignment], float],
+        extra_constraints: Sequence[Constraint] = (),
+    ):
+        self.original = original
+        self.formula = formula
+        self.parametric_model = parametric_model
+        self.variables = list(variables)
+        self.cost = cost
+        self.extra_constraints = list(extra_constraints)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def for_chain(
+        chain: DTMC,
+        formula: StateFormula,
+        controllable_states: Optional[Sequence[State]] = None,
+        max_perturbation: Optional[float] = None,
+        cost="frobenius",
+        margin: float = _DEFAULT_MARGIN,
+    ) -> "ModelRepair":
+        """Edge-wise repair of selected rows.
+
+        Parameters
+        ----------
+        controllable_states:
+            States whose outgoing distribution may be perturbed (default:
+            every state with ≥ 2 successors).  For a row with successors
+            ``t_1 … t_k`` the variables are ``z_{s→t_1} … z_{s→t_{k−1}}``
+            and the last edge absorbs ``−Σ z`` to keep the row
+            stochastic (Proposition 1's row-sum-zero ``Z``).
+        max_perturbation:
+            Optional bound ``|Z(i,j)| ≤ δ`` defining a small
+            neighbourhood of repairs (the paper's "only consider small
+            perturbations").
+        cost:
+            ``g(Z)``: a callable over the *variable* assignment, or one
+            of ``"frobenius"`` / ``"l1"`` / ``"max"``.  Named costs are
+            applied to the full ``Z`` row including the dependent entry.
+        """
+        if controllable_states is None:
+            controllable_states = [
+                s for s in chain.states if len(chain.transitions[s]) >= 2
+            ]
+        controllable = [
+            s for s in controllable_states if len(chain.transitions[s]) >= 2
+        ]
+        if not controllable:
+            raise ValueError("no controllable state has two or more successors")
+
+        variables: List[Variable] = []
+        extra_constraints: List[Constraint] = []
+        transitions: Dict[State, Dict[State, object]] = {
+            s: dict(row) for s, row in chain.transitions.items()
+        }
+        dependent_terms: List[Tuple[List[str], float]] = []
+        for state in controllable:
+            successors = sorted(chain.transitions[state], key=str)
+            row_vars: List[str] = []
+            for target in successors[:-1]:
+                name = f"z_{chain.index[state]}_{chain.index[target]}"
+                base = chain.probability(state, target)
+                lower = -base + margin
+                upper = 1.0 - base - margin
+                if max_perturbation is not None:
+                    lower = max(lower, -max_perturbation)
+                    upper = min(upper, max_perturbation)
+                variables.append(Variable(name, lower, upper, initial=0.0))
+                transitions[state][target] = base + Polynomial.variable(name)
+                row_vars.append(name)
+            last = successors[-1]
+            last_base = chain.probability(state, last)
+            dependent = Polynomial.constant(last_base)
+            for name in row_vars:
+                dependent = dependent - Polynomial.variable(name)
+            transitions[state][last] = dependent
+            dependent_terms.append((row_vars, last_base))
+            extra_constraints.append(
+                Constraint(
+                    lambda v, names=row_vars, base=last_base: base
+                    - sum(v[n] for n in names)
+                    - margin,
+                    name=f"row_{chain.index[state]}_lower",
+                )
+            )
+            extra_constraints.append(
+                Constraint(
+                    lambda v, names=row_vars, base=last_base: 1.0
+                    - base
+                    + sum(v[n] for n in names)
+                    - margin,
+                    name=f"row_{chain.index[state]}_upper",
+                )
+            )
+            if max_perturbation is not None:
+                extra_constraints.append(
+                    Constraint(
+                        lambda v, names=row_vars: max_perturbation
+                        - abs(sum(v[n] for n in names)),
+                        name=f"row_{chain.index[state]}_delta",
+                    )
+                )
+
+        parametric = ParametricDTMC(
+            states=chain.states,
+            transitions=transitions,
+            initial_state=chain.initial_state,
+            labels=chain.labels,
+            state_rewards=chain.state_rewards,
+        )
+
+        if callable(cost):
+            cost_function = cost
+        else:
+            base_cost = resolve_cost(cost)
+
+            def cost_function(assignment: Assignment) -> float:
+                # Named costs act on the full Z matrix: free variables
+                # plus each controllable row's dependent entry −Σ z.
+                full = dict(assignment)
+                for i, (names, _base) in enumerate(dependent_terms):
+                    full[f"_dependent_{i}"] = -sum(assignment[n] for n in names)
+                return base_cost(full)
+
+        return ModelRepair(
+            original=chain,
+            formula=formula,
+            parametric_model=parametric,
+            variables=variables,
+            cost=cost_function,
+            extra_constraints=extra_constraints,
+        )
+
+    @staticmethod
+    def for_mdp_under_policy(
+        mdp,
+        policy,
+        formula: StateFormula,
+        controllable_states: Optional[Sequence[State]] = None,
+        max_perturbation: Optional[float] = None,
+        cost="frobenius",
+    ) -> "MDPPolicyRepair":
+        """Repair an MDP's transitions for a fixed deterministic policy.
+
+        The MDP + policy induce a chain; that chain is repaired
+        edge-wise and the repaired rows are written back into the rows
+        of the *chosen* actions (other actions are untouched), mirroring
+        the paper's remark that the application decides "which part of
+        the ... controller can be modified".  The returned helper's
+        :meth:`MDPPolicyRepair.repair` yields both the chain-level
+        result and the repaired MDP.
+        """
+        from repro.mdp.policy import DeterministicPolicy
+
+        if not isinstance(policy, DeterministicPolicy):
+            raise TypeError("MDP repair needs a deterministic policy")
+        induced = mdp.induced_dtmc(policy)
+        chain_repair = ModelRepair.for_chain(
+            induced,
+            formula,
+            controllable_states=controllable_states,
+            max_perturbation=max_perturbation,
+            cost=cost,
+        )
+        return MDPPolicyRepair(mdp, policy, chain_repair)
+
+    @staticmethod
+    def from_parametric(
+        chain: DTMC,
+        formula: StateFormula,
+        parametric_model: ParametricDTMC,
+        variables: Sequence[Variable],
+        cost: Callable[[Assignment], float] = frobenius_cost,
+        extra_constraints: Sequence[Constraint] = (),
+    ) -> "ModelRepair":
+        """Repair with a hand-built parametric model.
+
+        ``parametric_model`` must instantiate to ``chain`` when every
+        variable is at its ``initial`` value (checked at solve time for
+        the zero assignment when possible).  This is the WSN-style
+        shared-parameter repair.
+        """
+        return ModelRepair(
+            original=chain,
+            formula=formula,
+            parametric_model=parametric_model,
+            variables=variables,
+            cost=cost,
+            extra_constraints=extra_constraints,
+        )
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def constraint(self) -> ParametricConstraint:
+        """The reduced constraint ``f(v) ⋈ b`` (Proposition 2)."""
+        return parametric_constraint(self.parametric_model, self.formula)
+
+    def repair(
+        self, extra_starts: int = 8, seed: int = 0
+    ) -> ModelRepairResult:
+        """Run the full Model Repair pipeline.
+
+        1. Check the original model; return ``already_satisfied`` if it
+           already meets ``φ``.
+        2. Reduce ``M_Z |= φ`` to a rational constraint by parametric
+           model checking.
+        3. Solve the nonlinear program (multi-start SLSQP).
+        4. Instantiate and *re-verify* the repaired model concretely.
+        """
+        checker = DTMCModelChecker(self.original)
+        if checker.check(self.formula).holds:
+            return ModelRepairResult(
+                status="already_satisfied",
+                repaired_model=self.original,
+                assignment={v.name: 0.0 for v in self.variables},
+                objective_value=0.0,
+                epsilon=0.0,
+                verified=True,
+                message="original model already satisfies the property",
+            )
+        parametric = self.constraint()
+        program = NonlinearProgram(
+            variables=self.variables,
+            objective=self.cost,
+            constraints=[constraint_from_parametric(parametric)]
+            + self.extra_constraints,
+        )
+        outcome = program.solve(extra_starts=extra_starts, seed=seed)
+        if not outcome.feasible:
+            return ModelRepairResult(
+                status="infeasible",
+                repaired_model=None,
+                assignment=outcome.assignment,
+                objective_value=outcome.objective_value,
+                epsilon=0.0,
+                verified=False,
+                message=outcome.message,
+            )
+        repaired = self.parametric_model.instantiate(outcome.assignment)
+        verified = DTMCModelChecker(repaired).check(self.formula).holds
+        return ModelRepairResult(
+            status="repaired",
+            repaired_model=repaired,
+            assignment=outcome.assignment,
+            objective_value=outcome.objective_value,
+            epsilon=perturbation_bound(self.original, repaired),
+            verified=verified,
+            message=outcome.message,
+        )
+
+
+class MDPPolicyRepair:
+    """Repair of an MDP's chosen-action rows under a fixed policy.
+
+    Produced by :meth:`ModelRepair.for_mdp_under_policy`; not built
+    directly.
+    """
+
+    def __init__(self, mdp, policy, chain_repair: ModelRepair):
+        self.mdp = mdp
+        self.policy = policy
+        self.chain_repair = chain_repair
+
+    def repair(self, extra_starts: int = 8, seed: int = 0):
+        """Run the chain repair and write repaired rows back to the MDP.
+
+        Returns ``(repaired_mdp, ModelRepairResult)``; when the chain
+        repair is infeasible the original MDP is returned unchanged.
+        """
+        result = self.chain_repair.repair(extra_starts=extra_starts, seed=seed)
+        if not result.feasible or result.repaired_model is None:
+            return self.mdp, result
+        repaired_chain = result.repaired_model
+        updates = {}
+        for state in self.mdp.states:
+            action = self.policy[state]
+            updates[state] = {action: dict(repaired_chain.transitions[state])}
+        return self.mdp.with_transitions(updates), result

@@ -1,0 +1,259 @@
+"""The Trusted Machine Learning decision procedure (Section II).
+
+Given a dataset ``D``, a learning procedure and a property ``φ``:
+
+1. learn ``M = ML(D)``; if ``M |= φ`` output ``M``;
+2. otherwise run Model Repair (or Reward Repair, for reward-side
+   violations); if the repaired ``M' |= φ`` output ``M'``;
+3. otherwise run Data Repair; if ``ML(D') |= φ`` output that model;
+4. otherwise report that ``φ`` cannot be satisfied under the configured
+   repair spaces.
+
+The pipeline records every stage so experiments can show *which* repair
+succeeded.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Optional
+
+from repro.checking.dtmc import DTMCModelChecker
+from repro.core.data_repair import DataRepair, DataRepairResult
+from repro.core.model_repair import ModelRepair, ModelRepairResult
+from repro.data.dataset import TraceDataset
+from repro.logic.pctl import StateFormula
+from repro.mdp.model import DTMC
+
+State = Hashable
+
+
+class PipelineStage:
+    """One attempted stage of the pipeline and its verdict."""
+
+    def __init__(self, name: str, succeeded: bool, detail: str, result=None):
+        self.name = name
+        self.succeeded = succeeded
+        self.detail = detail
+        self.result = result
+
+    def __repr__(self) -> str:
+        return f"PipelineStage({self.name!r}, succeeded={self.succeeded})"
+
+
+class PipelineReport:
+    """Final outcome of the TML pipeline.
+
+    Attributes
+    ----------
+    model:
+        A model satisfying ``φ``, or ``None`` when every stage failed.
+    satisfied_by:
+        ``"learned"``, ``"model_repair"``, ``"data_repair"`` or ``None``.
+    stages:
+        The ordered stage log.
+    """
+
+    def __init__(
+        self,
+        model: Optional[DTMC],
+        satisfied_by: Optional[str],
+        stages: List[PipelineStage],
+    ):
+        self.model = model
+        self.satisfied_by = satisfied_by
+        self.stages = stages
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether any stage produced a satisfying model."""
+        return self.model is not None
+
+    def summary(self) -> str:
+        """Human-readable multi-line stage log."""
+        lines = []
+        for stage in self.stages:
+            verdict = "ok" if stage.succeeded else "failed"
+            lines.append(f"{stage.name}: {verdict} — {stage.detail}")
+        outcome = self.satisfied_by or "unsatisfiable under configured repairs"
+        lines.append(f"outcome: {outcome}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"PipelineReport(succeeded={self.succeeded}, "
+            f"satisfied_by={self.satisfied_by!r})"
+        )
+
+
+class TrustedLearningPipeline:
+    """Learn → check → Model Repair → Data Repair (Section II).
+
+    Parameters
+    ----------
+    dataset:
+        The training traces (grouped; groups drive Data Repair).
+    formula:
+        The trust property ``φ``.
+    data_repair_factory:
+        Builds the :class:`DataRepair` problem from the dataset — the
+        caller fixes the state space / labels / rewards here.
+    model_repair_factory:
+        Builds the :class:`ModelRepair` problem from the learned chain —
+        the caller fixes the controllable structure here.  ``None``
+        skips straight to Data Repair.
+    """
+
+    def __init__(
+        self,
+        dataset: TraceDataset,
+        formula: StateFormula,
+        data_repair_factory: Callable[[TraceDataset], DataRepair],
+        model_repair_factory: Optional[Callable[[DTMC], ModelRepair]] = None,
+    ):
+        self.dataset = dataset
+        self.formula = formula
+        self.data_repair_factory = data_repair_factory
+        self.model_repair_factory = model_repair_factory
+
+    def run(self) -> PipelineReport:
+        """Execute the decision procedure."""
+        stages: List[PipelineStage] = []
+        data_repair = self.data_repair_factory(self.dataset)
+        learned = data_repair.learned_model()
+        check = DTMCModelChecker(learned).check(self.formula)
+        stages.append(
+            PipelineStage(
+                "learn+check",
+                check.holds,
+                f"ML(D) {'satisfies' if check.holds else 'violates'} φ"
+                + (f" (value={check.value:.6g})" if check.value is not None else ""),
+            )
+        )
+        if check.holds:
+            return PipelineReport(learned, "learned", stages)
+
+        if self.model_repair_factory is not None:
+            model_repair = self.model_repair_factory(learned)
+            outcome: ModelRepairResult = model_repair.repair()
+            succeeded = outcome.feasible and outcome.verified
+            stages.append(
+                PipelineStage(
+                    "model_repair",
+                    succeeded,
+                    f"status={outcome.status}, epsilon={outcome.epsilon:.6g}",
+                    result=outcome,
+                )
+            )
+            if succeeded:
+                return PipelineReport(
+                    outcome.repaired_model, "model_repair", stages
+                )
+
+        data_outcome: DataRepairResult = data_repair.repair()
+        succeeded = data_outcome.feasible and data_outcome.verified
+        stages.append(
+            PipelineStage(
+                "data_repair",
+                succeeded,
+                f"status={data_outcome.status}, "
+                f"expected_dropped={data_outcome.expected_dropped:.3g}",
+                result=data_outcome,
+            )
+        )
+        if succeeded:
+            return PipelineReport(data_outcome.repaired_model, "data_repair", stages)
+        return PipelineReport(None, None, stages)
+
+
+class TrustedRewardPipeline:
+    """The Section II procedure applied to the reward side.
+
+    When the learned quantity is ``R`` (via inverse reinforcement
+    learning) rather than ``P``, the decision procedure becomes:
+
+    1. learn θ from expert demonstrations (MaxEnt IRL);
+    2. check whether the optimal policy under θ satisfies the rules
+       (via the trajectory-distribution violation probability and a
+       user-supplied policy-safety predicate);
+    3. if not, run Reward Repair (the Q-value-constrained projection
+       and/or the Proposition 4 projection);
+    4. report which stage produced the trusted reward.
+
+    Parameters
+    ----------
+    mdp / features:
+        The dynamics and feature map shared by IRL and Reward Repair.
+    rules:
+        The trajectory rules the repaired reward must respect.
+    policy_is_safe:
+        ``(mdp, policy) -> bool`` — the case-study-level safety verdict
+        (e.g. :func:`repro.casestudies.car.policy_is_safe`).
+    q_constraints:
+        The Q-value constraints handed to
+        :meth:`~repro.core.RewardRepair.q_constrained` when step 3 runs.
+    discount / horizon / stop_states:
+        Passed through to the repair machinery.
+    """
+
+    def __init__(
+        self,
+        mdp,
+        features,
+        rules,
+        policy_is_safe,
+        q_constraints,
+        discount: float = 0.95,
+        horizon: int = 7,
+        stop_states=None,
+    ):
+        self.mdp = mdp
+        self.features = features
+        self.rules = list(rules)
+        self.policy_is_safe = policy_is_safe
+        self.q_constraints = list(q_constraints)
+        self.discount = discount
+        self.horizon = horizon
+        self.stop_states = stop_states
+
+    def run(self, demonstrations, irl_kwargs=None) -> PipelineReport:
+        """Execute learn → check → Reward Repair."""
+        from repro.core.reward_repair import RewardRepair
+        from repro.learning.irl import MaxEntIRL
+
+        stages: List[PipelineStage] = []
+        irl = MaxEntIRL(
+            self.mdp, self.features, horizon=self.horizon,
+            **(irl_kwargs or {}),
+        )
+        fit = irl.fit(demonstrations)
+        repairer = RewardRepair(self.mdp, self.features, discount=self.discount)
+        learned_policy = repairer.optimal_policy(fit.theta)
+        safe = self.policy_is_safe(self.mdp, learned_policy)
+        stages.append(
+            PipelineStage(
+                "irl+check",
+                safe,
+                f"learned theta {[round(t, 3) for t in fit.theta]}; "
+                f"optimal policy {'safe' if safe else 'unsafe'}",
+                result=fit,
+            )
+        )
+        if safe:
+            return PipelineReport(fit.apply_to(self.mdp), "learned", stages)
+
+        outcome = repairer.q_constrained(fit.theta, self.q_constraints)
+        repaired_safe = outcome.feasible and self.policy_is_safe(
+            self.mdp, outcome.policy_after
+        )
+        stages.append(
+            PipelineStage(
+                "reward_repair",
+                repaired_safe,
+                f"feasible={outcome.feasible}, "
+                f"theta' {[round(t, 3) for t in outcome.theta_after]}",
+                result=outcome,
+            )
+        )
+        if repaired_safe:
+            return PipelineReport(outcome.repaired_mdp, "reward_repair", stages)
+        return PipelineReport(None, None, stages)

@@ -1,0 +1,15 @@
+"""Continuous-time Markov chains.
+
+The paper notes its approach extends to other dynamical models; this
+package provides the continuous-time substrate: CTMCs with exact
+uniformisation-based transient analysis, embedded/uniformised chain
+views, steady-state distributions, CSL-style time-bounded reachability
+— and *rate repair*, which reduces to the same parametric-checking +
+NLP pipeline as Model Repair because the embedded chain's probabilities
+and holding times are rational functions of the rates.
+"""
+
+from repro.ctmc.model import CTMC
+from repro.ctmc.repair import RateRepairResult, expected_time_repair
+
+__all__ = ["CTMC", "expected_time_repair", "RateRepairResult"]

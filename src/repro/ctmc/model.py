@@ -1,0 +1,258 @@
+"""Continuous-time Markov chains with uniformisation-based analysis.
+
+A CTMC is given by transition *rates* ``R(s, t) > 0`` (``t ≠ s``); the
+exit rate is ``E(s) = Σ_t R(s, t)`` and the sojourn in ``s`` is
+exponential with rate ``E(s)``.  States with no outgoing rate are
+absorbing.
+
+Provided analyses:
+
+* the embedded jump chain and the uniformised chain (both DTMCs, so the
+  whole discrete tool-chain applies);
+* transient state distributions at time ``t`` by uniformisation with an
+  adaptive Poisson truncation;
+* time-bounded reachability ``Pr(F≤t targets)`` (CSL's workhorse);
+* expected time to absorption / to a target set;
+* the steady-state distribution of an irreducible chain.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set
+
+import numpy as np
+
+from repro.mdp.model import DTMC, ModelValidationError
+
+State = Hashable
+
+
+class CTMC:
+    """A labelled continuous-time Markov chain.
+
+    Parameters
+    ----------
+    states:
+        State identifiers.
+    rates:
+        ``{source: {target: rate}}`` with positive rates and no
+        self-entries; missing sources are absorbing.
+    initial_state / labels:
+        As for :class:`~repro.mdp.DTMC`.
+
+    Examples
+    --------
+    >>> ctmc = CTMC(
+    ...     states=["up", "down"],
+    ...     rates={"up": {"down": 0.1}, "down": {"up": 2.0}},
+    ...     initial_state="up",
+    ... )
+    >>> round(ctmc.exit_rate("down"), 3)
+    2.0
+    """
+
+    def __init__(
+        self,
+        states,
+        rates: Mapping[State, Mapping[State, float]],
+        initial_state: State,
+        labels: Optional[Mapping[State, Iterable[str]]] = None,
+    ):
+        self.states = list(states)
+        if initial_state not in set(self.states):
+            raise ModelValidationError(f"unknown initial state {initial_state!r}")
+        self.initial_state = initial_state
+        self.index = {s: i for i, s in enumerate(self.states)}
+        self.rates: Dict[State, Dict[State, float]] = {}
+        for state in self.states:
+            row = dict(rates.get(state, {}))
+            for target, rate in row.items():
+                if target not in self.index:
+                    raise ModelValidationError(f"unknown target {target!r}")
+                if target == state:
+                    raise ModelValidationError(
+                        f"self-rate on {state!r}; use the diagonal implicitly"
+                    )
+                if rate <= 0:
+                    raise ModelValidationError(
+                        f"rate {state!r}->{target!r} must be positive"
+                    )
+            self.rates[state] = {t: float(r) for t, r in row.items()}
+        self.labels = {
+            s: frozenset((labels or {}).get(s, frozenset())) for s in self.states
+        }
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def exit_rate(self, state: State) -> float:
+        """Total outgoing rate ``E(state)`` (0 for absorbing states)."""
+        return sum(self.rates[state].values())
+
+    def max_exit_rate(self) -> float:
+        """The uniformisation rate lower bound ``max_s E(s)``."""
+        return max((self.exit_rate(s) for s in self.states), default=0.0)
+
+    def generator_matrix(self) -> np.ndarray:
+        """The infinitesimal generator ``Q`` (rows sum to 0)."""
+        n = len(self.states)
+        q = np.zeros((n, n))
+        for state, row in self.rates.items():
+            i = self.index[state]
+            for target, rate in row.items():
+                q[i, self.index[target]] = rate
+            q[i, i] = -self.exit_rate(state)
+        return q
+
+    def states_with_atom(self, atom: str):
+        """All states labelled with ``atom``."""
+        return frozenset(s for s, props in self.labels.items() if atom in props)
+
+    # ------------------------------------------------------------------
+    # Discrete views
+    # ------------------------------------------------------------------
+    def embedded_dtmc(self) -> DTMC:
+        """The jump chain: ``P(s, t) = R(s, t) / E(s)``."""
+        transitions: Dict[State, Dict[State, float]] = {}
+        for state in self.states:
+            exit_rate = self.exit_rate(state)
+            if exit_rate == 0:
+                transitions[state] = {state: 1.0}
+            else:
+                transitions[state] = {
+                    target: rate / exit_rate
+                    for target, rate in self.rates[state].items()
+                }
+        return DTMC(
+            states=self.states,
+            transitions=transitions,
+            initial_state=self.initial_state,
+            labels=self.labels,
+        )
+
+    def uniformized_dtmc(self, rate: Optional[float] = None) -> DTMC:
+        """The uniformised chain at rate ``Λ ≥ max exit rate``."""
+        uniform_rate = rate if rate is not None else self.max_exit_rate()
+        if uniform_rate <= 0:
+            raise ValueError("uniformisation rate must be positive")
+        if uniform_rate < self.max_exit_rate() - 1e-12:
+            raise ValueError("uniformisation rate below the max exit rate")
+        transitions: Dict[State, Dict[State, float]] = {}
+        for state in self.states:
+            row = {
+                target: rate_value / uniform_rate
+                for target, rate_value in self.rates[state].items()
+            }
+            stay = 1.0 - self.exit_rate(state) / uniform_rate
+            if stay > 0:
+                row[state] = row.get(state, 0.0) + stay
+            transitions[state] = row
+        return DTMC(
+            states=self.states,
+            transitions=transitions,
+            initial_state=self.initial_state,
+            labels=self.labels,
+        )
+
+    # ------------------------------------------------------------------
+    # Transient analysis (uniformisation)
+    # ------------------------------------------------------------------
+    def transient_distribution(
+        self, time: float, tolerance: float = 1e-12
+    ) -> Dict[State, float]:
+        """State distribution at time ``t`` from the initial state.
+
+        Uniformisation: ``π(t) = Σ_k Poisson(k; Λt) · π₀ Pᵘᵏ`` with the
+        series truncated once the accumulated Poisson mass reaches
+        ``1 − tolerance``.
+        """
+        if time < 0:
+            raise ValueError("time must be non-negative")
+        n = len(self.states)
+        initial = np.zeros(n)
+        initial[self.index[self.initial_state]] = 1.0
+        uniform_rate = self.max_exit_rate()
+        if uniform_rate == 0 or time == 0:
+            return {s: float(initial[self.index[s]]) for s in self.states}
+        matrix = self.uniformized_dtmc(uniform_rate).transition_matrix()
+        poisson_rate = uniform_rate * time
+        log_weight = -poisson_rate
+        weight = math.exp(log_weight)
+        accumulated = weight
+        current = initial.copy()
+        result = weight * current
+        k = 0
+        while accumulated < 1.0 - tolerance and k < 100_000:
+            k += 1
+            current = current @ matrix
+            weight *= poisson_rate / k
+            result += weight * current
+            accumulated += weight
+        return {s: float(result[self.index[s]]) for s in self.states}
+
+    def time_bounded_reachability(
+        self, targets: Set[State], time: float, tolerance: float = 1e-12
+    ) -> float:
+        """``Pr(F≤t targets)`` from the initial state.
+
+        Standard CSL reduction: make the targets absorbing, then the
+        transient probability mass in the targets at time ``t`` is the
+        bounded reachability probability.
+        """
+        targets = set(targets)
+        if self.initial_state in targets:
+            return 1.0
+        absorbed = CTMC(
+            states=self.states,
+            rates={
+                s: ({} if s in targets else dict(self.rates[s]))
+                for s in self.states
+            },
+            initial_state=self.initial_state,
+            labels=self.labels,
+        )
+        distribution = absorbed.transient_distribution(time, tolerance)
+        return float(sum(distribution[s] for s in targets))
+
+    # ------------------------------------------------------------------
+    # Long-run and expected-time analysis
+    # ------------------------------------------------------------------
+    def expected_time_to(self, targets: Set[State]) -> Dict[State, float]:
+        """Expected time to hit ``targets`` from every state.
+
+        ``τ(s) = 1/E(s) + Σ_t P_emb(s, t) τ(t)``; ``inf`` where the
+        targets are not reached almost surely.
+        """
+        from repro.mdp.solvers import expected_total_reward
+
+        embedded = self.embedded_dtmc()
+        holding = {
+            s: (0.0 if s in targets or self.exit_rate(s) == 0
+                else 1.0 / self.exit_rate(s))
+            for s in self.states
+        }
+        timed = embedded.with_rewards(holding)
+        return expected_total_reward(timed, set(targets))
+
+    def steady_state(self) -> Dict[State, float]:
+        """The stationary distribution ``π Q = 0, Σπ = 1``.
+
+        Requires irreducibility (raises otherwise: the linear system
+        yields a non-positive or non-unique solution).
+        """
+        n = len(self.states)
+        q = self.generator_matrix()
+        # Replace one balance equation with the normalisation constraint.
+        system = np.vstack([q.T[:-1], np.ones(n)])
+        rhs = np.zeros(n)
+        rhs[-1] = 1.0
+        solution, residual, rank, _ = np.linalg.lstsq(system, rhs, rcond=None)
+        if rank < n or np.any(solution < -1e-9):
+            raise ValueError("steady state undefined (chain not irreducible?)")
+        solution = np.clip(solution, 0.0, None)
+        solution /= solution.sum()
+        return {s: float(solution[self.index[s]]) for s in self.states}
+
+    def __repr__(self) -> str:
+        return f"CTMC(|S|={len(self.states)}, init={self.initial_state!r})"

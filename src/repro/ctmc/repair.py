@@ -1,0 +1,178 @@
+"""Rate repair for CTMCs — the continuous-time analogue of Model Repair.
+
+To enforce "the expected time to reach the target is at most T", scale
+the controllable states' outgoing rates by ``(1 + v_s)``.  Both pieces
+of the expected-time computation are then rational functions of ``v``:
+
+* the embedded chain's probabilities ``R(s,t)/E(s)`` are unchanged by a
+  uniform row scaling, but per-*edge* controllability is supported by
+  scaling edges individually, and
+* the holding times ``1/E(s)`` become ``1/((1+v_s)·E(s))``.
+
+So the problem reduces — exactly like Propositions 2–3 — to a rational
+constraint solved by the shared NLP layer, here with the closed-form
+expected time evaluated through the parametric machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence, Set
+
+from repro.ctmc.model import CTMC
+from repro.checking.parametric import ParametricDTMC
+from repro.core.costs import frobenius_cost
+from repro.optimize import Constraint, NonlinearProgram, Variable
+from repro.symbolic import Polynomial, RationalFunction
+
+State = Hashable
+
+
+class RateRepairResult:
+    """Outcome of a CTMC rate repair.
+
+    Attributes
+    ----------
+    status:
+        ``"already_satisfied"``, ``"repaired"`` or ``"infeasible"``.
+    scales:
+        Solved per-state rate multipliers ``1 + v_s``.
+    repaired_ctmc:
+        The CTMC with scaled rates (``None`` when infeasible).
+    expected_time:
+        Expected hitting time of the result (or of the original model
+        when already satisfied).
+    """
+
+    def __init__(
+        self,
+        status: str,
+        scales: Dict[State, float],
+        repaired_ctmc: Optional[CTMC],
+        expected_time: float,
+    ):
+        self.status = status
+        self.scales = dict(scales)
+        self.repaired_ctmc = repaired_ctmc
+        self.expected_time = expected_time
+
+    @property
+    def feasible(self) -> bool:
+        """True unless the repair problem was infeasible."""
+        return self.status != "infeasible"
+
+    def __repr__(self) -> str:
+        return (
+            f"RateRepairResult(status={self.status!r}, "
+            f"expected_time={self.expected_time:.4g})"
+        )
+
+
+def _parametric_expected_time(
+    ctmc: CTMC,
+    targets: Set[State],
+    controllable: Sequence[State],
+) -> RationalFunction:
+    """Expected hitting time as a rational function of the rate scales."""
+    transitions: Dict[State, Dict[State, object]] = {}
+    rewards: Dict[State, object] = {}
+    for state in ctmc.states:
+        exit_rate = ctmc.exit_rate(state)
+        if state in targets or exit_rate == 0:
+            transitions[state] = {state: 1}
+            rewards[state] = 0
+            continue
+        # Embedded probabilities are scale-invariant under uniform row
+        # scaling; only the holding time changes.
+        transitions[state] = {
+            target: rate / exit_rate
+            for target, rate in ctmc.rates[state].items()
+        }
+        if state in controllable:
+            scale = Polynomial.one() + Polynomial.variable(f"v_{state}")
+            rewards[state] = RationalFunction(
+                Polynomial.one(), scale.scaled(exit_rate)
+            )
+        else:
+            rewards[state] = 1.0 / exit_rate
+    model = ParametricDTMC(
+        states=ctmc.states,
+        transitions=transitions,
+        initial_state=ctmc.initial_state,
+        labels=ctmc.labels,
+        state_rewards=rewards,
+    )
+    return model.expected_reward(targets)
+
+
+def expected_time_repair(
+    ctmc: CTMC,
+    targets: Set[State],
+    bound: float,
+    controllable: Optional[Sequence[State]] = None,
+    max_speedup: float = 2.0,
+    extra_starts: int = 6,
+    seed: int = 0,
+) -> RateRepairResult:
+    """Scale controllable rates so ``E[time to targets] ≤ bound``.
+
+    Parameters
+    ----------
+    controllable:
+        States whose exit rates may be scaled (default: all transient
+        non-target states).
+    max_speedup:
+        Upper bound on each multiplier ``1 + v_s`` (hardware limits on
+        how much faster a component can be made).
+    """
+    targets = set(targets)
+    original_time = ctmc.expected_time_to(targets)[ctmc.initial_state]
+    if original_time <= bound:
+        return RateRepairResult("already_satisfied", {}, ctmc, original_time)
+    if controllable is None:
+        controllable = [
+            s
+            for s in ctmc.states
+            if s not in targets and ctmc.exit_rate(s) > 0
+        ]
+    controllable = list(controllable)
+    if not controllable:
+        return RateRepairResult("infeasible", {}, None, original_time)
+    if max_speedup <= 1.0:
+        raise ValueError("max_speedup must exceed 1")
+
+    function = _parametric_expected_time(ctmc, targets, controllable)
+    variables = [
+        Variable(f"v_{state}", 0.0, max_speedup - 1.0, initial=0.0)
+        for state in controllable
+    ]
+    program = NonlinearProgram(
+        variables=variables,
+        objective=frobenius_cost,
+        constraints=[
+            Constraint(
+                lambda v: bound - float(function.evaluate(v)),
+                name="expected-time",
+                shift=1e-6 * max(1.0, bound),
+            )
+        ],
+    )
+    outcome = program.solve(extra_starts=extra_starts, seed=seed)
+    scales = {
+        state: 1.0 + outcome.assignment[f"v_{state}"] for state in controllable
+    }
+    if not outcome.feasible:
+        return RateRepairResult("infeasible", scales, None, original_time)
+    repaired = CTMC(
+        states=ctmc.states,
+        rates={
+            s: {
+                t: rate * scales.get(s, 1.0)
+                for t, rate in ctmc.rates[s].items()
+            }
+            for s in ctmc.states
+        },
+        initial_state=ctmc.initial_state,
+        labels=ctmc.labels,
+    )
+    achieved = repaired.expected_time_to(targets)[repaired.initial_state]
+    return RateRepairResult("repaired", scales, repaired, achieved)

@@ -1,0 +1,10 @@
+"""Trace datasets for learning and Data Repair.
+
+A :class:`TraceDataset` partitions observed trajectories into named
+*groups* (the unit of repair: Data Repair assigns one drop probability
+per group, matching the paper's "2 trace types" in Section V-A.2).
+"""
+
+from repro.data.dataset import TraceDataset, TraceGroup
+
+__all__ = ["TraceDataset", "TraceGroup"]

@@ -1,0 +1,145 @@
+"""Grouped trace datasets.
+
+Data Repair (Definition 3) perturbs a dataset by dropping points.  The
+paper's WSN case study groups traces by type (successful forwards,
+failed forwards, ignore traces at particular nodes) and assigns one drop
+probability per type; :class:`TraceDataset` is that structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+
+from repro.learning.mle import count_transitions
+from repro.mdp.trajectory import Trajectory
+
+State = Hashable
+
+
+class TraceGroup:
+    """A named group of traces sharing one repair decision.
+
+    Parameters
+    ----------
+    name:
+        Group identifier.
+    traces:
+        The trajectories in the group.
+    droppable:
+        Whether Data Repair may drop (part of) this group.  The paper's
+        "we want to keep certain data points because we know they are
+        reliable" corresponds to ``droppable=False``.
+    """
+
+    def __init__(
+        self, name: str, traces: Sequence[Trajectory], droppable: bool = True
+    ):
+        if not name:
+            raise ValueError("trace group needs a name")
+        self.name = name
+        self.traces: List[Trajectory] = list(traces)
+        self.droppable = bool(droppable)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def transition_counts(self) -> Dict[State, Dict[State, int]]:
+        """Transition counts contributed by this group."""
+        return count_transitions(self.traces)
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceGroup({self.name!r}, n={len(self.traces)}, "
+            f"droppable={self.droppable})"
+        )
+
+
+class TraceDataset:
+    """A dataset of traces partitioned into groups.
+
+    Examples
+    --------
+    >>> from repro.mdp import Trajectory
+    >>> good = TraceGroup("good", [Trajectory.from_states(["a", "b"])])
+    >>> dataset = TraceDataset([good])
+    >>> dataset.total_traces()
+    1
+    """
+
+    def __init__(self, groups: Iterable[TraceGroup]):
+        self.groups: Dict[str, TraceGroup] = {}
+        for group in groups:
+            if group.name in self.groups:
+                raise ValueError(f"duplicate group {group.name!r}")
+            self.groups[group.name] = group
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def group(self, name: str) -> TraceGroup:
+        """Look up one group by name."""
+        return self.groups[name]
+
+    def group_names(self) -> List[str]:
+        """All group names in insertion order."""
+        return list(self.groups)
+
+    def droppable_groups(self) -> List[str]:
+        """Names of groups Data Repair may touch."""
+        return [name for name, group in self.groups.items() if group.droppable]
+
+    def all_traces(self) -> List[Trajectory]:
+        """Every trace in every group."""
+        traces: List[Trajectory] = []
+        for group in self.groups.values():
+            traces.extend(group.traces)
+        return traces
+
+    def total_traces(self) -> int:
+        """Total number of traces."""
+        return sum(len(group) for group in self.groups.values())
+
+    def grouped_counts(self) -> Dict[str, Dict[State, Dict[State, int]]]:
+        """Per-group transition counts (input to the parametric MLE)."""
+        return {
+            name: group.transition_counts() for name, group in self.groups.items()
+        }
+
+    def states(self) -> List[State]:
+        """All states occurring in any trace, sorted by repr."""
+        seen = set()
+        for trace in self.all_traces():
+            seen.update(trace.states())
+        return sorted(seen, key=str)
+
+    # ------------------------------------------------------------------
+    # Perturbation
+    # ------------------------------------------------------------------
+    def expected_dropped(self, drop_probabilities: Mapping[str, float]) -> float:
+        """Expected number of dropped traces under per-group drop probs."""
+        return sum(
+            drop_probabilities.get(name, 0.0) * len(group)
+            for name, group in self.groups.items()
+        )
+
+    def subsampled(
+        self,
+        drop_probabilities: Mapping[str, float],
+        seed: Optional[int] = None,
+    ) -> "TraceDataset":
+        """Materialise a repaired dataset by Bernoulli-dropping traces."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        repaired = []
+        for name, group in self.groups.items():
+            drop = drop_probabilities.get(name, 0.0)
+            kept = [t for t in group.traces if rng.random() >= drop]
+            repaired.append(TraceGroup(name, kept, droppable=group.droppable))
+        return TraceDataset(repaired)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}:{len(group)}" for name, group in self.groups.items()
+        )
+        return f"TraceDataset({inner})"

@@ -1,0 +1,41 @@
+"""Hidden Markov models with constraint-aware EM.
+
+The paper's conclusion sketches the extension this package implements:
+"For other probabilistic models that have hidden states (e.g., Hidden
+Markov Models ...) we can incorporate the temporal constraints into the
+E-step of an EM algorithm for parameter learning."
+
+``model``
+    Tabular HMMs: log-space forward/backward, posteriors, Viterbi,
+    sampling, likelihood.
+``learning``
+    Baum-Welch EM, and *constrained* Baum-Welch where stepwise rules
+    (forbidden transitions / forbidden state-observation pairs) reweight
+    the E-step posterior exactly as Proposition 4 reweights trajectory
+    distributions — the factorised special case that keeps
+    forward-backward exact.
+``repair``
+    Bridges to the core repairs: the hidden chain of a learned HMM can
+    be Model-Repaired against a PCTL property like any other chain.
+"""
+
+from repro.hmm.model import HMM
+from repro.hmm.learning import (
+    StepwiseConstraint,
+    baum_welch,
+    constrained_baum_welch,
+    forbid_state_given_observation,
+    forbid_transition,
+)
+from repro.hmm.repair import hidden_chain, repair_hidden_chain
+
+__all__ = [
+    "HMM",
+    "baum_welch",
+    "constrained_baum_welch",
+    "StepwiseConstraint",
+    "forbid_transition",
+    "forbid_state_given_observation",
+    "hidden_chain",
+    "repair_hidden_chain",
+]

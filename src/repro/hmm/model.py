@@ -1,0 +1,222 @@
+"""Tabular hidden Markov models.
+
+A discrete HMM over named hidden states and named observation symbols:
+initial distribution π, transition matrix A, emission matrix B.  All
+inference runs in scaled (normalised-alpha) space, so long sequences do
+not underflow, and every routine returns plain dictionaries/arrays keyed
+the caller's way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+State = Hashable
+Symbol = Hashable
+
+
+class HMM:
+    """A hidden Markov model ``(π, A, B)`` over named states/symbols.
+
+    Parameters
+    ----------
+    states:
+        Hidden state identifiers.
+    symbols:
+        Observation symbol identifiers.
+    initial:
+        ``{state: probability}``; must sum to 1.
+    transitions:
+        ``{state: {state: probability}}``; rows must sum to 1.
+    emissions:
+        ``{state: {symbol: probability}}``; rows must sum to 1.
+
+    Examples
+    --------
+    >>> hmm = HMM(
+    ...     states=["rain", "sun"],
+    ...     symbols=["umbrella", "none"],
+    ...     initial={"rain": 0.5, "sun": 0.5},
+    ...     transitions={"rain": {"rain": 0.7, "sun": 0.3},
+    ...                  "sun": {"rain": 0.3, "sun": 0.7}},
+    ...     emissions={"rain": {"umbrella": 0.9, "none": 0.1},
+    ...                "sun": {"umbrella": 0.2, "none": 0.8}},
+    ... )
+    >>> round(hmm.log_likelihood(["umbrella", "umbrella"]), 3)
+    -1.046
+    """
+
+    def __init__(
+        self,
+        states: Sequence[State],
+        symbols: Sequence[Symbol],
+        initial: Mapping[State, float],
+        transitions: Mapping[State, Mapping[State, float]],
+        emissions: Mapping[State, Mapping[Symbol, float]],
+    ):
+        self.states = list(states)
+        self.symbols = list(symbols)
+        self.state_index = {s: i for i, s in enumerate(self.states)}
+        self.symbol_index = {o: i for i, o in enumerate(self.symbols)}
+        n, m = len(self.states), len(self.symbols)
+        self.pi = np.zeros(n)
+        for state, probability in initial.items():
+            self.pi[self.state_index[state]] = probability
+        self.A = np.zeros((n, n))
+        for source, row in transitions.items():
+            for target, probability in row.items():
+                self.A[self.state_index[source], self.state_index[target]] = (
+                    probability
+                )
+        self.B = np.zeros((n, m))
+        for state, row in emissions.items():
+            for symbol, probability in row.items():
+                self.B[self.state_index[state], self.symbol_index[symbol]] = (
+                    probability
+                )
+        self._validate()
+
+    def _validate(self) -> None:
+        if not np.isclose(self.pi.sum(), 1.0):
+            raise ValueError(f"initial distribution sums to {self.pi.sum()}")
+        for i, state in enumerate(self.states):
+            if not np.isclose(self.A[i].sum(), 1.0):
+                raise ValueError(
+                    f"transition row of {state!r} sums to {self.A[i].sum()}"
+                )
+            if not np.isclose(self.B[i].sum(), 1.0):
+                raise ValueError(
+                    f"emission row of {state!r} sums to {self.B[i].sum()}"
+                )
+        if np.any(self.pi < 0) or np.any(self.A < 0) or np.any(self.B < 0):
+            raise ValueError("negative probabilities")
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _encode(self, observations: Sequence[Symbol]) -> np.ndarray:
+        return np.array([self.symbol_index[o] for o in observations])
+
+    def forward(
+        self, observations: Sequence[Symbol]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scaled forward pass: returns ``(alpha, scales)``.
+
+        ``alpha[t]`` is the normalised filtering distribution;
+        ``Σ_t log scales[t]`` is the log-likelihood.
+        """
+        obs = self._encode(observations)
+        length = len(obs)
+        alpha = np.zeros((length, len(self.states)))
+        scales = np.zeros(length)
+        current = self.pi * self.B[:, obs[0]]
+        scales[0] = current.sum()
+        if scales[0] == 0:
+            raise ValueError("observation sequence has zero probability")
+        alpha[0] = current / scales[0]
+        for t in range(1, length):
+            current = (alpha[t - 1] @ self.A) * self.B[:, obs[t]]
+            scales[t] = current.sum()
+            if scales[t] == 0:
+                raise ValueError("observation sequence has zero probability")
+            alpha[t] = current / scales[t]
+        return alpha, scales
+
+    def backward(
+        self, observations: Sequence[Symbol], scales: np.ndarray
+    ) -> np.ndarray:
+        """Scaled backward pass matching :meth:`forward`'s scaling."""
+        obs = self._encode(observations)
+        length = len(obs)
+        beta = np.zeros((length, len(self.states)))
+        beta[length - 1] = 1.0
+        for t in range(length - 2, -1, -1):
+            beta[t] = (self.A @ (self.B[:, obs[t + 1]] * beta[t + 1])) / scales[
+                t + 1
+            ]
+        return beta
+
+    def log_likelihood(self, observations: Sequence[Symbol]) -> float:
+        """``log P(observations)``."""
+        _, scales = self.forward(observations)
+        return float(np.log(scales).sum())
+
+    def posteriors(
+        self, observations: Sequence[Symbol]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """State and transition posteriors ``(gamma, xi)``.
+
+        ``gamma[t, i] = P(z_t = i | x)``;
+        ``xi[t, i, j] = P(z_t = i, z_{t+1} = j | x)``.
+        """
+        obs = self._encode(observations)
+        alpha, scales = self.forward(observations)
+        beta = self.backward(observations, scales)
+        gamma = alpha * beta
+        gamma /= gamma.sum(axis=1, keepdims=True)
+        length = len(obs)
+        xi = np.zeros((length - 1, len(self.states), len(self.states)))
+        for t in range(length - 1):
+            numerator = (
+                alpha[t][:, None]
+                * self.A
+                * (self.B[:, obs[t + 1]] * beta[t + 1])[None, :]
+            )
+            xi[t] = numerator / numerator.sum()
+        return gamma, xi
+
+    def viterbi(self, observations: Sequence[Symbol]) -> List[State]:
+        """The most likely hidden state path (log-space)."""
+        obs = self._encode(observations)
+        length = len(obs)
+        with np.errstate(divide="ignore"):
+            log_pi = np.log(self.pi)
+            log_a = np.log(self.A)
+            log_b = np.log(self.B)
+        delta = log_pi + log_b[:, obs[0]]
+        back = np.zeros((length, len(self.states)), dtype=int)
+        for t in range(1, length):
+            candidates = delta[:, None] + log_a
+            back[t] = candidates.argmax(axis=0)
+            delta = candidates.max(axis=0) + log_b[:, obs[t]]
+        path = [int(delta.argmax())]
+        for t in range(length - 1, 0, -1):
+            path.append(int(back[t][path[-1]]))
+        return [self.states[i] for i in reversed(path)]
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def sample(
+        self, length: int, rng: Optional[np.random.Generator] = None
+    ) -> Tuple[List[State], List[Symbol]]:
+        """Sample a hidden path and its observations."""
+        rng = rng or np.random.default_rng()
+        state = int(rng.choice(len(self.states), p=self.pi))
+        hidden: List[State] = []
+        observed: List[Symbol] = []
+        for _ in range(length):
+            hidden.append(self.states[state])
+            symbol = int(rng.choice(len(self.symbols), p=self.B[state]))
+            observed.append(self.symbols[symbol])
+            state = int(rng.choice(len(self.states), p=self.A[state]))
+        return hidden, observed
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def transition_dict(self) -> Dict[State, Dict[State, float]]:
+        """Transitions as nested dictionaries (for chain conversion)."""
+        return {
+            source: {
+                target: float(self.A[i, j])
+                for j, target in enumerate(self.states)
+                if self.A[i, j] > 0
+            }
+            for i, source in enumerate(self.states)
+        }
+
+    def __repr__(self) -> str:
+        return f"HMM(|S|={len(self.states)}, |O|={len(self.symbols)})"

@@ -1,0 +1,86 @@
+"""Bridging HMMs to the core repairs.
+
+A learned HMM's hidden dynamics are a Markov chain; when a PCTL trust
+property concerns the hidden process (e.g. "the machine's hidden fault
+state is eventually cleared with high probability"), the chain can be
+Model-Repaired like any other and the repaired transitions written back
+into the HMM.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Optional
+
+from repro.core.model_repair import ModelRepair, ModelRepairResult
+from repro.hmm.model import HMM
+from repro.logic.pctl import StateFormula
+from repro.mdp.model import DTMC
+
+State = Hashable
+
+
+def hidden_chain(
+    hmm: HMM,
+    labels: Optional[Mapping[State, Iterable[str]]] = None,
+    initial_state: Optional[State] = None,
+    state_rewards: Optional[Mapping[State, float]] = None,
+) -> DTMC:
+    """The HMM's hidden-state Markov chain.
+
+    ``initial_state`` defaults to the most likely initial hidden state
+    (PCTL needs a single initial state; for a full distribution check
+    each support state separately).
+    """
+    if initial_state is None:
+        initial_state = hmm.states[int(hmm.pi.argmax())]
+    return DTMC(
+        states=hmm.states,
+        transitions=hmm.transition_dict(),
+        initial_state=initial_state,
+        labels=labels,
+        state_rewards=state_rewards,
+    )
+
+
+def repair_hidden_chain(
+    hmm: HMM,
+    formula: StateFormula,
+    labels: Mapping[State, Iterable[str]],
+    initial_state: Optional[State] = None,
+    state_rewards: Optional[Mapping[State, float]] = None,
+    max_perturbation: Optional[float] = None,
+) -> tuple:
+    """Model-Repair the hidden chain and write the result back.
+
+    Returns ``(repaired_hmm, ModelRepairResult)``; the HMM's emissions
+    and initial distribution are untouched (only ``A`` changes, mirroring
+    ``Feas_MP``'s transition-only repairs).
+    """
+    chain = hidden_chain(
+        hmm,
+        labels=labels,
+        initial_state=initial_state,
+        state_rewards=state_rewards,
+    )
+    result: ModelRepairResult = ModelRepair.for_chain(
+        chain, formula, max_perturbation=max_perturbation
+    ).repair()
+    if not result.feasible or result.repaired_model is None:
+        return hmm, result
+    repaired = result.repaired_model
+    updated = HMM(
+        states=hmm.states,
+        symbols=hmm.symbols,
+        initial={s: float(hmm.pi[i]) for i, s in enumerate(hmm.states)},
+        transitions={
+            s: dict(repaired.transitions[s]) for s in hmm.states
+        },
+        emissions={
+            s: {
+                o: float(hmm.B[i, j])
+                for j, o in enumerate(hmm.symbols)
+            }
+            for i, s in enumerate(hmm.states)
+        },
+    )
+    return updated, result

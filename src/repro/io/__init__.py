@@ -1,0 +1,37 @@
+"""Serialisation: JSON round-trip and PRISM-language export.
+
+``json_io``
+    Lossless dictionary/JSON round-trip for chains and MDPs.
+``prism``
+    Export models in the PRISM modelling language so results can be
+    cross-checked against the tool the paper used.
+"""
+
+from repro.io.json_io import (
+    dtmc_from_dict,
+    dtmc_to_dict,
+    load_model,
+    mdp_from_dict,
+    mdp_to_dict,
+    save_model,
+)
+from repro.io.prism import dtmc_to_prism, mdp_to_prism
+from repro.io.dot import dtmc_to_dot, mdp_to_dot, repair_diff_to_dot
+from repro.io.prism_parser import PrismParseError, load_prism, parse_prism
+
+__all__ = [
+    "dtmc_to_dict",
+    "dtmc_from_dict",
+    "mdp_to_dict",
+    "mdp_from_dict",
+    "save_model",
+    "load_model",
+    "dtmc_to_prism",
+    "mdp_to_prism",
+    "dtmc_to_dot",
+    "mdp_to_dot",
+    "repair_diff_to_dot",
+    "parse_prism",
+    "load_prism",
+    "PrismParseError",
+]

@@ -1,0 +1,106 @@
+"""Graphviz DOT export for models.
+
+Visual inspection of repairs: :func:`repair_diff_to_dot` renders the
+original and repaired chain together, highlighting the perturbed edges
+with their probability deltas.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.mdp.model import DTMC, MDP
+
+
+def _node_id(model, state) -> str:
+    return f"s{model.index[state]}"
+
+
+def _escape(text) -> str:
+    return str(text).replace('"', '\\"')
+
+
+def dtmc_to_dot(chain: DTMC, name: str = "chain") -> str:
+    """The chain as a DOT digraph (labels shown, initial state bold)."""
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=LR;"]
+    for state in chain.states:
+        attributes = [f'label="{_escape(state)}']
+        atoms = sorted(chain.labels[state])
+        if atoms:
+            attributes[0] += "\\n{" + ", ".join(atoms) + "}"
+        attributes[0] += '"'
+        if state == chain.initial_state:
+            attributes.append("penwidth=2")
+            attributes.append('shape=doublecircle')
+        else:
+            attributes.append("shape=circle")
+        lines.append(f"  {_node_id(chain, state)} [{', '.join(attributes)}];")
+    for source, row in chain.transitions.items():
+        for target, probability in row.items():
+            lines.append(
+                f"  {_node_id(chain, source)} -> {_node_id(chain, target)} "
+                f'[label="{probability:.4g}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def mdp_to_dot(mdp: MDP, name: str = "mdp") -> str:
+    """The MDP as a DOT digraph with action-labelled decision points."""
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=LR;"]
+    for state in mdp.states:
+        shape = "doublecircle" if state == mdp.initial_state else "circle"
+        lines.append(
+            f'  {_node_id(mdp, state)} [label="{_escape(state)}", shape={shape}];'
+        )
+    for state in mdp.states:
+        for action in mdp.actions(state):
+            decision = f"{_node_id(mdp, state)}_a{_escape(action)}"
+            lines.append(
+                f'  "{decision}" [label="{_escape(action)}", shape=point];'
+            )
+            lines.append(f'  {_node_id(mdp, state)} -> "{decision}" [arrowhead=none];')
+            for target, probability in mdp.transitions[state][action].items():
+                lines.append(
+                    f'  "{decision}" -> {_node_id(mdp, target)} '
+                    f'[label="{probability:.4g}"];'
+                )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def repair_diff_to_dot(
+    original: DTMC,
+    repaired: DTMC,
+    name: str = "repair",
+    tolerance: float = 1e-9,
+) -> str:
+    """Original vs repaired chain; changed edges red with old→new labels."""
+    if original.states != repaired.states:
+        raise ValueError("chains must share a state space")
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=LR;"]
+    for state in original.states:
+        shape = (
+            "doublecircle" if state == original.initial_state else "circle"
+        )
+        lines.append(
+            f'  {_node_id(original, state)} '
+            f'[label="{_escape(state)}", shape={shape}];'
+        )
+    for source in original.states:
+        targets = set(original.transitions[source]) | set(
+            repaired.transitions[source]
+        )
+        for target in sorted(targets, key=str):
+            before = original.probability(source, target)
+            after = repaired.probability(source, target)
+            edge = f"  {_node_id(original, source)} -> {_node_id(original, target)}"
+            if abs(after - before) > tolerance:
+                lines.append(
+                    f'{edge} [label="{before:.4g} → {after:.4g}", '
+                    'color=red, fontcolor=red, penwidth=2];'
+                )
+            else:
+                lines.append(f'{edge} [label="{before:.4g}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

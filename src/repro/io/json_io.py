@@ -1,0 +1,108 @@
+"""JSON round-trip serialisation for models.
+
+State identifiers are stringified on the way out and kept as strings on
+the way in (JSON has no tuple keys); models that need richer state types
+should map them before saving.  ``save_model``/``load_model`` add a
+``kind`` discriminator so a file is self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.mdp.model import DTMC, MDP
+
+
+def dtmc_to_dict(chain: DTMC) -> Dict:
+    """A JSON-ready dictionary capturing the full chain."""
+    return {
+        "states": [str(s) for s in chain.states],
+        "initial_state": str(chain.initial_state),
+        "transitions": {
+            str(s): {str(t): p for t, p in row.items()}
+            for s, row in chain.transitions.items()
+        },
+        "labels": {
+            str(s): sorted(props)
+            for s, props in chain.labels.items()
+            if props
+        },
+        "state_rewards": {
+            str(s): r for s, r in chain.state_rewards.items() if r != 0.0
+        },
+    }
+
+
+def dtmc_from_dict(payload: Dict) -> DTMC:
+    """Rebuild a chain saved by :func:`dtmc_to_dict`."""
+    return DTMC(
+        states=payload["states"],
+        transitions=payload["transitions"],
+        initial_state=payload["initial_state"],
+        labels={s: set(props) for s, props in payload.get("labels", {}).items()},
+        state_rewards=payload.get("state_rewards", {}),
+    )
+
+
+def mdp_to_dict(mdp: MDP) -> Dict:
+    """A JSON-ready dictionary capturing the full MDP."""
+    return {
+        "states": [str(s) for s in mdp.states],
+        "initial_state": str(mdp.initial_state),
+        "transitions": {
+            str(s): {
+                str(a): {str(t): p for t, p in dist.items()}
+                for a, dist in rows.items()
+            }
+            for s, rows in mdp.transitions.items()
+        },
+        "labels": {
+            str(s): sorted(props) for s, props in mdp.labels.items() if props
+        },
+        "state_rewards": {
+            str(s): r for s, r in mdp.state_rewards.items() if r != 0.0
+        },
+        "action_rewards": [
+            {"state": str(s), "action": str(a), "reward": r}
+            for (s, a), r in mdp.action_rewards.items()
+        ],
+    }
+
+
+def mdp_from_dict(payload: Dict) -> MDP:
+    """Rebuild an MDP saved by :func:`mdp_to_dict`."""
+    return MDP(
+        states=payload["states"],
+        transitions=payload["transitions"],
+        initial_state=payload["initial_state"],
+        labels={s: set(props) for s, props in payload.get("labels", {}).items()},
+        state_rewards=payload.get("state_rewards", {}),
+        action_rewards={
+            (entry["state"], entry["action"]): entry["reward"]
+            for entry in payload.get("action_rewards", [])
+        },
+    )
+
+
+def save_model(model: Union[DTMC, MDP], path: Union[str, Path]) -> None:
+    """Write a model to a self-describing JSON file."""
+    if isinstance(model, DTMC):
+        payload = {"kind": "dtmc", "model": dtmc_to_dict(model)}
+    elif isinstance(model, MDP):
+        payload = {"kind": "mdp", "model": mdp_to_dict(model)}
+    else:
+        raise TypeError(f"cannot serialise {type(model).__name__}")
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_model(path: Union[str, Path]) -> Union[DTMC, MDP]:
+    """Read a model written by :func:`save_model`."""
+    payload = json.loads(Path(path).read_text())
+    kind = payload.get("kind")
+    if kind == "dtmc":
+        return dtmc_from_dict(payload["model"])
+    if kind == "mdp":
+        return mdp_from_dict(payload["model"])
+    raise ValueError(f"unknown model kind {kind!r}")

@@ -1,0 +1,82 @@
+"""Export models in the PRISM modelling language.
+
+The paper ran its parametric checks in PRISM; these writers let a user
+cross-validate this library's numbers against PRISM itself.  States are
+encoded as one integer variable ``s`` over the model's state ordering;
+labels become PRISM ``label`` declarations and the state reward function
+becomes a ``rewards`` block.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mdp.model import DTMC, MDP
+
+
+def _sanitise(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in str(name))
+    return cleaned if cleaned and not cleaned[0].isdigit() else f"l_{cleaned}"
+
+
+def dtmc_to_prism(chain: DTMC, module_name: str = "chain") -> str:
+    """The chain as a PRISM ``dtmc`` model (returns the source text)."""
+    lines: List[str] = ["dtmc", "", f"module {module_name}"]
+    n = chain.num_states
+    init = chain.index[chain.initial_state]
+    lines.append(f"  s : [0..{n - 1}] init {init};")
+    for state in chain.states:
+        i = chain.index[state]
+        row = chain.transitions[state]
+        updates = " + ".join(
+            f"{prob:.12g} : (s'={chain.index[target]})"
+            for target, prob in sorted(row.items(), key=lambda kv: chain.index[kv[0]])
+        )
+        lines.append(f"  [] s={i} -> {updates};")
+    lines.append("endmodule")
+    lines.append("")
+    for atom in sorted(chain.atoms()):
+        members = sorted(chain.index[s] for s in chain.states_with_atom(atom))
+        condition = " | ".join(f"s={i}" for i in members) or "false"
+        lines.append(f'label "{_sanitise(atom)}" = {condition};')
+    lines.append("")
+    lines.append('rewards "default"')
+    for state in chain.states:
+        reward = chain.state_rewards[state]
+        if reward != 0.0:
+            lines.append(f"  s={chain.index[state]} : {reward:.12g};")
+    lines.append("endrewards")
+    return "\n".join(lines) + "\n"
+
+
+def mdp_to_prism(mdp: MDP, module_name: str = "mdp_model") -> str:
+    """The MDP as a PRISM ``mdp`` model (returns the source text)."""
+    lines: List[str] = ["mdp", "", f"module {module_name}"]
+    n = mdp.num_states
+    init = mdp.index[mdp.initial_state]
+    lines.append(f"  s : [0..{n - 1}] init {init};")
+    for state in mdp.states:
+        i = mdp.index[state]
+        for action in mdp.actions(state):
+            row = mdp.transitions[state][action]
+            updates = " + ".join(
+                f"{prob:.12g} : (s'={mdp.index[target]})"
+                for target, prob in sorted(
+                    row.items(), key=lambda kv: mdp.index[kv[0]]
+                )
+            )
+            lines.append(f"  [{_sanitise(f'a_{action}')}] s={i} -> {updates};")
+    lines.append("endmodule")
+    lines.append("")
+    for atom in sorted(mdp.atoms()):
+        members = sorted(mdp.index[s] for s in mdp.states_with_atom(atom))
+        condition = " | ".join(f"s={i}" for i in members) or "false"
+        lines.append(f'label "{_sanitise(atom)}" = {condition};')
+    lines.append("")
+    lines.append('rewards "default"')
+    for state in mdp.states:
+        reward = mdp.state_rewards[state]
+        if reward != 0.0:
+            lines.append(f"  s={mdp.index[state]} : {reward:.12g};")
+    lines.append("endrewards")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,156 @@
+"""Import models written in the PRISM subset this library exports.
+
+The reader accepts the single-module, single-integer-variable shape that
+:func:`repro.io.prism.dtmc_to_prism` / :func:`mdp_to_prism` produce —
+which is also how many hand-written PRISM benchmark models for chains
+look:
+
+    dtmc
+    module name
+      s : [0..N] init i;
+      [] s=0 -> 0.5 : (s'=1) + 0.5 : (s'=2);
+      ...
+    endmodule
+    label "goal" = s=2 | s=3;
+    rewards "default"
+      s=0 : 1;
+    endrewards
+
+States import as the strings ``"s0" … "sN"`` (PRISM state identity is
+the variable valuation, not a name).  MDP commands' action labels become
+the imported action names.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple, Union
+
+from repro.mdp.model import DTMC, MDP
+
+
+class PrismParseError(ValueError):
+    """Raised on input outside the supported PRISM subset."""
+
+
+_MODEL_TYPE = re.compile(r"^\s*(dtmc|mdp)\s*$", re.MULTILINE)
+_VARIABLE = re.compile(
+    r"^\s*(\w+)\s*:\s*\[\s*(\d+)\s*\.\.\s*(\d+)\s*\]\s*init\s*(\d+)\s*;",
+    re.MULTILINE,
+)
+_COMMAND = re.compile(
+    r"^\s*\[(?P<action>[^\]]*)\]\s*(?P<guard>[^-]+)->(?P<updates>[^;]+);",
+    re.MULTILINE,
+)
+_GUARD = re.compile(r"^\s*(\w+)\s*=\s*(\d+)\s*$")
+_UPDATE = re.compile(
+    r"(?P<prob>[0-9.eE+-]+)\s*:\s*\(\s*(\w+)\s*'\s*=\s*(?P<target>\d+)\s*\)"
+)
+_LABEL = re.compile(r'^\s*label\s+"(?P<name>[^"]+)"\s*=\s*(?P<expr>[^;]+);',
+                    re.MULTILINE)
+_LABEL_TERM = re.compile(r"(\w+)\s*=\s*(\d+)")
+_REWARD_ITEM = re.compile(
+    r"^\s*(\w+)\s*=\s*(\d+)\s*:\s*([0-9.eE+-]+)\s*;", re.MULTILINE
+)
+
+
+def _state_name(index: int) -> str:
+    return f"s{index}"
+
+
+def parse_prism(text: str) -> Union[DTMC, MDP]:
+    """Parse PRISM source text into a :class:`DTMC` or :class:`MDP`.
+
+    Raises :class:`PrismParseError` on input outside the supported
+    subset (multiple variables, guards over several variables,
+    synchronising multi-module systems, ...).
+    """
+    kind_match = _MODEL_TYPE.search(text)
+    if not kind_match:
+        raise PrismParseError("missing model type (expected 'dtmc' or 'mdp')")
+    kind = kind_match.group(1)
+
+    variables = _VARIABLE.findall(text)
+    if len(variables) != 1:
+        raise PrismParseError(
+            f"expected exactly one state variable, found {len(variables)}"
+        )
+    _name, low, high, init = variables[0]
+    if int(low) != 0:
+        raise PrismParseError("state variable must start at 0")
+    count = int(high) + 1
+    states = [_state_name(i) for i in range(count)]
+    initial = _state_name(int(init))
+
+    commands: List[Tuple[str, int, Dict[str, float]]] = []
+    for match in _COMMAND.finditer(text):
+        guard_match = _GUARD.match(match.group("guard"))
+        if not guard_match:
+            raise PrismParseError(
+                f"unsupported guard {match.group('guard').strip()!r}"
+            )
+        source = int(guard_match.group(2))
+        updates: Dict[str, float] = {}
+        update_text = match.group("updates")
+        found = list(_UPDATE.finditer(update_text))
+        if not found:
+            raise PrismParseError(
+                f"unsupported update {update_text.strip()!r}"
+            )
+        for update in found:
+            target = _state_name(int(update.group("target")))
+            updates[target] = updates.get(target, 0.0) + float(
+                update.group("prob")
+            )
+        commands.append((match.group("action").strip(), source, updates))
+
+    labels: Dict[str, set] = {}
+    for match in _LABEL.finditer(text):
+        for _var, index in _LABEL_TERM.findall(match.group("expr")):
+            labels.setdefault(_state_name(int(index)), set()).add(
+                match.group("name")
+            )
+
+    rewards = {
+        _state_name(int(index)): float(value)
+        for _var, index, value in _REWARD_ITEM.findall(text)
+    }
+
+    if kind == "dtmc":
+        transitions: Dict[str, Dict[str, float]] = {}
+        for action, source, updates in commands:
+            if action:
+                raise PrismParseError("dtmc commands must be unlabelled")
+            state = _state_name(source)
+            if state in transitions:
+                raise PrismParseError(f"duplicate dtmc command for state {source}")
+            transitions[state] = updates
+        return DTMC(
+            states=states,
+            transitions=transitions,
+            initial_state=initial,
+            labels=labels,
+            state_rewards=rewards,
+        )
+
+    mdp_transitions: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for position, (action, source, updates) in enumerate(commands):
+        state = _state_name(source)
+        name = action or f"cmd{position}"
+        mdp_transitions.setdefault(state, {})[name] = updates
+    for state in states:
+        mdp_transitions.setdefault(state, {"stay": {state: 1.0}})
+    return MDP(
+        states=states,
+        transitions=mdp_transitions,
+        initial_state=initial,
+        labels=labels,
+        state_rewards=rewards,
+    )
+
+
+def load_prism(path) -> Union[DTMC, MDP]:
+    """Read and parse a PRISM model file."""
+    from pathlib import Path
+
+    return parse_prism(Path(path).read_text())

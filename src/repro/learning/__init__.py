@@ -1,0 +1,63 @@
+"""Learning procedures (the paper's ``ML``).
+
+``mle``
+    Maximum-likelihood estimation of chain transition probabilities from
+    trace data — the paper's learning procedure for ``P`` — and its
+    *parametric* variant where per-group drop probabilities make the
+    estimates rational functions (the heart of Data Repair).
+``irl``
+    Maximum-entropy inverse reinforcement learning (Ziebart et al.) —
+    the paper's learning procedure for ``R``.
+``trajectory_distribution``
+    Exact enumeration of bounded-horizon trajectory distributions
+    (Equation 16) and a Metropolis sampler for larger models.
+``posterior_regularization``
+    The Proposition 4 projection ``Q(U) ∝ P(U)·exp(−Σ λ[1−φ(U)])`` and
+    reward re-estimation by moment matching.
+"""
+
+from repro.learning.mle import (
+    count_transitions,
+    learn_dtmc,
+    parametric_augment_mle_dtmc,
+    parametric_mle_dtmc,
+)
+from repro.learning.irl import (
+    FeatureMap,
+    MaxEntIRL,
+    MaxEntIRLResult,
+    TabularFeatureMap,
+)
+from repro.learning.trajectory_distribution import (
+    TrajectoryDistribution,
+    enumerate_trajectories,
+    trajectory_log_weight,
+    trajectory_probability_unnormalised,
+    MetropolisTrajectorySampler,
+)
+from repro.learning.posterior_regularization import (
+    fit_reward_to_distribution,
+    fit_reward_to_sampled_projection,
+    project_distribution,
+    sampled_projection_feature_expectation,
+)
+
+__all__ = [
+    "count_transitions",
+    "learn_dtmc",
+    "parametric_mle_dtmc",
+    "parametric_augment_mle_dtmc",
+    "FeatureMap",
+    "TabularFeatureMap",
+    "MaxEntIRL",
+    "MaxEntIRLResult",
+    "TrajectoryDistribution",
+    "enumerate_trajectories",
+    "trajectory_log_weight",
+    "trajectory_probability_unnormalised",
+    "MetropolisTrajectorySampler",
+    "project_distribution",
+    "fit_reward_to_distribution",
+    "fit_reward_to_sampled_projection",
+    "sampled_projection_feature_expectation",
+]

@@ -1,0 +1,263 @@
+"""Maximum-entropy inverse reinforcement learning (Ziebart et al. 2008).
+
+This is the paper's learning procedure for the reward function ``R``
+(Section IV-C): rewards are linear in state features,
+``reward(s) = θᵀ f(s)`` with ``‖θ‖₂ ≤ 1``, and the trajectory
+distribution is Equation 16,
+
+    P(U | θ, P) ∝ exp( Σ_i θᵀ f(s_i) ) · Π_i P(s_{i+1} | s_i, a_i).
+
+Learning maximises the demonstration log-likelihood; the gradient is the
+difference between empirical and expected feature counts.  Expected
+counts come from the standard soft (log-space) backward pass over a
+finite horizon followed by a forward state-visitation pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.mdp.model import MDP
+from repro.mdp.trajectory import Trajectory
+
+State = Hashable
+Action = Hashable
+
+
+class FeatureMap:
+    """Maps states to feature vectors ``f(s) ∈ R^k``."""
+
+    def __init__(self, function: Callable[[State], np.ndarray], dimension: int):
+        self.function = function
+        self.dimension = dimension
+
+    def __call__(self, state: State) -> np.ndarray:
+        vector = np.asarray(self.function(state), dtype=float)
+        if vector.shape != (self.dimension,):
+            raise ValueError(
+                f"feature map returned shape {vector.shape}, "
+                f"expected ({self.dimension},)"
+            )
+        return vector
+
+
+class TabularFeatureMap(FeatureMap):
+    """A feature map backed by an explicit table.
+
+    Examples
+    --------
+    >>> features = TabularFeatureMap({"s0": [1.0, 0.0], "s1": [0.0, 1.0]})
+    >>> features("s1")
+    array([0., 1.])
+    """
+
+    def __init__(self, table: Mapping[State, Sequence[float]]):
+        table = {state: np.asarray(row, dtype=float) for state, row in table.items()}
+        dimensions = {row.shape for row in table.values()}
+        if len(dimensions) != 1:
+            raise ValueError("all feature rows must share one dimension")
+        (dimension,) = dimensions
+        super().__init__(lambda s: table[s], dimension[0])
+        self.table = table
+
+
+class MaxEntIRLResult:
+    """Outcome of MaxEnt IRL.
+
+    Attributes
+    ----------
+    theta:
+        The learned weight vector.
+    state_rewards:
+        ``{state: θᵀ f(state)}``.
+    converged:
+        Whether the gradient norm fell below tolerance.
+    iterations:
+        Gradient steps taken.
+    """
+
+    def __init__(
+        self,
+        theta: np.ndarray,
+        state_rewards: Dict[State, float],
+        converged: bool,
+        iterations: int,
+    ):
+        self.theta = theta
+        self.state_rewards = state_rewards
+        self.converged = converged
+        self.iterations = iterations
+
+    def apply_to(self, mdp: MDP) -> MDP:
+        """The MDP with its state rewards replaced by the learned ones."""
+        return mdp.with_rewards(state_rewards=self.state_rewards)
+
+    def __repr__(self) -> str:
+        theta = np.array2string(self.theta, precision=3)
+        return (
+            f"MaxEntIRLResult(theta={theta}, converged={self.converged}, "
+            f"iterations={self.iterations})"
+        )
+
+
+class MaxEntIRL:
+    """Maximum-entropy IRL on a tabular MDP.
+
+    Parameters
+    ----------
+    mdp:
+        The dynamics (transition probabilities are taken as known).
+    features:
+        State feature map ``f``.
+    horizon:
+        Trajectory length for the soft backward/forward passes; defaults
+        to the longest demonstration.
+    learning_rate / max_iterations / tolerance:
+        Exponentiated-gradient-ascent hyperparameters.
+    project_to_unit_ball:
+        Enforce the paper's ``‖θ‖₂ ≤ 1`` after every step.
+    """
+
+    def __init__(
+        self,
+        mdp: MDP,
+        features: FeatureMap,
+        horizon: Optional[int] = None,
+        learning_rate: float = 0.1,
+        max_iterations: int = 500,
+        tolerance: float = 1e-5,
+        project_to_unit_ball: bool = True,
+    ):
+        self.mdp = mdp
+        self.features = features
+        self.horizon = horizon
+        self.learning_rate = learning_rate
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.project_to_unit_ball = project_to_unit_ball
+        self._feature_matrix = np.stack([features(s) for s in mdp.states])
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def fit(self, demonstrations: Sequence[Trajectory]) -> MaxEntIRLResult:
+        """Learn θ from expert demonstrations."""
+        if not demonstrations:
+            raise ValueError("need at least one demonstration")
+        horizon = self.horizon or max(len(demo) for demo in demonstrations)
+        empirical = self._empirical_feature_counts(demonstrations)
+        theta = np.zeros(self.features.dimension)
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iterations + 1):
+            expected = self.expected_feature_counts(theta, horizon)
+            gradient = empirical - expected
+            theta = theta + self.learning_rate * gradient
+            if self.project_to_unit_ball:
+                norm = np.linalg.norm(theta)
+                if norm > 1.0:
+                    theta = theta / norm
+            if np.linalg.norm(gradient) < self.tolerance:
+                converged = True
+                break
+        rewards = {
+            s: float(self._feature_matrix[i] @ theta)
+            for i, s in enumerate(self.mdp.states)
+        }
+        return MaxEntIRLResult(theta, rewards, converged, iteration)
+
+    # ------------------------------------------------------------------
+    # Feature counts
+    # ------------------------------------------------------------------
+    def _empirical_feature_counts(
+        self, demonstrations: Sequence[Trajectory]
+    ) -> np.ndarray:
+        total = np.zeros(self.features.dimension)
+        for demo in demonstrations:
+            for state in demo.states():
+                total += self.features(state)
+        return total / len(demonstrations)
+
+    def expected_feature_counts(self, theta: np.ndarray, horizon: int) -> np.ndarray:
+        """Expected feature counts under the MaxEnt policy for θ."""
+        visitation = self.state_visitation_frequencies(theta, horizon)
+        return visitation @ self._feature_matrix
+
+    def soft_policy(
+        self, theta: np.ndarray, horizon: int
+    ) -> Dict[State, Dict[Action, float]]:
+        """The local action distribution of the MaxEnt model (log-space).
+
+        Backward recursion over ``horizon`` steps:
+        ``log Z_{s,a} = Σ_t P(t|s,a) log-mass(t)`` aggregated through
+        ``logsumexp``; the policy is ``Z_{s,a} / Z_s``.
+        """
+        states = self.mdp.states
+        index = self.mdp.index
+        rewards = self._feature_matrix @ theta
+        log_z_state = np.zeros(len(states))
+        log_z_action: Dict[Tuple[State, Action], float] = {}
+        for _ in range(horizon):
+            updated = np.full(len(states), -np.inf)
+            for state in states:
+                i = index[state]
+                action_terms = []
+                for action in self.mdp.actions(state):
+                    term = rewards[i] + _log_expectation(
+                        self.mdp.transitions[state][action], log_z_state, index
+                    )
+                    log_z_action[(state, action)] = term
+                    action_terms.append(term)
+                updated[i] = logsumexp(action_terms)
+            log_z_state = updated
+        policy: Dict[State, Dict[Action, float]] = {}
+        for state in states:
+            i = index[state]
+            actions = self.mdp.actions(state)
+            logits = np.array([log_z_action[(state, action)] for action in actions])
+            probs = np.exp(logits - logsumexp(logits))
+            policy[state] = {a: float(p) for a, p in zip(actions, probs)}
+        return policy
+
+    def state_visitation_frequencies(
+        self, theta: np.ndarray, horizon: int
+    ) -> np.ndarray:
+        """``Σ_t D_t(s)`` under the MaxEnt policy, as a vector."""
+        policy = self.soft_policy(theta, horizon)
+        states = self.mdp.states
+        index = self.mdp.index
+        current = np.zeros(len(states))
+        current[index[self.mdp.initial_state]] = 1.0
+        total = current.copy()
+        for _ in range(horizon - 1):
+            following = np.zeros(len(states))
+            for state in states:
+                i = index[state]
+                if current[i] == 0.0:
+                    continue
+                for action, action_prob in policy[state].items():
+                    for target, prob in self.mdp.transitions[state][action].items():
+                        following[index[target]] += current[i] * action_prob * prob
+            total += following
+            current = following
+        return total
+
+
+def _log_expectation(
+    distribution: Mapping[State, float],
+    log_values: np.ndarray,
+    index: Mapping[State, int],
+) -> float:
+    """``log Σ_t P(t)·exp(log_values[t])`` computed stably."""
+    terms = []
+    for target, prob in distribution.items():
+        value = log_values[index[target]]
+        if value == -np.inf or prob == 0.0:
+            continue
+        terms.append(np.log(prob) + value)
+    if not terms:
+        return -np.inf
+    return float(logsumexp(terms))

@@ -1,0 +1,244 @@
+"""Maximum-likelihood learning of Markov chains from traces.
+
+The paper's learning procedure ``ML(D)`` for transition probabilities is
+plain maximum likelihood: the estimate of ``P(j | i)`` is the fraction of
+observed ``i → j`` transitions among all transitions leaving ``i``.
+
+Two variants live here:
+
+``learn_dtmc``
+    The concrete estimator.
+``parametric_mle_dtmc``
+    The Data Repair estimator.  Traces are partitioned into *groups*;
+    group ``g`` is kept with probability ``1 − p_g``, where ``p_g`` is a
+    repair parameter.  The MLE transition probabilities then become
+    rational functions of the ``p_g`` — e.g. with 40 % successful and
+    60 % failed forwarding traces the forward probability becomes
+    ``0.4·(1−p_s) / (0.4·(1−p_s) + 0.6·(1−p_f))`` — exactly the paper's
+    ``0.4 / (0.4 + 0.6·p)`` shape after dividing through (Section V-A.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.mdp.model import DTMC
+from repro.mdp.trajectory import Trajectory
+from repro.checking.parametric import ParametricDTMC
+from repro.symbolic import Polynomial, RationalFunction
+
+State = Hashable
+
+
+def count_transitions(
+    traces: Iterable[Trajectory],
+) -> Dict[State, Dict[State, int]]:
+    """Transition counts ``{source: {target: count}}`` over all traces."""
+    counts: Dict[State, Dict[State, int]] = {}
+    for trace in traces:
+        states = trace.states()
+        for i in range(len(states) - 1):
+            row = counts.setdefault(states[i], {})
+            row[states[i + 1]] = row.get(states[i + 1], 0) + 1
+    return counts
+
+
+def learn_dtmc(
+    traces: Sequence[Trajectory],
+    initial_state: State,
+    states: Optional[Sequence[State]] = None,
+    labels: Optional[Mapping[State, Iterable[str]]] = None,
+    state_rewards: Optional[Mapping[State, float]] = None,
+    smoothing: float = 0.0,
+) -> DTMC:
+    """Maximum-likelihood chain from traces.
+
+    Parameters
+    ----------
+    traces:
+        Observed trajectories.  States never seen as sources become
+        absorbing.
+    initial_state:
+        Initial state of the learned chain.
+    states:
+        Optional explicit state space (defaults to every state seen).
+    smoothing:
+        Additive (Laplace) smoothing over *observed* successor sets;
+        0 gives the pure MLE of the paper.
+    """
+    counts = count_transitions(traces)
+    if states is None:
+        seen = set()
+        for trace in traces:
+            seen.update(trace.states())
+        seen.add(initial_state)
+        states = sorted(seen, key=str)
+    transitions: Dict[State, Dict[State, float]] = {}
+    for state in states:
+        row = counts.get(state, {})
+        total = sum(row.values()) + smoothing * len(row)
+        if total == 0:
+            transitions[state] = {state: 1.0}
+            continue
+        transitions[state] = {
+            target: (count + smoothing) / total for target, count in row.items()
+        }
+    return DTMC(
+        states=states,
+        transitions=transitions,
+        initial_state=initial_state,
+        labels=labels,
+        state_rewards=state_rewards,
+    )
+
+
+def parametric_mle_dtmc(
+    grouped_counts: Mapping[str, Mapping[State, Mapping[State, int]]],
+    initial_state: State,
+    states: Sequence[State],
+    drop_parameters: Mapping[str, str],
+    labels: Optional[Mapping[State, Iterable[str]]] = None,
+    state_rewards: Optional[Mapping[State, float]] = None,
+    fixed_rows: Optional[Mapping[State, Mapping[State, float]]] = None,
+) -> ParametricDTMC:
+    """The Data Repair parametric chain.
+
+    Parameters
+    ----------
+    grouped_counts:
+        ``{group_name: {source: {target: count}}}`` — transition counts
+        contributed by each trace group.
+    drop_parameters:
+        ``{group_name: parameter_name}``.  Group ``g`` is kept with
+        weight ``1 − parameter``; groups missing from this mapping are
+        always fully kept.
+    fixed_rows:
+        Optional rows pinned to concrete probabilities (states whose
+        data is known reliable — the paper's "certain p_i values are 1").
+
+    Returns
+    -------
+    ParametricDTMC
+        Transition probability ``i → j`` equal to
+        ``Σ_g (1 − p_g)·c_g(i,j)  /  Σ_g (1 − p_g)·c_g(i,·)``.
+    """
+    one = Polynomial.one()
+    keep_weight: Dict[str, Polynomial] = {}
+    for group in grouped_counts:
+        parameter = drop_parameters.get(group)
+        keep_weight[group] = (
+            one - Polynomial.variable(parameter) if parameter else one
+        )
+    transitions: Dict[State, Dict[State, RationalFunction]] = {}
+    fixed_rows = fixed_rows or {}
+    for state in states:
+        if state in fixed_rows:
+            transitions[state] = {
+                target: RationalFunction.constant(prob)
+                for target, prob in fixed_rows[state].items()
+            }
+            continue
+        numerators: Dict[State, Polynomial] = {}
+        denominator = Polynomial.zero()
+        for group, counts in grouped_counts.items():
+            row = counts.get(state, {})
+            for target, count in row.items():
+                weighted = keep_weight[group].scaled(count)
+                numerators[target] = numerators.get(target, Polynomial.zero()) + (
+                    weighted
+                )
+                denominator = denominator + weighted
+        if denominator.is_zero():
+            transitions[state] = {state: RationalFunction.one()}
+            continue
+        transitions[state] = {
+            target: RationalFunction(numerator, denominator)
+            for target, numerator in numerators.items()
+        }
+    return ParametricDTMC(
+        states=states,
+        transitions=transitions,
+        initial_state=initial_state,
+        labels=labels,
+        state_rewards=state_rewards,
+    )
+
+
+def parametric_augment_mle_dtmc(
+    grouped_counts: Mapping[str, Mapping[State, Mapping[State, int]]],
+    initial_state: State,
+    states: Sequence[State],
+    weight_parameters: Mapping[str, str],
+    labels: Optional[Mapping[State, Iterable[str]]] = None,
+    state_rewards: Optional[Mapping[State, float]] = None,
+) -> ParametricDTMC:
+    """The *augmentation* variant of Data Repair's inner problem.
+
+    The paper notes "we can come up with similar formulations when we
+    consider data points being added or replaced".  Here group ``g`` is
+    duplicated with weight ``1 + w_g`` (``w_g >= 0``), so the MLE
+    transition probabilities become
+
+        p(i -> j) = Sum_g (1 + w_g) c_g(i, j)  /  Sum_g (1 + w_g) c_g(i, .)
+
+    — again rational functions, so the same parametric-checking + NLP
+    pipeline applies.  Groups absent from ``weight_parameters`` keep
+    weight 1.
+    """
+    one = Polynomial.one()
+    group_weight: Dict[str, Polynomial] = {}
+    for group in grouped_counts:
+        parameter = weight_parameters.get(group)
+        group_weight[group] = (
+            one + Polynomial.variable(parameter) if parameter else one
+        )
+    transitions: Dict[State, Dict[State, RationalFunction]] = {}
+    for state in states:
+        numerators: Dict[State, Polynomial] = {}
+        denominator = Polynomial.zero()
+        for group, counts in grouped_counts.items():
+            row = counts.get(state, {})
+            for target, count in row.items():
+                weighted = group_weight[group].scaled(count)
+                numerators[target] = numerators.get(target, Polynomial.zero()) + (
+                    weighted
+                )
+                denominator = denominator + weighted
+        if denominator.is_zero():
+            transitions[state] = {state: RationalFunction.one()}
+            continue
+        transitions[state] = {
+            target: RationalFunction(numerator, denominator)
+            for target, numerator in numerators.items()
+        }
+    return ParametricDTMC(
+        states=states,
+        transitions=transitions,
+        initial_state=initial_state,
+        labels=labels,
+        state_rewards=state_rewards,
+    )
+
+
+def log_likelihood(chain: DTMC, traces: Sequence[Trajectory]) -> float:
+    """Log-likelihood of traces under a chain (−inf on impossible steps)."""
+    import math
+
+    total = 0.0
+    for trace in traces:
+        states = trace.states()
+        for i in range(len(states) - 1):
+            prob = chain.probability(states[i], states[i + 1])
+            if prob == 0.0:
+                return float("-inf")
+            total += math.log(prob)
+    return total
+
+
+def empirical_visit_counts(traces: Sequence[Trajectory]) -> Dict[State, int]:
+    """How many times each state is visited across all traces."""
+    counts: Dict[State, int] = {}
+    for trace in traces:
+        for state in trace.states():
+            counts[state] = counts.get(state, 0) + 1
+    return counts

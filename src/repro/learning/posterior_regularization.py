@@ -1,0 +1,201 @@
+"""Posterior-regularised projection of trajectory distributions.
+
+Proposition 4: the KL projection of the MaxEnt trajectory distribution
+``P`` onto the rule-respecting subspace (Equations 17–18) has the closed
+form
+
+    Q(U) = (1/Z) · P(U) · exp( − Σ_{l, g_l} λ_l · [1 − φ_{l,g_l}(U)] ).
+
+Satisfying trajectories keep their relative probabilities; violating
+trajectories are exponentially down-weighted (to 0 as λ → ∞).
+
+``fit_reward_to_distribution`` closes the Reward Repair loop: given the
+projected ``Q``, re-estimate a linear reward ``θ'ᵀ f`` whose MaxEnt
+distribution matches ``Q`` — by minimising ``KL(Q ‖ P_{θ'})`` with
+gradient descent; the gradient is the feature-expectation gap
+``E_Q[f] − E_{P_{θ'}}[f]``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from typing import Dict, Hashable, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.learning.irl import FeatureMap
+from repro.learning.trajectory_distribution import TrajectoryDistribution
+from repro.logic.rules import Rule, total_penalty
+from repro.mdp.model import MDP
+from repro.mdp.trajectory import Trajectory
+
+State = Hashable
+
+
+def project_distribution(
+    distribution: TrajectoryDistribution,
+    rules: Sequence[Rule],
+) -> TrajectoryDistribution:
+    """The Proposition 4 projection of ``distribution`` onto the rules.
+
+    Examples
+    --------
+    With a single rule of weight λ, a trajectory violating one grounding
+    has its probability multiplied by ``exp(−λ)`` (then renormalised);
+    fully satisfying trajectories keep their mutual ratios exactly.
+    """
+    return distribution.reweighted(
+        lambda trajectory: -total_penalty(rules, trajectory)
+    )
+
+
+def expected_rule_satisfaction(
+    distribution: TrajectoryDistribution, rule: Rule
+) -> float:
+    """``E[φ_{l,g}(U)]`` averaged over groundings — 1 when always satisfied."""
+
+    def satisfaction(trajectory: Trajectory) -> float:
+        groundings = rule.grounding_count(trajectory)
+        if groundings == 0:
+            return 1.0
+        return 1.0 - rule.violation_count(trajectory) / groundings
+
+    return distribution.expectation(satisfaction)
+
+
+def _feature_expectation(
+    distribution: TrajectoryDistribution, features: FeatureMap
+) -> np.ndarray:
+    total = np.zeros(features.dimension)
+    for trajectory, probability in distribution.probabilities.items():
+        for state in trajectory.states():
+            total += probability * features(state)
+    return total
+
+
+def fit_reward_to_distribution(
+    mdp: MDP,
+    features: FeatureMap,
+    target: TrajectoryDistribution,
+    horizon: int,
+    stop_states: Optional[Set[State]] = None,
+    initial_theta: Optional[np.ndarray] = None,
+    learning_rate: float = 0.05,
+    max_iterations: int = 400,
+    tolerance: float = 1e-5,
+) -> Tuple[np.ndarray, Dict[State, float]]:
+    """Re-estimate reward weights whose MaxEnt distribution matches ``Q``.
+
+    Returns ``(theta, state_rewards)``.  The optimisation is moment
+    matching: descend ``KL(Q ‖ P_θ)`` whose gradient in θ is
+    ``E_{P_θ}[f] − E_Q[f]``.
+    """
+    target_features = _feature_expectation(target, features)
+    theta = (
+        np.zeros(features.dimension)
+        if initial_theta is None
+        else np.asarray(initial_theta, dtype=float).copy()
+    )
+    for _ in range(max_iterations):
+        rewards = {
+            state: float(features(state) @ theta) for state in mdp.states
+        }
+        model = TrajectoryDistribution.from_maxent(
+            mdp, rewards, horizon, stop_states=stop_states
+        )
+        gradient = target_features - _feature_expectation(model, features)
+        theta = theta + learning_rate * gradient
+        if np.linalg.norm(gradient) < tolerance:
+            break
+    rewards = {state: float(features(state) @ theta) for state in mdp.states}
+    return theta, rewards
+
+
+def sampled_projection_feature_expectation(
+    mdp: MDP,
+    features: FeatureMap,
+    state_rewards,
+    rules: Sequence[Rule],
+    horizon: int,
+    samples: int = 2_000,
+    seed: Optional[int] = None,
+):
+    """``E_Q[f]`` estimated without enumerating trajectories.
+
+    The paper's large-model route: draw trajectories from the Equation 16
+    distribution ``P`` with the Metropolis sampler, then self-normalised
+    importance weighting with ``w(U) = exp(−Σ λ[1−φ(U)])`` turns them
+    into expectations under the Proposition 4 projection ``Q``.
+
+    Returns ``(feature_expectation, violation_probability_estimate)``.
+    """
+    import numpy as np
+
+    from repro.learning.trajectory_distribution import (
+        MetropolisTrajectorySampler,
+    )
+    from repro.logic.rules import all_satisfied, total_penalty
+
+    sampler = MetropolisTrajectorySampler(
+        mdp, state_rewards, horizon, seed=seed
+    )
+    draws = sampler.sample(samples)
+    weights = np.array(
+        [math.exp(-total_penalty(rules, u)) for u in draws]
+    )
+    total = weights.sum()
+    if total == 0:
+        raise ValueError("all sampled trajectories have zero projected weight")
+    weights /= total
+    expectation = np.zeros(features.dimension)
+    violation = 0.0
+    for weight, trajectory in zip(weights, draws):
+        for state in trajectory.states():
+            expectation += weight * features(state)
+        if not all_satisfied(rules, trajectory):
+            violation += weight
+    return expectation, float(violation)
+
+
+def fit_reward_to_sampled_projection(
+    mdp: MDP,
+    features: FeatureMap,
+    state_rewards,
+    rules: Sequence[Rule],
+    horizon: int,
+    samples: int = 2_000,
+    seed: Optional[int] = None,
+    initial_theta: Optional["np.ndarray"] = None,
+    learning_rate: float = 0.05,
+    max_iterations: int = 200,
+    tolerance: float = 1e-4,
+):
+    """Moment-match θ' to the *sampled* projection (large-model route).
+
+    ``E_Q[f]`` comes from importance-weighted Metropolis samples; the
+    model side ``E_{P_θ}[f]`` is computed exactly with the MaxEnt
+    forward-backward machinery, so only the target side carries Monte
+    Carlo noise.  Returns ``(theta, state_rewards)``.
+    """
+    import numpy as np
+
+    from repro.learning.irl import MaxEntIRL
+
+    target_features, _ = sampled_projection_feature_expectation(
+        mdp, features, state_rewards, rules, horizon, samples=samples, seed=seed
+    )
+    machinery = MaxEntIRL(mdp, features, horizon=horizon)
+    theta = (
+        np.zeros(features.dimension)
+        if initial_theta is None
+        else np.asarray(initial_theta, dtype=float).copy()
+    )
+    for _ in range(max_iterations):
+        expected = machinery.expected_feature_counts(theta, horizon)
+        gradient = target_features - expected
+        theta = theta + learning_rate * gradient
+        if np.linalg.norm(gradient) < tolerance:
+            break
+    rewards = {state: float(features(state) @ theta) for state in mdp.states}
+    return theta, rewards

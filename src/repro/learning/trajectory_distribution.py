@@ -1,0 +1,290 @@
+"""Distributions over bounded-horizon trajectories (Equation 16).
+
+The Reward Repair machinery reasons about the trajectory distribution
+
+    P(U | θ, P) = (1/Z(θ)) · exp( Σ_i θᵀ f(s_i) ) · Π_i P(s_{i+1}|s_i,a_i)
+
+For the paper's laptop-scale MDPs the support of bounded-horizon
+trajectories is small enough to enumerate exactly, which keeps every
+projection step exact.  For larger models a Metropolis-Hastings sampler
+over trajectories approximates expectations (the paper's "samples of
+trajectories drawn from the MDP using Gibbs sampling").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.mdp.model import MDP
+from repro.mdp.trajectory import Trajectory
+
+State = Hashable
+Action = Hashable
+
+
+def enumerate_trajectories(
+    mdp: MDP,
+    horizon: int,
+    start_state: Optional[State] = None,
+    stop_states: Optional[Set[State]] = None,
+    max_count: int = 2_000_000,
+) -> List[Trajectory]:
+    """All action-labelled trajectories of length ``horizon`` steps.
+
+    A trajectory stops early on entering a ``stop_states`` member; all
+    returned trajectories end in a ``(state, None)`` pair.  Raises
+    ``ValueError`` if enumeration would exceed ``max_count``.
+    """
+    start = mdp.initial_state if start_state is None else start_state
+    stop_states = stop_states or set()
+    complete: List[Trajectory] = []
+    frontier: List[List] = [[(start, None)]]
+    for _ in range(horizon):
+        next_frontier: List[List] = []
+        for partial in frontier:
+            state, _ = partial[-1]
+            if state in stop_states:
+                complete.append(Trajectory(partial))
+                continue
+            for action in mdp.actions(state):
+                for target in mdp.successors(state, action):
+                    extended = partial[:-1] + [(state, action), (target, None)]
+                    next_frontier.append(extended)
+            if len(next_frontier) + len(complete) > max_count:
+                raise ValueError(
+                    f"trajectory enumeration exceeds {max_count} paths; "
+                    "use MetropolisTrajectorySampler instead"
+                )
+        frontier = next_frontier
+        if not frontier:
+            break
+    complete.extend(Trajectory(partial) for partial in frontier)
+    return complete
+
+
+def trajectory_log_weight(
+    mdp: MDP,
+    trajectory: Trajectory,
+    state_rewards: Mapping[State, float],
+) -> float:
+    """``log [ exp(Σ reward(s_i)) · Π P(s'|s,a) ]`` — Equation 16's numerator."""
+    log_weight = 0.0
+    for state, _action in trajectory.steps:
+        log_weight += state_rewards[state]
+    for state, action, target in trajectory.transitions():
+        if action is None:
+            raise ValueError("trajectory must carry actions for Equation 16")
+        prob = mdp.probability(state, action, target)
+        if prob == 0.0:
+            return -math.inf
+        log_weight += math.log(prob)
+    return log_weight
+
+
+def trajectory_probability_unnormalised(
+    mdp: MDP,
+    trajectory: Trajectory,
+    state_rewards: Mapping[State, float],
+) -> float:
+    """The unnormalised Equation 16 weight."""
+    return math.exp(trajectory_log_weight(mdp, trajectory, state_rewards))
+
+
+class TrajectoryDistribution:
+    """An explicit probability distribution over enumerated trajectories.
+
+    Examples
+    --------
+    >>> from repro.mdp import random_mdp
+    >>> from repro.mdp.policy import uniform_policy
+    >>> mdp = random_mdp(3, seed=1)
+    >>> dist = TrajectoryDistribution.from_maxent(
+    ...     mdp, mdp.state_rewards, horizon=2)
+    >>> abs(sum(dist.probabilities.values()) - 1.0) < 1e-9
+    True
+    """
+
+    def __init__(self, probabilities: Mapping[Trajectory, float]):
+        total = float(sum(probabilities.values()))
+        if total <= 0:
+            raise ValueError("distribution has zero total mass")
+        self.probabilities: Dict[Trajectory, float] = {
+            trajectory: probability / total
+            for trajectory, probability in probabilities.items()
+            if probability > 0.0
+        }
+
+    @staticmethod
+    def from_maxent(
+        mdp: MDP,
+        state_rewards: Mapping[State, float],
+        horizon: int,
+        stop_states: Optional[Set[State]] = None,
+    ) -> "TrajectoryDistribution":
+        """The Equation 16 distribution over all horizon-bounded paths.
+
+        Computed in log space and normalised with a max-shift, so large
+        reward magnitudes cannot overflow.
+        """
+        trajectories = enumerate_trajectories(mdp, horizon, stop_states=stop_states)
+        log_weights = {
+            trajectory: trajectory_log_weight(mdp, trajectory, state_rewards)
+            for trajectory in trajectories
+        }
+        finite = [w for w in log_weights.values() if w > -math.inf]
+        if not finite:
+            raise ValueError("no trajectory has positive probability")
+        shift = max(finite)
+        weights = {
+            trajectory: math.exp(log_weight - shift)
+            for trajectory, log_weight in log_weights.items()
+            if log_weight > -math.inf
+        }
+        return TrajectoryDistribution(weights)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def probability(self, trajectory: Trajectory) -> float:
+        """Probability of one trajectory (0 if not in support)."""
+        return self.probabilities.get(trajectory, 0.0)
+
+    def support(self) -> List[Trajectory]:
+        """Trajectories with positive probability."""
+        return list(self.probabilities)
+
+    def expectation(self, function: Callable[[Trajectory], float]) -> float:
+        """``E[function(U)]`` under the distribution."""
+        return sum(
+            probability * function(trajectory)
+            for trajectory, probability in self.probabilities.items()
+        )
+
+    def event_probability(self, predicate: Callable[[Trajectory], bool]) -> float:
+        """Probability that the predicate holds."""
+        return self.expectation(lambda u: 1.0 if predicate(u) else 0.0)
+
+    def expected_state_visits(self) -> Dict[State, float]:
+        """Expected number of visits to each state."""
+        visits: Dict[State, float] = {}
+        for trajectory, probability in self.probabilities.items():
+            for state in trajectory.states():
+                visits[state] = visits.get(state, 0.0) + probability
+        return visits
+
+    def kl_divergence(self, other: "TrajectoryDistribution") -> float:
+        """``KL(self ‖ other)``; ``inf`` if supports mismatch."""
+        total = 0.0
+        for trajectory, probability in self.probabilities.items():
+            other_probability = other.probability(trajectory)
+            if other_probability == 0.0:
+                return math.inf
+            total += probability * math.log(probability / other_probability)
+        return total
+
+    def reweighted(
+        self, log_factor: Callable[[Trajectory], float]
+    ) -> "TrajectoryDistribution":
+        """A new distribution ``∝ p(U)·exp(log_factor(U))``."""
+        weights = {
+            trajectory: probability * math.exp(log_factor(trajectory))
+            for trajectory, probability in self.probabilities.items()
+        }
+        return TrajectoryDistribution(weights)
+
+    def __len__(self) -> int:
+        return len(self.probabilities)
+
+    def __repr__(self) -> str:
+        return f"TrajectoryDistribution(|support|={len(self.probabilities)})"
+
+
+class MetropolisTrajectorySampler:
+    """Metropolis-Hastings over trajectories for large models.
+
+    Proposal: resample the trajectory suffix from a random cut point by
+    following uniform random actions and the MDP dynamics.  The target
+    is the Equation 16 distribution (optionally times an extra
+    log-factor, which is how posterior-regularised expectations are
+    estimated without enumeration).
+    """
+
+    def __init__(
+        self,
+        mdp: MDP,
+        state_rewards: Mapping[State, float],
+        horizon: int,
+        extra_log_factor: Optional[Callable[[Trajectory], float]] = None,
+        seed: Optional[int] = None,
+    ):
+        self.mdp = mdp
+        self.state_rewards = dict(state_rewards)
+        self.horizon = horizon
+        self.extra_log_factor = extra_log_factor
+        self.rng = np.random.default_rng(seed)
+
+    def _random_suffix(self, start: State, steps: int) -> List:
+        path = []
+        state = start
+        for _ in range(steps):
+            actions = self.mdp.actions(state)
+            action = actions[self.rng.integers(len(actions))]
+            path.append((state, action))
+            successors = self.mdp.successors(state, action)
+            probs = np.array(
+                [self.mdp.probability(state, action, t) for t in successors]
+            )
+            state = successors[self.rng.choice(len(successors), p=probs)]
+        path.append((state, None))
+        return path
+
+    def _log_target(self, trajectory: Trajectory) -> float:
+        log_weight = trajectory_log_weight(self.mdp, trajectory, self.state_rewards)
+        if self.extra_log_factor is not None and log_weight > -math.inf:
+            log_weight += self.extra_log_factor(trajectory)
+        return log_weight
+
+    def _log_proposal(self, trajectory: Trajectory, cut: int) -> float:
+        """Log-probability of generating the suffix from position ``cut``."""
+        log_prob = 0.0
+        for i in range(cut, len(trajectory) - 1):
+            state, action = trajectory.steps[i]
+            target = trajectory.steps[i + 1][0]
+            log_prob -= math.log(len(self.mdp.actions(state)))
+            log_prob += math.log(self.mdp.probability(state, action, target))
+        return log_prob
+
+    def sample(self, count: int, burn_in: int = 200, thin: int = 2) -> List[Trajectory]:
+        """Draw ``count`` (correlated) samples after burn-in.
+
+        The acceptance ratio includes the (asymmetric) proposal density —
+        the suffix is regenerated by following uniform actions and the
+        true dynamics, so the dynamics factor cancels against the target
+        and what remains is the reward and action-fan-out correction.
+        """
+        current = Trajectory(self._random_suffix(self.mdp.initial_state, self.horizon))
+        current_log = self._log_target(current)
+        samples: List[Trajectory] = []
+        iterations = burn_in + count * thin
+        for iteration in range(iterations):
+            cut = int(self.rng.integers(len(current)))
+            prefix = list(current.steps[:cut])
+            start = current.steps[cut][0]
+            proposal_steps = prefix + self._random_suffix(start, self.horizon - cut)
+            proposal = Trajectory(proposal_steps)
+            proposal_log = self._log_target(proposal)
+            if proposal_log > -math.inf:
+                log_ratio = (
+                    proposal_log
+                    - current_log
+                    + self._log_proposal(current, cut)
+                    - self._log_proposal(proposal, cut)
+                )
+                if log_ratio >= 0 or self.rng.random() < math.exp(log_ratio):
+                    current, current_log = proposal, proposal_log
+            if iteration >= burn_in and (iteration - burn_in) % thin == 0:
+                samples.append(current)
+        return samples[:count]

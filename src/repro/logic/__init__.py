@@ -1,0 +1,80 @@
+"""Specification logics.
+
+The paper expresses trust properties in PCTL (checked on the model), and
+rules for Reward Repair in propositional logic, first-order logic over
+trajectories, or LTL interpreted on finite traces.  This package holds:
+
+``pctl``
+    The PCTL abstract syntax (state formulas ``P~b[...]``, ``R~b[...]``,
+    boolean connectives) shared by the concrete and parametric checkers.
+``parser``
+    Text syntax, e.g. ``P>=0.99 [ F "changedlane" ]`` or
+    ``R<=40 [ F "delivered" ]``.
+``ltl``
+    Finite-trace LTL evaluation over trajectories.
+``propositional``
+    Propositional formulas over step predicates.
+``rules``
+    Grounded rules ``φ_{l,g}(U) ∈ {0,1}`` for posterior-regularised
+    Reward Repair (Proposition 4).
+"""
+
+from repro.logic.pctl import (
+    And,
+    CumulativeRewardOperator,
+    AtomicProposition,
+    Eventually,
+    FalseFormula,
+    Globally,
+    Implies,
+    Next,
+    Not,
+    Or,
+    PathFormula,
+    ProbabilisticOperator,
+    RewardOperator,
+    StateFormula,
+    SteadyStateOperator,
+    TrueFormula,
+    Until,
+)
+from repro.logic.parser import PctlParseError, parse_pctl
+from repro.logic.ltl import LTLFormula, evaluate_ltl, ltl_atom
+from repro.logic.propositional import PropositionalFormula, prop_atom
+from repro.logic.rules import (
+    FirstOrderRule,
+    LtlRule,
+    PropositionalRule,
+    Rule,
+)
+
+__all__ = [
+    "StateFormula",
+    "PathFormula",
+    "TrueFormula",
+    "FalseFormula",
+    "AtomicProposition",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "ProbabilisticOperator",
+    "RewardOperator",
+    "SteadyStateOperator",
+    "CumulativeRewardOperator",
+    "Next",
+    "Until",
+    "Eventually",
+    "Globally",
+    "parse_pctl",
+    "PctlParseError",
+    "LTLFormula",
+    "evaluate_ltl",
+    "ltl_atom",
+    "PropositionalFormula",
+    "prop_atom",
+    "Rule",
+    "PropositionalRule",
+    "FirstOrderRule",
+    "LtlRule",
+]

@@ -1,0 +1,208 @@
+"""Linear temporal logic over finite traces.
+
+Reward Repair's rules can be LTL formulas "interpreted over a
+trajectory" (Section IV-C).  We use the standard finite-trace (LTLf)
+semantics: a formula is evaluated at a position of a finite trajectory;
+``X φ`` is false at the last position (strong next), ``G φ`` means ``φ``
+holds at every remaining position, ``F φ`` at some remaining position.
+
+Atoms are predicates over a single step ``(state, action)`` so rules can
+talk about actions ("never take action 0 in state S1") as well as state
+labels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional, Tuple
+
+from repro.mdp.trajectory import Trajectory
+
+StepPredicate = Callable[[Hashable, Optional[Hashable]], bool]
+
+
+class LTLFormula:
+    """Base class of finite-trace LTL formulas.
+
+    Combine with ``& | ~`` and the constructors below, then evaluate
+    with :func:`evaluate_ltl`.
+    """
+
+    def __and__(self, other: "LTLFormula") -> "LTLFormula":
+        return LAnd(self, other)
+
+    def __or__(self, other: "LTLFormula") -> "LTLFormula":
+        return LOr(self, other)
+
+    def __invert__(self) -> "LTLFormula":
+        return LNot(self)
+
+    def holds_at(self, trajectory: Trajectory, position: int) -> bool:
+        """Whether the formula holds at ``position`` of ``trajectory``."""
+        raise NotImplementedError
+
+
+class LAtom(LTLFormula):
+    """An atom: a predicate over one step ``(state, action)``."""
+
+    def __init__(self, predicate: StepPredicate, name: str = "atom"):
+        self.predicate = predicate
+        self.name = name
+
+    def holds_at(self, trajectory: Trajectory, position: int) -> bool:
+        state, action = trajectory.steps[position]
+        return bool(self.predicate(state, action))
+
+    def __repr__(self):
+        return self.name
+
+
+class LTrue(LTLFormula):
+    """The constant ``true``."""
+
+    def holds_at(self, trajectory: Trajectory, position: int) -> bool:
+        return True
+
+    def __repr__(self):
+        return "true"
+
+
+class LNot(LTLFormula):
+    """Negation."""
+
+    def __init__(self, operand: LTLFormula):
+        self.operand = operand
+
+    def holds_at(self, trajectory: Trajectory, position: int) -> bool:
+        return not self.operand.holds_at(trajectory, position)
+
+    def __repr__(self):
+        return f"!({self.operand!r})"
+
+
+class LAnd(LTLFormula):
+    """Conjunction."""
+
+    def __init__(self, left: LTLFormula, right: LTLFormula):
+        self.left, self.right = left, right
+
+    def holds_at(self, trajectory: Trajectory, position: int) -> bool:
+        return self.left.holds_at(trajectory, position) and self.right.holds_at(
+            trajectory, position
+        )
+
+    def __repr__(self):
+        return f"({self.left!r} & {self.right!r})"
+
+
+class LOr(LTLFormula):
+    """Disjunction."""
+
+    def __init__(self, left: LTLFormula, right: LTLFormula):
+        self.left, self.right = left, right
+
+    def holds_at(self, trajectory: Trajectory, position: int) -> bool:
+        return self.left.holds_at(trajectory, position) or self.right.holds_at(
+            trajectory, position
+        )
+
+    def __repr__(self):
+        return f"({self.left!r} | {self.right!r})"
+
+
+class LNext(LTLFormula):
+    """Strong next: false at the final position."""
+
+    def __init__(self, operand: LTLFormula):
+        self.operand = operand
+
+    def holds_at(self, trajectory: Trajectory, position: int) -> bool:
+        if position + 1 >= len(trajectory):
+            return False
+        return self.operand.holds_at(trajectory, position + 1)
+
+    def __repr__(self):
+        return f"X ({self.operand!r})"
+
+
+class LEventually(LTLFormula):
+    """``F φ`` — φ holds at some remaining position."""
+
+    def __init__(self, operand: LTLFormula):
+        self.operand = operand
+
+    def holds_at(self, trajectory: Trajectory, position: int) -> bool:
+        return any(
+            self.operand.holds_at(trajectory, i)
+            for i in range(position, len(trajectory))
+        )
+
+    def __repr__(self):
+        return f"F ({self.operand!r})"
+
+
+class LGlobally(LTLFormula):
+    """``G φ`` — φ holds at every remaining position."""
+
+    def __init__(self, operand: LTLFormula):
+        self.operand = operand
+
+    def holds_at(self, trajectory: Trajectory, position: int) -> bool:
+        return all(
+            self.operand.holds_at(trajectory, i)
+            for i in range(position, len(trajectory))
+        )
+
+    def __repr__(self):
+        return f"G ({self.operand!r})"
+
+
+class LUntil(LTLFormula):
+    """``φ U ψ`` — ψ holds at some remaining position, φ until then."""
+
+    def __init__(self, left: LTLFormula, right: LTLFormula):
+        self.left, self.right = left, right
+
+    def holds_at(self, trajectory: Trajectory, position: int) -> bool:
+        for i in range(position, len(trajectory)):
+            if self.right.holds_at(trajectory, i):
+                return True
+            if not self.left.holds_at(trajectory, i):
+                return False
+        return False
+
+    def __repr__(self):
+        return f"({self.left!r} U {self.right!r})"
+
+
+def ltl_atom(predicate: StepPredicate, name: str = "atom") -> LAtom:
+    """Wrap a step predicate as an LTL atom.
+
+    Examples
+    --------
+    >>> collide = ltl_atom(lambda s, a: s == "S2", name="collision")
+    >>> safe = LGlobally(~collide)
+    """
+    return LAtom(predicate, name)
+
+
+def state_atom(state: Hashable, name: Optional[str] = None) -> LAtom:
+    """An atom true exactly when the trajectory is at ``state``."""
+    return LAtom(lambda s, _a, _target=state: s == _target, name or f"at({state})")
+
+
+def action_atom(action: Hashable, name: Optional[str] = None) -> LAtom:
+    """An atom true exactly when the step takes ``action``."""
+    return LAtom(
+        lambda _s, a, _target=action: a == _target, name or f"take({action})"
+    )
+
+
+def label_atom(chain_or_mdp, atom: str) -> LAtom:
+    """An atom true when the step's state carries label ``atom``."""
+    labels = chain_or_mdp.labels
+    return LAtom(lambda s, _a: atom in labels.get(s, frozenset()), atom)
+
+
+def evaluate_ltl(formula: LTLFormula, trajectory: Trajectory) -> bool:
+    """Evaluate a finite-trace LTL formula at the start of a trajectory."""
+    return formula.holds_at(trajectory, 0)

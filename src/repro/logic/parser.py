@@ -1,0 +1,263 @@
+"""Text syntax for PCTL formulas.
+
+Grammar (PRISM-flavoured)::
+
+    state    := implies
+    implies  := or ( '=>' or )*
+    or       := and ( '|' and )*
+    and      := unary ( '&' unary )*
+    unary    := '!' unary | primary
+    primary  := 'true' | 'false' | '"atom"' | identifier
+              | '(' state ')' | prob | reward
+    prob     := 'P' cmp number '[' path ']'
+    reward   := 'R' ( '{' '"'? label '"'? '}' )? cmp number '[' path ']'
+    path     := 'X' state
+              | 'F' bound? state
+              | 'G' bound? state
+              | state 'U' bound? state
+    bound    := '<=' integer
+    cmp      := '<=' | '>=' | '<' | '>'
+
+Examples
+--------
+>>> parse_pctl('P>=0.99 [ F "changedlane" ]')
+P>=0.99 [F "changedlane"]
+>>> parse_pctl('R{"attempts"}<=40 [ F "delivered" ]')
+R{attempts}<=40.0 [F "delivered"]
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from repro.logic.pctl import (
+    And,
+    CumulativeRewardOperator,
+    SteadyStateOperator,
+    AtomicProposition,
+    Eventually,
+    FalseFormula,
+    Globally,
+    Implies,
+    Next,
+    Not,
+    Or,
+    ProbabilisticOperator,
+    RewardOperator,
+    StateFormula,
+    TrueFormula,
+    Until,
+)
+
+
+class PctlParseError(ValueError):
+    """Raised on malformed PCTL text, with position information."""
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<NUMBER>(?:\d+\.\d+|\d+|\.\d+)(?:[eE][+-]?\d+)?)
+  | (?P<CMP><=|>=|<|>)
+  | (?P<IMPLIES>=>)
+  | (?P<STRING>"[^"]*")
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<PUNCT>[\[\](){}!&|])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"true", "false", "P", "R", "S", "X", "F", "G", "U"}
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if not match:
+            raise PctlParseError(
+                f"unexpected character {text[position]!r} at position {position}"
+            )
+        kind = match.lastgroup
+        value = match.group()
+        if kind != "WS":
+            if kind == "IDENT" and value in _KEYWORDS:
+                kind = value.upper()
+            tokens.append(_Token(kind, value, position))
+        position = match.end()
+    tokens.append(_Token("EOF", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.cursor = 0
+
+    # -- token helpers -------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.cursor]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.cursor]
+        self.cursor += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise PctlParseError(
+                f"expected {want!r} at position {token.position}, "
+                f"found {token.text or 'end of input'!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> StateFormula:
+        formula = self.state_formula()
+        self.expect("EOF")
+        return formula
+
+    def state_formula(self) -> StateFormula:
+        left = self.or_formula()
+        while self.accept("IMPLIES"):
+            right = self.or_formula()
+            left = Implies(left, right)
+        return left
+
+    def or_formula(self) -> StateFormula:
+        left = self.and_formula()
+        while self.accept("PUNCT", "|"):
+            left = Or(left, self.and_formula())
+        return left
+
+    def and_formula(self) -> StateFormula:
+        left = self.unary_formula()
+        while self.accept("PUNCT", "&"):
+            left = And(left, self.unary_formula())
+        return left
+
+    def unary_formula(self) -> StateFormula:
+        if self.accept("PUNCT", "!"):
+            return Not(self.unary_formula())
+        return self.primary_formula()
+
+    def primary_formula(self) -> StateFormula:
+        token = self.peek()
+        if token.kind == "TRUE":
+            self.advance()
+            return TrueFormula()
+        if token.kind == "FALSE":
+            self.advance()
+            return FalseFormula()
+        if token.kind == "STRING":
+            self.advance()
+            return AtomicProposition(token.text[1:-1])
+        if token.kind == "IDENT":
+            self.advance()
+            return AtomicProposition(token.text)
+        if token.kind == "PUNCT" and token.text == "(":
+            self.advance()
+            inner = self.state_formula()
+            self.expect("PUNCT", ")")
+            return inner
+        if token.kind == "P":
+            return self.probabilistic()
+        if token.kind == "R":
+            return self.reward()
+        if token.kind == "S":
+            return self.steady_state()
+        raise PctlParseError(
+            f"unexpected token {token.text or 'end of input'!r} "
+            f"at position {token.position}"
+        )
+
+    def probabilistic(self) -> StateFormula:
+        self.expect("P")
+        comparison = self.expect("CMP").text
+        bound = float(self.expect("NUMBER").text)
+        self.expect("PUNCT", "[")
+        path = self.path_formula()
+        self.expect("PUNCT", "]")
+        return ProbabilisticOperator(comparison, bound, path)
+
+    def reward(self) -> StateFormula:
+        self.expect("R")
+        label = None
+        if self.accept("PUNCT", "{"):
+            token = self.peek()
+            if token.kind == "STRING":
+                label = self.advance().text[1:-1]
+            else:
+                label = self.expect("IDENT").text
+            self.expect("PUNCT", "}")
+        comparison = self.expect("CMP").text
+        bound = float(self.expect("NUMBER").text)
+        self.expect("PUNCT", "[")
+        token = self.peek()
+        if token.kind == "IDENT" and token.text == "C":
+            self.advance()
+            self.expect("CMP", "<=")
+            steps = int(self.expect("NUMBER").text)
+            self.expect("PUNCT", "]")
+            return CumulativeRewardOperator(comparison, bound, steps)
+        path = self.path_formula()
+        self.expect("PUNCT", "]")
+        if not isinstance(path, Eventually):
+            raise PctlParseError(
+                "reward operator requires an 'F φ' or 'C<=k' path formula"
+            )
+        return RewardOperator(comparison, bound, path, label=label)
+
+    def steady_state(self) -> StateFormula:
+        self.expect("S")
+        comparison = self.expect("CMP").text
+        bound = float(self.expect("NUMBER").text)
+        self.expect("PUNCT", "[")
+        operand = self.state_formula()
+        self.expect("PUNCT", "]")
+        return SteadyStateOperator(comparison, bound, operand)
+
+    def path_formula(self):
+        if self.accept("X"):
+            return Next(self.state_formula())
+        if self.accept("F"):
+            bound = self._step_bound()
+            return Eventually(self.state_formula(), bound)
+        if self.accept("G"):
+            bound = self._step_bound()
+            return Globally(self.state_formula(), bound)
+        left = self.state_formula()
+        self.expect("U")
+        bound = self._step_bound()
+        right = self.state_formula()
+        return Until(left, right, bound)
+
+    def _step_bound(self) -> Optional[int]:
+        if self.accept("CMP", "<="):
+            return int(self.expect("NUMBER").text)
+        return None
+
+
+def parse_pctl(text: str) -> StateFormula:
+    """Parse a PCTL state formula from text.
+
+    Raises :class:`PctlParseError` with a position on malformed input.
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,400 @@
+"""PCTL abstract syntax.
+
+Probabilistic Computation Tree Logic as used in the paper:
+
+* state formulas: ``true``, ``false``, atomic propositions, boolean
+  connectives, the probabilistic operator ``P ⋈ b [ψ]`` and the
+  expected-reward operator ``R ⋈ b [F φ]``;
+* path formulas: ``X φ`` (next), ``φ U ψ`` and the step-bounded
+  ``φ U≤h ψ`` (until), plus the derived ``F φ = true U φ`` (eventually)
+  and ``G φ`` (globally).
+
+Formulas are immutable, hashable value objects; checkers dispatch on the
+node classes.  The comparison ``⋈ ∈ {<, <=, >, >=}`` is stored as its
+ASCII spelling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+_COMPARISONS = {"<", "<=", ">", ">="}
+
+
+def check_comparison(op: str, lhs: float, rhs: float) -> bool:
+    """Apply a stored comparison operator."""
+    if op == "<":
+        return lhs < rhs
+    if op == "<=":
+        return lhs <= rhs
+    if op == ">":
+        return lhs > rhs
+    if op == ">=":
+        return lhs >= rhs
+    raise ValueError(f"unknown comparison {op!r}")
+
+
+class StateFormula:
+    """Base class of PCTL state formulas."""
+
+    def __and__(self, other: "StateFormula") -> "StateFormula":
+        return And(self, other)
+
+    def __or__(self, other: "StateFormula") -> "StateFormula":
+        return Or(self, other)
+
+    def __invert__(self) -> "StateFormula":
+        return Not(self)
+
+
+class PathFormula:
+    """Base class of PCTL path formulas."""
+
+
+class TrueFormula(StateFormula):
+    """The formula ``true``."""
+
+    def __eq__(self, other):
+        return isinstance(other, TrueFormula)
+
+    def __hash__(self):
+        return hash("true")
+
+    def __repr__(self):
+        return "true"
+
+
+class FalseFormula(StateFormula):
+    """The formula ``false``."""
+
+    def __eq__(self, other):
+        return isinstance(other, FalseFormula)
+
+    def __hash__(self):
+        return hash("false")
+
+    def __repr__(self):
+        return "false"
+
+
+class AtomicProposition(StateFormula):
+    """An atomic proposition, matched against state labels."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("atomic proposition needs a name")
+        self.name = name
+
+    def __eq__(self, other):
+        return isinstance(other, AtomicProposition) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("ap", self.name))
+
+    def __repr__(self):
+        return f'"{self.name}"'
+
+
+class Not(StateFormula):
+    """Negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: StateFormula):
+        self.operand = operand
+
+    def __eq__(self, other):
+        return isinstance(other, Not) and self.operand == other.operand
+
+    def __hash__(self):
+        return hash(("not", self.operand))
+
+    def __repr__(self):
+        return f"!({self.operand!r})"
+
+
+class _Binary(StateFormula):
+    __slots__ = ("left", "right")
+    _symbol = "?"
+
+    def __init__(self, left: StateFormula, right: StateFormula):
+        self.left = left
+        self.right = right
+
+    def __eq__(self, other):
+        return (
+            type(self) is type(other)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.left, self.right))
+
+    def __repr__(self):
+        return f"({self.left!r} {self._symbol} {self.right!r})"
+
+
+class And(_Binary):
+    """Conjunction."""
+
+    _symbol = "&"
+
+
+class Or(_Binary):
+    """Disjunction."""
+
+    _symbol = "|"
+
+
+class Implies(_Binary):
+    """Implication (sugar for ``!left | right``)."""
+
+    _symbol = "=>"
+
+
+class ProbabilisticOperator(StateFormula):
+    """``P ⋈ b [ψ]`` — probability of paths satisfying ``ψ`` meets bound.
+
+    For MDPs the quantification over schedulers follows PRISM's
+    convention: upper-bound comparisons (``<``, ``<=``) constrain the
+    *maximal* probability, lower-bound comparisons the *minimal* one, so
+    the formula holds for every scheduler.
+    """
+
+    __slots__ = ("comparison", "bound", "path")
+
+    def __init__(self, comparison: str, bound: float, path: PathFormula):
+        if comparison not in _COMPARISONS:
+            raise ValueError(f"bad comparison {comparison!r}")
+        if not 0.0 <= bound <= 1.0:
+            raise ValueError(f"probability bound {bound} outside [0, 1]")
+        self.comparison = comparison
+        self.bound = float(bound)
+        self.path = path
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ProbabilisticOperator)
+            and self.comparison == other.comparison
+            and self.bound == other.bound
+            and self.path == other.path
+        )
+
+    def __hash__(self):
+        return hash(("P", self.comparison, self.bound, self.path))
+
+    def __repr__(self):
+        return f"P{self.comparison}{self.bound} [{self.path!r}]"
+
+
+class RewardOperator(StateFormula):
+    """``R ⋈ b [F φ]`` — expected cumulative reward to reach ``φ``.
+
+    This is the paper's WSN property shape
+    ``R{attempts} <= X [F S_n11 = 2]``.  An optional ``label`` names the
+    reward structure (informational; models carry one reward function).
+    """
+
+    __slots__ = ("comparison", "bound", "path", "label")
+
+    def __init__(
+        self,
+        comparison: str,
+        bound: float,
+        path: PathFormula,
+        label: Optional[str] = None,
+    ):
+        if comparison not in _COMPARISONS:
+            raise ValueError(f"bad comparison {comparison!r}")
+        if not isinstance(path, Eventually):
+            raise ValueError("reward operator expects an 'F φ' path formula")
+        self.comparison = comparison
+        self.bound = float(bound)
+        self.path = path
+        self.label = label
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, RewardOperator)
+            and self.comparison == other.comparison
+            and self.bound == other.bound
+            and self.path == other.path
+            and self.label == other.label
+        )
+
+    def __hash__(self):
+        return hash(("R", self.comparison, self.bound, self.path, self.label))
+
+    def __repr__(self):
+        tag = f"{{{self.label}}}" if self.label else ""
+        return f"R{tag}{self.comparison}{self.bound} [{self.path!r}]"
+
+
+class CumulativeRewardOperator(StateFormula):
+    """``R ⋈ b [C<=k]`` — expected reward accumulated over ``k`` steps.
+
+    PRISM's cumulative-reward operator: the expectation of the sum of
+    state rewards collected at steps ``0 … k−1``, compared against the
+    bound.
+    """
+
+    __slots__ = ("comparison", "bound", "steps")
+
+    def __init__(self, comparison: str, bound: float, steps: int):
+        if comparison not in _COMPARISONS:
+            raise ValueError(f"bad comparison {comparison!r}")
+        if steps < 0:
+            raise ValueError("step bound must be non-negative")
+        self.comparison = comparison
+        self.bound = float(bound)
+        self.steps = int(steps)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, CumulativeRewardOperator)
+            and self.comparison == other.comparison
+            and self.bound == other.bound
+            and self.steps == other.steps
+        )
+
+    def __hash__(self):
+        return hash(("RC", self.comparison, self.bound, self.steps))
+
+    def __repr__(self):
+        return f"R{self.comparison}{self.bound} [C<={self.steps}]"
+
+
+class SteadyStateOperator(StateFormula):
+    """``S ⋈ b [φ]`` — long-run probability of being in ``Sat(φ)``.
+
+    PRISM's steady-state operator: holds in a state when the long-run
+    fraction of time spent in φ-states (mixing over the reachable bottom
+    SCCs) meets the bound.
+    """
+
+    __slots__ = ("comparison", "bound", "operand")
+
+    def __init__(self, comparison: str, bound: float, operand: StateFormula):
+        if comparison not in _COMPARISONS:
+            raise ValueError(f"bad comparison {comparison!r}")
+        if not 0.0 <= bound <= 1.0:
+            raise ValueError(f"probability bound {bound} outside [0, 1]")
+        self.comparison = comparison
+        self.bound = float(bound)
+        self.operand = operand
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SteadyStateOperator)
+            and self.comparison == other.comparison
+            and self.bound == other.bound
+            and self.operand == other.operand
+        )
+
+    def __hash__(self):
+        return hash(("S", self.comparison, self.bound, self.operand))
+
+    def __repr__(self):
+        return f"S{self.comparison}{self.bound} [{self.operand!r}]"
+
+
+class Next(PathFormula):
+    """``X φ`` — ``φ`` holds in the next state."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: StateFormula):
+        self.operand = operand
+
+    def __eq__(self, other):
+        return isinstance(other, Next) and self.operand == other.operand
+
+    def __hash__(self):
+        return hash(("X", self.operand))
+
+    def __repr__(self):
+        return f"X {self.operand!r}"
+
+
+class Until(PathFormula):
+    """``φ U ψ`` or the step-bounded ``φ U≤h ψ``."""
+
+    __slots__ = ("left", "right", "step_bound")
+
+    def __init__(
+        self, left: StateFormula, right: StateFormula, step_bound: Optional[int] = None
+    ):
+        if step_bound is not None and step_bound < 0:
+            raise ValueError("step bound must be non-negative")
+        self.left = left
+        self.right = right
+        self.step_bound = step_bound
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Until)
+            and self.left == other.left
+            and self.right == other.right
+            and self.step_bound == other.step_bound
+        )
+
+    def __hash__(self):
+        return hash(("U", self.left, self.right, self.step_bound))
+
+    def __repr__(self):
+        bound = f"<={self.step_bound}" if self.step_bound is not None else ""
+        return f"{self.left!r} U{bound} {self.right!r}"
+
+
+class Eventually(Until):
+    """``F φ = true U φ`` (possibly step-bounded)."""
+
+    def __init__(self, operand: StateFormula, step_bound: Optional[int] = None):
+        super().__init__(TrueFormula(), operand, step_bound)
+
+    @property
+    def operand(self) -> StateFormula:
+        """The formula that must eventually hold."""
+        return self.right
+
+    def __repr__(self):
+        bound = f"<={self.step_bound}" if self.step_bound is not None else ""
+        return f"F{bound} {self.right!r}"
+
+
+class Globally(PathFormula):
+    """``G φ`` — ``φ`` holds along the whole path (possibly bounded).
+
+    Checkers rewrite ``P⋈b[G φ]`` into the dual eventually form; keeping
+    the node preserves the user's syntax.
+    """
+
+    __slots__ = ("operand", "step_bound")
+
+    def __init__(self, operand: StateFormula, step_bound: Optional[int] = None):
+        if step_bound is not None and step_bound < 0:
+            raise ValueError("step bound must be non-negative")
+        self.operand = operand
+        self.step_bound = step_bound
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Globally)
+            and self.operand == other.operand
+            and self.step_bound == other.step_bound
+        )
+
+    def __hash__(self):
+        return hash(("G", self.operand, self.step_bound))
+
+    def __repr__(self):
+        bound = f"<={self.step_bound}" if self.step_bound is not None else ""
+        return f"G{bound} {self.operand!r}"
+
+
+def negate_comparison(op: str) -> str:
+    """The comparison satisfied by exactly the complementary values."""
+    return {"<": ">=", "<=": ">", ">": "<=", ">=": "<"}[op]

@@ -1,0 +1,145 @@
+"""Propositional formulas over named variables.
+
+Used for propositional rules in Reward Repair: a rule's grounding binds
+each propositional variable to a truth value computed from a trajectory
+step (Section IV-C: "for propositional rules the groundings are provided
+by the values of the states and actions in the traces").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping
+
+
+class PropositionalFormula:
+    """Base class; combine with ``& | ~`` and ``implies``."""
+
+    def __and__(self, other: "PropositionalFormula") -> "PropositionalFormula":
+        return PAnd(self, other)
+
+    def __or__(self, other: "PropositionalFormula") -> "PropositionalFormula":
+        return POr(self, other)
+
+    def __invert__(self) -> "PropositionalFormula":
+        return PNot(self)
+
+    def implies(self, other: "PropositionalFormula") -> "PropositionalFormula":
+        """Material implication ``self => other``."""
+        return POr(PNot(self), other)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Truth value under a variable assignment."""
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[str]:
+        """All variable names in the formula."""
+        raise NotImplementedError
+
+
+class PVar(PropositionalFormula):
+    """A propositional variable."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return bool(assignment[self.name])
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __repr__(self):
+        return self.name
+
+
+class PConst(PropositionalFormula):
+    """A boolean constant."""
+
+    def __init__(self, value: bool):
+        self.value = bool(value)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.value
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self):
+        return "true" if self.value else "false"
+
+
+class PNot(PropositionalFormula):
+    """Negation."""
+
+    def __init__(self, operand: PropositionalFormula):
+        self.operand = operand
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def __repr__(self):
+        return f"!({self.operand!r})"
+
+
+class PAnd(PropositionalFormula):
+    """Conjunction."""
+
+    def __init__(self, left: PropositionalFormula, right: PropositionalFormula):
+        self.left, self.right = left, right
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) and self.right.evaluate(assignment)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self):
+        return f"({self.left!r} & {self.right!r})"
+
+
+class POr(PropositionalFormula):
+    """Disjunction."""
+
+    def __init__(self, left: PropositionalFormula, right: PropositionalFormula):
+        self.left, self.right = left, right
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) or self.right.evaluate(assignment)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self):
+        return f"({self.left!r} | {self.right!r})"
+
+
+def prop_atom(name: str) -> PVar:
+    """A propositional variable (convenience constructor)."""
+    return PVar(name)
+
+
+def all_assignments(variables: FrozenSet[str]):
+    """Yield every truth assignment over ``variables`` (for tests)."""
+    names = sorted(variables)
+    for mask in range(2 ** len(names)):
+        yield {name: bool(mask >> i & 1) for i, name in enumerate(names)}
+
+
+def is_tautology(formula: PropositionalFormula) -> bool:
+    """Exhaustively check whether a formula is valid."""
+    return all(
+        formula.evaluate(assignment)
+        for assignment in all_assignments(formula.variables())
+    )
+
+
+def models(formula: PropositionalFormula) -> list:
+    """All satisfying assignments (sorted variable order)."""
+    return [
+        dict(assignment)
+        for assignment in all_assignments(formula.variables())
+        if formula.evaluate(assignment)
+    ]

@@ -1,0 +1,214 @@
+"""Grounded rules over trajectories for Reward Repair.
+
+Proposition 4 repairs a trajectory distribution by the projection
+
+    Q(U) = (1/Z) · P(U) · exp( − Σ_{l, g_l} λ_l · [1 − φ_{l,g_l}(U)] )
+
+where ``g_l`` ranges over the *groundings* of rule ``φ_l`` on the
+trajectory ``U``.  A :class:`Rule` therefore needs to expose how many of
+its groundings a trajectory violates; the exponent's argument is then
+``λ · violations``.
+
+Three rule families mirror the paper:
+
+``PropositionalRule``
+    One grounding per trajectory step; propositional variables are bound
+    by step predicates.
+``FirstOrderRule``
+    Variables quantified over trajectory positions (the paper grounds
+    FOL rules on sampled trajectories); one grounding per variable
+    binding.
+``LtlRule``
+    A single grounding: the whole trajectory, judged by finite-trace LTL.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence
+
+from repro.logic.ltl import LTLFormula, evaluate_ltl
+from repro.logic.propositional import PropositionalFormula
+from repro.mdp.trajectory import Trajectory
+
+StepPredicate = Callable[[Hashable, Optional[Hashable]], bool]
+
+
+class Rule:
+    """Base class of groundable rules.
+
+    Parameters
+    ----------
+    weight:
+        The importance weight ``λ_l``.  Large weights drive the
+        probability of violating trajectories toward 0 (Proposition 4's
+        "for large values of λ_l ... the probability of that path is 0").
+    name:
+        Label used in reports.
+    """
+
+    def __init__(self, weight: float = 10.0, name: str = "rule"):
+        if weight < 0:
+            raise ValueError("rule weight must be non-negative")
+        self.weight = float(weight)
+        self.name = name
+
+    def grounding_count(self, trajectory: Trajectory) -> int:
+        """Number of groundings the rule has on ``trajectory``."""
+        raise NotImplementedError
+
+    def violation_count(self, trajectory: Trajectory) -> int:
+        """Number of groundings violated by ``trajectory``."""
+        raise NotImplementedError
+
+    def satisfied(self, trajectory: Trajectory) -> bool:
+        """True when every grounding is satisfied."""
+        return self.violation_count(trajectory) == 0
+
+    def penalty(self, trajectory: Trajectory) -> float:
+        """The exponent contribution ``λ · Σ_g [1 − φ_g(U)]``."""
+        return self.weight * self.violation_count(trajectory)
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name!r}, weight={self.weight})"
+
+
+class PropositionalRule(Rule):
+    """A propositional formula grounded at every trajectory step.
+
+    Parameters
+    ----------
+    formula:
+        A :class:`~repro.logic.propositional.PropositionalFormula`.
+    bindings:
+        ``{variable_name: step_predicate}`` giving each propositional
+        variable a truth value at a step ``(state, action)``.
+
+    Examples
+    --------
+    A rule "in state S1, never take action 0"::
+
+        at_s1 = prop_atom("at_s1")
+        takes0 = prop_atom("takes0")
+        rule = PropositionalRule(
+            at_s1.implies(~takes0),
+            bindings={
+                "at_s1": lambda s, a: s == "S1",
+                "takes0": lambda s, a: a == 0,
+            },
+        )
+    """
+
+    def __init__(
+        self,
+        formula: PropositionalFormula,
+        bindings: Mapping[str, StepPredicate],
+        weight: float = 10.0,
+        name: str = "propositional-rule",
+    ):
+        super().__init__(weight=weight, name=name)
+        missing = formula.variables() - set(bindings)
+        if missing:
+            raise ValueError(f"unbound propositional variables: {sorted(missing)}")
+        self.formula = formula
+        self.bindings = dict(bindings)
+
+    def grounding_count(self, trajectory: Trajectory) -> int:
+        return len(trajectory)
+
+    def violation_count(self, trajectory: Trajectory) -> int:
+        violations = 0
+        for state, action in trajectory.steps:
+            assignment = {
+                var: bool(predicate(state, action))
+                for var, predicate in self.bindings.items()
+            }
+            if not self.formula.evaluate(assignment):
+                violations += 1
+        return violations
+
+
+class FirstOrderRule(Rule):
+    """A rule with variables quantified over trajectory positions.
+
+    The body is a callable ``body(trajectory, binding) -> bool`` where
+    ``binding`` maps each variable name to a position index.  Each
+    binding in the product universe is a grounding; the paper
+    approximates the universe by sampled trajectories — here the
+    universe per trajectory is all position tuples.
+
+    Examples
+    --------
+    "whenever the car is at S1 it changes lane next step"::
+
+        rule = FirstOrderRule(
+            variables=["t"],
+            body=lambda u, b: u.state_at(b["t"]) != "S1"
+                              or u.action_at(b["t"]) == 1,
+        )
+    """
+
+    def __init__(
+        self,
+        variables: Sequence[str],
+        body: Callable[[Trajectory, Dict[str, int]], bool],
+        weight: float = 10.0,
+        name: str = "first-order-rule",
+    ):
+        super().__init__(weight=weight, name=name)
+        if not variables:
+            raise ValueError("first-order rule needs at least one variable")
+        self.variables = list(variables)
+        self.body = body
+
+    def _bindings(self, trajectory: Trajectory) -> List[Dict[str, int]]:
+        positions = range(len(trajectory))
+        bindings: List[Dict[str, int]] = [{}]
+        for variable in self.variables:
+            bindings = [
+                {**binding, variable: position}
+                for binding in bindings
+                for position in positions
+            ]
+        return bindings
+
+    def grounding_count(self, trajectory: Trajectory) -> int:
+        return len(trajectory) ** len(self.variables)
+
+    def violation_count(self, trajectory: Trajectory) -> int:
+        return sum(
+            1
+            for binding in self._bindings(trajectory)
+            if not self.body(trajectory, binding)
+        )
+
+
+class LtlRule(Rule):
+    """A finite-trace LTL formula; the whole trajectory is one grounding.
+
+    Section IV-C: "For LTL, we pass the constraints through a parametric
+    model checker ... which can then be used to estimate Q"; on finite
+    trajectories the equivalent operational semantics is direct LTLf
+    evaluation, which is what this class does.
+    """
+
+    def __init__(
+        self, formula: LTLFormula, weight: float = 10.0, name: str = "ltl-rule"
+    ):
+        super().__init__(weight=weight, name=name)
+        self.formula = formula
+
+    def grounding_count(self, trajectory: Trajectory) -> int:
+        return 1
+
+    def violation_count(self, trajectory: Trajectory) -> int:
+        return 0 if evaluate_ltl(self.formula, trajectory) else 1
+
+
+def total_penalty(rules: Sequence[Rule], trajectory: Trajectory) -> float:
+    """The full exponent ``Σ_{l,g_l} λ_l [1 − φ_{l,g_l}(U)]``."""
+    return sum(rule.penalty(trajectory) for rule in rules)
+
+
+def all_satisfied(rules: Sequence[Rule], trajectory: Trajectory) -> bool:
+    """True when the trajectory satisfies every grounding of every rule."""
+    return all(rule.satisfied(trajectory) for rule in rules)

@@ -1,0 +1,79 @@
+"""Markov decision process and Markov chain substrate.
+
+This package implements the dynamical models of the paper — labelled
+MDPs ``(S, A, R, P, L)`` and discrete-time Markov chains — together with
+policies, dynamic-programming solvers, trajectory sampling and the
+ε-bisimulation distance used by Proposition 1.
+
+Public API
+----------
+``MDP`` / ``DTMC``
+    The two model classes.  A ``DTMC`` is what an ``MDP`` induces under a
+    policy, and what maximum-likelihood learning produces from traces.
+``DeterministicPolicy`` / ``StochasticPolicy``
+    Mappings from states to actions / action distributions.
+``Trajectory``
+    A finite alternating state-action sequence (the paper's ``U``).
+``value_iteration`` / ``policy_iteration`` / ``policy_evaluation`` /
+``q_values`` / ``expected_total_reward``
+    Dynamic-programming solvers.
+``Simulator``
+    Seeded trajectory sampler for MDPs and DTMCs.
+``perturbation_bound`` / ``is_epsilon_bisimilar`` / ``path_probability``
+    ε-bisimulation utilities (Proposition 1).
+"""
+
+from repro.mdp.model import DTMC, MDP, ModelValidationError
+from repro.mdp.policy import DeterministicPolicy, StochasticPolicy, uniform_policy
+from repro.mdp.trajectory import Trajectory
+from repro.mdp.solvers import (
+    expected_total_reward,
+    policy_evaluation,
+    policy_iteration,
+    q_values,
+    value_iteration,
+)
+from repro.mdp.simulation import Simulator
+from repro.mdp.bisimulation import (
+    is_epsilon_bisimilar,
+    path_probability,
+    perturbation_bound,
+)
+from repro.mdp.interval import IntervalDTMC, IntervalMDP, robustness_certificate
+from repro.mdp.lumping import bisimulation_partition, quotient_chain
+from repro.mdp.builders import (
+    chain_dtmc,
+    dtmc_from_matrix,
+    grid_dtmc,
+    random_dtmc,
+    random_mdp,
+)
+
+__all__ = [
+    "DTMC",
+    "MDP",
+    "ModelValidationError",
+    "DeterministicPolicy",
+    "StochasticPolicy",
+    "uniform_policy",
+    "Trajectory",
+    "value_iteration",
+    "policy_iteration",
+    "policy_evaluation",
+    "q_values",
+    "expected_total_reward",
+    "Simulator",
+    "perturbation_bound",
+    "is_epsilon_bisimilar",
+    "path_probability",
+    "IntervalDTMC",
+    "IntervalMDP",
+    "robustness_certificate",
+    "bisimulation_partition",
+    "quotient_chain",
+    "chain_dtmc",
+    "grid_dtmc",
+    "dtmc_from_matrix",
+    "random_dtmc",
+    "random_mdp",
+]

@@ -1,0 +1,77 @@
+"""ε-bisimulation utilities (Proposition 1 of the paper).
+
+Proposition 1 (after Bartocci et al.): if ``M`` has transition matrix
+``P`` and ``M'`` has ``P + Z`` with every row of ``Z`` summing to 0, then
+``M`` and ``M'`` are ε-bisimilar with ε bounded by the largest absolute
+entry of ``Z`` — every finite path probability in ``M'`` is within ε of
+the corresponding path probability in ``M`` (per step).
+
+This module provides the perturbation bound, a checker for the row-sum
+precondition, and exact path probabilities so tests can verify the bound
+empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.mdp.model import DTMC
+from repro.mdp.trajectory import Trajectory
+
+State = Hashable
+
+
+def perturbation_bound(original: DTMC, repaired: DTMC) -> float:
+    """The ε of Proposition 1: ``max_{s,t} |P'(s,t) - P(s,t)|``.
+
+    Both chains must share the same state space.
+    """
+    if original.states != repaired.states:
+        raise ValueError("chains must share an identical state ordering")
+    bound = 0.0
+    for state in original.states:
+        targets = set(original.transitions[state]) | set(repaired.transitions[state])
+        for target in targets:
+            diff = abs(
+                original.probability(state, target)
+                - repaired.probability(state, target)
+            )
+            if diff > bound:
+                bound = diff
+    return bound
+
+
+def is_epsilon_bisimilar(
+    original: DTMC, repaired: DTMC, epsilon: float
+) -> bool:
+    """True if the Proposition 1 bound holds within ``epsilon``.
+
+    Requires that the perturbation preserves stochasticity (rows of the
+    difference sum to 0 — automatic for two valid chains) and structure
+    (no transition created or destroyed), matching Equation 3.
+    """
+    if original.states != repaired.states:
+        return False
+    for state in original.states:
+        if set(original.transitions[state]) != set(repaired.transitions[state]):
+            return False
+    return perturbation_bound(original, repaired) <= epsilon + 1e-12
+
+
+def path_probability(chain: DTMC, path: Sequence[State]) -> float:
+    """The probability of a concrete state path under ``chain``."""
+    if isinstance(path, Trajectory):
+        path = path.states()
+    probability = 1.0
+    for i in range(len(path) - 1):
+        probability *= chain.probability(path[i], path[i + 1])
+        if probability == 0.0:
+            return 0.0
+    return probability
+
+
+def path_probability_deviation(
+    original: DTMC, repaired: DTMC, path: Sequence[State]
+) -> float:
+    """|p'(π) − p(π)| for one path — the quantity Proposition 1 bounds."""
+    return abs(path_probability(repaired, path) - path_probability(original, path))

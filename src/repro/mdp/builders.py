@@ -1,0 +1,170 @@
+"""Convenience constructors for common model shapes.
+
+Used throughout the tests, examples and benchmarks: simple chains, grid
+random walks, matrix-backed chains, and seeded random models for
+property-based testing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.mdp.model import DTMC, MDP
+
+State = Hashable
+
+
+def chain_dtmc(
+    length: int,
+    forward_probability: float = 0.9,
+    reward_per_state: float = 1.0,
+) -> DTMC:
+    """A birth-chain of ``length`` states ``0 .. length-1``.
+
+    Each interior state moves forward with ``forward_probability`` and
+    stays put otherwise; the last state is absorbing and labelled
+    ``"goal"``.
+    """
+    if length < 2:
+        raise ValueError("chain needs at least 2 states")
+    states = list(range(length))
+    transitions: Dict[State, Dict[State, float]] = {}
+    for state in states[:-1]:
+        transitions[state] = {
+            state + 1: forward_probability,
+            state: 1.0 - forward_probability,
+        }
+    transitions[states[-1]] = {states[-1]: 1.0}
+    rewards = {s: reward_per_state for s in states[:-1]}
+    rewards[states[-1]] = 0.0
+    return DTMC(
+        states=states,
+        transitions=transitions,
+        initial_state=0,
+        labels={states[-1]: {"goal"}},
+        state_rewards=rewards,
+    )
+
+
+def grid_dtmc(rows: int, cols: int, slip: float = 0.1) -> DTMC:
+    """A random walk on a grid drifting toward ``(0, 0)``.
+
+    From each cell the walker moves up or left (splitting the
+    non-slip mass equally among available directions) and stays put with
+    probability ``slip``; the corner ``(0, 0)`` is absorbing and
+    labelled ``"home"``.
+    """
+    states = [(r, c) for r in range(rows) for c in range(cols)]
+    transitions: Dict[State, Dict[State, float]] = {}
+    for r, c in states:
+        if (r, c) == (0, 0):
+            transitions[(r, c)] = {(0, 0): 1.0}
+            continue
+        moves = []
+        if r > 0:
+            moves.append((r - 1, c))
+        if c > 0:
+            moves.append((r, c - 1))
+        row = {(r, c): slip}
+        share = (1.0 - slip) / len(moves)
+        for move in moves:
+            row[move] = row.get(move, 0.0) + share
+        transitions[(r, c)] = row
+    return DTMC(
+        states=states,
+        transitions=transitions,
+        initial_state=(rows - 1, cols - 1),
+        labels={(0, 0): {"home"}},
+        state_rewards={s: (0.0 if s == (0, 0) else 1.0) for s in states},
+    )
+
+
+def dtmc_from_matrix(
+    matrix: np.ndarray,
+    initial_state: int = 0,
+    labels: Optional[Mapping[int, Sequence[str]]] = None,
+    state_rewards: Optional[Mapping[int, float]] = None,
+) -> DTMC:
+    """Wrap a row-stochastic numpy matrix as a chain on states ``0..n-1``."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("transition matrix must be square")
+    n = matrix.shape[0]
+    transitions = {
+        i: {j: float(matrix[i, j]) for j in range(n) if matrix[i, j] > 0.0}
+        for i in range(n)
+    }
+    return DTMC(
+        states=list(range(n)),
+        transitions=transitions,
+        initial_state=initial_state,
+        labels=labels,
+        state_rewards=state_rewards,
+    )
+
+
+def random_dtmc(
+    num_states: int,
+    density: float = 0.5,
+    seed: Optional[int] = None,
+    num_labels: int = 2,
+) -> DTMC:
+    """A random chain for property-based tests (always valid)."""
+    rng = np.random.default_rng(seed)
+    states = list(range(num_states))
+    transitions: Dict[State, Dict[State, float]] = {}
+    for state in states:
+        support_size = max(1, int(round(density * num_states)))
+        support = rng.choice(num_states, size=support_size, replace=False)
+        weights = rng.random(support_size) + 1e-3
+        weights /= weights.sum()
+        transitions[state] = {
+            int(target): float(weight) for target, weight in zip(support, weights)
+        }
+    labels: Dict[State, set] = {}
+    atoms = [f"l{k}" for k in range(num_labels)]
+    for state in states:
+        chosen = {atom for atom in atoms if rng.random() < 0.3}
+        if chosen:
+            labels[state] = chosen
+    rewards = {s: float(rng.random()) for s in states}
+    return DTMC(
+        states=states,
+        transitions=transitions,
+        initial_state=0,
+        labels=labels,
+        state_rewards=rewards,
+    )
+
+
+def random_mdp(
+    num_states: int,
+    num_actions: int = 2,
+    density: float = 0.5,
+    seed: Optional[int] = None,
+) -> MDP:
+    """A random MDP for property-based tests (always valid)."""
+    rng = np.random.default_rng(seed)
+    states = list(range(num_states))
+    transitions: Dict[State, Dict[str, Dict[State, float]]] = {}
+    for state in states:
+        rows: Dict[str, Dict[State, float]] = {}
+        for action_index in range(num_actions):
+            support_size = max(1, int(round(density * num_states)))
+            support = rng.choice(num_states, size=support_size, replace=False)
+            weights = rng.random(support_size) + 1e-3
+            weights /= weights.sum()
+            rows[f"a{action_index}"] = {
+                int(target): float(weight)
+                for target, weight in zip(support, weights)
+            }
+        transitions[state] = rows
+    rewards = {s: float(rng.random()) for s in states}
+    return MDP(
+        states=states,
+        transitions=transitions,
+        initial_state=0,
+        state_rewards=rewards,
+    )

@@ -1,0 +1,544 @@
+"""Interval Markov chains: convex transition uncertainty.
+
+The related work the paper builds on (Puggelli et al., "Polynomial-Time
+Verification of PCTL Properties of MDPs with Convex Uncertainties";
+Sen et al.'s uncertain Markov chains) verifies models whose transition
+probabilities are only known up to intervals.  Here this doubles as a
+*robustness certificate for repairs*: by Proposition 1 a repair with
+bound ε keeps every transition within ±ε of the repaired value, so
+checking the interval chain ``[P' − ε', P' + ε']`` proves the repaired
+model keeps satisfying the property under any further ε'-perturbation.
+
+Semantics: at every step, nature picks any distribution inside the
+row's intervals (the standard non-convex-adversary-free "interval MDP"
+setting).  Robust value iteration computes min/max reachability by
+solving, per state, the inner linear program over the interval simplex
+— which has the classic greedy closed form (sort successors by value,
+saturate bounds).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.mdp.model import DTMC, ModelValidationError
+
+State = Hashable
+
+_VI_TOLERANCE = 1e-10
+_VI_MAX_ITERATIONS = 100_000
+
+
+class IntervalDTMC:
+    """A chain whose transition probabilities are intervals.
+
+    Parameters
+    ----------
+    states:
+        State identifiers.
+    intervals:
+        ``{source: {target: (lower, upper)}}``.  Row feasibility requires
+        ``Σ lower ≤ 1 ≤ Σ upper`` with each ``0 ≤ lower ≤ upper ≤ 1``.
+    initial_state / labels / state_rewards:
+        As for :class:`~repro.mdp.DTMC`.
+
+    Examples
+    --------
+    >>> imc = IntervalDTMC(
+    ...     states=["a", "b"],
+    ...     intervals={
+    ...         "a": {"b": (0.4, 0.6), "a": (0.4, 0.6)},
+    ...         "b": {"b": (1.0, 1.0)},
+    ...     },
+    ...     initial_state="a",
+    ...     labels={"b": {"goal"}},
+    ... )
+    >>> round(imc.reachability_probability({"b"}, maximise=False), 6)
+    1.0
+    """
+
+    def __init__(
+        self,
+        states,
+        intervals: Mapping[State, Mapping[State, Tuple[float, float]]],
+        initial_state: State,
+        labels: Optional[Mapping[State, Iterable[str]]] = None,
+        state_rewards: Optional[Mapping[State, float]] = None,
+    ):
+        self.states = list(states)
+        if initial_state not in set(self.states):
+            raise ModelValidationError(f"unknown initial state {initial_state!r}")
+        self.initial_state = initial_state
+        self.intervals: Dict[State, Dict[State, Tuple[float, float]]] = {}
+        for state in self.states:
+            row = intervals.get(state)
+            if not row:
+                row = {state: (1.0, 1.0)}
+            lower_sum = 0.0
+            upper_sum = 0.0
+            cleaned: Dict[State, Tuple[float, float]] = {}
+            for target, (lower, upper) in row.items():
+                if target not in set(self.states):
+                    raise ModelValidationError(f"unknown target {target!r}")
+                if not 0.0 <= lower <= upper <= 1.0 + 1e-12:
+                    raise ModelValidationError(
+                        f"bad interval [{lower}, {upper}] on "
+                        f"{state!r} -> {target!r}"
+                    )
+                cleaned[target] = (float(lower), float(min(upper, 1.0)))
+                lower_sum += lower
+                upper_sum += upper
+            if lower_sum > 1.0 + 1e-9 or upper_sum < 1.0 - 1e-9:
+                raise ModelValidationError(
+                    f"row {state!r} infeasible: Σlower={lower_sum}, "
+                    f"Σupper={upper_sum}"
+                )
+            self.intervals[state] = cleaned
+        self.labels = {
+            s: frozenset((labels or {}).get(s, frozenset())) for s in self.states
+        }
+        self.state_rewards = {
+            s: float((state_rewards or {}).get(s, 0.0)) for s in self.states
+        }
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_dtmc(chain: DTMC, epsilon: float) -> "IntervalDTMC":
+        """Blow a concrete chain up into ±ε intervals (clamped to [0,1]).
+
+        Structural zeros stay zero — matching Equation 3's
+        structure-preservation and Proposition 1's perturbation model.
+        """
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        intervals = {
+            s: {
+                t: (max(0.0, p - epsilon), min(1.0, p + epsilon))
+                for t, p in row.items()
+            }
+            for s, row in chain.transitions.items()
+        }
+        return IntervalDTMC(
+            states=chain.states,
+            intervals=intervals,
+            initial_state=chain.initial_state,
+            labels=chain.labels,
+            state_rewards=chain.state_rewards,
+        )
+
+    def contains(self, chain: DTMC, tolerance: float = 1e-9) -> bool:
+        """Whether a concrete chain's transitions lie inside the intervals."""
+        if chain.states != self.states:
+            return False
+        for state in self.states:
+            row = self.intervals[state]
+            for target in set(chain.transitions[state]) | set(row):
+                probability = chain.probability(state, target)
+                lower, upper = row.get(target, (0.0, 0.0))
+                if probability < lower - tolerance or probability > upper + tolerance:
+                    return False
+        return True
+
+    def states_with_atom(self, atom: str):
+        """All states labelled with ``atom``."""
+        return frozenset(s for s, props in self.labels.items() if atom in props)
+
+    # ------------------------------------------------------------------
+    # Robust value iteration
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _inner_optimum(
+        row: Dict[State, Tuple[float, float]],
+        values: Mapping[State, float],
+        maximise: bool,
+    ) -> float:
+        """Nature's best/worst expectation over the interval simplex.
+
+        Greedy closed form: start every target at its lower bound, then
+        distribute the remaining mass toward high-value (maximise) or
+        low-value (minimise) targets, saturating upper bounds in order.
+        """
+        targets = list(row)
+        base = sum(row[t][0] for t in targets)
+        remaining = 1.0 - base
+        expectation = sum(row[t][0] * values[t] for t in targets)
+        order = sorted(targets, key=lambda t: values[t], reverse=maximise)
+        for target in order:
+            if remaining <= 0:
+                break
+            slack = row[target][1] - row[target][0]
+            take = min(slack, remaining)
+            expectation += take * values[target]
+            remaining -= take
+        return expectation
+
+    def reachability_values(
+        self, targets: Set[State], maximise: bool
+    ) -> Dict[State, float]:
+        """Per-state robust reachability probability (min or max)."""
+        targets = set(targets)
+        values = {s: (1.0 if s in targets else 0.0) for s in self.states}
+        for _ in range(_VI_MAX_ITERATIONS):
+            delta = 0.0
+            for state in self.states:
+                if state in targets:
+                    continue
+                updated = self._inner_optimum(
+                    self.intervals[state], values, maximise
+                )
+                delta = max(delta, abs(updated - values[state]))
+                values[state] = updated
+            if delta < _VI_TOLERANCE:
+                break
+        return {s: float(np.clip(v, 0.0, 1.0)) for s, v in values.items()}
+
+    def reachability_probability(
+        self, targets: Set[State], maximise: bool
+    ) -> float:
+        """Robust reachability probability at the initial state."""
+        return self.reachability_values(targets, maximise)[self.initial_state]
+
+    # ------------------------------------------------------------------
+    # Qualitative analysis
+    # ------------------------------------------------------------------
+    def _adversarial_trap_states(self, targets: Set[State]) -> Set[State]:
+        """States from which some member chain avoids ``targets`` forever.
+
+        A target-avoiding *trap* is a set ``C`` of non-target states in
+        which every member state (a) has all its mandatory mass
+        (lower bounds) inside ``C`` and (b) can feasibly place its whole
+        unit of mass inside ``C`` (``Σ_{t∈C} upper ≥ 1``).  The greatest
+        such ``C`` comes from the obvious shrinking fixpoint; a state can
+        then be steered into the trap along any possible
+        (upper-bound-positive) path.
+        """
+        candidates = set(self.states) - targets
+        changed = True
+        while changed:
+            changed = False
+            for state in list(candidates):
+                row = self.intervals[state]
+                mandatory_inside = all(
+                    target in candidates
+                    for target, (lower, _upper) in row.items()
+                    if lower > 0
+                )
+                feasible_mass = sum(
+                    upper
+                    for target, (_lower, upper) in row.items()
+                    if target in candidates
+                ) >= 1.0 - 1e-12
+                if not (mandatory_inside and feasible_mass):
+                    candidates.discard(state)
+                    changed = True
+        trap = set(candidates)
+        # Backward closure: the adversary routes into the trap along any
+        # possibly-positive edge.
+        reachable = set(trap)
+        changed = True
+        while changed:
+            changed = False
+            for state in self.states:
+                if state in reachable or state in targets:
+                    continue
+                row = self.intervals[state]
+                if any(
+                    target in reachable and upper > 0
+                    for target, (_lower, upper) in row.items()
+                ):
+                    reachable.add(state)
+                    changed = True
+        return reachable
+
+    def _nature_prob1_states(self, targets: Set[State]) -> Set[State]:
+        """States from which *some* member chain reaches surely.
+
+        Greatest fixpoint: keep a state while it can feasibly put all
+        its mass inside the kept set (no mandatory leakage) *and* still
+        has a possibly-positive path to the targets inside the set.
+        """
+        kept = set(self.states)
+        while True:
+            # Within `kept`, which states can possibly reach the targets?
+            reach = set(targets)
+            changed = True
+            while changed:
+                changed = False
+                for state in kept:
+                    if state in reach:
+                        continue
+                    row = self.intervals[state]
+                    if any(
+                        target in reach and upper > 0 and target in kept | targets
+                        for target, (_lower, upper) in row.items()
+                    ):
+                        reach.add(state)
+                        changed = True
+            updated = set(targets)
+            for state in kept:
+                if state in targets:
+                    continue
+                row = self.intervals[state]
+                no_leak = all(
+                    target in kept or lower == 0
+                    for target, (lower, _upper) in row.items()
+                )
+                feasible_mass = sum(
+                    upper
+                    for target, (_lower, upper) in row.items()
+                    if target in kept
+                ) >= 1.0 - 1e-12
+                if no_leak and feasible_mass and state in reach:
+                    updated.add(state)
+            if updated == kept | targets or updated == kept:
+                return updated
+            kept = updated
+
+    def expected_reward_values(
+        self, targets: Set[State], maximise: bool
+    ) -> Dict[State, float]:
+        """Per-state robust expected reward to reach ``targets``.
+
+        ``inf`` where reward can diverge: for the worst case
+        (``maximise=True``) wherever *some* member chain misses the
+        targets with positive probability; for the best case wherever
+        *every* member chain does.  Finiteness is decided by qualitative
+        graph analysis (no numeric thresholds).
+        """
+        targets = set(targets)
+        if maximise:
+            infinite = self._adversarial_trap_states(targets)
+        else:
+            infinite = set(self.states) - self._nature_prob1_states(targets)
+        values: Dict[State, float] = {}
+        for state in self.states:
+            if state in targets:
+                values[state] = 0.0
+            elif state in infinite:
+                values[state] = np.inf
+            else:
+                values[state] = 0.0
+        finite = [
+            s for s in self.states if s not in targets and values[s] == 0.0
+        ]
+        for _ in range(_VI_MAX_ITERATIONS):
+            delta = 0.0
+            for state in finite:
+                row = self.intervals[state]
+                if any(values[t] == np.inf for t in row):
+                    # Adversary can route into an infinite-value state
+                    # only if the interval forces positive mass there.
+                    forced_inf = any(
+                        values[t] == np.inf and row[t][0] > 0 for t in row
+                    )
+                    if forced_inf:
+                        values[state] = np.inf
+                        continue
+                    capped = {
+                        t: bounds
+                        for t, bounds in row.items()
+                        if values[t] != np.inf
+                    }
+                    updated = self.state_rewards[state] + self._inner_optimum(
+                        capped, values, maximise
+                    )
+                else:
+                    updated = self.state_rewards[state] + self._inner_optimum(
+                        row, values, maximise
+                    )
+                if values[state] != np.inf:
+                    delta = max(delta, abs(updated - values[state]))
+                values[state] = updated
+            if delta < _VI_TOLERANCE:
+                break
+        return values
+
+    def expected_reward(self, targets: Set[State], maximise: bool) -> float:
+        """Robust expected reward at the initial state."""
+        return self.expected_reward_values(targets, maximise)[self.initial_state]
+
+    def __repr__(self) -> str:
+        return f"IntervalDTMC(|S|={len(self.states)})"
+
+
+class IntervalMDP:
+    """An MDP with interval transition uncertainty (convex MDP).
+
+    The Puggelli et al. setting the paper's related work builds on:
+    the controller picks actions, nature picks any distribution inside
+    the chosen action's intervals.  Robust value iteration solves the
+    resulting zero-sum step game; nature's inner optimum has the same
+    greedy closed form as for :class:`IntervalDTMC`.
+
+    Parameters
+    ----------
+    states:
+        State identifiers.
+    intervals:
+        ``{state: {action: {target: (lower, upper)}}}``.
+    initial_state / labels:
+        As for :class:`~repro.mdp.MDP`.
+    """
+
+    def __init__(
+        self,
+        states,
+        intervals: Mapping[State, Mapping[object, Mapping[State, Tuple[float, float]]]],
+        initial_state: State,
+        labels: Optional[Mapping[State, Iterable[str]]] = None,
+    ):
+        self.states = list(states)
+        if initial_state not in set(self.states):
+            raise ModelValidationError(f"unknown initial state {initial_state!r}")
+        self.initial_state = initial_state
+        self.intervals: Dict[State, Dict[object, Dict[State, Tuple[float, float]]]] = {}
+        for state in self.states:
+            action_map = intervals.get(state)
+            if not action_map:
+                raise ModelValidationError(f"state {state!r} enables no action")
+            rows = {}
+            for action, row in action_map.items():
+                lower_sum = sum(bounds[0] for bounds in row.values())
+                upper_sum = sum(bounds[1] for bounds in row.values())
+                for target, (lower, upper) in row.items():
+                    if target not in set(self.states):
+                        raise ModelValidationError(f"unknown target {target!r}")
+                    if not 0.0 <= lower <= upper <= 1.0 + 1e-12:
+                        raise ModelValidationError(
+                            f"bad interval on {state!r}/{action!r} -> {target!r}"
+                        )
+                if lower_sum > 1.0 + 1e-9 or upper_sum < 1.0 - 1e-9:
+                    raise ModelValidationError(
+                        f"row {state!r}/{action!r} infeasible"
+                    )
+                rows[action] = {
+                    t: (float(l), float(min(u, 1.0))) for t, (l, u) in row.items()
+                }
+            self.intervals[state] = rows
+        self.labels = {
+            s: frozenset((labels or {}).get(s, frozenset())) for s in self.states
+        }
+
+    @staticmethod
+    def from_mdp(mdp, epsilon: float) -> "IntervalMDP":
+        """Blow a concrete MDP up into ±ε intervals (structure kept)."""
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        intervals = {
+            s: {
+                a: {
+                    t: (max(0.0, p - epsilon), min(1.0, p + epsilon))
+                    for t, p in dist.items()
+                }
+                for a, dist in rows.items()
+            }
+            for s, rows in mdp.transitions.items()
+        }
+        return IntervalMDP(
+            states=mdp.states,
+            intervals=intervals,
+            initial_state=mdp.initial_state,
+            labels=mdp.labels,
+        )
+
+    def actions(self, state: State):
+        """Actions enabled in ``state``."""
+        return list(self.intervals[state])
+
+    def states_with_atom(self, atom: str):
+        """All states labelled with ``atom``."""
+        return frozenset(s for s, props in self.labels.items() if atom in props)
+
+    def reachability_values(
+        self,
+        targets: Set[State],
+        controller_maximises: bool,
+        nature_maximises: bool,
+    ) -> Dict[State, float]:
+        """Robust reachability: controller over actions, nature inside
+        the chosen action's intervals.
+
+        The four combinations cover PRISM-style semantics on convex
+        MDPs; the usual robust verification pairs an optimistic
+        controller with a pessimistic nature
+        (``controller_maximises=True, nature_maximises=False``).
+        """
+        targets = set(targets)
+        values = {s: (1.0 if s in targets else 0.0) for s in self.states}
+        pick = max if controller_maximises else min
+        for _ in range(_VI_MAX_ITERATIONS):
+            delta = 0.0
+            for state in self.states:
+                if state in targets:
+                    continue
+                best = pick(
+                    IntervalDTMC._inner_optimum(row, values, nature_maximises)
+                    for row in self.intervals[state].values()
+                )
+                delta = max(delta, abs(best - values[state]))
+                values[state] = best
+            if delta < _VI_TOLERANCE:
+                break
+        return {s: float(np.clip(v, 0.0, 1.0)) for s, v in values.items()}
+
+    def reachability_probability(
+        self,
+        targets: Set[State],
+        controller_maximises: bool = True,
+        nature_maximises: bool = False,
+    ) -> float:
+        """Robust reachability at the initial state."""
+        return self.reachability_values(
+            targets, controller_maximises, nature_maximises
+        )[self.initial_state]
+
+    def __repr__(self) -> str:
+        return f"IntervalMDP(|S|={len(self.states)})"
+
+
+def robustness_certificate(
+    chain: DTMC,
+    formula,
+    epsilon: float,
+) -> bool:
+    """Certify that every ε-perturbation of ``chain`` satisfies ``formula``.
+
+    Builds the ±ε interval chain (structure preserved) and checks the
+    property against the adversarial bound: for an upper-bound formula
+    nature maximises the checked quantity, for a lower bound it
+    minimises.  Supports the non-nested ``P ⋈ b [φ1 U φ2]`` and
+    ``R ⋈ b [F φ]`` fragment used by the repairs.
+
+    Combined with Model Repair this closes the trust loop: a repair with
+    Proposition 1 bound ε whose certificate holds at ε' stays trusted
+    under any further drift up to ε'.
+    """
+    from repro.checking.parametric import label_satisfaction_set
+    from repro.logic.pctl import (
+        ProbabilisticOperator,
+        RewardOperator,
+        Until,
+        check_comparison,
+    )
+
+    interval_chain = IntervalDTMC.from_dtmc(chain, epsilon)
+    if isinstance(formula, ProbabilisticOperator):
+        path = formula.path
+        if not isinstance(path, Until) or path.step_bound is not None:
+            raise TypeError("certificate supports unbounded until formulas")
+        targets = label_satisfaction_set(chain.states, chain.labels, path.right)
+        maximise = formula.comparison in ("<", "<=")
+        value = interval_chain.reachability_probability(set(targets), maximise)
+        return check_comparison(formula.comparison, value, formula.bound)
+    if isinstance(formula, RewardOperator):
+        targets = label_satisfaction_set(
+            chain.states, chain.labels, formula.path.right
+        )
+        maximise = formula.comparison in ("<", "<=")
+        value = interval_chain.expected_reward(set(targets), maximise)
+        return check_comparison(formula.comparison, value, formula.bound)
+    raise TypeError("certificate expects a top-level P or R operator")

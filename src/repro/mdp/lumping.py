@@ -1,0 +1,120 @@
+"""Exact probabilistic bisimulation quotients (lumping).
+
+Proposition 1 talks about *approximate* (ε-)bisimilarity between a model
+and its repair; this module provides the exact counterpart: the largest
+probabilistic bisimulation on a chain, computed by classic partition
+refinement (Kanellakis–Smolka / Larsen–Skou style), and the quotient
+chain it induces.  Quotienting before checking/repair shrinks symmetric
+models — e.g. states of the WSN grid that are interchangeable by
+symmetry lump together — without changing any PCTL property, since
+bisimilar states satisfy exactly the same formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Tuple
+
+from repro.mdp.model import DTMC
+
+State = Hashable
+
+_PRECISION = 12  # decimal digits when comparing block-mass signatures
+
+
+def bisimulation_partition(chain: DTMC) -> List[FrozenSet[State]]:
+    """The coarsest probabilistic bisimulation respecting labels.
+
+    Two states are bisimilar iff they carry the same atomic propositions
+    and the same reward, and give equal probability mass to every
+    bisimulation class.  Computed by iterated signature refinement: the
+    initial partition groups by (labels, reward); each round re-splits
+    by the vector of per-block transition masses, until stable.
+    """
+    def initial_key(state: State):
+        return (chain.labels[state], round(chain.state_rewards[state], _PRECISION))
+
+    blocks: Dict[object, List[State]] = {}
+    for state in chain.states:
+        blocks.setdefault(initial_key(state), []).append(state)
+    partition = list(blocks.values())
+    while True:
+        block_of: Dict[State, int] = {}
+        for index, block in enumerate(partition):
+            for state in block:
+                block_of[state] = index
+
+        def signature(state: State) -> Tuple:
+            masses: Dict[int, float] = {}
+            for target, probability in chain.transitions[state].items():
+                target_block = block_of[target]
+                masses[target_block] = masses.get(target_block, 0.0) + probability
+            return tuple(
+                sorted(
+                    (block, round(mass, _PRECISION))
+                    for block, mass in masses.items()
+                )
+            )
+
+        refined: List[List[State]] = []
+        for block in partition:
+            by_signature: Dict[Tuple, List[State]] = {}
+            for state in block:
+                by_signature.setdefault(signature(state), []).append(state)
+            refined.extend(by_signature.values())
+        if len(refined) == len(partition):
+            return [frozenset(block) for block in refined]
+        partition = refined
+
+
+def quotient_chain(chain: DTMC) -> Tuple[DTMC, Dict[State, State]]:
+    """The bisimulation quotient and the state-to-representative map.
+
+    Each block is represented by its first member in the original state
+    ordering; the quotient chain's transition probabilities are the
+    block masses of any member (they agree by bisimilarity).
+
+    Examples
+    --------
+    >>> from repro.mdp import DTMC
+    >>> chain = DTMC(
+    ...     states=["s", "l", "r", "t"],
+    ...     transitions={
+    ...         "s": {"l": 0.5, "r": 0.5},
+    ...         "l": {"t": 1.0},
+    ...         "r": {"t": 1.0},
+    ...         "t": {"t": 1.0},
+    ...     },
+    ...     initial_state="s",
+    ...     labels={"t": {"goal"}},
+    ... )
+    >>> quotient, mapping = quotient_chain(chain)
+    >>> quotient.num_states   # l and r lump together
+    3
+    >>> mapping["l"] == mapping["r"]
+    True
+    """
+    partition = bisimulation_partition(chain)
+    order = {state: index for index, state in enumerate(chain.states)}
+    representative: Dict[State, State] = {}
+    for block in partition:
+        leader = min(block, key=lambda s: order[s])
+        for state in block:
+            representative[state] = leader
+    leaders = sorted({representative[s] for s in chain.states}, key=lambda s: order[s])
+    transitions: Dict[State, Dict[State, float]] = {}
+    for leader in leaders:
+        row: Dict[State, float] = {}
+        for target, probability in chain.transitions[leader].items():
+            target_leader = representative[target]
+            row[target_leader] = row.get(target_leader, 0.0) + probability
+        transitions[leader] = row
+    quotient = DTMC(
+        states=leaders,
+        transitions=transitions,
+        initial_state=representative[chain.initial_state],
+        labels={leader: chain.labels[leader] for leader in leaders},
+        state_rewards={
+            leader: chain.state_rewards[leader] for leader in leaders
+        },
+    )
+    return quotient, representative

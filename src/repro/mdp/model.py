@@ -1,0 +1,391 @@
+"""Labelled Markov decision processes and discrete-time Markov chains.
+
+The paper's models are tuples ``M = (S, A, R, P, L)``: a finite state set,
+finite action set, state reward function, transition kernel and an atomic
+proposition labelling.  A :class:`DTMC` is the action-free special case —
+it is both what an :class:`MDP` induces under a policy and what
+maximum-likelihood learning (:mod:`repro.learning.mle`) produces from
+trace data.
+
+States and actions may be any hashable values (strings, tuples, ints);
+the model classes maintain a stable ordering and index maps so numeric
+code (:mod:`repro.checking`, :mod:`repro.mdp.solvers`) can work on dense
+arrays.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+State = Hashable
+Action = Hashable
+
+_PROB_TOLERANCE = 1e-9
+
+
+class ModelValidationError(ValueError):
+    """Raised when a model's transition structure is not stochastic."""
+
+
+def _freeze_labels(
+    states: Sequence[State], labels: Optional[Mapping[State, Iterable[str]]]
+) -> Dict[State, FrozenSet[str]]:
+    frozen: Dict[State, FrozenSet[str]] = {s: frozenset() for s in states}
+    if labels:
+        for state, atoms in labels.items():
+            if state not in frozen:
+                raise ModelValidationError(f"label on unknown state {state!r}")
+            frozen[state] = frozenset(atoms)
+    return frozen
+
+
+def _check_distribution(owner: str, dist: Mapping[State, float]) -> None:
+    total = 0.0
+    for target, prob in dist.items():
+        # The negated comparison also catches NaN (all NaN comparisons
+        # are false, so a plain out-of-range check would let NaN through).
+        if not (-_PROB_TOLERANCE <= prob <= 1 + _PROB_TOLERANCE):
+            raise ModelValidationError(
+                f"{owner}: probability {prob} for target {target!r} out of [0, 1]"
+            )
+        total += prob
+    if not (abs(total - 1.0) <= 1e-6):
+        raise ModelValidationError(f"{owner}: outgoing probabilities sum to {total}")
+
+
+class DTMC:
+    """A labelled discrete-time Markov chain with state rewards.
+
+    Parameters
+    ----------
+    states:
+        Ordered collection of distinct hashable state identifiers.
+    transitions:
+        ``{source: {target: probability}}``; each row must sum to 1.
+        Absorbing states may be given either an explicit self-loop or no
+        entry at all (a self-loop is added).
+    initial_state:
+        The state the chain starts in (the paper's ``s0``).
+    labels:
+        ``{state: iterable of atomic propositions}``.
+    state_rewards:
+        ``{state: reward}``; missing states default to 0.  This is the
+        paper's ``R`` restricted to a chain.
+
+    Examples
+    --------
+    >>> chain = DTMC(
+    ...     states=["a", "b"],
+    ...     transitions={"a": {"a": 0.5, "b": 0.5}, "b": {"b": 1.0}},
+    ...     initial_state="a",
+    ...     labels={"b": {"done"}},
+    ... )
+    >>> chain.probability("a", "b")
+    0.5
+    """
+
+    def __init__(
+        self,
+        states: Sequence[State],
+        transitions: Mapping[State, Mapping[State, float]],
+        initial_state: State,
+        labels: Optional[Mapping[State, Iterable[str]]] = None,
+        state_rewards: Optional[Mapping[State, float]] = None,
+    ):
+        self.states: List[State] = list(states)
+        if len(set(self.states)) != len(self.states):
+            raise ModelValidationError("duplicate states")
+        if initial_state not in set(self.states):
+            raise ModelValidationError(f"unknown initial state {initial_state!r}")
+        self.initial_state = initial_state
+        self.index: Dict[State, int] = {s: i for i, s in enumerate(self.states)}
+        self.transitions: Dict[State, Dict[State, float]] = {}
+        for source in self.states:
+            row = dict(transitions.get(source, {}))
+            if not row:
+                row = {source: 1.0}
+            for target in row:
+                if target not in self.index:
+                    raise ModelValidationError(
+                        f"transition {source!r} -> unknown state {target!r}"
+                    )
+            _check_distribution(f"state {source!r}", row)
+            self.transitions[source] = {t: float(p) for t, p in row.items() if p > 0.0}
+        self.labels = _freeze_labels(self.states, labels)
+        self.state_rewards: Dict[State, float] = {
+            s: float((state_rewards or {}).get(s, 0.0)) for s in self.states
+        }
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        """Number of states."""
+        return len(self.states)
+
+    def probability(self, source: State, target: State) -> float:
+        """Transition probability ``P(target | source)`` (0 if absent)."""
+        return self.transitions[source].get(target, 0.0)
+
+    def successors(self, state: State) -> List[State]:
+        """States reachable in one step with positive probability."""
+        return list(self.transitions[state])
+
+    def atoms(self) -> FrozenSet[str]:
+        """All atomic propositions used anywhere in the labelling."""
+        atoms: set = set()
+        for props in self.labels.values():
+            atoms |= props
+        return frozenset(atoms)
+
+    def states_with_atom(self, atom: str) -> FrozenSet[State]:
+        """All states labelled with ``atom``."""
+        return frozenset(s for s, props in self.labels.items() if atom in props)
+
+    def transition_matrix(self) -> np.ndarray:
+        """Dense row-stochastic matrix ordered by ``self.states``."""
+        matrix = np.zeros((self.num_states, self.num_states))
+        for source, row in self.transitions.items():
+            i = self.index[source]
+            for target, prob in row.items():
+                matrix[i, self.index[target]] = prob
+        return matrix
+
+    def reward_vector(self) -> np.ndarray:
+        """State rewards ordered by ``self.states``."""
+        return np.array([self.state_rewards[s] for s in self.states])
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def with_transitions(
+        self, transitions: Mapping[State, Mapping[State, float]]
+    ) -> "DTMC":
+        """A copy of this chain with replaced transition rows.
+
+        Rows absent from ``transitions`` are kept as-is; this is how
+        Model Repair materialises a repaired chain from a solved
+        perturbation.
+        """
+        merged = {s: dict(self.transitions[s]) for s in self.states}
+        for source, row in transitions.items():
+            merged[source] = dict(row)
+        return DTMC(
+            states=self.states,
+            transitions=merged,
+            initial_state=self.initial_state,
+            labels=self.labels,
+            state_rewards=self.state_rewards,
+        )
+
+    def with_rewards(self, state_rewards: Mapping[State, float]) -> "DTMC":
+        """A copy with a replaced state-reward function."""
+        return DTMC(
+            states=self.states,
+            transitions=self.transitions,
+            initial_state=self.initial_state,
+            labels=self.labels,
+            state_rewards=state_rewards,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DTMC(|S|={self.num_states}, init={self.initial_state!r}, "
+            f"atoms={sorted(self.atoms())})"
+        )
+
+
+class MDP:
+    """A labelled Markov decision process ``(S, A, R, P, L)``.
+
+    Parameters
+    ----------
+    states:
+        Ordered collection of distinct hashable state identifiers.
+    transitions:
+        ``{state: {action: {target: probability}}}``.  Every state must
+        enable at least one action; each action's row must sum to 1.
+    initial_state:
+        The paper's ``s0``.
+    labels:
+        ``{state: iterable of atomic propositions}``.
+    state_rewards:
+        ``{state: reward}`` — the paper's ``R`` (rewards on states).
+    action_rewards:
+        Optional ``{(state, action): reward}`` refinement used by the
+        IRL machinery; defaults to 0.
+    """
+
+    def __init__(
+        self,
+        states: Sequence[State],
+        transitions: Mapping[State, Mapping[Action, Mapping[State, float]]],
+        initial_state: State,
+        labels: Optional[Mapping[State, Iterable[str]]] = None,
+        state_rewards: Optional[Mapping[State, float]] = None,
+        action_rewards: Optional[Mapping[Tuple[State, Action], float]] = None,
+    ):
+        self.states: List[State] = list(states)
+        if len(set(self.states)) != len(self.states):
+            raise ModelValidationError("duplicate states")
+        if initial_state not in set(self.states):
+            raise ModelValidationError(f"unknown initial state {initial_state!r}")
+        self.initial_state = initial_state
+        self.index: Dict[State, int] = {s: i for i, s in enumerate(self.states)}
+        self.transitions: Dict[State, Dict[Action, Dict[State, float]]] = {}
+        for state in self.states:
+            action_map = transitions.get(state)
+            if not action_map:
+                raise ModelValidationError(f"state {state!r} enables no action")
+            rows: Dict[Action, Dict[State, float]] = {}
+            for action, dist in action_map.items():
+                for target in dist:
+                    if target not in self.index:
+                        raise ModelValidationError(
+                            f"{state!r}/{action!r} -> unknown state {target!r}"
+                        )
+                _check_distribution(f"state {state!r} action {action!r}", dist)
+                rows[action] = {t: float(p) for t, p in dist.items() if p > 0.0}
+            self.transitions[state] = rows
+        self.labels = _freeze_labels(self.states, labels)
+        self.state_rewards: Dict[State, float] = {
+            s: float((state_rewards or {}).get(s, 0.0)) for s in self.states
+        }
+        self.action_rewards: Dict[Tuple[State, Action], float] = {
+            key: float(value) for key, value in (action_rewards or {}).items()
+        }
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        """Number of states."""
+        return len(self.states)
+
+    def actions(self, state: State) -> List[Action]:
+        """Actions enabled in ``state``."""
+        return list(self.transitions[state])
+
+    def all_actions(self) -> List[Action]:
+        """The union of actions enabled anywhere, in first-seen order."""
+        seen: Dict[Action, None] = {}
+        for state in self.states:
+            for action in self.transitions[state]:
+                seen.setdefault(action, None)
+        return list(seen)
+
+    def probability(self, state: State, action: Action, target: State) -> float:
+        """``P(target | state, action)`` (0 if absent)."""
+        return self.transitions[state][action].get(target, 0.0)
+
+    def successors(self, state: State, action: Action) -> List[State]:
+        """Positive-probability successors of ``(state, action)``."""
+        return list(self.transitions[state][action])
+
+    def reward(self, state: State, action: Optional[Action] = None) -> float:
+        """Reward of a state, plus the action refinement if given."""
+        value = self.state_rewards[state]
+        if action is not None:
+            value += self.action_rewards.get((state, action), 0.0)
+        return value
+
+    def atoms(self) -> FrozenSet[str]:
+        """All atomic propositions used anywhere in the labelling."""
+        atoms: set = set()
+        for props in self.labels.values():
+            atoms |= props
+        return frozenset(atoms)
+
+    def states_with_atom(self, atom: str) -> FrozenSet[State]:
+        """All states labelled with ``atom``."""
+        return frozenset(s for s, props in self.labels.items() if atom in props)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def induced_dtmc(self, policy) -> DTMC:
+        """The Markov chain this MDP induces under ``policy``.
+
+        ``policy`` may be a :class:`~repro.mdp.policy.DeterministicPolicy`
+        or :class:`~repro.mdp.policy.StochasticPolicy`; rewards and labels
+        carry over unchanged.
+        """
+        transitions: Dict[State, Dict[State, float]] = {}
+        for state in self.states:
+            row: Dict[State, float] = {}
+            for action, weight in policy.action_distribution(state).items():
+                if weight == 0.0:
+                    continue
+                if action not in self.transitions[state]:
+                    raise ModelValidationError(
+                        f"policy picks disabled action {action!r} in {state!r}"
+                    )
+                for target, prob in self.transitions[state][action].items():
+                    row[target] = row.get(target, 0.0) + weight * prob
+            transitions[state] = row
+        return DTMC(
+            states=self.states,
+            transitions=transitions,
+            initial_state=self.initial_state,
+            labels=self.labels,
+            state_rewards=self.state_rewards,
+        )
+
+    def with_rewards(
+        self,
+        state_rewards: Optional[Mapping[State, float]] = None,
+        action_rewards: Optional[Mapping[Tuple[State, Action], float]] = None,
+    ) -> "MDP":
+        """A copy with replaced reward functions (Reward Repair output)."""
+        return MDP(
+            states=self.states,
+            transitions=self.transitions,
+            initial_state=self.initial_state,
+            labels=self.labels,
+            state_rewards=(
+                state_rewards if state_rewards is not None else self.state_rewards
+            ),
+            action_rewards=(
+                action_rewards if action_rewards is not None else self.action_rewards
+            ),
+        )
+
+    def with_transitions(
+        self, transitions: Mapping[State, Mapping[Action, Mapping[State, float]]]
+    ) -> "MDP":
+        """A copy with selected ``(state, action)`` rows replaced."""
+        merged: Dict[State, Dict[Action, Dict[State, float]]] = {
+            s: {a: dict(d) for a, d in rows.items()}
+            for s, rows in self.transitions.items()
+        }
+        for state, rows in transitions.items():
+            for action, dist in rows.items():
+                merged[state][action] = dict(dist)
+        return MDP(
+            states=self.states,
+            transitions=merged,
+            initial_state=self.initial_state,
+            labels=self.labels,
+            state_rewards=self.state_rewards,
+            action_rewards=self.action_rewards,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MDP(|S|={self.num_states}, |A|={len(self.all_actions())}, "
+            f"init={self.initial_state!r})"
+        )

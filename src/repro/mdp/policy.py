@@ -1,0 +1,104 @@
+"""Policies for MDPs: deterministic and stochastic.
+
+A policy maps each state to a distribution over enabled actions.  Both
+classes expose the same minimal protocol — ``action_distribution(state)``
+and ``sample(state, rng)`` — which is what :meth:`repro.mdp.MDP.
+induced_dtmc` and the simulator consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping
+
+import numpy as np
+
+State = Hashable
+Action = Hashable
+
+
+class DeterministicPolicy:
+    """A memoryless deterministic policy ``state -> action``.
+
+    Examples
+    --------
+    >>> policy = DeterministicPolicy({"s0": "go", "s1": "stop"})
+    >>> policy["s0"]
+    'go'
+    """
+
+    def __init__(self, mapping: Mapping[State, Action]):
+        self.mapping: Dict[State, Action] = dict(mapping)
+
+    def __getitem__(self, state: State) -> Action:
+        return self.mapping[state]
+
+    def __contains__(self, state: State) -> bool:
+        return state in self.mapping
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DeterministicPolicy):
+            return self.mapping == other.mapping
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.mapping.items()))
+
+    def action_distribution(self, state: State) -> Dict[Action, float]:
+        """Point distribution on the chosen action."""
+        return {self.mapping[state]: 1.0}
+
+    def sample(self, state: State, rng: np.random.Generator) -> Action:
+        """The chosen action (ignores the rng)."""
+        return self.mapping[state]
+
+    def items(self):
+        """Iterate over ``(state, action)`` pairs."""
+        return self.mapping.items()
+
+    def __repr__(self) -> str:
+        return f"DeterministicPolicy({self.mapping!r})"
+
+
+class StochasticPolicy:
+    """A memoryless stochastic policy ``state -> distribution over actions``.
+
+    Each state's distribution must sum to 1 (within tolerance).
+    """
+
+    def __init__(self, mapping: Mapping[State, Mapping[Action, float]]):
+        self.mapping: Dict[State, Dict[Action, float]] = {}
+        for state, dist in mapping.items():
+            total = sum(dist.values())
+            if abs(total - 1.0) > 1e-6:
+                raise ValueError(
+                    f"policy distribution in state {state!r} sums to {total}"
+                )
+            self.mapping[state] = {a: float(p) for a, p in dist.items() if p > 0.0}
+
+    def action_distribution(self, state: State) -> Dict[Action, float]:
+        """The action distribution at ``state``."""
+        return dict(self.mapping[state])
+
+    def sample(self, state: State, rng: np.random.Generator) -> Action:
+        """Sample an action according to the state's distribution."""
+        actions = list(self.mapping[state])
+        probs = np.array([self.mapping[state][a] for a in actions])
+        return actions[rng.choice(len(actions), p=probs / probs.sum())]
+
+    def greedy(self) -> DeterministicPolicy:
+        """The deterministic policy picking each state's modal action."""
+        return DeterministicPolicy(
+            {s: max(dist, key=dist.get) for s, dist in self.mapping.items()}
+        )
+
+    def __repr__(self) -> str:
+        return f"StochasticPolicy(|S|={len(self.mapping)})"
+
+
+def uniform_policy(mdp) -> StochasticPolicy:
+    """The policy choosing uniformly among enabled actions everywhere."""
+    mapping = {}
+    for state in mdp.states:
+        actions = mdp.actions(state)
+        mapping[state] = {a: 1.0 / len(actions) for a in actions}
+    return StochasticPolicy(mapping)

@@ -1,0 +1,143 @@
+"""Seeded trajectory sampling from MDPs and Markov chains.
+
+The paper's case studies learn models from traces; since the original
+traces are simulator-generated, this module is the trace source for the
+whole repository.  All sampling goes through a ``numpy`` Generator so
+experiments are reproducible bit-for-bit given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Set
+
+import numpy as np
+
+from repro.mdp.model import DTMC, MDP
+from repro.mdp.trajectory import Trajectory
+
+State = Hashable
+
+
+class Simulator:
+    """Samples trajectories from a model.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the internal ``numpy`` Generator.  Two simulators with
+        the same seed produce identical trajectories.
+
+    Examples
+    --------
+    >>> from repro.mdp import chain_dtmc
+    >>> sim = Simulator(seed=7)
+    >>> chain = chain_dtmc(4, forward_probability=0.9)
+    >>> run = sim.sample_chain(chain, max_steps=10)
+    >>> run.state_at(0) == chain.initial_state
+    True
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Chains
+    # ------------------------------------------------------------------
+    def sample_chain(
+        self,
+        chain: DTMC,
+        max_steps: int = 1_000,
+        stop_states: Optional[Set[State]] = None,
+        start_state: Optional[State] = None,
+    ) -> Trajectory:
+        """One trajectory through a chain.
+
+        Stops on entering a ``stop_states`` member, on an absorbing
+        self-loop-only state, or after ``max_steps`` transitions.
+        """
+        stop_states = stop_states or set()
+        state = chain.initial_state if start_state is None else start_state
+        path = [state]
+        for _ in range(max_steps):
+            if state in stop_states:
+                break
+            successors = chain.successors(state)
+            if successors == [state]:
+                break
+            probs = np.array([chain.probability(state, t) for t in successors])
+            state = successors[self.rng.choice(len(successors), p=probs)]
+            path.append(state)
+        return Trajectory.from_states(path)
+
+    def sample_chain_many(
+        self,
+        chain: DTMC,
+        count: int,
+        max_steps: int = 1_000,
+        stop_states: Optional[Set[State]] = None,
+    ) -> List[Trajectory]:
+        """``count`` independent chain trajectories."""
+        return [
+            self.sample_chain(chain, max_steps=max_steps, stop_states=stop_states)
+            for _ in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+    # MDPs
+    # ------------------------------------------------------------------
+    def sample_mdp(
+        self,
+        mdp: MDP,
+        policy,
+        max_steps: int = 1_000,
+        stop_states: Optional[Set[State]] = None,
+        start_state: Optional[State] = None,
+    ) -> Trajectory:
+        """One trajectory through an MDP under ``policy``."""
+        stop_states = stop_states or set()
+        state = mdp.initial_state if start_state is None else start_state
+        steps = []
+        for _ in range(max_steps):
+            if state in stop_states:
+                break
+            action = policy.sample(state, self.rng)
+            steps.append((state, action))
+            successors = mdp.successors(state, action)
+            probs = np.array([mdp.probability(state, action, t) for t in successors])
+            state = successors[self.rng.choice(len(successors), p=probs)]
+        steps.append((state, None))
+        return Trajectory(steps)
+
+    def sample_mdp_many(
+        self,
+        mdp: MDP,
+        policy,
+        count: int,
+        max_steps: int = 1_000,
+        stop_states: Optional[Set[State]] = None,
+    ) -> List[Trajectory]:
+        """``count`` independent MDP trajectories under ``policy``."""
+        return [
+            self.sample_mdp(
+                mdp, policy, max_steps=max_steps, stop_states=stop_states
+            )
+            for _ in range(count)
+        ]
+
+    def estimate_reachability(
+        self,
+        chain: DTMC,
+        targets: Set[State],
+        samples: int = 1_000,
+        max_steps: int = 1_000,
+    ) -> float:
+        """Monte-Carlo estimate of ``Pr[F targets]`` from the initial state.
+
+        Used by tests to cross-validate the exact model checker.
+        """
+        hits = 0
+        for _ in range(samples):
+            run = self.sample_chain(chain, max_steps=max_steps, stop_states=targets)
+            if run.state_at(len(run) - 1) in targets:
+                hits += 1
+        return hits / samples

@@ -1,0 +1,226 @@
+"""Dynamic-programming solvers for MDPs.
+
+Value iteration, policy iteration, policy evaluation, Q-functions and
+undiscounted expected-total-reward-to-absorption.  All solvers work on
+the dictionary-based models in :mod:`repro.mdp.model` and return plain
+dictionaries keyed by states, so downstream code never deals with index
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.mdp.model import DTMC, MDP
+from repro.mdp.policy import DeterministicPolicy
+
+State = Hashable
+Action = Hashable
+
+DEFAULT_TOLERANCE = 1e-10
+DEFAULT_MAX_ITERATIONS = 100_000
+
+
+def value_iteration(
+    mdp: MDP,
+    discount: float = 0.95,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> Tuple[Dict[State, float], DeterministicPolicy]:
+    """Discounted value iteration.
+
+    Solves ``V(s) = R(s) + γ · max_a Σ_t P(t|s,a) V(t)`` to within
+    ``tolerance`` (sup-norm) and returns the value function together with
+    a greedy optimal deterministic policy.
+
+    Parameters
+    ----------
+    mdp:
+        The decision process (state rewards + optional action rewards).
+    discount:
+        γ in ``(0, 1]``.  With γ = 1 convergence requires a proper
+        (absorbing) structure; the iteration cap guards divergence.
+    """
+    if not 0 < discount <= 1:
+        raise ValueError("discount must be in (0, 1]")
+    values = {s: 0.0 for s in mdp.states}
+    for _ in range(max_iterations):
+        delta = 0.0
+        updated: Dict[State, float] = {}
+        for state in mdp.states:
+            best = -np.inf
+            for action in mdp.actions(state):
+                total = mdp.reward(state, action) + discount * sum(
+                    prob * values[target]
+                    for target, prob in mdp.transitions[state][action].items()
+                )
+                if total > best:
+                    best = total
+            updated[state] = best
+            delta = max(delta, abs(best - values[state]))
+        values = updated
+        if delta < tolerance:
+            break
+    return values, greedy_policy(mdp, values, discount)
+
+
+def greedy_policy(
+    mdp: MDP, values: Mapping[State, float], discount: float = 0.95
+) -> DeterministicPolicy:
+    """The deterministic policy greedy with respect to ``values``.
+
+    Ties are broken by the MDP's action enumeration order, which makes
+    the result deterministic across runs.
+    """
+    mapping: Dict[State, Action] = {}
+    for state in mdp.states:
+        best_action = None
+        best_value = -np.inf
+        for action in mdp.actions(state):
+            total = mdp.reward(state, action) + discount * sum(
+                prob * values[target]
+                for target, prob in mdp.transitions[state][action].items()
+            )
+            if total > best_value + 1e-12:
+                best_value = total
+                best_action = action
+        mapping[state] = best_action
+    return DeterministicPolicy(mapping)
+
+
+def q_values(
+    mdp: MDP, values: Mapping[State, float], discount: float = 0.95
+) -> Dict[Tuple[State, Action], float]:
+    """The state-action value function induced by ``values``.
+
+    ``Q(s, a) = R(s, a) + γ Σ_t P(t|s,a) V(t)`` — the quantity the car
+    case study's reward-repair constraint ``Q(S1,1) > Q(S1,0)`` ranges
+    over.
+    """
+    q: Dict[Tuple[State, Action], float] = {}
+    for state in mdp.states:
+        for action in mdp.actions(state):
+            q[(state, action)] = mdp.reward(state, action) + discount * sum(
+                prob * values[target]
+                for target, prob in mdp.transitions[state][action].items()
+            )
+    return q
+
+
+def policy_evaluation(
+    mdp: MDP,
+    policy,
+    discount: float = 0.95,
+) -> Dict[State, float]:
+    """Exact policy evaluation by direct linear solve.
+
+    Solves ``(I - γ P_π) v = r_π`` where ``P_π``/``r_π`` are the
+    transition matrix and reward vector of the induced chain.
+    """
+    if not 0 < discount < 1:
+        # With discount 1 the linear system may be singular; fall back to
+        # iterative evaluation with the generic cap.
+        return _iterative_policy_evaluation(mdp, policy, discount)
+    n = mdp.num_states
+    matrix = np.zeros((n, n))
+    rewards = np.zeros(n)
+    for state in mdp.states:
+        i = mdp.index[state]
+        for action, weight in policy.action_distribution(state).items():
+            rewards[i] += weight * mdp.reward(state, action)
+            for target, prob in mdp.transitions[state][action].items():
+                matrix[i, mdp.index[target]] += weight * prob
+    solution = np.linalg.solve(np.eye(n) - discount * matrix, rewards)
+    return {s: float(solution[mdp.index[s]]) for s in mdp.states}
+
+
+def _iterative_policy_evaluation(
+    mdp: MDP,
+    policy,
+    discount: float,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> Dict[State, float]:
+    values = {s: 0.0 for s in mdp.states}
+    for _ in range(max_iterations):
+        delta = 0.0
+        updated: Dict[State, float] = {}
+        for state in mdp.states:
+            total = 0.0
+            for action, weight in policy.action_distribution(state).items():
+                total += weight * (
+                    mdp.reward(state, action)
+                    + discount
+                    * sum(
+                        prob * values[target]
+                        for target, prob in mdp.transitions[state][action].items()
+                    )
+                )
+            updated[state] = total
+            delta = max(delta, abs(total - values[state]))
+        values = updated
+        if delta < tolerance:
+            break
+    return values
+
+
+def policy_iteration(
+    mdp: MDP,
+    discount: float = 0.95,
+    max_iterations: int = 1_000,
+) -> Tuple[Dict[State, float], DeterministicPolicy]:
+    """Howard policy iteration: evaluate, improve, repeat to fixpoint."""
+    policy = DeterministicPolicy({s: mdp.actions(s)[0] for s in mdp.states})
+    for _ in range(max_iterations):
+        values = policy_evaluation(mdp, policy, discount)
+        improved = greedy_policy(mdp, values, discount)
+        if improved == policy:
+            return values, policy
+        policy = improved
+    return policy_evaluation(mdp, policy, discount), policy
+
+
+def expected_total_reward(
+    chain: DTMC,
+    targets: Set[State],
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> Dict[State, float]:
+    """Undiscounted expected cumulative reward until reaching ``targets``.
+
+    This is the quantity behind the paper's WSN property
+    ``R{attempts} <= X [F S_n11 = 2]``: the expected number of reward
+    units accumulated before first hitting the target set.  States from
+    which the targets are reached with probability < 1 get ``inf``
+    (standard PCTL reward semantics).
+    """
+    from repro.checking.graph import prob1_states  # local import: avoid cycle
+
+    reach_certain = prob1_states(chain, targets)
+    values: Dict[State, float] = {}
+    for state in chain.states:
+        if state in targets:
+            values[state] = 0.0
+        elif state not in reach_certain:
+            values[state] = np.inf
+        else:
+            values[state] = 0.0
+    # Solve the linear system restricted to states that reach with prob 1.
+    unknown = [s for s in chain.states if s in reach_certain and s not in targets]
+    if unknown:
+        idx = {s: i for i, s in enumerate(unknown)}
+        n = len(unknown)
+        matrix = np.eye(n)
+        vector = np.zeros(n)
+        for state in unknown:
+            i = idx[state]
+            vector[i] = chain.state_rewards[state]
+            for target, prob in chain.transitions[state].items():
+                if target in idx:
+                    matrix[i, idx[target]] -= prob
+        solution = np.linalg.solve(matrix, vector)
+        for state in unknown:
+            values[state] = float(solution[idx[state]])
+    return values

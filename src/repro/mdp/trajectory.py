@@ -1,0 +1,101 @@
+"""Finite trajectories through MDPs and Markov chains.
+
+The paper writes a trajectory as ``U = (s1, a1) ... (sn, an)`` — an
+alternating state/action sequence.  For chains (no actions) the action
+slots are ``None``.  Trajectories are immutable and hashable so they can
+index trajectory distributions (:mod:`repro.learning`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+
+State = Hashable
+Action = Hashable
+
+
+class Trajectory:
+    """An immutable alternating state/action sequence.
+
+    Parameters
+    ----------
+    steps:
+        Iterable of ``(state, action)`` pairs.  The final pair's action
+        may be ``None`` (trajectory ending in a state).
+
+    Examples
+    --------
+    >>> u = Trajectory([("s0", "a"), ("s1", None)])
+    >>> u.states()
+    ('s0', 's1')
+    >>> len(u)
+    2
+    """
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: Iterable[Tuple[State, Optional[Action]]]):
+        self.steps: Tuple[Tuple[State, Optional[Action]], ...] = tuple(
+            (state, action) for state, action in steps
+        )
+        if not self.steps:
+            raise ValueError("trajectory must contain at least one state")
+
+    @staticmethod
+    def from_states(states: Sequence[State]) -> "Trajectory":
+        """A pure state path (chain trajectory, all actions ``None``)."""
+        return Trajectory((s, None) for s in states)
+
+    def states(self) -> Tuple[State, ...]:
+        """The state sequence."""
+        return tuple(state for state, _ in self.steps)
+
+    def actions(self) -> Tuple[Optional[Action], ...]:
+        """The action sequence (may contain ``None``)."""
+        return tuple(action for _, action in self.steps)
+
+    def state_at(self, index: int) -> State:
+        """The state at position ``index``."""
+        return self.steps[index][0]
+
+    def action_at(self, index: int) -> Optional[Action]:
+        """The action at position ``index``."""
+        return self.steps[index][1]
+
+    def transitions(self) -> List[Tuple[State, Optional[Action], State]]:
+        """All ``(state, action, next_state)`` triples along the path."""
+        return [
+            (self.steps[i][0], self.steps[i][1], self.steps[i + 1][0])
+            for i in range(len(self.steps) - 1)
+        ]
+
+    def prefix(self, length: int) -> "Trajectory":
+        """The first ``length`` steps."""
+        if length < 1:
+            raise ValueError("prefix length must be >= 1")
+        return Trajectory(self.steps[:length])
+
+    def visits(self, state: State) -> bool:
+        """True if ``state`` occurs anywhere along the trajectory."""
+        return any(s == state for s, _ in self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Trajectory):
+            return self.steps == other.steps
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.steps)
+
+    def __repr__(self) -> str:
+        inner = " ".join(
+            f"({state!r},{action!r})" if action is not None else f"({state!r})"
+            for state, action in self.steps
+        )
+        return f"Trajectory[{inner}]"

@@ -1,0 +1,26 @@
+"""Nonlinear optimisation layer (the paper's AMPL role).
+
+Model Repair and Data Repair reduce to the nonlinear program of
+Equations 4–6: minimise a smooth cost over the repair parameters subject
+to the rational constraint from parametric model checking plus box
+constraints.  This package wraps ``scipy.optimize`` with multi-start,
+constraint adapters for :class:`~repro.checking.ParametricConstraint`,
+and an explicit feasibility verdict (the paper's three WSN cases hinge
+on distinguishing "repaired", "already satisfied" and "infeasible").
+"""
+
+from repro.optimize.nlp import (
+    Constraint,
+    NonlinearProgram,
+    OptimizationResult,
+    Variable,
+    constraint_from_parametric,
+)
+
+__all__ = [
+    "NonlinearProgram",
+    "OptimizationResult",
+    "Variable",
+    "Constraint",
+    "constraint_from_parametric",
+]

@@ -1,0 +1,23 @@
+"""Exact symbolic arithmetic for parametric model checking.
+
+This subpackage provides multivariate polynomials and rational functions
+with exact :class:`fractions.Fraction` coefficients.  They are the value
+domain of the parametric model checker (:mod:`repro.checking.parametric`):
+state elimination on a parametric Markov chain produces a rational
+function of the repair parameters, which the repair algorithms in
+:mod:`repro.core` hand to the nonlinear optimizer.
+
+Public API
+----------
+``Polynomial``
+    Immutable multivariate polynomial over the rationals.
+``RationalFunction``
+    Quotient of two polynomials, normalised and (best-effort) reduced.
+``poly_gcd``
+    Multivariate polynomial greatest common divisor (primitive PRS).
+"""
+
+from repro.symbolic.polynomial import Polynomial, bareiss_determinant, poly_gcd
+from repro.symbolic.rational import RationalFunction
+
+__all__ = ["Polynomial", "RationalFunction", "poly_gcd", "bareiss_determinant"]

@@ -1,0 +1,175 @@
+"""Tests for the related-work baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    greedy_data_repair,
+    greedy_model_repair,
+    lagrangian_constrained_policy,
+    shaped_mdp,
+)
+from repro.checking import ParametricDTMC
+from repro.core import DataRepair
+from repro.data import TraceDataset, TraceGroup
+from repro.logic import parse_pctl
+from repro.mdp import Trajectory, random_mdp, value_iteration
+from repro.optimize import Variable
+from repro.symbolic import Polynomial
+
+
+class TestRewardShaping:
+    def test_shaping_preserves_optimal_policy_on_fixture(self, two_action_mdp):
+        mdp = two_action_mdp.with_rewards(state_rewards={"goal": 1.0})
+        potential = {"s": 5.0, "goal": -2.0, "trap": 7.0}.__getitem__
+        shaped = shaped_mdp(mdp, potential, discount=0.9)
+        _, original_policy = value_iteration(mdp, discount=0.9)
+        _, shaped_policy = value_iteration(shaped, discount=0.9)
+        assert original_policy == shaped_policy
+
+    @given(st.integers(0, 500), st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_ng_harada_russell_invariance(self, seed, potential_seed):
+        """Potential-based shaping never changes the optimal policy."""
+        import numpy as np
+
+        mdp = random_mdp(5, num_actions=2, seed=seed)
+        rng = np.random.default_rng(potential_seed)
+        potentials = {s: float(rng.normal() * 3) for s in mdp.states}
+        shaped = shaped_mdp(mdp, potentials.__getitem__, discount=0.9)
+        original_values, original_policy = value_iteration(
+            mdp, discount=0.9, tolerance=1e-12
+        )
+        shaped_values, shaped_policy = value_iteration(
+            shaped, discount=0.9, tolerance=1e-12
+        )
+        assert shaped_policy == original_policy
+        # Values shift by exactly -Φ(s).
+        for state in mdp.states:
+            assert shaped_values[state] == pytest.approx(
+                original_values[state] - potentials[state], abs=1e-6
+            )
+
+    def test_shaping_cannot_make_unsafe_policy_safe(self):
+        """The motivating contrast with Reward Repair (Section VI)."""
+        from repro.casestudies import car
+        from repro.core import RewardRepair
+
+        mdp = car.build_car_mdp()
+        features = car.car_features()
+        repairer = RewardRepair(mdp, features, discount=car.DISCOUNT)
+        unsafe_mdp = repairer.mdp_with(car.PAPER_LEARNED_THETA)
+        potential = {s: car.distance_to_unsafe(s) for s in mdp.states}
+        shaped = shaped_mdp(unsafe_mdp, potential.__getitem__, car.DISCOUNT)
+        _, policy = value_iteration(shaped, discount=car.DISCOUNT)
+        assert policy["S1"] == car.FORWARD  # still unsafe
+
+
+class TestLagrangian:
+    def test_trades_reward_for_cost_feasibility(self, two_action_mdp):
+        # Reward favours the risky action b reaching "trap" often? Give
+        # trap high reward but high cost.
+        mdp = two_action_mdp.with_rewards(
+            state_rewards={"trap": 1.0, "goal": 0.3}
+        )
+        unconstrained = lagrangian_constrained_policy(
+            mdp, cost=lambda s: 0.0, cost_bound=100.0, discount=0.9
+        )
+        assert unconstrained.policy["s"] == "b"  # chases the trap reward
+        constrained = lagrangian_constrained_policy(
+            mdp,
+            cost=lambda s: 1.0 if s == "trap" else 0.0,
+            cost_bound=2.0,
+            discount=0.9,
+        )
+        assert constrained.feasible
+        assert constrained.expected_cost <= 2.0 + 1e-6
+        assert constrained.policy["s"] == "a"
+
+    def test_already_feasible_keeps_best_reward(self, two_action_mdp):
+        mdp = two_action_mdp.with_rewards(state_rewards={"goal": 1.0})
+        result = lagrangian_constrained_policy(
+            mdp, cost=lambda s: 0.0, cost_bound=1.0, discount=0.9
+        )
+        assert result.feasible
+        assert result.multiplier == 0.0
+
+    def test_infeasible_bound_reported(self, two_action_mdp):
+        # Every policy pays some trap cost; bound of 0 is unreachable.
+        result = lagrangian_constrained_policy(
+            two_action_mdp,
+            cost=lambda s: 1.0 if s == "trap" else 0.0,
+            cost_bound=0.0,
+            discount=0.9,
+        )
+        assert not result.feasible
+
+
+def parametric_line():
+    p = Polynomial.variable("p")
+    return ParametricDTMC(
+        states=["a", "b"],
+        transitions={"a": {"b": p, "a": 1 - p}, "b": {"b": 1}},
+        initial_state="a",
+        labels={"b": {"goal"}},
+        state_rewards={"a": 1.0},
+    )
+
+
+class TestGreedyModelRepair:
+    def test_reaches_feasibility(self):
+        result = greedy_model_repair(
+            parametric_line(),
+            parse_pctl('R<=4 [ F "goal" ]'),
+            [Variable("p", 0.05, 0.95, initial=0.2)],  # E = 1/p <= 4 -> p >= .25
+            step=0.01,
+        )
+        assert result.feasible
+        assert result.assignment["p"] >= 0.25 - 1e-9
+        assert result.repaired_model is not None
+        assert result.checks > 1
+
+    def test_already_satisfied(self):
+        result = greedy_model_repair(
+            parametric_line(),
+            parse_pctl('R<=10 [ F "goal" ]'),
+            [Variable("p", 0.05, 0.95, initial=0.5)],
+            step=0.01,
+        )
+        assert result.feasible
+        assert result.checks == 1
+
+    def test_stuck_at_bounds_reports_infeasible(self):
+        result = greedy_model_repair(
+            parametric_line(),
+            parse_pctl('R<=1.01 [ F "goal" ]'),  # needs p ~ 0.99 > bound
+            [Variable("p", 0.05, 0.9, initial=0.5)],
+            step=0.05,
+        )
+        assert not result.feasible
+        assert result.repaired_model is None
+
+
+class TestGreedyDataRepair:
+    def test_matches_nlp_direction(self):
+        observations = lambda s, t, n: [
+            Trajectory.from_states([s, t]) for _ in range(n)
+        ]
+        dataset = TraceDataset(
+            [
+                TraceGroup("success", observations("a", "b", 40), droppable=False),
+                TraceGroup("failure", observations("a", "a", 60)),
+            ]
+        )
+        build = lambda ds: DataRepair(
+            dataset=ds,
+            formula=parse_pctl('R<=2 [ F "goal" ]'),
+            initial_state="a",
+            states=["a", "b"],
+            labels={"b": {"goal"}},
+            state_rewards={"a": 1.0},
+        )
+        result = greedy_data_repair(dataset, build, step=0.02)
+        assert result.feasible
+        assert result.assignment["drop_failure"] >= 1 / 3 - 0.05

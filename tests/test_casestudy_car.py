@@ -1,0 +1,146 @@
+"""Tests for the car obstacle-avoidance case study (Section V-B, Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.casestudies import car
+from repro.core import QValueConstraint, RewardRepair
+from repro.learning.irl import MaxEntIRL
+
+
+@pytest.fixture(scope="module")
+def mdp():
+    return car.build_car_mdp()
+
+
+@pytest.fixture(scope="module")
+def features():
+    return car.car_features()
+
+
+@pytest.fixture(scope="module")
+def repairer(mdp, features):
+    return RewardRepair(mdp, features, discount=car.DISCOUNT)
+
+
+class TestGeometry:
+    def test_states_match_figure_1(self, mdp):
+        for i in range(11):
+            assert f"S{i}" in mdp.states
+
+    def test_expert_demo_is_dynamically_consistent(self, mdp):
+        demo = car.expert_demonstration()
+        for state, action, target in demo.transitions():
+            assert mdp.probability(state, action, target) == 1.0
+
+    def test_collision_and_offroad_labelled_unsafe(self, mdp):
+        assert mdp.states_with_atom("unsafe") == {"S2", "S10"}
+        assert mdp.states_with_atom("target") == {"S4"}
+
+    def test_forward_path_passes_the_van(self, mdp):
+        assert mdp.successors("S1", car.FORWARD) == ["S2"]
+        assert mdp.successors("S2", car.FORWARD) == ["S3"]
+
+    def test_lane_changes_preserve_position(self, mdp):
+        assert mdp.successors("S1", car.LEFT) == ["S6"]
+        assert mdp.successors("S8", car.RIGHT) == ["S3"]
+
+    def test_running_past_s9_is_offroad(self, mdp):
+        assert mdp.successors("S9", car.FORWARD) == ["S10"]
+
+
+class TestFeatures:
+    def test_lane_indicator(self, features):
+        assert features("S0")[0] == 1.0
+        assert features("S6")[0] == 0.0
+
+    def test_distance_zero_at_unsafe(self, features):
+        assert features("S2")[1] == 0.0
+        assert features("S10")[1] == 0.0
+
+    def test_distance_normalised(self, features, mdp):
+        for state in mdp.states:
+            assert 0.0 <= features(state)[1] <= 1.0
+
+    def test_target_indicator(self, features):
+        assert features("S4")[2] == 1.0
+        assert features("S3")[2] == 0.0
+
+    def test_distance_values(self):
+        assert car.distance_to_unsafe("S1") == 1.0
+        assert car.distance_to_unsafe("S7") == 1.0
+        assert car.distance_to_unsafe("S9") == 3.0
+
+
+class TestPaperLearnedReward:
+    """E5: θ = (0.38, 0.34, 0.53) yields the unsafe forward at S1."""
+
+    def test_learned_policy_unsafe_at_s1(self, mdp, repairer):
+        policy = repairer.optimal_policy(car.PAPER_LEARNED_THETA)
+        assert policy["S1"] == car.FORWARD
+        assert "S1" in car.states_leading_to_unsafe(mdp, policy)
+        assert not car.policy_is_safe(mdp, policy)
+
+
+class TestPaperRepairedReward:
+    """E6: θ' = (0.38, 0.44, 0.53) is safe and matches the paper policy."""
+
+    def test_repaired_policy_safe(self, mdp, repairer):
+        policy = repairer.optimal_policy(car.PAPER_REPAIRED_THETA)
+        assert policy["S1"] == car.LEFT
+        assert car.policy_is_safe(mdp, policy)
+
+    def test_repaired_policy_matches_paper_actions(self, repairer):
+        policy = repairer.optimal_policy(car.PAPER_REPAIRED_THETA)
+        # Paper: (S5,0),(S6,0),(S7,0),(S8,2),(S9,2),(S3,0).
+        assert policy["S5"] == car.FORWARD
+        assert policy["S6"] == car.FORWARD
+        assert policy["S7"] == car.FORWARD
+        assert policy["S8"] == car.RIGHT
+        assert policy["S9"] == car.RIGHT
+        assert policy["S3"] == car.FORWARD
+
+
+class TestQConstrainedRepair:
+    def test_repair_from_paper_learned_theta(self, mdp, repairer):
+        result = repairer.q_constrained(
+            car.PAPER_LEARNED_THETA,
+            [QValueConstraint("S1", car.LEFT, car.FORWARD)],
+        )
+        assert result.feasible
+        assert result.policy_after["S1"] == car.LEFT
+        assert car.policy_is_safe(mdp, result.policy_after)
+
+    def test_distance_weight_rises(self, repairer):
+        """The paper's repair raises θ2 (0.34 → 0.44); ours must move the
+        same direction and dominate the other components."""
+        result = repairer.q_constrained(
+            car.PAPER_LEARNED_THETA,
+            [QValueConstraint("S1", car.LEFT, car.FORWARD)],
+        )
+        delta = result.theta_delta()
+        assert delta[1] > 0
+        assert delta[1] == pytest.approx(max(abs(delta)), abs=1e-9)
+
+    def test_repair_cost_is_small(self, repairer):
+        result = repairer.q_constrained(
+            car.PAPER_LEARNED_THETA,
+            [QValueConstraint("S1", car.LEFT, car.FORWARD)],
+        )
+        assert float(np.linalg.norm(result.theta_delta())) < 0.2
+
+
+class TestEndToEndIrl:
+    def test_irl_learns_unsafe_reward_and_repair_fixes_it(self, mdp, features):
+        """The full paper pipeline on our own learned θ̂."""
+        irl = MaxEntIRL(mdp, features, horizon=7, learning_rate=0.2,
+                        max_iterations=250)
+        fit = irl.fit([car.expert_demonstration()])
+        repairer = RewardRepair(mdp, features, discount=car.DISCOUNT)
+        learned_policy = repairer.optimal_policy(fit.theta)
+        assert learned_policy["S1"] == car.FORWARD  # unsafe, like the paper
+        result = repairer.q_constrained(
+            fit.theta, [QValueConstraint("S1", car.LEFT, car.FORWARD)]
+        )
+        assert result.feasible
+        assert car.policy_is_safe(mdp, result.policy_after)

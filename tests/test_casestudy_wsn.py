@@ -1,0 +1,194 @@
+"""Tests for the WSN query-routing case study (Section V-A)."""
+
+import pytest
+
+from repro.casestudies import wsn
+from repro.checking import DTMCModelChecker
+
+
+class TestTopology:
+    def test_grid_nodes(self):
+        nodes = wsn.grid_nodes()
+        assert len(nodes) == 9
+        assert nodes[0] == "n11"
+        assert nodes[-1] == "n33"
+
+    def test_neighbours_corner_edge_centre(self):
+        assert set(wsn.neighbours("n11")) == {"n12", "n21"}
+        assert set(wsn.neighbours("n12")) == {"n11", "n13", "n22"}
+        assert set(wsn.neighbours("n22")) == {"n12", "n21", "n23", "n32"}
+
+    def test_field_station_classification(self):
+        assert wsn.is_field_or_station("n11")
+        assert wsn.is_field_or_station("n33")
+        assert not wsn.is_field_or_station("n22")
+        assert not wsn.is_field_or_station("n21")
+
+    def test_ignore_probabilities_by_row(self):
+        probs = wsn.ignore_probabilities(0.5, 0.4)
+        assert probs["n11"] == 0.5
+        assert probs["n32"] == 0.5
+        assert probs["n22"] == 0.4
+
+
+class TestChain:
+    def test_station_absorbing_and_labelled(self):
+        chain = wsn.build_wsn_chain()
+        assert chain.probability("n11", "n11") == 1.0
+        assert chain.states_with_atom("delivered") == {"n11"}
+
+    def test_reward_one_per_attempt(self):
+        chain = wsn.build_wsn_chain()
+        assert chain.state_rewards["n33"] == 1.0
+        assert chain.state_rewards["n11"] == 0.0
+
+    def test_rows_stochastic_by_construction(self):
+        chain = wsn.build_wsn_chain()
+        for state in chain.states:
+            assert sum(chain.transitions[state].values()) == pytest.approx(1.0)
+
+    def test_expected_attempts_in_paper_band(self):
+        """Between 40 and 100 attempts — the paper's case-1/case-2 setup."""
+        chain = wsn.build_wsn_chain()
+        value = DTMCModelChecker(chain).check(wsn.attempts_property(1)).value
+        assert 40 < value <= 100
+
+    def test_lower_ignore_means_fewer_attempts(self):
+        worse = wsn.build_wsn_chain(ignore_field_station=0.6, ignore_interior=0.5)
+        better = wsn.build_wsn_chain(ignore_field_station=0.3, ignore_interior=0.2)
+        checker = lambda c: DTMCModelChecker(c).check(wsn.attempts_property(1)).value
+        assert checker(better) < checker(worse)
+
+
+class TestParametricModel:
+    def test_matches_concrete_at_origin(self):
+        parametric = wsn.build_wsn_parametric()
+        chain = wsn.build_wsn_chain()
+        instantiated = parametric.instantiate({"p": 0.0, "q": 0.0})
+        for state in chain.states:
+            for target in chain.successors(state):
+                assert instantiated.probability(state, target) == pytest.approx(
+                    chain.probability(state, target)
+                )
+
+    def test_corrections_lower_expected_attempts(self):
+        parametric = wsn.build_wsn_parametric()
+        f = parametric.expected_reward({"n11"})
+        base = float(f.evaluate({"p": 0.0, "q": 0.0}))
+        corrected = float(f.evaluate({"p": 0.05, "q": 0.05}))
+        assert corrected < base
+
+
+class TestModelRepairCases:
+    """The paper's three cases (Section V-A.1)."""
+
+    def test_case_satisfied_at_100(self):
+        result = wsn.model_repair_problem(100).repair()
+        assert result.status == "already_satisfied"
+
+    def test_case_feasible_at_40(self):
+        result = wsn.model_repair_problem(40).repair()
+        assert result.status == "repaired"
+        assert result.verified
+        # Corrections lower ignore probabilities (both non-negative).
+        assert result.assignment["p"] >= 0
+        assert result.assignment["q"] >= 0
+        assert max(result.assignment.values()) > 0
+
+    def test_case_infeasible_at_19(self):
+        result = wsn.model_repair_problem(19).repair()
+        assert result.status == "infeasible"
+
+
+class TestObservationDataset:
+    def test_groups_present(self):
+        dataset = wsn.generate_observation_dataset(episodes=50, seed=1)
+        assert set(dataset.group_names()) == {
+            wsn.GROUP_FORWARD_SUCCESS,
+            wsn.GROUP_FORWARD_FAIL,
+            wsn.GROUP_IGNORE_STATION,
+            wsn.GROUP_IGNORE_NEAR_SOURCE,
+        }
+        assert not dataset.group(wsn.GROUP_FORWARD_SUCCESS).droppable
+        assert dataset.group(wsn.GROUP_FORWARD_FAIL).droppable
+
+    def test_observations_are_single_transitions(self):
+        dataset = wsn.generate_observation_dataset(episodes=10, seed=2)
+        for trace in dataset.all_traces():
+            assert len(trace) == 2
+
+    def test_seeded_reproducibility(self):
+        a = wsn.generate_observation_dataset(episodes=20, seed=3)
+        b = wsn.generate_observation_dataset(episodes=20, seed=3)
+        assert a.grouped_counts() == b.grouped_counts()
+
+    def test_failure_groups_are_self_loops(self):
+        dataset = wsn.generate_observation_dataset(episodes=20, seed=4)
+        for trace in dataset.group(wsn.GROUP_FORWARD_FAIL).traces:
+            states = trace.states()
+            assert states[0] == states[1]
+
+
+class TestDataRepairCase:
+    def test_repair_with_small_drops(self):
+        dataset = wsn.generate_observation_dataset(episodes=400, seed=7)
+        repair = wsn.data_repair_problem(
+            dataset, bound=wsn.DEFAULT_DATA_REPAIR_BOUND
+        )
+        learned = repair.learned_model()
+        before = DTMCModelChecker(learned).check(wsn.attempts_property(1)).value
+        assert before > wsn.DEFAULT_DATA_REPAIR_BOUND  # needs repair
+        result = repair.repair()
+        assert result.status == "repaired"
+        assert result.verified
+        # All drop probabilities are genuinely small (paper shape).
+        assert all(0 <= v < 0.5 for v in result.drop_probabilities.values())
+
+
+class TestWsnMdp:
+    def test_chain_is_uniform_policy_of_mdp(self):
+        """The routing chain equals the MDP under uniform-random routing."""
+        from repro.mdp.policy import uniform_policy
+
+        mdp = wsn.build_wsn_mdp()
+        chain = wsn.build_wsn_chain()
+        induced = mdp.induced_dtmc(uniform_policy(mdp))
+        for state in chain.states:
+            for target in chain.successors(state):
+                assert induced.probability(state, target) == pytest.approx(
+                    chain.probability(state, target)
+                )
+
+    def test_optimal_routing_beats_uniform(self):
+        uniform_attempts = DTMCModelChecker(wsn.build_wsn_chain()).check(
+            wsn.attempts_property(1)
+        ).value
+        best_attempts, policy = wsn.optimal_routing()
+        assert best_attempts < uniform_attempts
+        # The witness policy achieves the Rmin value on its induced chain.
+        mdp = wsn.build_wsn_mdp()
+        induced = mdp.induced_dtmc(policy)
+        achieved = DTMCModelChecker(induced).check(wsn.attempts_property(1)).value
+        assert achieved == pytest.approx(best_attempts, abs=1e-6)
+
+    def test_optimal_policy_routes_toward_station(self):
+        _, policy = wsn.optimal_routing()
+        # From the source corner, the first hop heads up or left.
+        assert policy["n33"] in ("to_n23", "to_n32")
+
+    def test_repair_under_optimal_policy(self):
+        """Model Repair of the MDP rows chosen by the optimal router."""
+        from repro.core import ModelRepair
+
+        best_attempts, policy = wsn.optimal_routing()
+        mdp = wsn.build_wsn_mdp()
+        bound = best_attempts - 2.0  # tighter than even optimal routing
+        helper = ModelRepair.for_mdp_under_policy(
+            mdp, policy, wsn.attempts_property(bound)
+        )
+        repaired_mdp, result = helper.repair()
+        assert result.status == "repaired"
+        induced = repaired_mdp.induced_dtmc(policy)
+        assert DTMCModelChecker(induced).check(
+            wsn.attempts_property(bound)
+        ).holds

@@ -1,0 +1,108 @@
+"""Tests for counterexample generation."""
+
+import pytest
+
+from repro.checking import (
+    DTMCModelChecker,
+    counterexample,
+    strongest_evidence_paths,
+)
+from repro.logic import parse_pctl
+from repro.mdp import DTMC
+
+
+@pytest.fixture
+def branching_chain() -> DTMC:
+    """Three routes to 'bad' with probabilities 0.5, 0.25, 0.05."""
+    return DTMC(
+        states=["s", "a", "b", "bad", "safe"],
+        transitions={
+            "s": {"bad": 0.5, "a": 0.25, "b": 0.25},
+            "a": {"bad": 1.0},
+            "b": {"bad": 0.2, "safe": 0.8},
+            "bad": {"bad": 1.0},
+            "safe": {"safe": 1.0},
+        },
+        initial_state="s",
+        labels={"bad": {"bad"}},
+    )
+
+
+class TestStrongestEvidence:
+    def test_most_probable_path_first(self, branching_chain):
+        paths = strongest_evidence_paths(branching_chain, {"bad"}, count=3)
+        assert paths[0] == (("s", "bad"), 0.5)
+        assert paths[1] == (("s", "a", "bad"), 0.25)
+        assert paths[2][1] == pytest.approx(0.05)
+
+    def test_respects_allowed_set(self, branching_chain):
+        paths = strongest_evidence_paths(
+            branching_chain, {"bad"}, allowed={"s", "a"}, count=3
+        )
+        assert (("s", "b", "bad"), 0.05) not in paths
+        assert len(paths) == 2
+
+    def test_self_loop_paths_enumerable(self, two_path_chain):
+        paths = strongest_evidence_paths(two_path_chain, {"good"}, count=3)
+        assert paths[0] == (("start", "good"), 0.6)
+        # Second-best loops once through start.
+        assert paths[1][0] == ("start", "start", "good")
+        assert paths[1][1] == pytest.approx(0.06)
+
+
+class TestCounterexample:
+    def test_evidence_exceeds_bound(self, branching_chain):
+        formula = parse_pctl('P<=0.6 [ F "bad" ]')
+        assert not DTMCModelChecker(branching_chain).check(formula).holds
+        evidence = counterexample(branching_chain, formula)
+        assert evidence.complete
+        assert evidence.total_probability > 0.6
+        # Greedy most-probable-first keeps the set small: 2 paths suffice.
+        assert len(evidence) == 2
+
+    def test_paths_end_in_targets(self, branching_chain):
+        formula = parse_pctl('P<=0.1 [ F "bad" ]')
+        evidence = counterexample(branching_chain, formula)
+        for path in evidence.paths:
+            assert path[-1] == "bad"
+
+    def test_probabilities_non_increasing(self, branching_chain):
+        formula = parse_pctl('P<=0.79 [ F "bad" ]')
+        evidence = counterexample(branching_chain, formula)
+        assert evidence.probabilities == sorted(
+            evidence.probabilities, reverse=True
+        )
+
+    def test_lower_bound_rejected(self, branching_chain):
+        with pytest.raises(ValueError):
+            counterexample(branching_chain, parse_pctl('P>=0.9 [ F "bad" ]'))
+
+    def test_bounded_until_rejected(self, branching_chain):
+        with pytest.raises(ValueError):
+            counterexample(branching_chain, parse_pctl('P<=0.5 [ F<=2 "bad" ]'))
+
+    def test_until_left_restriction(self):
+        chain = DTMC(
+            states=["s", "via", "bad"],
+            transitions={
+                "s": {"bad": 0.3, "via": 0.7},
+                "via": {"bad": 1.0},
+                "bad": {"bad": 1.0},
+            },
+            initial_state="s",
+            labels={"s": {"ok"}, "bad": {"bad"}},
+        )
+        # "ok" U "bad": the route through `via` leaves Sat(ok) first.
+        formula = parse_pctl('P<=0.2 [ "ok" U "bad" ]')
+        evidence = counterexample(chain, formula)
+        assert evidence.paths == [("s", "bad")]
+        assert evidence.total_probability == pytest.approx(0.3)
+
+    def test_incomplete_when_budget_exhausted(self, two_path_chain):
+        formula = parse_pctl('P<=0.66 [ F "safe" ]')
+        evidence = counterexample(
+            two_path_chain, formula, max_paths=2
+        )
+        # True probability 2/3 needs many looping paths; 2 are not enough.
+        assert not evidence.complete
+        assert evidence.total_probability <= 0.66

@@ -1,0 +1,86 @@
+"""Tests for the cumulative reward operator ``R ⋈ b [C<=k]``."""
+
+import pytest
+
+from repro.checking import DTMCModelChecker, MDPModelChecker
+from repro.logic import CumulativeRewardOperator, parse_pctl
+from repro.mdp import MDP, chain_dtmc
+
+
+class TestParsing:
+    def test_parse(self):
+        formula = parse_pctl("R<=10 [ C<=5 ]")
+        assert isinstance(formula, CumulativeRewardOperator)
+        assert formula.steps == 5
+        assert formula.bound == 10.0
+
+    def test_round_trip(self):
+        formula = parse_pctl("R>=2 [ C<=3 ]")
+        assert parse_pctl(repr(formula)) == formula
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            CumulativeRewardOperator("<=", 1.0, -1)
+
+
+class TestDtmc:
+    def test_reward_collected_per_step(self):
+        # All states reward 1 except the absorbing goal; k steps from the
+        # start collect at most k but goal-arrival stops accumulation.
+        chain = chain_dtmc(10, forward_probability=1.0)
+        checker = DTMCModelChecker(chain)
+        for k in (0, 1, 3, 5):
+            values = checker.cumulative_rewards(k)
+            assert values[0] == pytest.approx(float(k))
+
+    def test_absorbing_goal_stops_accumulation(self):
+        chain = chain_dtmc(3, forward_probability=1.0)  # goal after 2 steps
+        checker = DTMCModelChecker(chain)
+        values = checker.cumulative_rewards(10)
+        assert values[0] == pytest.approx(2.0)
+
+    def test_monotone_in_steps(self, simple_chain):
+        checker = DTMCModelChecker(simple_chain)
+        previous = -1.0
+        for k in range(6):
+            current = checker.cumulative_rewards(k)[0]
+            assert current >= previous
+            previous = current
+
+    def test_converges_to_reachability_reward(self, simple_chain):
+        checker = DTMCModelChecker(simple_chain)
+        total = checker.check(parse_pctl('R<=100 [ F "goal" ]')).value
+        cumulative = checker.cumulative_rewards(300)[0]
+        assert cumulative == pytest.approx(total, abs=1e-6)
+
+    def test_check_interface(self, simple_chain):
+        result = DTMCModelChecker(simple_chain).check(parse_pctl("R<=3 [ C<=3 ]"))
+        assert result.value is not None
+        assert result.holds == (result.value <= 3)
+
+
+class TestMdp:
+    @pytest.fixture
+    def earning_mdp(self) -> MDP:
+        return MDP(
+            states=["s"],
+            transitions={"s": {"hi": {"s": 1.0}, "lo": {"s": 1.0}}},
+            initial_state="s",
+            action_rewards={("s", "hi"): 2.0, ("s", "lo"): 1.0},
+        )
+
+    def test_max_and_min(self, earning_mdp):
+        checker = MDPModelChecker(earning_mdp)
+        assert checker.cumulative_rewards(4, maximise=True)["s"] == pytest.approx(
+            8.0
+        )
+        assert checker.cumulative_rewards(4, maximise=False)["s"] == pytest.approx(
+            4.0
+        )
+
+    def test_formula_semantics(self, earning_mdp):
+        checker = MDPModelChecker(earning_mdp)
+        # Upper bound must hold for every scheduler: Rmax = 8 > 7.
+        assert not checker.check(parse_pctl("R<=7 [ C<=4 ]")).holds
+        # Lower bound uses Rmin = 4 >= 3.
+        assert checker.check(parse_pctl("R>=3 [ C<=4 ]")).holds

@@ -1,0 +1,215 @@
+"""Unit and property tests for the DTMC PCTL checker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checking import DTMCModelChecker
+from repro.logic import parse_pctl
+from repro.logic.pctl import (
+    AtomicProposition,
+    Eventually,
+    Globally,
+    Next,
+    Not,
+    ProbabilisticOperator,
+    Until,
+)
+from repro.mdp import DTMC, chain_dtmc, random_dtmc
+
+
+class TestBooleanLayer:
+    def test_true_false_atoms(self, two_path_chain):
+        checker = DTMCModelChecker(two_path_chain)
+        assert checker.satisfaction_set(parse_pctl("true")) == frozenset(
+            two_path_chain.states
+        )
+        assert checker.satisfaction_set(parse_pctl("false")) == frozenset()
+        assert checker.satisfaction_set(parse_pctl('"safe"')) == {"good"}
+
+    def test_connectives(self, two_path_chain):
+        checker = DTMCModelChecker(two_path_chain)
+        assert checker.satisfaction_set(parse_pctl("safe | unsafe")) == {
+            "good",
+            "bad",
+        }
+        assert checker.satisfaction_set(parse_pctl("!safe & !unsafe")) == {"start"}
+        assert checker.satisfaction_set(parse_pctl("safe => unsafe")) == {
+            "start",
+            "bad",
+        }
+
+    def test_unknown_formula_type_rejected(self, two_path_chain):
+        with pytest.raises(TypeError):
+            DTMCModelChecker(two_path_chain).satisfaction_set(object())
+
+
+class TestNext:
+    def test_next_probability(self, two_path_chain):
+        checker = DTMCModelChecker(two_path_chain)
+        result = checker.check(parse_pctl('P>=0.5 [ X "safe" ]'))
+        assert result.value == pytest.approx(0.6)
+        assert result.holds
+
+
+class TestUnboundedUntil:
+    def test_closed_form_reachability(self, two_path_chain):
+        checker = DTMCModelChecker(two_path_chain)
+        result = checker.check(parse_pctl('P>=0.6 [ F "safe" ]'))
+        assert result.value == pytest.approx(2 / 3)
+        assert result.holds
+
+    def test_until_with_left_restriction(self):
+        # a U b where leaving "a" before "b" fails the path.
+        chain = DTMC(
+            states=["s0", "s1", "other", "target"],
+            transitions={
+                "s0": {"s1": 0.5, "other": 0.5},
+                "s1": {"target": 1.0},
+                "other": {"target": 1.0},
+                "target": {"target": 1.0},
+            },
+            initial_state="s0",
+            labels={"s0": {"a"}, "s1": {"a"}, "target": {"b"}},
+        )
+        result = DTMCModelChecker(chain).check(parse_pctl('P>=0.5 [ "a" U "b" ]'))
+        assert result.value == pytest.approx(0.5)
+
+    def test_goal_state_has_probability_one(self, two_path_chain):
+        checker = DTMCModelChecker(two_path_chain)
+        values = checker.path_probabilities(
+            Until(parse_pctl("true"), AtomicProposition("safe"))
+        )
+        assert values["good"] == 1.0
+        assert values["bad"] == 0.0
+
+
+class TestBoundedUntil:
+    def test_zero_steps_only_immediate(self, simple_chain):
+        checker = DTMCModelChecker(simple_chain)
+        values = checker.path_probabilities(Eventually(AtomicProposition("goal"), 0))
+        assert values[4] == 1.0
+        assert values[0] == 0.0
+
+    def test_exact_step_counting(self):
+        chain = chain_dtmc(3, forward_probability=0.5)
+        checker = DTMCModelChecker(chain)
+        values = checker.path_probabilities(Eventually(AtomicProposition("goal"), 2))
+        # Reach state 2 from 0 in exactly 2 steps: 0.25.
+        assert values[0] == pytest.approx(0.25)
+
+    def test_bounded_converges_to_unbounded(self, two_path_chain):
+        checker = DTMCModelChecker(two_path_chain)
+        unbounded = checker.path_probabilities(
+            Eventually(AtomicProposition("safe"))
+        )["start"]
+        bounded = checker.path_probabilities(
+            Eventually(AtomicProposition("safe"), 60)
+        )["start"]
+        assert bounded == pytest.approx(unbounded, abs=1e-6)
+
+    def test_monotone_in_bound(self, two_path_chain):
+        checker = DTMCModelChecker(two_path_chain)
+        previous = 0.0
+        for k in range(6):
+            current = checker.path_probabilities(
+                Eventually(AtomicProposition("safe"), k)
+            )["start"]
+            assert current >= previous - 1e-12
+            previous = current
+
+
+class TestGlobally:
+    def test_globally_duality(self, two_path_chain):
+        checker = DTMCModelChecker(two_path_chain)
+        globally = checker.path_probabilities(Globally(Not(AtomicProposition("unsafe"))))
+        eventually = checker.path_probabilities(
+            Eventually(AtomicProposition("unsafe"))
+        )
+        for state in two_path_chain.states:
+            assert globally[state] == pytest.approx(1 - eventually[state])
+
+    def test_safety_property(self, two_path_chain):
+        result = DTMCModelChecker(two_path_chain).check(
+            parse_pctl('P>=0.5 [ G !"unsafe" ]')
+        )
+        assert result.value == pytest.approx(2 / 3)
+        assert result.holds
+
+
+class TestNestedFormulas:
+    def test_probabilistic_operator_nested_in_atom_position(self, simple_chain):
+        # States from which goal is reachable within 1 step w.p. >= 0.8.
+        formula = parse_pctl('P>=0.5 [ F P>=0.8 [ X "goal" ] ]')
+        result = DTMCModelChecker(simple_chain).check(formula)
+        assert result.holds
+
+
+class TestRewards:
+    def test_expected_attempts(self, simple_chain):
+        result = DTMCModelChecker(simple_chain).check(
+            parse_pctl('R<=6 [ F "goal" ]')
+        )
+        assert result.value == pytest.approx(4 / 0.8)
+        assert result.holds
+
+    def test_reward_bound_violation(self, simple_chain):
+        result = DTMCModelChecker(simple_chain).check(
+            parse_pctl('R<=4 [ F "goal" ]')
+        )
+        assert not result.holds
+
+    def test_infinite_reward_when_not_certain(self, two_path_chain):
+        result = DTMCModelChecker(two_path_chain).check(
+            parse_pctl('R<=100 [ F "safe" ]')
+        )
+        assert result.value == np.inf
+        assert not result.holds
+
+
+class TestPropertyBased:
+    @given(st.integers(0, 2000))
+    @settings(max_examples=30, deadline=None)
+    def test_probabilities_in_unit_interval(self, seed):
+        chain = random_dtmc(6, seed=seed)
+        checker = DTMCModelChecker(chain)
+        for atom in sorted(chain.atoms()):
+            values = checker.path_probabilities(
+                Eventually(AtomicProposition(atom))
+            )
+            for value in values.values():
+                assert -1e-9 <= value <= 1 + 1e-9
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=20, deadline=None)
+    def test_complement_semantics(self, seed):
+        """Sat(P<b) and Sat(P>=b) partition the states."""
+        chain = random_dtmc(6, seed=seed, num_labels=1)
+        atoms = sorted(chain.atoms())
+        if not atoms:
+            return
+        path = Eventually(AtomicProposition(atoms[0]))
+        checker = DTMCModelChecker(chain)
+        below = checker.satisfaction_set(ProbabilisticOperator("<", 0.5, path))
+        at_least = checker.satisfaction_set(ProbabilisticOperator(">=", 0.5, path))
+        assert below | at_least == frozenset(chain.states)
+        assert below & at_least == frozenset()
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=15, deadline=None)
+    def test_monte_carlo_agreement(self, seed):
+        from repro.mdp import Simulator
+
+        chain = random_dtmc(5, seed=seed, num_labels=1)
+        atoms = sorted(chain.atoms())
+        if not atoms:
+            return
+        targets = chain.states_with_atom(atoms[0])
+        exact = DTMCModelChecker(chain).path_probabilities(
+            Eventually(AtomicProposition(atoms[0]))
+        )[chain.initial_state]
+        estimate = Simulator(seed=seed).estimate_reachability(
+            chain, set(targets), samples=400, max_steps=200
+        )
+        assert estimate == pytest.approx(exact, abs=0.12)

@@ -1,0 +1,139 @@
+"""Unit tests for the qualitative graph precomputations."""
+
+from repro.checking import (
+    backward_reachable,
+    prob0_states,
+    prob0A_states,
+    prob0E_states,
+    prob1_states,
+    prob1A_states,
+    prob1E_states,
+)
+from repro.mdp import DTMC, MDP
+
+
+def diamond_chain() -> DTMC:
+    """init splits to left/right; left reaches goal, right reaches trap."""
+    return DTMC(
+        states=["init", "left", "right", "goal", "trap"],
+        transitions={
+            "init": {"left": 0.5, "right": 0.5},
+            "left": {"goal": 1.0},
+            "right": {"trap": 1.0},
+            "goal": {"goal": 1.0},
+            "trap": {"trap": 1.0},
+        },
+        initial_state="init",
+        labels={"goal": {"goal"}},
+    )
+
+
+class TestBackwardReachable:
+    def test_plain(self):
+        chain = diamond_chain()
+        assert backward_reachable(chain, {"goal"}) == {"goal", "left", "init"}
+
+    def test_through_restriction(self):
+        chain = diamond_chain()
+        reached = backward_reachable(chain, {"goal"}, through={"goal"})
+        assert reached == {"goal"}
+
+
+class TestDtmcQualitative:
+    def test_prob0(self):
+        chain = diamond_chain()
+        assert prob0_states(chain, {"goal"}) == {"right", "trap"}
+
+    def test_prob1(self):
+        chain = diamond_chain()
+        assert prob1_states(chain, {"goal"}) == {"goal", "left"}
+
+    def test_prob1_whole_chain_when_certain(self, simple_chain):
+        assert prob1_states(simple_chain, {4}) == frozenset(simple_chain.states)
+
+    def test_allowed_restricts_paths(self):
+        chain = diamond_chain()
+        # goal only reachable through "left"; forbidding it kills init.
+        zero = prob0_states(chain, {"goal"}, allowed={"right"})
+        assert "init" in zero
+
+    def test_self_loop_state_with_exit_not_prob1(self, two_path_chain):
+        # start reaches "good" with probability 2/3 only.
+        assert "start" not in prob1_states(two_path_chain, {"good"})
+        assert "start" not in prob0_states(two_path_chain, {"good"})
+
+
+def choice_mdp() -> MDP:
+    """One controllable state: action a goes to goal, action b loops."""
+    return MDP(
+        states=["s", "goal"],
+        transitions={
+            "s": {"a": {"goal": 1.0}, "b": {"s": 1.0}},
+            "goal": {"a": {"goal": 1.0}},
+        },
+        initial_state="s",
+        labels={"goal": {"goal"}},
+    )
+
+
+def coin_mdp() -> MDP:
+    """Both actions are coin flips between goal and trap."""
+    return MDP(
+        states=["s", "goal", "trap"],
+        transitions={
+            "s": {
+                "a": {"goal": 0.5, "trap": 0.5},
+                "b": {"goal": 0.5, "trap": 0.5},
+            },
+            "goal": {"a": {"goal": 1.0}},
+            "trap": {"a": {"trap": 1.0}},
+        },
+        initial_state="s",
+        labels={"goal": {"goal"}},
+    )
+
+
+class TestMdpQualitative:
+    def test_prob0A_unreachable(self):
+        mdp = choice_mdp()
+        assert prob0A_states(mdp, {"goal"}) == frozenset()
+
+    def test_prob0E_scheduler_can_avoid(self):
+        mdp = choice_mdp()
+        # Looping forever with action b avoids the goal.
+        assert "s" in prob0E_states(mdp, {"goal"})
+
+    def test_prob0E_cannot_avoid_coin(self):
+        mdp = coin_mdp()
+        assert "s" not in prob0E_states(mdp, {"goal"})
+
+    def test_prob1E_scheduler_can_force(self):
+        mdp = choice_mdp()
+        assert "s" in prob1E_states(mdp, {"goal"})
+
+    def test_prob1A_all_schedulers(self):
+        mdp = choice_mdp()
+        # Scheduler b never reaches the goal.
+        assert "s" not in prob1A_states(mdp, {"goal"})
+
+    def test_prob1A_coin_flip_not_certain(self):
+        mdp = coin_mdp()
+        assert "s" not in prob1A_states(mdp, {"goal"})
+        assert "goal" in prob1A_states(mdp, {"goal"})
+
+    def test_single_action_mdp_matches_chain(self, two_path_chain):
+        """With one action everywhere, all four sets collapse to prob0/1."""
+        mdp = MDP(
+            states=two_path_chain.states,
+            transitions={
+                s: {"a": dict(two_path_chain.transitions[s])}
+                for s in two_path_chain.states
+            },
+            initial_state=two_path_chain.initial_state,
+            labels=two_path_chain.labels,
+        )
+        targets = {"good"}
+        assert prob0A_states(mdp, targets) == prob0_states(two_path_chain, targets)
+        assert prob0E_states(mdp, targets) == prob0_states(two_path_chain, targets)
+        assert prob1E_states(mdp, targets) == prob1_states(two_path_chain, targets)
+        assert prob1A_states(mdp, targets) == prob1_states(two_path_chain, targets)

@@ -1,0 +1,223 @@
+"""Unit and property tests for the MDP PCTL checker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checking import DTMCModelChecker, MDPModelChecker
+from repro.logic import parse_pctl
+from repro.logic.pctl import AtomicProposition, Eventually, Not
+from repro.mdp import DTMC, MDP, random_dtmc, random_mdp
+
+
+class TestMinMaxSemantics:
+    def test_pmax_picks_best_action(self, two_action_mdp):
+        checker = MDPModelChecker(two_action_mdp)
+        values = checker.path_probabilities(
+            Eventually(AtomicProposition("goal")), maximise=True
+        )
+        assert values["s"] == pytest.approx(0.9)
+
+    def test_pmin_picks_worst_action(self, two_action_mdp):
+        checker = MDPModelChecker(two_action_mdp)
+        values = checker.path_probabilities(
+            Eventually(AtomicProposition("goal")), maximise=False
+        )
+        assert values["s"] == pytest.approx(0.2)
+
+    def test_upper_bound_formula_uses_pmax(self, two_action_mdp):
+        # P<=0.5 [F goal] must hold under every scheduler: Pmax=0.9 > 0.5.
+        result = MDPModelChecker(two_action_mdp).check(
+            parse_pctl('P<=0.5 [ F "goal" ]')
+        )
+        assert result.value == pytest.approx(0.9)
+        assert not result.holds
+
+    def test_lower_bound_formula_uses_pmin(self, two_action_mdp):
+        # P>=0.1 [F goal]: Pmin=0.2 >= 0.1 — every scheduler qualifies.
+        result = MDPModelChecker(two_action_mdp).check(
+            parse_pctl('P>=0.1 [ F "goal" ]')
+        )
+        assert result.value == pytest.approx(0.2)
+        assert result.holds
+
+
+class TestNextAndBounded:
+    def test_next(self, two_action_mdp):
+        checker = MDPModelChecker(two_action_mdp)
+        result = checker.check(parse_pctl('P<=0.95 [ X "goal" ]'))
+        assert result.value == pytest.approx(0.9)
+        assert result.holds
+
+    def test_bounded_until_step_zero(self, two_action_mdp):
+        checker = MDPModelChecker(two_action_mdp)
+        values = checker.path_probabilities(
+            Eventually(AtomicProposition("goal"), 0), maximise=True
+        )
+        assert values["s"] == 0.0
+        assert values["goal"] == 1.0
+
+    def test_bounded_converges(self, two_action_mdp):
+        checker = MDPModelChecker(two_action_mdp)
+        bounded = checker.path_probabilities(
+            Eventually(AtomicProposition("goal"), 50), maximise=True
+        )["s"]
+        assert bounded == pytest.approx(0.9, abs=1e-8)
+
+
+class TestGlobally:
+    def test_globally_duality(self, two_action_mdp):
+        checker = MDPModelChecker(two_action_mdp)
+        result = checker.check(parse_pctl('P>=0.05 [ G !"goal" ]'))
+        # Pmin(G !goal) = 1 - Pmax(F goal) = 0.1
+        assert result.value == pytest.approx(0.1)
+        assert result.holds
+
+
+class TestRewards:
+    def test_reward_upper_bound_uses_rmax(self):
+        mdp = MDP(
+            states=["s", "t", "goal"],
+            transitions={
+                "s": {
+                    "fast": {"goal": 1.0},
+                    "slow": {"t": 1.0},
+                },
+                "t": {"a": {"goal": 1.0}},
+                "goal": {"a": {"goal": 1.0}},
+            },
+            initial_state="s",
+            labels={"goal": {"goal"}},
+            state_rewards={"s": 1.0, "t": 1.0},
+        )
+        checker = MDPModelChecker(mdp)
+        upper = checker.check(parse_pctl('R<=2 [ F "goal" ]'))
+        assert upper.value == pytest.approx(2.0)  # Rmax via the slow route
+        assert upper.holds
+        lower = checker.check(parse_pctl('R>=1.5 [ F "goal" ]'))
+        assert lower.value == pytest.approx(1.0)  # Rmin via the fast route
+        assert not lower.holds
+
+    def test_reward_infinite_when_scheduler_can_avoid(self, two_action_mdp):
+        mdp = two_action_mdp.with_rewards(state_rewards={"s": 1.0})
+        checker = MDPModelChecker(mdp)
+        values = checker.expected_rewards(
+            parse_pctl('R<=5 [ F "goal" ]'), maximise=True
+        )
+        # Neither action reaches the goal with probability 1.
+        assert values["s"] == np.inf
+
+
+class TestAgreementWithDtmc:
+    def _as_mdp(self, chain: DTMC) -> MDP:
+        return MDP(
+            states=chain.states,
+            transitions={
+                s: {"only": dict(chain.transitions[s])} for s in chain.states
+            },
+            initial_state=chain.initial_state,
+            labels=chain.labels,
+            state_rewards=chain.state_rewards,
+        )
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=20, deadline=None)
+    def test_single_action_mdp_equals_chain(self, seed):
+        chain = random_dtmc(5, seed=seed, num_labels=1)
+        atoms = sorted(chain.atoms())
+        if not atoms:
+            return
+        path = Eventually(AtomicProposition(atoms[0]))
+        chain_values = DTMCModelChecker(chain).path_probabilities(path)
+        mdp_checker = MDPModelChecker(self._as_mdp(chain))
+        pmax = mdp_checker.path_probabilities(path, maximise=True)
+        pmin = mdp_checker.path_probabilities(path, maximise=False)
+        for state in chain.states:
+            assert pmax[state] == pytest.approx(chain_values[state], abs=1e-8)
+            assert pmin[state] == pytest.approx(chain_values[state], abs=1e-8)
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=15, deadline=None)
+    def test_pmin_below_pmax(self, seed):
+        mdp = random_mdp(5, num_actions=3, seed=seed)
+        # Pick the first state as an ad-hoc target.
+        target = mdp.states[-1]
+        labelled = MDP(
+            states=mdp.states,
+            transitions=mdp.transitions,
+            initial_state=mdp.initial_state,
+            labels={target: {"t"}},
+        )
+        checker = MDPModelChecker(labelled)
+        path = Eventually(AtomicProposition("t"))
+        pmax = checker.path_probabilities(path, maximise=True)
+        pmin = checker.path_probabilities(path, maximise=False)
+        for state in labelled.states:
+            assert pmin[state] <= pmax[state] + 1e-9
+
+
+class TestWitnessScheduler:
+    def test_pmax_witness_achieves_pmax(self, two_action_mdp):
+        from repro.checking import DTMCModelChecker
+
+        checker = MDPModelChecker(two_action_mdp)
+        path = Eventually(AtomicProposition("goal"))
+        witness = checker.witness_scheduler(path, maximise=True)
+        assert witness["s"] == "a"
+        induced = two_action_mdp.induced_dtmc(witness)
+        achieved = DTMCModelChecker(induced).path_probabilities(path)["s"]
+        assert achieved == pytest.approx(
+            checker.path_probabilities(path, maximise=True)["s"]
+        )
+
+    def test_pmin_witness_achieves_pmin(self, two_action_mdp):
+        from repro.checking import DTMCModelChecker
+
+        checker = MDPModelChecker(two_action_mdp)
+        path = Eventually(AtomicProposition("goal"))
+        witness = checker.witness_scheduler(path, maximise=False)
+        assert witness["s"] == "b"
+        induced = two_action_mdp.induced_dtmc(witness)
+        achieved = DTMCModelChecker(induced).path_probabilities(path)["s"]
+        assert achieved == pytest.approx(0.2)
+
+    def test_globally_witness_via_dual(self, two_action_mdp):
+        from repro.logic.pctl import Globally
+
+        checker = MDPModelChecker(two_action_mdp)
+        witness = checker.witness_scheduler(
+            Globally(Not(AtomicProposition("goal"))), maximise=True
+        )
+        # Maximising G !goal = minimising F goal: pick the weak action.
+        assert witness["s"] == "b"
+
+    def test_bounded_rejected(self, two_action_mdp):
+        checker = MDPModelChecker(two_action_mdp)
+        with pytest.raises(ValueError):
+            checker.witness_scheduler(
+                Eventually(AtomicProposition("goal"), 3), maximise=True
+            )
+
+    def test_random_mdp_witness_consistency(self):
+        from repro.checking import DTMCModelChecker
+        from repro.mdp import MDP
+
+        base = random_mdp(6, num_actions=3, seed=42)
+        target = base.states[-1]
+        mdp = MDP(
+            states=base.states,
+            transitions=base.transitions,
+            initial_state=base.initial_state,
+            labels={target: {"t"}},
+        )
+        checker = MDPModelChecker(mdp)
+        path = Eventually(AtomicProposition("t"))
+        for maximise in (True, False):
+            witness = checker.witness_scheduler(path, maximise=maximise)
+            induced = mdp.induced_dtmc(witness)
+            achieved = DTMCModelChecker(induced).path_probabilities(path)
+            optimal = checker.path_probabilities(path, maximise=maximise)
+            assert achieved[mdp.initial_state] == pytest.approx(
+                optimal[mdp.initial_state], abs=1e-7
+            )

@@ -1,0 +1,288 @@
+"""Unit and property tests for parametric model checking.
+
+The key correctness property (Propositions 2 and 3 rest on it): the
+rational function returned by the parametric engine, evaluated at any
+well-formed parameter point, equals what the concrete checker computes
+on the instantiated chain.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checking import DTMCModelChecker, ParametricDTMC, parametric_constraint
+from repro.checking.parametric import label_satisfaction_set
+from repro.logic import parse_pctl
+from repro.logic.pctl import AtomicProposition, Eventually
+from repro.mdp import random_dtmc
+from repro.symbolic import Polynomial, RationalFunction
+
+P = Polynomial.variable("p")
+Q = Polynomial.variable("q")
+
+
+@pytest.fixture
+def parametric_two_path():
+    """start -> good with prob p, bad with prob q, stays otherwise."""
+    return ParametricDTMC(
+        states=["start", "good", "bad"],
+        transitions={
+            "start": {"good": P, "bad": Q, "start": 1 - P - Q},
+            "good": {"good": 1},
+            "bad": {"bad": 1},
+        },
+        initial_state="start",
+        labels={"good": {"safe"}, "bad": {"unsafe"}},
+        state_rewards={"start": 1.0},
+    )
+
+
+class TestConstruction:
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(ValueError):
+            ParametricDTMC(states=["a"], transitions={}, initial_state="b")
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            ParametricDTMC(
+                states=["a"], transitions={"a": {"ghost": 1}}, initial_state="a"
+            )
+
+    def test_parameters_collected(self, parametric_two_path):
+        assert parametric_two_path.parameters() == {"p", "q"}
+
+    def test_from_dtmc_round_trip(self, two_path_chain):
+        lifted = ParametricDTMC.from_dtmc(two_path_chain)
+        assert lifted.parameters() == frozenset()
+        rebuilt = lifted.instantiate({})
+        for state in two_path_chain.states:
+            for target in two_path_chain.successors(state):
+                assert rebuilt.probability(state, target) == pytest.approx(
+                    two_path_chain.probability(state, target)
+                )
+
+    def test_instantiate_validates(self, parametric_two_path):
+        from repro.mdp import ModelValidationError
+
+        with pytest.raises(ModelValidationError):
+            parametric_two_path.instantiate({"p": 0.9, "q": 0.9})
+
+
+class TestReachability:
+    def test_closed_form(self, parametric_two_path):
+        f = parametric_two_path.reachability_probability({"good"})
+        # Pr(F good) = p / (p + q)
+        assert f == RationalFunction(P, P + Q)
+
+    def test_initial_in_target(self, parametric_two_path):
+        f = parametric_two_path.reachability_probability({"start"})
+        assert f == RationalFunction.one()
+
+    def test_unreachable_target_is_zero(self):
+        model = ParametricDTMC(
+            states=["a", "b"],
+            transitions={"a": {"a": 1}, "b": {"b": 1}},
+            initial_state="a",
+        )
+        assert model.reachability_probability({"b"}).is_zero()
+
+    def test_until_with_allowed_restriction(self):
+        model = ParametricDTMC(
+            states=["s", "via", "target"],
+            transitions={
+                "s": {"via": P, "target": 1 - P},
+                "via": {"target": 1},
+                "target": {"target": 1},
+            },
+            initial_state="s",
+            labels={"target": {"t"}, "s": {"a"}},
+        )
+        # "a" U "t": paths through `via` leave Sat(a) before the target.
+        f = model.reachability_probability({"target"}, allowed={"s"})
+        assert f == RationalFunction(1 - P)
+
+    def test_methods_agree(self, parametric_two_path):
+        gauss = parametric_two_path.reachability_probability(
+            {"good"}, method="gauss"
+        )
+        eliminate = parametric_two_path.reachability_probability(
+            {"good"}, method="eliminate"
+        )
+        assert gauss == eliminate
+
+    def test_unknown_method_rejected(self, parametric_two_path):
+        with pytest.raises(ValueError):
+            parametric_two_path.reachability_probability({"good"}, method="magic")
+
+
+class TestExpectedReward:
+    def test_geometric_closed_form(self):
+        model = ParametricDTMC(
+            states=["a", "b"],
+            transitions={"a": {"b": P, "a": 1 - P}, "b": {"b": 1}},
+            initial_state="a",
+            labels={"b": {"done"}},
+            state_rewards={"a": 1.0},
+        )
+        f = model.expected_reward({"b"})
+        assert f == RationalFunction(Polynomial.one(), P)
+
+    def test_infinite_reward_rejected(self, parametric_two_path):
+        with pytest.raises(ValueError):
+            parametric_two_path.expected_reward({"good"})
+
+    def test_methods_agree_on_reward(self):
+        model = ParametricDTMC(
+            states=["a", "b", "c"],
+            transitions={
+                "a": {"b": P, "a": 1 - P},
+                "b": {"c": Q, "a": 1 - Q},
+                "c": {"c": 1},
+            },
+            initial_state="a",
+            labels={"c": {"done"}},
+            state_rewards={"a": 1.0, "b": 2.0},
+        )
+        gauss = model.expected_reward({"c"}, method="gauss")
+        eliminate = model.expected_reward({"c"}, method="eliminate")
+        point = {"p": 0.3, "q": 0.7}
+        assert float(gauss.evaluate(point)) == pytest.approx(
+            float(eliminate.evaluate(point))
+        )
+
+
+class TestLabelSatisfaction:
+    def test_boolean_combinations(self, parametric_two_path):
+        states = parametric_two_path.states
+        labels = parametric_two_path.labels
+        assert label_satisfaction_set(states, labels, parse_pctl("safe | unsafe")) == {
+            "good",
+            "bad",
+        }
+        assert label_satisfaction_set(states, labels, parse_pctl("!safe")) == {
+            "start",
+            "bad",
+        }
+
+    def test_nested_operator_rejected(self, parametric_two_path):
+        with pytest.raises(TypeError):
+            label_satisfaction_set(
+                parametric_two_path.states,
+                parametric_two_path.labels,
+                parse_pctl("P>=0.5 [ X safe ]"),
+            )
+
+
+class TestParametricConstraint:
+    def test_probability_constraint(self, parametric_two_path):
+        constraint = parametric_constraint(
+            parametric_two_path, parse_pctl('P>=0.6 [ F "safe" ]')
+        )
+        assert constraint.holds_at({"p": 0.7, "q": 0.1})
+        assert not constraint.holds_at({"p": 0.1, "q": 0.7})
+        # Margin sign convention.
+        assert constraint.margin({"p": 0.7, "q": 0.1}) > 0
+        assert constraint.margin({"p": 0.1, "q": 0.7}) < 0
+
+    def test_globally_constraint(self, parametric_two_path):
+        constraint = parametric_constraint(
+            parametric_two_path, parse_pctl('P>=0.5 [ G !"unsafe" ]')
+        )
+        # Pr(G !unsafe) = 1 − q/(p+q) = p/(p+q)
+        assert constraint.holds_at({"p": 0.6, "q": 0.2})
+        assert not constraint.holds_at({"p": 0.2, "q": 0.6})
+
+    def test_reward_constraint(self):
+        model = ParametricDTMC(
+            states=["a", "b"],
+            transitions={"a": {"b": P, "a": 1 - P}, "b": {"b": 1}},
+            initial_state="a",
+            labels={"b": {"done"}},
+            state_rewards={"a": 1.0},
+        )
+        constraint = parametric_constraint(model, parse_pctl('R<=4 [ F "done" ]'))
+        assert constraint.holds_at({"p": 0.5})  # E = 2
+        assert not constraint.holds_at({"p": 0.2})  # E = 5
+
+    def test_boolean_top_level_rejected(self, parametric_two_path):
+        with pytest.raises(TypeError):
+            parametric_constraint(parametric_two_path, parse_pctl("safe"))
+
+    def test_bounded_until_supported(self, parametric_two_path):
+        constraint = parametric_constraint(
+            parametric_two_path, parse_pctl('P>=0.5 [ F<=3 "safe" ]')
+        )
+        # Closed form: p + 0.1p + 0.01p... here (1-p-q) self-loop mass:
+        # Pr(F<=3 good) = p·(1 + s + s²) with s = 1-p-q.
+        point = {"p": 0.6, "q": 0.3}
+        s = 1 - point["p"] - point["q"]
+        expected = point["p"] * (1 + s + s * s)
+        assert float(constraint.function.evaluate(point)) == pytest.approx(
+            expected
+        )
+
+    def test_bounded_globally_supported(self, parametric_two_path):
+        constraint = parametric_constraint(
+            parametric_two_path, parse_pctl('P>=0.5 [ G<=2 !"unsafe" ]')
+        )
+        point = {"p": 0.2, "q": 0.3}
+        s = 1 - point["p"] - point["q"]
+        # Pr(reach bad within 2) = q(1+s); G-dual complements it.
+        assert float(constraint.function.evaluate(point)) == pytest.approx(
+            1 - point["q"] * (1 + s)
+        )
+
+    def test_bounded_matches_concrete(self, parametric_two_path):
+        from repro.logic.pctl import AtomicProposition, Eventually
+
+        f = parametric_two_path.bounded_reachability_probability(
+            {"good"}, steps=4
+        )
+        point = {"p": 0.35, "q": 0.25}
+        concrete = parametric_two_path.instantiate(point)
+        expected = DTMCModelChecker(concrete).path_probabilities(
+            Eventually(AtomicProposition("safe"), 4)
+        )[concrete.initial_state]
+        assert float(f.evaluate(point)) == pytest.approx(expected)
+
+    def test_bounded_negative_steps_rejected(self, parametric_two_path):
+        with pytest.raises(ValueError):
+            parametric_two_path.bounded_reachability_probability(
+                {"good"}, steps=-1
+            )
+
+
+class TestAgreementWithConcrete:
+    @given(st.integers(0, 3000), st.floats(0.05, 0.95))
+    @settings(max_examples=25, deadline=None)
+    def test_parametric_equals_concrete_on_random_chains(self, seed, value):
+        """Lift a random chain, re-parameterise one row, and compare."""
+        chain = random_dtmc(5, seed=seed, num_labels=1)
+        atoms = sorted(chain.atoms())
+        if not atoms:
+            return
+        atom = atoms[0]
+        targets = set(chain.states_with_atom(atom))
+        if not targets:
+            return
+        # Replace one binary row with a parametric split.
+        source = next(
+            (s for s in chain.states if len(chain.transitions[s]) == 2 and s not in targets),
+            None,
+        )
+        transitions = {s: dict(row) for s, row in chain.transitions.items()}
+        if source is not None:
+            first, second = sorted(transitions[source], key=str)
+            transitions[source] = {first: P, second: 1 - P}
+        model = ParametricDTMC(
+            states=chain.states,
+            transitions=transitions,
+            initial_state=chain.initial_state,
+            labels=chain.labels,
+        )
+        f = model.reachability_probability(targets)
+        concrete = model.instantiate({"p": value})
+        expected = DTMCModelChecker(concrete).path_probabilities(
+            Eventually(AtomicProposition(atom))
+        )[chain.initial_state]
+        assert float(f.evaluate({"p": value})) == pytest.approx(expected, abs=1e-8)

@@ -1,0 +1,108 @@
+"""Tests for statistical model checking."""
+
+import pytest
+
+from repro.checking import (
+    DTMCModelChecker,
+    StatisticalModelChecker,
+    chernoff_sample_size,
+)
+from repro.logic import parse_pctl
+from repro.logic.pctl import AtomicProposition, Eventually, Until, TrueFormula
+from repro.mdp import chain_dtmc
+
+
+class TestChernoff:
+    def test_known_value(self):
+        # ln(2/0.05) / (2·0.01²) = 18444.4 -> 18445
+        assert chernoff_sample_size(0.01, 0.05) == 18445
+
+    def test_monotone_in_epsilon(self):
+        assert chernoff_sample_size(0.05, 0.05) < chernoff_sample_size(0.01, 0.05)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            chernoff_sample_size(0.0, 0.5)
+        with pytest.raises(ValueError):
+            chernoff_sample_size(0.1, 1.5)
+
+
+class TestEstimation:
+    def test_estimate_matches_exact(self, two_path_chain):
+        smc = StatisticalModelChecker(two_path_chain, seed=3)
+        path = Eventually(AtomicProposition("safe"))
+        result = smc.estimate_probability(path, epsilon=0.03, delta=0.05)
+        exact = DTMCModelChecker(two_path_chain).path_probabilities(path)[
+            two_path_chain.initial_state
+        ]
+        assert result.estimate == pytest.approx(exact, abs=0.03)
+        assert result.samples == chernoff_sample_size(0.03, 0.05)
+
+    def test_bounded_until(self, two_path_chain):
+        smc = StatisticalModelChecker(two_path_chain, seed=5)
+        path = Eventually(AtomicProposition("safe"), 1)
+        result = smc.estimate_probability(path, epsilon=0.03, delta=0.05)
+        assert result.estimate == pytest.approx(0.6, abs=0.03)
+
+    def test_until_left_restriction(self, two_path_chain):
+        # "not unsafe" U "safe" is the same event here.
+        smc = StatisticalModelChecker(two_path_chain, seed=2)
+        path = Until(
+            ~AtomicProposition("unsafe"), AtomicProposition("safe")
+        )
+        result = smc.estimate_probability(path, epsilon=0.03, delta=0.05)
+        assert result.estimate == pytest.approx(2 / 3, abs=0.03)
+
+    def test_reward_estimate(self, simple_chain):
+        smc = StatisticalModelChecker(simple_chain, seed=4)
+        result = smc.estimate_reward(
+            parse_pctl('R<=10 [ F "goal" ]'), samples=4000
+        )
+        assert result.estimate == pytest.approx(4 / 0.8, rel=0.05)
+
+    def test_seed_reproducibility(self, two_path_chain):
+        path = Eventually(AtomicProposition("safe"))
+        run = lambda: StatisticalModelChecker(
+            two_path_chain, seed=11
+        ).estimate_probability(path, epsilon=0.05, delta=0.1).estimate
+        assert run() == run()
+
+
+class TestVerdicts:
+    def test_check_probability(self, two_path_chain):
+        smc = StatisticalModelChecker(two_path_chain, seed=1)
+        assert smc.check(parse_pctl('P>=0.6 [ F "safe" ]'), epsilon=0.02).holds
+        assert not smc.check(parse_pctl('P>=0.8 [ F "safe" ]'), epsilon=0.02).holds
+
+    def test_check_reward(self, simple_chain):
+        smc = StatisticalModelChecker(simple_chain, seed=1)
+        assert smc.check(parse_pctl('R<=6 [ F "goal" ]')).holds
+        assert not smc.check(parse_pctl('R<=4 [ F "goal" ]')).holds
+
+    def test_boolean_formula_rejected(self, two_path_chain):
+        smc = StatisticalModelChecker(two_path_chain, seed=1)
+        with pytest.raises(TypeError):
+            smc.check(parse_pctl("safe"))
+
+
+class TestSprt:
+    def test_accepts_clear_cases_quickly(self, two_path_chain):
+        smc = StatisticalModelChecker(two_path_chain, seed=7)
+        # True p = 2/3; bounds far away on either side.
+        low = smc.sprt(parse_pctl('P>=0.3 [ F "safe" ]'))
+        assert low.holds
+        high = smc.sprt(parse_pctl('P>=0.95 [ F "safe" ]'))
+        assert not high.holds
+        # SPRT should beat the Chernoff fixed-size budget.
+        assert low.samples < chernoff_sample_size(0.01, 0.01)
+
+    def test_upper_bound_comparison(self, two_path_chain):
+        smc = StatisticalModelChecker(two_path_chain, seed=9)
+        assert smc.sprt(parse_pctl('P<=0.9 [ F "safe" ]')).holds
+        assert not smc.sprt(parse_pctl('P<=0.3 [ F "safe" ]')).holds
+
+    def test_agreement_with_exact_on_chain(self):
+        chain = chain_dtmc(4, forward_probability=0.9)
+        smc = StatisticalModelChecker(chain, seed=13)
+        verdict = smc.sprt(parse_pctl('P>=0.99 [ F "goal" ]'))
+        assert verdict.holds  # reaches goal with probability 1

@@ -1,0 +1,166 @@
+"""Tests for SCC decomposition, steady-state analysis and the S operator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checking import (
+    DTMCModelChecker,
+    bottom_strongly_connected_components,
+    long_run_average_reward,
+    long_run_distribution,
+    stationary_distribution,
+    steady_state_probabilities,
+    strongly_connected_components,
+)
+from repro.logic import parse_pctl
+from repro.mdp import DTMC, random_dtmc
+
+
+@pytest.fixture
+def ergodic_chain() -> DTMC:
+    """Two-state working/broken chain with known stationary distribution."""
+    return DTMC(
+        states=["up", "down"],
+        transitions={
+            "up": {"up": 0.95, "down": 0.05},
+            "down": {"up": 0.5, "down": 0.5},
+        },
+        initial_state="up",
+        labels={"up": {"working"}},
+        state_rewards={"up": 1.0},
+    )
+
+
+@pytest.fixture
+def two_trap_chain() -> DTMC:
+    """Transient start splitting into two absorbing cycles."""
+    return DTMC(
+        states=["start", "l1", "l2", "r"],
+        transitions={
+            "start": {"l1": 0.25, "r": 0.75},
+            "l1": {"l2": 1.0},
+            "l2": {"l1": 1.0},
+            "r": {"r": 1.0},
+        },
+        initial_state="start",
+        labels={"l1": {"left"}, "l2": {"left"}, "r": {"right"}},
+    )
+
+
+class TestScc:
+    def test_cycle_is_one_component(self, two_trap_chain):
+        components = strongly_connected_components(two_trap_chain)
+        assert frozenset({"l1", "l2"}) in components
+        assert frozenset({"start"}) in components
+
+    def test_reverse_topological_order(self, two_trap_chain):
+        components = strongly_connected_components(two_trap_chain)
+        position = {c: i for i, c in enumerate(components)}
+        # start's SCC must come after its successors' SCCs.
+        start = next(c for c in components if "start" in c)
+        left = next(c for c in components if "l1" in c)
+        assert position[left] < position[start]
+
+    def test_bottom_components(self, two_trap_chain):
+        bottoms = bottom_strongly_connected_components(two_trap_chain)
+        assert sorted(map(sorted, bottoms)) == [["l1", "l2"], ["r"]]
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_components_partition_states(self, seed):
+        chain = random_dtmc(7, seed=seed)
+        components = strongly_connected_components(chain)
+        union = set()
+        total = 0
+        for component in components:
+            union |= component
+            total += len(component)
+        assert union == set(chain.states)
+        assert total == len(chain.states)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_every_chain_has_a_bottom(self, seed):
+        chain = random_dtmc(6, seed=seed)
+        assert bottom_strongly_connected_components(chain)
+
+
+class TestStationary:
+    def test_two_state_closed_form(self, ergodic_chain):
+        pi = stationary_distribution(ergodic_chain, frozenset({"up", "down"}))
+        # pi_up = 0.5 / (0.5 + 0.05)
+        assert pi["up"] == pytest.approx(10 / 11)
+        assert pi["down"] == pytest.approx(1 / 11)
+
+    def test_period_two_cycle(self, two_trap_chain):
+        pi = stationary_distribution(two_trap_chain, frozenset({"l1", "l2"}))
+        assert pi["l1"] == pytest.approx(0.5)
+        assert pi["l2"] == pytest.approx(0.5)
+
+    def test_singleton(self, two_trap_chain):
+        pi = stationary_distribution(two_trap_chain, frozenset({"r"}))
+        assert pi == {"r": 1.0}
+
+
+class TestLongRun:
+    def test_mixture_over_traps(self, two_trap_chain):
+        occupancy = long_run_distribution(two_trap_chain)["start"]
+        assert occupancy["r"] == pytest.approx(0.75)
+        assert occupancy["l1"] == pytest.approx(0.125)
+        assert occupancy["l2"] == pytest.approx(0.125)
+        assert occupancy.get("start", 0.0) == 0.0
+
+    def test_steady_state_probabilities(self, two_trap_chain):
+        values = steady_state_probabilities(
+            two_trap_chain, {"l1", "l2"}
+        )
+        assert values["start"] == pytest.approx(0.25)
+        assert values["l1"] == 1.0
+        assert values["r"] == 0.0
+
+    def test_long_run_average_reward(self, ergodic_chain):
+        averages = long_run_average_reward(ergodic_chain)
+        assert averages["up"] == pytest.approx(10 / 11)
+        # Ergodic: same long-run average from both states.
+        assert averages["down"] == pytest.approx(10 / 11)
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_occupancy_normalised(self, seed):
+        chain = random_dtmc(6, seed=seed)
+        occupancy = long_run_distribution(chain)
+        for state in chain.states:
+            assert sum(occupancy[state].values()) == pytest.approx(1.0)
+
+
+class TestSteadyStateOperator:
+    def test_parse_and_check(self, ergodic_chain):
+        result = DTMCModelChecker(ergodic_chain).check(
+            parse_pctl('S>=0.9 [ "working" ]')
+        )
+        assert result.holds
+        assert result.value == pytest.approx(10 / 11)
+
+    def test_violated_bound(self, ergodic_chain):
+        result = DTMCModelChecker(ergodic_chain).check(
+            parse_pctl('S>=0.95 [ "working" ]')
+        )
+        assert not result.holds
+
+    def test_transient_start(self, two_trap_chain):
+        result = DTMCModelChecker(two_trap_chain).check(
+            parse_pctl('S<=0.3 [ "left" ]')
+        )
+        assert result.value == pytest.approx(0.25)
+        assert result.holds
+
+    def test_nested_boolean_operand(self, two_trap_chain):
+        result = DTMCModelChecker(two_trap_chain).check(
+            parse_pctl('S>=0.99 [ "left" | "right" ]')
+        )
+        assert result.holds
+
+    def test_round_trip_repr(self):
+        formula = parse_pctl('S>=0.5 [ "working" ]')
+        assert parse_pctl(repr(formula)) == formula

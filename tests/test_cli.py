@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli.main import main
+from repro.io import save_model
+from repro.mdp import chain_dtmc
+
+
+@pytest.fixture
+def chain_file(tmp_path):
+    path = tmp_path / "chain.json"
+    save_model(chain_dtmc(5, forward_probability=0.5), path)
+    return str(path)
+
+
+class TestCheck:
+    def test_satisfied_returns_zero(self, chain_file, capsys):
+        code = main(["check", chain_file, 'P>=0.9 [ F "goal" ]'])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "satisfied" in out
+        assert "value at initial state" in out
+
+    def test_violated_returns_one(self, chain_file, capsys):
+        code = main(["check", chain_file, 'R<=6 [ F "goal" ]'])
+        assert code == 1
+        assert "violated" in capsys.readouterr().out
+
+
+class TestModelRepair:
+    def test_repair_writes_output(self, chain_file, tmp_path, capsys):
+        out_file = tmp_path / "repaired.json"
+        code = main(
+            [
+                "model-repair",
+                chain_file,
+                'R<=6 [ F "goal" ]',
+                "-o",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        assert out_file.exists()
+        out = capsys.readouterr().out
+        assert "status: repaired" in out
+        assert "epsilon" in out
+        # The written model satisfies the property.
+        assert main(["check", str(out_file), 'R<=6 [ F "goal" ]']) == 0
+
+    def test_infeasible_returns_nonzero(self, chain_file, capsys):
+        code = main(
+            [
+                "model-repair",
+                chain_file,
+                'R<=6 [ F "goal" ]',
+                "--max-perturbation",
+                "0.001",
+            ]
+        )
+        assert code == 1
+        assert "infeasible" in capsys.readouterr().out
+
+
+class TestExportPrism:
+    def test_export_to_stdout(self, chain_file, capsys):
+        assert main(["export-prism", chain_file]) == 0
+        assert "dtmc" in capsys.readouterr().out
+
+    def test_export_to_file(self, chain_file, tmp_path, capsys):
+        out_file = tmp_path / "model.pm"
+        assert main(["export-prism", chain_file, "-o", str(out_file)]) == 0
+        assert out_file.read_text().startswith("dtmc")
+
+
+class TestDemos:
+    def test_car_demo(self, capsys):
+        assert main(["car-demo"]) == 0
+        out = capsys.readouterr().out
+        assert "repaired theta" in out
+        assert "policy safe    : True" in out
+
+    def test_wsn_demo(self, capsys):
+        assert main(["wsn-demo", "--bound", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "status: repaired" in out
+
+
+class TestCounterexample:
+    def test_violated_bound_lists_paths(self, tmp_path, capsys):
+        from repro.io import save_model
+        from repro.mdp import DTMC
+
+        chain = DTMC(
+            states=["s", "bad", "safe"],
+            transitions={
+                "s": {"bad": 0.6, "safe": 0.4},
+                "bad": {"bad": 1.0},
+                "safe": {"safe": 1.0},
+            },
+            initial_state="s",
+            labels={"bad": {"bad"}},
+        )
+        path = tmp_path / "chain.json"
+        save_model(chain, path)
+        code = main(["counterexample", str(path), 'P<=0.5 [ F "bad" ]'])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "violated" in out
+        assert "s -> bad" in out
+
+    def test_holding_property_reports_none(self, chain_file, capsys):
+        code = main(["counterexample", chain_file, 'P<=0.999 [ F "missing" ]'])
+        assert code == 0
+        assert "no counterexample" in capsys.readouterr().out

@@ -1,0 +1,46 @@
+"""Unit tests for repair cost functions."""
+
+import pytest
+
+from repro.core.costs import (
+    frobenius_cost,
+    l1_cost,
+    max_cost,
+    resolve_cost,
+    weighted_quadratic_cost,
+)
+
+
+class TestCosts:
+    def test_frobenius(self):
+        assert frobenius_cost({"a": 3.0, "b": -4.0}) == pytest.approx(25.0)
+
+    def test_l1(self):
+        assert l1_cost({"a": 3.0, "b": -4.0}) == pytest.approx(7.0)
+
+    def test_max(self):
+        assert max_cost({"a": 3.0, "b": -4.0}) == pytest.approx(4.0)
+        assert max_cost({}) == 0.0
+
+    def test_weighted(self):
+        cost = weighted_quadratic_cost({"a": 2.0})
+        assert cost({"a": 1.0, "b": 1.0}) == pytest.approx(3.0)
+
+    def test_all_zero_at_origin(self):
+        origin = {"a": 0.0, "b": 0.0}
+        for cost in (frobenius_cost, l1_cost, max_cost):
+            assert cost(origin) == 0.0
+
+
+class TestResolve:
+    def test_by_name(self):
+        assert resolve_cost("frobenius") is frobenius_cost
+        assert resolve_cost("l1") is l1_cost
+
+    def test_callable_passthrough(self):
+        cost = lambda v: 1.0
+        assert resolve_cost(cost) is cost
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_cost("manhattan")

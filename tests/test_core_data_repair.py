@@ -1,0 +1,132 @@
+"""Unit tests for Data Repair (Definition 3, Equations 7-15)."""
+
+import pytest
+
+from repro.checking import DTMCModelChecker
+from repro.core import DataRepair
+from repro.data import TraceDataset, TraceGroup
+from repro.logic import parse_pctl
+from repro.mdp import Trajectory
+
+
+def observations(source, target, count):
+    return [Trajectory.from_states([source, target]) for _ in range(count)]
+
+
+@pytest.fixture
+def noisy_dataset() -> TraceDataset:
+    """40% forward successes, 60% failures (the paper's proportions)."""
+    return TraceDataset(
+        [
+            TraceGroup("success", observations("a", "b", 40), droppable=False),
+            TraceGroup("failure", observations("a", "a", 60)),
+        ]
+    )
+
+
+def goal_property(bound):
+    return parse_pctl(f'R<={bound} [ F "goal" ]')
+
+
+def make_repair(dataset, bound, **kwargs):
+    return DataRepair(
+        dataset=dataset,
+        formula=goal_property(bound),
+        initial_state="a",
+        states=["a", "b"],
+        labels={"b": {"goal"}},
+        state_rewards={"a": 1.0},
+        **kwargs,
+    )
+
+
+class TestLearnedModel:
+    def test_mle_from_dataset(self, noisy_dataset):
+        chain = make_repair(noisy_dataset, 2).learned_model()
+        assert chain.probability("a", "b") == pytest.approx(0.4)
+
+    def test_parametric_model_matches_at_zero(self, noisy_dataset):
+        repair = make_repair(noisy_dataset, 2)
+        parametric = repair.parametric_model()
+        chain = parametric.instantiate({"drop_failure": 0.0})
+        assert chain.probability("a", "b") == pytest.approx(0.4)
+
+
+class TestRepair:
+    def test_repair_reaches_bound(self, noisy_dataset):
+        # E[attempts] = 1/0.4 = 2.5; require <= 2 -> need p(a->b) >= 0.5.
+        result = make_repair(noisy_dataset, 2).repair()
+        assert result.status == "repaired"
+        assert result.verified
+        drop = result.drop_probabilities["failure"]
+        # 40/(40+60(1-p)) >= 0.5  =>  p >= 1/3.
+        assert drop == pytest.approx(1 / 3, abs=0.02)
+        checked = DTMCModelChecker(result.repaired_model).check(goal_property(2))
+        assert checked.holds
+
+    def test_pinned_groups_get_no_parameter(self, noisy_dataset):
+        result = make_repair(noisy_dataset, 2).repair()
+        assert "success" not in result.drop_probabilities
+
+    def test_expected_dropped_counts_traces(self, noisy_dataset):
+        result = make_repair(noisy_dataset, 2).repair()
+        assert result.expected_dropped == pytest.approx(
+            60 * result.drop_probabilities["failure"], abs=1e-6
+        )
+
+    def test_already_satisfied(self, noisy_dataset):
+        result = make_repair(noisy_dataset, 10).repair()
+        assert result.status == "already_satisfied"
+        assert result.drop_probabilities == {}
+        assert result.expected_dropped == 0.0
+
+    def test_infeasible_when_nothing_droppable(self):
+        dataset = TraceDataset(
+            [TraceGroup("all", observations("a", "a", 10) +
+                        observations("a", "b", 1), droppable=False)]
+        )
+        result = DataRepair(
+            dataset=dataset,
+            formula=goal_property(2),
+            initial_state="a",
+            states=["a", "b"],
+            labels={"b": {"goal"}},
+            state_rewards={"a": 1.0},
+        ).repair()
+        assert result.status == "infeasible"
+
+    def test_infeasible_when_max_drop_too_small(self, noisy_dataset):
+        result = make_repair(noisy_dataset, 2, max_drop=0.1).repair()
+        assert result.status == "infeasible"
+
+    def test_max_drop_validation(self, noisy_dataset):
+        with pytest.raises(ValueError):
+            make_repair(noisy_dataset, 2, max_drop=1.5)
+
+    def test_custom_effort_function(self, noisy_dataset):
+        weighted = make_repair(
+            noisy_dataset,
+            2,
+            effort=lambda v: sum(10.0 * value for value in v.values()),
+        ).repair()
+        assert weighted.status == "repaired"
+
+
+class TestDatasetUtilities:
+    def test_duplicate_group_rejected(self):
+        with pytest.raises(ValueError):
+            TraceDataset(
+                [TraceGroup("g", []), TraceGroup("g", [])]
+            )
+
+    def test_subsampled_respects_probabilities(self, noisy_dataset):
+        repaired = noisy_dataset.subsampled({"failure": 1.0 - 1e-12}, seed=0)
+        assert len(repaired.group("failure")) == 0
+        assert len(repaired.group("success")) == 40
+
+    def test_states_collects_all(self, noisy_dataset):
+        assert noisy_dataset.states() == ["a", "b"]
+
+    def test_group_names_order(self, noisy_dataset):
+        assert noisy_dataset.group_names() == ["success", "failure"]
+        assert noisy_dataset.droppable_groups() == ["failure"]

@@ -1,0 +1,135 @@
+"""Unit tests for Model Repair (Definition 1, Equations 1-6)."""
+
+import pytest
+
+from repro.checking import DTMCModelChecker, ParametricDTMC
+from repro.core import ModelRepair
+from repro.logic import parse_pctl
+from repro.mdp import DTMC, chain_dtmc
+from repro.mdp.bisimulation import is_epsilon_bisimilar
+from repro.optimize import Variable
+from repro.symbolic import Polynomial
+
+
+@pytest.fixture
+def sluggish_chain() -> DTMC:
+    """A chain too slow to meet R<=6 [F goal] (expected 4/0.5 = 8)."""
+    return chain_dtmc(5, forward_probability=0.5)
+
+
+class TestForChain:
+    def test_repair_reduces_expected_reward(self, sluggish_chain):
+        repair = ModelRepair.for_chain(sluggish_chain, parse_pctl('R<=6 [ F "goal" ]'))
+        result = repair.repair()
+        assert result.status == "repaired"
+        assert result.verified
+        checked = DTMCModelChecker(result.repaired_model).check(
+            parse_pctl('R<=6 [ F "goal" ]')
+        )
+        assert checked.value <= 6.0 + 1e-9
+
+    def test_structure_preserved(self, sluggish_chain):
+        """Equation 3: no transitions created or destroyed."""
+        result = ModelRepair.for_chain(
+            sluggish_chain, parse_pctl('R<=6 [ F "goal" ]')
+        ).repair()
+        repaired = result.repaired_model
+        for state in sluggish_chain.states:
+            assert set(repaired.transitions[state]) == set(
+                sluggish_chain.transitions[state]
+            )
+
+    def test_epsilon_matches_proposition_1(self, sluggish_chain):
+        result = ModelRepair.for_chain(
+            sluggish_chain, parse_pctl('R<=6 [ F "goal" ]')
+        ).repair()
+        assert result.epsilon > 0
+        assert is_epsilon_bisimilar(
+            sluggish_chain, result.repaired_model, result.epsilon
+        )
+
+    def test_already_satisfied_short_circuits(self, simple_chain):
+        result = ModelRepair.for_chain(
+            simple_chain, parse_pctl('R<=100 [ F "goal" ]')
+        ).repair()
+        assert result.status == "already_satisfied"
+        assert result.repaired_model is simple_chain
+        assert result.epsilon == 0.0
+
+    def test_infeasible_when_perturbation_capped(self, sluggish_chain):
+        result = ModelRepair.for_chain(
+            sluggish_chain,
+            parse_pctl('R<=6 [ F "goal" ]'),
+            max_perturbation=0.01,
+        ).repair()
+        assert result.status == "infeasible"
+        assert result.repaired_model is None
+        assert not result.feasible
+
+    def test_probability_property(self, two_path_chain):
+        # Original Pr(F safe)=2/3; require >= 0.8.
+        result = ModelRepair.for_chain(
+            two_path_chain,
+            parse_pctl('P>=0.8 [ F "safe" ]'),
+            controllable_states=["start"],
+        ).repair()
+        assert result.status == "repaired"
+        assert result.verified
+        value = DTMCModelChecker(result.repaired_model).check(
+            parse_pctl('P>=0.8 [ F "safe" ]')
+        ).value
+        assert value >= 0.8 - 1e-9
+
+    def test_cost_minimality_vs_larger_perturbations(self, two_path_chain):
+        """The optimum should not be (much) worse than a hand repair."""
+        repair = ModelRepair.for_chain(
+            two_path_chain,
+            parse_pctl('P>=0.8 [ F "safe" ]'),
+            controllable_states=["start"],
+        )
+        result = repair.repair()
+        # Hand repair: move 0.2 from bad to good (cost 2·0.2² = 0.08).
+        assert result.objective_value <= 0.08 + 1e-3
+
+    def test_requires_controllable_successors(self):
+        rigid = DTMC(
+            states=["a", "b"],
+            transitions={"a": {"b": 1.0}, "b": {"b": 1.0}},
+            initial_state="a",
+            labels={"b": {"goal"}},
+        )
+        with pytest.raises(ValueError):
+            ModelRepair.for_chain(rigid, parse_pctl('P>=0.5 [ F "goal" ]'))
+
+    def test_named_l1_cost_accepted(self, sluggish_chain):
+        result = ModelRepair.for_chain(
+            sluggish_chain, parse_pctl('R<=6 [ F "goal" ]'), cost="l1"
+        ).repair()
+        assert result.status == "repaired"
+
+
+class TestFromParametric:
+    def test_shared_parameter_repair(self, two_path_chain):
+        p = Polynomial.variable("p")
+        parametric = ParametricDTMC(
+            states=two_path_chain.states,
+            transitions={
+                "start": {"good": 0.6 + p, "bad": 0.3 - p, "start": 0.1},
+                "good": {"good": 1},
+                "bad": {"bad": 1},
+            },
+            initial_state="start",
+            labels=two_path_chain.labels,
+            state_rewards=two_path_chain.state_rewards,
+        )
+        repair = ModelRepair.from_parametric(
+            chain=two_path_chain,
+            formula=parse_pctl('P>=0.8 [ F "safe" ]'),
+            parametric_model=parametric,
+            variables=[Variable("p", 0.0, 0.29, initial=0.0)],
+        )
+        result = repair.repair()
+        assert result.status == "repaired"
+        assert result.verified
+        # Pr = (0.6+p)/0.9 >= 0.8  =>  p >= 0.12.
+        assert result.assignment["p"] == pytest.approx(0.12, abs=5e-3)

@@ -1,0 +1,161 @@
+"""Unit tests for the Section II decision procedure."""
+
+import pytest
+
+from repro.core import DataRepair, ModelRepair, TrustedLearningPipeline
+from repro.data import TraceDataset, TraceGroup
+from repro.logic import parse_pctl
+from repro.mdp import Trajectory
+
+
+def observations(source, target, count):
+    return [Trajectory.from_states([source, target]) for _ in range(count)]
+
+
+def dataset(successes: int, failures: int) -> TraceDataset:
+    return TraceDataset(
+        [
+            TraceGroup("success", observations("a", "b", successes),
+                       droppable=False),
+            TraceGroup("failure", observations("a", "a", failures)),
+        ]
+    )
+
+
+def build_pipeline(data, bound, max_perturbation=None, with_model_repair=True):
+    formula = parse_pctl(f'R<={bound} [ F "goal" ]')
+
+    def data_repair_factory(ds):
+        return DataRepair(
+            dataset=ds,
+            formula=formula,
+            initial_state="a",
+            states=["a", "b"],
+            labels={"b": {"goal"}},
+            state_rewards={"a": 1.0},
+        )
+
+    def model_repair_factory(chain):
+        return ModelRepair.for_chain(
+            chain, formula, max_perturbation=max_perturbation
+        )
+
+    return TrustedLearningPipeline(
+        dataset=data,
+        formula=formula,
+        data_repair_factory=data_repair_factory,
+        model_repair_factory=model_repair_factory if with_model_repair else None,
+    )
+
+
+class TestStages:
+    def test_learned_model_already_satisfies(self):
+        # p(a->b) = 0.8 => E = 1.25 <= 2.
+        report = build_pipeline(dataset(80, 20), bound=2).run()
+        assert report.succeeded
+        assert report.satisfied_by == "learned"
+        assert [s.name for s in report.stages] == ["learn+check"]
+
+    def test_model_repair_fixes(self):
+        # p = 0.4 => E = 2.5 > 2; model repair can push it up freely.
+        report = build_pipeline(dataset(40, 60), bound=2).run()
+        assert report.satisfied_by == "model_repair"
+        assert [s.name for s in report.stages] == ["learn+check", "model_repair"]
+
+    def test_data_repair_fixes_when_model_repair_capped(self):
+        # Perturbation cap 0.02 cannot lift 0.4 to 0.5; dropping can.
+        report = build_pipeline(
+            dataset(40, 60), bound=2, max_perturbation=0.02
+        ).run()
+        assert report.satisfied_by == "data_repair"
+        assert [s.name for s in report.stages] == [
+            "learn+check",
+            "model_repair",
+            "data_repair",
+        ]
+
+    def test_skipping_model_repair(self):
+        report = build_pipeline(
+            dataset(40, 60), bound=2, with_model_repair=False
+        ).run()
+        assert report.satisfied_by == "data_repair"
+        assert [s.name for s in report.stages] == ["learn+check", "data_repair"]
+
+    def test_everything_fails(self):
+        # Bound below the structural floor of 1 attempt.
+        report = build_pipeline(
+            dataset(40, 60), bound=0.5, max_perturbation=0.02
+        ).run()
+        assert not report.succeeded
+        assert report.satisfied_by is None
+        assert report.model is None
+
+    def test_final_model_satisfies_formula(self):
+        from repro.checking import DTMCModelChecker
+
+        pipeline = build_pipeline(dataset(40, 60), bound=2)
+        report = pipeline.run()
+        assert DTMCModelChecker(report.model).check(pipeline.formula).holds
+
+
+class TestReporting:
+    def test_summary_lists_stages(self):
+        report = build_pipeline(dataset(40, 60), bound=2).run()
+        summary = report.summary()
+        assert "learn+check" in summary
+        assert "model_repair" in summary
+        assert "outcome: model_repair" in summary
+
+    def test_stage_results_attached(self):
+        report = build_pipeline(dataset(40, 60), bound=2).run()
+        model_stage = report.stages[-1]
+        assert model_stage.result is not None
+        assert model_stage.result.status == "repaired"
+
+    def test_repr(self):
+        report = build_pipeline(dataset(80, 20), bound=2).run()
+        assert "satisfied_by='learned'" in repr(report)
+
+
+class TestRewardPipeline:
+    """Section II applied to the reward side, on the car case study."""
+
+    def _pipeline(self):
+        from repro.casestudies import car
+        from repro.core import QValueConstraint
+        from repro.core.pipeline import TrustedRewardPipeline
+
+        mdp = car.build_car_mdp()
+        return car, TrustedRewardPipeline(
+            mdp=mdp,
+            features=car.car_features(),
+            rules=[],
+            policy_is_safe=car.policy_is_safe,
+            q_constraints=[QValueConstraint("S1", car.LEFT, car.FORWARD)],
+            discount=car.DISCOUNT,
+            horizon=7,
+        )
+
+    def test_car_pipeline_repairs_unsafe_reward(self):
+        car, pipeline = self._pipeline()
+        report = pipeline.run(
+            [car.expert_demonstration()],
+            irl_kwargs={"learning_rate": 0.2, "max_iterations": 250},
+        )
+        assert report.succeeded
+        assert report.satisfied_by == "reward_repair"
+        assert [s.name for s in report.stages] == ["irl+check", "reward_repair"]
+        # The final model's rewards induce a safe optimal policy.
+        from repro.mdp import value_iteration
+
+        _, policy = value_iteration(report.model, discount=car.DISCOUNT)
+        assert car.policy_is_safe(report.model, policy)
+
+    def test_stage_log_records_thetas(self):
+        car, pipeline = self._pipeline()
+        report = pipeline.run(
+            [car.expert_demonstration()],
+            irl_kwargs={"learning_rate": 0.2, "max_iterations": 250},
+        )
+        assert "theta" in report.stages[0].detail
+        assert "theta'" in report.stages[1].detail

@@ -1,0 +1,154 @@
+"""Tests for the repair extensions: augment-mode Data Repair and
+MDP-under-policy Model Repair."""
+
+import pytest
+
+from repro.checking import DTMCModelChecker
+from repro.core import DataRepair, ModelRepair
+from repro.data import TraceDataset, TraceGroup
+from repro.logic import parse_pctl
+from repro.mdp import MDP, DeterministicPolicy, Trajectory
+from repro.mdp.policy import StochasticPolicy
+
+
+def observations(source, target, count):
+    return [Trajectory.from_states([source, target]) for _ in range(count)]
+
+
+@pytest.fixture
+def noisy_dataset() -> TraceDataset:
+    return TraceDataset(
+        [
+            TraceGroup("success", observations("a", "b", 40)),
+            TraceGroup("failure", observations("a", "a", 60), droppable=False),
+        ]
+    )
+
+
+class TestAugmentMode:
+    """Paper: 'similar formulations when we consider data points being
+    added' — duplicate good observations instead of dropping bad ones."""
+
+    def make_repair(self, dataset, bound, **kwargs):
+        return DataRepair(
+            dataset=dataset,
+            formula=parse_pctl(f'R<={bound} [ F "goal" ]'),
+            initial_state="a",
+            states=["a", "b"],
+            labels={"b": {"goal"}},
+            state_rewards={"a": 1.0},
+            mode="augment",
+            **kwargs,
+        )
+
+    def test_augmenting_successes_reaches_bound(self, noisy_dataset):
+        # Need p(a->b) >= 0.5: 40(1+w) / (40(1+w)+60) >= 0.5 -> w >= 0.5.
+        result = self.make_repair(noisy_dataset, 2).repair()
+        assert result.status == "repaired"
+        assert result.verified
+        assert result.drop_probabilities["success"] == pytest.approx(
+            0.5, abs=0.02
+        )
+        checked = DTMCModelChecker(result.repaired_model).check(
+            parse_pctl('R<=2 [ F "goal" ]')
+        )
+        assert checked.holds
+
+    def test_augment_weights_bounded(self, noisy_dataset):
+        result = self.make_repair(noisy_dataset, 2, max_augment=0.2).repair()
+        assert result.status == "infeasible"
+
+    def test_parametric_model_at_zero_matches_mle(self, noisy_dataset):
+        repair = self.make_repair(noisy_dataset, 2)
+        chain = repair.parametric_model().instantiate({"weight_success": 0.0})
+        assert chain.probability("a", "b") == pytest.approx(0.4)
+
+    def test_invalid_mode_rejected(self, noisy_dataset):
+        with pytest.raises(ValueError):
+            DataRepair(
+                dataset=noisy_dataset,
+                formula=parse_pctl('R<=2 [ F "goal" ]'),
+                initial_state="a",
+                mode="replace",
+            )
+
+    def test_invalid_max_augment_rejected(self, noisy_dataset):
+        with pytest.raises(ValueError):
+            self.make_repair(noisy_dataset, 2, max_augment=0.0)
+
+
+@pytest.fixture
+def patrol_mdp() -> MDP:
+    """A patrol robot: 'sweep' is thorough but slow, 'skip' is fast."""
+    return MDP(
+        states=["dock", "hall", "done"],
+        transitions={
+            "dock": {
+                "sweep": {"hall": 0.5, "dock": 0.5},
+                "skip": {"hall": 0.9, "dock": 0.1},
+            },
+            "hall": {
+                "sweep": {"done": 0.5, "hall": 0.5},
+                "skip": {"done": 0.9, "hall": 0.1},
+            },
+            "done": {"sweep": {"done": 1.0}},
+        },
+        initial_state="dock",
+        labels={"done": {"done"}},
+        state_rewards={"dock": 1.0, "hall": 1.0},
+    )
+
+
+class TestMdpPolicyRepair:
+    def test_repair_fixed_policy_rows_only(self, patrol_mdp):
+        policy = DeterministicPolicy(
+            {"dock": "sweep", "hall": "sweep", "done": "sweep"}
+        )
+        formula = parse_pctl('R<=3 [ F "done" ]')  # sweep-only needs 4
+        helper = ModelRepair.for_mdp_under_policy(patrol_mdp, policy, formula)
+        repaired_mdp, result = helper.repair()
+        assert result.status == "repaired"
+        assert result.verified
+        # The chosen rows changed ...
+        assert repaired_mdp.probability("dock", "sweep", "hall") > 0.5
+        # ... the unchosen rows did not.
+        assert repaired_mdp.probability("dock", "skip", "hall") == pytest.approx(
+            0.9
+        )
+        # And the repaired MDP under the same policy satisfies φ.
+        induced = repaired_mdp.induced_dtmc(policy)
+        assert DTMCModelChecker(induced).check(formula).holds
+
+    def test_infeasible_returns_original(self, patrol_mdp):
+        policy = DeterministicPolicy(
+            {"dock": "sweep", "hall": "sweep", "done": "sweep"}
+        )
+        formula = parse_pctl('R<=0.5 [ F "done" ]')
+        helper = ModelRepair.for_mdp_under_policy(
+            patrol_mdp, policy, formula, max_perturbation=0.05
+        )
+        repaired_mdp, result = helper.repair()
+        assert result.status == "infeasible"
+        assert repaired_mdp is patrol_mdp
+
+    def test_already_satisfied(self, patrol_mdp):
+        policy = DeterministicPolicy(
+            {"dock": "skip", "hall": "skip", "done": "sweep"}
+        )
+        formula = parse_pctl('R<=3 [ F "done" ]')  # skip-only needs ~2.22
+        helper = ModelRepair.for_mdp_under_policy(patrol_mdp, policy, formula)
+        repaired_mdp, result = helper.repair()
+        assert result.status == "already_satisfied"
+
+    def test_stochastic_policy_rejected(self, patrol_mdp):
+        policy = StochasticPolicy(
+            {
+                "dock": {"sweep": 0.5, "skip": 0.5},
+                "hall": {"sweep": 1.0},
+                "done": {"sweep": 1.0},
+            }
+        )
+        with pytest.raises(TypeError):
+            ModelRepair.for_mdp_under_policy(
+                patrol_mdp, policy, parse_pctl('R<=3 [ F "done" ]')
+            )

@@ -1,0 +1,239 @@
+"""Tests for the continuous-time substrate and rate repair."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc import CTMC, expected_time_repair
+from repro.mdp import ModelValidationError
+
+
+@pytest.fixture
+def two_state_ctmc() -> CTMC:
+    """Classic repairable machine: fails at rate 0.1, repairs at 2.0."""
+    return CTMC(
+        states=["up", "down"],
+        rates={"up": {"down": 0.1}, "down": {"up": 2.0}},
+        initial_state="up",
+        labels={"up": {"working"}},
+    )
+
+
+@pytest.fixture
+def pipeline_ctmc() -> CTMC:
+    """Three-stage pipeline with an absorbing 'done' state."""
+    return CTMC(
+        states=["s0", "s1", "done"],
+        rates={"s0": {"s1": 1.0}, "s1": {"done": 0.5}},
+        initial_state="s0",
+        labels={"done": {"done"}},
+    )
+
+
+class TestValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ModelValidationError):
+            CTMC(states=["a", "b"], rates={"a": {"b": -1.0}}, initial_state="a")
+
+    def test_self_rate_rejected(self):
+        with pytest.raises(ModelValidationError):
+            CTMC(states=["a"], rates={"a": {"a": 1.0}}, initial_state="a")
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ModelValidationError):
+            CTMC(states=["a"], rates={"a": {"ghost": 1.0}}, initial_state="a")
+
+
+class TestStructure:
+    def test_exit_rates(self, two_state_ctmc):
+        assert two_state_ctmc.exit_rate("up") == pytest.approx(0.1)
+        assert two_state_ctmc.max_exit_rate() == pytest.approx(2.0)
+
+    def test_generator_rows_sum_to_zero(self, two_state_ctmc):
+        q = two_state_ctmc.generator_matrix()
+        assert q.sum(axis=1) == pytest.approx(np.zeros(2))
+
+    def test_embedded_chain(self, pipeline_ctmc):
+        embedded = pipeline_ctmc.embedded_dtmc()
+        assert embedded.probability("s0", "s1") == 1.0
+        assert embedded.probability("done", "done") == 1.0
+
+    def test_uniformized_chain_stochastic(self, two_state_ctmc):
+        uniform = two_state_ctmc.uniformized_dtmc()
+        for state in uniform.states:
+            assert sum(uniform.transitions[state].values()) == pytest.approx(1.0)
+        # up's self-loop = 1 - 0.1/2.0.
+        assert uniform.probability("up", "up") == pytest.approx(0.95)
+
+    def test_uniformization_rate_validated(self, two_state_ctmc):
+        with pytest.raises(ValueError):
+            two_state_ctmc.uniformized_dtmc(rate=0.5)
+
+
+class TestTransient:
+    def test_two_state_closed_form(self, two_state_ctmc):
+        """π_down(t) = (λ/(λ+μ))(1 − e^{−(λ+μ)t}) for failure λ, repair μ."""
+        lam, mu = 0.1, 2.0
+        for t in (0.1, 0.5, 2.0, 10.0):
+            expected = lam / (lam + mu) * (1 - math.exp(-(lam + mu) * t))
+            distribution = two_state_ctmc.transient_distribution(t)
+            assert distribution["down"] == pytest.approx(expected, abs=1e-9)
+
+    def test_distribution_normalised(self, pipeline_ctmc):
+        distribution = pipeline_ctmc.transient_distribution(1.7)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_time_zero_is_initial(self, pipeline_ctmc):
+        distribution = pipeline_ctmc.transient_distribution(0.0)
+        assert distribution["s0"] == 1.0
+
+    def test_negative_time_rejected(self, pipeline_ctmc):
+        with pytest.raises(ValueError):
+            pipeline_ctmc.transient_distribution(-1.0)
+
+
+class TestTimeBoundedReachability:
+    def test_single_exponential_closed_form(self):
+        ctmc = CTMC(
+            states=["a", "b"],
+            rates={"a": {"b": 2.0}},
+            initial_state="a",
+        )
+        for t in (0.1, 0.5, 1.0):
+            assert ctmc.time_bounded_reachability({"b"}, t) == pytest.approx(
+                1 - math.exp(-2.0 * t), abs=1e-9
+            )
+
+    def test_monotone_in_time(self, pipeline_ctmc):
+        values = [
+            pipeline_ctmc.time_bounded_reachability({"done"}, t)
+            for t in (0.5, 1.0, 2.0, 5.0)
+        ]
+        assert values == sorted(values)
+
+    def test_initial_in_targets(self, pipeline_ctmc):
+        assert pipeline_ctmc.time_bounded_reachability({"s0"}, 0.0) == 1.0
+
+    def test_absorbing_targets_do_not_leak(self, two_state_ctmc):
+        """Making targets absorbing: probability accumulates, not cycles."""
+        value = two_state_ctmc.time_bounded_reachability({"down"}, 5.0)
+        # First-passage by time 5 with failure rate 0.1: 1 - e^{-0.5}.
+        assert value == pytest.approx(1 - math.exp(-0.5), abs=1e-9)
+
+
+class TestExpectedTimeAndSteadyState:
+    def test_expected_time_series_pipeline(self, pipeline_ctmc):
+        times = pipeline_ctmc.expected_time_to({"done"})
+        # 1/1.0 + 1/0.5 = 3.
+        assert times["s0"] == pytest.approx(3.0)
+        assert times["done"] == 0.0
+
+    def test_expected_time_infinite_if_unreachable(self):
+        ctmc = CTMC(
+            states=["a", "b"],
+            rates={},
+            initial_state="a",
+        )
+        assert ctmc.expected_time_to({"b"})["a"] == np.inf
+
+    def test_steady_state_birth_death(self, two_state_ctmc):
+        pi = two_state_ctmc.steady_state()
+        # π_down/π_up = λ/μ.
+        assert pi["down"] / pi["up"] == pytest.approx(0.1 / 2.0)
+        assert sum(pi.values()) == pytest.approx(1.0)
+
+    def test_steady_state_flow_balance(self):
+        ctmc = CTMC(
+            states=["a", "b", "c"],
+            rates={
+                "a": {"b": 1.0},
+                "b": {"c": 2.0, "a": 0.5},
+                "c": {"a": 1.5},
+            },
+            initial_state="a",
+        )
+        pi = ctmc.steady_state()
+        q = ctmc.generator_matrix()
+        flow = np.array([pi[s] for s in ctmc.states]) @ q
+        assert flow == pytest.approx(np.zeros(3), abs=1e-9)
+
+
+class TestRateRepair:
+    def test_already_satisfied(self, pipeline_ctmc):
+        result = expected_time_repair(pipeline_ctmc, {"done"}, bound=5.0)
+        assert result.status == "already_satisfied"
+        assert result.expected_time == pytest.approx(3.0)
+
+    def test_repair_speeds_up_slow_stage(self, pipeline_ctmc):
+        result = expected_time_repair(
+            pipeline_ctmc, {"done"}, bound=2.0, max_speedup=3.0
+        )
+        assert result.status == "repaired"
+        assert result.expected_time <= 2.0 + 1e-6
+        # The slow stage (s1, rate 0.5) gets the bigger speed-up.
+        assert result.scales["s1"] > result.scales["s0"]
+
+    def test_infeasible_with_bounded_speedup(self, pipeline_ctmc):
+        # Even doubling both rates only reaches 1.5; bound 1.2 needs more.
+        result = expected_time_repair(
+            pipeline_ctmc, {"done"}, bound=1.2, max_speedup=2.0
+        )
+        assert result.status == "infeasible"
+        assert result.repaired_ctmc is None
+
+    def test_repaired_rates_within_speedup(self, pipeline_ctmc):
+        result = expected_time_repair(
+            pipeline_ctmc, {"done"}, bound=2.0, max_speedup=3.0
+        )
+        for state, scale in result.scales.items():
+            assert 1.0 - 1e-9 <= scale <= 3.0 + 1e-9
+            for target, rate in result.repaired_ctmc.rates[state].items():
+                assert rate == pytest.approx(
+                    pipeline_ctmc.rates[state][target] * scale
+                )
+
+    def test_invalid_speedup_rejected(self, pipeline_ctmc):
+        with pytest.raises(ValueError):
+            expected_time_repair(
+                pipeline_ctmc, {"done"}, bound=0.5, max_speedup=1.0
+            )
+
+
+class TestUniformisationCrossCheck:
+    """Uniformisation must agree with the matrix exponential."""
+
+    def test_transient_matches_expm(self, pipeline_ctmc):
+        from scipy.linalg import expm
+
+        q = pipeline_ctmc.generator_matrix()
+        for t in (0.3, 1.0, 2.5):
+            exact = expm(q * t)
+            start = pipeline_ctmc.index[pipeline_ctmc.initial_state]
+            ours = pipeline_ctmc.transient_distribution(t)
+            for state in pipeline_ctmc.states:
+                j = pipeline_ctmc.index[state]
+                assert ours[state] == pytest.approx(
+                    exact[start, j], abs=1e-9
+                )
+
+    def test_random_ctmc_matches_expm(self):
+        from scipy.linalg import expm
+
+        rng = np.random.default_rng(5)
+        states = [f"c{i}" for i in range(5)]
+        rates = {}
+        for i, source in enumerate(states):
+            row = {}
+            for j, target in enumerate(states):
+                if i != j and rng.random() < 0.6:
+                    row[target] = float(rng.random() * 3 + 0.1)
+            rates[source] = row
+        ctmc = CTMC(states=states, rates=rates, initial_state="c0")
+        q = ctmc.generator_matrix()
+        exact = expm(q * 0.8)
+        ours = ctmc.transient_distribution(0.8)
+        for state in states:
+            assert ours[state] == pytest.approx(
+                exact[0, ctmc.index[state]], abs=1e-8
+            )

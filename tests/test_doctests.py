@@ -1,0 +1,49 @@
+"""Run the doctests embedded in public docstrings.
+
+Keeps the documentation honest: every ``>>>`` example in the library's
+docstrings must execute and produce the shown output.
+"""
+
+import doctest
+
+import pytest
+
+import repro.checking.parametric
+import repro.checking.statistical
+import repro.ctmc.model
+import repro.hmm.model
+import repro.learning.irl
+import repro.mdp.interval
+import repro.mdp.lumping
+import repro.mdp.model
+import repro.mdp.policy
+import repro.mdp.simulation
+import repro.mdp.trajectory
+import repro.optimize.nlp
+import repro.symbolic.polynomial
+import repro.symbolic.rational
+
+MODULES = [
+    repro.symbolic.polynomial,
+    repro.symbolic.rational,
+    repro.mdp.model,
+    repro.mdp.policy,
+    repro.mdp.trajectory,
+    repro.mdp.simulation,
+    repro.mdp.interval,
+    repro.mdp.lumping,
+    repro.checking.parametric,
+    repro.checking.statistical,
+    repro.learning.irl,
+    repro.optimize.nlp,
+    repro.hmm.model,
+    repro.ctmc.model,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, (
+        f"{result.failed} doctest failures in {module.__name__}"
+    )

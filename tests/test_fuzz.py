@@ -1,0 +1,106 @@
+"""Fuzz and robustness tests: malformed inputs must fail cleanly.
+
+Production-quality failure behaviour: parsers raise their documented
+error type (never crash with an internal exception), and model
+validation rejects garbage instead of silently mis-behaving later.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import PctlParseError, parse_pctl
+from repro.logic.pctl import StateFormula
+from repro.mdp import DTMC, ModelValidationError
+
+
+class TestParserFuzz:
+    @given(st.text(max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text):
+        """Any input either parses to a formula or raises PctlParseError."""
+        try:
+            formula = parse_pctl(text)
+        except PctlParseError:
+            return
+        except ValueError:
+            # Semantic validation (e.g. probability bound range) is fine.
+            return
+        assert isinstance(formula, StateFormula)
+
+    @given(
+        st.text(
+            alphabet=string.ascii_letters + string.digits + ' P R F G U X []()<>=.!&|"',
+            max_size=40,
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_pctl_alphabet_fuzz(self, text):
+        try:
+            formula = parse_pctl(text)
+        except (PctlParseError, ValueError):
+            return
+        assert isinstance(formula, StateFormula)
+
+    @given(st.floats(0, 1), st.sampled_from(["<", "<=", ">", ">="]))
+    @settings(max_examples=60, deadline=None)
+    def test_generated_formulas_round_trip(self, bound, comparison):
+        text = f'P{comparison}{bound:.6f} [ F "goal" ]'
+        formula = parse_pctl(text)
+        assert parse_pctl(repr(formula)) == formula
+
+
+class TestModelValidationFuzz:
+    @given(
+        st.lists(
+            st.floats(-1, 2, allow_nan=False, allow_infinity=False),
+            min_size=2,
+            max_size=2,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_rows_validated(self, probabilities):
+        row = {"a": probabilities[0], "b": probabilities[1]}
+        valid = all(
+            -1e-9 <= p <= 1 + 1e-9 for p in probabilities
+        ) and abs(sum(probabilities) - 1.0) <= 1e-6
+        try:
+            DTMC(
+                states=["a", "b"],
+                transitions={"a": row, "b": {"b": 1.0}},
+                initial_state="a",
+            )
+            constructed = True
+        except ModelValidationError:
+            constructed = False
+        assert constructed == valid
+
+    def test_nan_probability_rejected(self):
+        with pytest.raises(ModelValidationError):
+            DTMC(
+                states=["a", "b"],
+                transitions={"a": {"a": float("nan"), "b": 0.5}, "b": {"b": 1.0}},
+                initial_state="a",
+            )
+
+
+class TestOptimizerRobustness:
+    def test_objective_exception_does_not_crash_solver(self):
+        """A pathological objective (pole inside the box) still yields a
+        clean result from the remaining start points."""
+        from repro.optimize import NonlinearProgram, Variable
+
+        def spiky(v):
+            if abs(v["x"] - 0.5) < 1e-12:
+                raise ZeroDivisionError("pole")
+            return (v["x"] - 0.2) ** 2
+
+        program = NonlinearProgram(
+            variables=[Variable("x", 0.0, 1.0, initial=0.9)],
+            objective=spiky,
+        )
+        result = program.solve()
+        assert result.feasible
+        assert result.assignment["x"] == pytest.approx(0.2, abs=1e-4)

@@ -1,0 +1,224 @@
+"""Tests for the HMM subpackage (the paper's hidden-state extension)."""
+
+import numpy as np
+import pytest
+
+from repro.hmm import (
+    HMM,
+    baum_welch,
+    constrained_baum_welch,
+    forbid_state_given_observation,
+    forbid_transition,
+    hidden_chain,
+    repair_hidden_chain,
+)
+from repro.logic import parse_pctl
+
+
+@pytest.fixture
+def weather_hmm() -> HMM:
+    return HMM(
+        states=["rain", "sun"],
+        symbols=["umbrella", "none"],
+        initial={"rain": 0.5, "sun": 0.5},
+        transitions={
+            "rain": {"rain": 0.7, "sun": 0.3},
+            "sun": {"rain": 0.3, "sun": 0.7},
+        },
+        emissions={
+            "rain": {"umbrella": 0.9, "none": 0.1},
+            "sun": {"umbrella": 0.2, "none": 0.8},
+        },
+    )
+
+
+class TestValidation:
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            HMM(
+                states=["a"],
+                symbols=["x"],
+                initial={"a": 1.0},
+                transitions={"a": {"a": 0.5}},
+                emissions={"a": {"x": 1.0}},
+            )
+
+    def test_initial_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            HMM(
+                states=["a"],
+                symbols=["x"],
+                initial={"a": 0.4},
+                transitions={"a": {"a": 1.0}},
+                emissions={"a": {"x": 1.0}},
+            )
+
+
+class TestInference:
+    def test_likelihood_hand_computed(self, weather_hmm):
+        # P(umbrella) = 0.5·0.9 + 0.5·0.2 = 0.55
+        assert weather_hmm.log_likelihood(["umbrella"]) == pytest.approx(
+            np.log(0.55)
+        )
+
+    def test_forward_backward_consistent(self, weather_hmm):
+        observations = ["umbrella", "none", "umbrella"]
+        gamma, xi = weather_hmm.posteriors(observations)
+        # Posteriors are distributions.
+        assert gamma.sum(axis=1) == pytest.approx(np.ones(3))
+        assert xi.sum(axis=(1, 2)) == pytest.approx(np.ones(2))
+        # Marginalising xi recovers gamma.
+        assert xi[0].sum(axis=1) == pytest.approx(gamma[0])
+        assert xi[0].sum(axis=0) == pytest.approx(gamma[1])
+
+    def test_posterior_tracks_evidence(self, weather_hmm):
+        gamma, _ = weather_hmm.posteriors(["umbrella", "umbrella"])
+        rain = weather_hmm.state_index["rain"]
+        assert gamma[0, rain] > 0.5
+
+    def test_viterbi_follows_evidence(self, weather_hmm):
+        path = weather_hmm.viterbi(["umbrella", "umbrella", "none"])
+        assert path[0] == "rain"
+        assert path[-1] == "sun"
+
+    def test_impossible_sequence_raises(self):
+        hmm = HMM(
+            states=["a"],
+            symbols=["x", "y"],
+            initial={"a": 1.0},
+            transitions={"a": {"a": 1.0}},
+            emissions={"a": {"x": 1.0, "y": 0.0}},
+        )
+        with pytest.raises(ValueError):
+            hmm.log_likelihood(["y"])
+
+    def test_long_sequence_no_underflow(self, weather_hmm):
+        rng = np.random.default_rng(0)
+        _, observations = weather_hmm.sample(2000, rng)
+        value = weather_hmm.log_likelihood(observations)
+        assert np.isfinite(value)
+
+
+class TestSampling:
+    def test_shapes_and_reproducibility(self, weather_hmm):
+        a = weather_hmm.sample(10, np.random.default_rng(3))
+        b = weather_hmm.sample(10, np.random.default_rng(3))
+        assert a == b
+        hidden, observed = a
+        assert len(hidden) == len(observed) == 10
+
+
+class TestBaumWelch:
+    def test_likelihood_is_nondecreasing(self, weather_hmm):
+        rng = np.random.default_rng(1)
+        sequences = [weather_hmm.sample(40, rng)[1] for _ in range(10)]
+        _, trace = baum_welch(
+            sequences, states=["h0", "h1"], iterations=20, seed=2
+        )
+        diffs = np.diff(trace)
+        assert np.all(diffs > -1e-6)
+
+    def test_fits_better_than_random_init(self, weather_hmm):
+        rng = np.random.default_rng(5)
+        sequences = [weather_hmm.sample(50, rng)[1] for _ in range(10)]
+        model, trace = baum_welch(
+            sequences, states=["h0", "h1"], iterations=30, seed=3
+        )
+        assert trace[-1] > trace[0]
+
+    def test_recovers_emission_structure(self, weather_hmm):
+        """Up to state relabelling, one hidden state should strongly emit
+        'umbrella' and the other 'none'."""
+        rng = np.random.default_rng(7)
+        sequences = [weather_hmm.sample(100, rng)[1] for _ in range(20)]
+        model, _ = baum_welch(
+            sequences, states=["h0", "h1"], iterations=50, seed=4
+        )
+        umbrella = model.symbol_index["umbrella"]
+        emissions = sorted(model.B[:, umbrella])
+        assert emissions[0] < 0.45
+        assert emissions[1] > 0.65
+
+
+class TestConstrainedEm:
+    def test_forbidden_transition_suppressed(self, weather_hmm):
+        rng = np.random.default_rng(11)
+        sequences = [weather_hmm.sample(60, rng)[1] for _ in range(10)]
+        free_model, _ = baum_welch(
+            sequences, states=["h0", "h1"], iterations=30, seed=6
+        )
+        constrained_model, _ = constrained_baum_welch(
+            sequences,
+            states=["h0", "h1"],
+            constraints=[forbid_transition("h0", "h1", weight=8.0)],
+            iterations=30,
+            seed=6,
+        )
+        i, j = 0, 1
+        assert constrained_model.A[i, j] < free_model.A[i, j]
+
+    def test_forbidden_emission_suppressed(self, weather_hmm):
+        rng = np.random.default_rng(13)
+        sequences = [weather_hmm.sample(60, rng)[1] for _ in range(10)]
+        constrained_model, _ = constrained_baum_welch(
+            sequences,
+            states=["h0", "h1"],
+            constraints=[
+                forbid_state_given_observation("h0", "umbrella", weight=8.0)
+            ],
+            iterations=30,
+            seed=8,
+        )
+        free_model, _ = baum_welch(
+            sequences, states=["h0", "h1"], iterations=30, seed=8
+        )
+        umbrella = constrained_model.symbol_index["umbrella"]
+        assert constrained_model.B[0, umbrella] < free_model.B[0, umbrella]
+
+    def test_zero_constraints_equals_plain_em(self, weather_hmm):
+        rng = np.random.default_rng(17)
+        sequences = [weather_hmm.sample(30, rng)[1] for _ in range(5)]
+        plain, _ = baum_welch(sequences, states=["h0", "h1"],
+                              iterations=10, seed=9)
+        constrained, _ = constrained_baum_welch(
+            sequences, states=["h0", "h1"], constraints=(),
+            iterations=10, seed=9,
+        )
+        assert np.allclose(plain.A, constrained.A)
+        assert np.allclose(plain.B, constrained.B)
+
+
+class TestHiddenChainRepair:
+    def test_hidden_chain_structure(self, weather_hmm):
+        chain = hidden_chain(weather_hmm, labels={"sun": {"nice"}})
+        assert chain.probability("rain", "sun") == pytest.approx(0.3)
+        assert chain.states_with_atom("nice") == {"sun"}
+
+    def test_repair_hidden_dynamics(self, weather_hmm):
+        """Require quick drying: expected steps to 'sun' <= 2."""
+        formula = parse_pctl('R<=2 [ F "nice" ]')
+        repaired_hmm, result = repair_hidden_chain(
+            weather_hmm,
+            formula,
+            labels={"sun": {"nice"}},
+            initial_state="rain",
+            state_rewards={"rain": 1.0},
+        )
+        assert result.status == "repaired"
+        assert result.verified
+        # Emissions untouched; transitions changed.
+        assert np.allclose(repaired_hmm.B, weather_hmm.B)
+        assert not np.allclose(repaired_hmm.A, weather_hmm.A)
+
+    def test_infeasible_repair_returns_original(self, weather_hmm):
+        formula = parse_pctl('R<=0.5 [ F "nice" ]')
+        repaired_hmm, result = repair_hidden_chain(
+            weather_hmm,
+            formula,
+            labels={"sun": {"nice"}},
+            initial_state="rain",
+            state_rewards={"rain": 1.0},
+            max_perturbation=0.01,
+        )
+        assert result.status == "infeasible"
+        assert repaired_hmm is weather_hmm

@@ -1,0 +1,136 @@
+"""Cross-module integration tests: the full TML stories."""
+
+import numpy as np
+import pytest
+
+from repro.casestudies import car, wsn
+from repro.checking import DTMCModelChecker, ParametricDTMC, parametric_constraint
+from repro.core import (
+    DataRepair,
+    ModelRepair,
+    QValueConstraint,
+    RewardRepair,
+    TrustedLearningPipeline,
+)
+from repro.data import TraceDataset, TraceGroup
+from repro.learning import MaxEntIRL, learn_dtmc
+from repro.logic import parse_pctl
+from repro.mdp import Simulator, chain_dtmc
+from repro.mdp.bisimulation import is_epsilon_bisimilar
+
+
+class TestLearnCheckRepairStory:
+    """Simulate → learn (MLE) → check → Model Repair → verify."""
+
+    def test_full_loop(self):
+        truth = chain_dtmc(5, forward_probability=0.55)
+        sim = Simulator(seed=21)
+        traces = sim.sample_chain_many(truth, 300, stop_states={4})
+        learned = learn_dtmc(
+            traces,
+            initial_state=0,
+            states=truth.states,
+            labels={4: {"goal"}},
+            state_rewards={s: 1.0 for s in range(4)},
+        )
+        formula = parse_pctl('R<=6 [ F "goal" ]')
+        assert not DTMCModelChecker(learned).check(formula).holds
+        result = ModelRepair.for_chain(learned, formula).repair()
+        assert result.status == "repaired"
+        assert result.verified
+        assert is_epsilon_bisimilar(learned, result.repaired_model, result.epsilon)
+
+
+class TestParametricAgainstConcreteAtSolution:
+    """The symbolic constraint and concrete checker agree at the optimum."""
+
+    def test_wsn_solution_point(self):
+        problem = wsn.model_repair_problem(40)
+        constraint = problem.constraint()
+        result = problem.repair()
+        assert result.status == "repaired"
+        symbolic_value = float(
+            constraint.function.evaluate(result.assignment)
+        )
+        concrete_value = DTMCModelChecker(result.repaired_model).check(
+            wsn.attempts_property(1)
+        ).value
+        assert symbolic_value == pytest.approx(concrete_value, abs=1e-6)
+
+
+class TestPipelineOnWsnData:
+    """Section II procedure run on WSN observation data."""
+
+    def test_data_repair_stage_fires(self):
+        dataset = wsn.generate_observation_dataset(episodes=300, seed=11)
+        bound = wsn.DEFAULT_DATA_REPAIR_BOUND
+        formula = wsn.attempts_property(bound)
+        nodes = wsn.grid_nodes()
+
+        pipeline = TrustedLearningPipeline(
+            dataset=dataset,
+            formula=formula,
+            data_repair_factory=lambda ds: wsn.data_repair_problem(ds, bound),
+            model_repair_factory=None,
+        )
+        report = pipeline.run()
+        assert report.succeeded
+        assert report.satisfied_by in ("learned", "data_repair")
+        assert DTMCModelChecker(report.model).check(formula).holds
+
+
+class TestCarRewardStory:
+    """IRL → unsafe policy → both repair routes → safe policy."""
+
+    def test_q_constrained_route(self):
+        mdp = car.build_car_mdp()
+        features = car.car_features()
+        repairer = RewardRepair(mdp, features, discount=car.DISCOUNT)
+        result = repairer.q_constrained(
+            car.PAPER_LEARNED_THETA,
+            [QValueConstraint("S1", car.LEFT, car.FORWARD)],
+        )
+        assert car.policy_is_safe(mdp, result.policy_after)
+
+    def test_projection_route(self):
+        from repro.logic.ltl import LGlobally, state_atom
+        from repro.logic.rules import LtlRule
+
+        mdp = car.build_car_mdp()
+        features = car.car_features()
+        repairer = RewardRepair(mdp, features, discount=car.DISCOUNT)
+        rule = LtlRule(LGlobally(~state_atom("S2")), weight=25.0)
+        result = repairer.project(
+            car.PAPER_LEARNED_THETA,
+            [rule],
+            horizon=6,
+            stop_states={"End"},
+            learning_rate=0.15,
+            max_iterations=120,
+        )
+        d = result.diagnostics
+        assert d["violation_probability_projected"] < d[
+            "violation_probability_before"
+        ]
+        assert d["violation_probability_after"] <= d[
+            "violation_probability_before"
+        ]
+
+
+class TestSerialisationInterop:
+    """Models survive a save/load cycle and still check identically."""
+
+    def test_wsn_chain_round_trip(self, tmp_path):
+        from repro.io import load_model, save_model
+
+        chain = wsn.build_wsn_chain()
+        path = tmp_path / "wsn.json"
+        save_model(chain, path)
+        loaded = load_model(path)
+        original_value = DTMCModelChecker(chain).check(
+            wsn.attempts_property(1)
+        ).value
+        loaded_value = DTMCModelChecker(loaded).check(
+            wsn.attempts_property(1)
+        ).value
+        assert loaded_value == pytest.approx(original_value)

@@ -1,0 +1,192 @@
+"""Tests for JSON round-trip and PRISM export."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import (
+    dtmc_from_dict,
+    dtmc_to_dict,
+    dtmc_to_prism,
+    load_model,
+    mdp_from_dict,
+    mdp_to_dict,
+    mdp_to_prism,
+    save_model,
+)
+from repro.mdp import DTMC, MDP, random_dtmc
+
+
+class TestDtmcRoundTrip:
+    def test_fixture_round_trip(self, two_path_chain):
+        rebuilt = dtmc_from_dict(dtmc_to_dict(two_path_chain))
+        assert rebuilt.states == two_path_chain.states
+        assert rebuilt.initial_state == two_path_chain.initial_state
+        assert rebuilt.labels == two_path_chain.labels
+        for state in two_path_chain.states:
+            for target in two_path_chain.successors(state):
+                assert rebuilt.probability(state, target) == pytest.approx(
+                    two_path_chain.probability(state, target)
+                )
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_round_trip(self, seed):
+        chain = random_dtmc(5, seed=seed)
+        as_strings = DTMC(
+            states=[str(s) for s in chain.states],
+            transitions={
+                str(s): {str(t): p for t, p in row.items()}
+                for s, row in chain.transitions.items()
+            },
+            initial_state=str(chain.initial_state),
+            labels={str(s): props for s, props in chain.labels.items()},
+            state_rewards={str(s): r for s, r in chain.state_rewards.items()},
+        )
+        rebuilt = dtmc_from_dict(dtmc_to_dict(as_strings))
+        assert rebuilt.transitions == as_strings.transitions
+        assert rebuilt.state_rewards == as_strings.state_rewards
+
+
+class TestMdpRoundTrip:
+    def test_fixture_round_trip(self, two_action_mdp):
+        mdp = two_action_mdp.with_rewards(
+            state_rewards={"goal": 1.0}, action_rewards={("s", "a"): 0.5}
+        )
+        rebuilt = mdp_from_dict(mdp_to_dict(mdp))
+        assert rebuilt.states == mdp.states
+        assert rebuilt.transitions == mdp.transitions
+        assert rebuilt.action_rewards == mdp.action_rewards
+
+
+class TestFileInterface:
+    def test_save_load_dtmc(self, two_path_chain, tmp_path):
+        path = tmp_path / "chain.json"
+        save_model(two_path_chain, path)
+        loaded = load_model(path)
+        assert isinstance(loaded, DTMC)
+        assert loaded.states == two_path_chain.states
+
+    def test_save_load_mdp(self, two_action_mdp, tmp_path):
+        path = tmp_path / "mdp.json"
+        save_model(two_action_mdp, path)
+        loaded = load_model(path)
+        assert isinstance(loaded, MDP)
+        assert loaded.actions("s") == ["a", "b"]
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "ctmc", "model": {}}')
+        with pytest.raises(ValueError):
+            load_model(path)
+
+    def test_unserialisable_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_model(object(), tmp_path / "x.json")
+
+
+class TestPrismExport:
+    def test_dtmc_export_contains_structure(self, two_path_chain):
+        text = dtmc_to_prism(two_path_chain)
+        assert text.startswith("dtmc")
+        assert "module chain" in text
+        assert 's : [0..2] init 0;' in text
+        assert 'label "safe"' in text
+        assert 'rewards "default"' in text
+        # Probabilities serialised.
+        assert "0.6 : (s'=1)" in text
+
+    def test_mdp_export_contains_actions(self, two_action_mdp):
+        text = mdp_to_prism(two_action_mdp)
+        assert text.startswith("mdp")
+        assert "[a_a]" in text
+        assert "[a_b]" in text
+
+    def test_label_sanitisation(self):
+        chain = DTMC(
+            states=["x"],
+            transitions={"x": {"x": 1.0}},
+            initial_state="x",
+            labels={"x": {"bad label!"}},
+        )
+        text = dtmc_to_prism(chain)
+        assert 'label "bad_label_"' in text
+
+
+class TestPrismImport:
+    def test_round_trip_dtmc(self, two_path_chain):
+        from repro.io import parse_prism
+
+        text = dtmc_to_prism(two_path_chain)
+        imported = parse_prism(text)
+        assert isinstance(imported, DTMC)
+        # Same structure under the index renaming state -> s<i>.
+        for state in two_path_chain.states:
+            i = two_path_chain.index[state]
+            for target in two_path_chain.successors(state):
+                j = two_path_chain.index[target]
+                assert imported.probability(f"s{i}", f"s{j}") == pytest.approx(
+                    two_path_chain.probability(state, target)
+                )
+        assert imported.states_with_atom("safe") == {"s1"}
+        assert imported.state_rewards["s0"] == 1.0
+
+    def test_round_trip_checks_identically(self, two_path_chain):
+        from repro.checking import DTMCModelChecker
+        from repro.io import parse_prism
+        from repro.logic import parse_pctl
+
+        imported = parse_prism(dtmc_to_prism(two_path_chain))
+        original = DTMCModelChecker(two_path_chain).check(
+            parse_pctl('P>=0 [ F "safe" ]')
+        ).value
+        reread = DTMCModelChecker(imported).check(
+            parse_pctl('P>=0 [ F "safe" ]')
+        ).value
+        assert reread == pytest.approx(original)
+
+    def test_round_trip_mdp(self, two_action_mdp):
+        from repro.io import parse_prism
+
+        imported = parse_prism(mdp_to_prism(two_action_mdp))
+        assert isinstance(imported, MDP)
+        assert imported.probability("s0", "a_a", "s1") == pytest.approx(0.9)
+        assert imported.probability("s0", "a_b", "s1") == pytest.approx(0.2)
+
+    def test_hand_written_model(self):
+        from repro.io import parse_prism
+
+        text = """
+        dtmc
+        module die
+          s : [0..2] init 0;
+          [] s=0 -> 0.5 : (s'=1) + 0.5 : (s'=2);
+          [] s=1 -> 1 : (s'=1);
+          [] s=2 -> 1 : (s'=2);
+        endmodule
+        label "even" = s=2;
+        """
+        chain = parse_prism(text)
+        assert chain.probability("s0", "s2") == 0.5
+        assert chain.states_with_atom("even") == {"s2"}
+
+    def test_errors_on_unsupported_input(self):
+        from repro.io import PrismParseError, parse_prism
+
+        with pytest.raises(PrismParseError):
+            parse_prism("ctmc\nmodule m\nendmodule")
+        with pytest.raises(PrismParseError):
+            parse_prism("dtmc\nmodule m\n x : [0..1] init 0;\n y : [0..1] init 0;\nendmodule")
+        with pytest.raises(PrismParseError):
+            parse_prism(
+                "dtmc\nmodule m\n s : [0..1] init 0;\n"
+                "  [] s=0 & s=1 -> 1 : (s'=1);\nendmodule"
+            )
+
+    def test_load_prism_file(self, two_path_chain, tmp_path):
+        from repro.io import load_prism
+
+        path = tmp_path / "model.pm"
+        path.write_text(dtmc_to_prism(two_path_chain))
+        chain = load_prism(path)
+        assert isinstance(chain, DTMC)

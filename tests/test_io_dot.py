@@ -1,0 +1,62 @@
+"""Tests for DOT export."""
+
+import pytest
+
+from repro.io.dot import dtmc_to_dot, mdp_to_dot, repair_diff_to_dot
+
+
+class TestDtmcDot:
+    def test_structure(self, two_path_chain):
+        dot = dtmc_to_dot(two_path_chain)
+        assert dot.startswith("digraph chain {")
+        assert dot.rstrip().endswith("}")
+        # One node per state, initial double-circled.
+        assert dot.count("shape=doublecircle") == 1
+        assert 'label="0.6"' in dot
+        assert "{safe}" in dot
+
+    def test_all_edges_present(self, two_path_chain):
+        dot = dtmc_to_dot(two_path_chain)
+        edge_count = sum(
+            len(row) for row in two_path_chain.transitions.values()
+        )
+        assert dot.count("->") == edge_count
+
+
+class TestMdpDot:
+    def test_action_points(self, two_action_mdp):
+        dot = mdp_to_dot(two_action_mdp)
+        assert "shape=point" in dot
+        assert 'label="a"' in dot
+        assert 'label="b"' in dot
+
+
+class TestRepairDiff:
+    def test_changed_edges_highlighted(self, two_path_chain):
+        repaired = two_path_chain.with_transitions(
+            {"start": {"good": 0.7, "bad": 0.2, "start": 0.1}}
+        )
+        dot = repair_diff_to_dot(two_path_chain, repaired)
+        assert "0.6 → 0.7" in dot
+        assert "0.3 → 0.2" in dot
+        assert dot.count("penwidth=2") == 2
+
+    def test_identical_chains_have_no_red(self, two_path_chain):
+        dot = repair_diff_to_dot(two_path_chain, two_path_chain)
+        assert "color=red" not in dot
+
+    def test_state_space_mismatch_rejected(self, two_path_chain, simple_chain):
+        with pytest.raises(ValueError):
+            repair_diff_to_dot(two_path_chain, simple_chain)
+
+    def test_end_to_end_with_model_repair(self, simple_chain):
+        from repro.core import ModelRepair
+        from repro.logic import parse_pctl
+        from repro.mdp import chain_dtmc
+
+        chain = chain_dtmc(4, forward_probability=0.5)
+        result = ModelRepair.for_chain(
+            chain, parse_pctl('R<=5 [ F "goal" ]')
+        ).repair()
+        dot = repair_diff_to_dot(chain, result.repaired_model)
+        assert "color=red" in dot

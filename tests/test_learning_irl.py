@@ -1,0 +1,121 @@
+"""Unit tests for maximum-entropy IRL."""
+
+import numpy as np
+import pytest
+
+from repro.learning.irl import MaxEntIRL, TabularFeatureMap
+from repro.mdp import MDP, Trajectory
+
+
+@pytest.fixture
+def corridor_mdp() -> MDP:
+    """Two terminal rooms; the expert always goes left."""
+    return MDP(
+        states=["mid", "left", "right"],
+        transitions={
+            "mid": {
+                "go_left": {"left": 1.0},
+                "go_right": {"right": 1.0},
+            },
+            "left": {"stay": {"left": 1.0}},
+            "right": {"stay": {"right": 1.0}},
+        },
+        initial_state="mid",
+        labels={"left": {"left"}, "right": {"right"}},
+    )
+
+
+@pytest.fixture
+def corridor_features() -> TabularFeatureMap:
+    return TabularFeatureMap(
+        {
+            "mid": [0.0, 0.0],
+            "left": [1.0, 0.0],
+            "right": [0.0, 1.0],
+        }
+    )
+
+
+class TestFeatureMaps:
+    def test_tabular_lookup(self, corridor_features):
+        assert list(corridor_features("left")) == [1.0, 0.0]
+        assert corridor_features.dimension == 2
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TabularFeatureMap({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_shape_checked_at_call(self):
+        from repro.learning.irl import FeatureMap
+
+        bad = FeatureMap(lambda s: np.zeros(3), dimension=2)
+        with pytest.raises(ValueError):
+            bad("s")
+
+
+class TestSoftPolicy:
+    def test_distributions_normalised(self, corridor_mdp, corridor_features):
+        irl = MaxEntIRL(corridor_mdp, corridor_features)
+        policy = irl.soft_policy(np.array([1.0, 0.0]), horizon=4)
+        for state, dist in policy.items():
+            assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_higher_reward_action_preferred(self, corridor_mdp, corridor_features):
+        irl = MaxEntIRL(corridor_mdp, corridor_features)
+        policy = irl.soft_policy(np.array([2.0, 0.0]), horizon=4)
+        assert policy["mid"]["go_left"] > policy["mid"]["go_right"]
+
+    def test_zero_reward_is_uniform(self, corridor_mdp, corridor_features):
+        irl = MaxEntIRL(corridor_mdp, corridor_features)
+        policy = irl.soft_policy(np.zeros(2), horizon=4)
+        assert policy["mid"]["go_left"] == pytest.approx(0.5)
+
+
+class TestVisitation:
+    def test_initial_state_counted(self, corridor_mdp, corridor_features):
+        irl = MaxEntIRL(corridor_mdp, corridor_features)
+        visitation = irl.state_visitation_frequencies(np.zeros(2), horizon=3)
+        index = corridor_mdp.index
+        # t=0 mass is entirely on mid.
+        assert visitation[index["mid"]] == pytest.approx(1.0)
+        # Total visitation sums to the horizon.
+        assert visitation.sum() == pytest.approx(3.0)
+
+
+class TestFit:
+    def test_recovers_expert_preference(self, corridor_mdp, corridor_features):
+        demos = [
+            Trajectory([("mid", "go_left"), ("left", None)])
+            for _ in range(3)
+        ]
+        irl = MaxEntIRL(
+            corridor_mdp, corridor_features, learning_rate=0.3, max_iterations=200
+        )
+        result = irl.fit(demos)
+        # Left feature weight must dominate the right one.
+        assert result.theta[0] > result.theta[1]
+        rewards = result.state_rewards
+        assert rewards["left"] > rewards["right"]
+
+    def test_unit_ball_projection(self, corridor_mdp, corridor_features):
+        demos = [Trajectory([("mid", "go_left"), ("left", None)])]
+        irl = MaxEntIRL(
+            corridor_mdp,
+            corridor_features,
+            learning_rate=1.0,
+            max_iterations=300,
+            project_to_unit_ball=True,
+        )
+        result = irl.fit(demos)
+        assert np.linalg.norm(result.theta) <= 1.0 + 1e-9
+
+    def test_needs_demonstrations(self, corridor_mdp, corridor_features):
+        irl = MaxEntIRL(corridor_mdp, corridor_features)
+        with pytest.raises(ValueError):
+            irl.fit([])
+
+    def test_apply_to_mdp(self, corridor_mdp, corridor_features):
+        demos = [Trajectory([("mid", "go_left"), ("left", None)])]
+        result = MaxEntIRL(corridor_mdp, corridor_features).fit(demos)
+        updated = result.apply_to(corridor_mdp)
+        assert updated.state_rewards == result.state_rewards

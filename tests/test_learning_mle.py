@@ -1,0 +1,167 @@
+"""Unit tests for maximum-likelihood chain learning."""
+
+import pytest
+
+from repro.learning.mle import (
+    count_transitions,
+    empirical_visit_counts,
+    learn_dtmc,
+    log_likelihood,
+    parametric_mle_dtmc,
+)
+from repro.mdp import Simulator, Trajectory, chain_dtmc
+from repro.symbolic import Polynomial, RationalFunction
+
+
+def traces(*paths):
+    return [Trajectory.from_states(list(p)) for p in paths]
+
+
+class TestCounting:
+    def test_count_transitions(self):
+        counts = count_transitions(traces(["a", "b", "a"], ["a", "b"]))
+        assert counts == {"a": {"b": 2}, "b": {"a": 1}}
+
+    def test_visit_counts(self):
+        counts = empirical_visit_counts(traces(["a", "b"], ["a"]))
+        assert counts == {"a": 2, "b": 1}
+
+
+class TestLearning:
+    def test_mle_probabilities(self):
+        data = traces(["a", "b"], ["a", "b"], ["a", "a"])
+        chain = learn_dtmc(data, initial_state="a")
+        assert chain.probability("a", "b") == pytest.approx(2 / 3)
+        assert chain.probability("a", "a") == pytest.approx(1 / 3)
+
+    def test_unseen_source_becomes_absorbing(self):
+        chain = learn_dtmc(traces(["a", "b"]), initial_state="a")
+        assert chain.probability("b", "b") == 1.0
+
+    def test_explicit_state_space(self):
+        chain = learn_dtmc(
+            traces(["a", "b"]), initial_state="a", states=["a", "b", "c"]
+        )
+        assert "c" in chain.states
+        assert chain.probability("c", "c") == 1.0
+
+    def test_smoothing_spreads_mass(self):
+        data = traces(["a", "b"], ["a", "b"], ["a", "c"])
+        raw = learn_dtmc(data, initial_state="a")
+        smoothed = learn_dtmc(data, initial_state="a", smoothing=1.0)
+        assert smoothed.probability("a", "c") > raw.probability("a", "c") - 1e-12
+        assert smoothed.probability("a", "b") < raw.probability("a", "b")
+
+    def test_labels_and_rewards_attached(self):
+        chain = learn_dtmc(
+            traces(["a", "b"]),
+            initial_state="a",
+            labels={"b": {"goal"}},
+            state_rewards={"a": 1.0},
+        )
+        assert chain.states_with_atom("goal") == {"b"}
+        assert chain.state_rewards["a"] == 1.0
+
+    def test_recovers_generating_chain(self):
+        truth = chain_dtmc(4, forward_probability=0.7)
+        sim = Simulator(seed=3)
+        data = sim.sample_chain_many(truth, 400, stop_states={3})
+        learned = learn_dtmc(data, initial_state=0, states=truth.states)
+        assert learned.probability(0, 1) == pytest.approx(0.7, abs=0.06)
+
+
+class TestLogLikelihood:
+    def test_higher_for_generating_model(self):
+        data = traces(["a", "b"], ["a", "b"], ["a", "a"])
+        fitted = learn_dtmc(data, initial_state="a")
+        from repro.mdp import DTMC
+
+        other = DTMC(
+            states=["a", "b"],
+            transitions={"a": {"b": 0.1, "a": 0.9}, "b": {"a": 1.0}},
+            initial_state="a",
+        )
+        assert log_likelihood(fitted, data) > log_likelihood(other, data)
+
+    def test_impossible_step_is_minus_infinity(self):
+        from repro.mdp import DTMC
+
+        chain = DTMC(
+            states=["a", "b"],
+            transitions={"a": {"a": 1.0}, "b": {"b": 1.0}},
+            initial_state="a",
+        )
+        assert log_likelihood(chain, traces(["a", "b"])) == float("-inf")
+
+
+class TestParametricMle:
+    def test_matches_concrete_at_zero_drop(self):
+        grouped = {
+            "good": {"a": {"b": 4}},
+            "bad": {"a": {"a": 6}},
+        }
+        model = parametric_mle_dtmc(
+            grouped_counts=grouped,
+            initial_state="a",
+            states=["a", "b"],
+            drop_parameters={"bad": "p"},
+        )
+        chain = model.instantiate({"p": 0.0})
+        assert chain.probability("a", "b") == pytest.approx(0.4)
+
+    def test_paper_rational_shape(self):
+        """Sec. V-A.2: forward prob = 0.4(1−p_s) / (0.4(1−p_s)+0.6(1−p_f));
+        with only the failure group droppable this is 0.4/(0.4+0.6(1−p))."""
+        grouped = {
+            "success": {"a": {"b": 40}},
+            "failure": {"a": {"a": 60}},
+        }
+        model = parametric_mle_dtmc(
+            grouped_counts=grouped,
+            initial_state="a",
+            states=["a", "b"],
+            drop_parameters={"failure": "p"},
+        )
+        f = model.transitions["a"]["b"]
+        p = Polynomial.variable("p")
+        expected = RationalFunction(
+            Polynomial.constant(40), 40 + (1 - p).scaled(60)
+        )
+        assert f == expected
+
+    def test_dropping_failures_raises_success_probability(self):
+        grouped = {
+            "success": {"a": {"b": 40}},
+            "failure": {"a": {"a": 60}},
+        }
+        model = parametric_mle_dtmc(
+            grouped_counts=grouped,
+            initial_state="a",
+            states=["a", "b"],
+            drop_parameters={"failure": "p"},
+        )
+        low = model.instantiate({"p": 0.0}).probability("a", "b")
+        high = model.instantiate({"p": 0.5}).probability("a", "b")
+        assert high > low
+
+    def test_fixed_rows_pinned(self):
+        grouped = {"g": {"a": {"b": 1}, "b": {"a": 1}}}
+        model = parametric_mle_dtmc(
+            grouped_counts=grouped,
+            initial_state="a",
+            states=["a", "b"],
+            drop_parameters={"g": "p"},
+            fixed_rows={"b": {"b": 1.0}},
+        )
+        chain = model.instantiate({"p": 0.3})
+        assert chain.probability("b", "b") == 1.0
+
+    def test_unobserved_state_absorbing(self):
+        model = parametric_mle_dtmc(
+            grouped_counts={"g": {"a": {"b": 1}}},
+            initial_state="a",
+            states=["a", "b", "c"],
+            drop_parameters={},
+        )
+        chain = model.instantiate({})
+        assert chain.probability("c", "c") == 1.0

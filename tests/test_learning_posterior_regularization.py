@@ -1,0 +1,142 @@
+"""Unit tests for the Proposition 4 projection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.learning.irl import TabularFeatureMap
+from repro.learning.posterior_regularization import (
+    expected_rule_satisfaction,
+    fit_reward_to_distribution,
+    project_distribution,
+)
+from repro.learning.trajectory_distribution import TrajectoryDistribution
+from repro.logic.ltl import LGlobally, state_atom
+from repro.logic.rules import LtlRule
+from repro.mdp import MDP
+
+
+@pytest.fixture
+def fork_mdp() -> MDP:
+    """Initial fork to a 'bad' or 'ok' branch, then terminal."""
+    return MDP(
+        states=["s", "bad", "ok"],
+        transitions={
+            "s": {
+                "risky": {"bad": 0.5, "ok": 0.5},
+                "safe": {"ok": 1.0},
+            },
+            "bad": {"stay": {"bad": 1.0}},
+            "ok": {"stay": {"ok": 1.0}},
+        },
+        initial_state="s",
+        state_rewards={"bad": 0.5, "ok": 0.2},
+    )
+
+
+@pytest.fixture
+def avoid_bad_rule():
+    return LtlRule(LGlobally(~state_atom("bad")), weight=6.0, name="avoid-bad")
+
+
+class TestProjection:
+    def test_violators_downweighted_by_exact_factor(self, fork_mdp, avoid_bad_rule):
+        base = TrajectoryDistribution.from_maxent(
+            fork_mdp, fork_mdp.state_rewards, horizon=1
+        )
+        projected = project_distribution(base, [avoid_bad_rule])
+        for trajectory in base.support():
+            ratio = projected.probability(trajectory) / base.probability(trajectory)
+            if trajectory.visits("bad"):
+                # Down-weighted by exp(-λ) before renormalisation.
+                assert ratio < 1.0
+            else:
+                assert ratio > 1.0
+
+    def test_satisfying_ratios_preserved(self, fork_mdp, avoid_bad_rule):
+        """Proposition 4: Q equals P on satisfying paths, up to Z."""
+        base = TrajectoryDistribution.from_maxent(
+            fork_mdp, fork_mdp.state_rewards, horizon=1
+        )
+        projected = project_distribution(base, [avoid_bad_rule])
+        satisfying = [u for u in base.support() if not u.visits("bad")]
+        assert len(satisfying) >= 2
+        reference = None
+        for trajectory in satisfying:
+            ratio = projected.probability(trajectory) / base.probability(trajectory)
+            if reference is None:
+                reference = ratio
+            assert ratio == pytest.approx(reference)
+
+    def test_large_weight_drives_violators_to_zero(self, fork_mdp):
+        base = TrajectoryDistribution.from_maxent(
+            fork_mdp, fork_mdp.state_rewards, horizon=1
+        )
+        hard_rule = LtlRule(LGlobally(~state_atom("bad")), weight=200.0)
+        projected = project_distribution(base, [hard_rule])
+        violation = projected.event_probability(lambda u: u.visits("bad"))
+        assert violation < 1e-12
+
+    def test_zero_weight_is_identity(self, fork_mdp):
+        base = TrajectoryDistribution.from_maxent(
+            fork_mdp, fork_mdp.state_rewards, horizon=1
+        )
+        identity_rule = LtlRule(LGlobally(~state_atom("bad")), weight=0.0)
+        projected = project_distribution(base, [identity_rule])
+        for trajectory in base.support():
+            assert projected.probability(trajectory) == pytest.approx(
+                base.probability(trajectory)
+            )
+
+    def test_expected_satisfaction_increases(self, fork_mdp, avoid_bad_rule):
+        base = TrajectoryDistribution.from_maxent(
+            fork_mdp, fork_mdp.state_rewards, horizon=1
+        )
+        projected = project_distribution(base, [avoid_bad_rule])
+        assert expected_rule_satisfaction(
+            projected, avoid_bad_rule
+        ) > expected_rule_satisfaction(base, avoid_bad_rule)
+
+
+class TestRewardRefit:
+    def test_moment_matching_moves_toward_target(self, fork_mdp):
+        features = TabularFeatureMap(
+            {"s": [0.0, 0.0], "bad": [1.0, 0.0], "ok": [0.0, 1.0]}
+        )
+        base = TrajectoryDistribution.from_maxent(
+            fork_mdp, fork_mdp.state_rewards, horizon=1
+        )
+        hard_rule = LtlRule(LGlobally(~state_atom("bad")), weight=50.0)
+        target = project_distribution(base, [hard_rule])
+        theta, rewards = fit_reward_to_distribution(
+            fork_mdp,
+            features,
+            target,
+            horizon=1,
+            learning_rate=0.3,
+            max_iterations=300,
+        )
+        # 'ok' must now out-reward 'bad'.
+        assert rewards["ok"] > rewards["bad"]
+        refit = TrajectoryDistribution.from_maxent(fork_mdp, rewards, horizon=1)
+        violation = refit.event_probability(lambda u: u.visits("bad"))
+        base_violation = base.event_probability(lambda u: u.visits("bad"))
+        assert violation < base_violation
+
+    def test_initial_theta_respected(self, fork_mdp):
+        features = TabularFeatureMap(
+            {"s": [0.0, 0.0], "bad": [1.0, 0.0], "ok": [0.0, 1.0]}
+        )
+        base = TrajectoryDistribution.from_maxent(
+            fork_mdp, fork_mdp.state_rewards, horizon=1
+        )
+        theta, _ = fit_reward_to_distribution(
+            fork_mdp,
+            features,
+            base,
+            horizon=1,
+            initial_theta=np.array([0.5, 0.2]),
+            max_iterations=0,
+        )
+        assert theta == pytest.approx([0.5, 0.2])

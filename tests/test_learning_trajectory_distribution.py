@@ -1,0 +1,160 @@
+"""Unit tests for trajectory enumeration and distributions (Eq. 16)."""
+
+import math
+
+import pytest
+
+from repro.learning.trajectory_distribution import (
+    MetropolisTrajectorySampler,
+    TrajectoryDistribution,
+    enumerate_trajectories,
+    trajectory_log_weight,
+    trajectory_probability_unnormalised,
+)
+from repro.mdp import MDP, Trajectory
+
+
+@pytest.fixture
+def coin_mdp() -> MDP:
+    return MDP(
+        states=["s", "h", "t"],
+        transitions={
+            "s": {"flip": {"h": 0.5, "t": 0.5}},
+            "h": {"stay": {"h": 1.0}},
+            "t": {"stay": {"t": 1.0}},
+        },
+        initial_state="s",
+        state_rewards={"h": 1.0},
+    )
+
+
+class TestEnumeration:
+    def test_counts_all_paths(self, coin_mdp):
+        paths = enumerate_trajectories(coin_mdp, horizon=1)
+        assert len(paths) == 2
+
+    def test_horizon_two(self, coin_mdp):
+        paths = enumerate_trajectories(coin_mdp, horizon=2)
+        # h then stay / t then stay.
+        assert len(paths) == 2
+        assert all(len(p) == 3 for p in paths)
+
+    def test_stop_states_truncate(self, coin_mdp):
+        paths = enumerate_trajectories(coin_mdp, horizon=5, stop_states={"h", "t"})
+        assert len(paths) == 2
+        assert all(len(p) == 2 for p in paths)
+
+    def test_enumeration_cap(self):
+        from repro.mdp import random_mdp
+
+        bushy = random_mdp(6, num_actions=3, density=0.8, seed=0)
+        with pytest.raises(ValueError):
+            enumerate_trajectories(bushy, horizon=10, max_count=50)
+
+
+class TestWeights:
+    def test_log_weight_combines_rewards_and_dynamics(self, coin_mdp):
+        u = Trajectory([("s", "flip"), ("h", None)])
+        expected = 0.0 + 1.0 + math.log(0.5)  # r(s) + r(h) + log P
+        assert trajectory_log_weight(
+            coin_mdp, u, coin_mdp.state_rewards
+        ) == pytest.approx(expected)
+
+    def test_impossible_transition(self, coin_mdp):
+        u = Trajectory([("h", "stay"), ("t", None)])
+        assert trajectory_log_weight(coin_mdp, u, coin_mdp.state_rewards) == -math.inf
+
+    def test_missing_action_rejected(self, coin_mdp):
+        u = Trajectory.from_states(["s", "h"])
+        with pytest.raises(ValueError):
+            trajectory_probability_unnormalised(coin_mdp, u, coin_mdp.state_rewards)
+
+
+class TestDistribution:
+    def test_normalisation(self, coin_mdp):
+        dist = TrajectoryDistribution.from_maxent(
+            coin_mdp, coin_mdp.state_rewards, horizon=2
+        )
+        assert sum(dist.probabilities.values()) == pytest.approx(1.0)
+
+    def test_reward_biases_distribution(self, coin_mdp):
+        dist = TrajectoryDistribution.from_maxent(
+            coin_mdp, coin_mdp.state_rewards, horizon=2
+        )
+        heads = dist.event_probability(lambda u: u.visits("h"))
+        tails = dist.event_probability(lambda u: u.visits("t"))
+        # Heads trajectories carry exp(2·1) reward weight over two steps.
+        assert heads > tails
+        assert heads == pytest.approx(
+            math.exp(2) / (math.exp(2) + 1), abs=1e-9
+        )
+
+    def test_expectation_and_visits(self, coin_mdp):
+        dist = TrajectoryDistribution.from_maxent(
+            coin_mdp, coin_mdp.state_rewards, horizon=1
+        )
+        visits = dist.expected_state_visits()
+        assert visits["s"] == pytest.approx(1.0)
+        assert visits["h"] + visits["t"] == pytest.approx(1.0)
+
+    def test_kl_divergence_zero_on_self(self, coin_mdp):
+        dist = TrajectoryDistribution.from_maxent(
+            coin_mdp, coin_mdp.state_rewards, horizon=2
+        )
+        assert dist.kl_divergence(dist) == pytest.approx(0.0)
+
+    def test_kl_infinite_on_support_mismatch(self, coin_mdp):
+        dist = TrajectoryDistribution.from_maxent(
+            coin_mdp, coin_mdp.state_rewards, horizon=1
+        )
+        heads_only = TrajectoryDistribution(
+            {u: 1.0 for u in dist.support() if u.visits("h")}
+        )
+        assert dist.kl_divergence(heads_only) == math.inf
+
+    def test_reweighted(self, coin_mdp):
+        dist = TrajectoryDistribution.from_maxent(
+            coin_mdp, coin_mdp.state_rewards, horizon=1
+        )
+        tilted = dist.reweighted(lambda u: -100.0 if u.visits("h") else 0.0)
+        assert tilted.event_probability(lambda u: u.visits("h")) < 1e-20
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            TrajectoryDistribution({})
+
+    def test_large_rewards_do_not_overflow(self, coin_mdp):
+        rewards = {"s": 500.0, "h": 800.0, "t": 0.0}
+        dist = TrajectoryDistribution.from_maxent(coin_mdp, rewards, horizon=2)
+        assert sum(dist.probabilities.values()) == pytest.approx(1.0)
+
+
+class TestMetropolisSampler:
+    def test_matches_enumeration(self, coin_mdp):
+        exact = TrajectoryDistribution.from_maxent(
+            coin_mdp, coin_mdp.state_rewards, horizon=2
+        )
+        sampler = MetropolisTrajectorySampler(
+            coin_mdp, coin_mdp.state_rewards, horizon=2, seed=0
+        )
+        samples = sampler.sample(1500, burn_in=300)
+        heads_rate = sum(1 for u in samples if u.visits("h")) / len(samples)
+        expected = exact.event_probability(lambda u: u.visits("h"))
+        assert heads_rate == pytest.approx(expected, abs=0.07)
+
+    def test_extra_log_factor_shifts_distribution(self, coin_mdp):
+        sampler = MetropolisTrajectorySampler(
+            coin_mdp,
+            coin_mdp.state_rewards,
+            horizon=2,
+            extra_log_factor=lambda u: -50.0 if u.visits("h") else 0.0,
+            seed=1,
+        )
+        samples = sampler.sample(300, burn_in=200)
+        assert all(not u.visits("h") for u in samples)
+
+    def test_seed_reproducibility(self, coin_mdp):
+        make = lambda: MetropolisTrajectorySampler(
+            coin_mdp, coin_mdp.state_rewards, horizon=2, seed=9
+        ).sample(50)
+        assert make() == make()

@@ -1,0 +1,106 @@
+"""Unit tests for finite-trace LTL."""
+
+from repro.logic.ltl import (
+    LEventually,
+    LGlobally,
+    LNext,
+    LTrue,
+    LUntil,
+    action_atom,
+    evaluate_ltl,
+    ltl_atom,
+    state_atom,
+)
+from repro.mdp import Trajectory
+
+
+def trace(*states):
+    return Trajectory.from_states(list(states))
+
+
+AT_B = state_atom("b")
+AT_A = state_atom("a")
+
+
+class TestAtoms:
+    def test_state_atom(self):
+        assert evaluate_ltl(AT_A, trace("a", "b"))
+        assert not evaluate_ltl(AT_B, trace("a", "b"))
+
+    def test_action_atom(self):
+        u = Trajectory([("s", "go"), ("t", None)])
+        assert evaluate_ltl(action_atom("go"), u)
+        assert not evaluate_ltl(action_atom("stop"), u)
+
+    def test_custom_predicate(self):
+        even = ltl_atom(lambda s, a: s % 2 == 0, name="even")
+        assert evaluate_ltl(even, Trajectory.from_states([2, 3]))
+
+    def test_label_atom(self, two_path_chain):
+        from repro.logic.ltl import label_atom
+
+        safe = label_atom(two_path_chain, "safe")
+        assert evaluate_ltl(safe, trace("good"))
+        assert not evaluate_ltl(safe, trace("start"))
+
+
+class TestTemporalOperators:
+    def test_next_strong_semantics(self):
+        assert evaluate_ltl(LNext(AT_B), trace("a", "b"))
+        # X is false at the last position.
+        assert not evaluate_ltl(LNext(LTrue()), trace("a"))
+
+    def test_eventually(self):
+        assert evaluate_ltl(LEventually(AT_B), trace("a", "a", "b"))
+        assert not evaluate_ltl(LEventually(AT_B), trace("a", "a"))
+
+    def test_globally(self):
+        assert evaluate_ltl(LGlobally(AT_A), trace("a", "a"))
+        assert not evaluate_ltl(LGlobally(AT_A), trace("a", "b"))
+
+    def test_until(self):
+        assert evaluate_ltl(LUntil(AT_A, AT_B), trace("a", "a", "b"))
+        assert not evaluate_ltl(LUntil(AT_A, AT_B), trace("a", "c", "b"))
+        # Until needs the right side to eventually hold.
+        assert not evaluate_ltl(LUntil(AT_A, AT_B), trace("a", "a"))
+
+    def test_until_immediately_satisfied(self):
+        assert evaluate_ltl(LUntil(AT_A, AT_B), trace("b"))
+
+
+class TestBooleanCombinators:
+    def test_and_or_not(self):
+        u = trace("a", "b")
+        assert evaluate_ltl(AT_A & LNext(AT_B), u)
+        assert evaluate_ltl(AT_B | AT_A, u)
+        assert evaluate_ltl(~AT_B, u)
+
+    def test_duality_f_g(self):
+        """¬F φ ≡ G ¬φ on every trace (checked on a family)."""
+        traces = [
+            trace(*states)
+            for states in (["a"], ["a", "b"], ["b", "a"], ["a", "a", "a"],
+                           ["b"], ["a", "b", "a"])
+        ]
+        for u in traces:
+            assert evaluate_ltl(~LEventually(AT_B), u) == evaluate_ltl(
+                LGlobally(~AT_B), u
+            )
+
+    def test_until_unfolds(self):
+        """φ U ψ ≡ ψ | (φ & X(φ U ψ)) at position 0."""
+        traces = [
+            trace(*states)
+            for states in (["a", "b"], ["b"], ["a", "a", "b"], ["c", "b"], ["a"])
+        ]
+        formula = LUntil(AT_A, AT_B)
+        unfolded = AT_B | (AT_A & LNext(formula))
+        for u in traces:
+            assert evaluate_ltl(formula, u) == evaluate_ltl(unfolded, u)
+
+    def test_safety_rule_shape(self):
+        """The car case-study rule: G ¬collision."""
+        collide = state_atom("S2")
+        safe = LGlobally(~collide)
+        assert evaluate_ltl(safe, trace("S0", "S1", "S6"))
+        assert not evaluate_ltl(safe, trace("S0", "S1", "S2"))

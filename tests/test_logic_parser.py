@@ -1,0 +1,142 @@
+"""Unit tests for the PCTL text parser."""
+
+import pytest
+
+from repro.logic import (
+    And,
+    AtomicProposition,
+    Eventually,
+    Globally,
+    Implies,
+    Next,
+    Not,
+    Or,
+    PctlParseError,
+    ProbabilisticOperator,
+    RewardOperator,
+    TrueFormula,
+    Until,
+    parse_pctl,
+)
+
+
+class TestAtomsAndBooleans:
+    def test_quoted_atom(self):
+        assert parse_pctl('"changedlane"') == AtomicProposition("changedlane")
+
+    def test_bare_identifier_atom(self):
+        assert parse_pctl("delivered") == AtomicProposition("delivered")
+
+    def test_true_false(self):
+        assert isinstance(parse_pctl("true"), TrueFormula)
+
+    def test_negation(self):
+        assert parse_pctl("!crash") == Not(AtomicProposition("crash"))
+
+    def test_conjunction_disjunction(self):
+        formula = parse_pctl("a & b | c")
+        assert isinstance(formula, Or)
+        assert isinstance(formula.left, And)
+
+    def test_implication_lowest_precedence(self):
+        formula = parse_pctl("a & b => c")
+        assert isinstance(formula, Implies)
+
+    def test_parentheses(self):
+        formula = parse_pctl("a & (b | c)")
+        assert isinstance(formula, And)
+        assert isinstance(formula.right, Or)
+
+
+class TestProbabilisticOperator:
+    def test_paper_lane_change_property(self):
+        formula = parse_pctl('P>0.99 [ F ("changedlane" | "reducedspeed") ]')
+        assert isinstance(formula, ProbabilisticOperator)
+        assert formula.comparison == ">"
+        assert formula.bound == 0.99
+        assert isinstance(formula.path, Eventually)
+
+    def test_until(self):
+        formula = parse_pctl('P>=0.5 [ "a" U "b" ]')
+        assert isinstance(formula.path, Until)
+        assert formula.path.step_bound is None
+
+    def test_bounded_until(self):
+        formula = parse_pctl('P>=0.5 [ "a" U<=5 "b" ]')
+        assert formula.path.step_bound == 5
+
+    def test_bounded_eventually(self):
+        formula = parse_pctl("P<0.1 [ F<=3 crash ]")
+        assert formula.path.step_bound == 3
+
+    def test_next(self):
+        formula = parse_pctl("P>=1 [ X ok ]")
+        assert isinstance(formula.path, Next)
+
+    def test_globally(self):
+        formula = parse_pctl("P>=0.9 [ G safe ]")
+        assert isinstance(formula.path, Globally)
+
+    def test_bound_range_enforced(self):
+        with pytest.raises(ValueError):
+            parse_pctl("P>=1.5 [ F ok ]")
+
+    def test_nested_probabilistic(self):
+        formula = parse_pctl("P>=0.9 [ F P>=0.5 [ X ok ] ]")
+        inner = formula.path.right
+        assert isinstance(inner, ProbabilisticOperator)
+
+
+class TestRewardOperator:
+    def test_paper_wsn_property(self):
+        formula = parse_pctl('R{"attempts"}<=40 [ F "delivered" ]')
+        assert isinstance(formula, RewardOperator)
+        assert formula.label == "attempts"
+        assert formula.bound == 40.0
+        assert formula.comparison == "<="
+
+    def test_unlabelled_reward(self):
+        formula = parse_pctl("R<=10 [ F goal ]")
+        assert formula.label is None
+
+    def test_reward_requires_eventually(self):
+        with pytest.raises(PctlParseError):
+            parse_pctl("R<=10 [ X goal ]")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "P>= [ F ok ]",
+            "P>=0.5 F ok ]",
+            "P>=0.5 [ F ok",
+            "a &",
+            "@bad",
+            "P=0.5 [ F ok ]",
+        ],
+    )
+    def test_malformed_raises_with_position(self, text):
+        with pytest.raises(PctlParseError):
+            parse_pctl(text)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(PctlParseError):
+            parse_pctl("true true")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            'P>=0.99 [ F "changedlane" ]',
+            'P<0.1 [ "a" U<=7 "b" ]',
+            "P<=0.5 [ G safe ]",
+            'R{"attempts"}<=100 [ F delivered ]',
+            "!a & (b | !c)",
+        ],
+    )
+    def test_reparse_of_repr_is_equal(self, text):
+        formula = parse_pctl(text)
+        assert parse_pctl(repr(formula)) == formula

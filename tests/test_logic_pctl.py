@@ -1,0 +1,98 @@
+"""Unit tests for the PCTL abstract syntax."""
+
+import pytest
+
+from repro.logic import (
+    And,
+    AtomicProposition,
+    Eventually,
+    Globally,
+    Next,
+    Not,
+    Or,
+    ProbabilisticOperator,
+    RewardOperator,
+    TrueFormula,
+    Until,
+)
+from repro.logic.pctl import check_comparison, negate_comparison
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "op,lhs,rhs,expected",
+        [
+            ("<", 1, 2, True),
+            ("<", 2, 2, False),
+            ("<=", 2, 2, True),
+            (">", 3, 2, True),
+            (">=", 2, 2, True),
+            (">=", 1, 2, False),
+        ],
+    )
+    def test_check_comparison(self, op, lhs, rhs, expected):
+        assert check_comparison(op, lhs, rhs) is expected
+
+    def test_unknown_comparison_rejected(self):
+        with pytest.raises(ValueError):
+            check_comparison("==", 1, 1)
+
+    @pytest.mark.parametrize(
+        "op,negated", [("<", ">="), ("<=", ">"), (">", "<="), (">=", "<")]
+    )
+    def test_negate_comparison(self, op, negated):
+        assert negate_comparison(op) == negated
+
+
+class TestValueSemantics:
+    def test_atomic_equality(self):
+        assert AtomicProposition("a") == AtomicProposition("a")
+        assert AtomicProposition("a") != AtomicProposition("b")
+
+    def test_boolean_operator_sugar(self):
+        a, b = AtomicProposition("a"), AtomicProposition("b")
+        assert (a & b) == And(a, b)
+        assert (a | b) == Or(a, b)
+        assert (~a) == Not(a)
+
+    def test_until_equality_includes_bound(self):
+        a, b = AtomicProposition("a"), AtomicProposition("b")
+        assert Until(a, b, 5) != Until(a, b)
+        assert Until(a, b, 5) == Until(a, b, 5)
+
+    def test_eventually_is_true_until(self):
+        target = AtomicProposition("t")
+        eventually = Eventually(target)
+        assert isinstance(eventually, Until)
+        assert eventually.left == TrueFormula()
+        assert eventually.operand == target
+
+    def test_hashability(self):
+        formula = ProbabilisticOperator(">=", 0.9, Eventually(AtomicProposition("g")))
+        assert {formula: 1}[
+            ProbabilisticOperator(">=", 0.9, Eventually(AtomicProposition("g")))
+        ] == 1
+
+
+class TestValidation:
+    def test_probability_bound_range(self):
+        with pytest.raises(ValueError):
+            ProbabilisticOperator(">=", 1.2, Next(TrueFormula()))
+
+    def test_bad_comparison(self):
+        with pytest.raises(ValueError):
+            ProbabilisticOperator("=", 0.5, Next(TrueFormula()))
+
+    def test_negative_step_bound(self):
+        with pytest.raises(ValueError):
+            Until(TrueFormula(), TrueFormula(), -1)
+        with pytest.raises(ValueError):
+            Globally(TrueFormula(), -2)
+
+    def test_reward_requires_eventually_path(self):
+        with pytest.raises(ValueError):
+            RewardOperator("<=", 10, Next(TrueFormula()))
+
+    def test_atomic_needs_name(self):
+        with pytest.raises(ValueError):
+            AtomicProposition("")

@@ -1,0 +1,62 @@
+"""Unit tests for propositional formulas."""
+
+import pytest
+
+from repro.logic.propositional import (
+    PConst,
+    PNot,
+    all_assignments,
+    is_tautology,
+    models,
+    prop_atom,
+)
+
+
+A = prop_atom("a")
+B = prop_atom("b")
+
+
+class TestEvaluation:
+    def test_variable_lookup(self):
+        assert A.evaluate({"a": True})
+        assert not A.evaluate({"a": False})
+
+    def test_constants(self):
+        assert PConst(True).evaluate({})
+        assert not PConst(False).evaluate({})
+
+    def test_connectives(self):
+        env = {"a": True, "b": False}
+        assert (A | B).evaluate(env)
+        assert not (A & B).evaluate(env)
+        assert (~B).evaluate(env)
+        assert not A.implies(B).evaluate(env)
+        assert B.implies(A).evaluate(env)
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            A.evaluate({})
+
+
+class TestVariables:
+    def test_collects_all(self):
+        assert (A & ~B).variables() == {"a", "b"}
+        assert PConst(True).variables() == frozenset()
+
+
+class TestSemanticsHelpers:
+    def test_all_assignments_count(self):
+        assert len(list(all_assignments(frozenset({"a", "b"})))) == 4
+
+    def test_tautology(self):
+        assert is_tautology(A | ~A)
+        assert not is_tautology(A)
+
+    def test_models(self):
+        satisfying = models(A & B)
+        assert satisfying == [{"a": True, "b": True}]
+
+    def test_de_morgan(self):
+        assert is_tautology(
+            (~(A & B)).implies(~A | ~B) & (~A | ~B).implies(~(A & B))
+        )

@@ -1,0 +1,110 @@
+"""Unit tests for groundable rules (Reward Repair, Proposition 4)."""
+
+import pytest
+
+from repro.logic.ltl import LGlobally, state_atom
+from repro.logic.propositional import prop_atom
+from repro.logic.rules import (
+    FirstOrderRule,
+    LtlRule,
+    PropositionalRule,
+    all_satisfied,
+    total_penalty,
+)
+from repro.mdp import Trajectory
+
+
+def trace(*steps):
+    return Trajectory(steps)
+
+
+class TestPropositionalRule:
+    @pytest.fixture
+    def never_action_zero_at_s1(self):
+        at_s1 = prop_atom("at_s1")
+        takes0 = prop_atom("takes0")
+        return PropositionalRule(
+            at_s1.implies(~takes0),
+            bindings={
+                "at_s1": lambda s, a: s == "S1",
+                "takes0": lambda s, a: a == 0,
+            },
+            weight=5.0,
+        )
+
+    def test_one_grounding_per_step(self, never_action_zero_at_s1):
+        u = trace(("S0", 0), ("S1", 1), ("S6", None))
+        assert never_action_zero_at_s1.grounding_count(u) == 3
+
+    def test_counts_violations(self, never_action_zero_at_s1):
+        safe = trace(("S0", 0), ("S1", 1), ("S6", None))
+        unsafe = trace(("S0", 0), ("S1", 0), ("S2", None))
+        assert never_action_zero_at_s1.violation_count(safe) == 0
+        assert never_action_zero_at_s1.violation_count(unsafe) == 1
+        assert never_action_zero_at_s1.satisfied(safe)
+        assert not never_action_zero_at_s1.satisfied(unsafe)
+
+    def test_penalty_is_weight_times_violations(self, never_action_zero_at_s1):
+        unsafe = trace(("S1", 0), ("S1", 0), ("S2", None))
+        assert never_action_zero_at_s1.penalty(unsafe) == 10.0
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(ValueError):
+            PropositionalRule(prop_atom("x"), bindings={})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            LtlRule(LGlobally(state_atom("a")), weight=-1.0)
+
+
+class TestFirstOrderRule:
+    @pytest.fixture
+    def progress_rule(self):
+        # Whenever at S1, the action is 1.
+        return FirstOrderRule(
+            variables=["t"],
+            body=lambda u, b: u.state_at(b["t"]) != "S1"
+            or u.action_at(b["t"]) == 1,
+        )
+
+    def test_grounding_count_is_positions_power_vars(self, progress_rule):
+        u = trace(("S0", 0), ("S1", 1), ("S6", None))
+        assert progress_rule.grounding_count(u) == 3
+
+    def test_violations(self, progress_rule):
+        bad = trace(("S1", 0), ("S2", None))
+        assert progress_rule.violation_count(bad) == 1
+
+    def test_two_variables(self):
+        # "No state repeats" — quantifies over pairs of positions.
+        rule = FirstOrderRule(
+            variables=["i", "j"],
+            body=lambda u, b: b["i"] == b["j"]
+            or u.state_at(b["i"]) != u.state_at(b["j"]),
+        )
+        loop = Trajectory.from_states(["a", "b", "a"])
+        assert rule.grounding_count(loop) == 9
+        assert rule.violation_count(loop) == 2  # (0,2) and (2,0)
+
+    def test_requires_variables(self):
+        with pytest.raises(ValueError):
+            FirstOrderRule(variables=[], body=lambda u, b: True)
+
+
+class TestLtlRule:
+    def test_single_grounding(self):
+        rule = LtlRule(LGlobally(~state_atom("S2")))
+        u = Trajectory.from_states(["S0", "S1"])
+        assert rule.grounding_count(u) == 1
+        assert rule.violation_count(u) == 0
+        assert rule.violation_count(Trajectory.from_states(["S1", "S2"])) == 1
+
+
+class TestAggregation:
+    def test_total_penalty_sums_rules(self):
+        rule_a = LtlRule(LGlobally(~state_atom("bad")), weight=2.0)
+        rule_b = LtlRule(LGlobally(~state_atom("worse")), weight=3.0)
+        u = Trajectory.from_states(["ok", "bad", "worse"])
+        assert total_penalty([rule_a, rule_b], u) == 5.0
+        assert not all_satisfied([rule_a, rule_b], u)
+        assert all_satisfied([rule_a, rule_b], Trajectory.from_states(["ok"]))

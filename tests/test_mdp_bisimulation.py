@@ -1,0 +1,85 @@
+"""Unit and property tests for ε-bisimulation (Proposition 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mdp import DTMC, random_dtmc
+from repro.mdp.bisimulation import (
+    is_epsilon_bisimilar,
+    path_probability,
+    path_probability_deviation,
+    perturbation_bound,
+)
+
+
+def perturbed(chain: DTMC, state, delta: float) -> DTMC:
+    """Shift `delta` of probability between the first two successors."""
+    row = dict(chain.transitions[state])
+    targets = sorted(row, key=str)
+    if len(targets) < 2:
+        return chain
+    a, b = targets[0], targets[1]
+    shift = min(delta, row[a] - 1e-9, 1 - row[b] - 1e-9)
+    if shift <= 0:
+        return chain
+    row[a] -= shift
+    row[b] += shift
+    return chain.with_transitions({state: row})
+
+
+class TestPerturbationBound:
+    def test_identical_chains_have_zero_bound(self, two_path_chain):
+        assert perturbation_bound(two_path_chain, two_path_chain) == 0.0
+
+    def test_bound_equals_max_entry_change(self, two_path_chain):
+        repaired = two_path_chain.with_transitions(
+            {"start": {"good": 0.65, "bad": 0.25, "start": 0.1}}
+        )
+        assert perturbation_bound(two_path_chain, repaired) == pytest.approx(0.05)
+
+    def test_requires_same_state_space(self, two_path_chain, simple_chain):
+        with pytest.raises(ValueError):
+            perturbation_bound(two_path_chain, simple_chain)
+
+
+class TestEpsilonBisimilarity:
+    def test_structure_change_is_not_bisimilar(self, two_path_chain):
+        repaired = two_path_chain.with_transitions(
+            {"start": {"good": 0.7, "bad": 0.3}}  # drops the self-loop edge
+        )
+        assert not is_epsilon_bisimilar(two_path_chain, repaired, epsilon=1.0)
+
+    def test_small_perturbation_is_bisimilar(self, two_path_chain):
+        repaired = perturbed(two_path_chain, "start", 0.02)
+        assert is_epsilon_bisimilar(two_path_chain, repaired, epsilon=0.02)
+        assert not is_epsilon_bisimilar(two_path_chain, repaired, epsilon=0.01)
+
+
+class TestPathProbability:
+    def test_known_path(self, two_path_chain):
+        assert path_probability(two_path_chain, ["start", "good"]) == 0.6
+        assert path_probability(
+            two_path_chain, ["start", "start", "bad"]
+        ) == pytest.approx(0.03)
+
+    def test_impossible_path_is_zero(self, two_path_chain):
+        assert path_probability(two_path_chain, ["good", "bad"]) == 0.0
+
+
+class TestProposition1Property:
+    @given(st.integers(0, 500), st.floats(0.001, 0.05))
+    @settings(max_examples=25, deadline=None)
+    def test_one_step_path_deviation_bounded_by_epsilon(self, seed, delta):
+        """Proposition 1: single-transition path probabilities move ≤ ε."""
+        chain = random_dtmc(5, seed=seed)
+        state = chain.states[seed % len(chain.states)]
+        repaired = perturbed(chain, state, delta)
+        epsilon = perturbation_bound(chain, repaired)
+        assert epsilon <= delta + 1e-9
+        for source in chain.states:
+            for target in chain.successors(source):
+                deviation = path_probability_deviation(
+                    chain, repaired, [source, target]
+                )
+                assert deviation <= epsilon + 1e-9

@@ -1,0 +1,158 @@
+"""Unit tests for the DTMC and MDP model classes."""
+
+import pytest
+
+from repro.mdp import DTMC, MDP, DeterministicPolicy, ModelValidationError
+from repro.mdp.policy import StochasticPolicy
+
+
+class TestDTMCValidation:
+    def test_rows_must_be_stochastic(self):
+        with pytest.raises(ModelValidationError):
+            DTMC(
+                states=["a", "b"],
+                transitions={"a": {"b": 0.5}, "b": {"b": 1.0}},
+                initial_state="a",
+            )
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ModelValidationError):
+            DTMC(
+                states=["a", "b"],
+                transitions={"a": {"b": 1.5, "a": -0.5}, "b": {"b": 1.0}},
+                initial_state="a",
+            )
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ModelValidationError):
+            DTMC(states=["a"], transitions={"a": {"ghost": 1.0}}, initial_state="a")
+
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(ModelValidationError):
+            DTMC(states=["a"], transitions={"a": {"a": 1.0}}, initial_state="b")
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ModelValidationError):
+            DTMC(states=["a", "a"], transitions={"a": {"a": 1.0}}, initial_state="a")
+
+    def test_missing_row_becomes_absorbing(self):
+        chain = DTMC(states=["a", "b"], transitions={"a": {"b": 1.0}}, initial_state="a")
+        assert chain.probability("b", "b") == 1.0
+
+    def test_unknown_label_state_rejected(self):
+        with pytest.raises(ModelValidationError):
+            DTMC(
+                states=["a"],
+                transitions={"a": {"a": 1.0}},
+                initial_state="a",
+                labels={"ghost": {"x"}},
+            )
+
+    def test_zero_probability_edges_dropped(self):
+        chain = DTMC(
+            states=["a", "b"],
+            transitions={"a": {"a": 1.0, "b": 0.0}, "b": {"b": 1.0}},
+            initial_state="a",
+        )
+        assert chain.successors("a") == ["a"]
+
+
+class TestDTMCStructure:
+    def test_transition_matrix_row_stochastic(self, two_path_chain):
+        matrix = two_path_chain.transition_matrix()
+        assert matrix.shape == (3, 3)
+        assert matrix.sum(axis=1) == pytest.approx([1.0, 1.0, 1.0])
+
+    def test_atoms_and_label_lookup(self, two_path_chain):
+        assert two_path_chain.atoms() == {"safe", "unsafe"}
+        assert two_path_chain.states_with_atom("safe") == {"good"}
+
+    def test_reward_vector(self, two_path_chain):
+        assert list(two_path_chain.reward_vector()) == [1.0, 0.0, 0.0]
+
+    def test_with_transitions_replaces_row(self, two_path_chain):
+        repaired = two_path_chain.with_transitions(
+            {"start": {"good": 0.8, "bad": 0.1, "start": 0.1}}
+        )
+        assert repaired.probability("start", "good") == 0.8
+        # Original untouched.
+        assert two_path_chain.probability("start", "good") == 0.6
+        # Labels and rewards carried over.
+        assert repaired.states_with_atom("safe") == {"good"}
+        assert repaired.state_rewards["start"] == 1.0
+
+    def test_with_rewards(self, two_path_chain):
+        updated = two_path_chain.with_rewards({"start": 5.0})
+        assert updated.state_rewards["start"] == 5.0
+        assert two_path_chain.state_rewards["start"] == 1.0
+
+    def test_repr_mentions_size(self, two_path_chain):
+        assert "|S|=3" in repr(two_path_chain)
+
+
+class TestMDPValidation:
+    def test_state_without_actions_rejected(self):
+        with pytest.raises(ModelValidationError):
+            MDP(states=["a"], transitions={"a": {}}, initial_state="a")
+
+    def test_action_row_must_be_stochastic(self):
+        with pytest.raises(ModelValidationError):
+            MDP(
+                states=["a"],
+                transitions={"a": {"go": {"a": 0.7}}},
+                initial_state="a",
+            )
+
+    def test_action_reward_accumulates(self, two_action_mdp):
+        mdp = two_action_mdp.with_rewards(
+            state_rewards={"s": 1.0}, action_rewards={("s", "a"): 0.5}
+        )
+        assert mdp.reward("s", "a") == 1.5
+        assert mdp.reward("s", "b") == 1.0
+        assert mdp.reward("s") == 1.0
+
+
+class TestMDPStructure:
+    def test_actions_and_successors(self, two_action_mdp):
+        assert set(two_action_mdp.actions("s")) == {"a", "b"}
+        assert set(two_action_mdp.successors("s", "a")) == {"goal", "trap"}
+
+    def test_all_actions_order(self, two_action_mdp):
+        assert two_action_mdp.all_actions() == ["a", "b"]
+
+    def test_induced_dtmc_deterministic(self, two_action_mdp):
+        policy = DeterministicPolicy({"s": "a", "goal": "a", "trap": "a"})
+        chain = two_action_mdp.induced_dtmc(policy)
+        assert chain.probability("s", "goal") == 0.9
+        assert chain.labels == two_action_mdp.labels
+
+    def test_induced_dtmc_stochastic_policy(self, two_action_mdp):
+        policy = StochasticPolicy(
+            {"s": {"a": 0.5, "b": 0.5}, "goal": {"a": 1.0}, "trap": {"a": 1.0}}
+        )
+        chain = two_action_mdp.induced_dtmc(policy)
+        assert chain.probability("s", "goal") == pytest.approx(0.55)
+
+    def test_induced_dtmc_rejects_disabled_action(self, two_action_mdp):
+        policy = DeterministicPolicy({"s": "z", "goal": "a", "trap": "a"})
+        with pytest.raises(ModelValidationError):
+            two_action_mdp.induced_dtmc(policy)
+
+    def test_with_transitions_row_replacement(self, two_action_mdp):
+        updated = two_action_mdp.with_transitions(
+            {"s": {"a": {"goal": 1.0}}}
+        )
+        assert updated.probability("s", "a", "goal") == 1.0
+        assert updated.probability("s", "b", "goal") == 0.2
+        assert two_action_mdp.probability("s", "a", "goal") == 0.9
+
+    def test_tuple_states_work(self):
+        mdp = MDP(
+            states=[(0, 0), (0, 1)],
+            transitions={
+                (0, 0): {"r": {(0, 1): 1.0}},
+                (0, 1): {"r": {(0, 1): 1.0}},
+            },
+            initial_state=(0, 0),
+        )
+        assert mdp.successors((0, 0), "r") == [(0, 1)]

@@ -1,0 +1,59 @@
+"""Unit tests for policies."""
+
+import numpy as np
+import pytest
+
+from repro.mdp import DeterministicPolicy, StochasticPolicy
+from repro.mdp.policy import uniform_policy
+
+
+class TestDeterministicPolicy:
+    def test_lookup(self):
+        policy = DeterministicPolicy({"s": "go"})
+        assert policy["s"] == "go"
+        assert "s" in policy
+
+    def test_action_distribution_is_point_mass(self):
+        policy = DeterministicPolicy({"s": "go"})
+        assert policy.action_distribution("s") == {"go": 1.0}
+
+    def test_sample_ignores_rng(self):
+        policy = DeterministicPolicy({"s": "go"})
+        assert policy.sample("s", np.random.default_rng(0)) == "go"
+
+    def test_equality_and_hash(self):
+        a = DeterministicPolicy({"s": "go", "t": "stop"})
+        b = DeterministicPolicy({"t": "stop", "s": "go"})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_items(self):
+        policy = DeterministicPolicy({"s": "go"})
+        assert list(policy.items()) == [("s", "go")]
+
+
+class TestStochasticPolicy:
+    def test_distribution_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            StochasticPolicy({"s": {"a": 0.4, "b": 0.4}})
+
+    def test_zero_probability_actions_dropped(self):
+        policy = StochasticPolicy({"s": {"a": 1.0, "b": 0.0}})
+        assert policy.action_distribution("s") == {"a": 1.0}
+
+    def test_sampling_follows_distribution(self):
+        policy = StochasticPolicy({"s": {"a": 0.8, "b": 0.2}})
+        rng = np.random.default_rng(42)
+        draws = [policy.sample("s", rng) for _ in range(2000)]
+        assert draws.count("a") / len(draws) == pytest.approx(0.8, abs=0.05)
+
+    def test_greedy_extracts_mode(self):
+        policy = StochasticPolicy({"s": {"a": 0.7, "b": 0.3}})
+        assert policy.greedy()["s"] == "a"
+
+
+class TestUniformPolicy:
+    def test_uniform_over_enabled_actions(self, two_action_mdp):
+        policy = uniform_policy(two_action_mdp)
+        assert policy.action_distribution("s") == {"a": 0.5, "b": 0.5}
+        assert policy.action_distribution("goal") == {"a": 1.0}

@@ -1,0 +1,71 @@
+"""Unit tests for the seeded simulator."""
+
+import pytest
+
+from repro.mdp import DeterministicPolicy, Simulator, chain_dtmc
+from repro.checking import DTMCModelChecker
+from repro.logic import parse_pctl
+
+
+class TestChainSampling:
+    def test_same_seed_same_trajectories(self, two_path_chain):
+        runs_a = Simulator(seed=5).sample_chain_many(two_path_chain, 20)
+        runs_b = Simulator(seed=5).sample_chain_many(two_path_chain, 20)
+        assert runs_a == runs_b
+
+    def test_different_seed_differs(self, two_path_chain):
+        runs_a = Simulator(seed=1).sample_chain_many(two_path_chain, 20)
+        runs_b = Simulator(seed=2).sample_chain_many(two_path_chain, 20)
+        assert runs_a != runs_b
+
+    def test_starts_at_initial_state(self, two_path_chain):
+        run = Simulator(seed=0).sample_chain(two_path_chain)
+        assert run.state_at(0) == "start"
+
+    def test_stop_states_halt(self, two_path_chain):
+        run = Simulator(seed=0).sample_chain(
+            two_path_chain, stop_states={"good", "bad"}
+        )
+        final = run.state_at(len(run) - 1)
+        assert final in {"good", "bad"}
+        # No state after the stop state.
+        assert all(s not in {"good", "bad"} for s in run.states()[:-1])
+
+    def test_absorbing_state_ends_run(self):
+        chain = chain_dtmc(3, forward_probability=1.0)
+        run = Simulator(seed=0).sample_chain(chain, max_steps=100)
+        assert run.states() == (0, 1, 2)
+
+    def test_max_steps_respected(self, two_path_chain):
+        run = Simulator(seed=0).sample_chain(two_path_chain, max_steps=3)
+        assert len(run) <= 4
+
+
+class TestMdpSampling:
+    def test_policy_actions_recorded(self, two_action_mdp):
+        policy = DeterministicPolicy({"s": "a", "goal": "a", "trap": "a"})
+        run = Simulator(seed=0).sample_mdp(
+            two_action_mdp, policy, stop_states={"goal", "trap"}
+        )
+        assert run.action_at(0) == "a"
+        assert run.action_at(len(run) - 1) is None
+
+    def test_start_state_override(self, two_action_mdp):
+        policy = DeterministicPolicy({"s": "a", "goal": "a", "trap": "a"})
+        run = Simulator(seed=0).sample_mdp(
+            two_action_mdp, policy, start_state="goal", stop_states={"goal"}
+        )
+        assert run.state_at(0) == "goal"
+
+
+class TestMonteCarloAgreement:
+    def test_reachability_estimate_matches_model_checker(self, two_path_chain):
+        exact = (
+            DTMCModelChecker(two_path_chain)
+            .check(parse_pctl('P>=0 [ F "safe" ]'))
+            .value
+        )
+        estimate = Simulator(seed=11).estimate_reachability(
+            two_path_chain, {"good"}, samples=3000
+        )
+        assert estimate == pytest.approx(exact, abs=0.03)

@@ -1,0 +1,119 @@
+"""Unit and property tests for the dynamic-programming solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mdp import (
+    MDP,
+    chain_dtmc,
+    expected_total_reward,
+    policy_evaluation,
+    policy_iteration,
+    q_values,
+    random_mdp,
+    value_iteration,
+)
+from repro.mdp.policy import DeterministicPolicy
+
+
+@pytest.fixture
+def bandit_mdp() -> MDP:
+    """One-state MDP whose best action is obvious from action rewards."""
+    return MDP(
+        states=["s"],
+        transitions={"s": {"good": {"s": 1.0}, "bad": {"s": 1.0}}},
+        initial_state="s",
+        action_rewards={("s", "good"): 1.0, ("s", "bad"): 0.0},
+    )
+
+
+class TestValueIteration:
+    def test_geometric_value_closed_form(self, bandit_mdp):
+        values, policy = value_iteration(bandit_mdp, discount=0.5)
+        # V = 1 + 0.5 V  =>  V = 2
+        assert values["s"] == pytest.approx(2.0, abs=1e-8)
+        assert policy["s"] == "good"
+
+    def test_discount_validation(self, bandit_mdp):
+        with pytest.raises(ValueError):
+            value_iteration(bandit_mdp, discount=1.5)
+
+    def test_prefers_safer_action(self, two_action_mdp):
+        mdp = two_action_mdp.with_rewards(state_rewards={"goal": 1.0})
+        _, policy = value_iteration(mdp, discount=0.9)
+        assert policy["s"] == "a"
+
+    def test_tie_break_deterministic(self, two_action_mdp):
+        _, policy_1 = value_iteration(two_action_mdp, discount=0.9)
+        _, policy_2 = value_iteration(two_action_mdp, discount=0.9)
+        assert policy_1 == policy_2
+
+
+class TestQValues:
+    def test_q_consistent_with_values(self, two_action_mdp):
+        mdp = two_action_mdp.with_rewards(state_rewards={"goal": 1.0})
+        values, policy = value_iteration(mdp, discount=0.9)
+        q = q_values(mdp, values, discount=0.9)
+        # The optimal action's Q equals V.
+        assert q[("s", policy["s"])] == pytest.approx(values["s"], abs=1e-6)
+        assert q[("s", "a")] > q[("s", "b")]
+
+
+class TestPolicyEvaluation:
+    def test_matches_hand_solution(self, two_action_mdp):
+        mdp = two_action_mdp.with_rewards(state_rewards={"goal": 1.0})
+        policy = DeterministicPolicy({"s": "b", "goal": "a", "trap": "a"})
+        values = policy_evaluation(mdp, policy, discount=0.5)
+        # V(goal) = 1 / (1 - 0.5) = 2;  V(s) = 0.5·(0.2·2) = 0.2
+        assert values["goal"] == pytest.approx(2.0)
+        assert values["s"] == pytest.approx(0.2)
+
+    def test_iterative_fallback_for_discount_one(self, two_action_mdp):
+        policy = DeterministicPolicy({"s": "a", "goal": "a", "trap": "a"})
+        values = policy_evaluation(two_action_mdp, policy, discount=1.0)
+        assert values["s"] == pytest.approx(0.0)
+
+
+class TestPolicyIteration:
+    def test_agrees_with_value_iteration(self, two_action_mdp):
+        mdp = two_action_mdp.with_rewards(state_rewards={"goal": 1.0})
+        vi_values, vi_policy = value_iteration(mdp, discount=0.9, tolerance=1e-12)
+        pi_values, pi_policy = policy_iteration(mdp, discount=0.9)
+        assert pi_policy == vi_policy
+        for state in mdp.states:
+            assert pi_values[state] == pytest.approx(vi_values[state], abs=1e-6)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_agreement_on_random_mdps(self, seed):
+        mdp = random_mdp(5, num_actions=2, seed=seed)
+        vi_values, _ = value_iteration(mdp, discount=0.9, tolerance=1e-12)
+        pi_values, _ = policy_iteration(mdp, discount=0.9)
+        for state in mdp.states:
+            assert pi_values[state] == pytest.approx(vi_values[state], abs=1e-6)
+
+
+class TestExpectedTotalReward:
+    def test_chain_closed_form(self):
+        # Each of the 4 transient states needs 1/0.8 visits on average.
+        chain = chain_dtmc(5, forward_probability=0.8)
+        values = expected_total_reward(chain, {4})
+        assert values[0] == pytest.approx(4 / 0.8)
+
+    def test_target_state_is_zero(self):
+        chain = chain_dtmc(3, forward_probability=0.5)
+        values = expected_total_reward(chain, {2})
+        assert values[2] == 0.0
+
+    def test_unreachable_target_is_infinite(self, two_path_chain):
+        values = expected_total_reward(two_path_chain, {"good"})
+        assert values["bad"] == np.inf
+        # start reaches good only with probability 2/3 => infinite.
+        assert values["start"] == np.inf
+
+    def test_reward_scales_linearly(self):
+        chain = chain_dtmc(4, forward_probability=0.5, reward_per_state=2.0)
+        values = expected_total_reward(chain, {3})
+        assert values[0] == pytest.approx(2.0 * 3 / 0.5)

@@ -1,0 +1,63 @@
+"""Unit tests for the Trajectory value type."""
+
+import pytest
+
+from repro.mdp import Trajectory
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory([])
+
+    def test_from_states(self):
+        u = Trajectory.from_states(["a", "b", "c"])
+        assert u.states() == ("a", "b", "c")
+        assert u.actions() == (None, None, None)
+
+    def test_length(self):
+        assert len(Trajectory.from_states(["a", "b"])) == 2
+
+
+class TestAccessors:
+    def test_state_and_action_at(self):
+        u = Trajectory([("s0", "go"), ("s1", None)])
+        assert u.state_at(0) == "s0"
+        assert u.action_at(0) == "go"
+        assert u.action_at(1) is None
+
+    def test_transitions(self):
+        u = Trajectory([("a", 1), ("b", 2), ("c", None)])
+        assert u.transitions() == [("a", 1, "b"), ("b", 2, "c")]
+
+    def test_visits(self):
+        u = Trajectory.from_states(["a", "b"])
+        assert u.visits("b")
+        assert not u.visits("z")
+
+    def test_prefix(self):
+        u = Trajectory.from_states(["a", "b", "c"])
+        assert u.prefix(2).states() == ("a", "b")
+        with pytest.raises(ValueError):
+            u.prefix(0)
+
+    def test_iteration(self):
+        u = Trajectory([("a", 1), ("b", None)])
+        assert list(u) == [("a", 1), ("b", None)]
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = Trajectory([("s", 1), ("t", None)])
+        b = Trajectory([("s", 1), ("t", None)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Trajectory([("s", 2), ("t", None)])
+
+    def test_usable_as_dict_key(self):
+        u = Trajectory.from_states(["a"])
+        assert {u: 1.0}[Trajectory.from_states(["a"])] == 1.0
+
+    def test_repr_contains_states(self):
+        u = Trajectory([("s0", 0), ("s1", None)])
+        assert "s0" in repr(u)

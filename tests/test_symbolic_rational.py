@@ -1,0 +1,154 @@
+"""Unit and property tests for rational functions."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.symbolic import Polynomial, RationalFunction
+
+from conftest import polynomials, small_fractions
+
+X = Polynomial.variable("x")
+Y = Polynomial.variable("y")
+RX = RationalFunction.variable("x")
+
+
+class TestConstruction:
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            RationalFunction(X, Polynomial.zero())
+
+    def test_zero_numerator_normalises(self):
+        f = RationalFunction(Polynomial.zero(), X + 1)
+        assert f.is_zero()
+        assert f.denominator == Polynomial.one()
+
+    def test_equal_num_den_is_one(self):
+        f = RationalFunction(X + 1, X + 1)
+        assert f == RationalFunction.one()
+
+    def test_cancellation(self):
+        f = RationalFunction(X * X - 1, X - 1)
+        assert f.numerator == X + 1
+        assert f.denominator == Polynomial.one()
+
+    def test_constant(self):
+        f = RationalFunction.constant(Fraction(2, 3))
+        assert f.is_constant()
+        assert f.constant_value() == Fraction(2, 3)
+
+    def test_denominator_sign_canonical(self):
+        f = RationalFunction(Polynomial.one(), -(X + 1))
+        _, lead = f.denominator.leading_term()
+        assert lead > 0
+
+
+class TestArithmetic:
+    def test_addition_common_denominator(self):
+        f = RX / (RX + 1) + 1 / (RX + 1)
+        assert f == RationalFunction.one()
+
+    def test_subtraction(self):
+        assert RX - RX == RationalFunction.zero()
+
+    def test_multiplication(self):
+        f = (RX / (RX + 1)) * ((RX + 1) / RX)
+        assert f == RationalFunction.one()
+
+    def test_division(self):
+        f = RX / RX
+        assert f == RationalFunction.one()
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            RX / RationalFunction.zero()
+
+    def test_negative_power(self):
+        f = RX ** (-2)
+        assert f.evaluate({"x": 2}) == Fraction(1, 4)
+
+    def test_scalar_mixing(self):
+        assert 1 - RX == RationalFunction(1 - X)
+        assert (2 * RX).evaluate({"x": 3}) == 6
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        f = RationalFunction(X + 1, X - 1)
+        assert f.evaluate({"x": 3}) == Fraction(2)
+
+    def test_pole_raises(self):
+        f = RationalFunction(Polynomial.one(), X)
+        with pytest.raises(ZeroDivisionError):
+            f.evaluate({"x": 0})
+
+    def test_substitute_partial(self):
+        f = RationalFunction(X + Y, X)
+        g = f.substitute({"y": 1})
+        assert g == RationalFunction(X + 1, X)
+
+    def test_to_callable(self):
+        f = RationalFunction(X, X + 1)
+        call = f.to_callable()
+        assert call({"x": 1.0}) == pytest.approx(0.5)
+
+    def test_derivative_quotient_rule(self):
+        # d/dx (1/x) = -1/x²
+        f = 1 / RX
+        derivative = f.derivative("x")
+        assert derivative.evaluate({"x": 2}) == Fraction(-1, 4)
+
+
+class TestEquality:
+    def test_cross_multiplication_equality(self):
+        f = RationalFunction(X * X - 1, X - 1)
+        g = RationalFunction(X + 1)
+        assert f == g
+        assert hash(f) == hash(g)
+
+    def test_constant_hash_matches_fraction_semantics(self):
+        assert hash(RationalFunction.constant(2)) == hash(
+            RationalFunction(Polynomial.constant(4), Polynomial.constant(2))
+        )
+
+
+class TestPropertyBased:
+    @given(polynomials(), polynomials(), polynomials(), polynomials())
+    @settings(max_examples=40, deadline=None)
+    def test_field_operations_consistent_with_evaluation(self, a, b, c, d):
+        if b.is_zero() or d.is_zero():
+            return
+        f = RationalFunction(a, b)
+        g = RationalFunction(c, d)
+        point = {"x": Fraction(3, 7), "y": Fraction(-2, 5), "z": Fraction(1, 9)}
+        try:
+            fv = f.evaluate(point)
+            gv = g.evaluate(point)
+            sum_value = (f + g).evaluate(point)
+            product_value = (f * g).evaluate(point)
+        except ZeroDivisionError:
+            return
+        assert sum_value == fv + gv
+        assert product_value == fv * gv
+
+    @given(polynomials(), polynomials())
+    @settings(max_examples=40, deadline=None)
+    def test_self_subtraction_is_zero(self, a, b):
+        if b.is_zero():
+            return
+        f = RationalFunction(a, b)
+        assert (f - f).is_zero()
+
+    @given(polynomials(), polynomials())
+    @settings(max_examples=40, deadline=None)
+    def test_normalisation_preserves_value(self, a, b):
+        if b.is_zero():
+            return
+        f = RationalFunction(a, b)
+        point = {"x": Fraction(1, 2), "y": Fraction(2, 3), "z": Fraction(5, 4)}
+        try:
+            expected = a.evaluate(point) / b.evaluate(point)
+        except ZeroDivisionError:
+            return
+        assert f.evaluate(point) == expected
