@@ -8,6 +8,8 @@ a 5×5 grid is beyond interactive use — the documented boundary where
 one switches to the statistical checker.
 """
 
+import time
+
 import pytest
 
 from conftest import report
@@ -66,6 +68,56 @@ def test_concrete_checking_scales_further(benchmark):
     )
 
 
+@pytest.mark.slow
+def test_sparse_vs_dense_speedup(benchmark, quick_bench):
+    """The vectorised CSR engine vs the dictionary reference on n×n WSN.
+
+    Both engines compute the same expected-attempts reward (checked to
+    1e-8 relative); the sparse engine must be at least 3× faster on the
+    largest grid the sweep runs.
+    """
+    sizes = (16, 32) if quick_bench else (8, 16, 24, 32)
+    repeats = 1 if quick_bench else 3
+
+    def timed(make_checker, chain, prop):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = make_checker(chain).check(prop)
+            best = min(best, time.perf_counter() - start)
+        return best, result.value
+
+    prop = attempts_property(1)
+    rows = {}
+    speedups = {}
+
+    def sweep():
+        for size in sizes:
+            chain = build_wsn_chain(size=size)
+            dense_time, dense_value = timed(
+                lambda c: DTMCModelChecker(c, engine="dense"), chain, prop
+            )
+            sparse_time, sparse_value = timed(
+                lambda c: DTMCModelChecker(c, engine="sparse"), chain, prop
+            )
+            assert sparse_value == pytest.approx(dense_value, rel=1e-8)
+            speedups[size] = dense_time / sparse_time
+            rows[f"{size}x{size}"] = (
+                f"dense {dense_time * 1e3:.1f} ms, "
+                f"sparse {sparse_time * 1e3:.1f} ms, "
+                f"{speedups[size]:.1f}x"
+            )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    largest = max(sizes)
+    assert speedups[largest] >= 3.0, (
+        f"sparse engine only {speedups[largest]:.1f}x faster on "
+        f"{largest}x{largest}"
+    )
+    report(benchmark, rows)
+
+
+@pytest.mark.slow
 def test_statistical_checker_at_scale(benchmark):
     """SMC estimates the 6×6 grid's attempt count within a few percent."""
     from repro.checking import StatisticalModelChecker

@@ -9,6 +9,24 @@ exports, and printed so a plain run shows the paper-vs-measured rows.
 
 from __future__ import annotations
 
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick-bench",
+        action="store_true",
+        default=False,
+        help="shrink benchmark sweeps (fewer sizes/repeats) for a fast "
+        "smoke pass; headline assertions still run",
+    )
+
+
+@pytest.fixture
+def quick_bench(request) -> bool:
+    """Whether the run asked for the reduced benchmark sweep."""
+    return request.config.getoption("--quick-bench")
+
 
 def report(benchmark, rows: dict) -> None:
     """Attach reproduced quantities to the benchmark and print them."""

@@ -58,8 +58,24 @@ DEFAULT_MAX_CORRECTION = 0.1
 
 
 def node_name(row: int, col: int) -> str:
-    """``n<row><col>`` with 1-based grid coordinates."""
+    """``n<row><col>`` with 1-based grid coordinates.
+
+    Multi-digit coordinates (grids larger than 9×9, used by the
+    scalability bench) get an underscore separator so names stay
+    unambiguous; the paper-scale names (``n11`` … ``n33``) are unchanged.
+    """
+    if row > 9 or col > 9:
+        return f"n{row}_{col}"
     return f"n{row}{col}"
+
+
+def _node_coords(node: str) -> Tuple[int, int]:
+    """Inverse of :func:`node_name`."""
+    body = node[1:]
+    if "_" in body:
+        row_text, col_text = body.split("_")
+        return int(row_text), int(col_text)
+    return int(body[0]), int(body[1])
 
 
 def grid_nodes(size: int = GRID_SIZE) -> List[str]:
@@ -73,7 +89,7 @@ def grid_nodes(size: int = GRID_SIZE) -> List[str]:
 
 def neighbours(node: str, size: int = GRID_SIZE) -> List[str]:
     """4-adjacent grid neighbours."""
-    row, col = int(node[1]), int(node[2])
+    row, col = _node_coords(node)
     adjacent = []
     for d_row, d_col in ((-1, 0), (1, 0), (0, -1), (0, 1)):
         r, c = row + d_row, col + d_col
@@ -84,7 +100,7 @@ def neighbours(node: str, size: int = GRID_SIZE) -> List[str]:
 
 def is_field_or_station(node: str, size: int = GRID_SIZE) -> bool:
     """Row 1 (station) and row ``size`` (field) nodes."""
-    row = int(node[1])
+    row, _ = _node_coords(node)
     return row == 1 or row == size
 
 

@@ -16,6 +16,13 @@ Three engines, mirroring what the paper gets from PRISM:
     the nonlinear optimiser.
 """
 
+from repro.checking.cache import (
+    CheckCache,
+    GLOBAL_CACHE,
+    cached_check,
+    get_cache,
+    parametric_fingerprint,
+)
 from repro.checking.graph import (
     backward_reachable,
     prob0_states,
@@ -24,6 +31,13 @@ from repro.checking.graph import (
     prob0E_states,
     prob1A_states,
     prob1E_states,
+)
+from repro.checking.matrix import (
+    DTMCMatrix,
+    MDPMatrix,
+    get_dtmc_matrix,
+    get_mdp_matrix,
+    model_fingerprint,
 )
 from repro.checking.dtmc import DTMCModelChecker
 from repro.checking.mdp import MDPModelChecker
@@ -53,6 +67,16 @@ from repro.checking.statistical import (
 __all__ = [
     "DTMCModelChecker",
     "MDPModelChecker",
+    "DTMCMatrix",
+    "MDPMatrix",
+    "get_dtmc_matrix",
+    "get_mdp_matrix",
+    "model_fingerprint",
+    "CheckCache",
+    "GLOBAL_CACHE",
+    "cached_check",
+    "get_cache",
+    "parametric_fingerprint",
     "ParametricDTMC",
     "ParametricConstraint",
     "parametric_constraint",

@@ -1,0 +1,183 @@
+"""Memoization layer for concrete and parametric model checking.
+
+Repair is an optimisation loop: ``ModelRepair``/``DataRepair`` re-check
+the *same* formula against the *same* model (or its parametric lift)
+many times — once per multi-start NLP solve, once per candidate
+verification.  The expensive pieces (parametric state elimination,
+linear solves) depend only on the model's content and the formula, so a
+content-addressed cache turns every repeat into a dictionary lookup.
+
+``CheckCache`` keys entries by
+
+* ``(model fingerprint, formula, engine)`` for concrete checking
+  results (:func:`repro.checking.matrix.model_fingerprint` — SHA-256 of
+  state order, transition bytes, rewards and labelling), and
+* ``("parametric", parametric fingerprint, formula, method)`` for the
+  closed-form :class:`~repro.checking.parametric.ParametricConstraint`
+  produced by state elimination / fraction-free Gauss.
+
+Mutating a model never invalidates a *wrong* entry: models are
+effectively immutable (updates go through ``with_transitions`` /
+``with_rewards``, which build new objects), and the fingerprint is
+recomputed from content, so a changed model simply maps to a fresh key.
+
+PCTL formula objects define structural ``__eq__``/``__hash__``, so they
+are used directly as key components.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from repro.checking.matrix import model_fingerprint
+from repro.checking.parametric import (
+    ParametricConstraint,
+    ParametricDTMC,
+    parametric_constraint,
+)
+from repro.logic.pctl import StateFormula
+
+Key = Tuple[Hashable, ...]
+
+
+class CheckCache:
+    """Content-addressed memo for checking results.
+
+    Examples
+    --------
+    >>> cache = CheckCache()
+    >>> cache.get_or_compute(("k",), lambda: 42)
+    42
+    >>> cache.get_or_compute(("k",), lambda: 0)  # hit, thunk not called
+    42
+    >>> cache.stats()
+    {'hits': 1, 'misses': 1, 'entries': 1}
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        self._store: Dict[Key, object] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def get_or_compute(self, key: Key, compute: Callable[[], object]) -> object:
+        """The cached value under ``key``, computing (and storing) on miss."""
+        if key in self._store:
+            self.hits += 1
+            return self._store[key]
+        self.misses += 1
+        value = compute()
+        if len(self._store) >= self.max_entries:
+            # Drop the oldest entry (dict preserves insertion order) so a
+            # long-running repair sweep cannot grow memory without bound.
+            self._store.pop(next(iter(self._store)))
+        self._store[key] = value
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters (used by the cache-reuse assertions)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._store),
+        }
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # ------------------------------------------------------------------
+    # Domain-specific helpers
+    # ------------------------------------------------------------------
+    def concrete_key(self, model, formula: StateFormula, engine: str) -> Key:
+        """Key for a concrete checking result."""
+        return (model_fingerprint(model), formula, engine)
+
+    def parametric_key(
+        self, model: ParametricDTMC, formula: StateFormula, method: str
+    ) -> Key:
+        """Key for a parametric state-elimination closed form."""
+        return ("parametric", parametric_fingerprint(model), formula, method)
+
+    def parametric_constraint(
+        self,
+        model: ParametricDTMC,
+        formula: StateFormula,
+        method: str = "gauss",
+    ) -> ParametricConstraint:
+        """Memoised :func:`repro.checking.parametric.parametric_constraint`.
+
+        Repeated calls with a content-identical model and the same
+        formula perform exactly one symbolic reduction; later calls are
+        cache hits (observable through :meth:`stats`).
+        """
+        key = self.parametric_key(model, formula, method)
+        return self.get_or_compute(
+            key, lambda: parametric_constraint(model, formula)
+        )
+
+
+def cached_check(
+    model,
+    formula: StateFormula,
+    engine: str = "sparse",
+    cache: Optional["CheckCache"] = None,
+):
+    """Memoised concrete model check (DTMC or MDP).
+
+    Same contract as ``DTMCModelChecker(model, engine).check(formula)``
+    (resp. ``MDPModelChecker``), but repeated checks of a
+    content-identical model return the stored
+    :class:`~repro.checking.result.ModelCheckingResult`.
+    """
+    from repro.checking.dtmc import DTMCModelChecker
+    from repro.checking.mdp import MDPModelChecker
+    from repro.mdp.model import DTMC
+
+    store = get_cache(cache)
+    key = store.concrete_key(model, formula, engine)
+    checker_class = DTMCModelChecker if isinstance(model, DTMC) else MDPModelChecker
+    return store.get_or_compute(
+        key, lambda: checker_class(model, engine).check(formula)
+    )
+
+
+def parametric_fingerprint(model: ParametricDTMC) -> str:
+    """Stable content fingerprint of a parametric chain.
+
+    Rational functions print deterministically (sorted monomials with
+    exact :class:`~fractions.Fraction` coefficients), so hashing the
+    textual transition matrix — plus state order, initial state, rewards
+    and labelling — identifies the model up to symbolic content.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(model.states).encode("utf-8"))
+    digest.update(repr(model.initial_state).encode("utf-8"))
+    for state in model.states:
+        row = model.transitions[state]
+        for target in row:
+            digest.update(f"{target!r}->{row[target]!s}".encode("utf-8"))
+            digest.update(b"\x01")
+        digest.update(str(model.state_rewards[state]).encode("utf-8"))
+        digest.update(repr(sorted(model.labels[state])).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+#: Process-wide default cache; repairs share it so a ``ModelRepair`` and a
+#: ``DataRepair`` over the same lifted model reuse one closed form.
+GLOBAL_CACHE = CheckCache()
+
+
+def get_cache(cache: Optional[CheckCache] = None) -> CheckCache:
+    """``cache`` if given, else the process-wide :data:`GLOBAL_CACHE`."""
+    return cache if cache is not None else GLOBAL_CACHE

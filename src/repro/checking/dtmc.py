@@ -5,6 +5,11 @@ structure.  Quantitative sub-results (until-probabilities, expected
 rewards) use the standard pipeline: qualitative prob0/prob1 graph
 precomputation, then an exact linear solve on the remaining states.
 
+Two numeric engines are available (``engine=`` on the constructor):
+``"sparse"`` (default) extracts the chain's CSR matrix once via
+:mod:`repro.checking.matrix` and solves with ``scipy.sparse``;
+``"dense"`` is the original dictionary/``np.linalg`` reference path.
+
 This replaces the concrete-model role PRISM plays in the paper.
 """
 
@@ -13,8 +18,11 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Hashable, Set
 
 import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import spsolve
 
-from repro.checking.graph import prob0_states, prob1_states
+from repro.checking.graph import _check_engine, prob0_states, prob1_states
+from repro.checking.matrix import get_dtmc_matrix
 from repro.checking.result import ModelCheckingResult
 from repro.logic.pctl import (
     And,
@@ -54,8 +62,10 @@ class DTMCModelChecker:
     True
     """
 
-    def __init__(self, chain: DTMC):
+    def __init__(self, chain: DTMC, engine: str = "sparse"):
+        _check_engine(engine)
         self.chain = chain
+        self.engine = engine
 
     # ------------------------------------------------------------------
     # Public API
@@ -160,6 +170,10 @@ class DTMCModelChecker:
 
     def _next_probabilities(self, path: Next) -> Dict[State, float]:
         sat = self.satisfaction_set(path.operand)
+        if self.engine == "sparse":
+            matrix = get_dtmc_matrix(self.chain)
+            vector = matrix.P @ matrix.mask(sat).astype(np.float64)
+            return matrix.values_dict(vector)
         return {
             s: sum(p for t, p in self.chain.transitions[s].items() if t in sat)
             for s in self.chain.states
@@ -168,8 +182,27 @@ class DTMCModelChecker:
     def _until_probabilities(self, path: Until) -> Dict[State, float]:
         left = self.satisfaction_set(path.left)
         right = self.satisfaction_set(path.right)
-        zero = prob0_states(self.chain, right, allowed=set(left) | set(right))
-        one = prob1_states(self.chain, right, allowed=set(left) | set(right))
+        allowed = set(left) | set(right)
+        zero = prob0_states(self.chain, right, allowed=allowed, engine=self.engine)
+        one = prob1_states(self.chain, right, allowed=allowed, engine=self.engine)
+        if self.engine == "sparse":
+            matrix = get_dtmc_matrix(self.chain)
+            one_mask = matrix.mask(one)
+            unknown = ~(one_mask | matrix.mask(zero))
+            values = one_mask.astype(np.float64)
+            if unknown.any():
+                rows = np.flatnonzero(unknown)
+                restricted = matrix.P[rows]
+                system = (
+                    sparse.identity(len(rows), format="csc")
+                    - restricted[:, rows].tocsc()
+                )
+                rhs = np.asarray(
+                    restricted[:, np.flatnonzero(one_mask)].sum(axis=1)
+                ).ravel()
+                solution = np.atleast_1d(spsolve(system, rhs))
+                values[rows] = np.clip(solution, 0.0, 1.0)
+            return matrix.values_dict(values)
         values: Dict[State, float] = {}
         unknown = []
         for state in self.chain.states:
@@ -200,6 +233,17 @@ class DTMCModelChecker:
         left = self.satisfaction_set(path.left)
         right = self.satisfaction_set(path.right)
         # x_s^0 = [s ∈ right];  x_s^{k+1} = [s∈right] + [s∈left\right]·Σ P x^k
+        if self.engine == "sparse":
+            matrix = get_dtmc_matrix(self.chain)
+            right_mask = matrix.mask(right)
+            propagate = matrix.mask(left) & ~right_mask
+            values = right_mask.astype(np.float64)
+            for _ in range(path.step_bound):
+                stepped = matrix.P @ values
+                values = np.where(
+                    right_mask, 1.0, np.where(propagate, stepped, 0.0)
+                )
+            return matrix.values_dict(values)
         values = {s: (1.0 if s in right else 0.0) for s in self.chain.states}
         for _ in range(path.step_bound):
             updated: Dict[State, float] = {}
@@ -219,10 +263,32 @@ class DTMCModelChecker:
     def expected_rewards(self, formula: RewardOperator) -> Dict[State, float]:
         """``R[F φ]``: expected cumulative reward until reaching ``φ``."""
         targets: Set[State] = set(self.satisfaction_set(formula.path.right))
+        if self.engine == "sparse":
+            matrix = get_dtmc_matrix(self.chain)
+            certain = prob1_states(self.chain, targets, engine=self.engine)
+            target_mask = matrix.mask(targets)
+            certain_mask = matrix.mask(certain)
+            values = np.where(target_mask | certain_mask, 0.0, np.inf)
+            unknown = certain_mask & ~target_mask
+            if unknown.any():
+                rows = np.flatnonzero(unknown)
+                system = (
+                    sparse.identity(len(rows), format="csc")
+                    - matrix.P[rows][:, rows].tocsc()
+                )
+                solution = np.atleast_1d(spsolve(system, matrix.rewards[rows]))
+                values[rows] = solution
+            return matrix.values_dict(values)
         return expected_total_reward(self.chain, targets)
 
     def cumulative_rewards(self, steps: int) -> Dict[State, float]:
         """``R[C<=k]``: expected reward accumulated over ``k`` steps."""
+        if self.engine == "sparse":
+            matrix = get_dtmc_matrix(self.chain)
+            values = np.zeros(matrix.num_states)
+            for _ in range(steps):
+                values = matrix.rewards + matrix.P @ values
+            return matrix.values_dict(values)
         values = {s: 0.0 for s in self.chain.states}
         for _ in range(steps):
             values = {
@@ -240,4 +306,6 @@ class DTMCModelChecker:
         from repro.checking.steady_state import steady_state_probabilities
 
         satisfying = set(self.satisfaction_set(operand))
-        return steady_state_probabilities(self.chain, satisfying)
+        return steady_state_probabilities(
+            self.chain, satisfying, engine=self.engine
+        )

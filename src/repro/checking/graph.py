@@ -6,6 +6,17 @@ until-probability is exactly 0 or exactly 1 purely from the transition
 graph.  This both shrinks the linear systems and makes the numeric part
 well-conditioned.
 
+Every function takes an ``engine`` argument:
+
+``"sparse"`` (default)
+    Vectorised fixpoints over the CSR matrices of
+    :mod:`repro.checking.matrix` — one sparse mat-vec per frontier
+    level instead of a Python dict walk per state.
+``"dense"``
+    The original dictionary-based reference implementation, kept for
+    differential testing and for models too small to amortise matrix
+    extraction.
+
 For MDPs the qualitative sets come in existential/universal flavours:
 
 ========  =========================================
@@ -22,9 +33,20 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
+import numpy as np
+from scipy.sparse import csgraph
+
+from repro.checking.matrix import get_dtmc_matrix, get_mdp_matrix, reach_backward
 from repro.mdp.model import DTMC, MDP
 
 State = Hashable
+
+_ENGINES = ("sparse", "dense")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
 
 
 def _predecessor_map(chain: DTMC) -> Dict[State, List[State]]:
@@ -39,12 +61,19 @@ def backward_reachable(
     chain: DTMC,
     targets: Iterable[State],
     through: Optional[Set[State]] = None,
+    engine: str = "sparse",
 ) -> FrozenSet[State]:
     """States with a path to ``targets`` whose interior stays in ``through``.
 
     ``through`` defaults to all states.  Target states themselves are
     always included.
     """
+    _check_engine(engine)
+    if engine == "sparse":
+        matrix = get_dtmc_matrix(chain)
+        target_mask = matrix.mask(targets)
+        allowed = None if through is None else matrix.mask(through)
+        return matrix.unmask(reach_backward(matrix.P, target_mask, allowed))
     allowed = set(chain.states) if through is None else set(through)
     preds = _predecessor_map(chain)
     reached = set(targets)
@@ -62,13 +91,21 @@ def prob0_states(
     chain: DTMC,
     targets: Iterable[State],
     allowed: Optional[Set[State]] = None,
+    engine: str = "sparse",
 ) -> FrozenSet[State]:
     """States with ``Pr(allowed U targets) = 0``.
 
     With ``allowed=None`` this is plain reachability ``Pr(F targets)=0``.
     """
+    _check_engine(engine)
+    if engine == "sparse":
+        matrix = get_dtmc_matrix(chain)
+        target_mask = matrix.mask(targets)
+        allowed_mask = None if allowed is None else matrix.mask(allowed)
+        can_reach = reach_backward(matrix.P, target_mask, allowed_mask)
+        return matrix.unmask(~can_reach)
     targets = set(targets)
-    can_reach = backward_reachable(chain, targets, through=allowed)
+    can_reach = backward_reachable(chain, targets, through=allowed, engine=engine)
     return frozenset(set(chain.states) - can_reach)
 
 
@@ -76,6 +113,7 @@ def prob1_states(
     chain: DTMC,
     targets: Iterable[State],
     allowed: Optional[Set[State]] = None,
+    engine: str = "sparse",
 ) -> FrozenSet[State]:
     """States with ``Pr(allowed U targets) = 1``.
 
@@ -83,23 +121,69 @@ def prob1_states(
     (staying in ``allowed`` and avoiding ``targets``) a state whose
     until-probability is 0.
     """
+    _check_engine(engine)
+    if engine == "sparse":
+        matrix = get_dtmc_matrix(chain)
+        target_mask = matrix.mask(targets)
+        allowed_mask = (
+            np.ones(matrix.num_states, dtype=bool)
+            if allowed is None
+            else matrix.mask(allowed)
+        )
+        zero = ~reach_backward(
+            matrix.P, target_mask, None if allowed is None else allowed_mask
+        )
+        interior = allowed_mask & ~target_mask
+        can_fail = reach_backward(matrix.P, zero, interior)
+        return matrix.unmask(~can_fail)
     targets = set(targets)
-    zero = prob0_states(chain, targets, allowed)
+    zero = prob0_states(chain, targets, allowed, engine=engine)
     interior = (set(chain.states) if allowed is None else set(allowed)) - targets
     # Backward closure of the zero set through interior states.
-    can_fail = backward_reachable(chain, zero, through=interior)
+    can_fail = backward_reachable(chain, zero, through=interior, engine=engine)
     return frozenset(set(chain.states) - can_fail)
 
 
 # ----------------------------------------------------------------------
 # MDP qualitative sets
 # ----------------------------------------------------------------------
+def _mdp_interior_mask(matrix, targets, allowed) -> Tuple[np.ndarray, np.ndarray]:
+    target_mask = matrix.mask(targets)
+    allowed_mask = (
+        np.ones(matrix.num_states, dtype=bool)
+        if allowed is None
+        else matrix.mask(allowed)
+    )
+    return target_mask, allowed_mask & ~target_mask
+
+
+def _grow(seed: np.ndarray, step) -> np.ndarray:
+    """Least fixpoint of ``seed ∪ step(current)``."""
+    current = seed.copy()
+    while True:
+        grown = current | step(current)
+        if np.array_equal(grown, current):
+            return current
+        current = grown
+
+
 def prob0A_states(
     mdp: MDP,
     targets: Iterable[State],
     allowed: Optional[Set[State]] = None,
+    engine: str = "sparse",
 ) -> FrozenSet[State]:
     """States where no scheduler reaches ``targets`` (Pmax = 0)."""
+    _check_engine(engine)
+    if engine == "sparse":
+        matrix = get_mdp_matrix(mdp)
+        target_mask, interior = _mdp_interior_mask(matrix, targets, allowed)
+        reached = _grow(
+            target_mask,
+            lambda cur: matrix.any_choice((matrix.P @ cur.astype(np.float64)) > 0)
+            & interior,
+        )
+        return matrix.unmask(~reached)
     targets = set(targets)
     interior = (set(mdp.states) if allowed is None else set(allowed)) - targets
     reached: Set[State] = set(targets)
@@ -121,6 +205,7 @@ def prob0E_states(
     mdp: MDP,
     targets: Iterable[State],
     allowed: Optional[Set[State]] = None,
+    engine: str = "sparse",
 ) -> FrozenSet[State]:
     """States where some scheduler avoids ``targets`` forever (Pmin = 0).
 
@@ -128,6 +213,16 @@ def prob0E_states(
     (under every action) to hit the growing set with positive
     probability.
     """
+    _check_engine(engine)
+    if engine == "sparse":
+        matrix = get_mdp_matrix(mdp)
+        target_mask, interior = _mdp_interior_mask(matrix, targets, allowed)
+        positive = _grow(
+            target_mask,
+            lambda cur: matrix.all_choices((matrix.P @ cur.astype(np.float64)) > 0)
+            & interior,
+        )
+        return matrix.unmask(~positive)
     targets = set(targets)
     interior = (set(mdp.states) if allowed is None else set(allowed)) - targets
     positive: Set[State] = set(targets)
@@ -150,6 +245,7 @@ def prob1E_states(
     mdp: MDP,
     targets: Iterable[State],
     allowed: Optional[Set[State]] = None,
+    engine: str = "sparse",
 ) -> FrozenSet[State]:
     """States where some scheduler reaches ``targets`` surely (Pmax = 1).
 
@@ -158,6 +254,24 @@ def prob1E_states(
     action that stays inside ``X`` and makes progress toward the current
     inner set.
     """
+    _check_engine(engine)
+    if engine == "sparse":
+        matrix = get_mdp_matrix(mdp)
+        target_mask, interior = _mdp_interior_mask(matrix, targets, allowed)
+        x = np.ones(matrix.num_states, dtype=bool)
+        while True:
+            # Choices all of whose successors stay inside X (X-invariant).
+            stays = ~((matrix.P @ (~x).astype(np.float64)) > 0)
+            y = _grow(
+                target_mask,
+                lambda cur: matrix.any_choice(
+                    stays & ((matrix.P @ cur.astype(np.float64)) > 0)
+                )
+                & interior,
+            )
+            if np.array_equal(y, x):
+                return matrix.unmask(x)
+            x = y
     targets = set(targets)
     interior = (set(mdp.states) if allowed is None else set(allowed)) - targets
     x: Set[State] = set(mdp.states)
@@ -186,6 +300,7 @@ def prob1A_states(
     mdp: MDP,
     targets: Iterable[State],
     allowed: Optional[Set[State]] = None,
+    engine: str = "sparse",
 ) -> FrozenSet[State]:
     """States where every scheduler reaches ``targets`` surely (Pmin = 1).
 
@@ -193,9 +308,20 @@ def prob1A_states(
     probability and avoiding the targets, a state from which some
     scheduler avoids the targets forever (a ``prob0E`` state).
     """
+    _check_engine(engine)
+    if engine == "sparse":
+        matrix = get_mdp_matrix(mdp)
+        _, interior = _mdp_interior_mask(matrix, targets, allowed)
+        escape = matrix.mask(prob0E_states(mdp, targets, allowed, engine=engine))
+        can_escape = _grow(
+            escape,
+            lambda cur: matrix.any_choice((matrix.P @ cur.astype(np.float64)) > 0)
+            & interior,
+        )
+        return matrix.unmask(~can_escape)
     targets = set(targets)
     interior = (set(mdp.states) if allowed is None else set(allowed)) - targets
-    escape = set(prob0E_states(mdp, targets, allowed))
+    escape = set(prob0E_states(mdp, targets, allowed, engine=engine))
     # Existential backward closure of the escape set through interior states.
     can_escape: Set[State] = set(escape)
     changed = True
@@ -215,13 +341,21 @@ def prob1A_states(
 # ----------------------------------------------------------------------
 # Strongly connected components
 # ----------------------------------------------------------------------
-def strongly_connected_components(chain: DTMC) -> List[FrozenSet[State]]:
-    """Tarjan's SCC decomposition of a chain's transition graph.
+def strongly_connected_components(
+    chain: DTMC, engine: str = "sparse"
+) -> List[FrozenSet[State]]:
+    """SCC decomposition of a chain's transition graph.
 
     Returned in reverse topological order (every edge leaving an SCC
     points to an earlier-listed SCC), which is what the steady-state
-    machinery wants.  Iterative implementation — no recursion limits.
+    machinery wants.  The sparse engine uses
+    ``scipy.sparse.csgraph.connected_components`` plus a Kahn sort of
+    the condensation; the dense engine is an iterative Tarjan — no
+    recursion limits in either case.
     """
+    _check_engine(engine)
+    if engine == "sparse":
+        return _sparse_sccs(chain)
     index_counter = 0
     indices: Dict[State, int] = {}
     lowlinks: Dict[State, int] = {}
@@ -271,14 +405,49 @@ def strongly_connected_components(chain: DTMC) -> List[FrozenSet[State]]:
     return components
 
 
-def bottom_strongly_connected_components(chain: DTMC) -> List[FrozenSet[State]]:
+def _sparse_sccs(chain: DTMC) -> List[FrozenSet[State]]:
+    matrix = get_dtmc_matrix(chain)
+    num_components, labels = csgraph.connected_components(
+        matrix.P, directed=True, connection="strong"
+    )
+    members: List[List[State]] = [[] for _ in range(num_components)]
+    for i, label in enumerate(labels):
+        members[label].append(matrix.states[i])
+    # Kahn topological sort of the condensation, then reversed, restores
+    # the reverse-topological contract (csgraph's label order does not
+    # guarantee it).
+    coo = matrix.P.tocoo()
+    source_labels = labels[coo.row]
+    target_labels = labels[coo.col]
+    cross = source_labels != target_labels
+    edges = set(zip(source_labels[cross].tolist(), target_labels[cross].tolist()))
+    successors: List[List[int]] = [[] for _ in range(num_components)]
+    in_degree = [0] * num_components
+    for source, target in sorted(edges):
+        successors[source].append(target)
+        in_degree[target] += 1
+    queue = [c for c in range(num_components) if in_degree[c] == 0]
+    topological: List[int] = []
+    while queue:
+        component = queue.pop()
+        topological.append(component)
+        for target in successors[component]:
+            in_degree[target] -= 1
+            if in_degree[target] == 0:
+                queue.append(target)
+    return [frozenset(members[c]) for c in reversed(topological)]
+
+
+def bottom_strongly_connected_components(
+    chain: DTMC, engine: str = "sparse"
+) -> List[FrozenSet[State]]:
     """The chain's bottom SCCs (no edge leaves them).
 
     A finite chain's long-run behaviour is entirely determined by which
     BSCC it is absorbed into and the stationary distribution within it.
     """
     bottoms = []
-    for component in strongly_connected_components(chain):
+    for component in strongly_connected_components(chain, engine=engine):
         closed = all(
             target in component
             for state in component

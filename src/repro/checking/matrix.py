@@ -1,0 +1,283 @@
+"""Sparse numeric backend for the checking stack.
+
+Every checker in :mod:`repro.checking` historically walked the models'
+``{source: {target: prob}}`` dictionaries state-by-state — the hot path
+that dominates repair and verification cost at scale.  This module
+extracts, **once per model**, a compressed-sparse-row (CSR) view:
+
+``DTMCMatrix``
+    state-index mapping, the row-stochastic transition matrix ``P`` as
+    ``scipy.sparse.csr_matrix``, the reward vector, and the transposed
+    structure used by the reverse-reachability fixpoints.
+``MDPMatrix``
+    the stacked choice matrix (one CSR row per enabled ``(state,
+    action)`` pair), the per-state row-group offsets that let value
+    iteration reduce over actions with ``np.maximum.reduceat``, and the
+    per-choice reward vector.
+
+Extraction is memoised on the model object itself (models are
+effectively immutable), and every matrix carries a *fingerprint* —
+a SHA-256 digest of the state order and the raw CSR transition bytes
+(plus rewards and labelling, which quantitative results also depend on).
+The fingerprint is the cache key used by
+:class:`repro.checking.cache.CheckCache` to decide when two checks may
+share a result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.mdp.model import DTMC, MDP
+
+State = Hashable
+Action = Hashable
+
+#: Attribute used to memoise the extracted matrix on the model object.
+_CACHE_ATTRIBUTE = "_sparse_matrix_cache"
+
+
+class DTMCMatrix:
+    """CSR view of a :class:`~repro.mdp.model.DTMC`.
+
+    Attributes
+    ----------
+    states:
+        The chain's states in model order (index ``i`` ↔ ``states[i]``).
+    index:
+        ``{state: row index}``.
+    P:
+        ``num_states × num_states`` row-stochastic CSR matrix.
+    rewards:
+        State rewards as a dense vector in state order.
+    fingerprint:
+        SHA-256 hex digest of (state order, transition bytes, reward
+        bytes, labelling) — the :class:`CheckCache` invalidation key.
+    """
+
+    def __init__(self, chain: DTMC):
+        self.states: List[State] = list(chain.states)
+        self.index: Dict[State, int] = dict(chain.index)
+        n = len(self.states)
+        data: List[float] = []
+        indices: List[int] = []
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for i, state in enumerate(self.states):
+            row = chain.transitions[state]
+            for target, probability in row.items():
+                indices.append(self.index[target])
+                data.append(probability)
+            indptr[i + 1] = len(indices)
+        self.P = sparse.csr_matrix(
+            (
+                np.asarray(data, dtype=np.float64),
+                np.asarray(indices, dtype=np.int64),
+                indptr,
+            ),
+            shape=(n, n),
+        )
+        self.rewards = np.asarray(
+            [chain.state_rewards[s] for s in self.states], dtype=np.float64
+        )
+        self.fingerprint = _digest(
+            self.states,
+            self.P,
+            self.rewards,
+            [sorted(chain.labels[s]) for s in self.states],
+        )
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def mask(self, states) -> np.ndarray:
+        """Boolean indicator vector of a state collection."""
+        mask = np.zeros(self.num_states, dtype=bool)
+        for state in states:
+            mask[self.index[state]] = True
+        return mask
+
+    def unmask(self, mask: np.ndarray) -> frozenset:
+        """The state set selected by a boolean indicator vector."""
+        return frozenset(self.states[i] for i in np.flatnonzero(mask))
+
+    def values_dict(self, vector: np.ndarray) -> Dict[State, float]:
+        """A per-state dictionary view of a dense value vector."""
+        return {s: float(vector[i]) for i, s in enumerate(self.states)}
+
+
+class MDPMatrix:
+    """Stacked-choice CSR view of an :class:`~repro.mdp.model.MDP`.
+
+    The matrix has one row per enabled ``(state, action)`` pair
+    ("choice"), in state order with the model's action enumeration order
+    within each state.  ``row_groups`` holds the choice-offset of every
+    state (length ``num_states + 1``), so per-state min/max over actions
+    is ``np.minimum.reduceat(choice_values, row_groups[:-1])``.
+    """
+
+    def __init__(self, mdp: MDP):
+        self.states: List[State] = list(mdp.states)
+        self.index: Dict[State, int] = dict(mdp.index)
+        n = len(self.states)
+        data: List[float] = []
+        indices: List[int] = []
+        indptr: List[int] = [0]
+        row_groups = np.zeros(n + 1, dtype=np.int64)
+        choice_actions: List[Action] = []
+        choice_rewards: List[float] = []
+        for i, state in enumerate(self.states):
+            for action, row in mdp.transitions[state].items():
+                for target, probability in row.items():
+                    indices.append(self.index[target])
+                    data.append(probability)
+                indptr.append(len(indices))
+                choice_actions.append(action)
+                choice_rewards.append(mdp.reward(state, action))
+            row_groups[i + 1] = len(choice_actions)
+        self.P = sparse.csr_matrix(
+            (
+                np.asarray(data, dtype=np.float64),
+                np.asarray(indices, dtype=np.int64),
+                np.asarray(indptr, dtype=np.int64),
+            ),
+            shape=(len(choice_actions), n),
+        )
+        self.row_groups = row_groups
+        self.choice_actions = choice_actions
+        self.choice_rewards = np.asarray(choice_rewards, dtype=np.float64)
+        self.state_rewards = np.asarray(
+            [mdp.state_rewards[s] for s in self.states], dtype=np.float64
+        )
+        self.fingerprint = _digest(
+            self.states,
+            self.P,
+            self.choice_rewards,
+            [sorted(mdp.labels[s]) for s in self.states],
+            [repr(a) for a in choice_actions],
+            row_groups.tobytes(),
+        )
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def num_choices(self) -> int:
+        return self.P.shape[0]
+
+    def mask(self, states) -> np.ndarray:
+        """Boolean indicator vector of a state collection."""
+        mask = np.zeros(self.num_states, dtype=bool)
+        for state in states:
+            mask[self.index[state]] = True
+        return mask
+
+    def unmask(self, mask: np.ndarray) -> frozenset:
+        """The state set selected by a boolean indicator vector."""
+        return frozenset(self.states[i] for i in np.flatnonzero(mask))
+
+    def values_dict(self, vector: np.ndarray) -> Dict[State, float]:
+        """A per-state dictionary view of a dense value vector."""
+        return {s: float(vector[i]) for i, s in enumerate(self.states)}
+
+    def any_choice(self, choice_mask: np.ndarray) -> np.ndarray:
+        """Per-state OR over a boolean per-choice vector."""
+        return np.logical_or.reduceat(choice_mask, self.row_groups[:-1])
+
+    def all_choices(self, choice_mask: np.ndarray) -> np.ndarray:
+        """Per-state AND over a boolean per-choice vector."""
+        return np.logical_and.reduceat(choice_mask, self.row_groups[:-1])
+
+    def max_choice(self, choice_values: np.ndarray) -> np.ndarray:
+        """Per-state max over a per-choice value vector."""
+        return np.maximum.reduceat(choice_values, self.row_groups[:-1])
+
+    def min_choice(self, choice_values: np.ndarray) -> np.ndarray:
+        """Per-state min over a per-choice value vector."""
+        return np.minimum.reduceat(choice_values, self.row_groups[:-1])
+
+
+# ----------------------------------------------------------------------
+# Extraction (memoised on the model object)
+# ----------------------------------------------------------------------
+def get_dtmc_matrix(chain: DTMC) -> DTMCMatrix:
+    """The chain's CSR view, built once and cached on the instance."""
+    cached = getattr(chain, _CACHE_ATTRIBUTE, None)
+    if cached is None:
+        cached = DTMCMatrix(chain)
+        setattr(chain, _CACHE_ATTRIBUTE, cached)
+    return cached
+
+
+def get_mdp_matrix(mdp: MDP) -> MDPMatrix:
+    """The MDP's stacked-choice CSR view, built once per instance."""
+    cached = getattr(mdp, _CACHE_ATTRIBUTE, None)
+    if cached is None:
+        cached = MDPMatrix(mdp)
+        setattr(mdp, _CACHE_ATTRIBUTE, cached)
+    return cached
+
+
+def model_fingerprint(model) -> str:
+    """Stable content fingerprint of a DTMC or MDP.
+
+    Two models share a fingerprint exactly when they have the same state
+    order, transition structure/probabilities, rewards and labelling —
+    the inputs every checker result depends on.
+    """
+    if isinstance(model, DTMC):
+        return get_dtmc_matrix(model).fingerprint
+    if isinstance(model, MDP):
+        return get_mdp_matrix(model).fingerprint
+    raise TypeError(f"cannot fingerprint {type(model).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Vectorised reachability fixpoints (shared by graph.py)
+# ----------------------------------------------------------------------
+def reach_backward(
+    P: sparse.csr_matrix,
+    targets: np.ndarray,
+    allowed: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Backward closure of ``targets`` through ``allowed`` states.
+
+    Every stored probability is positive, so ``P @ reached > 0`` marks
+    exactly the states with a one-step successor already in the reached
+    set; intersecting with ``allowed`` and iterating to a fixpoint gives
+    the same result as the dense engine's dictionary BFS, one sparse
+    mat-vec per frontier level.
+    """
+    reached = targets.copy()
+    while True:
+        reachable = (P @ reached.astype(np.float64)) > 0
+        if allowed is not None:
+            reachable &= allowed
+        grown = reached | reachable
+        grown |= targets
+        if np.array_equal(grown, reached):
+            return reached
+        reached = grown
+
+
+def _digest(*parts) -> str:
+    """SHA-256 over a heterogeneous list of fingerprint components."""
+    digest = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, sparse.csr_matrix):
+            digest.update(part.indptr.tobytes())
+            digest.update(part.indices.tobytes())
+            digest.update(part.data.tobytes())
+        elif isinstance(part, np.ndarray):
+            digest.update(part.tobytes())
+        elif isinstance(part, bytes):
+            digest.update(part)
+        else:
+            digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()

@@ -53,6 +53,17 @@ from repro.symbolic import Polynomial, RationalFunction, bareiss_determinant
 State = Hashable
 Coefficient = Union[int, float, RationalFunction, Polynomial]
 
+#: Count of symbolic reductions actually performed (state elimination or
+#: fraction-free Gauss).  :class:`repro.checking.cache.CheckCache` reuse
+#: is asserted against this counter: repeated repairs of an unchanged
+#: (model, formula) pair must increment it exactly once.
+_ANALYSIS_COUNTER = {"count": 0}
+
+
+def analysis_count() -> int:
+    """How many symbolic reductions have run in this process."""
+    return _ANALYSIS_COUNTER["count"]
+
 
 def _as_rational(value: Coefficient) -> RationalFunction:
     if isinstance(value, RationalFunction):
@@ -244,6 +255,7 @@ class ParametricDTMC:
         matrix = self._restricted_matrix(targets, allowed)
         if matrix is None:
             return RationalFunction.zero()
+        _ANALYSIS_COUNTER["count"] += 1
         if method == "gauss":
             rhs = {}
             for state, row in matrix.items():
@@ -267,7 +279,13 @@ class ParametricDTMC:
             if target in row:
                 numerator = numerator + row[target]
         self_loop = row.get(self.initial_state, RationalFunction.zero())
-        return numerator / (RationalFunction.one() - self_loop)
+        denominator = RationalFunction.one() - self_loop
+        if denominator.is_zero():
+            # The initial state's residual self-loop is structurally 1:
+            # it is an absorbing non-target state, so no mass ever
+            # reaches the targets (sub-stochastic semantics).
+            return RationalFunction.zero()
+        return numerator / denominator
 
     def bounded_reachability_probability(
         self,
@@ -335,6 +353,7 @@ class ParametricDTMC:
         matrix = self._restricted_matrix(targets, allowed=None)
         if matrix is None or self.initial_state not in matrix:
             raise ValueError("initial state cannot reach the target")
+        _ANALYSIS_COUNTER["count"] += 1
         if method == "gauss":
             rhs = {
                 state: self.state_rewards[state]
@@ -351,7 +370,15 @@ class ParametricDTMC:
         self_loop = matrix[self.initial_state].get(
             self.initial_state, RationalFunction.zero()
         )
-        return rewards[self.initial_state] / (RationalFunction.one() - self_loop)
+        denominator = RationalFunction.one() - self_loop
+        if denominator.is_zero():
+            # Absorbing non-target initial state: the target is never
+            # reached, so the cumulative reward diverges.
+            raise ValueError(
+                "expected reward is infinite: the initial state's residual "
+                "self-loop is structurally 1 (absorbing non-target state)"
+            )
+        return rewards[self.initial_state] / denominator
 
     def _cramer_solve(
         self,
@@ -502,7 +529,22 @@ class ParametricDTMC:
                 continue
             row = matrix[state]
             self_loop = row.get(state, RationalFunction.zero())
-            factor = one / (one - self_loop)
+            denominator = one - self_loop
+            if denominator.is_zero():
+                # Structurally-absorbing state (p(s,s) == 1, e.g. a trap
+                # introduced by a repair candidate): no mass ever leaves
+                # it, so under sub-stochastic semantics every incoming
+                # transition is simply dropped instead of redistributed.
+                for pred in list(predecessors[state]):
+                    if pred == state or pred not in matrix:
+                        continue
+                    matrix[pred].pop(state, None)
+                for target in row:
+                    predecessors[target].discard(state)
+                del matrix[state]
+                del predecessors[state]
+                continue
+            factor = one / denominator
             out_edges = {t: f for t, f in row.items() if t != state}
             reward_here = rewards[state]
             for pred in list(predecessors[state]):

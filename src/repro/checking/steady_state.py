@@ -11,6 +11,11 @@ stationary distribution.  This module provides
 
 which back the PCTL steady-state operator ``S ⋈ b [φ]`` in
 :class:`~repro.checking.DTMCModelChecker`.
+
+The ``engine`` arguments mirror :mod:`repro.checking.graph`: the
+``"sparse"`` default detects BSCCs via ``scipy.sparse.csgraph`` and
+factorises the transient system once (``splu``) for all absorption
+targets; ``"dense"`` is the original per-component ``np.linalg`` path.
 """
 
 from __future__ import annotations
@@ -18,30 +23,42 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Hashable, List, Set
 
 import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import splu
 
-from repro.checking.graph import bottom_strongly_connected_components
+from repro.checking.graph import _check_engine, bottom_strongly_connected_components
+from repro.checking.matrix import get_dtmc_matrix
 from repro.mdp.model import DTMC
 
 State = Hashable
 
 
 def stationary_distribution(
-    chain: DTMC, component: FrozenSet[State]
+    chain: DTMC, component: FrozenSet[State], engine: str = "sparse"
 ) -> Dict[State, float]:
     """The stationary distribution of one bottom SCC.
 
     Solves ``π P = π, Σπ = 1`` restricted to the component (which is
-    closed and irreducible by construction).
+    closed and irreducible by construction).  Components are typically
+    tiny compared to the chain, so both engines solve the restricted
+    system densely; the sparse engine merely slices it out of the cached
+    CSR matrix instead of re-walking the transition dictionaries.
     """
+    _check_engine(engine)
     members = sorted(component, key=str)
     index = {s: i for i, s in enumerate(members)}
     n = len(members)
     if n == 1:
         return {members[0]: 1.0}
-    matrix = np.zeros((n, n))
-    for state in members:
-        for target, probability in chain.transitions[state].items():
-            matrix[index[state], index[target]] = probability
+    if engine == "sparse":
+        csr = get_dtmc_matrix(chain)
+        rows = np.asarray([csr.index[s] for s in members])
+        matrix = csr.P[rows][:, rows].toarray()
+    else:
+        matrix = np.zeros((n, n))
+        for state in members:
+            for target, probability in chain.transitions[state].items():
+                matrix[index[state], index[target]] = probability
     # (P^T − I) π = 0 with one row replaced by normalisation.
     system = np.vstack([(matrix.T - np.eye(n))[:-1], np.ones(n)])
     rhs = np.zeros(n)
@@ -53,16 +70,46 @@ def stationary_distribution(
 
 
 def absorption_probabilities(
-    chain: DTMC, components: List[FrozenSet[State]]
+    chain: DTMC, components: List[FrozenSet[State]], engine: str = "sparse"
 ) -> Dict[State, List[float]]:
     """``Pr_s(absorbed into components[k])`` for every state ``s``.
 
     Standard absorbing-chain solve: transient states form a linear
-    system per target component.
+    system.  The sparse engine LU-factorises it once and back-solves per
+    target component; the dense engine re-solves per component.
     """
+    _check_engine(engine)
     union: Set[State] = set()
     for component in components:
         union |= component
+    if engine == "sparse":
+        csr = get_dtmc_matrix(chain)
+        union_mask = csr.mask(union)
+        transient_rows = np.flatnonzero(~union_mask)
+        result: Dict[State, List[float]] = {
+            s: [0.0] * len(components) for s in chain.states
+        }
+        factorised = None
+        if transient_rows.size:
+            restricted = csr.P[transient_rows]
+            system = (
+                sparse.identity(transient_rows.size, format="csc")
+                - restricted[:, transient_rows].tocsc()
+            )
+            factorised = splu(system)
+        for k, component in enumerate(components):
+            for state in component:
+                result[state][k] = 1.0
+            if factorised is None:
+                continue
+            component_rows = np.flatnonzero(csr.mask(component))
+            rhs = np.asarray(
+                restricted[:, component_rows].sum(axis=1)
+            ).ravel()
+            solution = np.clip(factorised.solve(rhs), 0.0, 1.0)
+            for i, row in enumerate(transient_rows):
+                result[csr.states[row]][k] = float(solution[i])
+        return result
     transient = [s for s in chain.states if s not in union]
     t_index = {s: i for i, s in enumerate(transient)}
     n = len(transient)
@@ -71,7 +118,7 @@ def absorption_probabilities(
         for target, probability in chain.transitions[state].items():
             if target in t_index:
                 matrix[t_index[state], t_index[target]] -= probability
-    result: Dict[State, List[float]] = {s: [0.0] * len(components) for s in chain.states}
+    result = {s: [0.0] * len(components) for s in chain.states}
     for k, component in enumerate(components):
         for state in component:
             result[state][k] = 1.0
@@ -88,15 +135,19 @@ def absorption_probabilities(
     return result
 
 
-def long_run_distribution(chain: DTMC) -> Dict[State, Dict[State, float]]:
+def long_run_distribution(
+    chain: DTMC, engine: str = "sparse"
+) -> Dict[State, Dict[State, float]]:
     """Per-start-state long-run occupancy distribution.
 
     ``result[s][t]`` is the long-run fraction of time in ``t`` when the
     chain starts in ``s``.
     """
-    components = bottom_strongly_connected_components(chain)
-    stationaries = [stationary_distribution(chain, c) for c in components]
-    absorption = absorption_probabilities(chain, components)
+    components = bottom_strongly_connected_components(chain, engine=engine)
+    stationaries = [
+        stationary_distribution(chain, c, engine=engine) for c in components
+    ]
+    absorption = absorption_probabilities(chain, components, engine=engine)
     result: Dict[State, Dict[State, float]] = {}
     for state in chain.states:
         mixture: Dict[State, float] = {}
@@ -110,13 +161,13 @@ def long_run_distribution(chain: DTMC) -> Dict[State, Dict[State, float]]:
 
 
 def steady_state_probabilities(
-    chain: DTMC, satisfying: Set[State]
+    chain: DTMC, satisfying: Set[State], engine: str = "sparse"
 ) -> Dict[State, float]:
     """Long-run probability of being in ``satisfying``, per start state.
 
     This is the quantity the PCTL operator ``S ⋈ b [φ]`` compares.
     """
-    occupancy = long_run_distribution(chain)
+    occupancy = long_run_distribution(chain, engine=engine)
     return {
         state: sum(
             probability
@@ -127,9 +178,11 @@ def steady_state_probabilities(
     }
 
 
-def long_run_average_reward(chain: DTMC) -> Dict[State, float]:
+def long_run_average_reward(
+    chain: DTMC, engine: str = "sparse"
+) -> Dict[State, float]:
     """Long-run average state reward per time step, per start state."""
-    occupancy = long_run_distribution(chain)
+    occupancy = long_run_distribution(chain, engine=engine)
     return {
         state: sum(
             probability * chain.state_rewards[target]

@@ -21,8 +21,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, Iterable, Mapping, Optional, Sequence
 
-from repro.checking.dtmc import DTMCModelChecker
-from repro.checking.parametric import parametric_constraint
+from repro.checking.cache import CheckCache, cached_check, get_cache
 from repro.data.dataset import TraceDataset
 from repro.learning.mle import (
     learn_dtmc,
@@ -142,6 +141,7 @@ class DataRepair:
         max_drop: float = _MAX_DROP,
         mode: str = "drop",
         max_augment: float = 4.0,
+        cache: Optional[CheckCache] = None,
     ):
         if mode not in ("drop", "augment"):
             raise ValueError(f"unknown Data Repair mode {mode!r}")
@@ -163,6 +163,11 @@ class DataRepair:
         if not 0 < max_drop < 1:
             raise ValueError("max_drop must lie strictly between 0 and 1")
         self.max_drop = max_drop
+        #: Memo for the symbolic closed form and concrete re-checks;
+        #: ``None`` selects the process-wide cache.  The parametric MLE
+        #: model is rebuilt per call, but its content fingerprint is
+        #: unchanged, so the elimination still runs only once.
+        self.cache = cache
 
     # ------------------------------------------------------------------
     # Pieces
@@ -214,7 +219,7 @@ class DataRepair:
         the drop probabilities as the decision variables.
         """
         original = self.learned_model()
-        if DTMCModelChecker(original).check(self.formula).holds:
+        if cached_check(original, self.formula, cache=self.cache).holds:
             return DataRepairResult(
                 status="already_satisfied",
                 drop_probabilities={},
@@ -235,7 +240,9 @@ class DataRepair:
                 verified=False,
                 message="no group is droppable",
             )
-        parametric = parametric_constraint(self.parametric_model(), self.formula)
+        parametric = get_cache(self.cache).parametric_constraint(
+            self.parametric_model(), self.formula
+        )
         prefix = "weight_" if self.mode == "augment" else "drop_"
         upper = self.max_augment if self.mode == "augment" else self.max_drop
         variables = [
@@ -262,7 +269,7 @@ class DataRepair:
                 message=outcome.message,
             )
         repaired = self.parametric_model().instantiate(outcome.assignment)
-        verified = DTMCModelChecker(repaired).check(self.formula).holds
+        verified = cached_check(repaired, self.formula, cache=self.cache).holds
         return DataRepairResult(
             status="repaired",
             drop_probabilities=drop_probabilities,

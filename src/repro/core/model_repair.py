@@ -25,11 +25,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.checking.dtmc import DTMCModelChecker
+from repro.checking.cache import CheckCache, cached_check, get_cache
 from repro.checking.parametric import (
     ParametricConstraint,
     ParametricDTMC,
-    parametric_constraint,
 )
 from repro.core.costs import frobenius_cost, resolve_cost
 from repro.logic.pctl import StateFormula
@@ -117,6 +116,7 @@ class ModelRepair:
         variables: Sequence[Variable],
         cost: Callable[[Assignment], float],
         extra_constraints: Sequence[Constraint] = (),
+        cache: Optional[CheckCache] = None,
     ):
         self.original = original
         self.formula = formula
@@ -124,6 +124,11 @@ class ModelRepair:
         self.variables = list(variables)
         self.cost = cost
         self.extra_constraints = list(extra_constraints)
+        #: Memo for the symbolic closed form and concrete re-checks;
+        #: ``None`` selects the process-wide cache, so repeated
+        #: :meth:`repair` calls on unchanged inputs run exactly one
+        #: parametric state elimination.
+        self.cache = cache
 
     # ------------------------------------------------------------------
     # Constructors
@@ -311,8 +316,14 @@ class ModelRepair:
     # Solving
     # ------------------------------------------------------------------
     def constraint(self) -> ParametricConstraint:
-        """The reduced constraint ``f(v) ⋈ b`` (Proposition 2)."""
-        return parametric_constraint(self.parametric_model, self.formula)
+        """The reduced constraint ``f(v) ⋈ b`` (Proposition 2).
+
+        Memoised by content: a second call with an unchanged model and
+        formula returns the cached closed form without re-eliminating.
+        """
+        return get_cache(self.cache).parametric_constraint(
+            self.parametric_model, self.formula
+        )
 
     def repair(
         self, extra_starts: int = 8, seed: int = 0
@@ -326,8 +337,7 @@ class ModelRepair:
         3. Solve the nonlinear program (multi-start SLSQP).
         4. Instantiate and *re-verify* the repaired model concretely.
         """
-        checker = DTMCModelChecker(self.original)
-        if checker.check(self.formula).holds:
+        if cached_check(self.original, self.formula, cache=self.cache).holds:
             return ModelRepairResult(
                 status="already_satisfied",
                 repaired_model=self.original,
@@ -356,7 +366,7 @@ class ModelRepair:
                 message=outcome.message,
             )
         repaired = self.parametric_model.instantiate(outcome.assignment)
-        verified = DTMCModelChecker(repaired).check(self.formula).holds
+        verified = cached_check(repaired, self.formula, cache=self.cache).holds
         return ModelRepairResult(
             status="repaired",
             repaired_model=repaired,

@@ -190,10 +190,19 @@ class HMM:
     # Generation
     # ------------------------------------------------------------------
     def sample(
-        self, length: int, rng: Optional[np.random.Generator] = None
+        self,
+        length: int,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
     ) -> Tuple[List[State], List[Symbol]]:
-        """Sample a hidden path and its observations."""
-        rng = rng or np.random.default_rng()
+        """Sample a hidden path and its observations.
+
+        Sampling is deterministic by default (``seed=0``), per the
+        repo-wide seeded-sampler convention (DESIGN §2); pass ``rng`` to
+        thread an existing generator through instead.
+        """
+        if rng is None:
+            rng = np.random.default_rng(seed)
         state = int(rng.choice(len(self.states), p=self.pi))
         hidden: List[State] = []
         observed: List[Symbol] = []

@@ -16,6 +16,9 @@ verdict the paper's ``X = 19`` Model Repair case relies on.
 
 from __future__ import annotations
 
+import logging
+import os
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,8 +28,13 @@ from repro.checking.parametric import ParametricConstraint
 
 Assignment = Dict[str, float]
 
+logger = logging.getLogger(__name__)
+
 _STRICT_EPSILON = 1e-9
 _FEASIBILITY_TOLERANCE = 1e-7
+#: Half-width of the jitter box used for variables with an infinite bound
+#: (centred on the variable's initial value).
+_UNBOUNDED_JITTER = 1.0
 
 
 class Variable:
@@ -186,17 +194,37 @@ class NonlinearProgram:
 
     def _start_points(self, extra_starts: int, seed: int) -> List[np.ndarray]:
         rng = np.random.default_rng(seed)
-        lows = np.array(
-            [v.lower if np.isfinite(v.lower) else -1.0 for v in self.variables]
-        )
-        highs = np.array(
-            [v.upper if np.isfinite(v.upper) else 1.0 for v in self.variables]
-        )
-        points = [np.array([v.initial for v in self.variables])]
-        # Include the box midpoint and corners-ish jitter.
-        points.append((lows + highs) / 2.0)
+        lows = np.array([v.lower for v in self.variables])
+        highs = np.array([v.upper for v in self.variables])
+        initials = np.array([v.initial for v in self.variables])
+        bounded = np.isfinite(lows) & np.isfinite(highs)
+        if not bounded.all():
+            # Clamping an infinite bound to ±1 (the old behaviour) can
+            # place every start outside the feasible region of a
+            # one-sided-bounded variable (e.g. lower=2, upper=inf);
+            # jitter around the initial value instead.
+            names = [
+                v.name for v, is_bounded in zip(self.variables, bounded)
+                if not is_bounded
+            ]
+            logger.warning(
+                "variables %s have an infinite bound; jittered start points "
+                "are centred on their initial values instead of the box",
+                names,
+            )
+        span_low = np.where(bounded, lows, initials - _UNBOUNDED_JITTER)
+        span_high = np.where(bounded, highs, initials + _UNBOUNDED_JITTER)
+        points = [initials.copy()]
+        # Include the box midpoint (the initial value where unbounded)
+        # and uniform jitter over the (possibly recentred) box.
+        midpoints = initials.copy()
+        midpoints[bounded] = (lows[bounded] + highs[bounded]) / 2.0
+        points.append(midpoints)
         for _ in range(extra_starts):
-            points.append(lows + rng.random(len(self.variables)) * (highs - lows))
+            draw = span_low + rng.random(len(self.variables)) * (
+                span_high - span_low
+            )
+            points.append(np.clip(draw, lows, highs))
         return points
 
     def is_feasible(self, assignment: Assignment) -> bool:
@@ -218,14 +246,22 @@ class NonlinearProgram:
         seed: int = 0,
         method: str = "SLSQP",
         max_iterations: int = 500,
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
     ) -> OptimizationResult:
         """Multi-start local solve; feasibility is re-verified exactly.
 
         A start point counts as successful only if scipy converges *and*
         the returned point passes :meth:`is_feasible` — scipy sometimes
         reports success on slightly-violated constraints.
+
+        With ``parallel=True`` (default) the starts run concurrently on a
+        thread pool; results are still reduced in start order, so the
+        winning assignment is identical to the sequential loop's.
         """
         bounds = [(v.lower, v.upper) for v in self.variables]
+        lower_bounds = np.array([b[0] for b in bounds])
+        upper_bounds = np.array([b[1] for b in bounds])
         scipy_constraints = [
             {
                 "type": "ineq",
@@ -237,10 +273,7 @@ class NonlinearProgram:
         def objective_vector(x: np.ndarray) -> float:
             return float(self.objective(self._to_assignment(x)))
 
-        best: Optional[Tuple[float, Assignment]] = None
-        least_violation: Optional[Tuple[float, Assignment]] = None
-        starts = self._start_points(extra_starts, seed)
-        for start in starts:
+        def run_start(start: np.ndarray) -> Optional[Assignment]:
             try:
                 outcome = scipy_optimize.minimize(
                     objective_vector,
@@ -251,10 +284,24 @@ class NonlinearProgram:
                     options={"maxiter": max_iterations, "ftol": 1e-12},
                 )
             except (ValueError, ZeroDivisionError, OverflowError):
-                continue
-            assignment = self._to_assignment(
-                np.clip(outcome.x, [b[0] for b in bounds], [b[1] for b in bounds])
+                return None
+            return self._to_assignment(
+                np.clip(outcome.x, lower_bounds, upper_bounds)
             )
+
+        starts = self._start_points(extra_starts, seed)
+        if parallel and len(starts) > 1:
+            workers = max_workers or min(len(starts), os.cpu_count() or 1)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                assignments = list(pool.map(run_start, starts))
+        else:
+            assignments = [run_start(start) for start in starts]
+
+        best: Optional[Tuple[float, Assignment]] = None
+        least_violation: Optional[Tuple[float, Assignment]] = None
+        for assignment in assignments:
+            if assignment is None:
+                continue
             if self.is_feasible(assignment):
                 value = float(self.objective(assignment))
                 if best is None or value < best[0]:

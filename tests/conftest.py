@@ -11,6 +11,34 @@ from repro.mdp import DTMC, MDP, chain_dtmc, random_dtmc, random_mdp
 
 
 # ----------------------------------------------------------------------
+# Build guard: the sparse/dense equivalence suite must actually run
+# ----------------------------------------------------------------------
+# The sparse CSR engine is the default, so a silently-skipped
+# equivalence suite (e.g. a missing scipy making someone add a skipif)
+# would let the two engines drift apart unnoticed.  Fail the whole run
+# if any equivalence test was collected but skipped.
+_SPARSE_EQUIVALENCE_SKIPS: list = []
+
+
+def pytest_runtest_logreport(report):
+    if report.skipped and "test_checking_sparse" in report.nodeid:
+        _SPARSE_EQUIVALENCE_SKIPS.append(report.nodeid)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _SPARSE_EQUIVALENCE_SKIPS and exitstatus == 0:
+        reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+        if reporter is not None:
+            reporter.write_line(
+                "ERROR: sparse/dense equivalence tests were skipped "
+                f"({len(_SPARSE_EQUIVALENCE_SKIPS)}); the build requires them "
+                "to run: " + ", ".join(_SPARSE_EQUIVALENCE_SKIPS[:5]),
+                red=True,
+            )
+        session.exitstatus = 1
+
+
+# ----------------------------------------------------------------------
 # Hypothesis strategies
 # ----------------------------------------------------------------------
 def small_fractions():

@@ -206,8 +206,11 @@ class TestPropertyBased:
         if not atoms:
             return
         targets = chain.states_with_atom(atoms[0])
+        # The simulator truncates runs at max_steps, so compare against
+        # the step-bounded exact probability: on slow-mixing chains the
+        # unbounded probability can sit far above any truncated estimate.
         exact = DTMCModelChecker(chain).path_probabilities(
-            Eventually(AtomicProposition(atoms[0]))
+            Eventually(AtomicProposition(atoms[0]), 200)
         )[chain.initial_state]
         estimate = Simulator(seed=seed).estimate_reachability(
             chain, set(targets), samples=400, max_steps=200
