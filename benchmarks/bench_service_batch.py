@@ -1,0 +1,147 @@
+"""Batch-service throughput: pool speedup and warm-store elimination.
+
+Acceptance criteria exercised here:
+
+* an 8-job repair batch on 4 workers beats sequential (inline) execution
+  by >= 2x wall-clock — asserted only on hosts with >= 4 CPUs, since the
+  speedup cannot physically exist on fewer cores;
+* a warm re-run of the same batch against the same result store performs
+  **zero** new parametric eliminations, observed through telemetry
+  counters (not timings), on any host.
+"""
+
+import os
+import time
+
+import pytest
+
+from conftest import report
+from repro.casestudies import car, wsn
+from repro.mdp import chain_dtmc
+from repro.service import (
+    BatchRunner,
+    CheckJob,
+    ModelRepairJob,
+    RewardRepairJob,
+    Telemetry,
+)
+
+pytestmark = pytest.mark.service
+
+JOB_COUNT = 8
+POOL_WORKERS = 4
+
+
+def build_jobs():
+    """8 independent WSN/car check+repair jobs (distinct content, no dedup)."""
+    mdp = car.build_car_mdp()
+    jobs = [
+        CheckJob.for_model(
+            "wsn-check-100", wsn.build_wsn_chain(), 'R<=100 [ F "delivered" ]'
+        ),
+        CheckJob.for_model(
+            "wsn-check-degraded",
+            wsn.build_wsn_chain(forward_probability=0.85),
+            'R<=100 [ F "delivered" ]',
+        ),
+    ]
+    for i in range(4):
+        chain = chain_dtmc(5 + (i % 3), forward_probability=0.45 + 0.01 * i)
+        jobs.append(
+            ModelRepairJob.for_model(
+                f"chain-repair-{i}", chain, 'R<=6 [ F "goal" ]', seed=i
+            )
+        )
+    for seed in (0, 1):
+        jobs.append(
+            RewardRepairJob.for_mdp(
+                f"car-reward-{seed}",
+                mdp,
+                car.car_features().table,
+                car.PAPER_LEARNED_THETA,
+                [{"state": "S1", "preferred": car.LEFT,
+                  "dispreferred": car.FORWARD}],
+                discount=car.DISCOUNT,
+                seed=seed,
+            )
+        )
+    assert len(jobs) == JOB_COUNT
+    return jobs
+
+
+def run_batch_timed(jobs, workers, store_dir):
+    telemetry = Telemetry()
+    runner = BatchRunner(
+        max_workers=workers, store_dir=store_dir, telemetry=telemetry
+    )
+    start = time.monotonic()
+    batch = runner.run(jobs)
+    return batch, time.monotonic() - start, telemetry
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < POOL_WORKERS,
+    reason=f"pool speedup needs >= {POOL_WORKERS} CPUs",
+)
+def test_pool_beats_sequential(benchmark, tmp_path):
+    """>= 2x wall-clock speedup for 8 jobs on 4 workers vs inline."""
+    jobs = build_jobs()
+    _, sequential_seconds, _ = run_batch_timed(
+        jobs, workers=0, store_dir=str(tmp_path / "seq-store")
+    )
+
+    def pooled():
+        batch, seconds, _ = run_batch_timed(
+            jobs, workers=POOL_WORKERS, store_dir=str(tmp_path / f"pool-{time.monotonic_ns()}")
+        )
+        assert batch.all_ok
+        return seconds
+
+    pooled_seconds = benchmark.pedantic(pooled, rounds=1, iterations=1)
+    speedup = sequential_seconds / pooled_seconds
+    report(
+        benchmark,
+        {
+            "jobs": JOB_COUNT,
+            "workers": POOL_WORKERS,
+            "sequential_seconds": round(sequential_seconds, 3),
+            "pooled_seconds": round(pooled_seconds, 3),
+            "speedup": round(speedup, 2),
+        },
+    )
+    assert speedup >= 2.0
+
+
+@pytest.mark.slow
+def test_warm_rerun_eliminates_nothing(benchmark, tmp_path):
+    """Second identical batch: zero parametric eliminations (telemetry)."""
+    jobs = build_jobs()
+    store = str(tmp_path / "store")
+    cold_batch, cold_seconds, cold_telemetry = run_batch_timed(
+        jobs, workers=0, store_dir=store
+    )
+    assert cold_batch.all_ok
+    cold_eliminations = cold_telemetry.counters()["parametric_eliminations"]
+    assert cold_eliminations >= 1
+
+    def warm():
+        batch, _, telemetry = run_batch_timed(jobs, workers=0, store_dir=store)
+        assert batch.all_ok
+        assert all(outcome.cached for outcome in batch)
+        return telemetry
+
+    warm_telemetry = benchmark(warm)
+    warm_eliminations = warm_telemetry.counters().get(
+        "parametric_eliminations", 0
+    )
+    report(
+        benchmark,
+        {
+            "jobs": JOB_COUNT,
+            "cold_seconds": round(cold_seconds, 3),
+            "cold_eliminations": cold_eliminations,
+            "warm_eliminations": warm_eliminations,
+        },
+    )
+    assert warm_eliminations == 0

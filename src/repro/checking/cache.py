@@ -42,7 +42,16 @@ Key = Tuple[Hashable, ...]
 
 
 class CheckCache:
-    """Content-addressed memo for checking results.
+    """Content-addressed LRU memo for checking results.
+
+    The memo is bounded: once ``max_entries`` is reached the least
+    recently *used* entry is evicted (a hit refreshes recency), so a
+    long batch sweep cannot grow memory without bound while the hot
+    ``(model, φ)`` pairs of an active repair stay resident.  An optional
+    ``backing`` store (any object with ``get(key) -> value | None`` and
+    ``put(key, value)``, e.g. :class:`repro.service.store.ResultStore`)
+    turns the cache into a write-through layer over a persistent store,
+    so identical work is shared across processes and across runs.
 
     Examples
     --------
@@ -52,37 +61,62 @@ class CheckCache:
     >>> cache.get_or_compute(("k",), lambda: 0)  # hit, thunk not called
     42
     >>> cache.stats()
-    {'hits': 1, 'misses': 1, 'entries': 1}
+    {'hits': 1, 'misses': 1, 'entries': 1, 'evictions': 0, 'backing_hits': 0, 'parametric_eliminations': 0}
     """
 
-    def __init__(self, max_entries: int = 4096):
+    def __init__(self, max_entries: int = 4096, backing=None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
         self._store: Dict[Key, object] = {}
         self.max_entries = max_entries
+        self.backing = backing
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.backing_hits = 0
+        self.parametric_eliminations = 0
 
     # ------------------------------------------------------------------
     # Core operations
     # ------------------------------------------------------------------
+    def _insert(self, key: Key, value: object) -> None:
+        if key not in self._store and len(self._store) >= self.max_entries:
+            # Evict the least recently used entry (hits re-append, so the
+            # front of the insertion-ordered dict is the coldest key).
+            self._store.pop(next(iter(self._store)))
+            self.evictions += 1
+        self._store[key] = value
+
     def get_or_compute(self, key: Key, compute: Callable[[], object]) -> object:
         """The cached value under ``key``, computing (and storing) on miss."""
         if key in self._store:
             self.hits += 1
-            return self._store[key]
+            # Refresh recency: move the key to the back of the dict.
+            value = self._store.pop(key)
+            self._store[key] = value
+            return value
+        if self.backing is not None:
+            stored = self.backing.get(key)
+            if stored is not None:
+                self.hits += 1
+                self.backing_hits += 1
+                self._insert(key, stored)
+                return stored
         self.misses += 1
         value = compute()
-        if len(self._store) >= self.max_entries:
-            # Drop the oldest entry (dict preserves insertion order) so a
-            # long-running repair sweep cannot grow memory without bound.
-            self._store.pop(next(iter(self._store)))
-        self._store[key] = value
+        self._insert(key, value)
+        if self.backing is not None:
+            self.backing.put(key, value)
         return value
 
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss counters."""
+        """Drop every entry and reset the counters (backing is untouched)."""
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.backing_hits = 0
+        self.parametric_eliminations = 0
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss/size counters (used by the cache-reuse assertions)."""
@@ -90,6 +124,9 @@ class CheckCache:
             "hits": self.hits,
             "misses": self.misses,
             "entries": len(self._store),
+            "evictions": self.evictions,
+            "backing_hits": self.backing_hits,
+            "parametric_eliminations": self.parametric_eliminations,
         }
 
     def __len__(self) -> int:
@@ -118,12 +155,18 @@ class CheckCache:
 
         Repeated calls with a content-identical model and the same
         formula perform exactly one symbolic reduction; later calls are
-        cache hits (observable through :meth:`stats`).
+        cache hits (observable through :meth:`stats`).  The
+        ``parametric_eliminations`` counter records how many eliminations
+        this cache actually performed — a warm persistent store keeps it
+        at zero across whole batches.
         """
         key = self.parametric_key(model, formula, method)
-        return self.get_or_compute(
-            key, lambda: parametric_constraint(model, formula)
-        )
+
+        def eliminate() -> ParametricConstraint:
+            self.parametric_eliminations += 1
+            return parametric_constraint(model, formula)
+
+        return self.get_or_compute(key, eliminate)
 
 
 def cached_check(
@@ -181,3 +224,17 @@ GLOBAL_CACHE = CheckCache()
 def get_cache(cache: Optional[CheckCache] = None) -> CheckCache:
     """``cache`` if given, else the process-wide :data:`GLOBAL_CACHE`."""
     return cache if cache is not None else GLOBAL_CACHE
+
+
+def set_global_cache(cache: CheckCache) -> CheckCache:
+    """Replace the process-wide cache (returns the previous one).
+
+    Used by the batch service's worker processes to install a cache
+    backed by the shared on-disk result store, so every repair in the
+    process — including ones that default to the global cache — reads
+    and writes the persistent layer.
+    """
+    global GLOBAL_CACHE
+    previous = GLOBAL_CACHE
+    GLOBAL_CACHE = cache
+    return previous

@@ -2,15 +2,21 @@
 
 Subcommands::
 
-    repro check <model.json> "<pctl formula>"
+    repro check <model.json> "<pctl formula>" [--engine E] [--seed N]
     repro model-repair <model.json> "<pctl formula>" [--max-perturbation D]
+    repro counterexample <model.json> "<pctl formula>" [--max-paths N]
     repro export-prism <model.json> [-o out.pm]
+    repro batch <jobs.json> [--workers N] [--store DIR] [--telemetry LOG]
+    repro serve [--port P] [--store DIR]
     repro wsn-demo [--bound X]
     repro car-demo
 
 ``check`` and ``model-repair`` operate on JSON models written by
 :func:`repro.io.save_model`; the demo commands run the paper's case
-studies end-to-end and print a short report.
+studies end-to-end and print a short report.  ``batch`` drives a jobs
+file (see :mod:`repro.service.jobs`) through the fault-tolerant
+process-pool runner, and ``serve`` exposes the same runtime over a
+localhost JSON API.
 """
 
 from __future__ import annotations
@@ -23,17 +29,14 @@ import numpy as np
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    from repro.checking import DTMCModelChecker, MDPModelChecker
+    from repro.core import check_model
     from repro.io import load_model
     from repro.logic import parse_pctl
-    from repro.mdp import DTMC
 
+    np.random.seed(args.seed)
     model = load_model(args.model)
     formula = parse_pctl(args.formula)
-    checker = (
-        DTMCModelChecker(model) if isinstance(model, DTMC) else MDPModelChecker(model)
-    )
-    result = checker.check(formula)
+    result = check_model(model, formula, engine=args.engine)
     verdict = "satisfied" if result.holds else "violated"
     print(f"{args.formula}: {verdict}")
     if result.value is not None:
@@ -51,12 +54,14 @@ def _cmd_model_repair(args: argparse.Namespace) -> int:
     if not isinstance(model, DTMC):
         print("model-repair operates on DTMC models", file=sys.stderr)
         return 2
+    np.random.seed(args.seed)
     repair = ModelRepair.for_chain(
         model,
         parse_pctl(args.formula),
         max_perturbation=args.max_perturbation,
+        engine=args.engine,
     )
-    result = repair.repair()
+    result = repair.repair(seed=args.seed)
     print(f"status: {result.status}")
     if result.status == "repaired":
         print(f"cost g(Z) = {result.objective_value:.6g}")
@@ -82,11 +87,12 @@ def _cmd_counterexample(args: argparse.Namespace) -> int:
     if not isinstance(model, DTMC):
         print("counterexample operates on DTMC models", file=sys.stderr)
         return 2
+    np.random.seed(args.seed)
     formula = parse_pctl(args.formula)
     if not isinstance(formula, ProbabilisticOperator):
         print("counterexample needs a P<=b / P<b formula", file=sys.stderr)
         return 2
-    check = DTMCModelChecker(model).check(formula)
+    check = DTMCModelChecker(model, engine=args.engine).check(formula)
     if check.holds:
         print("property holds; no counterexample exists")
         return 0
@@ -117,6 +123,65 @@ def _cmd_export_prism(args: argparse.Namespace) -> int:
         print(f"written to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import BatchRunner, Telemetry, load_jobs
+
+    jobs = load_jobs(args.jobs)
+    telemetry = Telemetry(path=args.telemetry)
+    runner = BatchRunner(
+        max_workers=args.workers,
+        store_dir=args.store,
+        telemetry=telemetry,
+        job_timeout=args.timeout,
+        max_retries=args.max_retries,
+        seed=args.seed,
+    )
+    report = runner.run(jobs)
+    for outcome in report:
+        mark = {"succeeded": "ok", "degraded": "ok~"}.get(outcome.status, "FAIL")
+        detail = f" [{outcome.error}]" if outcome.error else ""
+        print(
+            f"{mark:<5} {outcome.job_id:<24} {outcome.status:<20} "
+            f"attempts={outcome.attempts} "
+            f"{'cached ' if outcome.cached else ''}{detail}"
+        )
+    statuses = report.by_status()
+    print(
+        f"batch: {len(report)} jobs in {report.wall_clock:.2f}s "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(statuses.items()))})"
+    )
+    print(telemetry.summary())
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True, default=str)
+        print(f"report written to {args.output}")
+    return 0 if report.all_ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import build_server
+    from repro.service.telemetry import Telemetry
+
+    server = build_server(
+        host=args.host,
+        port=args.port,
+        store_dir=args.store,
+        telemetry=Telemetry(path=args.telemetry),
+    )
+    host, port = server.server_address[:2]
+    print(f"repro service listening on http://{host}:{port}")
+    print("endpoints: GET /health, GET /counters, POST /batch")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
     return 0
 
 
@@ -167,12 +232,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    check = sub.add_parser("check", help="model-check a PCTL formula")
+    # Shared checking knobs: engine selection and reproducibility seed.
+    engine_opts = argparse.ArgumentParser(add_help=False)
+    engine_opts.add_argument(
+        "--engine",
+        choices=("sparse", "dense"),
+        default="sparse",
+        help="linear-algebra backend for model checking (default: sparse)",
+    )
+    engine_opts.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for randomized components (NLP multi-starts, sampling)",
+    )
+
+    check = sub.add_parser(
+        "check", parents=[engine_opts], help="model-check a PCTL formula"
+    )
     check.add_argument("model", help="JSON model file (see repro.io.save_model)")
     check.add_argument("formula", help='PCTL text, e.g. \'P>=0.9 [ F "goal" ]\'')
     check.set_defaults(func=_cmd_check)
 
-    repair = sub.add_parser("model-repair", help="repair a chain toward a formula")
+    repair = sub.add_parser(
+        "model-repair",
+        parents=[engine_opts],
+        help="repair a chain toward a formula",
+    )
     repair.add_argument("model")
     repair.add_argument("formula")
     repair.add_argument("--max-perturbation", type=float, default=None)
@@ -181,12 +267,49 @@ def build_parser() -> argparse.ArgumentParser:
 
     cx = sub.add_parser(
         "counterexample",
+        parents=[engine_opts],
         help="evidence paths for a violated P<=b reachability bound",
     )
     cx.add_argument("model")
     cx.add_argument("formula")
     cx.add_argument("--max-paths", type=int, default=25)
     cx.set_defaults(func=_cmd_counterexample)
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a JSON jobs file through the fault-tolerant batch runner",
+    )
+    batch.add_argument("jobs", help="jobs file (see repro.service.jobs)")
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (0 = inline; default: CPU count)",
+    )
+    batch.add_argument(
+        "--store", default=None, help="persistent result-store directory"
+    )
+    batch.add_argument(
+        "--telemetry", default=None, help="JSON-lines telemetry log path"
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout (seconds)"
+    )
+    batch.add_argument("--max-retries", type=int, default=2)
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument(
+        "-o", "--output", default=None, help="write the full JSON report here"
+    )
+    batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="serve the batch runtime over a localhost JSON API"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument("--store", default=None)
+    serve.add_argument("--telemetry", default=None)
+    serve.set_defaults(func=_cmd_serve)
 
     export = sub.add_parser("export-prism", help="export a model to PRISM syntax")
     export.add_argument("model")

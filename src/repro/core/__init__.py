@@ -16,6 +16,12 @@
     The Section II decision procedure tying them together.
 """
 
+from repro.core.api import (
+    check_model,
+    repair_data,
+    repair_model,
+    repair_reward,
+)
 from repro.core.costs import (
     NAMED_COSTS,
     frobenius_cost,
@@ -39,6 +45,10 @@ from repro.core.pipeline import (
 )
 
 __all__ = [
+    "check_model",
+    "repair_model",
+    "repair_data",
+    "repair_reward",
     "ModelRepair",
     "ModelRepairResult",
     "DataRepair",

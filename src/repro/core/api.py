@@ -1,0 +1,175 @@
+"""Flat, picklable entry points for the repair pipelines.
+
+The class-based interfaces (:class:`~repro.core.model_repair.ModelRepair`
+and friends) close over lambdas and builder state, which cannot cross a
+process boundary.  The batch service (:mod:`repro.service`) instead
+dispatches these module-level functions: every argument is a plain
+value (model object, formula text or object, numbers, names), so a call
+can be pickled to a :class:`~concurrent.futures.ProcessPoolExecutor`
+worker or serialised into a JSON job file and reconstructed elsewhere.
+
+Each function mirrors one decision-procedure step:
+
+``check_model``      learn → **check**
+``repair_model``     check → **Model Repair** (Definition 1)
+``repair_data``      check → **Data Repair** (Definition 3)
+``repair_reward``    check → **Reward Repair** (Definition 2, Q-route)
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.checking.cache import CheckCache, cached_check
+from repro.data.dataset import TraceDataset
+from repro.logic.pctl import StateFormula
+
+State = Hashable
+
+Formula = Union[str, StateFormula]
+
+
+def _as_formula(formula: Formula) -> StateFormula:
+    if isinstance(formula, StateFormula):
+        return formula
+    from repro.logic.parser import parse_pctl
+
+    return parse_pctl(formula)
+
+
+def check_model(
+    model,
+    formula: Formula,
+    *,
+    engine: str = "sparse",
+    cache: Optional[CheckCache] = None,
+):
+    """Model-check a DTMC or MDP (memoised, engine-selectable).
+
+    Returns the :class:`~repro.checking.result.ModelCheckingResult`.
+    """
+    return cached_check(model, _as_formula(formula), engine=engine, cache=cache)
+
+
+def repair_model(
+    model,
+    formula: Formula,
+    *,
+    controllable_states: Optional[Sequence[State]] = None,
+    max_perturbation: Optional[float] = None,
+    cost: str = "frobenius",
+    engine: str = "sparse",
+    extra_starts: int = 8,
+    seed: int = 0,
+    cache: Optional[CheckCache] = None,
+):
+    """Edge-wise Model Repair of a chain toward ``formula``.
+
+    A kwargs-only wrapper over :meth:`ModelRepair.for_chain` +
+    :meth:`ModelRepair.repair`; returns the
+    :class:`~repro.core.model_repair.ModelRepairResult`.
+    """
+    from repro.core.model_repair import ModelRepair
+
+    repair = ModelRepair.for_chain(
+        model,
+        _as_formula(formula),
+        controllable_states=controllable_states,
+        max_perturbation=max_perturbation,
+        cost=cost,
+        engine=engine,
+    )
+    repair.cache = cache
+    return repair.repair(extra_starts=extra_starts, seed=seed)
+
+
+def repair_data(
+    dataset: TraceDataset,
+    formula: Formula,
+    *,
+    initial_state: State,
+    states: Optional[Sequence[State]] = None,
+    labels: Optional[Mapping[State, Iterable[str]]] = None,
+    state_rewards: Optional[Mapping[State, float]] = None,
+    max_drop: float = 1.0 - 1e-6,
+    mode: str = "drop",
+    max_augment: float = 4.0,
+    engine: str = "sparse",
+    extra_starts: int = 8,
+    seed: int = 0,
+    cache: Optional[CheckCache] = None,
+):
+    """Data Repair: drop/augment traces so the re-learned chain meets φ.
+
+    Returns the :class:`~repro.core.data_repair.DataRepairResult`.
+    """
+    from repro.core.data_repair import DataRepair
+
+    repair = DataRepair(
+        dataset=dataset,
+        formula=_as_formula(formula),
+        initial_state=initial_state,
+        states=states,
+        labels=labels,
+        state_rewards=state_rewards,
+        max_drop=max_drop,
+        mode=mode,
+        max_augment=max_augment,
+        cache=cache,
+        engine=engine,
+    )
+    return repair.repair(extra_starts=extra_starts, seed=seed)
+
+
+def repair_reward(
+    mdp,
+    features: Mapping[State, Sequence[float]],
+    theta: Sequence[float],
+    constraints: Sequence[Mapping[str, object]],
+    *,
+    discount: float = 0.95,
+    delta_bound: float = 2.0,
+    extra_starts: int = 6,
+    seed: int = 0,
+):
+    """Q-value-constrained Reward Repair with tabular features.
+
+    ``features`` maps each state to its feature vector; ``constraints``
+    is a sequence of dicts with keys ``state``, ``preferred``,
+    ``dispreferred`` and optional ``margin`` — the JSON-friendly form of
+    :class:`~repro.core.reward_repair.QValueConstraint`.  Returns the
+    :class:`~repro.core.reward_repair.RewardRepairResult`.
+    """
+    from repro.core.reward_repair import QValueConstraint, RewardRepair
+    from repro.learning.irl import TabularFeatureMap
+
+    # A JSON round-trip stringifies states and actions; resolve each
+    # constraint against the MDP's actual objects by string equality so
+    # e.g. "1" matches the integer action 1.
+    states_by_text = {str(s): s for s in mdp.states}
+    actions_by_text = {
+        str(a): a for rows in mdp.transitions.values() for a in rows
+    }
+
+    def resolve(table: Mapping[str, object], value: object) -> object:
+        return table.get(str(value), value)
+
+    specs = [
+        QValueConstraint(
+            state=resolve(states_by_text, entry["state"]),
+            preferred=resolve(actions_by_text, entry["preferred"]),
+            dispreferred=resolve(actions_by_text, entry["dispreferred"]),
+            margin=float(entry.get("margin", 1e-3)),
+        )
+        for entry in constraints
+    ]
+    repair = RewardRepair(mdp, TabularFeatureMap(features), discount=discount)
+    return repair.q_constrained(
+        np.asarray(theta, dtype=float),
+        specs,
+        delta_bound=delta_bound,
+        extra_starts=extra_starts,
+        seed=seed,
+    )

@@ -63,6 +63,9 @@ class DataRepairResult:
         The teaching-effort objective ``Σ p_g²`` at the solution.
     verified:
         Whether the repaired model was concretely re-checked.
+    solver_stats:
+        Aggregate NLP accounting (iterations, function evaluations,
+        converged starts); empty when no solve ran.
     """
 
     def __init__(
@@ -74,6 +77,7 @@ class DataRepairResult:
         effort: float,
         verified: bool,
         message: str = "",
+        solver_stats: Optional[Mapping[str, int]] = None,
     ):
         self.status = status
         self.drop_probabilities = dict(drop_probabilities)
@@ -82,6 +86,7 @@ class DataRepairResult:
         self.effort = effort
         self.verified = verified
         self.message = message
+        self.solver_stats = dict(solver_stats or {})
 
     @property
     def feasible(self) -> bool:
@@ -142,6 +147,7 @@ class DataRepair:
         mode: str = "drop",
         max_augment: float = 4.0,
         cache: Optional[CheckCache] = None,
+        engine: str = "sparse",
     ):
         if mode not in ("drop", "augment"):
             raise ValueError(f"unknown Data Repair mode {mode!r}")
@@ -168,6 +174,8 @@ class DataRepair:
         #: model is rebuilt per call, but its content fingerprint is
         #: unchanged, so the elimination still runs only once.
         self.cache = cache
+        #: Numeric engine for the concrete pre-check and re-verification.
+        self.engine = engine
 
     # ------------------------------------------------------------------
     # Pieces
@@ -219,7 +227,9 @@ class DataRepair:
         the drop probabilities as the decision variables.
         """
         original = self.learned_model()
-        if cached_check(original, self.formula, cache=self.cache).holds:
+        if cached_check(
+            original, self.formula, engine=self.engine, cache=self.cache
+        ).holds:
             return DataRepairResult(
                 status="already_satisfied",
                 drop_probabilities={},
@@ -267,9 +277,12 @@ class DataRepair:
                 effort=outcome.objective_value,
                 verified=False,
                 message=outcome.message,
+                solver_stats=outcome.solver_stats,
             )
         repaired = self.parametric_model().instantiate(outcome.assignment)
-        verified = cached_check(repaired, self.formula, cache=self.cache).holds
+        verified = cached_check(
+            repaired, self.formula, engine=self.engine, cache=self.cache
+        ).holds
         return DataRepairResult(
             status="repaired",
             drop_probabilities=drop_probabilities,
@@ -278,4 +291,5 @@ class DataRepair:
             effort=outcome.objective_value,
             verified=verified,
             message=outcome.message,
+            solver_stats=outcome.solver_stats,
         )

@@ -68,6 +68,10 @@ class ModelRepairResult:
     verified:
         Whether the repaired model was re-checked concretely and found
         to satisfy the property.
+    solver_stats:
+        Aggregate NLP accounting (iterations, function evaluations,
+        converged starts) from :class:`repro.optimize.NonlinearProgram`;
+        empty when no solve ran.
     """
 
     def __init__(
@@ -79,6 +83,7 @@ class ModelRepairResult:
         epsilon: float,
         verified: bool,
         message: str = "",
+        solver_stats: Optional[Mapping[str, int]] = None,
     ):
         self.status = status
         self.repaired_model = repaired_model
@@ -87,6 +92,7 @@ class ModelRepairResult:
         self.epsilon = epsilon
         self.verified = verified
         self.message = message
+        self.solver_stats = dict(solver_stats or {})
 
     @property
     def feasible(self) -> bool:
@@ -117,6 +123,7 @@ class ModelRepair:
         cost: Callable[[Assignment], float],
         extra_constraints: Sequence[Constraint] = (),
         cache: Optional[CheckCache] = None,
+        engine: str = "sparse",
     ):
         self.original = original
         self.formula = formula
@@ -129,6 +136,8 @@ class ModelRepair:
         #: :meth:`repair` calls on unchanged inputs run exactly one
         #: parametric state elimination.
         self.cache = cache
+        #: Numeric engine for the concrete pre-check and re-verification.
+        self.engine = engine
 
     # ------------------------------------------------------------------
     # Constructors
@@ -141,6 +150,7 @@ class ModelRepair:
         max_perturbation: Optional[float] = None,
         cost="frobenius",
         margin: float = _DEFAULT_MARGIN,
+        engine: str = "sparse",
     ) -> "ModelRepair":
         """Edge-wise repair of selected rows.
 
@@ -252,6 +262,7 @@ class ModelRepair:
             variables=variables,
             cost=cost_function,
             extra_constraints=extra_constraints,
+            engine=engine,
         )
 
     @staticmethod
@@ -295,6 +306,7 @@ class ModelRepair:
         variables: Sequence[Variable],
         cost: Callable[[Assignment], float] = frobenius_cost,
         extra_constraints: Sequence[Constraint] = (),
+        engine: str = "sparse",
     ) -> "ModelRepair":
         """Repair with a hand-built parametric model.
 
@@ -310,6 +322,7 @@ class ModelRepair:
             variables=variables,
             cost=cost,
             extra_constraints=extra_constraints,
+            engine=engine,
         )
 
     # ------------------------------------------------------------------
@@ -337,7 +350,9 @@ class ModelRepair:
         3. Solve the nonlinear program (multi-start SLSQP).
         4. Instantiate and *re-verify* the repaired model concretely.
         """
-        if cached_check(self.original, self.formula, cache=self.cache).holds:
+        if cached_check(
+            self.original, self.formula, engine=self.engine, cache=self.cache
+        ).holds:
             return ModelRepairResult(
                 status="already_satisfied",
                 repaired_model=self.original,
@@ -364,9 +379,12 @@ class ModelRepair:
                 epsilon=0.0,
                 verified=False,
                 message=outcome.message,
+                solver_stats=outcome.solver_stats,
             )
         repaired = self.parametric_model.instantiate(outcome.assignment)
-        verified = cached_check(repaired, self.formula, cache=self.cache).holds
+        verified = cached_check(
+            repaired, self.formula, engine=self.engine, cache=self.cache
+        ).holds
         return ModelRepairResult(
             status="repaired",
             repaired_model=repaired,
@@ -375,6 +393,7 @@ class ModelRepair:
             epsilon=perturbation_bound(self.original, repaired),
             verified=verified,
             message=outcome.message,
+            solver_stats=outcome.solver_stats,
         )
 
 

@@ -63,6 +63,9 @@ class RewardRepairResult:
     diagnostics:
         Solver- and projection-specific numbers (e.g. rule-violation
         probability before/after the projection).
+    solver_stats:
+        Aggregate NLP accounting for the Q-constrained route (empty for
+        the projection routes, which use gradient fitting instead).
     """
 
     def __init__(
@@ -75,6 +78,7 @@ class RewardRepairResult:
         repaired_mdp: MDP,
         feasible: bool,
         diagnostics: Optional[Dict[str, float]] = None,
+        solver_stats: Optional[Dict[str, int]] = None,
     ):
         self.theta_before = np.asarray(theta_before, dtype=float)
         self.theta_after = np.asarray(theta_after, dtype=float)
@@ -84,6 +88,7 @@ class RewardRepairResult:
         self.repaired_mdp = repaired_mdp
         self.feasible = feasible
         self.diagnostics = dict(diagnostics or {})
+        self.solver_stats = dict(solver_stats or {})
 
     def theta_delta(self) -> np.ndarray:
         """The repair ``θ' − θ``."""
@@ -332,4 +337,5 @@ class RewardRepair:
             repaired_mdp=repaired,
             feasible=outcome.feasible,
             diagnostics={"objective": outcome.objective_value},
+            solver_stats=outcome.solver_stats,
         )

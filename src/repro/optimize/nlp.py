@@ -127,6 +127,10 @@ class OptimizationResult:
         Number of start points attempted.
     message:
         Human-readable solver summary.
+    solver_stats:
+        Aggregate SLSQP accounting across all starts: ``iterations``,
+        ``function_evaluations``, ``starts_converged``, ``starts_failed``
+        (previously swallowed; surfaced for the service telemetry).
     """
 
     def __init__(
@@ -136,12 +140,14 @@ class OptimizationResult:
         objective_value: float,
         starts_tried: int,
         message: str,
+        solver_stats: Optional[Dict[str, int]] = None,
     ):
         self.feasible = feasible
         self.assignment = assignment
         self.objective_value = objective_value
         self.starts_tried = starts_tried
         self.message = message
+        self.solver_stats = dict(solver_stats or {})
 
     def __repr__(self) -> str:
         return (
@@ -273,7 +279,9 @@ class NonlinearProgram:
         def objective_vector(x: np.ndarray) -> float:
             return float(self.objective(self._to_assignment(x)))
 
-        def run_start(start: np.ndarray) -> Optional[Assignment]:
+        def run_start(
+            start: np.ndarray,
+        ) -> Tuple[Optional[Assignment], Dict[str, int]]:
             try:
                 outcome = scipy_optimize.minimize(
                     objective_vector,
@@ -284,22 +292,38 @@ class NonlinearProgram:
                     options={"maxiter": max_iterations, "ftol": 1e-12},
                 )
             except (ValueError, ZeroDivisionError, OverflowError):
-                return None
-            return self._to_assignment(
+                return None, {"starts_failed": 1}
+            stats = {
+                "iterations": int(getattr(outcome, "nit", 0) or 0),
+                "function_evaluations": int(getattr(outcome, "nfev", 0) or 0),
+                "starts_converged": int(bool(outcome.success)),
+            }
+            assignment = self._to_assignment(
                 np.clip(outcome.x, lower_bounds, upper_bounds)
             )
+            return assignment, stats
 
         starts = self._start_points(extra_starts, seed)
         if parallel and len(starts) > 1:
             workers = max_workers or min(len(starts), os.cpu_count() or 1)
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                assignments = list(pool.map(run_start, starts))
+                attempts = list(pool.map(run_start, starts))
         else:
-            assignments = [run_start(start) for start in starts]
+            attempts = [run_start(start) for start in starts]
+
+        solver_stats: Dict[str, int] = {
+            "iterations": 0,
+            "function_evaluations": 0,
+            "starts_converged": 0,
+            "starts_failed": 0,
+        }
+        for _, stats in attempts:
+            for name, count in stats.items():
+                solver_stats[name] = solver_stats.get(name, 0) + count
 
         best: Optional[Tuple[float, Assignment]] = None
         least_violation: Optional[Tuple[float, Assignment]] = None
-        for assignment in assignments:
+        for assignment, _ in attempts:
             if assignment is None:
                 continue
             if self.is_feasible(assignment):
@@ -319,6 +343,7 @@ class NonlinearProgram:
                 objective_value=best[0],
                 starts_tried=len(starts),
                 message="feasible local optimum found",
+                solver_stats=solver_stats,
             )
         fallback = (
             least_violation[1]
@@ -331,4 +356,5 @@ class NonlinearProgram:
             objective_value=float(self.objective(fallback)),
             starts_tried=len(starts),
             message="no start point reached a feasible local optimum",
+            solver_stats=solver_stats,
         )

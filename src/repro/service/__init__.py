@@ -1,0 +1,69 @@
+"""Fault-tolerant batch repair runtime.
+
+The paper's decision procedure (learn → check → repair → report) is a
+batch workload: an experiment sweep checks and repairs many
+``(model, φ)`` pairs, each dominated by parametric elimination and
+multi-start NLP solves.  This package turns the one-shot library calls
+into a resilient runtime:
+
+``jobs``
+    Typed job specs (check / model-, data-, reward-repair) with a JSON
+    round-trip, so batches are files.
+``runner``
+    A :class:`~concurrent.futures.ProcessPoolExecutor`-backed batch
+    runner with per-job timeouts, bounded retries with exponential
+    backoff + jitter, cancellation, and graceful degradation to
+    statistical checking.
+``store``
+    A content-addressed on-disk result store layered under
+    :class:`~repro.checking.cache.CheckCache`, sharing parametric
+    eliminations across processes and across runs.
+``telemetry``
+    A structured JSON-lines event log plus aggregate counters.
+``faults``
+    Deterministic fault injection (seeded crash/hang/error decisions)
+    used by the robustness test suite.
+``server``
+    A localhost JSON API (stdlib ``http.server``) wrapping the runner.
+"""
+
+from repro.service.faults import FaultPlan, InjectedFault
+from repro.service.jobs import (
+    CheckJob,
+    DataRepairJob,
+    JobSpec,
+    ModelRepairJob,
+    RewardRepairJob,
+    execute,
+    job_from_dict,
+    load_jobs,
+    load_jobs_payload,
+    save_jobs,
+)
+from repro.service.runner import BatchReport, BatchRunner, JobOutcome, run_batch
+from repro.service.store import ResultStore, open_disk_cache
+from repro.service.telemetry import Telemetry, aggregate_events, read_events
+
+__all__ = [
+    "BatchReport",
+    "BatchRunner",
+    "CheckJob",
+    "DataRepairJob",
+    "FaultPlan",
+    "InjectedFault",
+    "JobOutcome",
+    "JobSpec",
+    "ModelRepairJob",
+    "ResultStore",
+    "RewardRepairJob",
+    "Telemetry",
+    "aggregate_events",
+    "execute",
+    "job_from_dict",
+    "load_jobs",
+    "load_jobs_payload",
+    "open_disk_cache",
+    "read_events",
+    "run_batch",
+    "save_jobs",
+]

@@ -1,0 +1,158 @@
+"""Deterministic fault injection for the batch runtime.
+
+The robustness suite needs to drive :class:`repro.service.runner.
+BatchRunner` through worker crashes, per-job timeouts and transient
+errors *reproducibly*.  A :class:`FaultPlan` makes the decision for
+``(job_id, attempt)`` by hashing the pair with a seed — the same plan
+always injects the same faults, independent of scheduling order or
+worker assignment, so a failing run replays exactly.
+
+Fault kinds:
+
+``"crash"``
+    The worker process hard-exits (``os._exit``), simulating an OOM
+    kill or segfault.  The pool breaks; the runner must rebuild it and
+    retry the in-flight jobs.
+``"hang"``
+    The worker sleeps past the per-job timeout, exercising the alarm
+    path (and the statistical-checking fallback for check jobs).
+``"error"``
+    A transient :class:`InjectedFault` is raised, exercising bounded
+    retries with backoff.
+
+``attempts_affected`` limits injection to the first *k* attempts of a
+job, so tests can script "fails once, then succeeds".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from typing import Dict, Optional
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected transient failure."""
+
+
+class FaultPlan:
+    """Seeded per-(job, attempt) fault decisions.
+
+    Probabilities are cumulative slices of a uniform draw: with
+    ``crash_probability=0.1, hang_probability=0.1,
+    error_probability=0.1`` a job-attempt faults 30% of the time,
+    split evenly across the three kinds.
+
+    Examples
+    --------
+    >>> plan = FaultPlan(error_probability=1.0, attempts_affected=1)
+    >>> plan.decide("job-a", attempt=0)
+    'error'
+    >>> plan.decide("job-a", attempt=1) is None
+    True
+    """
+
+    def __init__(
+        self,
+        crash_probability: float = 0.0,
+        hang_probability: float = 0.0,
+        error_probability: float = 0.0,
+        seed: int = 0,
+        hang_seconds: float = 5.0,
+        attempts_affected: Optional[int] = None,
+    ):
+        total = crash_probability + hang_probability + error_probability
+        if not 0.0 <= total <= 1.0:
+            raise ValueError("fault probabilities must sum to at most 1")
+        self.crash_probability = float(crash_probability)
+        self.hang_probability = float(hang_probability)
+        self.error_probability = float(error_probability)
+        self.seed = int(seed)
+        self.hang_seconds = float(hang_seconds)
+        self.attempts_affected = attempts_affected
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def _draw(self, job_id: str, attempt: int) -> float:
+        text = f"{self.seed}:{job_id}:{attempt}"
+        digest = hashlib.sha256(text.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def decide(self, job_id: str, attempt: int) -> Optional[str]:
+        """``"crash"`` / ``"hang"`` / ``"error"`` / ``None`` for this try."""
+        if (
+            self.attempts_affected is not None
+            and attempt >= self.attempts_affected
+        ):
+            return None
+        draw = self._draw(job_id, attempt)
+        if draw < self.crash_probability:
+            return "crash"
+        if draw < self.crash_probability + self.hang_probability:
+            return "hang"
+        if (
+            draw
+            < self.crash_probability
+            + self.hang_probability
+            + self.error_probability
+        ):
+            return "error"
+        return None
+
+    def apply(self, job_id: str, attempt: int, allow_crash: bool = True) -> None:
+        """Act on the decision inside a worker (no-op when none fires).
+
+        ``allow_crash=False`` (inline execution in the caller's own
+        process) downgrades a crash decision to an :class:`InjectedFault`
+        so fault-injected batches can still run without a pool.
+        """
+        decision = self.decide(job_id, attempt)
+        if decision is None:
+            return
+        if decision == "crash":
+            if allow_crash:
+                os._exit(17)
+            raise InjectedFault(
+                f"injected crash (inline) for {job_id!r} attempt {attempt}"
+            )
+        if decision == "hang":
+            time.sleep(self.hang_seconds)
+            return
+        raise InjectedFault(
+            f"injected error for {job_id!r} attempt {attempt}"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation (plans cross the process boundary with the job)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-ready form; inverse of :meth:`from_dict`."""
+        return {
+            "crash_probability": self.crash_probability,
+            "hang_probability": self.hang_probability,
+            "error_probability": self.error_probability,
+            "seed": self.seed,
+            "hang_seconds": self.hang_seconds,
+            "attempts_affected": self.attempts_affected,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "FaultPlan":
+        """Rebuild a plan serialised by :meth:`to_dict`."""
+        return FaultPlan(
+            crash_probability=payload.get("crash_probability", 0.0),
+            hang_probability=payload.get("hang_probability", 0.0),
+            error_probability=payload.get("error_probability", 0.0),
+            seed=payload.get("seed", 0),
+            hang_seconds=payload.get("hang_seconds", 5.0),
+            attempts_affected=payload.get("attempts_affected"),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(crash={self.crash_probability}, "
+            f"hang={self.hang_probability}, error={self.error_probability}, "
+            f"seed={self.seed})"
+        )

@@ -1,0 +1,600 @@
+"""Typed batch jobs with a JSON round-trip.
+
+A *job* is one unit of decision-procedure work — check a property, or
+run one of the three repairs — described entirely by plain data, so a
+batch is a file::
+
+    {"jobs": [
+      {"kind": "check", "job_id": "wsn-100",
+       "model": {"kind": "dtmc", "model": {...}},
+       "formula": "R{\\"attempts\\"}<=100 [ F \\"delivered\\" ]"},
+      {"kind": "model-repair", "job_id": "wsn-40", ...}
+    ]}
+
+Each spec knows how to serialise itself (:meth:`JobSpec.to_dict`), how
+to rebuild from the serialised form (:func:`job_from_dict`), how to
+execute against the library (:meth:`JobSpec.run`, dispatching to the
+picklable :mod:`repro.core.api` entry points), and how to fingerprint
+its content (:meth:`JobSpec.fingerprint`) for the result store.
+
+Models travel in the :func:`repro.io.save_model` payload shape, trace
+datasets as ``{"groups": [{"name", "droppable", "traces"}]}``, feature
+maps as explicit state→vector tables — everything JSON, everything
+picklable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Type, Union
+
+from repro.io.json_io import (
+    dtmc_from_dict,
+    dtmc_to_dict,
+    mdp_from_dict,
+    mdp_to_dict,
+)
+from repro.mdp.model import DTMC, MDP
+
+#: Registry ``kind -> spec class``, filled by ``_register``.
+JOB_KINDS: Dict[str, Type["JobSpec"]] = {}
+
+
+def _register(cls: Type["JobSpec"]) -> Type["JobSpec"]:
+    JOB_KINDS[cls.kind] = cls
+    return cls
+
+
+# ----------------------------------------------------------------------
+# Payload helpers
+# ----------------------------------------------------------------------
+def model_to_payload(model: Union[DTMC, MDP]) -> Dict:
+    """The self-describing JSON payload of a model (``save_model`` shape)."""
+    if isinstance(model, DTMC):
+        return {"kind": "dtmc", "model": dtmc_to_dict(model)}
+    if isinstance(model, MDP):
+        return {"kind": "mdp", "model": mdp_to_dict(model)}
+    raise TypeError(f"cannot serialise {type(model).__name__}")
+
+
+def model_from_payload(payload: Mapping) -> Union[DTMC, MDP]:
+    """Inverse of :func:`model_to_payload`."""
+    kind = payload.get("kind")
+    if kind == "dtmc":
+        return dtmc_from_dict(payload["model"])
+    if kind == "mdp":
+        return mdp_from_dict(payload["model"])
+    raise ValueError(f"unknown model kind {kind!r}")
+
+
+def dataset_to_payload(dataset) -> Dict:
+    """JSON payload of a :class:`~repro.data.dataset.TraceDataset`."""
+    return {
+        "groups": [
+            {
+                "name": group.name,
+                "droppable": group.droppable,
+                "traces": [
+                    [str(state) for state in trace.states()]
+                    for trace in group.traces
+                ],
+            }
+            for group in dataset.groups.values()
+        ]
+    }
+
+
+def dataset_from_payload(payload: Mapping):
+    """Inverse of :func:`dataset_to_payload`."""
+    from repro.data.dataset import TraceDataset, TraceGroup
+    from repro.mdp.trajectory import Trajectory
+
+    return TraceDataset(
+        [
+            TraceGroup(
+                entry["name"],
+                [Trajectory.from_states(states) for states in entry["traces"]],
+                droppable=entry.get("droppable", True),
+            )
+            for entry in payload["groups"]
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+class JobSpec:
+    """Base class for batch job specifications.
+
+    Subclasses set :attr:`kind`, implement :meth:`payload` (the
+    kind-specific JSON fields), :meth:`from_payload` and :meth:`run`.
+    """
+
+    kind: str = ""
+
+    def __init__(self, job_id: str):
+        if not job_id:
+            raise ValueError("job needs a non-empty job_id")
+        self.job_id = str(job_id)
+
+    # -- serialisation --------------------------------------------------
+    def payload(self) -> Dict:
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form; inverse of :func:`job_from_dict`."""
+        return {"kind": self.kind, "job_id": self.job_id, **self.payload()}
+
+    @classmethod
+    def from_payload(cls, job_id: str, payload: Mapping) -> "JobSpec":
+        raise NotImplementedError
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical content (``job_id`` excluded).
+
+        Two jobs asking for identical work share a fingerprint, which
+        is the key under which the result store deduplicates whole-job
+        results.
+        """
+        canonical = json.dumps(
+            {"kind": self.kind, **self.payload()}, sort_keys=True
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # -- execution ------------------------------------------------------
+    def run(self, cache=None) -> Dict:
+        """Execute the job; returns a JSON-ready result dict."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.job_id!r})"
+
+
+@_register
+class CheckJob(JobSpec):
+    """Model-check ``formula`` on a model (DTMC or MDP).
+
+    ``smc_epsilon`` / ``smc_delta`` / ``smc_samples`` configure the
+    statistical fallback the runner uses when the exact engine times
+    out (DTMC only).
+    """
+
+    kind = "check"
+
+    def __init__(
+        self,
+        job_id: str,
+        model: Mapping,
+        formula: str,
+        engine: str = "sparse",
+        smc_epsilon: float = 0.02,
+        smc_delta: float = 0.05,
+        smc_samples: int = 4000,
+    ):
+        super().__init__(job_id)
+        self.model = dict(model)
+        self.formula = str(formula)
+        self.engine = engine
+        self.smc_epsilon = float(smc_epsilon)
+        self.smc_delta = float(smc_delta)
+        self.smc_samples = int(smc_samples)
+
+    @staticmethod
+    def for_model(job_id: str, model, formula: str, **kwargs) -> "CheckJob":
+        """Build from an in-memory model object."""
+        return CheckJob(job_id, model_to_payload(model), formula, **kwargs)
+
+    def payload(self) -> Dict:
+        return {
+            "model": self.model,
+            "formula": self.formula,
+            "engine": self.engine,
+            "smc_epsilon": self.smc_epsilon,
+            "smc_delta": self.smc_delta,
+            "smc_samples": self.smc_samples,
+        }
+
+    @classmethod
+    def from_payload(cls, job_id: str, payload: Mapping) -> "CheckJob":
+        return cls(
+            job_id,
+            payload["model"],
+            payload["formula"],
+            engine=payload.get("engine", "sparse"),
+            smc_epsilon=payload.get("smc_epsilon", 0.02),
+            smc_delta=payload.get("smc_delta", 0.05),
+            smc_samples=payload.get("smc_samples", 4000),
+        )
+
+    def run(self, cache=None) -> Dict:
+        from repro.core.api import check_model
+
+        result = check_model(
+            model_from_payload(self.model),
+            self.formula,
+            engine=self.engine,
+            cache=cache,
+        )
+        return {
+            "holds": bool(result.holds),
+            "value": None if result.value is None else float(result.value),
+            "method": "exact",
+        }
+
+    def run_statistical(self, seed: int = 0) -> Dict:
+        """The degraded path: Monte-Carlo estimate instead of exact.
+
+        Only defined for DTMC models with a top-level ``P``/``R``
+        operator (the statistical checker's domain); raises
+        ``TypeError`` otherwise, which the runner treats as an ordinary
+        failure.
+        """
+        from repro.checking.statistical import StatisticalModelChecker
+        from repro.logic.parser import parse_pctl
+
+        model = model_from_payload(self.model)
+        if not isinstance(model, DTMC):
+            raise TypeError("statistical fallback needs a DTMC model")
+        checker = StatisticalModelChecker(model, seed=seed)
+        outcome = checker.check(
+            parse_pctl(self.formula),
+            epsilon=self.smc_epsilon,
+            delta=self.smc_delta,
+            reward_samples=self.smc_samples,
+        )
+        return {
+            "holds": bool(outcome.holds),
+            "value": float(outcome.estimate),
+            "method": "statistical",
+            "samples": int(outcome.samples),
+            "undecided_rate": float(checker.undecided_rate),
+        }
+
+
+@_register
+class ModelRepairJob(JobSpec):
+    """Edge-wise Model Repair of a chain toward ``formula``."""
+
+    kind = "model-repair"
+
+    def __init__(
+        self,
+        job_id: str,
+        model: Mapping,
+        formula: str,
+        controllable_states: Optional[Sequence[str]] = None,
+        max_perturbation: Optional[float] = None,
+        cost: str = "frobenius",
+        engine: str = "sparse",
+        extra_starts: int = 8,
+        seed: int = 0,
+    ):
+        super().__init__(job_id)
+        self.model = dict(model)
+        self.formula = str(formula)
+        self.controllable_states = (
+            list(controllable_states) if controllable_states is not None else None
+        )
+        self.max_perturbation = max_perturbation
+        self.cost = cost
+        self.engine = engine
+        self.extra_starts = int(extra_starts)
+        self.seed = int(seed)
+
+    @staticmethod
+    def for_model(job_id: str, model, formula: str, **kwargs) -> "ModelRepairJob":
+        """Build from an in-memory chain."""
+        return ModelRepairJob(job_id, model_to_payload(model), formula, **kwargs)
+
+    def payload(self) -> Dict:
+        return {
+            "model": self.model,
+            "formula": self.formula,
+            "controllable_states": self.controllable_states,
+            "max_perturbation": self.max_perturbation,
+            "cost": self.cost,
+            "engine": self.engine,
+            "extra_starts": self.extra_starts,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_payload(cls, job_id: str, payload: Mapping) -> "ModelRepairJob":
+        return cls(
+            job_id,
+            payload["model"],
+            payload["formula"],
+            controllable_states=payload.get("controllable_states"),
+            max_perturbation=payload.get("max_perturbation"),
+            cost=payload.get("cost", "frobenius"),
+            engine=payload.get("engine", "sparse"),
+            extra_starts=payload.get("extra_starts", 8),
+            seed=payload.get("seed", 0),
+        )
+
+    def run(self, cache=None) -> Dict:
+        from repro.core.api import repair_model
+
+        result = repair_model(
+            model_from_payload(self.model),
+            self.formula,
+            controllable_states=self.controllable_states,
+            max_perturbation=self.max_perturbation,
+            cost=self.cost,
+            engine=self.engine,
+            extra_starts=self.extra_starts,
+            seed=self.seed,
+            cache=cache,
+        )
+        summary = {
+            "status": result.status,
+            "assignment": {k: float(v) for k, v in result.assignment.items()},
+            "objective_value": float(result.objective_value),
+            "epsilon": float(result.epsilon),
+            "verified": bool(result.verified),
+            "message": result.message,
+            "solver_stats": dict(result.solver_stats),
+        }
+        if result.repaired_model is not None:
+            summary["repaired_model"] = model_to_payload(result.repaired_model)
+        return summary
+
+
+@_register
+class DataRepairJob(JobSpec):
+    """Data Repair: drop/augment traces until the re-learned chain meets φ."""
+
+    kind = "data-repair"
+
+    def __init__(
+        self,
+        job_id: str,
+        dataset: Mapping,
+        formula: str,
+        initial_state: str,
+        states: Optional[Sequence[str]] = None,
+        labels: Optional[Mapping[str, Sequence[str]]] = None,
+        state_rewards: Optional[Mapping[str, float]] = None,
+        max_drop: float = 0.9,
+        mode: str = "drop",
+        max_augment: float = 4.0,
+        engine: str = "sparse",
+        extra_starts: int = 8,
+        seed: int = 0,
+    ):
+        super().__init__(job_id)
+        self.dataset = dict(dataset)
+        self.formula = str(formula)
+        self.initial_state = initial_state
+        self.states = list(states) if states is not None else None
+        self.labels = (
+            {s: sorted(props) for s, props in labels.items()}
+            if labels is not None
+            else None
+        )
+        self.state_rewards = dict(state_rewards) if state_rewards else None
+        self.max_drop = float(max_drop)
+        self.mode = mode
+        self.max_augment = float(max_augment)
+        self.engine = engine
+        self.extra_starts = int(extra_starts)
+        self.seed = int(seed)
+
+    @staticmethod
+    def for_dataset(
+        job_id: str, dataset, formula: str, initial_state: str, **kwargs
+    ) -> "DataRepairJob":
+        """Build from an in-memory :class:`TraceDataset`."""
+        return DataRepairJob(
+            job_id, dataset_to_payload(dataset), formula, initial_state, **kwargs
+        )
+
+    def payload(self) -> Dict:
+        return {
+            "dataset": self.dataset,
+            "formula": self.formula,
+            "initial_state": self.initial_state,
+            "states": self.states,
+            "labels": self.labels,
+            "state_rewards": self.state_rewards,
+            "max_drop": self.max_drop,
+            "mode": self.mode,
+            "max_augment": self.max_augment,
+            "engine": self.engine,
+            "extra_starts": self.extra_starts,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_payload(cls, job_id: str, payload: Mapping) -> "DataRepairJob":
+        return cls(
+            job_id,
+            payload["dataset"],
+            payload["formula"],
+            payload["initial_state"],
+            states=payload.get("states"),
+            labels=payload.get("labels"),
+            state_rewards=payload.get("state_rewards"),
+            max_drop=payload.get("max_drop", 0.9),
+            mode=payload.get("mode", "drop"),
+            max_augment=payload.get("max_augment", 4.0),
+            engine=payload.get("engine", "sparse"),
+            extra_starts=payload.get("extra_starts", 8),
+            seed=payload.get("seed", 0),
+        )
+
+    def run(self, cache=None) -> Dict:
+        from repro.core.api import repair_data
+
+        result = repair_data(
+            dataset_from_payload(self.dataset),
+            self.formula,
+            initial_state=self.initial_state,
+            states=self.states,
+            labels=(
+                {s: set(props) for s, props in self.labels.items()}
+                if self.labels is not None
+                else None
+            ),
+            state_rewards=self.state_rewards,
+            max_drop=self.max_drop,
+            mode=self.mode,
+            max_augment=self.max_augment,
+            engine=self.engine,
+            extra_starts=self.extra_starts,
+            seed=self.seed,
+            cache=cache,
+        )
+        return {
+            "status": result.status,
+            "drop_probabilities": {
+                k: float(v) for k, v in result.drop_probabilities.items()
+            },
+            "expected_dropped": float(result.expected_dropped),
+            "effort": float(result.effort),
+            "verified": bool(result.verified),
+            "message": result.message,
+            "solver_stats": dict(result.solver_stats),
+        }
+
+
+@_register
+class RewardRepairJob(JobSpec):
+    """Q-value-constrained Reward Repair on an MDP with tabular features."""
+
+    kind = "reward-repair"
+
+    def __init__(
+        self,
+        job_id: str,
+        mdp: Mapping,
+        features: Mapping[str, Sequence[float]],
+        theta: Sequence[float],
+        constraints: Sequence[Mapping],
+        discount: float = 0.95,
+        delta_bound: float = 2.0,
+        extra_starts: int = 6,
+        seed: int = 0,
+    ):
+        super().__init__(job_id)
+        self.mdp = dict(mdp)
+        self.features = {s: [float(x) for x in row] for s, row in features.items()}
+        self.theta = [float(x) for x in theta]
+        self.constraints = [dict(entry) for entry in constraints]
+        self.discount = float(discount)
+        self.delta_bound = float(delta_bound)
+        self.extra_starts = int(extra_starts)
+        self.seed = int(seed)
+
+    @staticmethod
+    def for_mdp(
+        job_id: str, mdp, features, theta, constraints, **kwargs
+    ) -> "RewardRepairJob":
+        """Build from an in-memory MDP."""
+        return RewardRepairJob(
+            job_id, model_to_payload(mdp), features, theta, constraints, **kwargs
+        )
+
+    def payload(self) -> Dict:
+        return {
+            "mdp": self.mdp,
+            "features": self.features,
+            "theta": self.theta,
+            "constraints": self.constraints,
+            "discount": self.discount,
+            "delta_bound": self.delta_bound,
+            "extra_starts": self.extra_starts,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_payload(cls, job_id: str, payload: Mapping) -> "RewardRepairJob":
+        return cls(
+            job_id,
+            payload["mdp"],
+            payload["features"],
+            payload["theta"],
+            payload["constraints"],
+            discount=payload.get("discount", 0.95),
+            delta_bound=payload.get("delta_bound", 2.0),
+            extra_starts=payload.get("extra_starts", 6),
+            seed=payload.get("seed", 0),
+        )
+
+    def run(self, cache=None) -> Dict:
+        from repro.core.api import repair_reward
+
+        mdp = model_from_payload(self.mdp)
+        result = repair_reward(
+            mdp,
+            self.features,
+            self.theta,
+            self.constraints,
+            discount=self.discount,
+            delta_bound=self.delta_bound,
+            extra_starts=self.extra_starts,
+            seed=self.seed,
+        )
+        return {
+            "feasible": bool(result.feasible),
+            "theta_before": [float(x) for x in result.theta_before],
+            "theta_after": [float(x) for x in result.theta_after],
+            "policy_after": {
+                str(s): str(result.policy_after[s]) for s in mdp.states
+            },
+            "diagnostics": {
+                k: float(v) for k, v in result.diagnostics.items()
+            },
+            "solver_stats": dict(result.solver_stats),
+        }
+
+
+# ----------------------------------------------------------------------
+# Files
+# ----------------------------------------------------------------------
+def job_from_dict(payload: Mapping) -> JobSpec:
+    """Rebuild any registered job kind from its ``to_dict`` form."""
+    kind = payload.get("kind")
+    if kind not in JOB_KINDS:
+        raise ValueError(
+            f"unknown job kind {kind!r}; expected one of {sorted(JOB_KINDS)}"
+        )
+    body = {k: v for k, v in payload.items() if k not in ("kind", "job_id")}
+    return JOB_KINDS[kind].from_payload(payload["job_id"], body)
+
+
+def save_jobs(jobs: Sequence[JobSpec], path: Union[str, Path]) -> None:
+    """Write a batch to a JSON jobs file (``{"jobs": [...]}``)."""
+    payload = {"jobs": [job.to_dict() for job in jobs]}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_jobs_payload(payload: Union[Mapping, Sequence]) -> List[JobSpec]:
+    """Parse an already-decoded batch payload into job specs.
+
+    Accepts either ``{"jobs": [...]}`` or a bare array of job dicts.
+    Duplicate ``job_id`` values are rejected early — results are keyed
+    by id.  This is the parsing core shared by :func:`load_jobs` and
+    the HTTP ``POST /batch`` endpoint.
+    """
+    entries = payload["jobs"] if isinstance(payload, Mapping) else payload
+    jobs = [job_from_dict(entry) for entry in entries]
+    seen = set()
+    for job in jobs:
+        if job.job_id in seen:
+            raise ValueError(f"duplicate job_id {job.job_id!r} in batch")
+        seen.add(job.job_id)
+    return jobs
+
+
+def load_jobs(path: Union[str, Path]) -> List[JobSpec]:
+    """Read a jobs file written by :func:`save_jobs` (or by hand)."""
+    return load_jobs_payload(json.loads(Path(path).read_text()))
+
+
+def execute(spec: JobSpec, cache=None) -> Dict:
+    """Run one job spec against the library (module-level, picklable)."""
+    return spec.run(cache=cache)

@@ -1,0 +1,153 @@
+"""Minimal JSON-over-HTTP façade for the batch runtime (stdlib only).
+
+``repro serve`` exposes three endpoints on a
+:class:`http.server.ThreadingHTTPServer`:
+
+``GET /health``
+    Liveness probe — ``{"status": "ok", "batches": <count>}``.
+``GET /counters``
+    The server-lifetime telemetry counters
+    (:meth:`repro.service.telemetry.Telemetry.counters`).
+``POST /batch``
+    Body ``{"jobs": [...]}`` in the :mod:`repro.service.jobs` schema
+    (optional per-request ``max_retries`` / ``job_timeout`` overrides);
+    runs the batch synchronously and returns the
+    :meth:`~repro.service.runner.BatchReport.to_dict` report.
+
+Requests execute **inline** in the handler thread (``max_workers=0``) —
+the server is a thin remote-procedure surface for notebooks and smoke
+tests, not a scheduler; point heavy batches at ``repro batch`` and a
+real pool instead.  Handler threads are not the main thread, so the
+per-job alarm is skipped; rely on ``max_retries`` bounding instead.
+
+``build_server`` binds (port ``0`` picks a free port, for tests) and
+returns the server without starting it; call ``serve_forever`` on it.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.service.jobs import load_jobs_payload
+from repro.service.runner import BatchRunner
+from repro.service.telemetry import Telemetry
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes /health, /counters and /batch (see module docstring)."""
+
+    # Quiet by default: per-request stderr noise is telemetry's job.
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        pass
+
+    # -- plumbing -------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    @property
+    def _service(self) -> "ServiceServer":
+        return self.server  # type: ignore[return-value]
+
+    # -- routes ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        if self.path == "/health":
+            self._send_json(
+                200, {"status": "ok", "batches": self._service.batches_run}
+            )
+        elif self.path == "/counters":
+            self._send_json(200, self._service.telemetry.counters())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        if self.path != "/batch":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            jobs = load_jobs_payload(payload)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._send_json(400, {"error": f"bad batch request: {exc}"})
+            return
+        runner = self._service.make_runner(payload)
+        report = runner.run(jobs)
+        self._service.batches_run += 1
+        self._send_json(200, report.to_dict())
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` carrying the service state."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        telemetry: Telemetry,
+        store_dir: Optional[str] = None,
+        default_max_retries: int = 2,
+        default_job_timeout: Optional[float] = None,
+    ):
+        super().__init__(address, ServiceHandler)
+        self.telemetry = telemetry
+        self.store_dir = store_dir
+        self.default_max_retries = default_max_retries
+        self.default_job_timeout = default_job_timeout
+        self.batches_run = 0
+
+    def make_runner(self, request: Dict) -> BatchRunner:
+        """An inline runner honouring per-request overrides."""
+        overrides = request if isinstance(request, dict) else {}
+        return BatchRunner(
+            max_workers=0,
+            store_dir=self.store_dir,
+            telemetry=self.telemetry,
+            job_timeout=overrides.get("job_timeout", self.default_job_timeout),
+            max_retries=int(
+                overrides.get("max_retries", self.default_max_retries)
+            ),
+        )
+
+
+def build_server(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    store_dir: Optional[str] = None,
+    telemetry: Optional[Telemetry] = None,
+    max_retries: int = 2,
+    job_timeout: Optional[float] = None,
+) -> ServiceServer:
+    """Bind the service (``port=0`` → ephemeral); caller serves/closes."""
+    return ServiceServer(
+        (host, port),
+        telemetry=telemetry if telemetry is not None else Telemetry(),
+        store_dir=store_dir,
+        default_max_retries=max_retries,
+        default_job_timeout=job_timeout,
+    )
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    store_dir: Optional[str] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> None:
+    """Blocking entry point used by ``repro serve``."""
+    server = build_server(
+        host=host, port=port, store_dir=store_dir, telemetry=telemetry
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -1,0 +1,155 @@
+"""Content-addressed on-disk result store.
+
+:class:`~repro.checking.cache.CheckCache` memoises checking results and
+parametric closed forms *within* one process, keyed by SHA-256 content
+fingerprints (:func:`repro.checking.matrix.model_fingerprint`,
+:func:`repro.checking.cache.parametric_fingerprint`).  ``ResultStore``
+extends the same keys to disk: values are pickled under
+``<sha256(key)>.pkl`` inside a store directory, written atomically
+(temp file + ``os.replace``), so any number of worker processes can
+share one directory without coordination — the worst case for a racing
+write is doing the same work twice, never corruption.
+
+``open_disk_cache`` builds a ``CheckCache`` layered on a store, and
+``install_process_cache`` swaps it in as the process-global cache —
+the batch runner calls the latter inside every worker, which is what
+makes a warm re-run of an identical batch perform **zero** parametric
+eliminations across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.checking.cache import CheckCache, set_global_cache
+
+
+def key_digest(key: object) -> str:
+    """Stable hex digest of a cache key.
+
+    Keys are tuples of fingerprints, formula objects and engine names;
+    PCTL formulas print deterministically, so ``repr`` of the tuple is a
+    canonical text form.
+    """
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Pickle-per-key persistent store under one directory.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> store = ResultStore(tempfile.mkdtemp())
+    >>> store.get(("parametric", "abc")) is None
+    True
+    >>> store.put(("parametric", "abc"), {"value": 1})
+    >>> store.get(("parametric", "abc"))
+    {'value': 1}
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.reads = 0
+        self.read_hits = 0
+        self.writes = 0
+
+    def _path(self, key: object) -> Path:
+        return self.directory / f"{key_digest(key)}.pkl"
+
+    def get(self, key: object) -> Optional[object]:
+        """The stored value, or ``None`` on miss or unreadable entry."""
+        self.reads += 1
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            # Missing, truncated by a crashed writer, or pickled against
+            # a different code version: all equivalent to a cache miss.
+            return None
+        self.read_hits += 1
+        return value
+
+    def put(self, key: object, value: object) -> None:
+        """Persist ``value`` under ``key`` (atomic, last writer wins)."""
+        path = self._path(key)
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PickleError, TypeError, AttributeError):
+            return  # unpicklable values simply stay memory-only
+        temp_name = None
+        try:
+            # The directory may have been removed under us (e.g. a
+            # temporary store outliving its test); persistence is
+            # best-effort, so recreate it and never raise.
+            self.directory.mkdir(parents=True, exist_ok=True)
+            handle, temp_name = tempfile.mkstemp(
+                dir=str(self.directory), suffix=".tmp"
+            )
+            with os.fdopen(handle, "wb") as temp:
+                temp.write(payload)
+            os.replace(temp_name, path)
+            self.writes += 1
+        except OSError:
+            if temp_name is not None:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+
+    def __contains__(self, key: object) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+    def stats(self) -> Dict[str, int]:
+        """Read/write counters for this handle (not directory-wide)."""
+        return {
+            "reads": self.reads,
+            "read_hits": self.read_hits,
+            "writes": self.writes,
+        }
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.directory)!r}, entries={len(self)})"
+
+
+def open_disk_cache(
+    directory: Union[str, Path], max_entries: int = 4096
+) -> CheckCache:
+    """A :class:`CheckCache` write-through layered on a ``ResultStore``."""
+    return CheckCache(max_entries=max_entries, backing=ResultStore(directory))
+
+
+#: Directory of the store currently installed as the process-global
+#: cache backing (``None`` when the global cache is memory-only).
+_installed_directory: Optional[str] = None
+
+
+def install_process_cache(
+    directory: Union[str, Path], max_entries: int = 4096
+) -> CheckCache:
+    """Install a disk-backed cache as the process-global ``CheckCache``.
+
+    Idempotent per directory: repeated calls (one per job landing on a
+    pooled worker) keep the existing cache — and its warm memo — when it
+    is already backed by the same store.
+    """
+    global _installed_directory
+    from repro.checking import cache as cache_module
+
+    resolved = str(Path(directory).resolve())
+    if _installed_directory == resolved:
+        return cache_module.GLOBAL_CACHE
+    fresh = open_disk_cache(resolved, max_entries=max_entries)
+    set_global_cache(fresh)
+    _installed_directory = resolved
+    return fresh

@@ -279,9 +279,11 @@ class TestMatrixAndCache:
         cache = CheckCache()
         assert cache.get_or_compute(("k",), lambda: 1) == 1
         assert cache.get_or_compute(("k",), lambda: 2) == 1
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"], stats["entries"]) == (1, 1, 1)
         cache.clear()
-        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"], stats["entries"]) == (0, 0, 0)
 
     def test_cached_check_reuses_result(self, two_path_chain):
         cache = CheckCache()

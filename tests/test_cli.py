@@ -28,6 +28,99 @@ class TestCheck:
         assert "violated" in capsys.readouterr().out
 
 
+class TestEngineAndSeedFlags:
+    def test_check_dense_engine_matches_sparse(self, chain_file, capsys):
+        assert main(["check", chain_file, 'P>=0.9 [ F "goal" ]']) == 0
+        sparse_out = capsys.readouterr().out
+        assert (
+            main(
+                ["check", chain_file, 'P>=0.9 [ F "goal" ]',
+                 "--engine", "dense", "--seed", "3"]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == sparse_out
+
+    def test_check_rejects_unknown_engine(self, chain_file):
+        with pytest.raises(SystemExit):
+            main(["check", chain_file, 'P>=0.9 [ F "goal" ]',
+                  "--engine", "cursed"])
+
+    def test_model_repair_seed_is_reproducible(self, chain_file, capsys):
+        args = ["model-repair", chain_file, 'R<=6 [ F "goal" ]',
+                "--engine", "dense", "--seed", "5"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        assert "status: repaired" in first
+
+    def test_counterexample_engine_flag(self, chain_file, capsys):
+        code = main(
+            ["counterexample", chain_file, 'P<=0.999 [ F "missing" ]',
+             "--engine", "dense", "--seed", "1"]
+        )
+        assert code == 0
+        assert "no counterexample" in capsys.readouterr().out
+
+
+class TestBatch:
+    @pytest.fixture
+    def jobs_file(self, tmp_path):
+        from repro.service.jobs import CheckJob, ModelRepairJob, save_jobs
+
+        chain = chain_dtmc(5, forward_probability=0.5)
+        jobs = [
+            CheckJob.for_model("check-ok", chain, 'P>=0.2 [ F "goal" ]'),
+            CheckJob.for_model("check-tight", chain, 'P>=0.99 [ F "goal" ]'),
+            ModelRepairJob.for_model("repair", chain, 'R<=6 [ F "goal" ]'),
+        ]
+        path = tmp_path / "jobs.json"
+        save_jobs(jobs, path)
+        return str(path)
+
+    def test_batch_end_to_end(self, jobs_file, tmp_path, capsys):
+        report_file = tmp_path / "report.json"
+        telemetry_file = tmp_path / "telemetry.jsonl"
+        code = main(
+            ["batch", jobs_file, "--workers", "0",
+             "--store", str(tmp_path / "store"),
+             "--telemetry", str(telemetry_file),
+             "-o", str(report_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "succeeded=3" in out
+        assert "telemetry counters" in out
+
+        import json
+
+        report = json.loads(report_file.read_text())
+        assert report["statuses"] == {"succeeded": 3}
+        assert {entry["job_id"] for entry in report["outcomes"]} == {
+            "check-ok", "check-tight", "repair",
+        }
+
+        from repro.service.telemetry import aggregate_events, read_events
+
+        counters = aggregate_events(read_events(telemetry_file))
+        assert counters["job_end"] == 3
+        assert counters["batch_end"] == 1
+
+    def test_batch_failing_job_sets_exit_code(self, tmp_path, capsys):
+        from repro.service.jobs import CheckJob, save_jobs
+
+        chain = chain_dtmc(4, forward_probability=0.5)
+        jobs = [CheckJob.for_model("bad", chain, "not a formula")]
+        path = tmp_path / "jobs.json"
+        save_jobs(jobs, path)
+        code = main(
+            ["batch", str(path), "--workers", "0", "--max-retries", "0"]
+        )
+        assert code == 1
+        assert "failed-after-retries" in capsys.readouterr().out
+
+
 class TestModelRepair:
     def test_repair_writes_output(self, chain_file, tmp_path, capsys):
         out_file = tmp_path / "repaired.json"

@@ -8,6 +8,7 @@ import doctest
 
 import pytest
 
+import repro.checking.cache
 import repro.checking.parametric
 import repro.checking.statistical
 import repro.ctmc.model
@@ -20,6 +21,8 @@ import repro.mdp.policy
 import repro.mdp.simulation
 import repro.mdp.trajectory
 import repro.optimize.nlp
+import repro.service.faults
+import repro.service.store
 import repro.symbolic.polynomial
 import repro.symbolic.rational
 
@@ -32,12 +35,15 @@ MODULES = [
     repro.mdp.simulation,
     repro.mdp.interval,
     repro.mdp.lumping,
+    repro.checking.cache,
     repro.checking.parametric,
     repro.checking.statistical,
     repro.learning.irl,
     repro.optimize.nlp,
     repro.hmm.model,
     repro.ctmc.model,
+    repro.service.faults,
+    repro.service.store,
 ]
 
 

@@ -1,0 +1,201 @@
+"""Job specs: JSON round-trip, fingerprints, and execution."""
+
+import json
+
+import pytest
+
+from repro.casestudies import car
+from repro.data import TraceDataset, TraceGroup
+from repro.mdp import Trajectory, chain_dtmc
+from repro.service import (
+    CheckJob,
+    DataRepairJob,
+    ModelRepairJob,
+    RewardRepairJob,
+    execute,
+    job_from_dict,
+    load_jobs,
+    save_jobs,
+)
+from repro.service.jobs import load_jobs_payload
+
+
+@pytest.fixture
+def sluggish_chain():
+    return chain_dtmc(5, forward_probability=0.5)
+
+
+def observations(source, target, count):
+    return [Trajectory.from_states([source, target]) for _ in range(count)]
+
+
+@pytest.fixture
+def noisy_dataset():
+    """40% forward successes, 60% failures (the paper's proportions)."""
+    return TraceDataset(
+        [
+            TraceGroup("success", observations("a", "b", 40), droppable=False),
+            TraceGroup("failure", observations("a", "a", 60)),
+        ]
+    )
+
+
+def data_repair_job(dataset, job_id="d1", bound=2):
+    return DataRepairJob.for_dataset(
+        job_id,
+        dataset,
+        f'R<={bound} [ F "goal" ]',
+        initial_state="a",
+        states=["a", "b"],
+        labels={"b": ["goal"]},
+        state_rewards={"a": 1.0},
+    )
+
+
+class TestRoundTrip:
+    def test_check_job(self, sluggish_chain):
+        job = CheckJob.for_model(
+            "c1", sluggish_chain, 'P>=0.2 [ F "goal" ]', engine="dense"
+        )
+        clone = job_from_dict(json.loads(json.dumps(job.to_dict())))
+        assert isinstance(clone, CheckJob)
+        assert clone.to_dict() == job.to_dict()
+        assert clone.engine == "dense"
+
+    def test_model_repair_job(self, sluggish_chain):
+        job = ModelRepairJob.for_model(
+            "m1", sluggish_chain, 'R<=6 [ F "goal" ]', max_perturbation=0.3,
+            seed=7,
+        )
+        clone = job_from_dict(json.loads(json.dumps(job.to_dict())))
+        assert isinstance(clone, ModelRepairJob)
+        assert clone.to_dict() == job.to_dict()
+        assert clone.max_perturbation == 0.3
+        assert clone.seed == 7
+
+    def test_data_repair_job(self, noisy_dataset):
+        job = data_repair_job(noisy_dataset)
+        clone = job_from_dict(json.loads(json.dumps(job.to_dict())))
+        assert isinstance(clone, DataRepairJob)
+        assert clone.to_dict() == job.to_dict()
+
+    def test_reward_repair_job(self):
+        mdp = car.build_car_mdp()
+        job = RewardRepairJob.for_mdp(
+            "r1",
+            mdp,
+            car.car_features().table,
+            car.PAPER_LEARNED_THETA,
+            [{"state": "S1", "preferred": car.LEFT,
+              "dispreferred": car.FORWARD}],
+            discount=car.DISCOUNT,
+        )
+        clone = job_from_dict(json.loads(json.dumps(job.to_dict())))
+        assert isinstance(clone, RewardRepairJob)
+        assert clone.to_dict() == job.to_dict()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            job_from_dict({"kind": "nope", "job_id": "x"})
+
+    def test_empty_job_id_rejected(self, sluggish_chain):
+        with pytest.raises(ValueError, match="job_id"):
+            CheckJob.for_model("", sluggish_chain, 'P>=0.2 [ F "goal" ]')
+
+
+class TestFingerprint:
+    def test_independent_of_job_id(self, sluggish_chain):
+        a = CheckJob.for_model("a", sluggish_chain, 'P>=0.2 [ F "goal" ]')
+        b = CheckJob.for_model("b", sluggish_chain, 'P>=0.2 [ F "goal" ]')
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_sensitive_to_content(self, sluggish_chain):
+        a = CheckJob.for_model("a", sluggish_chain, 'P>=0.2 [ F "goal" ]')
+        b = CheckJob.for_model("a", sluggish_chain, 'P>=0.9 [ F "goal" ]')
+        c = CheckJob.for_model(
+            "a", chain_dtmc(5, forward_probability=0.6), 'P>=0.2 [ F "goal" ]'
+        )
+        assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
+
+    def test_survives_json_round_trip(self, sluggish_chain):
+        job = ModelRepairJob.for_model("m", sluggish_chain, 'R<=6 [ F "goal" ]')
+        clone = job_from_dict(json.loads(json.dumps(job.to_dict())))
+        assert clone.fingerprint() == job.fingerprint()
+
+
+class TestExecution:
+    def test_check_job_runs(self, sluggish_chain):
+        job = CheckJob.for_model("c", sluggish_chain, 'P>=0.2 [ F "goal" ]')
+        result = execute(job)
+        assert result["holds"] is True
+        assert result["method"] == "exact"
+        assert result["value"] == pytest.approx(1.0)
+
+    def test_check_job_statistical(self, sluggish_chain):
+        job = CheckJob.for_model(
+            "c", sluggish_chain, 'P>=0.2 [ F "goal" ]', smc_samples=500
+        )
+        result = job.run_statistical(seed=1)
+        assert result["method"] == "statistical"
+        assert result["holds"] is True
+        assert result["samples"] > 0
+
+    def test_statistical_rejects_mdp(self, two_action_mdp):
+        job = CheckJob.for_model(
+            "c", two_action_mdp, 'P>=0.1 [ F "goal" ]'
+        )
+        with pytest.raises(TypeError, match="DTMC"):
+            job.run_statistical()
+
+    def test_model_repair_job_repairs(self, sluggish_chain):
+        job = ModelRepairJob.for_model("m", sluggish_chain, 'R<=6 [ F "goal" ]')
+        result = execute(job)
+        assert result["status"] == "repaired"
+        assert result["verified"] is True
+        assert result["solver_stats"]["iterations"] > 0
+        assert "repaired_model" in result
+
+    def test_data_repair_job_repairs(self, noisy_dataset):
+        # E[attempts] = 1/0.4 = 2.5; require <= 2 -> need p(a->b) >= 0.5.
+        result = execute(data_repair_job(noisy_dataset))
+        assert result["status"] == "repaired"
+        assert result["verified"] is True
+        assert result["drop_probabilities"]["failure"] > 0
+
+    def test_reward_repair_job_flips_policy(self):
+        mdp = car.build_car_mdp()
+        job = RewardRepairJob.for_mdp(
+            "r",
+            mdp,
+            car.car_features().table,
+            car.PAPER_LEARNED_THETA,
+            [{"state": "S1", "preferred": car.LEFT,
+              "dispreferred": car.FORWARD}],
+            discount=car.DISCOUNT,
+        )
+        result = execute(job)
+        assert result["feasible"] is True
+        assert result["policy_after"]["S1"] == str(car.LEFT)
+
+
+class TestJobFiles:
+    def test_save_and_load(self, tmp_path, sluggish_chain):
+        jobs = [
+            CheckJob.for_model("c1", sluggish_chain, 'P>=0.2 [ F "goal" ]'),
+            ModelRepairJob.for_model("m1", sluggish_chain, 'R<=6 [ F "goal" ]'),
+        ]
+        path = tmp_path / "jobs.json"
+        save_jobs(jobs, path)
+        loaded = load_jobs(path)
+        assert [job.job_id for job in loaded] == ["c1", "m1"]
+        assert [job.to_dict() for job in loaded] == [job.to_dict() for job in jobs]
+
+    def test_bare_array_accepted(self, sluggish_chain):
+        job = CheckJob.for_model("c1", sluggish_chain, 'P>=0.2 [ F "goal" ]')
+        loaded = load_jobs_payload([job.to_dict()])
+        assert loaded[0].job_id == "c1"
+
+    def test_duplicate_ids_rejected(self, sluggish_chain):
+        job = CheckJob.for_model("dup", sluggish_chain, 'P>=0.2 [ F "goal" ]')
+        with pytest.raises(ValueError, match="duplicate job_id"):
+            load_jobs_payload([job.to_dict(), job.to_dict()])

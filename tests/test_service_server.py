@@ -1,0 +1,112 @@
+"""HTTP façade: health, counters, synchronous batch execution."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.mdp import chain_dtmc
+from repro.service.jobs import CheckJob, ModelRepairJob
+from repro.service.server import build_server
+from repro.service.telemetry import Telemetry
+
+pytestmark = pytest.mark.service
+
+
+@pytest.fixture
+def service():
+    """A running server on an ephemeral port; yields its base URL."""
+    telemetry = Telemetry()
+    server = build_server(port=0, telemetry=telemetry)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://{host}:{port}", telemetry
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def get_json(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def post_json(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestEndpoints:
+    def test_health(self, service):
+        base, _ = service
+        status, body = get_json(base + "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_unknown_path_404(self, service):
+        base, _ = service
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(base + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_batch_executes_jobs(self, service):
+        base, telemetry = service
+        chain = chain_dtmc(5, forward_probability=0.5)
+        jobs = [
+            CheckJob.for_model("c1", chain, 'P>=0.2 [ F "goal" ]').to_dict(),
+            ModelRepairJob.for_model(
+                "m1", chain, 'R<=6 [ F "goal" ]'
+            ).to_dict(),
+        ]
+        status, report = post_json(base + "/batch", {"jobs": jobs})
+        assert status == 200
+        assert report["statuses"] == {"succeeded": 2}
+        by_id = {entry["job_id"]: entry for entry in report["outcomes"]}
+        assert by_id["c1"]["result"]["holds"] is True
+        assert by_id["m1"]["result"]["status"] == "repaired"
+        assert telemetry.counters()["job_end"] == 2
+
+    def test_counters_reflect_served_batches(self, service):
+        base, _ = service
+        chain = chain_dtmc(4, forward_probability=0.5)
+        job = CheckJob.for_model("c", chain, 'P>=0.2 [ F "goal" ]').to_dict()
+        post_json(base + "/batch", {"jobs": [job]})
+        _, counters = get_json(base + "/counters")
+        assert counters["job_end"] >= 1
+        _, health = get_json(base + "/health")
+        assert health["batches"] == 1
+
+    def test_malformed_batch_400(self, service):
+        base, _ = service
+        for payload in (
+            {"jobs": [{"kind": "nope", "job_id": "x"}]},
+            {"jobs": [{"kind": "check"}]},  # missing job_id/model
+            {"no_jobs_key": True},
+        ):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post_json(base + "/batch", payload)
+            assert excinfo.value.code == 400
+
+    def test_per_request_retry_override(self, service):
+        base, _ = service
+        # An unknown-formula job fails deterministically; max_retries=0
+        # must terminate it after exactly one attempt.
+        chain = chain_dtmc(4, forward_probability=0.5)
+        job = CheckJob.for_model("bad", chain, "this is not PCTL").to_dict()
+        status, report = post_json(
+            base + "/batch", {"jobs": [job], "max_retries": 0}
+        )
+        assert status == 200
+        outcome = report["outcomes"][0]
+        assert outcome["status"] == "failed-after-retries"
+        assert outcome["attempts"] == 1

@@ -1,0 +1,160 @@
+"""Result store, LRU-capped CheckCache, and cross-process persistence."""
+
+import pytest
+
+from repro.checking.cache import CheckCache, cached_check, set_global_cache
+from repro.core import ModelRepair
+from repro.logic import parse_pctl
+from repro.mdp import chain_dtmc
+from repro.service.store import (
+    ResultStore,
+    install_process_cache,
+    key_digest,
+    open_disk_cache,
+)
+
+
+@pytest.fixture
+def sluggish_chain():
+    return chain_dtmc(5, forward_probability=0.5)
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = ("parametric", "abc", "sparse")
+        assert store.get(key) is None
+        store.put(key, {"value": 41})
+        assert store.get(key) == {"value": 41}
+        assert key in store
+        assert len(store) == 1
+
+    def test_counters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.get("missing")
+        store.put("k", 1)
+        store.get("k")
+        assert store.stats() == {"reads": 2, "read_hits": 1, "writes": 1}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", [1, 2, 3])
+        path = store._path("k")
+        path.write_bytes(b"not a pickle")
+        assert store.get("k") is None
+
+    def test_unpicklable_value_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", lambda: None)  # locals cannot pickle
+        assert store.get("k") is None
+        assert store.writes == 0
+
+    def test_key_digest_stable(self):
+        key = ("model", "deadbeef", "P>=0.5")
+        assert key_digest(key) == key_digest(("model", "deadbeef", "P>=0.5"))
+        assert key_digest(key) != key_digest(("model", "deadbeef", "P>=0.6"))
+
+    def test_two_handles_share_directory(self, tmp_path):
+        ResultStore(tmp_path).put("k", "shared")
+        assert ResultStore(tmp_path).get("k") == "shared"
+
+
+class TestLRUCap:
+    def test_cap_enforced_with_eviction_counter(self):
+        cache = CheckCache(max_entries=2)
+        for i in range(4):
+            cache.get_or_compute(("k", i), lambda i=i: i)
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 2
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            CheckCache(max_entries=0)
+
+    def test_hit_refreshes_recency(self):
+        cache = CheckCache(max_entries=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: 1)  # refresh "a"
+        cache.get_or_compute("c", lambda: 3)  # evicts "b", not "a"
+        hits_before = cache.stats()["hits"]
+        cache.get_or_compute("a", lambda: (_ for _ in ()).throw(AssertionError))
+        assert cache.stats()["hits"] == hits_before + 1
+
+    def test_eviction_falls_back_to_backing(self, tmp_path):
+        cache = CheckCache(max_entries=1, backing=ResultStore(tmp_path))
+        cache.get_or_compute("a", lambda: "va")
+        cache.get_or_compute("b", lambda: "vb")  # evicts "a" from memory
+        value = cache.get_or_compute(
+            "a", lambda: (_ for _ in ()).throw(AssertionError("recompute"))
+        )
+        assert value == "va"
+        assert cache.stats()["backing_hits"] == 1
+
+    def test_repeated_repair_hits_cache_under_small_cap(self, sluggish_chain):
+        """The repair cache-hit guarantee survives an LRU cap.
+
+        Repairing the same (model, φ) twice against one capped cache
+        must not redo the parametric elimination: one repair touches
+        only a handful of keys (concrete check, parametric form,
+        re-verification), all of which fit in a small cache.
+        """
+        formula = parse_pctl('R<=6 [ F "goal" ]')
+        cache = CheckCache(max_entries=8)
+        first = ModelRepair.for_chain(sluggish_chain, formula)
+        first.cache = cache
+        assert first.repair().status == "repaired"
+        eliminations = cache.stats()["parametric_eliminations"]
+        assert eliminations >= 1
+        second = ModelRepair.for_chain(sluggish_chain, formula)
+        second.cache = cache
+        assert second.repair().status == "repaired"
+        stats = cache.stats()
+        assert stats["parametric_eliminations"] == eliminations
+        assert stats["hits"] >= 2
+
+
+class TestDiskBackedCache:
+    def test_write_through_and_reload(self, tmp_path, sluggish_chain):
+        formula = parse_pctl('P>=0.2 [ F "goal" ]')
+        warm = open_disk_cache(tmp_path)
+        cached_check(sluggish_chain, formula, cache=warm)
+        assert warm.stats()["misses"] == 1
+
+        # A fresh cache over the same directory: miss in memory, hit on
+        # disk — no recomputation (simulates a second worker process).
+        cold = open_disk_cache(tmp_path)
+        result = cached_check(sluggish_chain, formula, cache=cold)
+        assert result.holds
+        stats = cold.stats()
+        assert stats["backing_hits"] == 1
+        assert stats["hits"] == 1
+
+    def test_repair_shares_eliminations_across_caches(
+        self, tmp_path, sluggish_chain
+    ):
+        formula = parse_pctl('R<=6 [ F "goal" ]')
+        first = ModelRepair.for_chain(sluggish_chain, formula)
+        first.cache = open_disk_cache(tmp_path)
+        assert first.repair().status == "repaired"
+
+        second = ModelRepair.for_chain(sluggish_chain, formula)
+        second.cache = open_disk_cache(tmp_path)
+        assert second.repair().status == "repaired"
+        assert second.cache.stats()["parametric_eliminations"] == 0
+
+    def test_install_process_cache_idempotent(self, tmp_path):
+        from repro.checking import cache as cache_module
+
+        previous = cache_module.GLOBAL_CACHE
+        try:
+            installed = install_process_cache(tmp_path)
+            assert cache_module.GLOBAL_CACHE is installed
+            again = install_process_cache(tmp_path)
+            assert again is installed
+        finally:
+            set_global_cache(previous)
+            import repro.service.store as store_module
+
+            store_module._installed_directory = None

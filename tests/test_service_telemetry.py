@@ -1,0 +1,119 @@
+"""Telemetry: JSON-lines emission, counters, and offline aggregation."""
+
+import json
+import threading
+
+from repro.service.telemetry import (
+    SUMMED_FIELDS,
+    Telemetry,
+    aggregate_events,
+    read_events,
+)
+
+
+def fixed_clock():
+    return 1722945600.0
+
+
+class TestEmission:
+    def test_event_shape(self):
+        telemetry = Telemetry(clock=fixed_clock)
+        record = telemetry.emit("job_end", job_id="a", status="succeeded")
+        assert record == {
+            "ts": 1722945600.0,
+            "event": "job_end",
+            "job_id": "a",
+            "status": "succeeded",
+        }
+        assert telemetry.events == [record]
+
+    def test_written_as_json_lines(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        telemetry = Telemetry(path=path, clock=fixed_clock)
+        telemetry.emit("batch_start", jobs=3)
+        telemetry.emit("batch_end", wall_clock=1.5)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["event"] == "batch_start"
+        assert json.loads(lines[1])["wall_clock"] == 1.5
+
+    def test_unserialisable_fields_stringified(self):
+        telemetry = Telemetry(clock=fixed_clock)
+        record = telemetry.emit("job_end", obj=object())
+        # The line must always be writable; objects degrade to str().
+        assert json.dumps(record, default=str)
+
+    def test_thread_safety(self, tmp_path):
+        telemetry = Telemetry(path=tmp_path / "t.jsonl")
+        threads = [
+            threading.Thread(
+                target=lambda: [telemetry.emit("tick") for _ in range(50)]
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert telemetry.counters()["tick"] == 200
+        assert len(read_events(tmp_path / "t.jsonl")) == 200
+
+
+class TestCounters:
+    def test_event_counts(self):
+        telemetry = Telemetry()
+        telemetry.emit("job_start")
+        telemetry.emit("job_start")
+        telemetry.emit("job_end")
+        counters = telemetry.counters()
+        assert counters["job_start"] == 2
+        assert counters["job_end"] == 1
+
+    def test_summed_fields_accumulate(self):
+        telemetry = Telemetry()
+        telemetry.emit("job_attempt", solver_iterations=10, cache_hits=2)
+        telemetry.emit("job_attempt", solver_iterations=5, cache_hits=1)
+        counters = telemetry.counters()
+        assert counters["solver_iterations"] == 15
+        assert counters["cache_hits"] == 3
+
+    def test_non_numeric_summed_field_ignored(self):
+        telemetry = Telemetry()
+        telemetry.emit("weird", cache_hits="not-a-number")
+        assert "cache_hits" not in telemetry.counters()
+
+    def test_summary_lists_all_counters(self):
+        telemetry = Telemetry()
+        telemetry.emit("job_end", parametric_eliminations=2)
+        summary = telemetry.summary()
+        assert "job_end" in summary
+        assert "parametric_eliminations" in summary
+
+    def test_empty_summary(self):
+        assert "no events" in Telemetry().summary()
+
+
+class TestOfflineAggregation:
+    def test_read_events_skips_garbage(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(
+            '{"event": "a", "ts": 1}\n'
+            "this line was truncated by a cra\n"
+            '{"event": "b", "ts": 2, "solver_iterations": 7}\n'
+        )
+        events = read_events(path)
+        assert [event["event"] for event in events] == ["a", "b"]
+
+    def test_aggregate_matches_live_counters(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        telemetry = Telemetry(path=path)
+        telemetry.emit("job_attempt", cache_misses=3)
+        telemetry.emit("job_end", status="succeeded")
+        telemetry.emit("job_attempt", cache_misses=1, solver_iterations=4)
+        assert aggregate_events(read_events(path)) == telemetry.counters()
+
+    def test_summed_fields_registry(self):
+        # The runner relies on these names lining up with job_attempt
+        # event fields; a rename must update both sides.
+        assert "parametric_eliminations" in SUMMED_FIELDS
+        assert "solver_iterations" in SUMMED_FIELDS
