@@ -4,6 +4,7 @@ Subcommands::
 
     repro check <model.json> "<pctl formula>" [--engine E] [--seed N]
     repro model-repair <model.json> "<pctl formula>" [--max-perturbation D]
+    repro rate-repair <ctmc.json> --targets A,B --bound T [--max-speedup S]
     repro counterexample <model.json> "<pctl formula>" [--max-paths N]
     repro export-prism <model.json> [-o out.pm]
     repro batch <jobs.json> [--workers N] [--store DIR] [--telemetry LOG]
@@ -62,6 +63,11 @@ def _cmd_model_repair(args: argparse.Namespace) -> int:
         engine=args.engine,
     )
     result = repair.repair(seed=args.seed)
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0 if result.feasible else 1
     print(f"status: {result.status}")
     if result.status == "repaired":
         print(f"cost g(Z) = {result.objective_value:.6g}")
@@ -73,6 +79,47 @@ def _cmd_model_repair(args: argparse.Namespace) -> int:
         if args.output:
             save_model(result.repaired_model, args.output)
             print(f"repaired model written to {args.output}")
+    return 0 if result.feasible else 1
+
+
+def _cmd_rate_repair(args: argparse.Namespace) -> int:
+    from repro.core import repair_rates
+    from repro.ctmc import CTMC
+    from repro.io import load_model, save_model
+
+    model = load_model(args.model)
+    if not isinstance(model, CTMC):
+        print("rate-repair operates on CTMC models", file=sys.stderr)
+        return 2
+    np.random.seed(args.seed)
+    targets = [t for t in args.targets.split(",") if t]
+    if not targets:
+        print("--targets needs at least one state", file=sys.stderr)
+        return 2
+    result = repair_rates(
+        model,
+        targets,
+        args.bound,
+        max_speedup=args.max_speedup,
+        seed=args.seed,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0 if result.feasible else 1
+    print(f"status: {result.status}")
+    print(f"expected time = {result.expected_time:.6g} (bound {args.bound:.6g})")
+    if result.status == "repaired":
+        nonzero = {
+            k: round(v, 6)
+            for k, v in result.scales.items()
+            if abs(v - 1.0) > 1e-9
+        }
+        print(f"rate scales: {nonzero}")
+        if args.output:
+            save_model(result.repaired_ctmc, args.output)
+            print(f"repaired CTMC written to {args.output}")
     return 0 if result.feasible else 1
 
 
@@ -263,7 +310,38 @@ def build_parser() -> argparse.ArgumentParser:
     repair.add_argument("formula")
     repair.add_argument("--max-perturbation", type=float, default=None)
     repair.add_argument("-o", "--output", default=None)
+    repair.add_argument(
+        "--json",
+        action="store_true",
+        help="print the canonical RepairResult.to_dict() payload",
+    )
     repair.set_defaults(func=_cmd_model_repair)
+
+    rate = sub.add_parser(
+        "rate-repair",
+        parents=[engine_opts],
+        help="scale CTMC rates to meet an expected-time bound",
+    )
+    rate.add_argument("model", help="JSON CTMC file (see repro.io.save_model)")
+    rate.add_argument(
+        "--targets",
+        required=True,
+        help="comma-separated target states for the hitting time",
+    )
+    rate.add_argument(
+        "--bound",
+        type=float,
+        required=True,
+        help="upper bound on the expected time to the targets",
+    )
+    rate.add_argument("--max-speedup", type=float, default=2.0)
+    rate.add_argument("-o", "--output", default=None)
+    rate.add_argument(
+        "--json",
+        action="store_true",
+        help="print the canonical RepairResult.to_dict() payload",
+    )
+    rate.set_defaults(func=_cmd_rate_repair)
 
     cx = sub.add_parser(
         "counterexample",

@@ -20,6 +20,7 @@ from repro.core.api import (
     check_model,
     repair_data,
     repair_model,
+    repair_rates,
     repair_reward,
 )
 from repro.core.costs import (
@@ -49,6 +50,7 @@ __all__ = [
     "repair_model",
     "repair_data",
     "repair_reward",
+    "repair_rates",
     "ModelRepair",
     "ModelRepairResult",
     "DataRepair",

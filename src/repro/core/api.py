@@ -14,6 +14,7 @@ Each function mirrors one decision-procedure step:
 ``repair_model``     check → **Model Repair** (Definition 1)
 ``repair_data``      check → **Data Repair** (Definition 3)
 ``repair_reward``    check → **Reward Repair** (Definition 2, Q-route)
+``repair_rates``     check → **Rate Repair** (the CTMC extension)
 """
 
 from __future__ import annotations
@@ -173,3 +174,32 @@ def repair_reward(
         extra_starts=extra_starts,
         seed=seed,
     )
+
+
+def repair_rates(
+    ctmc,
+    targets: Sequence[State],
+    bound: float,
+    *,
+    controllable: Optional[Sequence[State]] = None,
+    max_speedup: float = 2.0,
+    extra_starts: int = 6,
+    seed: int = 0,
+    cache: Optional[CheckCache] = None,
+):
+    """CTMC rate repair: scale rates so ``E[time to targets] ≤ bound``.
+
+    A kwargs-only wrapper over :class:`~repro.ctmc.repair.RateRepair`;
+    returns the :class:`~repro.ctmc.repair.RateRepairResult`.
+    """
+    from repro.ctmc.repair import RateRepair
+
+    repair = RateRepair(
+        ctmc,
+        set(targets),
+        bound,
+        controllable=controllable,
+        max_speedup=max_speedup,
+        cache=cache,
+    )
+    return repair.repair(extra_starts=extra_starts, seed=seed)

@@ -12,16 +12,16 @@ traces) so that the model re-learned from the perturbed data satisfies
 The inner maximum-likelihood problem has a closed-form solution whose
 transition probabilities are *rational functions* of the per-group drop
 probabilities ``p_g`` (see :func:`repro.learning.mle.parametric_mle_dtmc`),
-so the outer problem reduces — exactly as Proposition 3 states — to a
-nonlinear program over rational constraints, solved the same way as
-Model Repair.
+so the outer problem reduces — exactly as Proposition 3 states — to the
+same :class:`~repro.repair.RepairProblem` shape as Model Repair, with
+the drop probabilities as the decision variables.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, Iterable, Mapping, Optional, Sequence
 
-from repro.checking.cache import CheckCache, cached_check, get_cache
+from repro.checking.cache import CheckCache
 from repro.data.dataset import TraceDataset
 from repro.learning.mle import (
     learn_dtmc,
@@ -30,12 +30,8 @@ from repro.learning.mle import (
 )
 from repro.logic.pctl import StateFormula
 from repro.mdp.model import DTMC
-from repro.optimize import (
-    Constraint,
-    NonlinearProgram,
-    Variable,
-    constraint_from_parametric,
-)
+from repro.optimize import Variable
+from repro.repair import ParametricSpec, RepairProblem, RepairResult, solve_repair
 
 State = Hashable
 Assignment = Dict[str, float]
@@ -43,30 +39,28 @@ Assignment = Dict[str, float]
 _MAX_DROP = 1.0 - 1e-6
 
 
-class DataRepairResult:
+class DataRepairResult(RepairResult):
     """Outcome of a Data Repair attempt.
+
+    Carries the shared :class:`~repro.repair.RepairResult` fields plus:
 
     Attributes
     ----------
-    status:
-        ``"already_satisfied"``, ``"repaired"`` or ``"infeasible"``.
     drop_probabilities:
-        Per-group drop probability ``p_g`` (the repair).  In
-        ``"augment"`` mode these are the duplication weights ``w_g``
-        instead.
+        Per-group drop probability ``p_g`` (the repair; an alias of the
+        base ``assignment``).  In ``"augment"`` mode these are the
+        duplication weights ``w_g`` instead.
     repaired_model:
         The chain learned from the repaired data distribution.
     expected_dropped:
         Expected number of traces removed (added, in ``"augment"``
         mode).
     effort:
-        The teaching-effort objective ``Σ p_g²`` at the solution.
-    verified:
-        Whether the repaired model was concretely re-checked.
-    solver_stats:
-        Aggregate NLP accounting (iterations, function evaluations,
-        converged starts); empty when no solve ran.
+        The teaching-effort objective ``Σ p_g²`` at the solution (an
+        alias of the base ``objective_value``).
     """
+
+    flavor = "data"
 
     def __init__(
         self,
@@ -79,26 +73,70 @@ class DataRepairResult:
         message: str = "",
         solver_stats: Optional[Mapping[str, int]] = None,
     ):
-        self.status = status
-        self.drop_probabilities = dict(drop_probabilities)
+        super().__init__(
+            status=status,
+            assignment=drop_probabilities,
+            objective_value=effort,
+            verified=verified,
+            message=message,
+            solver_stats=solver_stats,
+        )
         self.repaired_model = repaired_model
         self.expected_dropped = expected_dropped
-        self.effort = effort
-        self.verified = verified
-        self.message = message
-        self.solver_stats = dict(solver_stats or {})
 
     @property
-    def feasible(self) -> bool:
-        """True unless the repair problem was infeasible."""
-        return self.status != "infeasible"
+    def drop_probabilities(self) -> Dict[str, float]:
+        """The per-group repair vector (alias of ``assignment``)."""
+        return self.assignment
 
-    def __repr__(self) -> str:
+    @property
+    def effort(self) -> float:
+        """The teaching-effort objective (alias of ``objective_value``)."""
+        return self.objective_value
+
+    def extra_payload(self) -> Dict:
+        from repro.io.json_io import model_to_payload
+
+        return {
+            "drop_probabilities": {
+                str(name): float(value)
+                for name, value in self.drop_probabilities.items()
+            },
+            "expected_dropped": float(self.expected_dropped),
+            "effort": float(self.effort),
+            "repaired_model": (
+                None
+                if self.repaired_model is None
+                else model_to_payload(self.repaired_model)
+            ),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: Mapping) -> "DataRepairResult":
+        from repro.io.json_io import model_from_payload
+
+        repaired = payload.get("repaired_model")
+        return cls(
+            status=payload["status"],
+            drop_probabilities=payload.get("drop_probabilities", {}),
+            repaired_model=(
+                None if repaired is None else model_from_payload(repaired)
+            ),
+            expected_dropped=payload.get("expected_dropped", 0.0),
+            effort=payload.get("effort", 0.0),
+            verified=payload.get("verified", False),
+            message=payload.get("message", ""),
+            solver_stats=payload.get("solver_stats", {}),
+        )
+
+    def _repr_extra(self) -> str:
         probs = {k: round(v, 6) for k, v in self.drop_probabilities.items()}
+        return f"drops={probs}, expected_dropped={self.expected_dropped:.3g}"
+
+    def describe(self) -> str:
         return (
-            f"DataRepairResult(status={self.status!r}, drops={probs}, "
-            f"expected_dropped={self.expected_dropped:.3g}, "
-            f"verified={self.verified})"
+            f"status={self.status}, "
+            f"expected_dropped={self.expected_dropped:.3g}"
         )
 
 
@@ -220,76 +258,64 @@ class DataRepair:
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
-    def repair(self, extra_starts: int = 8, seed: int = 0) -> DataRepairResult:
-        """Run the full Data Repair pipeline (learn → reduce → optimise).
+    def _parameter_prefix(self) -> str:
+        return "weight_" if self.mode == "augment" else "drop_"
 
-        Mirrors :meth:`repro.core.model_repair.ModelRepair.repair`, with
-        the drop probabilities as the decision variables.
+    def problem(self) -> RepairProblem:
+        """The declarative :class:`~repro.repair.RepairProblem`.
+
+        Proposition 3 in the shared core's terms: per-group drop (or
+        duplication) probabilities as variables, the parametric MLE
+        chain's ``ML(D_p) |= φ`` as the side condition, teaching effort
+        as the cost.
         """
-        original = self.learned_model()
-        if cached_check(
-            original, self.formula, engine=self.engine, cache=self.cache
-        ).holds:
-            return DataRepairResult(
-                status="already_satisfied",
-                drop_probabilities={},
-                repaired_model=original,
-                expected_dropped=0.0,
-                effort=0.0,
-                verified=True,
-                message="model learned from the original data already satisfies φ",
-            )
-        droppable = self.dataset.droppable_groups()
-        if not droppable:
-            return DataRepairResult(
-                status="infeasible",
-                drop_probabilities={},
-                repaired_model=None,
-                expected_dropped=0.0,
-                effort=0.0,
-                verified=False,
-                message="no group is droppable",
-            )
-        parametric = get_cache(self.cache).parametric_constraint(
-            self.parametric_model(), self.formula
-        )
-        prefix = "weight_" if self.mode == "augment" else "drop_"
+        prefix = self._parameter_prefix()
         upper = self.max_augment if self.mode == "augment" else self.max_drop
         variables = [
             Variable(f"{prefix}{name}", 0.0, upper, initial=0.0)
-            for name in droppable
+            for name in self.dataset.droppable_groups()
         ]
-        program = NonlinearProgram(
+        return RepairProblem(
+            name="data-repair",
             variables=variables,
-            objective=self.effort,
-            constraints=[constraint_from_parametric(parametric)],
+            cost=self.effort,
+            parametric=[ParametricSpec(self.parametric_model, self.formula)],
+            original=self.learned_model(),
+            formula=self.formula,
+            instantiate=lambda assignment: self.parametric_model().instantiate(
+                assignment
+            ),
+            already_satisfied_message=(
+                "model learned from the original data already satisfies φ"
+            ),
+            no_variable_message="no group is droppable",
+            cache=self.cache,
+            engine=self.engine,
         )
-        outcome = program.solve(extra_starts=extra_starts, seed=seed)
-        drop_probabilities = {
-            name: outcome.assignment[f"{prefix}{name}"] for name in droppable
-        }
-        if not outcome.feasible:
-            return DataRepairResult(
-                status="infeasible",
-                drop_probabilities=drop_probabilities,
-                repaired_model=None,
-                expected_dropped=self.dataset.expected_dropped(drop_probabilities),
-                effort=outcome.objective_value,
-                verified=False,
-                message=outcome.message,
-                solver_stats=outcome.solver_stats,
-            )
-        repaired = self.parametric_model().instantiate(outcome.assignment)
-        verified = cached_check(
-            repaired, self.formula, engine=self.engine, cache=self.cache
-        ).holds
+
+    def repair(self, extra_starts: int = 8, seed: int = 0) -> DataRepairResult:
+        """Run the full Data Repair pipeline (learn → reduce → optimise)
+        through the shared driver (:func:`repro.repair.solve_repair`)."""
+        outcome = solve_repair(
+            self.problem(), extra_starts=extra_starts, seed=seed
+        )
+        prefix = self._parameter_prefix()
+        drop_probabilities = (
+            {}
+            if outcome.status == "already_satisfied"
+            else {
+                name: outcome.assignment[f"{prefix}{name}"]
+                for name in self.dataset.droppable_groups()
+                if f"{prefix}{name}" in outcome.assignment
+            }
+        )
         return DataRepairResult(
-            status="repaired",
+            status=outcome.status,
             drop_probabilities=drop_probabilities,
-            repaired_model=repaired,
+            repaired_model=outcome.artifact,
             expected_dropped=self.dataset.expected_dropped(drop_probabilities),
             effort=outcome.objective_value,
-            verified=verified,
+            verified=outcome.verified,
             message=outcome.message,
             solver_stats=outcome.solver_stats,
         )

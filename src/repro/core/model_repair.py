@@ -19,13 +19,18 @@ Two ways to define the feasible repair space ``Feas_MP``:
 * :meth:`ModelRepair.from_parametric` — a hand-built parametric chain
   with shared correction parameters (the WSN case study's ``p`` on
   field/station nodes and ``q`` on interior nodes).
+
+The solve itself — pre-check, cached elimination, multi-start NLP,
+re-verification, ε-bound — lives in :mod:`repro.repair`; this module
+only *builds* the :class:`~repro.repair.RepairProblem`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.checking.cache import CheckCache, cached_check, get_cache
+from repro.checking.cache import CheckCache
 from repro.checking.parametric import (
     ParametricConstraint,
     ParametricDTMC,
@@ -34,12 +39,8 @@ from repro.core.costs import frobenius_cost, resolve_cost
 from repro.logic.pctl import StateFormula
 from repro.mdp.bisimulation import perturbation_bound
 from repro.mdp.model import DTMC
-from repro.optimize import (
-    Constraint,
-    NonlinearProgram,
-    Variable,
-    constraint_from_parametric,
-)
+from repro.optimize import Constraint, Variable
+from repro.repair import ParametricSpec, RepairProblem, RepairResult, solve_repair
 from repro.symbolic import Polynomial
 
 State = Hashable
@@ -48,31 +49,24 @@ Assignment = Dict[str, float]
 _DEFAULT_MARGIN = 1e-6
 
 
-class ModelRepairResult:
+class ModelRepairResult(RepairResult):
     """Outcome of a Model Repair attempt.
+
+    Carries the shared :class:`~repro.repair.RepairResult` fields
+    (``status``, ``assignment``, ``objective_value``, ``verified``,
+    ``message``, ``solver_stats``, ``feasible``) plus:
 
     Attributes
     ----------
-    status:
-        ``"already_satisfied"``, ``"repaired"`` or ``"infeasible"``.
     repaired_model:
         The repaired chain (the original when already satisfied,
         ``None`` when infeasible).
-    assignment:
-        Solved values of the repair parameters.
-    objective_value:
-        ``g(Z)`` at the solution.
     epsilon:
         Proposition 1's ε-bisimulation bound between original and
         repaired model (0 when no repair was needed).
-    verified:
-        Whether the repaired model was re-checked concretely and found
-        to satisfy the property.
-    solver_stats:
-        Aggregate NLP accounting (iterations, function evaluations,
-        converged starts) from :class:`repro.optimize.NonlinearProgram`;
-        empty when no solve ran.
     """
+
+    flavor = "model"
 
     def __init__(
         self,
@@ -85,26 +79,52 @@ class ModelRepairResult:
         message: str = "",
         solver_stats: Optional[Mapping[str, int]] = None,
     ):
-        self.status = status
-        self.repaired_model = repaired_model
-        self.assignment = dict(assignment)
-        self.objective_value = objective_value
-        self.epsilon = epsilon
-        self.verified = verified
-        self.message = message
-        self.solver_stats = dict(solver_stats or {})
-
-    @property
-    def feasible(self) -> bool:
-        """True unless the repair problem was infeasible."""
-        return self.status != "infeasible"
-
-    def __repr__(self) -> str:
-        return (
-            f"ModelRepairResult(status={self.status!r}, "
-            f"objective={self.objective_value:.6g}, epsilon={self.epsilon:.6g}, "
-            f"verified={self.verified})"
+        super().__init__(
+            status=status,
+            assignment=assignment,
+            objective_value=objective_value,
+            verified=verified,
+            message=message,
+            solver_stats=solver_stats,
         )
+        self.repaired_model = repaired_model
+        self.epsilon = epsilon
+
+    def extra_payload(self) -> Dict:
+        from repro.io.json_io import model_to_payload
+
+        return {
+            "epsilon": float(self.epsilon),
+            "repaired_model": (
+                None
+                if self.repaired_model is None
+                else model_to_payload(self.repaired_model)
+            ),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: Mapping) -> "ModelRepairResult":
+        from repro.io.json_io import model_from_payload
+
+        repaired = payload.get("repaired_model")
+        return cls(
+            status=payload["status"],
+            repaired_model=(
+                None if repaired is None else model_from_payload(repaired)
+            ),
+            assignment=payload.get("assignment", {}),
+            objective_value=payload.get("objective_value", 0.0),
+            epsilon=payload.get("epsilon", 0.0),
+            verified=payload.get("verified", False),
+            message=payload.get("message", ""),
+            solver_stats=payload.get("solver_stats", {}),
+        )
+
+    def _repr_extra(self) -> str:
+        return f"epsilon={self.epsilon:.6g}"
+
+    def describe(self) -> str:
+        return f"status={self.status}, epsilon={self.epsilon:.6g}"
 
 
 class ModelRepair:
@@ -328,70 +348,63 @@ class ModelRepair:
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
-    def constraint(self) -> ParametricConstraint:
-        """The reduced constraint ``f(v) ⋈ b`` (Proposition 2).
+    def problem(self) -> RepairProblem:
+        """The declarative :class:`~repro.repair.RepairProblem`.
 
-        Memoised by content: a second call with an unchanged model and
-        formula returns the cached closed form without re-eliminating.
+        Definition 1 in the shared core's terms: edge perturbations as
+        variables, ``M_Z |= φ`` as the parametric side condition, row
+        bounds as extra constraints, Proposition 1's ε-bisimulation as
+        the bound hook.
         """
-        return get_cache(self.cache).parametric_constraint(
-            self.parametric_model, self.formula
+        return RepairProblem(
+            name="model-repair",
+            variables=self.variables,
+            cost=self.cost,
+            parametric=[ParametricSpec(self.parametric_model, self.formula)],
+            constraints=self.extra_constraints,
+            original=self.original,
+            formula=self.formula,
+            instantiate=self.parametric_model.instantiate,
+            epsilon=lambda repaired: perturbation_bound(self.original, repaired),
+            already_satisfied_message=(
+                "original model already satisfies the property"
+            ),
+            cache=self.cache,
+            engine=self.engine,
         )
+
+    def constraint(self) -> ParametricConstraint:
+        """Deprecated: the reduced constraint ``f(v) ⋈ b`` (Prop. 2).
+
+        Use ``problem().parametric_constraints()[0]``; kept as a shim
+        for callers of the pre-engine API.
+        """
+        warnings.warn(
+            "ModelRepair.constraint() is deprecated; use "
+            "ModelRepair.problem().parametric_constraints()[0] instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.problem().parametric_constraints()[0]
 
     def repair(
         self, extra_starts: int = 8, seed: int = 0
     ) -> ModelRepairResult:
-        """Run the full Model Repair pipeline.
+        """Run the full Model Repair pipeline (the shared driver):
 
-        1. Check the original model; return ``already_satisfied`` if it
-           already meets ``φ``.
-        2. Reduce ``M_Z |= φ`` to a rational constraint by parametric
-           model checking.
-        3. Solve the nonlinear program (multi-start SLSQP).
-        4. Instantiate and *re-verify* the repaired model concretely.
+        pre-check → cached elimination → multi-start NLP → concrete
+        re-verification → ε-bound (:func:`repro.repair.solve_repair`).
         """
-        if cached_check(
-            self.original, self.formula, engine=self.engine, cache=self.cache
-        ).holds:
-            return ModelRepairResult(
-                status="already_satisfied",
-                repaired_model=self.original,
-                assignment={v.name: 0.0 for v in self.variables},
-                objective_value=0.0,
-                epsilon=0.0,
-                verified=True,
-                message="original model already satisfies the property",
-            )
-        parametric = self.constraint()
-        program = NonlinearProgram(
-            variables=self.variables,
-            objective=self.cost,
-            constraints=[constraint_from_parametric(parametric)]
-            + self.extra_constraints,
+        outcome = solve_repair(
+            self.problem(), extra_starts=extra_starts, seed=seed
         )
-        outcome = program.solve(extra_starts=extra_starts, seed=seed)
-        if not outcome.feasible:
-            return ModelRepairResult(
-                status="infeasible",
-                repaired_model=None,
-                assignment=outcome.assignment,
-                objective_value=outcome.objective_value,
-                epsilon=0.0,
-                verified=False,
-                message=outcome.message,
-                solver_stats=outcome.solver_stats,
-            )
-        repaired = self.parametric_model.instantiate(outcome.assignment)
-        verified = cached_check(
-            repaired, self.formula, engine=self.engine, cache=self.cache
-        ).holds
         return ModelRepairResult(
-            status="repaired",
-            repaired_model=repaired,
+            status=outcome.status,
+            repaired_model=outcome.artifact,
             assignment=outcome.assignment,
             objective_value=outcome.objective_value,
-            epsilon=perturbation_bound(self.original, repaired),
-            verified=verified,
+            epsilon=outcome.epsilon,
+            verified=outcome.verified,
             message=outcome.message,
             solver_stats=outcome.solver_stats,
         )

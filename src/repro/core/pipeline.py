@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Hashable, List, Optional
 
-from repro.checking.dtmc import DTMCModelChecker
+from repro.checking.cache import cached_check
 from repro.core.data_repair import DataRepair, DataRepairResult
 from repro.core.model_repair import ModelRepair, ModelRepairResult
 from repro.data.dataset import TraceDataset
@@ -120,7 +120,7 @@ class TrustedLearningPipeline:
         stages: List[PipelineStage] = []
         data_repair = self.data_repair_factory(self.dataset)
         learned = data_repair.learned_model()
-        check = DTMCModelChecker(learned).check(self.formula)
+        check = cached_check(learned, self.formula)
         stages.append(
             PipelineStage(
                 "learn+check",
@@ -140,7 +140,7 @@ class TrustedLearningPipeline:
                 PipelineStage(
                     "model_repair",
                     succeeded,
-                    f"status={outcome.status}, epsilon={outcome.epsilon:.6g}",
+                    outcome.describe(),
                     result=outcome,
                 )
             )
@@ -155,8 +155,7 @@ class TrustedLearningPipeline:
             PipelineStage(
                 "data_repair",
                 succeeded,
-                f"status={data_outcome.status}, "
-                f"expected_dropped={data_outcome.expected_dropped:.3g}",
+                data_outcome.describe(),
                 result=data_outcome,
             )
         )
@@ -249,8 +248,7 @@ class TrustedRewardPipeline:
             PipelineStage(
                 "reward_repair",
                 repaired_safe,
-                f"feasible={outcome.feasible}, "
-                f"theta' {[round(t, 3) for t in outcome.theta_after]}",
+                f"feasible={outcome.feasible}, {outcome.describe()}",
                 result=outcome,
             )
         )

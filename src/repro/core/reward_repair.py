@@ -12,12 +12,14 @@ Two complementary solvers, both used by the paper:
     The direct projection used in the car case study (Section V-B):
     ``min ‖Δθ‖  s.t.  Q(S1, 1) > Q(S1, 0)`` — minimally move the reward
     weights so the optimal policy's state-action preferences respect the
-    safety constraint.
+    safety constraint.  This is the NLP route, run through the shared
+    :mod:`repro.repair` driver; the projection routes use gradient
+    fitting instead and bypass the NLP entirely.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, NamedTuple, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, NamedTuple, Optional, Sequence, Set
 
 import numpy as np
 
@@ -32,7 +34,8 @@ from repro.logic.rules import Rule, all_satisfied
 from repro.mdp.model import MDP
 from repro.mdp.policy import DeterministicPolicy
 from repro.mdp.solvers import q_values, value_iteration
-from repro.optimize import Constraint, NonlinearProgram, Variable
+from repro.optimize import Constraint, Variable
+from repro.repair import RepairProblem, RepairResult, solve_repair
 
 State = Hashable
 Action = Hashable
@@ -47,8 +50,11 @@ class QValueConstraint(NamedTuple):
     margin: float = 1e-3
 
 
-class RewardRepairResult:
+class RewardRepairResult(RepairResult):
     """Outcome of a Reward Repair.
+
+    Carries the shared :class:`~repro.repair.RepairResult` fields (the
+    ``assignment`` is the weight delta ``Δθ`` component-wise) plus:
 
     Attributes
     ----------
@@ -63,10 +69,9 @@ class RewardRepairResult:
     diagnostics:
         Solver- and projection-specific numbers (e.g. rule-violation
         probability before/after the projection).
-    solver_stats:
-        Aggregate NLP accounting for the Q-constrained route (empty for
-        the projection routes, which use gradient fitting instead).
     """
+
+    flavor = "reward"
 
     def __init__(
         self,
@@ -79,27 +84,90 @@ class RewardRepairResult:
         feasible: bool,
         diagnostics: Optional[Dict[str, float]] = None,
         solver_stats: Optional[Dict[str, int]] = None,
+        verified: Optional[bool] = None,
+        message: str = "",
     ):
-        self.theta_before = np.asarray(theta_before, dtype=float)
-        self.theta_after = np.asarray(theta_after, dtype=float)
+        theta_before = np.asarray(theta_before, dtype=float)
+        theta_after = np.asarray(theta_after, dtype=float)
+        diagnostics = dict(diagnostics or {})
+        delta = theta_after - theta_before
+        objective = diagnostics.get("objective", float(delta @ delta))
+        super().__init__(
+            status="repaired" if feasible else "infeasible",
+            assignment={f"d{i}": float(x) for i, x in enumerate(delta)},
+            objective_value=float(objective),
+            verified=bool(feasible) if verified is None else bool(verified),
+            message=message,
+            solver_stats=solver_stats,
+        )
+        self.theta_before = theta_before
+        self.theta_after = theta_after
         self.rewards_after = dict(rewards_after)
         self.policy_before = policy_before
         self.policy_after = policy_after
         self.repaired_mdp = repaired_mdp
-        self.feasible = feasible
-        self.diagnostics = dict(diagnostics or {})
-        self.solver_stats = dict(solver_stats or {})
+        self.diagnostics = diagnostics
 
     def theta_delta(self) -> np.ndarray:
         """The repair ``θ' − θ``."""
         return self.theta_after - self.theta_before
 
-    def __repr__(self) -> str:
+    def extra_payload(self) -> Dict:
+        from repro.io.json_io import model_to_payload
+
+        return {
+            "theta_before": [float(x) for x in self.theta_before],
+            "theta_after": [float(x) for x in self.theta_after],
+            "rewards_after": {
+                str(s): float(r) for s, r in self.rewards_after.items()
+            },
+            "policy_before": {
+                str(s): str(a) for s, a in self.policy_before.mapping.items()
+            },
+            "policy_after": {
+                str(s): str(a) for s, a in self.policy_after.mapping.items()
+            },
+            "repaired_mdp": (
+                None
+                if self.repaired_mdp is None
+                else model_to_payload(self.repaired_mdp)
+            ),
+            "diagnostics": {
+                str(k): float(v) for k, v in self.diagnostics.items()
+            },
+        }
+
+    @classmethod
+    def _from_payload(cls, payload) -> "RewardRepairResult":
+        from repro.io.json_io import model_from_payload
+
+        repaired = payload.get("repaired_mdp")
+        return cls(
+            theta_before=payload.get("theta_before", []),
+            theta_after=payload.get("theta_after", []),
+            rewards_after=payload.get("rewards_after", {}),
+            policy_before=DeterministicPolicy(payload.get("policy_before", {})),
+            policy_after=DeterministicPolicy(payload.get("policy_after", {})),
+            repaired_mdp=(
+                None if repaired is None else model_from_payload(repaired)
+            ),
+            feasible=payload.get("feasible", payload["status"] != "infeasible"),
+            diagnostics=payload.get("diagnostics", {}),
+            solver_stats=payload.get("solver_stats", {}),
+            verified=payload.get("verified"),
+            message=payload.get("message", ""),
+        )
+
+    def _repr_extra(self) -> str:
         return (
-            "RewardRepairResult("
             f"theta_before={np.array2string(self.theta_before, precision=3)}, "
-            f"theta_after={np.array2string(self.theta_after, precision=3)}, "
-            f"feasible={self.feasible})"
+            f"theta_after={np.array2string(self.theta_after, precision=3)}"
+        )
+
+    def describe(self) -> str:
+        return (
+            f"status={self.status}, "
+            f"theta' {[round(float(t), 3) for t in self.theta_after]}"
         )
 
 
@@ -272,19 +340,19 @@ class RewardRepair:
     # ------------------------------------------------------------------
     # Car case study: Q-value-constrained minimal reward change
     # ------------------------------------------------------------------
-    def q_constrained(
+    def q_problem(
         self,
         theta: np.ndarray,
         constraints: Sequence[QValueConstraint],
         delta_bound: float = 2.0,
-        extra_starts: int = 6,
-        seed: int = 0,
-    ) -> RewardRepairResult:
-        """Repair by ``min ‖Δθ‖² s.t. Q(s, a⁺) > Q(s, a⁻) + margin``.
+    ) -> RepairProblem:
+        """The declarative :class:`~repro.repair.RepairProblem`.
 
-        The Q-function is recomputed (value iteration) at every candidate
-        θ+Δ, so the constraint is exact rather than a local
-        linearisation.
+        Definition 2's Q-route in the shared core's terms: the weight
+        deltas ``d_i`` as variables, each Q-value preference as an exact
+        rational constraint (the Q-function is recomputed by value
+        iteration at every candidate θ+Δ, so the constraint is exact
+        rather than a local linearisation), ``‖Δθ‖²`` as the cost.
         """
         theta = np.asarray(theta, dtype=float)
         dimension = self.features.dimension
@@ -312,9 +380,10 @@ class RewardRepair:
                 - spec.margin
             )
 
-        program = NonlinearProgram(
+        return RepairProblem(
+            name="reward-repair",
             variables=variables,
-            objective=frobenius_cost,
+            cost=frobenius_cost,
             constraints=[
                 Constraint(
                     lambda v, spec=spec: q_margin(v, spec),
@@ -323,9 +392,30 @@ class RewardRepair:
                 )
                 for spec in constraints
             ],
+            # The margins are exact value-iteration Q-values, re-checked
+            # at the solution point by the solver's feasibility verdict;
+            # report the least-infeasible θ′ for diagnostics either way.
+            instantiate=theta_at,
+            instantiate_when_infeasible=True,
         )
-        outcome = program.solve(extra_starts=extra_starts, seed=seed)
-        theta_after = theta_at(outcome.assignment)
+
+    def q_constrained(
+        self,
+        theta: np.ndarray,
+        constraints: Sequence[QValueConstraint],
+        delta_bound: float = 2.0,
+        extra_starts: int = 6,
+        seed: int = 0,
+    ) -> RewardRepairResult:
+        """Repair by ``min ‖Δθ‖² s.t. Q(s, a⁺) > Q(s, a⁻) + margin``,
+        run through the shared driver (:func:`repro.repair.solve_repair`)."""
+        theta = np.asarray(theta, dtype=float)
+        outcome = solve_repair(
+            self.q_problem(theta, constraints, delta_bound=delta_bound),
+            extra_starts=extra_starts,
+            seed=seed,
+        )
+        theta_after = np.asarray(outcome.artifact, dtype=float)
         rewards_after = self.rewards_for(theta_after)
         repaired = self.mdp.with_rewards(state_rewards=rewards_after)
         return RewardRepairResult(
@@ -335,7 +425,9 @@ class RewardRepair:
             policy_before=self.optimal_policy(theta),
             policy_after=self.optimal_policy(theta_after),
             repaired_mdp=repaired,
-            feasible=outcome.feasible,
+            feasible=outcome.status == "repaired",
             diagnostics={"objective": outcome.objective_value},
             solver_stats=outcome.solver_stats,
+            verified=outcome.verified,
+            message=outcome.message,
         )

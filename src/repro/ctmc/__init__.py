@@ -10,6 +10,6 @@ and holding times are rational functions of the rates.
 """
 
 from repro.ctmc.model import CTMC
-from repro.ctmc.repair import RateRepairResult, expected_time_repair
+from repro.ctmc.repair import RateRepair, RateRepairResult, expected_time_repair
 
-__all__ = ["CTMC", "expected_time_repair", "RateRepairResult"]
+__all__ = ["CTMC", "RateRepair", "expected_time_repair", "RateRepairResult"]

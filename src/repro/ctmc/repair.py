@@ -10,38 +10,56 @@ of the expected-time computation are then rational functions of ``v``:
 * the holding times ``1/E(s)`` become ``1/((1+v_s)·E(s))``.
 
 So the problem reduces — exactly like Propositions 2–3 — to a rational
-constraint solved by the shared NLP layer, here with the closed-form
-expected time evaluated through the parametric machinery.
+constraint solved by the shared repair core: the embedded chain is
+lifted to a :class:`~repro.checking.parametric.ParametricDTMC` with a
+synthetic target label, the expected-time bound becomes an ``R ≤ T [F
+target]`` formula, and both the symbolic elimination and the concrete
+expected-time checks are memoised through the
+:class:`~repro.checking.cache.CheckCache` (including any persistent
+backing store), like every other repair flavour.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Hashable, Optional, Sequence, Set
 
-from repro.ctmc.model import CTMC
+from repro.checking.cache import CheckCache, get_cache
 from repro.checking.parametric import ParametricDTMC
-from repro.core.costs import frobenius_cost
-from repro.optimize import Constraint, NonlinearProgram, Variable
+from repro.ctmc.model import CTMC
+from repro.logic.pctl import AtomicProposition, Eventually, RewardOperator
+from repro.optimize import Variable
+from repro.repair import ParametricSpec, RepairProblem, RepairResult, solve_repair
 from repro.symbolic import Polynomial, RationalFunction
 
 State = Hashable
 
+#: Synthetic label marking the hitting set on the embedded parametric
+#: chain, so the bound becomes an ordinary ``R <= T [F target]`` formula.
+_TARGET_LABEL = "__rate_repair_target__"
 
-class RateRepairResult:
+#: Absolute tolerance for the concrete post-repair expected-time check
+#: (the NLP's safety margin keeps solutions well inside this).
+_VERIFY_TOLERANCE = 1e-9
+
+
+class RateRepairResult(RepairResult):
     """Outcome of a CTMC rate repair.
+
+    Carries the shared :class:`~repro.repair.RepairResult` fields plus:
 
     Attributes
     ----------
-    status:
-        ``"already_satisfied"``, ``"repaired"`` or ``"infeasible"``.
     scales:
         Solved per-state rate multipliers ``1 + v_s``.
     repaired_ctmc:
         The CTMC with scaled rates (``None`` when infeasible).
     expected_time:
         Expected hitting time of the result (or of the original model
-        when already satisfied).
+        when already satisfied or infeasible).
     """
+
+    flavor = "rate"
 
     def __init__(
         self,
@@ -49,32 +67,124 @@ class RateRepairResult:
         scales: Dict[State, float],
         repaired_ctmc: Optional[CTMC],
         expected_time: float,
+        verified: Optional[bool] = None,
+        message: str = "",
+        solver_stats: Optional[Dict[str, int]] = None,
+        objective_value: float = 0.0,
     ):
-        self.status = status
-        self.scales = dict(scales)
+        super().__init__(
+            status=status,
+            assignment=scales,
+            objective_value=objective_value,
+            verified=(status != "infeasible") if verified is None else verified,
+            message=message,
+            solver_stats=solver_stats,
+        )
         self.repaired_ctmc = repaired_ctmc
         self.expected_time = expected_time
 
     @property
-    def feasible(self) -> bool:
-        """True unless the repair problem was infeasible."""
-        return self.status != "infeasible"
+    def scales(self) -> Dict[State, float]:
+        """The per-state rate multipliers (alias of ``assignment``)."""
+        return self.assignment
 
-    def __repr__(self) -> str:
+    def extra_payload(self) -> Dict:
+        from repro.io.json_io import model_to_payload
+
+        return {
+            "scales": {
+                str(state): float(scale)
+                for state, scale in self.scales.items()
+            },
+            "expected_time": float(self.expected_time),
+            "repaired_ctmc": (
+                None
+                if self.repaired_ctmc is None
+                else model_to_payload(self.repaired_ctmc)
+            ),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload) -> "RateRepairResult":
+        from repro.io.json_io import model_from_payload
+
+        repaired = payload.get("repaired_ctmc")
+        return cls(
+            status=payload["status"],
+            scales=payload.get("scales", {}),
+            repaired_ctmc=(
+                None if repaired is None else model_from_payload(repaired)
+            ),
+            expected_time=payload.get("expected_time", 0.0),
+            verified=payload.get("verified", False),
+            message=payload.get("message", ""),
+            solver_stats=payload.get("solver_stats", {}),
+            objective_value=payload.get("objective_value", 0.0),
+        )
+
+    def _repr_extra(self) -> str:
+        return f"expected_time={self.expected_time:.4g}"
+
+    def describe(self) -> str:
         return (
-            f"RateRepairResult(status={self.status!r}, "
-            f"expected_time={self.expected_time:.4g})"
+            f"status={self.status}, "
+            f"expected_time={self.expected_time:.4g}"
         )
 
 
-def _parametric_expected_time(
+def _ctmc_fingerprint(ctmc: CTMC) -> str:
+    """Stable content fingerprint of a CTMC (rates + labels + start)."""
+    digest = hashlib.sha256()
+    digest.update(repr(ctmc.states).encode("utf-8"))
+    digest.update(repr(ctmc.initial_state).encode("utf-8"))
+    for state in ctmc.states:
+        for target, rate in sorted(
+            ctmc.rates[state].items(), key=lambda item: str(item[0])
+        ):
+            digest.update(f"{target!r}->{rate!r}".encode("utf-8"))
+            digest.update(b"\x01")
+        digest.update(repr(sorted(ctmc.labels[state])).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _cached_expected_time(
+    ctmc: CTMC,
+    targets: Set[State],
+    cache: Optional[CheckCache] = None,
+) -> float:
+    """Memoised ``E[time to targets]`` from the initial state."""
+    store = get_cache(cache)
+    key = (
+        "ctmc-expected-time",
+        _ctmc_fingerprint(ctmc),
+        frozenset(repr(target) for target in targets),
+    )
+    return float(
+        store.get_or_compute(
+            key, lambda: ctmc.expected_time_to(targets)[ctmc.initial_state]
+        )
+    )
+
+
+def _embedded_parametric_model(
     ctmc: CTMC,
     targets: Set[State],
     controllable: Sequence[State],
-) -> RationalFunction:
-    """Expected hitting time as a rational function of the rate scales."""
+) -> ParametricDTMC:
+    """The embedded chain with symbolic holding times and target labels.
+
+    The expected *reward* to the labelled states on this chain equals
+    the expected hitting *time* on the CTMC, as a rational function of
+    the rate-scale variables ``v_s``.
+    """
     transitions: Dict[State, Dict[State, object]] = {}
     rewards: Dict[State, object] = {}
+    labels: Dict[State, Set[str]] = {
+        state: set(ctmc.labels[state]) for state in ctmc.states
+    }
+    for state in targets:
+        labels[state].add(_TARGET_LABEL)
     for state in ctmc.states:
         exit_rate = ctmc.exit_rate(state)
         if state in targets or exit_rate == 0:
@@ -94,14 +204,164 @@ def _parametric_expected_time(
             )
         else:
             rewards[state] = 1.0 / exit_rate
-    model = ParametricDTMC(
+    return ParametricDTMC(
         states=ctmc.states,
         transitions=transitions,
         initial_state=ctmc.initial_state,
-        labels=ctmc.labels,
+        labels=labels,
         state_rewards=rewards,
     )
-    return model.expected_reward(targets)
+
+
+class RateRepair:
+    """A configured CTMC rate-repair problem; call :meth:`repair`.
+
+    Parameters
+    ----------
+    ctmc / targets / bound:
+        Require ``E[time to reach targets] ≤ bound`` from the initial
+        state.
+    controllable:
+        States whose exit rates may be scaled (default: all transient
+        non-target states).
+    max_speedup:
+        Upper bound on each multiplier ``1 + v_s`` (hardware limits on
+        how much faster a component can be made); must exceed 1.
+    cache:
+        Memo for the symbolic closed form and the concrete
+        expected-time checks; ``None`` selects the process-wide cache.
+    """
+
+    def __init__(
+        self,
+        ctmc: CTMC,
+        targets: Set[State],
+        bound: float,
+        controllable: Optional[Sequence[State]] = None,
+        max_speedup: float = 2.0,
+        cache: Optional[CheckCache] = None,
+    ):
+        if max_speedup <= 1.0:
+            raise ValueError("max_speedup must exceed 1")
+        self.ctmc = ctmc
+        self.targets = set(targets)
+        self.bound = float(bound)
+        if controllable is None:
+            controllable = [
+                s
+                for s in ctmc.states
+                if s not in self.targets and ctmc.exit_rate(s) > 0
+            ]
+        self.controllable = list(controllable)
+        self.max_speedup = float(max_speedup)
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    # Pieces
+    # ------------------------------------------------------------------
+    def original_expected_time(self) -> float:
+        """``E[time]`` of the unrepaired CTMC (memoised)."""
+        return _cached_expected_time(self.ctmc, self.targets, self.cache)
+
+    def _scales(self, assignment: Dict[str, float]) -> Dict[State, float]:
+        return {
+            state: 1.0 + assignment.get(f"v_{state}", 0.0)
+            for state in self.controllable
+        }
+
+    def _instantiate(self, assignment: Dict[str, float]) -> CTMC:
+        scales = self._scales(assignment)
+        return CTMC(
+            states=self.ctmc.states,
+            rates={
+                s: {
+                    t: rate * scales.get(s, 1.0)
+                    for t, rate in self.ctmc.rates[s].items()
+                }
+                for s in self.ctmc.states
+            },
+            initial_state=self.ctmc.initial_state,
+            labels=self.ctmc.labels,
+        )
+
+    def problem(self) -> RepairProblem:
+        """The declarative :class:`~repro.repair.RepairProblem`.
+
+        Rate repair in the shared core's terms: the scale offsets
+        ``v_s`` as variables, the embedded chain's expected reward as a
+        parametric ``R ≤ T [F target]`` side condition (eliminated
+        through the memoized cache), and a concrete expected-time
+        re-check as verification.
+        """
+        formula = RewardOperator(
+            "<=", self.bound, Eventually(AtomicProposition(_TARGET_LABEL))
+        )
+        return RepairProblem(
+            name="rate-repair",
+            variables=[
+                Variable(f"v_{state}", 0.0, self.max_speedup - 1.0, initial=0.0)
+                for state in self.controllable
+            ],
+            cost="frobenius",
+            parametric=[
+                ParametricSpec(
+                    _embedded_parametric_model(
+                        self.ctmc, self.targets, self.controllable
+                    ),
+                    formula,
+                )
+            ],
+            original=self.ctmc,
+            check=lambda: self.original_expected_time() <= self.bound,
+            instantiate=self._instantiate,
+            verify=lambda repaired: (
+                _cached_expected_time(repaired, self.targets, self.cache)
+                <= self.bound + _VERIFY_TOLERANCE
+            ),
+            already_satisfied_message="expected time already within the bound",
+            no_variable_message="no controllable state can be sped up",
+            cache=self.cache,
+        )
+
+    def repair(self, extra_starts: int = 6, seed: int = 0) -> RateRepairResult:
+        """Run rate repair through the shared driver."""
+        outcome = solve_repair(
+            self.problem(), extra_starts=extra_starts, seed=seed
+        )
+        if outcome.status == "already_satisfied":
+            return RateRepairResult(
+                status="already_satisfied",
+                scales={},
+                repaired_ctmc=self.ctmc,
+                expected_time=self.original_expected_time(),
+                verified=True,
+                message=outcome.message,
+            )
+        scales = self._scales(outcome.assignment) if outcome.assignment else {}
+        if outcome.status == "infeasible":
+            return RateRepairResult(
+                status="infeasible",
+                scales=scales,
+                repaired_ctmc=None,
+                expected_time=self.original_expected_time(),
+                verified=False,
+                message=outcome.message,
+                solver_stats=outcome.solver_stats,
+                objective_value=outcome.objective_value,
+            )
+        achieved = _cached_expected_time(
+            outcome.artifact, self.targets, self.cache
+        )
+        return RateRepairResult(
+            status="repaired",
+            scales=scales,
+            repaired_ctmc=outcome.artifact,
+            expected_time=achieved,
+            verified=outcome.verified,
+            message=outcome.message,
+            solver_stats=outcome.solver_stats,
+            objective_value=outcome.objective_value,
+        )
 
 
 def expected_time_repair(
@@ -112,67 +372,19 @@ def expected_time_repair(
     max_speedup: float = 2.0,
     extra_starts: int = 6,
     seed: int = 0,
+    cache: Optional[CheckCache] = None,
 ) -> RateRepairResult:
     """Scale controllable rates so ``E[time to targets] ≤ bound``.
 
-    Parameters
-    ----------
-    controllable:
-        States whose exit rates may be scaled (default: all transient
-        non-target states).
-    max_speedup:
-        Upper bound on each multiplier ``1 + v_s`` (hardware limits on
-        how much faster a component can be made).
+    A function-style wrapper over :class:`RateRepair` (kept as the
+    historical entry point); see that class for parameter semantics.
     """
-    targets = set(targets)
-    original_time = ctmc.expected_time_to(targets)[ctmc.initial_state]
-    if original_time <= bound:
-        return RateRepairResult("already_satisfied", {}, ctmc, original_time)
-    if controllable is None:
-        controllable = [
-            s
-            for s in ctmc.states
-            if s not in targets and ctmc.exit_rate(s) > 0
-        ]
-    controllable = list(controllable)
-    if not controllable:
-        return RateRepairResult("infeasible", {}, None, original_time)
-    if max_speedup <= 1.0:
-        raise ValueError("max_speedup must exceed 1")
-
-    function = _parametric_expected_time(ctmc, targets, controllable)
-    variables = [
-        Variable(f"v_{state}", 0.0, max_speedup - 1.0, initial=0.0)
-        for state in controllable
-    ]
-    program = NonlinearProgram(
-        variables=variables,
-        objective=frobenius_cost,
-        constraints=[
-            Constraint(
-                lambda v: bound - float(function.evaluate(v)),
-                name="expected-time",
-                shift=1e-6 * max(1.0, bound),
-            )
-        ],
+    repair = RateRepair(
+        ctmc,
+        targets,
+        bound,
+        controllable=controllable,
+        max_speedup=max_speedup,
+        cache=cache,
     )
-    outcome = program.solve(extra_starts=extra_starts, seed=seed)
-    scales = {
-        state: 1.0 + outcome.assignment[f"v_{state}"] for state in controllable
-    }
-    if not outcome.feasible:
-        return RateRepairResult("infeasible", scales, None, original_time)
-    repaired = CTMC(
-        states=ctmc.states,
-        rates={
-            s: {
-                t: rate * scales.get(s, 1.0)
-                for t, rate in ctmc.rates[s].items()
-            }
-            for s in ctmc.states
-        },
-        initial_state=ctmc.initial_state,
-        labels=ctmc.labels,
-    )
-    achieved = repaired.expected_time_to(targets)[repaired.initial_state]
-    return RateRepairResult("repaired", scales, repaired, achieved)
+    return repair.repair(extra_starts=extra_starts, seed=seed)

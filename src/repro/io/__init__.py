@@ -8,11 +8,15 @@
 """
 
 from repro.io.json_io import (
+    ctmc_from_dict,
+    ctmc_to_dict,
     dtmc_from_dict,
     dtmc_to_dict,
     load_model,
     mdp_from_dict,
     mdp_to_dict,
+    model_from_payload,
+    model_to_payload,
     save_model,
 )
 from repro.io.prism import dtmc_to_prism, mdp_to_prism
@@ -24,6 +28,10 @@ __all__ = [
     "dtmc_from_dict",
     "mdp_to_dict",
     "mdp_from_dict",
+    "ctmc_to_dict",
+    "ctmc_from_dict",
+    "model_to_payload",
+    "model_from_payload",
     "save_model",
     "load_model",
     "dtmc_to_prism",

@@ -3,7 +3,10 @@
 State identifiers are stringified on the way out and kept as strings on
 the way in (JSON has no tuple keys); models that need richer state types
 should map them before saving.  ``save_model``/``load_model`` add a
-``kind`` discriminator so a file is self-describing.
+``kind`` discriminator so a file is self-describing;
+``model_to_payload``/``model_from_payload`` expose the same
+discriminated shape in-memory (DTMC, MDP and CTMC) for the service
+layer and the repair results' canonical ``to_dict`` form.
 """
 
 from __future__ import annotations
@@ -86,23 +89,67 @@ def mdp_from_dict(payload: Dict) -> MDP:
     )
 
 
-def save_model(model: Union[DTMC, MDP], path: Union[str, Path]) -> None:
-    """Write a model to a self-describing JSON file."""
+def ctmc_to_dict(ctmc) -> Dict:
+    """A JSON-ready dictionary capturing the full CTMC."""
+    return {
+        "states": [str(s) for s in ctmc.states],
+        "initial_state": str(ctmc.initial_state),
+        "rates": {
+            str(s): {str(t): r for t, r in row.items()}
+            for s, row in ctmc.rates.items()
+            if row
+        },
+        "labels": {
+            str(s): sorted(props)
+            for s, props in ctmc.labels.items()
+            if props
+        },
+    }
+
+
+def ctmc_from_dict(payload: Dict):
+    """Rebuild a CTMC saved by :func:`ctmc_to_dict`."""
+    from repro.ctmc.model import CTMC
+
+    return CTMC(
+        states=payload["states"],
+        rates=payload.get("rates", {}),
+        initial_state=payload["initial_state"],
+        labels={s: set(props) for s, props in payload.get("labels", {}).items()},
+    )
+
+
+def model_to_payload(model) -> Dict:
+    """The self-describing ``{"kind", "model"}`` payload of a model."""
+    from repro.ctmc.model import CTMC
+
     if isinstance(model, DTMC):
-        payload = {"kind": "dtmc", "model": dtmc_to_dict(model)}
-    elif isinstance(model, MDP):
-        payload = {"kind": "mdp", "model": mdp_to_dict(model)}
-    else:
-        raise TypeError(f"cannot serialise {type(model).__name__}")
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        return {"kind": "dtmc", "model": dtmc_to_dict(model)}
+    if isinstance(model, MDP):
+        return {"kind": "mdp", "model": mdp_to_dict(model)}
+    if isinstance(model, CTMC):
+        return {"kind": "ctmc", "model": ctmc_to_dict(model)}
+    raise TypeError(f"cannot serialise {type(model).__name__}")
 
 
-def load_model(path: Union[str, Path]) -> Union[DTMC, MDP]:
-    """Read a model written by :func:`save_model`."""
-    payload = json.loads(Path(path).read_text())
+def model_from_payload(payload: Dict):
+    """Inverse of :func:`model_to_payload`."""
     kind = payload.get("kind")
     if kind == "dtmc":
         return dtmc_from_dict(payload["model"])
     if kind == "mdp":
         return mdp_from_dict(payload["model"])
+    if kind == "ctmc":
+        return ctmc_from_dict(payload["model"])
     raise ValueError(f"unknown model kind {kind!r}")
+
+
+def save_model(model, path: Union[str, Path]) -> None:
+    """Write a model (DTMC, MDP or CTMC) to a self-describing JSON file."""
+    payload = model_to_payload(model)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_model(path: Union[str, Path]):
+    """Read a model written by :func:`save_model`."""
+    return model_from_payload(json.loads(Path(path).read_text()))

@@ -1,0 +1,40 @@
+"""The shared repair core (Propositions 1–4, once).
+
+Model, Data, Reward and CTMC rate repair are all instances of one
+scheme: parametric model checking turns ``M_Z |= φ`` into rational
+constraints, which feed a minimal-cost nonlinear program whose solution
+is instantiated and concretely re-verified.  This package owns that
+scheme; the flavour modules reduce to thin problem-builders:
+
+:class:`RepairProblem` / :class:`ParametricSpec`
+    The declarative shape: variables, parametric/rational constraints,
+    pluggable cost, margin handling, flavour hooks.
+:func:`solve_repair` / :class:`EngineOutcome`
+    The single driver: already-satisfied short-circuit → cached
+    parametric elimination → multi-start NLP solve → concrete
+    re-verification → ε-bound computation.
+:class:`RepairResult`
+    The result base every flavour's result class subclasses, with the
+    canonical ``to_dict()``/``from_dict()`` JSON form used by the
+    service layer and the CLI.
+
+See ``docs/repair_engine.md`` for the architecture and how to add a
+new repair variant.
+"""
+
+from repro.repair.engine import EngineOutcome, solve_repair
+from repro.repair.problem import (
+    DEFAULT_SAFETY_MARGIN,
+    ParametricSpec,
+    RepairProblem,
+)
+from repro.repair.results import RepairResult
+
+__all__ = [
+    "DEFAULT_SAFETY_MARGIN",
+    "EngineOutcome",
+    "ParametricSpec",
+    "RepairProblem",
+    "RepairResult",
+    "solve_repair",
+]

@@ -1,0 +1,163 @@
+"""One result vocabulary for every repair flavour.
+
+The paper's Propositions 1–4 all end the same way: a status
+(already satisfied / repaired / infeasible), the solved parameter
+assignment, the objective at that point, whether the repaired artifact
+was re-verified concretely, and the NLP solver's accounting.
+:class:`RepairResult` owns those shared fields once; the flavour
+subclasses (:class:`~repro.core.model_repair.ModelRepairResult`,
+:class:`~repro.core.data_repair.DataRepairResult`,
+:class:`~repro.core.reward_repair.RewardRepairResult`,
+:class:`~repro.ctmc.repair.RateRepairResult`) only add their
+domain-specific attributes and payload fields.
+
+``to_dict()`` is the canonical JSON form used by the service layer
+(:mod:`repro.service.jobs`) and the CLI's ``--json`` output;
+``from_dict()`` rehydrates the right subclass via the ``flavor`` tag
+without the caller importing the flavour module first.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, Mapping, Optional
+
+#: ``flavor`` tag → defining module, so :meth:`RepairResult.from_dict`
+#: can lazily import the subclass for a serialized payload.  (The
+#: subclasses live in their flavour modules — not here — to keep
+#: ``repro.repair`` import-light and cycle-free.)
+_FLAVOR_MODULES = {
+    "model": "repro.core.model_repair",
+    "data": "repro.core.data_repair",
+    "reward": "repro.core.reward_repair",
+    "rate": "repro.ctmc.repair",
+}
+
+#: Filled by ``__init_subclass__`` as flavour modules are imported.
+_REGISTRY: Dict[str, type] = {}
+
+
+class RepairResult:
+    """Base outcome of one ``RepairProblem → solve → verify`` run.
+
+    Attributes
+    ----------
+    status:
+        ``"already_satisfied"``, ``"repaired"`` or ``"infeasible"``.
+    assignment:
+        Solved values of the repair parameters (the flavour decides what
+        a parameter means: edge perturbation, drop probability, reward
+        delta, rate scale).
+    objective_value:
+        The repair cost at the solution.
+    verified:
+        Whether the repaired artifact was re-checked concretely and
+        found to satisfy the requirement.
+    message:
+        Human-readable driver/solver summary.
+    solver_stats:
+        Aggregate NLP accounting (iterations, function evaluations,
+        converged starts) from :class:`repro.optimize.NonlinearProgram`;
+        empty when no solve ran.
+    """
+
+    #: Serialisation tag; subclasses override with a unique name.
+    flavor = "generic"
+
+    def __init__(
+        self,
+        status: str,
+        assignment: Optional[Mapping[str, float]] = None,
+        objective_value: float = 0.0,
+        verified: bool = False,
+        message: str = "",
+        solver_stats: Optional[Mapping[str, int]] = None,
+    ):
+        self.status = status
+        self.assignment = dict(assignment or {})
+        self.objective_value = objective_value
+        self.verified = verified
+        self.message = message
+        self.solver_stats = dict(solver_stats or {})
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        tag = cls.__dict__.get("flavor")
+        if tag:
+            _REGISTRY[tag] = cls
+
+    @property
+    def feasible(self) -> bool:
+        """True unless the repair problem was infeasible."""
+        return self.status != "infeasible"
+
+    # ------------------------------------------------------------------
+    # Canonical serialisation
+    # ------------------------------------------------------------------
+    def extra_payload(self) -> Dict:
+        """Flavour-specific JSON fields merged into :meth:`to_dict`."""
+        return {}
+
+    def to_dict(self) -> Dict:
+        """The canonical JSON-ready form (shared fields + flavour extras)."""
+        return {
+            "flavor": self.flavor,
+            "status": self.status,
+            "feasible": bool(self.feasible),
+            "assignment": {
+                str(name): float(value)
+                for name, value in self.assignment.items()
+            },
+            "objective_value": float(self.objective_value),
+            "verified": bool(self.verified),
+            "message": str(self.message),
+            "solver_stats": {
+                str(name): int(value)
+                for name, value in self.solver_stats.items()
+            },
+            **self.extra_payload(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RepairResult":
+        """Rebuild the right subclass from a :meth:`to_dict` payload."""
+        tag = payload.get("flavor", "generic")
+        if tag == "generic":
+            return RepairResult._from_payload(payload)
+        if tag not in _REGISTRY and tag in _FLAVOR_MODULES:
+            importlib.import_module(_FLAVOR_MODULES[tag])
+        if tag not in _REGISTRY:
+            raise ValueError(f"unknown repair result flavor {tag!r}")
+        return _REGISTRY[tag]._from_payload(payload)
+
+    @classmethod
+    def _from_payload(cls, payload: Mapping) -> "RepairResult":
+        return RepairResult(
+            status=payload["status"],
+            assignment=payload.get("assignment", {}),
+            objective_value=payload.get("objective_value", 0.0),
+            verified=payload.get("verified", False),
+            message=payload.get("message", ""),
+            solver_stats=payload.get("solver_stats", {}),
+        )
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def _repr_extra(self) -> str:
+        """Flavour-specific ``key=value`` tail for :meth:`__repr__`."""
+        return ""
+
+    def __repr__(self) -> str:
+        extra = self._repr_extra()
+        return (
+            f"{type(self).__name__}(status={self.status!r}, "
+            f"objective={self.objective_value:.6g}, "
+            f"verified={self.verified}"
+            + (f", {extra}" if extra else "")
+            + ")"
+        )
+
+    def describe(self) -> str:
+        """One-line summary used for pipeline stage details."""
+        return f"status={self.status}, objective={self.objective_value:.6g}"

@@ -7,8 +7,8 @@ multi-start NLP solves.  This package turns the one-shot library calls
 into a resilient runtime:
 
 ``jobs``
-    Typed job specs (check / model-, data-, reward-repair) with a JSON
-    round-trip, so batches are files.
+    Typed job specs (check / model-, data-, reward-, rate-repair) with
+    a JSON round-trip, so batches are files.
 ``runner``
     A :class:`~concurrent.futures.ProcessPoolExecutor`-backed batch
     runner with per-job timeouts, bounded retries with exponential
@@ -33,6 +33,7 @@ from repro.service.jobs import (
     DataRepairJob,
     JobSpec,
     ModelRepairJob,
+    RateRepairJob,
     RewardRepairJob,
     execute,
     job_from_dict,
@@ -42,7 +43,12 @@ from repro.service.jobs import (
 )
 from repro.service.runner import BatchReport, BatchRunner, JobOutcome, run_batch
 from repro.service.store import ResultStore, open_disk_cache
-from repro.service.telemetry import Telemetry, aggregate_events, read_events
+from repro.service.telemetry import (
+    Telemetry,
+    aggregate_events,
+    read_events,
+    solver_counters,
+)
 
 __all__ = [
     "BatchReport",
@@ -54,6 +60,7 @@ __all__ = [
     "JobOutcome",
     "JobSpec",
     "ModelRepairJob",
+    "RateRepairJob",
     "ResultStore",
     "RewardRepairJob",
     "Telemetry",
@@ -66,4 +73,5 @@ __all__ = [
     "read_events",
     "run_batch",
     "save_jobs",
+    "solver_counters",
 ]

@@ -17,10 +17,13 @@ execute against the library (:meth:`JobSpec.run`, dispatching to the
 picklable :mod:`repro.core.api` entry points), and how to fingerprint
 its content (:meth:`JobSpec.fingerprint`) for the result store.
 
-Models travel in the :func:`repro.io.save_model` payload shape, trace
-datasets as ``{"groups": [{"name", "droppable", "traces"}]}``, feature
-maps as explicit state→vector tables — everything JSON, everything
-picklable.
+Models travel in the :func:`repro.io.save_model` payload shape (via
+:func:`repro.io.json_io.model_to_payload`, which also covers CTMCs),
+trace datasets as ``{"groups": [{"name", "droppable", "traces"}]}``,
+feature maps as explicit state→vector tables — everything JSON,
+everything picklable.  Repair jobs return the canonical
+``RepairResult.to_dict()`` payload, so every repair kind shares the
+``status`` / ``feasible`` / ``assignment`` / ``solver_stats`` shape.
 """
 
 from __future__ import annotations
@@ -30,13 +33,8 @@ import json
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Type, Union
 
-from repro.io.json_io import (
-    dtmc_from_dict,
-    dtmc_to_dict,
-    mdp_from_dict,
-    mdp_to_dict,
-)
-from repro.mdp.model import DTMC, MDP
+from repro.io.json_io import model_from_payload, model_to_payload
+from repro.mdp.model import DTMC
 
 #: Registry ``kind -> spec class``, filled by ``_register``.
 JOB_KINDS: Dict[str, Type["JobSpec"]] = {}
@@ -50,25 +48,6 @@ def _register(cls: Type["JobSpec"]) -> Type["JobSpec"]:
 # ----------------------------------------------------------------------
 # Payload helpers
 # ----------------------------------------------------------------------
-def model_to_payload(model: Union[DTMC, MDP]) -> Dict:
-    """The self-describing JSON payload of a model (``save_model`` shape)."""
-    if isinstance(model, DTMC):
-        return {"kind": "dtmc", "model": dtmc_to_dict(model)}
-    if isinstance(model, MDP):
-        return {"kind": "mdp", "model": mdp_to_dict(model)}
-    raise TypeError(f"cannot serialise {type(model).__name__}")
-
-
-def model_from_payload(payload: Mapping) -> Union[DTMC, MDP]:
-    """Inverse of :func:`model_to_payload`."""
-    kind = payload.get("kind")
-    if kind == "dtmc":
-        return dtmc_from_dict(payload["model"])
-    if kind == "mdp":
-        return mdp_from_dict(payload["model"])
-    raise ValueError(f"unknown model kind {kind!r}")
-
-
 def dataset_to_payload(dataset) -> Dict:
     """JSON payload of a :class:`~repro.data.dataset.TraceDataset`."""
     return {
@@ -329,18 +308,7 @@ class ModelRepairJob(JobSpec):
             seed=self.seed,
             cache=cache,
         )
-        summary = {
-            "status": result.status,
-            "assignment": {k: float(v) for k, v in result.assignment.items()},
-            "objective_value": float(result.objective_value),
-            "epsilon": float(result.epsilon),
-            "verified": bool(result.verified),
-            "message": result.message,
-            "solver_stats": dict(result.solver_stats),
-        }
-        if result.repaired_model is not None:
-            summary["repaired_model"] = model_to_payload(result.repaired_model)
-        return summary
+        return result.to_dict()
 
 
 @_register
@@ -448,17 +416,7 @@ class DataRepairJob(JobSpec):
             seed=self.seed,
             cache=cache,
         )
-        return {
-            "status": result.status,
-            "drop_probabilities": {
-                k: float(v) for k, v in result.drop_probabilities.items()
-            },
-            "expected_dropped": float(result.expected_dropped),
-            "effort": float(result.effort),
-            "verified": bool(result.verified),
-            "message": result.message,
-            "solver_stats": dict(result.solver_stats),
-        }
+        return result.to_dict()
 
 
 @_register
@@ -527,9 +485,8 @@ class RewardRepairJob(JobSpec):
     def run(self, cache=None) -> Dict:
         from repro.core.api import repair_reward
 
-        mdp = model_from_payload(self.mdp)
         result = repair_reward(
-            mdp,
+            model_from_payload(self.mdp),
             self.features,
             self.theta,
             self.constraints,
@@ -538,18 +495,84 @@ class RewardRepairJob(JobSpec):
             extra_starts=self.extra_starts,
             seed=self.seed,
         )
+        return result.to_dict()
+
+
+@_register
+class RateRepairJob(JobSpec):
+    """CTMC rate repair: scale rates until the expected hitting time fits."""
+
+    kind = "rate-repair"
+
+    def __init__(
+        self,
+        job_id: str,
+        model: Mapping,
+        targets: Sequence[str],
+        bound: float,
+        controllable: Optional[Sequence[str]] = None,
+        max_speedup: float = 2.0,
+        extra_starts: int = 6,
+        seed: int = 0,
+    ):
+        super().__init__(job_id)
+        self.model = dict(model)
+        self.targets = [str(t) for t in targets]
+        self.bound = float(bound)
+        self.controllable = (
+            [str(s) for s in controllable] if controllable is not None else None
+        )
+        self.max_speedup = float(max_speedup)
+        self.extra_starts = int(extra_starts)
+        self.seed = int(seed)
+
+    @staticmethod
+    def for_model(
+        job_id: str, ctmc, targets, bound: float, **kwargs
+    ) -> "RateRepairJob":
+        """Build from an in-memory CTMC."""
+        return RateRepairJob(
+            job_id, model_to_payload(ctmc), list(targets), bound, **kwargs
+        )
+
+    def payload(self) -> Dict:
         return {
-            "feasible": bool(result.feasible),
-            "theta_before": [float(x) for x in result.theta_before],
-            "theta_after": [float(x) for x in result.theta_after],
-            "policy_after": {
-                str(s): str(result.policy_after[s]) for s in mdp.states
-            },
-            "diagnostics": {
-                k: float(v) for k, v in result.diagnostics.items()
-            },
-            "solver_stats": dict(result.solver_stats),
+            "model": self.model,
+            "targets": self.targets,
+            "bound": self.bound,
+            "controllable": self.controllable,
+            "max_speedup": self.max_speedup,
+            "extra_starts": self.extra_starts,
+            "seed": self.seed,
         }
+
+    @classmethod
+    def from_payload(cls, job_id: str, payload: Mapping) -> "RateRepairJob":
+        return cls(
+            job_id,
+            payload["model"],
+            payload["targets"],
+            payload["bound"],
+            controllable=payload.get("controllable"),
+            max_speedup=payload.get("max_speedup", 2.0),
+            extra_starts=payload.get("extra_starts", 6),
+            seed=payload.get("seed", 0),
+        )
+
+    def run(self, cache=None) -> Dict:
+        from repro.core.api import repair_rates
+
+        result = repair_rates(
+            model_from_payload(self.model),
+            self.targets,
+            self.bound,
+            controllable=self.controllable,
+            max_speedup=self.max_speedup,
+            extra_starts=self.extra_starts,
+            seed=self.seed,
+            cache=cache,
+        )
+        return result.to_dict()
 
 
 # ----------------------------------------------------------------------

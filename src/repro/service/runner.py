@@ -59,7 +59,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.service.faults import FaultPlan, InjectedFault
 from repro.service.jobs import JobSpec, job_from_dict
-from repro.service.telemetry import Telemetry
+from repro.service.telemetry import Telemetry, solver_counters
 
 #: Definite terminal statuses (acceptance: every job ends in one).
 TERMINAL_STATUSES = (
@@ -158,6 +158,7 @@ def _run_job_in_worker(task: Dict) -> Dict:
     def finish(payload: Dict) -> Dict:
         payload.update(base)
         payload.setdefault("solver_iterations", 0)
+        payload.setdefault("solver_function_evaluations", 0)
         payload["duration"] = time.monotonic() - started
         payload.update(_cache_delta(before))
         return payload
@@ -207,13 +208,11 @@ def _run_job_in_worker(task: Dict) -> Dict:
         if restore is not None:
             restore()
 
-    solver_stats = result.get("solver_stats") if isinstance(result, dict) else None
-    iterations = int((solver_stats or {}).get("iterations", 0))
     if store is not None:
         store.put(result_key, result)
     return finish(
         {"ok": True, "status": "succeeded", "result": result,
-         "solver_iterations": iterations}
+         **solver_counters(result)}
     )
 
 
@@ -446,6 +445,9 @@ class BatchRunner:
             backing_hits=payload.get("backing_hits", 0),
             parametric_eliminations=payload.get("parametric_eliminations", 0),
             solver_iterations=payload.get("solver_iterations", 0),
+            solver_function_evaluations=payload.get(
+                "solver_function_evaluations", 0
+            ),
         )
 
     def _finish(

@@ -40,6 +40,25 @@ SUMMED_FIELDS = (
 )
 
 
+def solver_counters(result) -> Dict[str, int]:
+    """Extract the NLP-effort counters from a job's result payload.
+
+    Every repair kind reports the same canonical
+    ``RepairResult.to_dict()`` shape, so one extraction covers them all:
+    the ``solver_stats`` block (absent for checks and for
+    already-satisfied repairs) yields ``solver_iterations`` and
+    ``solver_function_evaluations``, ready to pass to :meth:`Telemetry.emit`.
+    """
+    stats = result.get("solver_stats") if isinstance(result, dict) else None
+    stats = stats or {}
+    return {
+        "solver_iterations": int(stats.get("iterations", 0)),
+        "solver_function_evaluations": int(
+            stats.get("function_evaluations", 0)
+        ),
+    }
+
+
 class Telemetry:
     """Thread-safe JSON-lines event emitter with running counters.
 

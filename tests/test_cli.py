@@ -154,6 +154,67 @@ class TestModelRepair:
         assert code == 1
         assert "infeasible" in capsys.readouterr().out
 
+    def test_json_output_is_canonical_payload(self, chain_file, capsys):
+        import json
+
+        from repro.repair import RepairResult
+
+        code = main(["model-repair", chain_file, 'R<=6 [ F "goal" ]', "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["flavor"] == "model"
+        assert payload["status"] == "repaired"
+        rebuilt = RepairResult.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+
+
+class TestRateRepair:
+    @pytest.fixture
+    def ctmc_file(self, tmp_path):
+        from repro.ctmc import CTMC
+
+        path = tmp_path / "ctmc.json"
+        save_model(
+            CTMC(
+                states=["s0", "s1", "done"],
+                rates={"s0": {"s1": 1.0}, "s1": {"done": 0.5}},
+                initial_state="s0",
+                labels={"done": {"done"}},
+            ),
+            path,
+        )
+        return str(path)
+
+    def test_repair_writes_output(self, ctmc_file, tmp_path, capsys):
+        out_file = tmp_path / "repaired.json"
+        code = main(
+            ["rate-repair", ctmc_file, "--targets", "done",
+             "--bound", "2.0", "--max-speedup", "4.0", "-o", str(out_file)]
+        )
+        assert code == 0
+        assert out_file.exists()
+        out = capsys.readouterr().out
+        assert "status: repaired" in out
+        assert "rate scales" in out
+
+    def test_json_output(self, ctmc_file, capsys):
+        import json
+
+        code = main(
+            ["rate-repair", ctmc_file, "--targets", "done",
+             "--bound", "5.0", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["flavor"] == "rate"
+        assert payload["status"] == "already_satisfied"
+
+    def test_rejects_dtmc_input(self, chain_file, capsys):
+        code = main(
+            ["rate-repair", chain_file, "--targets", "goal", "--bound", "1"]
+        )
+        assert code == 2
+
 
 class TestExportPrism:
     def test_export_to_stdout(self, chain_file, capsys):

@@ -46,7 +46,7 @@ class TestParametricAgainstConcreteAtSolution:
 
     def test_wsn_solution_point(self):
         problem = wsn.model_repair_problem(40)
-        constraint = problem.constraint()
+        constraint = problem.problem().parametric_constraints()[0]
         result = problem.repair()
         assert result.status == "repaired"
         symbolic_value = float(

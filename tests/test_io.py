@@ -59,6 +59,26 @@ class TestMdpRoundTrip:
         assert rebuilt.action_rewards == mdp.action_rewards
 
 
+class TestCtmcRoundTrip:
+    def test_save_load_ctmc(self, tmp_path):
+        from repro.ctmc import CTMC
+
+        ctmc = CTMC(
+            states=["up", "down"],
+            rates={"up": {"down": 0.1}, "down": {"up": 2.0}},
+            initial_state="up",
+            labels={"up": {"working"}},
+        )
+        path = tmp_path / "ctmc.json"
+        save_model(ctmc, path)
+        loaded = load_model(path)
+        assert isinstance(loaded, CTMC)
+        assert loaded.states == ctmc.states
+        assert loaded.labels == ctmc.labels
+        assert loaded.rates["up"]["down"] == pytest.approx(0.1)
+        assert loaded.rates["down"]["up"] == pytest.approx(2.0)
+
+
 class TestFileInterface:
     def test_save_load_dtmc(self, two_path_chain, tmp_path):
         path = tmp_path / "chain.json"
@@ -76,7 +96,7 @@ class TestFileInterface:
 
     def test_unknown_kind_rejected(self, tmp_path):
         path = tmp_path / "bad.json"
-        path.write_text('{"kind": "ctmc", "model": {}}')
+        path.write_text('{"kind": "petri-net", "model": {}}')
         with pytest.raises(ValueError):
             load_model(path)
 

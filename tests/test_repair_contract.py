@@ -1,0 +1,294 @@
+"""Cross-engine contract tests for the unified repair core.
+
+Every repair flavour (model, data, reward, rate) now delegates to
+``repro.repair``'s single ``RepairProblem → solve → verify`` driver, so
+all four must expose identical result-shape semantics: the same status
+vocabulary, the same ``feasible``/``verified``/``solver_stats`` fields,
+a canonical ``to_dict()`` that round-trips through
+``RepairResult.from_dict``, and a consistent ``__repr__``.
+
+One asymmetry is intentional: Reward Repair always runs the projection
+(an already-holding Q-constraint just yields a ~zero-delta ``repaired``
+result), so its "already satisfied" scenario expects ``repaired`` with
+objective ≈ 0 rather than ``already_satisfied``.
+"""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.core import DataRepair, ModelRepair, QValueConstraint, RewardRepair
+from repro.ctmc import CTMC, RateRepair
+from repro.data import TraceDataset, TraceGroup
+from repro.learning.irl import TabularFeatureMap
+from repro.logic import parse_pctl
+from repro.mdp import MDP, Trajectory
+from repro.repair import RepairResult
+
+#: Keys every flavour's ``to_dict()`` must carry.
+SHARED_KEYS = {
+    "flavor",
+    "status",
+    "feasible",
+    "assignment",
+    "objective_value",
+    "verified",
+    "message",
+    "solver_stats",
+}
+
+
+# ----------------------------------------------------------------------
+# Scenario builders: each returns a finished result
+# ----------------------------------------------------------------------
+def coin_chain():
+    from repro.mdp import DTMC
+
+    return DTMC(
+        states=["s0", "good", "bad"],
+        transitions={
+            "s0": {"good": 0.5, "bad": 0.5},
+            "good": {"good": 1.0},
+            "bad": {"bad": 1.0},
+        },
+        initial_state="s0",
+        labels={"good": {"good"}},
+    )
+
+
+def model_result(scenario):
+    bound, max_perturbation = {
+        "already_satisfied": (0.6, None),
+        "repaired": (0.3, None),
+        "infeasible": (0.3, 0.01),
+    }[scenario]
+    return ModelRepair.for_chain(
+        coin_chain(),
+        parse_pctl(f'P<={bound} [ F "good" ]'),
+        max_perturbation=max_perturbation,
+    ).repair()
+
+
+def observations(source, target, count):
+    return [Trajectory.from_states([source, target]) for _ in range(count)]
+
+
+def data_result(scenario):
+    if scenario == "infeasible":
+        dataset = TraceDataset(
+            [
+                TraceGroup(
+                    "all",
+                    observations("a", "a", 10) + observations("a", "b", 1),
+                    droppable=False,
+                )
+            ]
+        )
+        bound = 2
+    else:
+        dataset = TraceDataset(
+            [
+                TraceGroup("success", observations("a", "b", 40), droppable=False),
+                TraceGroup("failure", observations("a", "a", 60)),
+            ]
+        )
+        bound = 10 if scenario == "already_satisfied" else 2
+    return DataRepair(
+        dataset=dataset,
+        formula=parse_pctl(f'R<={bound} [ F "goal" ]'),
+        initial_state="a",
+        states=["a", "b"],
+        labels={"b": {"goal"}},
+        state_rewards={"a": 1.0},
+    ).repair()
+
+
+def shortcut_mdp():
+    return MDP(
+        states=["start", "danger", "detour", "goal", "end"],
+        transitions={
+            "start": {
+                "shortcut": {"danger": 1.0},
+                "around": {"detour": 1.0},
+            },
+            "danger": {"go": {"goal": 1.0}},
+            "detour": {"go": {"goal": 1.0}},
+            "goal": {"go": {"end": 1.0}},
+            "end": {"go": {"end": 1.0}},
+        },
+        initial_state="start",
+        labels={"danger": {"unsafe"}, "goal": {"target"}},
+    )
+
+
+def reward_result(scenario):
+    features = TabularFeatureMap(
+        {
+            "start": [0.0, 0.0],
+            "danger": [1.0, 0.0],
+            "detour": [0.0, 0.0],
+            "goal": [0.0, 1.0],
+            "end": [0.0, 0.0],
+        }
+    )
+    repair = RewardRepair(shortcut_mdp(), features, discount=0.9)
+    theta = np.array([0.5, 1.0])
+    if scenario == "already_satisfied":
+        # The constraint already holds; the projection stays (near) put.
+        constraints = [QValueConstraint("start", "shortcut", "around")]
+        return repair.q_constrained(theta, constraints)
+    if scenario == "repaired":
+        constraints = [
+            QValueConstraint("start", "around", "shortcut", margin=1e-3)
+        ]
+        return repair.q_constrained(theta, constraints)
+    constraints = [QValueConstraint("start", "around", "shortcut", margin=0.5)]
+    return repair.q_constrained(theta, constraints, delta_bound=1e-4)
+
+
+def pipeline_ctmc():
+    return CTMC(
+        states=["s0", "s1", "done"],
+        rates={"s0": {"s1": 1.0}, "s1": {"done": 0.5}},
+        initial_state="s0",
+        labels={"done": {"done"}},
+    )
+
+
+def rate_result(scenario):
+    bound, max_speedup = {
+        "already_satisfied": (5.0, 2.0),
+        "repaired": (2.0, 4.0),
+        "infeasible": (0.5, 1.5),
+    }[scenario]
+    return RateRepair(
+        pipeline_ctmc(), {"done"}, bound, max_speedup=max_speedup
+    ).repair()
+
+
+BUILDERS = {
+    "model": model_result,
+    "data": data_result,
+    "reward": reward_result,
+    "rate": rate_result,
+}
+
+#: Expected status per (flavor, scenario); Reward Repair's asymmetry
+#: (always "repaired"/"infeasible") is the only deviation.
+EXPECTED_STATUS = {
+    (flavor, scenario): scenario
+    for flavor in BUILDERS
+    for scenario in ("already_satisfied", "repaired", "infeasible")
+}
+EXPECTED_STATUS[("reward", "already_satisfied")] = "repaired"
+
+CASES = sorted(EXPECTED_STATUS)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run the whole matrix once; contract checks then only inspect."""
+    return {
+        (flavor, scenario): BUILDERS[flavor](scenario)
+        for flavor, scenario in CASES
+    }
+
+
+@pytest.mark.parametrize("flavor,scenario", CASES)
+class TestResultContract:
+    def test_status_and_feasibility(self, results, flavor, scenario):
+        result = results[(flavor, scenario)]
+        assert isinstance(result, RepairResult)
+        assert result.flavor == flavor
+        assert result.status == EXPECTED_STATUS[(flavor, scenario)]
+        assert result.feasible == (result.status != "infeasible")
+
+    def test_shared_payload_shape(self, results, flavor, scenario):
+        payload = results[(flavor, scenario)].to_dict()
+        assert SHARED_KEYS <= set(payload)
+        assert payload["flavor"] == flavor
+        assert isinstance(payload["assignment"], dict)
+        assert all(
+            isinstance(v, float) for v in payload["assignment"].values()
+        )
+        assert isinstance(payload["solver_stats"], dict)
+        assert all(
+            isinstance(v, int) for v in payload["solver_stats"].values()
+        )
+
+    def test_solver_stats_reflect_work(self, results, flavor, scenario):
+        result = results[(flavor, scenario)]
+        if result.status == "already_satisfied":
+            # Short-circuited before the NLP: no solver accounting.
+            assert result.solver_stats == {}
+        elif result.solver_stats:
+            assert result.solver_stats.get("iterations", 0) > 0
+        else:
+            # Only a pre-solve short-circuit (e.g. no free variables)
+            # may leave the accounting empty on a non-satisfied result.
+            assert result.status == "infeasible"
+            assert result.assignment == {}
+
+    def test_to_dict_round_trips(self, results, flavor, scenario):
+        result = results[(flavor, scenario)]
+        payload = result.to_dict()
+        rebuilt = RepairResult.from_dict(payload)
+        assert type(rebuilt) is type(result)
+        assert rebuilt.to_dict() == payload
+
+    def test_repr_is_consistent(self, results, flavor, scenario):
+        result = results[(flavor, scenario)]
+        pattern = (
+            rf"^{type(result).__name__}\(status='{result.status}', "
+            r"objective=[-0-9.e+]+, verified=(True|False)"
+        )
+        assert re.match(pattern, repr(result))
+
+
+class TestRewardAsymmetry:
+    def test_satisfied_constraint_costs_nothing(self, results):
+        result = results[("reward", "already_satisfied")]
+        assert result.status == "repaired"
+        assert result.objective_value == pytest.approx(0.0, abs=1e-4)
+        assert float(np.linalg.norm(result.theta_delta())) < 1e-2
+
+
+class TestRateRepairCaching:
+    def test_warm_rerun_reuses_elimination_and_checks(self):
+        from repro.checking.cache import CheckCache
+
+        cache = CheckCache()
+        first = RateRepair(
+            pipeline_ctmc(), {"done"}, 2.0, max_speedup=4.0, cache=cache
+        ).repair()
+        assert first.status == "repaired"
+        eliminations = cache.stats()["parametric_eliminations"]
+        assert eliminations == 1
+        second = RateRepair(
+            pipeline_ctmc(), {"done"}, 2.0, max_speedup=4.0, cache=cache
+        ).repair()
+        # Content-identical repair: the symbolic closed form and the
+        # concrete expected-time checks all come from the cache.
+        assert cache.stats()["parametric_eliminations"] == eliminations
+        assert cache.stats()["hits"] > 0
+        assert second.scales == pytest.approx(first.scales)
+
+
+class TestGenericFallback:
+    def test_generic_payload_round_trips(self):
+        base = RepairResult(
+            status="repaired",
+            assignment={"x": 0.25},
+            objective_value=0.0625,
+            verified=True,
+            message="ok",
+            solver_stats={"iterations": 3},
+        )
+        rebuilt = RepairResult.from_dict(base.to_dict())
+        assert type(rebuilt) is RepairResult
+        assert rebuilt.to_dict() == base.to_dict()
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ValueError):
+            RepairResult.from_dict({"flavor": "nope", "status": "repaired"})

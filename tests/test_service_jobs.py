@@ -11,6 +11,7 @@ from repro.service import (
     CheckJob,
     DataRepairJob,
     ModelRepairJob,
+    RateRepairJob,
     RewardRepairJob,
     execute,
     job_from_dict,
@@ -176,6 +177,27 @@ class TestExecution:
         result = execute(job)
         assert result["feasible"] is True
         assert result["policy_after"]["S1"] == str(car.LEFT)
+
+    def test_rate_repair_job_round_trips_and_runs(self):
+        from repro.ctmc import CTMC
+
+        ctmc = CTMC(
+            states=["s0", "s1", "done"],
+            rates={"s0": {"s1": 1.0}, "s1": {"done": 0.5}},
+            initial_state="s0",
+            labels={"done": {"done"}},
+        )
+        job = RateRepairJob.for_model(
+            "rt", ctmc, ["done"], 2.0, max_speedup=4.0
+        )
+        clone = job_from_dict(json.loads(json.dumps(job.to_dict())))
+        assert clone.fingerprint() == job.fingerprint()
+        result = execute(clone)
+        assert result["flavor"] == "rate"
+        assert result["status"] == "repaired"
+        assert result["verified"] is True
+        assert result["expected_time"] <= 2.0 + 1e-6
+        assert result["solver_stats"]["iterations"] > 0
 
 
 class TestJobFiles:
