@@ -164,7 +164,12 @@ class CheckCache:
 
         def eliminate() -> ParametricConstraint:
             self.parametric_eliminations += 1
-            return parametric_constraint(model, formula)
+            constraint = parametric_constraint(model, formula)
+            # Pre-compile the numpy kernel so it is memoised (and, with a
+            # persistent backing, pickled) beside the elimination — warm
+            # runs then skip both the elimination *and* the compilation.
+            constraint.compiled()
+            return constraint
 
         return self.get_or_compute(key, eliminate)
 

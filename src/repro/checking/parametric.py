@@ -585,6 +585,31 @@ class ParametricConstraint:
         self.function = function
         self.comparison = comparison
         self.bound = float(bound)
+        self._compiled = None
+
+    @property
+    def _sign(self) -> float:
+        """+1 when larger ``f`` helps the margin, −1 when it hurts."""
+        return -1.0 if self.comparison in ("<", "<=") else 1.0
+
+    def compiled(self):
+        """The lazily-built numpy kernel of ``f`` (cached on the object).
+
+        A :class:`~repro.symbolic.compile.CompiledRationalFunction`
+        sharing one term table between ``f`` and all its partial
+        derivatives; the NLP layer evaluates margins, batches of start
+        points and analytic jacobians through it.  Picklable, so cached
+        constraints carry their kernel into the persistent result store
+        and warm service runs skip compilation.
+        """
+        try:
+            cached = self._compiled
+        except AttributeError:  # unpickled from an older on-disk store
+            cached = None
+        if cached is None:
+            cached = self.function.compiled()
+            self._compiled = cached
+        return cached
 
     def holds_at(self, assignment: Mapping[str, float]) -> bool:
         """Whether the constraint is satisfied at a parameter point."""
@@ -602,6 +627,32 @@ class ParametricConstraint:
         if self.comparison in ("<", "<="):
             return self.bound - value
         return value - self.bound
+
+    def fast_margin(self, assignment: Mapping[str, float]) -> float:
+        """:meth:`margin` through the compiled kernel (float path)."""
+        value = self.compiled().evaluate_assignment(assignment)
+        return self._sign * (value - self.bound)
+
+    def margin_gradient(self, assignment: Mapping[str, float]) -> Dict[str, float]:
+        """Analytic ``∂margin/∂v`` by parameter name (compiled kernel)."""
+        sign = self._sign
+        partials = self.compiled().gradient_assignment(assignment)
+        return {name: sign * value for name, value in partials.items()}
+
+    def margin_batch(self, points, names):
+        """Margins at an ``(m, len(names))`` matrix in one vectorized pass.
+
+        ``names`` gives the column order of ``points``; it must cover
+        the kernel's parameters.  Rows with a vanishing denominator
+        come back non-finite rather than raising.
+        """
+        import numpy as np
+
+        kernel = self.compiled()
+        matrix = np.asarray(points, dtype=float)
+        columns = [names.index(name) for name in kernel.params]
+        values = kernel.evaluate_batch(matrix[:, columns])
+        return self._sign * (values - self.bound)
 
     def __repr__(self) -> str:
         return f"ParametricConstraint(f {self.comparison} {self.bound})"

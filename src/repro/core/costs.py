@@ -8,15 +8,24 @@ cost-function ablation benchmark.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Callable, Dict, Mapping, Optional
 
 Assignment = Mapping[str, float]
 CostFunction = Callable[[Assignment], float]
+CostGradient = Callable[[Assignment], Mapping[str, float]]
 
 
 def frobenius_cost(assignment: Assignment) -> float:
     """``Σ v_k²`` — the paper's default ``‖Z‖_F²``."""
     return sum(value * value for value in assignment.values())
+
+
+def frobenius_gradient(assignment: Assignment) -> Dict[str, float]:
+    """``∂/∂v_k Σ v_k² = 2 v_k`` — analytic gradient of the default cost."""
+    return {name: 2.0 * value for name, value in assignment.items()}
+
+
+frobenius_cost.gradient = frobenius_gradient
 
 
 def l1_cost(assignment: Assignment) -> float:
@@ -43,6 +52,13 @@ def weighted_quadratic_cost(weights: Mapping[str, float]) -> CostFunction:
             for name, value in assignment.items()
         )
 
+    def gradient(assignment: Assignment) -> Dict[str, float]:
+        return {
+            name: 2.0 * weights.get(name, 1.0) * value
+            for name, value in assignment.items()
+        }
+
+    cost.gradient = gradient
     return cost
 
 
@@ -63,3 +79,15 @@ def resolve_cost(cost) -> CostFunction:
         raise ValueError(
             f"unknown cost {cost!r}; expected one of {sorted(NAMED_COSTS)}"
         ) from None
+
+
+def resolve_cost_gradient(cost) -> Optional[CostGradient]:
+    """The analytic gradient of ``cost``, or ``None``.
+
+    Smooth costs (frobenius, weighted quadratic) publish their gradient
+    as a ``.gradient`` attribute on the cost callable; non-smooth ones
+    (l1, max) don't, and the NLP falls back to finite differences for
+    them exactly as before.
+    """
+    resolved = resolve_cost(cost)
+    return getattr(resolved, "gradient", None)

@@ -49,6 +49,28 @@ Assignment = Dict[str, float]
 _DEFAULT_MARGIN = 1e-6
 
 
+def _linear_row_batch(row_vars: Sequence[str], offset: float, sign: float):
+    """Vectorized margin ``offset + sign·Σ z_row`` for start screening."""
+
+    def batch(points, names):
+        import numpy as np
+
+        columns = [names.index(name) for name in row_vars]
+        matrix = np.asarray(points, dtype=float)
+        return offset + sign * matrix[:, columns].sum(axis=1)
+
+    return batch
+
+
+def _abs_sum_gradient(
+    assignment: Mapping[str, float], row_vars: Sequence[str]
+) -> Dict[str, float]:
+    """Subgradient of ``−|Σ z_row|`` (0 at the kink, like a forward FD)."""
+    total = sum(assignment[name] for name in row_vars)
+    slope = -1.0 if total > 0 else (1.0 if total < 0 else 0.0)
+    return {name: slope for name in row_vars}
+
+
 class ModelRepairResult(RepairResult):
     """Outcome of a Model Repair attempt.
 
@@ -228,12 +250,21 @@ class ModelRepair:
                 dependent = dependent - Polynomial.variable(name)
             transitions[state][last] = dependent
             dependent_terms.append((row_vars, last_base))
+            # The row-sum constraints are linear, so they carry exact
+            # constant gradients (SLSQP then skips finite-differencing
+            # them) and a vectorized batch form for start screening.
             extra_constraints.append(
                 Constraint(
                     lambda v, names=row_vars, base=last_base: base
                     - sum(v[n] for n in names)
                     - margin,
                     name=f"row_{chain.index[state]}_lower",
+                    gradient=lambda v, names=row_vars: {
+                        n: -1.0 for n in names
+                    },
+                    batch_margin=_linear_row_batch(
+                        row_vars, last_base - margin, -1.0
+                    ),
                 )
             )
             extra_constraints.append(
@@ -243,6 +274,12 @@ class ModelRepair:
                     + sum(v[n] for n in names)
                     - margin,
                     name=f"row_{chain.index[state]}_upper",
+                    gradient=lambda v, names=row_vars: {
+                        n: 1.0 for n in names
+                    },
+                    batch_margin=_linear_row_batch(
+                        row_vars, 1.0 - last_base - margin, 1.0
+                    ),
                 )
             )
             if max_perturbation is not None:
@@ -251,6 +288,9 @@ class ModelRepair:
                         lambda v, names=row_vars: max_perturbation
                         - abs(sum(v[n] for n in names)),
                         name=f"row_{chain.index[state]}_delta",
+                        gradient=lambda v, names=row_vars: _abs_sum_gradient(
+                            v, names
+                        ),
                     )
                 )
 
@@ -274,6 +314,30 @@ class ModelRepair:
                 for i, (names, _base) in enumerate(dependent_terms):
                     full[f"_dependent_{i}"] = -sum(assignment[n] for n in names)
                 return base_cost(full)
+
+            base_gradient = getattr(base_cost, "gradient", None)
+            if base_gradient is not None:
+
+                def cost_gradient(assignment: Assignment) -> Assignment:
+                    # Chain rule through the dependent entries:
+                    # ∂(−Σ z)/∂z_n = −1 for every n in that row.
+                    full = dict(assignment)
+                    for i, (names, _base) in enumerate(dependent_terms):
+                        full[f"_dependent_{i}"] = -sum(
+                            assignment[n] for n in names
+                        )
+                    g_full = base_gradient(full)
+                    grad = {
+                        name: float(g_full.get(name, 0.0))
+                        for name in assignment
+                    }
+                    for i, (names, _base) in enumerate(dependent_terms):
+                        dep = float(g_full.get(f"_dependent_{i}", 0.0))
+                        for name in names:
+                            grad[name] -= dep
+                    return grad
+
+                cost_function.gradient = cost_gradient
 
         return ModelRepair(
             original=chain,

@@ -83,6 +83,7 @@ def solve_repair(
     program = NonlinearProgram(
         variables=problem.variables,
         objective=problem.cost,
+        objective_gradient=problem.cost_gradient,
         constraints=problem.solver_constraints(),
     )
     solved = program.solve(extra_starts=extra_starts, seed=seed)

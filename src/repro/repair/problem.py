@@ -123,6 +123,9 @@ class RepairProblem:
     ):
         self.variables = list(variables)
         self.cost = _resolve_cost(cost)
+        #: Analytic gradient of the cost (``None`` for non-smooth costs;
+        #: the NLP then finite-differences the objective as before).
+        self.cost_gradient = _resolve_cost_gradient(cost)
         self.name = name
         self.parametric = list(parametric)
         self.constraints = list(constraints)
@@ -155,13 +158,19 @@ class RepairProblem:
             for spec in self.parametric
         ]
 
-    def solver_constraints(self) -> List[Constraint]:
-        """All NLP constraints: adapted parametric ones + extras."""
+    def solver_constraints(self, compiled: bool = True) -> List[Constraint]:
+        """All NLP constraints: adapted parametric ones + extras.
+
+        ``compiled=False`` adapts the parametric constraints through the
+        pure-symbolic margin (no kernels, no analytic jacobians) — the
+        pre-kernel behaviour, kept for before/after benchmarking.
+        """
         adapted = [
             constraint_from_parametric(
                 reduced,
                 name=f"{self.name}-pctl-{index}",
                 safety_margin=self.safety_margin,
+                compiled=compiled,
             )
             for index, reduced in enumerate(self.parametric_constraints())
         ]
@@ -209,3 +218,9 @@ def _resolve_cost(cost):
     from repro.core.costs import resolve_cost
 
     return resolve_cost(cost)
+
+
+def _resolve_cost_gradient(cost):
+    from repro.core.costs import resolve_cost_gradient
+
+    return resolve_cost_gradient(cost)

@@ -79,8 +79,11 @@ class JobTimeout(Exception):
 # ----------------------------------------------------------------------
 def _cache_snapshot() -> Dict[str, int]:
     from repro.checking import cache as cache_module
+    from repro.symbolic.compile import kernel_stats
 
-    return dict(cache_module.GLOBAL_CACHE.stats())
+    snapshot = dict(cache_module.GLOBAL_CACHE.stats())
+    snapshot.update(kernel_stats())
+    return snapshot
 
 
 def _cache_delta(before: Dict[str, int]) -> Dict[str, int]:
@@ -94,6 +97,10 @@ def _cache_delta(before: Dict[str, int]) -> Dict[str, int]:
         - before.get("backing_hits", 0),
         "parametric_eliminations": after.get("parametric_eliminations", 0)
         - before.get("parametric_eliminations", 0),
+        "kernel_compilations": after.get("compilations", 0)
+        - before.get("compilations", 0),
+        "kernel_evaluations": after.get("evaluations", 0)
+        - before.get("evaluations", 0),
     }
 
 
@@ -448,6 +455,8 @@ class BatchRunner:
             solver_function_evaluations=payload.get(
                 "solver_function_evaluations", 0
             ),
+            kernel_compilations=payload.get("kernel_compilations", 0),
+            kernel_evaluations=payload.get("kernel_evaluations", 0),
         )
 
     def _finish(

@@ -37,6 +37,8 @@ SUMMED_FIELDS = (
     "parametric_eliminations",
     "solver_iterations",
     "solver_function_evaluations",
+    "kernel_compilations",
+    "kernel_evaluations",
 )
 
 

@@ -15,9 +15,30 @@ Public API
     Quotient of two polynomials, normalised and (best-effort) reduced.
 ``poly_gcd``
     Multivariate polynomial greatest common divisor (primitive PRS).
+``compile_polynomial`` / ``compile_rational``
+    Symbolic→numeric lowering to flat numpy kernels with analytic
+    gradients and batch evaluation (:mod:`repro.symbolic.compile`) —
+    the fast path of the repair NLP.
 """
 
 from repro.symbolic.polynomial import Polynomial, bareiss_determinant, poly_gcd
 from repro.symbolic.rational import RationalFunction
+from repro.symbolic.compile import (
+    CompiledPolynomial,
+    CompiledRationalFunction,
+    compile_polynomial,
+    compile_rational,
+    kernel_stats,
+)
 
-__all__ = ["Polynomial", "RationalFunction", "poly_gcd", "bareiss_determinant"]
+__all__ = [
+    "Polynomial",
+    "RationalFunction",
+    "poly_gcd",
+    "bareiss_determinant",
+    "CompiledPolynomial",
+    "CompiledRationalFunction",
+    "compile_polynomial",
+    "compile_rational",
+    "kernel_stats",
+]

@@ -1,0 +1,535 @@
+"""Symbolic→numeric compilation of polynomials and rational functions.
+
+The repair NLP evaluates the eliminated parametric constraint thousands
+of times per solve.  Walking the exact ``Fraction``-keyed monomial
+dictionaries of :class:`~repro.symbolic.polynomial.Polynomial` on every
+call is the dominant cost, and finite-differencing the gradient
+multiplies it by ``n + 1``.  This module lowers a symbolic expression
+*once* into flat numpy arrays — an exponent matrix ``E[t, v]`` and a
+coefficient vector ``c[t]`` — after which
+
+* ``evaluate(x)`` is one power-product plus one dot product,
+* ``evaluate_batch(X)`` scores an ``(m, n)`` matrix of points in a
+  single vectorized pass (the multi-start seeder uses this), and
+* ``gradient(x)`` comes from precomputed derivative coefficient rows
+  over the *same* term table — numerator, denominator and every partial
+  derivative share one power-product (common-subexpression sharing), so
+  an analytic value-plus-gradient costs barely more than a value.
+
+Kernels are plain data (tuples + numpy arrays): picklable, so the
+:class:`~repro.checking.cache.CheckCache` / result-store layer memoizes
+them beside the eliminations and warm service runs skip compilation too.
+
+Numeric policy: coefficients are converted to ``float64`` once at
+compile time.  Scalar ``evaluate`` raises ``ZeroDivisionError`` on a
+vanishing denominator, matching
+:meth:`~repro.symbolic.rational.RationalFunction.evaluate`;
+``evaluate_batch`` instead lets IEEE semantics produce ``inf``/``nan``
+for the offending rows so one bad candidate cannot abort a whole
+screening pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.symbolic.polynomial import Monomial, Polynomial
+from repro.symbolic.rational import RationalFunction
+
+__all__ = [
+    "CompiledPolynomial",
+    "CompiledRationalFunction",
+    "compile_polynomial",
+    "compile_rational",
+    "kernel_stats",
+]
+
+#: Process-wide kernel accounting, mirrored into the service telemetry
+#: (``kernel_compilations`` / ``kernel_evaluations``) the same way the
+#: :class:`~repro.checking.cache.CheckCache` counters are: callers
+#: snapshot :func:`kernel_stats` and emit deltas.
+_KERNEL_COUNTER = {"compilations": 0, "evaluations": 0}
+
+
+def kernel_stats() -> Dict[str, int]:
+    """Snapshot of the process-wide kernel counters.
+
+    ``compilations`` counts symbolic→numeric lowerings performed in this
+    process (kernels restored from a pickle — e.g. a warm result store —
+    do not count); ``evaluations`` counts evaluated points across
+    ``evaluate`` / ``evaluate_batch`` / ``gradient`` calls.
+    """
+    return dict(_KERNEL_COUNTER)
+
+
+def _term_table(
+    polynomials: Sequence[Polynomial], params: Tuple[str, ...]
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """One shared ``(E, [c_0, c_1, ...])`` table for several polynomials.
+
+    ``E`` is the union exponent matrix over every monomial occurring in
+    any input; each polynomial becomes a dense coefficient vector over
+    that shared term axis.  Evaluating the power-product ``x**E`` once
+    then serves every polynomial with a single dot product each.
+    """
+    index: Dict[Monomial, int] = {}
+    for poly in polynomials:
+        for mono in poly.terms:
+            if mono not in index:
+                index[mono] = len(index)
+    count = len(index)
+    exponents = np.zeros((count, len(params)), dtype=np.int64)
+    column = {name: j for j, name in enumerate(params)}
+    for mono, row in index.items():
+        for var, exp in mono:
+            exponents[row, column[var]] = exp
+    coefficients = []
+    for poly in polynomials:
+        vector = np.zeros(count, dtype=np.float64)
+        for mono, coeff in poly.terms.items():
+            vector[index[mono]] = float(coeff)
+        coefficients.append(vector)
+    return exponents, coefficients
+
+
+def _default_params(*polynomials: Polynomial) -> Tuple[str, ...]:
+    names: set = set()
+    for poly in polynomials:
+        names |= poly.variables()
+    return tuple(sorted(names))
+
+
+#: Above this many shared terms the scalar path stays on numpy — the
+#: generated source would be huge, and vectorized dot products win at
+#: that size anyway.
+_CODEGEN_TERM_LIMIT = 2048
+
+
+def _polynomial_source(exponents: np.ndarray, coefficients: np.ndarray) -> str:
+    """Python source of ``Σ c_t · Π x_j^e`` with zero terms dropped.
+
+    ``repr(float)`` round-trips exactly, so the generated expression
+    computes the same float arithmetic the numpy dot product would.
+    """
+    parts = []
+    for row, coeff in zip(exponents, coefficients):
+        value = float(coeff)
+        if value == 0.0:
+            continue
+        factors = [repr(value)]
+        for j, exp in enumerate(row):
+            exp = int(exp)
+            if exp == 1:
+                factors.append(f"x{j}")
+            elif exp == 2:
+                factors.append(f"x{j}*x{j}")
+            elif exp > 2:
+                factors.append(f"x{j}**{exp}")
+        parts.append("*".join(factors))
+    return " + ".join(parts) if parts else "0.0"
+
+
+def _scalar_function(name: str, arity: int, expressions: List[str]):
+    """Compile ``f(x0, …) -> (expr_0, expr_1, …)`` to Python bytecode.
+
+    Scalar evaluation of a small kernel is dominated by numpy ufunc
+    dispatch, not arithmetic; a generated plain-float expression runs
+    an order of magnitude faster for the term counts state elimination
+    produces.  One function returns every requested expression so
+    callers pay the call overhead once per point.
+    """
+    args = ", ".join(f"x{j}" for j in range(arity))
+    body = ", ".join(expressions)
+    source = f"def {name}({args}):\n    return ({body}{',' if body else ''})"
+    namespace: Dict[str, object] = {}
+    exec(compile(source, f"<kernel:{name}>", "exec"), namespace)  # noqa: S102
+    return namespace[name]
+
+
+class _Kernel:
+    """Shared power-product machinery over one exponent matrix."""
+
+    def __init__(self, params: Tuple[str, ...], exponents: np.ndarray):
+        self.params = params
+        self.exponents = exponents
+        # Degree-≤1 tables (the common case after state elimination of
+        # sparse chains) skip the pow ufunc entirely.
+        self._linear = bool((exponents <= 1).all())
+
+    def _powers(self, x: np.ndarray) -> np.ndarray:
+        """``(T,)`` vector of monomial values at one point."""
+        if self.exponents.size == 0:
+            return np.ones(len(self.exponents), dtype=np.float64)
+        if self._linear:
+            return np.prod(
+                np.where(self.exponents == 1, x[np.newaxis, :], 1.0), axis=1
+            )
+        return np.prod(
+            np.power(x[np.newaxis, :], self.exponents), axis=1
+        )
+
+    def _powers_batch(self, X: np.ndarray) -> np.ndarray:
+        """``(m, T)`` matrix of monomial values at ``m`` points."""
+        if self.exponents.size == 0:
+            return np.ones((len(X), len(self.exponents)), dtype=np.float64)
+        if self._linear:
+            return np.prod(
+                np.where(
+                    self.exponents[np.newaxis, :, :] == 1,
+                    X[:, np.newaxis, :],
+                    1.0,
+                ),
+                axis=2,
+            )
+        return np.prod(
+            np.power(X[:, np.newaxis, :], self.exponents[np.newaxis, :, :]),
+            axis=2,
+        )
+
+    def _vector(self, x) -> np.ndarray:
+        vector = np.asarray(x, dtype=np.float64)
+        if vector.ndim != 1 or vector.shape[0] != len(self.params):
+            raise ValueError(
+                f"expected a point with {len(self.params)} coordinates "
+                f"(params {self.params}), got shape {vector.shape}"
+            )
+        return vector
+
+    def _matrix(self, X) -> np.ndarray:
+        matrix = np.asarray(X, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.params):
+            raise ValueError(
+                f"expected an (m, {len(self.params)}) matrix of points "
+                f"(params {self.params}), got shape {matrix.shape}"
+            )
+        return matrix
+
+    def vector_from(self, assignment: Mapping[str, float]) -> np.ndarray:
+        """Point vector in ``params`` order from a name→value mapping."""
+        return np.array(
+            [float(assignment[name]) for name in self.params],
+            dtype=np.float64,
+        )
+
+    # ------------------------------------------------------------------
+    # Generated scalar fast path
+    # ------------------------------------------------------------------
+    def _scalar(self):
+        """The codegen'd scalar functions, built lazily (or ``None``).
+
+        Generated functions hold compiled code objects and therefore do
+        not pickle; :meth:`__getstate__` drops them, and a kernel
+        restored from the result store regenerates them on first scalar
+        use (cheap relative to the symbolic lowering itself).
+        """
+        functions = self.__dict__.get("_scalar_fns")
+        if functions is None:
+            functions = self._build_scalar()
+            self._scalar_fns = functions
+        return functions or None
+
+    def _build_scalar(self):
+        raise NotImplementedError
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_scalar_fns", None)
+        return state
+
+
+class CompiledPolynomial(_Kernel):
+    """A polynomial lowered to ``c @ (x ** E).prod(axis=1)``.
+
+    Built by :func:`compile_polynomial`; evaluation returns plain
+    ``float`` / ``float64`` arrays.
+
+    Examples
+    --------
+    >>> from repro.symbolic import Polynomial
+    >>> p = Polynomial.variable("x") * 3 + 1
+    >>> compile_polynomial(p).evaluate([2.0])
+    7.0
+    """
+
+    def __init__(self, polynomial: Polynomial, params: Optional[Sequence[str]] = None):
+        params = (
+            _default_params(polynomial) if params is None else tuple(params)
+        )
+        missing = polynomial.variables() - set(params)
+        if missing:
+            raise ValueError(f"params {params} do not cover {sorted(missing)}")
+        derivatives = [polynomial.derivative(name) for name in params]
+        exponents, coefficients = _term_table(
+            [polynomial] + derivatives, params
+        )
+        super().__init__(params, exponents)
+        self.coefficients = coefficients[0]
+        #: ``(n, T)``: row ``i`` holds the coefficients of ``∂p/∂params[i]``
+        #: over the shared term table.
+        self.gradient_coefficients = (
+            np.stack(coefficients[1:])
+            if params
+            else np.zeros((0, len(self.coefficients)))
+        )
+        _KERNEL_COUNTER["compilations"] += 1
+
+    def _build_scalar(self):
+        if len(self.exponents) > _CODEGEN_TERM_LIMIT:
+            return False
+        arity = len(self.params)
+        return {
+            "value": _scalar_function(
+                "poly_value",
+                arity,
+                [_polynomial_source(self.exponents, self.coefficients)],
+            ),
+            "grad": _scalar_function(
+                "poly_grad",
+                arity,
+                [
+                    _polynomial_source(self.exponents, row)
+                    for row in self.gradient_coefficients
+                ],
+            ),
+        }
+
+    def evaluate(self, x) -> float:
+        """The polynomial's value at one point (``params`` order)."""
+        _KERNEL_COUNTER["evaluations"] += 1
+        scalar = self._scalar()
+        if scalar is not None:
+            return scalar["value"](*[float(v) for v in x])[0]
+        return float(self.coefficients @ self._powers(self._vector(x)))
+
+    def evaluate_batch(self, X) -> np.ndarray:
+        """Values at an ``(m, n)`` matrix of points, as an ``(m,)`` array."""
+        matrix = self._matrix(X)
+        _KERNEL_COUNTER["evaluations"] += len(matrix)
+        return self._powers_batch(matrix) @ self.coefficients
+
+    def gradient(self, x) -> np.ndarray:
+        """``(n,)`` gradient at one point, from the derivative rows."""
+        _KERNEL_COUNTER["evaluations"] += 1
+        scalar = self._scalar()
+        if scalar is not None:
+            return np.array(
+                scalar["grad"](*[float(v) for v in x]), dtype=np.float64
+            )
+        return self.gradient_coefficients @ self._powers(self._vector(x))
+
+
+class CompiledRationalFunction(_Kernel):
+    """A rational function and its partials over one shared term table.
+
+    Numerator, denominator and all ``2n`` partial-derivative polynomials
+    are dense coefficient rows over a single exponent matrix, so
+    :meth:`value_and_gradient` computes the power-product once and reads
+    everything else off with matrix-vector products.
+
+    Examples
+    --------
+    >>> from repro.symbolic import Polynomial, RationalFunction
+    >>> x = Polynomial.variable("x")
+    >>> kernel = compile_rational(RationalFunction(Polynomial.one(), x))
+    >>> kernel.evaluate([4.0])
+    0.25
+    >>> kernel.gradient([4.0])
+    array([-0.0625])
+    """
+
+    def __init__(
+        self,
+        function: RationalFunction,
+        params: Optional[Sequence[str]] = None,
+    ):
+        params = (
+            _default_params(function.numerator, function.denominator)
+            if params is None
+            else tuple(params)
+        )
+        missing = function.variables() - set(params)
+        if missing:
+            raise ValueError(f"params {params} do not cover {sorted(missing)}")
+        numerator, denominator = function.numerator, function.denominator
+        num_partials = [numerator.derivative(name) for name in params]
+        den_partials = [denominator.derivative(name) for name in params]
+        exponents, coefficients = _term_table(
+            [numerator, denominator] + num_partials + den_partials, params
+        )
+        super().__init__(params, exponents)
+        count = len(params)
+        self.numerator_coefficients = coefficients[0]
+        self.denominator_coefficients = coefficients[1]
+        terms = len(self.numerator_coefficients)
+        self.numerator_gradient = (
+            np.stack(coefficients[2 : 2 + count])
+            if count
+            else np.zeros((0, terms))
+        )
+        self.denominator_gradient = (
+            np.stack(coefficients[2 + count :])
+            if count
+            else np.zeros((0, terms))
+        )
+        _KERNEL_COUNTER["compilations"] += 1
+
+    def _build_scalar(self):
+        if len(self.exponents) > _CODEGEN_TERM_LIMIT:
+            return False
+        arity = len(self.params)
+        numerator = _polynomial_source(
+            self.exponents, self.numerator_coefficients
+        )
+        denominator = _polynomial_source(
+            self.exponents, self.denominator_coefficients
+        )
+        partials = [
+            _polynomial_source(self.exponents, row)
+            for row in self.numerator_gradient
+        ] + [
+            _polynomial_source(self.exponents, row)
+            for row in self.denominator_gradient
+        ]
+        return {
+            "value": _scalar_function(
+                "rational_value", arity, [numerator, denominator]
+            ),
+            "full": _scalar_function(
+                "rational_full", arity, [numerator, denominator] + partials
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, x) -> float:
+        """``f(x)``; raises ``ZeroDivisionError`` on a vanishing denominator."""
+        scalar = self._scalar()
+        if scalar is not None:
+            _KERNEL_COUNTER["evaluations"] += 1
+            numerator, denominator = scalar["value"](*[float(v) for v in x])
+            if denominator == 0.0:
+                raise ZeroDivisionError(
+                    f"denominator vanishes at {dict(zip(self.params, x))}"
+                )
+            return numerator / denominator
+        _KERNEL_COUNTER["evaluations"] += 1
+        powers = self._powers(self._vector(x))
+        denominator = float(self.denominator_coefficients @ powers)
+        if denominator == 0.0:
+            raise ZeroDivisionError(
+                f"denominator vanishes at {dict(zip(self.params, x))}"
+            )
+        return float(self.numerator_coefficients @ powers) / denominator
+
+    def evaluate_assignment(self, assignment: Mapping[str, float]) -> float:
+        """``f`` at a name→value mapping (missing names raise ``KeyError``)."""
+        return self.evaluate(
+            [float(assignment[name]) for name in self.params]
+        )
+
+    def gradient_assignment(
+        self, assignment: Mapping[str, float]
+    ) -> Dict[str, float]:
+        """``∂f/∂name`` mapping at a name→value assignment.
+
+        The hot path of the NLP's analytic constraint jacobians: one
+        generated-function call yields numerator, denominator and all
+        ``2n`` partials, combined by the quotient rule without any
+        array round-trip.
+        """
+        args = [float(assignment[name]) for name in self.params]
+        scalar = self._scalar()
+        if scalar is not None:
+            _KERNEL_COUNTER["evaluations"] += 1
+            out = scalar["full"](*args)
+            denominator = out[1]
+            if denominator == 0.0:
+                raise ZeroDivisionError(
+                    f"denominator vanishes at {dict(assignment)}"
+                )
+            inverse = 1.0 / denominator
+            value = out[0] * inverse
+            offset = 2 + len(self.params)
+            return {
+                name: (out[2 + i] - value * out[offset + i]) * inverse
+                for i, name in enumerate(self.params)
+            }
+        gradient = self.value_and_gradient(np.array(args, dtype=np.float64))[1]
+        return dict(zip(self.params, gradient))
+
+    def evaluate_batch(self, X) -> np.ndarray:
+        """``f`` at an ``(m, n)`` matrix of points, as an ``(m,)`` array.
+
+        Rows where the denominator vanishes yield ``inf``/``nan``
+        (IEEE division) rather than raising, so batch screening survives
+        isolated bad candidates.
+        """
+        matrix = self._matrix(X)
+        _KERNEL_COUNTER["evaluations"] += len(matrix)
+        powers = self._powers_batch(matrix)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return (powers @ self.numerator_coefficients) / (
+                powers @ self.denominator_coefficients
+            )
+
+    def gradient(self, x) -> np.ndarray:
+        """``∇f`` at one point via the quotient rule on shared powers."""
+        return self.value_and_gradient(x)[1]
+
+    def value_and_gradient(self, x) -> Tuple[float, np.ndarray]:
+        """``(f(x), ∇f(x))`` from a single power-product evaluation."""
+        scalar = self._scalar()
+        if scalar is not None:
+            _KERNEL_COUNTER["evaluations"] += 1
+            out = scalar["full"](*[float(v) for v in x])
+            denominator = out[1]
+            if denominator == 0.0:
+                raise ZeroDivisionError(
+                    f"denominator vanishes at {dict(zip(self.params, x))}"
+                )
+            inverse = 1.0 / denominator
+            value = out[0] * inverse
+            offset = 2 + len(self.params)
+            gradient = np.array(
+                [
+                    (out[2 + i] - value * out[offset + i]) * inverse
+                    for i in range(len(self.params))
+                ],
+                dtype=np.float64,
+            )
+            return value, gradient
+        _KERNEL_COUNTER["evaluations"] += 1
+        powers = self._powers(self._vector(x))
+        denominator = float(self.denominator_coefficients @ powers)
+        if denominator == 0.0:
+            raise ZeroDivisionError(
+                f"denominator vanishes at {dict(zip(self.params, x))}"
+            )
+        numerator = float(self.numerator_coefficients @ powers)
+        gradient = (
+            (self.numerator_gradient @ powers) * denominator
+            - numerator * (self.denominator_gradient @ powers)
+        ) / (denominator * denominator)
+        return numerator / denominator, gradient
+
+
+def compile_polynomial(
+    polynomial: Polynomial, params: Optional[Sequence[str]] = None
+) -> CompiledPolynomial:
+    """Lower a :class:`Polynomial` to a numpy kernel.
+
+    ``params`` fixes the coordinate order (default: sorted variable
+    names); extra names are allowed (their columns are simply unused by
+    the polynomial's terms), missing ones raise ``ValueError``.
+    """
+    return CompiledPolynomial(polynomial, params)
+
+
+def compile_rational(
+    function: RationalFunction, params: Optional[Sequence[str]] = None
+) -> CompiledRationalFunction:
+    """Lower a :class:`RationalFunction` (and its partials) to a kernel."""
+    return CompiledRationalFunction(function, params)

@@ -82,12 +82,14 @@ class Polynomial:
     Fraction(8, 1)
     """
 
-    __slots__ = ("_terms", "_hash")
+    __slots__ = ("_terms", "_hash", "_vars", "_float_terms")
 
     def __init__(self, terms: Mapping[Monomial, Fraction] = ()):
         cleaned = {m: c for m, c in dict(terms).items() if c != 0}
         self._terms: Dict[Monomial, Fraction] = cleaned
         self._hash = None
+        self._vars = None
+        self._float_terms = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -139,11 +141,13 @@ class Polynomial:
 
     def variables(self) -> frozenset:
         """All variable names occurring with nonzero coefficient."""
-        names = set()
-        for mono in self._terms:
-            for var, _ in mono:
-                names.add(var)
-        return frozenset(names)
+        if self._vars is None:
+            names = set()
+            for mono in self._terms:
+                for var, _ in mono:
+                    names.add(var)
+            self._vars = frozenset(names)
+        return self._vars
 
     def degree(self, var: str) -> int:
         """The degree in ``var`` (0 for the zero polynomial)."""
@@ -237,15 +241,32 @@ class Polynomial:
 
         Returns a :class:`Fraction` when all inputs are exact, else a
         float.  Raises ``KeyError`` on unbound variables.
+
+        The inexact path never touches ``Fraction`` arithmetic: the
+        coefficients are pre-converted to floats once per polynomial
+        (cached) and accumulation is pure float — this is the hot path
+        of every numeric caller that has not compiled a kernel
+        (:mod:`repro.symbolic.compile`).
         """
         exact = all(
             isinstance(assignment[var], (int, Fraction)) for var in self.variables()
         )
-        total = Fraction(0) if exact else 0.0
-        for mono, coeff in self._terms.items():
-            value = Fraction(coeff) if exact else float(coeff)
+        if exact:
+            total = Fraction(0)
+            for mono, coeff in self._terms.items():
+                value = coeff
+                for var, exp in mono:
+                    value = value * assignment[var] ** exp
+                total += value
+            return total
+        if self._float_terms is None:
+            self._float_terms = [
+                (float(coeff), mono) for mono, coeff in self._terms.items()
+            ]
+        total = 0.0
+        for value, mono in self._float_terms:
             for var, exp in mono:
-                value *= assignment[var] ** exp
+                value *= float(assignment[var]) ** exp
             total += value
         return total
 

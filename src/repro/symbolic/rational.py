@@ -39,7 +39,7 @@ class RationalFunction:
     Fraction(4, 1)
     """
 
-    __slots__ = ("numerator", "denominator", "_hash")
+    __slots__ = ("numerator", "denominator", "_hash", "_compiled")
 
     def __init__(
         self,
@@ -58,6 +58,7 @@ class RationalFunction:
         self.numerator = numerator
         self.denominator = denominator
         self._hash = None
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -208,14 +209,48 @@ class RationalFunction:
             self.denominator * self.denominator,
         )
 
+    def compiled(self, params=None):
+        """The numpy kernel of this function (lazily built, cached).
+
+        Returns a
+        :class:`~repro.symbolic.compile.CompiledRationalFunction` whose
+        term table is shared between numerator, denominator and every
+        partial derivative.  The default-parameter kernel (``params``
+        omitted: sorted variable names) is built once and reused;
+        explicit orderings compile a fresh kernel each call.
+        """
+        from repro.symbolic.compile import compile_rational
+
+        if params is not None:
+            return compile_rational(self, params)
+        try:
+            cached = self._compiled
+        except AttributeError:  # unpickled from an older on-disk store
+            cached = None
+        if cached is None:
+            cached = compile_rational(self)
+            self._compiled = cached
+        return cached
+
     def to_callable(self):
-        """Return ``f(assignment_dict) -> float`` for use in optimisers."""
+        """Return ``f(assignment_dict) -> float`` for use in optimisers.
+
+        All-numeric assignments are routed through the compiled kernel
+        (one shared power-product for numerator and denominator, instead
+        of two independent symbolic walks); exact ``Fraction`` inputs
+        fall back to the symbolic path so the float conversion happens
+        only at the very end, as before.
+        """
         numerator, denominator = self.numerator, self.denominator
+        kernel = self.compiled()
 
         def call(assignment: Mapping[str, float]) -> float:
-            return float(numerator.evaluate(assignment)) / float(
-                denominator.evaluate(assignment)
-            )
+            try:
+                return kernel.evaluate_assignment(assignment)
+            except (TypeError, ValueError):
+                return float(numerator.evaluate(assignment)) / float(
+                    denominator.evaluate(assignment)
+                )
 
         return call
 

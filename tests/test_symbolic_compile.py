@@ -1,0 +1,317 @@
+"""Equivalence tests: compiled kernels vs the exact symbolic layer.
+
+The compiled path (:mod:`repro.symbolic.compile`) must agree with
+``Polynomial.evaluate`` / ``RationalFunction.evaluate`` and the symbolic
+``derivative`` to tight float tolerance on every entry point — scalar,
+batch, gradient, codegen'd and numpy fallback — because the repair NLP
+trusts it blindly for thousands of evaluations per solve.
+"""
+
+import pickle
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.checking.parametric import ParametricConstraint
+from repro.symbolic import (
+    Polynomial,
+    RationalFunction,
+    compile_polynomial,
+    compile_rational,
+)
+from repro.symbolic import compile as compile_module
+from repro.symbolic.compile import kernel_stats
+
+from conftest import polynomials
+
+X = Polynomial.variable("x")
+Y = Polynomial.variable("y")
+
+#: Agreement tolerance between symbolic and compiled evaluation.
+TOL = 1e-12
+
+
+def random_points(variables, count, seed):
+    rng = np.random.default_rng(seed)
+    names = sorted(variables)
+    return [
+        {name: float(value) for name, value in zip(names, row)}
+        for row in rng.uniform(-2.0, 2.0, size=(count, max(1, len(names))))
+    ]
+
+
+def assert_close(left, right):
+    left, right = float(left), float(right)
+    assert left == pytest.approx(right, rel=TOL, abs=TOL)
+
+
+class TestCompiledPolynomial:
+    def test_matches_symbolic_on_seeded_points(self):
+        poly = 3 * X * X * Y - 2 * X + Y - 7
+        kernel = compile_polynomial(poly)
+        for point in random_points({"x", "y"}, 25, seed=1):
+            expected = poly.evaluate(point)
+            got = kernel.evaluate([point[n] for n in kernel.params])
+            assert_close(got, expected)
+
+    def test_gradient_matches_symbolic_derivatives(self):
+        poly = X ** 3 * Y - 4 * X * Y + 2 * Y - 1
+        kernel = compile_polynomial(poly)
+        partials = {n: poly.derivative(n) for n in kernel.params}
+        for point in random_points({"x", "y"}, 10, seed=2):
+            gradient = kernel.gradient([point[n] for n in kernel.params])
+            for name, value in zip(kernel.params, gradient):
+                assert_close(value, partials[name].evaluate(point))
+
+    def test_batch_matches_scalar(self):
+        poly = X * X - 3 * X * Y + 5
+        kernel = compile_polynomial(poly)
+        points = random_points({"x", "y"}, 40, seed=3)
+        matrix = [[p[n] for n in kernel.params] for p in points]
+        batch = kernel.evaluate_batch(matrix)
+        for row, value in zip(matrix, batch):
+            assert_close(value, kernel.evaluate(row))
+
+    def test_constant_polynomial(self):
+        kernel = compile_polynomial(Polynomial.constant(Fraction(7, 2)))
+        assert kernel.params == ()
+        assert kernel.evaluate([]) == 3.5
+        assert list(kernel.evaluate_batch(np.zeros((4, 0)))) == [3.5] * 4
+        assert kernel.gradient([]).shape == (0,)
+
+    def test_zero_polynomial(self):
+        kernel = compile_polynomial(Polynomial.zero())
+        assert kernel.evaluate([]) == 0.0
+
+    def test_extra_params_allowed_missing_rejected(self):
+        kernel = compile_polynomial(X + 1, params=("x", "unused"))
+        assert kernel.evaluate([2.0, 99.0]) == 3.0
+        with pytest.raises(ValueError):
+            compile_polynomial(X * Y, params=("x",))
+
+    @given(polynomials())
+    @settings(max_examples=40, deadline=None)
+    def test_random_polynomials_agree(self, poly):
+        kernel = compile_polynomial(poly)
+        for point in random_points(poly.variables() or {"x"}, 3, seed=4):
+            point = {name: point.get(name, 0.5) for name in kernel.params}
+            expected = poly.evaluate(point) if kernel.params else (
+                poly.constant_value() if not poly.is_zero() else 0
+            )
+            got = kernel.evaluate([point[n] for n in kernel.params])
+            assert_close(got, float(expected))
+
+
+class TestCompiledRationalFunction:
+    def build(self):
+        numerator = 2 * X * X * Y - X + 3
+        denominator = X * Y + Y * Y + 5
+        return RationalFunction(numerator, denominator)
+
+    def test_matches_symbolic(self):
+        function = self.build()
+        kernel = compile_rational(function)
+        for point in random_points({"x", "y"}, 25, seed=5):
+            assert_close(
+                kernel.evaluate([point[n] for n in kernel.params]),
+                function.evaluate(point),
+            )
+
+    def test_gradient_matches_symbolic_quotient_rule(self):
+        function = self.build()
+        kernel = compile_rational(function)
+        partials = {n: function.derivative(n) for n in kernel.params}
+        for point in random_points({"x", "y"}, 10, seed=6):
+            value, gradient = kernel.value_and_gradient(
+                [point[n] for n in kernel.params]
+            )
+            assert_close(value, function.evaluate(point))
+            for name, entry in zip(kernel.params, gradient):
+                assert_close(entry, partials[name].evaluate(point))
+
+    def test_gradient_assignment_matches_gradient(self):
+        function = self.build()
+        kernel = compile_rational(function)
+        point = {"x": 0.3, "y": -1.2}
+        by_name = kernel.gradient_assignment(point)
+        vector = kernel.gradient([point[n] for n in kernel.params])
+        for name, entry in zip(kernel.params, vector):
+            assert_close(by_name[name], entry)
+
+    def test_batch_matches_scalar(self):
+        function = self.build()
+        kernel = compile_rational(function)
+        points = random_points({"x", "y"}, 40, seed=7)
+        matrix = [[p[n] for n in kernel.params] for p in points]
+        batch = kernel.evaluate_batch(matrix)
+        for row, value in zip(matrix, batch):
+            assert_close(value, kernel.evaluate(row))
+
+    def test_vanishing_denominator_scalar_raises(self):
+        function = RationalFunction(Polynomial.one(), X)
+        kernel = compile_rational(function)
+        with pytest.raises(ZeroDivisionError):
+            kernel.evaluate([0.0])
+        with pytest.raises(ZeroDivisionError):
+            kernel.value_and_gradient([0.0])
+        with pytest.raises(ZeroDivisionError):
+            kernel.gradient_assignment({"x": 0.0})
+
+    def test_vanishing_denominator_batch_is_nonfinite(self):
+        function = RationalFunction(Polynomial.one(), X)
+        kernel = compile_rational(function)
+        values = kernel.evaluate_batch([[0.0], [2.0]])
+        assert not np.isfinite(values[0])
+        assert_close(values[1], 0.5)
+
+    def test_constant_function(self):
+        kernel = compile_rational(RationalFunction.constant(Fraction(3, 4)))
+        assert kernel.params == ()
+        assert kernel.evaluate([]) == 0.75
+
+    def test_numpy_fallback_agrees_with_codegen(self, monkeypatch):
+        function = self.build()
+        fast = compile_rational(function)
+        assert fast._scalar() is not None
+        monkeypatch.setattr(compile_module, "_CODEGEN_TERM_LIMIT", 0)
+        slow = compile_rational(function)
+        assert slow._scalar() is None
+        for point in random_points({"x", "y"}, 10, seed=8):
+            vector = [point[n] for n in fast.params]
+            assert_close(fast.evaluate(vector), slow.evaluate(vector))
+            fast_value, fast_grad = fast.value_and_gradient(vector)
+            slow_value, slow_grad = slow.value_and_gradient(vector)
+            assert_close(fast_value, slow_value)
+            np.testing.assert_allclose(fast_grad, slow_grad, rtol=TOL, atol=TOL)
+
+    @given(polynomials(), polynomials())
+    @settings(max_examples=30, deadline=None)
+    def test_random_rationals_agree(self, numerator, denominator):
+        if denominator.is_zero():
+            denominator = denominator + 1
+        function = RationalFunction(numerator, denominator)
+        kernel = compile_rational(function)
+        point = {name: 0.37 for name in kernel.params}
+        try:
+            expected = float(function.evaluate(point)) if kernel.params else (
+                float(function.constant_value())
+            )
+        except ZeroDivisionError:
+            with pytest.raises(ZeroDivisionError):
+                kernel.evaluate([point[n] for n in kernel.params])
+            return
+        assert_close(
+            kernel.evaluate([point[n] for n in kernel.params]), expected
+        )
+
+
+class TestKernelCaching:
+    def test_rational_compiled_is_cached(self):
+        function = RationalFunction(X + 1, Y + 2)
+        assert function.compiled() is function.compiled()
+
+    def test_explicit_params_bypass_cache(self):
+        function = RationalFunction(X + 1, Y + 2)
+        ordered = function.compiled(params=("y", "x"))
+        assert ordered.params == ("y", "x")
+        assert ordered is not function.compiled()
+
+    def test_pickle_roundtrip_drops_and_rebuilds_codegen(self):
+        function = RationalFunction(2 * X + 1, X * X + 3)
+        kernel = function.compiled()
+        assert kernel._scalar() is not None
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert "_scalar_fns" not in clone.__dict__
+        assert_close(clone.evaluate([0.7]), kernel.evaluate([0.7]))
+
+    def test_unpickled_kernel_does_not_count_as_compilation(self):
+        kernel = RationalFunction(X + 1, X + 2).compiled()
+        blob = pickle.dumps(kernel)
+        before = kernel_stats()["compilations"]
+        pickle.loads(blob)
+        assert kernel_stats()["compilations"] == before
+
+    def test_kernel_stats_counts(self):
+        before = kernel_stats()
+        kernel = compile_rational(RationalFunction(X, X + 1))
+        kernel.evaluate([1.0])
+        kernel.evaluate_batch([[1.0], [2.0], [3.0]])
+        after = kernel_stats()
+        assert after["compilations"] == before["compilations"] + 1
+        assert after["evaluations"] == before["evaluations"] + 4
+
+
+class TestToCallable:
+    def test_matches_symbolic_division(self):
+        function = RationalFunction(X * X - 1, X + 2)
+        call = function.to_callable()
+        for point in random_points({"x"}, 10, seed=9):
+            assert_close(call(point), float(function.evaluate(point)))
+
+    def test_single_evaluation_per_call(self):
+        function = RationalFunction(X + 1, X + 3)
+        call = function.to_callable()
+        before = kernel_stats()["evaluations"]
+        call({"x": 0.5})
+        assert kernel_stats()["evaluations"] == before + 1
+
+    def test_fraction_inputs_still_work(self):
+        function = RationalFunction(X + 1, X + 3)
+        call = function.to_callable()
+        assert_close(call({"x": Fraction(1, 2)}), 1.5 / 3.5)
+
+
+class TestParametricConstraintKernels:
+    def build(self):
+        function = RationalFunction(X * Y + 1, X + Y + 3)
+        return ParametricConstraint(function, ">=", 0.25)
+
+    def test_fast_margin_matches_margin(self):
+        constraint = self.build()
+        for point in random_points({"x", "y"}, 15, seed=10):
+            assert_close(
+                constraint.fast_margin(point), constraint.margin(point)
+            )
+
+    def test_sign_flips_for_upper_bounds(self):
+        function = RationalFunction(X, Polynomial.one())
+        upper = ParametricConstraint(function, "<=", 0.5)
+        assert upper.fast_margin({"x": 0.2}) == pytest.approx(0.3, rel=TOL)
+        assert upper.margin_gradient({"x": 0.2})["x"] == pytest.approx(
+            -1.0, rel=TOL
+        )
+
+    def test_margin_gradient_matches_finite_difference(self):
+        constraint = self.build()
+        point = {"x": 0.4, "y": 0.9}
+        gradient = constraint.margin_gradient(point)
+        step = 1e-7
+        for name in gradient:
+            bumped = dict(point)
+            bumped[name] += step
+            numeric = (constraint.margin(bumped) - constraint.margin(point)) / step
+            assert gradient[name] == pytest.approx(float(numeric), rel=1e-5)
+
+    def test_margin_batch_matches_scalar(self):
+        constraint = self.build()
+        names = ["y", "x", "extra"]
+        points = [[0.1, 0.2, 9.9], [0.5, -0.3, 9.9], [1.0, 1.0, 9.9]]
+        batch = constraint.margin_batch(points, names)
+        for row, value in zip(points, batch):
+            point = dict(zip(names, row))
+            assert_close(value, constraint.margin(point))
+
+    def test_compiled_kernel_is_cached(self):
+        constraint = self.build()
+        assert constraint.compiled() is constraint.compiled()
+
+    def test_pickle_preserves_kernel_without_recompiling(self):
+        constraint = self.build()
+        constraint.compiled()
+        blob = pickle.dumps(constraint)
+        before = kernel_stats()["compilations"]
+        clone = pickle.loads(blob)
+        clone.fast_margin({"x": 0.3, "y": 0.7})
+        assert kernel_stats()["compilations"] == before
