@@ -1,0 +1,127 @@
+"""Robust repair vs nominal repair on the WSN case study.
+
+The headline scenario is the ISSUE acceptance case: at X = 50 the
+learned WSN chain satisfies the attempts bound *nominally* but not over
+the ±0.01 interval ball, so nominal Model Repair declares
+``already_satisfied`` and ships a fragile model while
+:class:`~repro.repair.robust.RobustRepair` must actually move the chain
+and then certify the worst case over the full interval set.  The bench
+records both arms' cost, wall time and the certificate margin.
+
+A second section pins the degenerate case: at ε = 0 the robust flavour
+must reproduce the nominal verdicts exactly (X = 100 already satisfied,
+X = 40 repaired, X = 19 infeasible).
+
+Results are written to ``BENCH_robust_repair.json`` next to this file.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import report
+from repro.casestudies import wsn
+from repro.repair.robust import RobustRepair, robust_verify
+
+RESULTS_PATH = Path(__file__).with_name("BENCH_robust_repair.json")
+
+EPSILON = 0.01
+FRAGILE_BOUND = 50.0
+
+
+def save_results(section: str, rows: dict) -> None:
+    data = json.loads(RESULTS_PATH.read_text()) if RESULTS_PATH.exists() else {}
+    data[section] = rows
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def test_robust_vs_nominal_wsn(benchmark, quick_bench):
+    """Robust repair pays for its certificate; nominal repair cannot see
+    the fragility at all."""
+    extra_starts = 2 if quick_bench else 8
+
+    nominal_seconds, nominal = timed(
+        lambda: wsn.model_repair_problem(FRAGILE_BOUND).repair(
+            extra_starts=extra_starts
+        )
+    )
+    # Nominal repair is blind to the fragility: X=50 already holds.
+    assert nominal.status == "already_satisfied"
+    assert nominal.objective_value == 0.0
+
+    def run_robust():
+        return RobustRepair(
+            wsn.model_repair_problem(FRAGILE_BOUND), epsilon=EPSILON
+        ).repair(extra_starts=extra_starts)
+
+    robust = benchmark.pedantic(run_robust, rounds=1, iterations=1)
+    robust_seconds = benchmark.stats["mean"]
+    assert robust.status == "repaired"
+    assert robust.robust and robust.verified
+    assert robust.certificate.margin > 0
+    assert robust.vi_iterations > 0
+
+    # Independent re-verification of the shipped artifact.
+    recheck = robust_verify(
+        robust.repaired_model,
+        wsn.attempts_property(FRAGILE_BOUND),
+        EPSILON,
+    )
+    assert recheck.robust and recheck.holds
+
+    rows = {
+        "bound_X": FRAGILE_BOUND,
+        "epsilon": EPSILON,
+        "nominal_status": nominal.status,
+        "nominal_cost": nominal.objective_value,
+        "nominal_seconds": round(nominal_seconds, 4),
+        "robust_status": robust.status,
+        "robust_cost": round(robust.objective_value, 6),
+        "robust_seconds": round(robust_seconds, 4),
+        "certificate_margin": round(robust.certificate.margin, 6),
+        "outer_rounds": robust.outer_iterations,
+        "robust_vi_iterations": robust.vi_iterations,
+        "solver_iterations": robust.solver_stats.get("iterations", 0),
+    }
+    save_results("robust_vs_nominal_wsn_x50", rows)
+    report(benchmark, rows)
+
+
+def test_zero_epsilon_preserves_verdicts(benchmark, quick_bench):
+    """ε = 0 degenerates to nominal repair: identical verdicts."""
+    extra_starts = 2 if quick_bench else 8
+    scenarios = {
+        "X=100": (100.0, "already_satisfied"),
+        "X=40": (40.0, "repaired"),
+        "X=19": (19.0, "infeasible"),
+    }
+
+    def sweep():
+        results = {}
+        for name, (bound, _expected) in scenarios.items():
+            nominal = wsn.model_repair_problem(bound).repair(
+                extra_starts=extra_starts
+            )
+            robust = RobustRepair(
+                wsn.model_repair_problem(bound), epsilon=0.0
+            ).repair(extra_starts=extra_starts)
+            results[name] = (nominal, robust)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = {}
+    for name, (bound, expected) in scenarios.items():
+        nominal, robust = results[name]
+        assert nominal.status == expected, name
+        assert robust.status == expected, name
+        assert robust.feasible == nominal.feasible, name
+        rows[f"{name}_nominal"] = nominal.status
+        rows[f"{name}_robust"] = robust.status
+    save_results("zero_epsilon_verdicts", rows)
+    report(benchmark, rows)

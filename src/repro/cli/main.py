@@ -4,6 +4,7 @@ Subcommands::
 
     repro check <model.json> "<pctl formula>" [--engine E] [--seed N]
     repro model-repair <model.json> "<pctl formula>" [--max-perturbation D]
+    repro robust-repair <model.json> "<pctl formula>" [--epsilon E]
     repro rate-repair <ctmc.json> --targets A,B --bound T [--max-speedup S]
     repro counterexample <model.json> "<pctl formula>" [--max-paths N]
     repro export-prism <model.json> [-o out.pm]
@@ -80,6 +81,54 @@ def _cmd_model_repair(args: argparse.Namespace) -> int:
             save_model(result.repaired_model, args.output)
             print(f"repaired model written to {args.output}")
     return 0 if result.feasible else 1
+
+
+def _cmd_robust_repair(args: argparse.Namespace) -> int:
+    from repro.core import repair_robust
+    from repro.io import load_model, save_model
+    from repro.mdp import DTMC
+
+    model = load_model(args.model)
+    if not isinstance(model, DTMC):
+        print("robust-repair operates on DTMC models", file=sys.stderr)
+        return 2
+    np.random.seed(args.seed)
+    result = repair_robust(
+        model,
+        args.formula,
+        epsilon=args.epsilon,
+        max_perturbation=args.max_perturbation,
+        engine=args.engine,
+        seed=args.seed,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0 if result.feasible and result.robust else 1
+    print(f"status: {result.status}")
+    print(f"robust: {result.robust} (epsilon = {result.epsilon:.6g})")
+    certificate = result.certificate
+    if certificate is not None:
+        if certificate.margin is not None:
+            print(f"worst-case margin: {certificate.margin:.6g}")
+        if certificate.fallback_reason:
+            print(
+                "certificate degraded to the nominal check "
+                f"({certificate.fallback_reason})"
+            )
+    if result.status == "repaired":
+        print(f"cost g(Z) = {result.objective_value:.6g}")
+        nonzero = {
+            k: round(v, 6) for k, v in result.assignment.items() if abs(v) > 1e-9
+        }
+        print(f"perturbation: {nonzero}")
+        print(f"outer tightening rounds: {result.outer_iterations}")
+        if args.output and result.repaired_model is not None:
+            save_model(result.repaired_model, args.output)
+            print(f"repaired model written to {args.output}")
+    print(f"message: {result.message}")
+    return 0 if result.feasible and result.robust else 1
 
 
 def _cmd_rate_repair(args: argparse.Namespace) -> int:
@@ -316,6 +365,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the canonical RepairResult.to_dict() payload",
     )
     repair.set_defaults(func=_cmd_model_repair)
+
+    robust = sub.add_parser(
+        "robust-repair",
+        parents=[engine_opts],
+        help="repair a chain with an interval-robust certificate",
+    )
+    robust.add_argument("model")
+    robust.add_argument("formula")
+    robust.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.01,
+        help="half-width of the interval ball the certificate quantifies "
+        "over (default: 0.01)",
+    )
+    robust.add_argument("--max-perturbation", type=float, default=None)
+    robust.add_argument("-o", "--output", default=None)
+    robust.add_argument(
+        "--json",
+        action="store_true",
+        help="print the canonical RepairResult.to_dict() payload",
+    )
+    robust.set_defaults(func=_cmd_robust_repair)
 
     rate = sub.add_parser(
         "rate-repair",

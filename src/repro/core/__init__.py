@@ -22,6 +22,7 @@ from repro.core.api import (
     repair_model,
     repair_rates,
     repair_reward,
+    repair_robust,
 )
 from repro.core.costs import (
     NAMED_COSTS,
@@ -51,6 +52,7 @@ __all__ = [
     "repair_data",
     "repair_reward",
     "repair_rates",
+    "repair_robust",
     "ModelRepair",
     "ModelRepairResult",
     "DataRepair",

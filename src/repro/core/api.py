@@ -15,6 +15,8 @@ Each function mirrors one decision-procedure step:
 ``repair_data``      check → **Data Repair** (Definition 3)
 ``repair_reward``    check → **Reward Repair** (Definition 2, Q-route)
 ``repair_rates``     check → **Rate Repair** (the CTMC extension)
+``repair_robust``    check → **Robust Repair** (interval-certified
+                     Model Repair, :mod:`repro.repair.robust`)
 """
 
 from __future__ import annotations
@@ -83,6 +85,53 @@ def repair_model(
         engine=engine,
     )
     repair.cache = cache
+    return repair.repair(extra_starts=extra_starts, seed=seed)
+
+
+def repair_robust(
+    model,
+    formula: Formula,
+    *,
+    epsilon: float = 0.01,
+    controllable_states: Optional[Sequence[State]] = None,
+    max_perturbation: Optional[float] = None,
+    cost: str = "frobenius",
+    engine: str = "sparse",
+    max_outer_iterations: int = 5,
+    vi_max_iterations: Optional[int] = None,
+    extra_starts: int = 8,
+    seed: int = 0,
+    cache: Optional[CheckCache] = None,
+):
+    """Robust Model Repair certified over a ±``epsilon`` interval ball.
+
+    A kwargs-only wrapper over
+    :meth:`~repro.repair.robust.RobustRepair.for_chain` +
+    :meth:`~repro.repair.robust.RobustRepair.repair`; returns the
+    :class:`~repro.repair.robust.RobustRepairResult` whose certificate
+    quantifies over *every* chain within ±``epsilon`` of the repaired
+    model.  ``vi_max_iterations`` caps the robust value iteration
+    (``None`` keeps the flavour default); on non-convergence the result
+    degrades to the nominal check with ``robust=False``.
+    """
+    from repro.repair.robust import DEFAULT_VI_MAX_ITERATIONS, RobustRepair
+
+    repair = RobustRepair.for_chain(
+        model,
+        _as_formula(formula),
+        epsilon=epsilon,
+        controllable_states=controllable_states,
+        max_perturbation=max_perturbation,
+        cost=cost,
+        engine=engine,
+        max_outer_iterations=max_outer_iterations,
+        vi_max_iterations=(
+            DEFAULT_VI_MAX_ITERATIONS
+            if vi_max_iterations is None
+            else vi_max_iterations
+        ),
+    )
+    repair.base.cache = cache
     return repair.repair(extra_starts=extra_starts, seed=seed)
 
 

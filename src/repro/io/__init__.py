@@ -12,6 +12,10 @@ from repro.io.json_io import (
     ctmc_to_dict,
     dtmc_from_dict,
     dtmc_to_dict,
+    interval_dtmc_from_dict,
+    interval_dtmc_to_dict,
+    interval_mdp_from_dict,
+    interval_mdp_to_dict,
     load_model,
     mdp_from_dict,
     mdp_to_dict,
@@ -30,6 +34,10 @@ __all__ = [
     "mdp_from_dict",
     "ctmc_to_dict",
     "ctmc_from_dict",
+    "interval_dtmc_to_dict",
+    "interval_dtmc_from_dict",
+    "interval_mdp_to_dict",
+    "interval_mdp_from_dict",
     "model_to_payload",
     "model_from_payload",
     "save_model",

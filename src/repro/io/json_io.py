@@ -119,9 +119,92 @@ def ctmc_from_dict(payload: Dict):
     )
 
 
+def interval_dtmc_to_dict(interval) -> Dict:
+    """A JSON-ready dictionary capturing an interval chain.
+
+    Interval bounds serialise as two-element ``[lower, upper]`` lists.
+    """
+    return {
+        "states": [str(s) for s in interval.states],
+        "initial_state": str(interval.initial_state),
+        "intervals": {
+            str(s): {
+                str(t): [lower, upper] for t, (lower, upper) in row.items()
+            }
+            for s, row in interval.intervals.items()
+        },
+        "labels": {
+            str(s): sorted(props)
+            for s, props in interval.labels.items()
+            if props
+        },
+        "state_rewards": {
+            str(s): r for s, r in interval.state_rewards.items() if r != 0.0
+        },
+    }
+
+
+def interval_dtmc_from_dict(payload: Dict):
+    """Rebuild an interval chain saved by :func:`interval_dtmc_to_dict`."""
+    from repro.mdp.interval import IntervalDTMC
+
+    return IntervalDTMC(
+        states=payload["states"],
+        intervals={
+            s: {t: (bounds[0], bounds[1]) for t, bounds in row.items()}
+            for s, row in payload["intervals"].items()
+        },
+        initial_state=payload["initial_state"],
+        labels={s: set(props) for s, props in payload.get("labels", {}).items()},
+        state_rewards=payload.get("state_rewards", {}),
+    )
+
+
+def interval_mdp_to_dict(interval) -> Dict:
+    """A JSON-ready dictionary capturing an interval MDP."""
+    return {
+        "states": [str(s) for s in interval.states],
+        "initial_state": str(interval.initial_state),
+        "intervals": {
+            str(s): {
+                str(a): {
+                    str(t): [lower, upper]
+                    for t, (lower, upper) in row.items()
+                }
+                for a, row in rows.items()
+            }
+            for s, rows in interval.intervals.items()
+        },
+        "labels": {
+            str(s): sorted(props)
+            for s, props in interval.labels.items()
+            if props
+        },
+    }
+
+
+def interval_mdp_from_dict(payload: Dict):
+    """Rebuild an interval MDP saved by :func:`interval_mdp_to_dict`."""
+    from repro.mdp.interval import IntervalMDP
+
+    return IntervalMDP(
+        states=payload["states"],
+        intervals={
+            s: {
+                a: {t: (bounds[0], bounds[1]) for t, bounds in row.items()}
+                for a, row in rows.items()
+            }
+            for s, rows in payload["intervals"].items()
+        },
+        initial_state=payload["initial_state"],
+        labels={s: set(props) for s, props in payload.get("labels", {}).items()},
+    )
+
+
 def model_to_payload(model) -> Dict:
     """The self-describing ``{"kind", "model"}`` payload of a model."""
     from repro.ctmc.model import CTMC
+    from repro.mdp.interval import IntervalDTMC, IntervalMDP
 
     if isinstance(model, DTMC):
         return {"kind": "dtmc", "model": dtmc_to_dict(model)}
@@ -129,6 +212,10 @@ def model_to_payload(model) -> Dict:
         return {"kind": "mdp", "model": mdp_to_dict(model)}
     if isinstance(model, CTMC):
         return {"kind": "ctmc", "model": ctmc_to_dict(model)}
+    if isinstance(model, IntervalDTMC):
+        return {"kind": "interval-dtmc", "model": interval_dtmc_to_dict(model)}
+    if isinstance(model, IntervalMDP):
+        return {"kind": "interval-mdp", "model": interval_mdp_to_dict(model)}
     raise TypeError(f"cannot serialise {type(model).__name__}")
 
 
@@ -141,6 +228,10 @@ def model_from_payload(payload: Dict):
         return mdp_from_dict(payload["model"])
     if kind == "ctmc":
         return ctmc_from_dict(payload["model"])
+    if kind == "interval-dtmc":
+        return interval_dtmc_from_dict(payload["model"])
+    if kind == "interval-mdp":
+        return interval_mdp_from_dict(payload["model"])
     raise ValueError(f"unknown model kind {kind!r}")
 
 

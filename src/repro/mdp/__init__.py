@@ -39,7 +39,12 @@ from repro.mdp.bisimulation import (
     path_probability,
     perturbation_bound,
 )
-from repro.mdp.interval import IntervalDTMC, IntervalMDP, robustness_certificate
+from repro.mdp.interval import (
+    IntervalDTMC,
+    IntervalMDP,
+    VIReport,
+    robustness_certificate,
+)
 from repro.mdp.lumping import bisimulation_partition, quotient_chain
 from repro.mdp.builders import (
     chain_dtmc,
@@ -68,6 +73,7 @@ __all__ = [
     "path_probability",
     "IntervalDTMC",
     "IntervalMDP",
+    "VIReport",
     "robustness_certificate",
     "bisimulation_partition",
     "quotient_chain",

@@ -29,6 +29,66 @@ State = Hashable
 
 _VI_TOLERANCE = 1e-10
 _VI_MAX_ITERATIONS = 100_000
+#: Any finite value crossing this threshold marks the iteration as
+#: divergent — expected rewards of real repair models live far below it.
+_VI_DIVERGENCE_LIMIT = 1e15
+
+
+class VIReport:
+    """Accounting for one robust value-iteration run.
+
+    ``converged`` is True iff the sweep residual dropped below the
+    tolerance before the iteration cap; ``diverged`` flags a run whose
+    finite values blew past :data:`_VI_DIVERGENCE_LIMIT` (or went
+    non-finite), which a capped-but-convergent run never does.
+    """
+
+    def __init__(
+        self,
+        iterations: int,
+        converged: bool,
+        residual: float,
+        diverged: bool = False,
+    ):
+        self.iterations = int(iterations)
+        self.converged = bool(converged)
+        self.residual = float(residual)
+        self.diverged = bool(diverged)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "residual": self.residual,
+            "diverged": self.diverged,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"VIReport(iterations={self.iterations}, "
+            f"converged={self.converged}, diverged={self.diverged})"
+        )
+
+
+def _epsilon_ball_row(
+    row: Mapping[State, float], epsilon: float
+) -> Dict[State, Tuple[float, float]]:
+    """±ε interval row with bounds clamped into [0, 1].
+
+    Structural zeros stay at exactly ``[0, 0]`` so the ε-ball preserves
+    the transition graph, and a probability stored slightly above 1
+    (within the DTMC's validation tolerance) cannot produce an inverted
+    ``lower > upper`` interval.
+    """
+    ball: Dict[State, Tuple[float, float]] = {}
+    for target, p in row.items():
+        if p <= 0.0:
+            ball[target] = (0.0, 0.0)
+            continue
+        lower = min(1.0, max(0.0, p - epsilon))
+        upper = min(1.0, max(lower, p + epsilon))
+        ball[target] = (lower, upper)
+    return ball
 
 
 class IntervalDTMC:
@@ -116,10 +176,7 @@ class IntervalDTMC:
         if epsilon < 0:
             raise ValueError("epsilon must be non-negative")
         intervals = {
-            s: {
-                t: (max(0.0, p - epsilon), min(1.0, p + epsilon))
-                for t, p in row.items()
-            }
+            s: _epsilon_ball_row(row, epsilon)
             for s, row in chain.transitions.items()
         }
         return IntervalDTMC(
@@ -176,13 +233,74 @@ class IntervalDTMC:
             remaining -= take
         return expectation
 
-    def reachability_values(
-        self, targets: Set[State], maximise: bool
+    @staticmethod
+    def _inner_distribution(
+        row: Dict[State, Tuple[float, float]],
+        values: Mapping[State, float],
+        maximise: bool,
     ) -> Dict[State, float]:
-        """Per-state robust reachability probability (min or max)."""
+        """The distribution nature's greedy inner optimum actually picks.
+
+        Same saturation order as :meth:`_inner_optimum`, but returning
+        the chosen probabilities instead of the expectation — the
+        building block for extracting an extremal member chain.
+        """
+        targets = list(row)
+        distribution = {t: row[t][0] for t in targets}
+        remaining = 1.0 - sum(distribution.values())
+        order = sorted(targets, key=lambda t: values[t], reverse=maximise)
+        for target in order:
+            if remaining <= 0:
+                break
+            take = min(row[target][1] - row[target][0], remaining)
+            distribution[target] += take
+            remaining -= take
+        return distribution
+
+    def extremal_chain(
+        self, values: Mapping[State, float], maximise: bool
+    ) -> DTMC:
+        """Nature's extremal member chain for a converged value vector.
+
+        Freezes, per state, the greedy inner-optimum distribution — a
+        concrete DTMC inside the intervals witnessing the robust value.
+        Row feasibility (``Σ lower ≤ 1 ≤ Σ upper``) guarantees the
+        greedy rows sum to one (normalised here against float drift).
+        """
+        transitions: Dict[State, Dict[State, float]] = {}
+        for state in self.states:
+            row = self._inner_distribution(
+                self.intervals[state], values, maximise
+            )
+            total = sum(row.values())
+            transitions[state] = {
+                t: p / total for t, p in row.items() if p > 0.0
+            }
+        return DTMC(
+            states=self.states,
+            transitions=transitions,
+            initial_state=self.initial_state,
+            labels=self.labels,
+            state_rewards=self.state_rewards,
+        )
+
+    def reachability_values_report(
+        self,
+        targets: Set[State],
+        maximise: bool,
+        max_iterations: Optional[int] = None,
+        tolerance: Optional[float] = None,
+    ) -> Tuple[Dict[State, float], VIReport]:
+        """Robust reachability values plus convergence accounting."""
         targets = set(targets)
+        cap = _VI_MAX_ITERATIONS if max_iterations is None else max_iterations
+        tol = _VI_TOLERANCE if tolerance is None else tolerance
         values = {s: (1.0 if s in targets else 0.0) for s in self.states}
-        for _ in range(_VI_MAX_ITERATIONS):
+        iterations = 0
+        delta = np.inf
+        converged = False
+        while iterations < cap:
+            iterations += 1
             delta = 0.0
             for state in self.states:
                 if state in targets:
@@ -192,9 +310,18 @@ class IntervalDTMC:
                 )
                 delta = max(delta, abs(updated - values[state]))
                 values[state] = updated
-            if delta < _VI_TOLERANCE:
+            if delta < tol:
+                converged = True
                 break
-        return {s: float(np.clip(v, 0.0, 1.0)) for s, v in values.items()}
+        clipped = {s: float(np.clip(v, 0.0, 1.0)) for s, v in values.items()}
+        return clipped, VIReport(iterations, converged, float(delta))
+
+    def reachability_values(
+        self, targets: Set[State], maximise: bool
+    ) -> Dict[State, float]:
+        """Per-state robust reachability probability (min or max)."""
+        values, _report = self.reachability_values_report(targets, maximise)
+        return values
 
     def reachability_probability(
         self, targets: Set[State], maximise: bool
@@ -298,18 +425,26 @@ class IntervalDTMC:
                 return updated
             kept = updated
 
-    def expected_reward_values(
-        self, targets: Set[State], maximise: bool
-    ) -> Dict[State, float]:
-        """Per-state robust expected reward to reach ``targets``.
+    def expected_reward_values_report(
+        self,
+        targets: Set[State],
+        maximise: bool,
+        max_iterations: Optional[int] = None,
+        tolerance: Optional[float] = None,
+    ) -> Tuple[Dict[State, float], VIReport]:
+        """Robust expected rewards plus convergence accounting.
 
         ``inf`` where reward can diverge: for the worst case
         (``maximise=True``) wherever *some* member chain misses the
         targets with positive probability; for the best case wherever
         *every* member chain does.  Finiteness is decided by qualitative
-        graph analysis (no numeric thresholds).
+        graph analysis (no numeric thresholds); the numeric sweep still
+        carries a belt-and-braces divergence detector for callers that
+        cap the iterations.
         """
         targets = set(targets)
+        cap = _VI_MAX_ITERATIONS if max_iterations is None else max_iterations
+        tol = _VI_TOLERANCE if tolerance is None else tolerance
         if maximise:
             infinite = self._adversarial_trap_states(targets)
         else:
@@ -325,7 +460,12 @@ class IntervalDTMC:
         finite = [
             s for s in self.states if s not in targets and values[s] == 0.0
         ]
-        for _ in range(_VI_MAX_ITERATIONS):
+        iterations = 0
+        delta = np.inf
+        converged = False
+        diverged = False
+        while iterations < cap and not diverged:
+            iterations += 1
             delta = 0.0
             for state in finite:
                 row = self.intervals[state]
@@ -353,8 +493,24 @@ class IntervalDTMC:
                 if values[state] != np.inf:
                     delta = max(delta, abs(updated - values[state]))
                 values[state] = updated
-            if delta < _VI_TOLERANCE:
+                if np.isnan(updated) or (
+                    values[state] != np.inf
+                    and abs(values[state]) > _VI_DIVERGENCE_LIMIT
+                ):
+                    diverged = True
+            if delta < tol:
+                converged = True
                 break
+        report = VIReport(
+            iterations, converged and not diverged, float(delta), diverged
+        )
+        return values, report
+
+    def expected_reward_values(
+        self, targets: Set[State], maximise: bool
+    ) -> Dict[State, float]:
+        """Per-state robust expected reward to reach ``targets``."""
+        values, _report = self.expected_reward_values_report(targets, maximise)
         return values
 
     def expected_reward(self, targets: Set[State], maximise: bool) -> float:
@@ -429,13 +585,7 @@ class IntervalMDP:
         if epsilon < 0:
             raise ValueError("epsilon must be non-negative")
         intervals = {
-            s: {
-                a: {
-                    t: (max(0.0, p - epsilon), min(1.0, p + epsilon))
-                    for t, p in dist.items()
-                }
-                for a, dist in rows.items()
-            }
+            s: {a: _epsilon_ball_row(dist, epsilon) for a, dist in rows.items()}
             for s, rows in mdp.transitions.items()
         }
         return IntervalMDP(

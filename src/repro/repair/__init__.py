@@ -17,9 +17,15 @@ scheme; the flavour modules reduce to thin problem-builders:
     The result base every flavour's result class subclasses, with the
     canonical ``to_dict()``/``from_dict()`` JSON form used by the
     service layer and the CLI.
+:class:`RobustRepair` / :class:`RobustRepairResult` /
+:class:`RobustCertificate` / :func:`robust_verify`
+    The interval-uncertainty flavour (:mod:`repro.repair.robust`):
+    wraps any model/data-repair builder so the repaired model is
+    certified against every chain in a ±ε interval ball, with graceful
+    degradation to the nominal check on non-convergence.
 
 See ``docs/repair_engine.md`` for the architecture and how to add a
-new repair variant.
+new repair variant; ``docs/robust_repair.md`` for the robust flavour.
 """
 
 from repro.repair.engine import EngineOutcome, solve_repair
@@ -29,6 +35,12 @@ from repro.repair.problem import (
     RepairProblem,
 )
 from repro.repair.results import RepairResult
+from repro.repair.robust import (
+    RobustCertificate,
+    RobustRepair,
+    RobustRepairResult,
+    robust_verify,
+)
 
 __all__ = [
     "DEFAULT_SAFETY_MARGIN",
@@ -36,5 +48,9 @@ __all__ = [
     "ParametricSpec",
     "RepairProblem",
     "RepairResult",
+    "RobustCertificate",
+    "RobustRepair",
+    "RobustRepairResult",
+    "robust_verify",
     "solve_repair",
 ]

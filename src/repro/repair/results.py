@@ -31,6 +31,7 @@ _FLAVOR_MODULES = {
     "data": "repro.core.data_repair",
     "reward": "repro.core.reward_repair",
     "rate": "repro.ctmc.repair",
+    "robust": "repro.repair.robust",
 }
 
 #: Filled by ``__init_subclass__`` as flavour modules are imported.

@@ -7,8 +7,10 @@ multi-start NLP solves.  This package turns the one-shot library calls
 into a resilient runtime:
 
 ``jobs``
-    Typed job specs (check / model-, data-, reward-, rate-repair) with
-    a JSON round-trip, so batches are files.
+    Typed job specs (check / model-, data-, reward-, rate-,
+    robust-repair) with a JSON round-trip, so batches are files;
+    malformed payloads raise :class:`~repro.service.jobs.JobValidationError`
+    and terminate as structured ``invalid`` records, never retried.
 ``runner``
     A :class:`~concurrent.futures.ProcessPoolExecutor`-backed batch
     runner with per-job timeouts, bounded retries with exponential
@@ -32,9 +34,11 @@ from repro.service.jobs import (
     CheckJob,
     DataRepairJob,
     JobSpec,
+    JobValidationError,
     ModelRepairJob,
     RateRepairJob,
     RewardRepairJob,
+    RobustRepairJob,
     execute,
     job_from_dict,
     load_jobs,
@@ -59,10 +63,12 @@ __all__ = [
     "InjectedFault",
     "JobOutcome",
     "JobSpec",
+    "JobValidationError",
     "ModelRepairJob",
     "RateRepairJob",
     "ResultStore",
     "RewardRepairJob",
+    "RobustRepairJob",
     "Telemetry",
     "aggregate_events",
     "execute",

@@ -1,8 +1,8 @@
 """Typed batch jobs with a JSON round-trip.
 
 A *job* is one unit of decision-procedure work — check a property, or
-run one of the three repairs — described entirely by plain data, so a
-batch is a file::
+run one of the repair flavours (model, data, reward, rate, robust) —
+described entirely by plain data, so a batch is a file::
 
     {"jobs": [
       {"kind": "check", "job_id": "wsn-100",
@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Type, Union
 
@@ -38,6 +39,17 @@ from repro.mdp.model import DTMC
 
 #: Registry ``kind -> spec class``, filled by ``_register``.
 JOB_KINDS: Dict[str, Type["JobSpec"]] = {}
+
+
+class JobValidationError(ValueError):
+    """A job payload that cannot be turned into a runnable spec.
+
+    Raised by :func:`job_from_dict` for unknown kinds, missing fields
+    and non-finite numbers.  Subclasses :class:`ValueError`, so the
+    HTTP façade's 400 path catches it unchanged; the batch runner maps
+    it to a structured ``failure: "invalid"`` record instead of letting
+    it rip through a worker.
+    """
 
 
 def _register(cls: Type["JobSpec"]) -> Type["JobSpec"]:
@@ -575,18 +587,164 @@ class RateRepairJob(JobSpec):
         return result.to_dict()
 
 
+@_register
+class RobustRepairJob(JobSpec):
+    """Robust Model Repair certified over a ±``epsilon`` interval ball.
+
+    ``vi_max_iterations`` caps the robust value iteration; a capped or
+    divergent run degrades to the nominal check and the result carries
+    ``robust: false`` (surfaced by the runner's ``robust_fallbacks``
+    telemetry counter) instead of failing the job.
+    """
+
+    kind = "robust-repair"
+
+    def __init__(
+        self,
+        job_id: str,
+        model: Mapping,
+        formula: str,
+        epsilon: float = 0.01,
+        controllable_states: Optional[Sequence[str]] = None,
+        max_perturbation: Optional[float] = None,
+        cost: str = "frobenius",
+        engine: str = "sparse",
+        max_outer_iterations: int = 5,
+        vi_max_iterations: Optional[int] = None,
+        extra_starts: int = 8,
+        seed: int = 0,
+    ):
+        super().__init__(job_id)
+        self.model = dict(model)
+        self.formula = str(formula)
+        self.epsilon = float(epsilon)
+        self.controllable_states = (
+            list(controllable_states) if controllable_states is not None else None
+        )
+        self.max_perturbation = max_perturbation
+        self.cost = cost
+        self.engine = engine
+        self.max_outer_iterations = int(max_outer_iterations)
+        self.vi_max_iterations = (
+            None if vi_max_iterations is None else int(vi_max_iterations)
+        )
+        self.extra_starts = int(extra_starts)
+        self.seed = int(seed)
+
+    @staticmethod
+    def for_model(
+        job_id: str, model, formula: str, **kwargs
+    ) -> "RobustRepairJob":
+        """Build from an in-memory chain."""
+        return RobustRepairJob(
+            job_id, model_to_payload(model), formula, **kwargs
+        )
+
+    def payload(self) -> Dict:
+        return {
+            "model": self.model,
+            "formula": self.formula,
+            "epsilon": self.epsilon,
+            "controllable_states": self.controllable_states,
+            "max_perturbation": self.max_perturbation,
+            "cost": self.cost,
+            "engine": self.engine,
+            "max_outer_iterations": self.max_outer_iterations,
+            "vi_max_iterations": self.vi_max_iterations,
+            "extra_starts": self.extra_starts,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_payload(cls, job_id: str, payload: Mapping) -> "RobustRepairJob":
+        return cls(
+            job_id,
+            payload["model"],
+            payload["formula"],
+            epsilon=payload.get("epsilon", 0.01),
+            controllable_states=payload.get("controllable_states"),
+            max_perturbation=payload.get("max_perturbation"),
+            cost=payload.get("cost", "frobenius"),
+            engine=payload.get("engine", "sparse"),
+            max_outer_iterations=payload.get("max_outer_iterations", 5),
+            vi_max_iterations=payload.get("vi_max_iterations"),
+            extra_starts=payload.get("extra_starts", 8),
+            seed=payload.get("seed", 0),
+        )
+
+    def run(self, cache=None) -> Dict:
+        from repro.core.api import repair_robust
+
+        result = repair_robust(
+            model_from_payload(self.model),
+            self.formula,
+            epsilon=self.epsilon,
+            controllable_states=self.controllable_states,
+            max_perturbation=self.max_perturbation,
+            cost=self.cost,
+            engine=self.engine,
+            max_outer_iterations=self.max_outer_iterations,
+            vi_max_iterations=self.vi_max_iterations,
+            extra_starts=self.extra_starts,
+            seed=self.seed,
+            cache=cache,
+        )
+        return result.to_dict()
+
+
 # ----------------------------------------------------------------------
 # Files
 # ----------------------------------------------------------------------
+def _ensure_finite(value, where: str) -> None:
+    """Reject NaN/Infinity anywhere in a job payload.
+
+    ``json.loads`` happily decodes the non-standard ``NaN`` /
+    ``Infinity`` tokens, and a NaN bound or transition probability
+    poisons every comparison downstream — fail loudly at the door.
+    """
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        if not math.isfinite(value):
+            raise JobValidationError(f"non-finite number at {where}")
+    elif isinstance(value, Mapping):
+        for key, entry in value.items():
+            _ensure_finite(entry, f"{where}.{key}")
+    elif isinstance(value, (list, tuple)):
+        for index, entry in enumerate(value):
+            _ensure_finite(entry, f"{where}[{index}]")
+
+
 def job_from_dict(payload: Mapping) -> JobSpec:
-    """Rebuild any registered job kind from its ``to_dict`` form."""
+    """Rebuild any registered job kind from its ``to_dict`` form.
+
+    Malformed payloads — unknown ``kind``, missing ``job_id`` or other
+    required fields, non-finite numbers — raise
+    :class:`JobValidationError` rather than an arbitrary
+    ``KeyError``/``TypeError`` from deep inside a spec constructor.
+    """
+    if not isinstance(payload, Mapping):
+        raise JobValidationError(
+            f"job entry must be an object, got {type(payload).__name__}"
+        )
     kind = payload.get("kind")
     if kind not in JOB_KINDS:
-        raise ValueError(
+        raise JobValidationError(
             f"unknown job kind {kind!r}; expected one of {sorted(JOB_KINDS)}"
         )
+    if not payload.get("job_id"):
+        raise JobValidationError(f"{kind} job is missing its job_id")
+    job_id = str(payload["job_id"])
+    _ensure_finite(payload, f"job {job_id!r}")
     body = {k: v for k, v in payload.items() if k not in ("kind", "job_id")}
-    return JOB_KINDS[kind].from_payload(payload["job_id"], body)
+    try:
+        return JOB_KINDS[kind].from_payload(job_id, body)
+    except JobValidationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise JobValidationError(
+            f"bad {kind} job {job_id!r}: {exc}"
+        ) from exc
 
 
 def save_jobs(jobs: Sequence[JobSpec], path: Union[str, Path]) -> None:

@@ -58,7 +58,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.service.faults import FaultPlan, InjectedFault
-from repro.service.jobs import JobSpec, job_from_dict
+from repro.service.jobs import JobSpec, JobValidationError, job_from_dict
 from repro.service.telemetry import Telemetry, solver_counters
 
 #: Definite terminal statuses (acceptance: every job ends in one).
@@ -137,9 +137,26 @@ def _run_job_in_worker(task: Dict) -> Dict:
     ``task`` carries plain data only: the job's ``to_dict`` form, the
     attempt number, runner configuration, and an optional fault plan.
     Raises only via injected crashes (``os._exit``) — every other
-    failure mode is folded into the returned payload.
+    failure mode is folded into the returned payload.  A payload that
+    cannot even be rebuilt into a spec returns a structured
+    ``failure: "invalid"`` record (never retried — the payload will not
+    get better) instead of ripping through the worker.
     """
-    job = job_from_dict(task["job"])
+    raw_job = task.get("job")
+    try:
+        job = job_from_dict(raw_job)
+    except JobValidationError as exc:
+        raw = raw_job if isinstance(raw_job, dict) else {}
+        return {
+            "ok": False,
+            "failure": "invalid",
+            "error": str(exc),
+            "job_id": str(raw.get("job_id", "<unknown>")),
+            "kind": str(raw.get("kind", "<unknown>")),
+            "attempt": int(task.get("attempt", 0)),
+            "pid": os.getpid(),
+            "duration": 0.0,
+        }
     attempt = int(task["attempt"])
     store_dir = task.get("store_dir")
     inline = bool(task.get("inline", False))
@@ -457,6 +474,8 @@ class BatchRunner:
             ),
             kernel_compilations=payload.get("kernel_compilations", 0),
             kernel_evaluations=payload.get("kernel_evaluations", 0),
+            robust_vi_iterations=payload.get("robust_vi_iterations", 0),
+            robust_fallbacks=payload.get("robust_fallbacks", 0),
         )
 
     def _finish(
@@ -500,10 +519,20 @@ class BatchRunner:
         waiting: List[Tuple[float, JobSpec, int]],
         duration: float = 0.0,
     ) -> None:
-        """Schedule a retry, or mark the job failed-after-retries."""
+        """Schedule a retry, or mark the job failed-after-retries.
+
+        ``reason == "invalid"`` fails immediately: a malformed payload
+        is deterministic, so retrying would burn the whole budget to
+        reach the same validation error.
+        """
         if reason == "timeout":
             self.telemetry.emit("job_timeout", job_id=job.job_id, attempt=attempt)
-        if attempt < self.max_retries and not self.cancelled:
+        if reason == "invalid":
+            self.telemetry.emit(
+                "job_invalid", job_id=job.job_id, error=error
+            )
+        retryable = reason != "invalid"
+        if retryable and attempt < self.max_retries and not self.cancelled:
             delay = self._backoff_delay(job.job_id, attempt)
             self.telemetry.emit(
                 "job_retry",

@@ -39,6 +39,8 @@ SUMMED_FIELDS = (
     "solver_function_evaluations",
     "kernel_compilations",
     "kernel_evaluations",
+    "robust_vi_iterations",
+    "robust_fallbacks",
 )
 
 
@@ -50,15 +52,31 @@ def solver_counters(result) -> Dict[str, int]:
     the ``solver_stats`` block (absent for checks and for
     already-satisfied repairs) yields ``solver_iterations`` and
     ``solver_function_evaluations``, ready to pass to :meth:`Telemetry.emit`.
+
+    Robust-repair results additionally report their value-iteration
+    effort (``robust_vi_iterations``) and whether the certificate
+    degraded to the nominal check (``robust_fallbacks``), keeping the
+    adversarial accounting separate from the NLP accounting.
     """
     stats = result.get("solver_stats") if isinstance(result, dict) else None
     stats = stats or {}
-    return {
+    counters = {
         "solver_iterations": int(stats.get("iterations", 0)),
         "solver_function_evaluations": int(
             stats.get("function_evaluations", 0)
         ),
     }
+    if isinstance(result, dict) and result.get("flavor") == "robust":
+        counters["robust_vi_iterations"] = int(
+            result.get("vi_iterations") or 0
+        )
+        certificate = result.get("certificate")
+        fallback = (
+            isinstance(certificate, dict)
+            and bool(certificate.get("fallback_reason"))
+        )
+        counters["robust_fallbacks"] = 1 if fallback else 0
+    return counters
 
 
 class Telemetry:

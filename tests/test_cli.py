@@ -168,6 +168,91 @@ class TestModelRepair:
         assert rebuilt.to_dict() == payload
 
 
+class TestRobustRepair:
+    @pytest.fixture
+    def coin_file(self, tmp_path):
+        from repro.mdp import DTMC
+
+        path = tmp_path / "coin.json"
+        save_model(
+            DTMC(
+                states=["s0", "good", "bad"],
+                transitions={
+                    "s0": {"good": 0.5, "bad": 0.5},
+                    "good": {"good": 1.0},
+                    "bad": {"bad": 1.0},
+                },
+                initial_state="s0",
+                labels={"good": {"good"}},
+            ),
+            path,
+        )
+        return str(path)
+
+    def test_repair_writes_output(self, coin_file, tmp_path, capsys):
+        out_file = tmp_path / "repaired.json"
+        code = main(
+            [
+                "robust-repair",
+                coin_file,
+                'P<=0.3 [ F "good" ]',
+                "--epsilon",
+                "0.01",
+                "-o",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        assert out_file.exists()
+        out = capsys.readouterr().out
+        assert "robust: True" in out
+        assert "worst-case margin" in out
+        assert "robustly verified" in out
+
+    def test_infeasible_returns_nonzero(self, coin_file, capsys):
+        code = main(
+            [
+                "robust-repair",
+                coin_file,
+                'P<=0.3 [ F "good" ]',
+                "--max-perturbation",
+                "0.01",
+            ]
+        )
+        assert code == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_json_output_is_canonical_payload(self, coin_file, capsys):
+        import json
+
+        from repro.repair import RepairResult
+
+        code = main(
+            ["robust-repair", coin_file, 'P<=0.3 [ F "good" ]', "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["flavor"] == "robust"
+        assert payload["robust"] is True
+        rebuilt = RepairResult.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+
+    def test_rejects_non_dtmc(self, capsys, tmp_path):
+        from repro.ctmc import CTMC
+
+        path = tmp_path / "ctmc.json"
+        save_model(
+            CTMC(
+                states=["a", "b"],
+                rates={"a": {"b": 1.0}},
+                initial_state="a",
+            ),
+            path,
+        )
+        code = main(["robust-repair", str(path), 'P<=0.3 [ F "good" ]'])
+        assert code == 2
+
+
 class TestRateRepair:
     @pytest.fixture
     def ctmc_file(self, tmp_path):

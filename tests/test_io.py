@@ -79,6 +79,70 @@ class TestCtmcRoundTrip:
         assert loaded.rates["down"]["up"] == pytest.approx(2.0)
 
 
+class TestIntervalRoundTrip:
+    def build_interval(self, two_path_chain):
+        from repro.mdp import IntervalDTMC
+
+        return IntervalDTMC.from_dtmc(two_path_chain, epsilon=0.05)
+
+    def test_interval_dtmc_round_trip(self, two_path_chain):
+        from repro.io import interval_dtmc_from_dict, interval_dtmc_to_dict
+
+        interval = self.build_interval(two_path_chain)
+        rebuilt = interval_dtmc_from_dict(interval_dtmc_to_dict(interval))
+        assert rebuilt.states == interval.states
+        assert rebuilt.initial_state == interval.initial_state
+        assert rebuilt.labels == interval.labels
+        for state, row in interval.intervals.items():
+            for target, (lower, upper) in row.items():
+                got_lower, got_upper = rebuilt.intervals[state][target]
+                assert got_lower == pytest.approx(lower)
+                assert got_upper == pytest.approx(upper)
+
+    def test_interval_dtmc_save_load(self, two_path_chain, tmp_path):
+        from repro.mdp import IntervalDTMC
+
+        interval = self.build_interval(two_path_chain)
+        path = tmp_path / "interval.json"
+        save_model(interval, path)
+        loaded = load_model(path)
+        assert isinstance(loaded, IntervalDTMC)
+        assert loaded.contains(two_path_chain)
+
+    def test_interval_mdp_round_trip(self, two_action_mdp, tmp_path):
+        from repro.mdp import IntervalMDP
+
+        interval = IntervalMDP.from_mdp(two_action_mdp, epsilon=0.02)
+        path = tmp_path / "imdp.json"
+        save_model(interval, path)
+        loaded = load_model(path)
+        assert isinstance(loaded, IntervalMDP)
+        assert loaded.states == interval.states
+        assert loaded.intervals == interval.intervals
+
+    @given(st.integers(0, 1000), st.floats(0.0, 0.2))
+    @settings(max_examples=20, deadline=None)
+    def test_epsilon_ball_contains_centre(self, seed, epsilon):
+        """``from_dtmc(c, eps)`` always contains ``c`` — including after
+        a JSON round-trip of the interval model."""
+        from repro.io import interval_dtmc_from_dict, interval_dtmc_to_dict
+        from repro.mdp import IntervalDTMC
+
+        chain = random_dtmc(5, seed=seed)
+        as_strings = DTMC(
+            states=[str(s) for s in chain.states],
+            transitions={
+                str(s): {str(t): p for t, p in row.items()}
+                for s, row in chain.transitions.items()
+            },
+            initial_state=str(chain.initial_state),
+        )
+        interval = IntervalDTMC.from_dtmc(as_strings, epsilon)
+        assert interval.contains(as_strings)
+        rebuilt = interval_dtmc_from_dict(interval_dtmc_to_dict(interval))
+        assert rebuilt.contains(as_strings)
+
+
 class TestFileInterface:
     def test_save_load_dtmc(self, two_path_chain, tmp_path):
         path = tmp_path / "chain.json"

@@ -41,6 +41,35 @@ class TestConstruction:
         assert lower == pytest.approx(0.1)
         assert upper == pytest.approx(1.0)
 
+    def test_from_dtmc_near_deterministic_chain(self):
+        # A learned chain can carry probabilities a hair above 1.0 from
+        # float error; the ε-ball must clamp into [0, 1] instead of
+        # producing an inverted or infeasible interval.
+        chain = DTMC(
+            states=["a", "b"],
+            transitions={"a": {"b": 1.0 + 5e-10}, "b": {"b": 1.0}},
+            initial_state="a",
+        )
+        for epsilon in (0.0, 0.01):
+            interval = IntervalDTMC.from_dtmc(chain, epsilon=epsilon)
+            lower, upper = interval.intervals["a"]["b"]
+            assert 0.0 <= lower <= upper <= 1.0
+            assert interval.contains(chain)
+
+    def test_from_dtmc_keeps_structural_zeros(self, two_path_chain):
+        # The ε-ball widens existing edges only; absent transitions stay
+        # structurally impossible rather than gaining mass.
+        interval = IntervalDTMC.from_dtmc(two_path_chain, epsilon=0.1)
+        for state, row in two_path_chain.transitions.items():
+            assert set(interval.intervals[state]) == set(row)
+
+    def test_epsilon_ball_pins_explicit_zero(self):
+        from repro.mdp.interval import _epsilon_ball_row
+
+        ball = _epsilon_ball_row({"a": 0.0, "b": 1.0}, epsilon=0.05)
+        assert ball["a"] == (0.0, 0.0)
+        assert ball["b"] == (0.95, 1.0)
+
     def test_contains_original_and_perturbations(self, two_path_chain):
         interval = IntervalDTMC.from_dtmc(two_path_chain, epsilon=0.05)
         assert interval.contains(two_path_chain)
@@ -126,6 +155,55 @@ class TestRobustReward:
     def test_infinite_when_adversary_blocks(self, two_path_chain):
         interval = IntervalDTMC.from_dtmc(two_path_chain, epsilon=0.0)
         assert interval.expected_reward({"good"}, maximise=True) == np.inf
+
+
+class TestVIReports:
+    def test_reachability_report_converges(self, two_path_chain):
+        interval = IntervalDTMC.from_dtmc(two_path_chain, epsilon=0.05)
+        values, report = interval.reachability_values_report(
+            {"good"}, maximise=True
+        )
+        assert report.converged and not report.diverged
+        assert report.iterations > 0
+        assert values["good"] == pytest.approx(1.0)
+
+    def test_reachability_report_respects_cap(self, two_path_chain):
+        interval = IntervalDTMC.from_dtmc(two_path_chain, epsilon=0.05)
+        _values, report = interval.reachability_values_report(
+            {"good"}, maximise=True, max_iterations=1
+        )
+        assert not report.converged
+        assert report.iterations == 1
+
+    def test_reward_report_converges(self, simple_chain):
+        interval = IntervalDTMC.from_dtmc(simple_chain, epsilon=0.0)
+        values, report = interval.expected_reward_values_report(
+            {4}, maximise=True
+        )
+        assert report.converged and not report.diverged
+        assert values[simple_chain.initial_state] == pytest.approx(4 / 0.8)
+
+    def test_report_round_trips_to_dict(self, two_path_chain):
+        interval = IntervalDTMC.from_dtmc(two_path_chain, epsilon=0.0)
+        _values, report = interval.reachability_values_report(
+            {"good"}, maximise=False
+        )
+        payload = report.to_dict()
+        assert set(payload) == {
+            "iterations", "converged", "residual", "diverged"
+        }
+
+
+class TestExtremalChain:
+    def test_extremal_chain_attains_robust_bound(self, two_path_chain):
+        interval = IntervalDTMC.from_dtmc(two_path_chain, epsilon=0.05)
+        values = interval.reachability_values({"good"}, maximise=True)
+        witness = interval.extremal_chain(values, maximise=True)
+        exact = DTMCModelChecker(witness).path_probabilities(
+            Eventually(AtomicProposition("safe"))
+        )[witness.initial_state]
+        assert exact == pytest.approx(values[interval.initial_state], abs=1e-6)
+        assert interval.contains(witness)
 
 
 class TestRobustnessCertificate:

@@ -1,8 +1,8 @@
 """Cross-engine contract tests for the unified repair core.
 
-Every repair flavour (model, data, reward, rate) now delegates to
-``repro.repair``'s single ``RepairProblem → solve → verify`` driver, so
-all four must expose identical result-shape semantics: the same status
+Every repair flavour (model, data, reward, rate, robust) now delegates
+to ``repro.repair``'s single ``RepairProblem → solve → verify`` driver,
+so all five must expose identical result-shape semantics: the same status
 vocabulary, the same ``feasible``/``verified``/``solver_stats`` fields,
 a canonical ``to_dict()`` that round-trips through
 ``RepairResult.from_dict``, and a consistent ``__repr__``.
@@ -167,11 +167,28 @@ def rate_result(scenario):
     ).repair()
 
 
+def robust_result(scenario):
+    from repro.repair import RobustRepair
+
+    bound, max_perturbation = {
+        "already_satisfied": (0.6, None),
+        "repaired": (0.3, None),
+        "infeasible": (0.3, 0.01),
+    }[scenario]
+    return RobustRepair.for_chain(
+        coin_chain(),
+        parse_pctl(f'P<={bound} [ F "good" ]'),
+        epsilon=0.01,
+        max_perturbation=max_perturbation,
+    ).repair()
+
+
 BUILDERS = {
     "model": model_result,
     "data": data_result,
     "reward": reward_result,
     "rate": rate_result,
+    "robust": robust_result,
 }
 
 #: Expected status per (flavor, scenario); Reward Repair's asymmetry

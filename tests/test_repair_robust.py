@@ -1,0 +1,260 @@
+"""Tests for the interval-certified robust repair flavour."""
+
+import pytest
+
+from repro.checking import DTMCModelChecker
+from repro.logic import parse_pctl
+from repro.mdp import DTMC, IntervalDTMC
+from repro.repair import (
+    RepairResult,
+    RobustCertificate,
+    RobustRepair,
+    RobustRepairResult,
+    robust_verify,
+)
+
+
+def coin_chain(heads: float = 0.5) -> DTMC:
+    return DTMC(
+        states=["s0", "good", "bad"],
+        transitions={
+            "s0": {"good": heads, "bad": 1.0 - heads},
+            "good": {"good": 1.0},
+            "bad": {"bad": 1.0},
+        },
+        initial_state="s0",
+        labels={"good": {"good"}},
+    )
+
+
+class TestRobustVerify:
+    def test_holds_with_positive_margin(self):
+        certificate = robust_verify(
+            coin_chain(), parse_pctl('P<=0.6 [ F "good" ]'), epsilon=0.01
+        )
+        assert certificate.robust and certificate.holds
+        assert certificate.margin == pytest.approx(0.09, abs=1e-6)
+        assert certificate.vi_iterations > 0
+        assert certificate.converged
+        assert certificate.witness is None
+
+    def test_failure_carries_attaining_witness(self):
+        certificate = robust_verify(
+            coin_chain(), parse_pctl('P<=0.505 [ F "good" ]'), epsilon=0.01
+        )
+        assert not certificate.holds
+        assert certificate.margin < 0
+        witness = certificate.witness
+        assert isinstance(witness, DTMC)
+        # The witness is a member of the ε-ball and attains the
+        # worst-case value the certificate reports.
+        ball = IntervalDTMC.from_dtmc(coin_chain(), 0.01)
+        assert ball.contains(witness)
+        from repro.logic.pctl import AtomicProposition, Eventually
+
+        attained = DTMCModelChecker(witness).path_probabilities(
+            Eventually(AtomicProposition("good"))
+        )[witness.initial_state]
+        assert attained == pytest.approx(certificate.value, abs=1e-6)
+
+    def test_vi_cap_degrades_to_nominal(self):
+        certificate = robust_verify(
+            coin_chain(),
+            parse_pctl('P<=0.6 [ F "good" ]'),
+            epsilon=0.01,
+            vi_max_iterations=1,
+        )
+        assert not certificate.robust
+        assert certificate.fallback_reason == "vi-iteration-cap"
+        # Nominal verdict still reported — never a silent pass.
+        assert certificate.holds
+
+    def test_unsupported_formula_falls_back(self):
+        certificate = robust_verify(
+            coin_chain(),
+            parse_pctl('P<=0.6 [ X "good" ]'),
+            epsilon=0.01,
+        )
+        assert not certificate.robust
+        assert certificate.fallback_reason == "unsupported-formula"
+
+    def test_certificate_round_trips(self):
+        certificate = robust_verify(
+            coin_chain(), parse_pctl('P<=0.6 [ F "good" ]'), epsilon=0.01
+        )
+        payload = certificate.to_dict()
+        rebuilt = RobustCertificate.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+
+
+class TestRobustRepair:
+    def test_already_robust_short_circuits(self):
+        result = RobustRepair.for_chain(
+            coin_chain(), parse_pctl('P<=0.6 [ F "good" ]'), epsilon=0.01
+        ).repair()
+        assert result.status == "already_satisfied"
+        assert result.robust and result.verified
+        assert result.certificate.margin > 0
+        assert result.solver_stats == {}
+        assert result.vi_iterations > 0
+
+    def test_repair_tightens_until_robust(self):
+        result = RobustRepair.for_chain(
+            coin_chain(), parse_pctl('P<=0.3 [ F "good" ]'), epsilon=0.01
+        ).repair()
+        assert result.status == "repaired"
+        assert result.robust and result.verified
+        assert result.outer_iterations >= 2  # round 1 lands on the bound
+        # The certificate quantifies over the full ε-ball: even nature's
+        # worst member of the repaired chain's ball meets the bound.
+        worst = IntervalDTMC.from_dtmc(
+            result.repaired_model, 0.01
+        ).reachability_probability({"good"}, maximise=True)
+        assert worst <= 0.3 + 1e-6
+        assert result.certificate.margin >= 0
+        assert result.solver_stats["iterations"] > 0
+        assert result.witness is None
+
+    def test_bounded_budget_fails_gracefully_with_witness(self):
+        result = RobustRepair.for_chain(
+            coin_chain(),
+            parse_pctl('P<=0.3 [ F "good" ]'),
+            epsilon=0.01,
+            max_outer_iterations=1,
+        ).repair()
+        assert result.status == "repaired"
+        assert result.robust and not result.verified
+        assert "still failing" in result.message
+        witness = result.witness
+        assert isinstance(witness, DTMC)
+        assert IntervalDTMC.from_dtmc(result.repaired_model, 0.01).contains(
+            witness
+        )
+
+    def test_infeasible_is_not_robust(self):
+        result = RobustRepair.for_chain(
+            coin_chain(),
+            parse_pctl('P<=0.3 [ F "good" ]'),
+            epsilon=0.01,
+            max_perturbation=0.01,
+        ).repair()
+        assert result.status == "infeasible"
+        assert not result.feasible and not result.robust
+
+    def test_vi_cap_forces_annotated_nominal_fallback(self):
+        result = RobustRepair.for_chain(
+            coin_chain(),
+            parse_pctl('P<=0.3 [ F "good" ]'),
+            epsilon=0.01,
+            vi_max_iterations=1,
+        ).repair()
+        assert result.status in ("already_satisfied", "repaired")
+        assert not result.robust
+        assert result.certificate.fallback_reason == "vi-iteration-cap"
+        # The nominal verdict is surfaced, not raised.
+        assert result.verified
+
+    def test_zero_epsilon_matches_nominal_verdicts(self):
+        from repro.core import ModelRepair
+
+        for bound, perturbation in (
+            (0.6, None),
+            (0.3, None),
+            (0.3, 0.01),
+        ):
+            formula = parse_pctl(f'P<={bound} [ F "good" ]')
+            nominal = ModelRepair.for_chain(
+                coin_chain(), formula, max_perturbation=perturbation
+            ).repair()
+            robust = RobustRepair.for_chain(
+                coin_chain(),
+                formula,
+                epsilon=0.0,
+                max_perturbation=perturbation,
+            ).repair()
+            assert robust.status == nominal.status
+            assert robust.feasible == nominal.feasible
+
+    def test_rejects_builders_without_problem(self):
+        with pytest.raises(TypeError):
+            RobustRepair(object())
+
+    def test_rejects_negative_epsilon(self):
+        from repro.core import ModelRepair
+
+        base = ModelRepair.for_chain(
+            coin_chain(), parse_pctl('P<=0.5 [ F "good" ]')
+        )
+        with pytest.raises(ValueError):
+            RobustRepair(base, epsilon=-0.1)
+
+
+class TestSerialisation:
+    @pytest.mark.parametrize(
+        "bound,kwargs",
+        [
+            (0.6, {}),
+            (0.3, {}),
+            (0.3, {"max_perturbation": 0.01}),
+            (0.3, {"max_outer_iterations": 1}),
+        ],
+    )
+    def test_round_trip(self, bound, kwargs):
+        result = RobustRepair.for_chain(
+            coin_chain(),
+            parse_pctl(f'P<={bound} [ F "good" ]'),
+            epsilon=0.01,
+            **kwargs,
+        ).repair()
+        payload = result.to_dict()
+        assert payload["flavor"] == "robust"
+        rebuilt = RepairResult.from_dict(payload)
+        assert isinstance(rebuilt, RobustRepairResult)
+        assert rebuilt.to_dict() == payload
+
+
+class TestApi:
+    def test_repair_robust_entry_point(self):
+        from repro.core import repair_robust
+
+        result = repair_robust(
+            coin_chain(), 'P<=0.3 [ F "good" ]', epsilon=0.01
+        )
+        assert isinstance(result, RobustRepairResult)
+        assert result.robust and result.verified
+
+    def test_vi_cap_passes_through(self):
+        from repro.core import repair_robust
+
+        result = repair_robust(
+            coin_chain(),
+            'P<=0.6 [ F "good" ]',
+            epsilon=0.01,
+            vi_max_iterations=1,
+        )
+        assert not result.robust
+        assert result.certificate.fallback_reason == "vi-iteration-cap"
+
+
+@pytest.mark.slow
+class TestWSNAcceptance:
+    def test_nominally_satisfied_but_fragile_bound_gets_robustified(self):
+        """The ISSUE acceptance scenario: X=50 holds nominally but not
+        at ±0.01; robust repair must actually move the chain and then
+        certify the worst case over the full interval set."""
+        from repro.casestudies import wsn
+
+        base = wsn.model_repair_problem(50.0)
+        pre = robust_verify(
+            base.problem().original, base.formula, epsilon=0.01
+        )
+        nominal = DTMCModelChecker(base.problem().original).check(base.formula)
+        assert nominal.holds and not pre.holds  # fragile, not broken
+
+        result = RobustRepair(base, epsilon=0.01).repair()
+        assert result.status == "repaired"
+        assert result.robust and result.verified
+        assert result.certificate.margin > 0
+        assert result.vi_iterations > 0
+        assert result.solver_stats["iterations"] > 0
+        assert any(abs(v) > 1e-4 for v in result.assignment.values())

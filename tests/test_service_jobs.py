@@ -10,15 +10,17 @@ from repro.mdp import Trajectory, chain_dtmc
 from repro.service import (
     CheckJob,
     DataRepairJob,
+    JobValidationError,
     ModelRepairJob,
     RateRepairJob,
     RewardRepairJob,
+    RobustRepairJob,
     execute,
     job_from_dict,
     load_jobs,
     save_jobs,
 )
-from repro.service.jobs import load_jobs_payload
+from repro.service.jobs import JOB_KINDS, load_jobs_payload
 
 
 @pytest.fixture
@@ -95,6 +97,17 @@ class TestRoundTrip:
         assert isinstance(clone, RewardRepairJob)
         assert clone.to_dict() == job.to_dict()
 
+    def test_robust_repair_job(self, sluggish_chain):
+        job = RobustRepairJob.for_model(
+            "rb1", sluggish_chain, 'R<=6 [ F "goal" ]', epsilon=0.02,
+            vi_max_iterations=1000,
+        )
+        clone = job_from_dict(json.loads(json.dumps(job.to_dict())))
+        assert isinstance(clone, RobustRepairJob)
+        assert clone.to_dict() == job.to_dict()
+        assert clone.epsilon == 0.02
+        assert clone.vi_max_iterations == 1000
+
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown job kind"):
             job_from_dict({"kind": "nope", "job_id": "x"})
@@ -102,6 +115,98 @@ class TestRoundTrip:
     def test_empty_job_id_rejected(self, sluggish_chain):
         with pytest.raises(ValueError, match="job_id"):
             CheckJob.for_model("", sluggish_chain, 'P>=0.2 [ F "goal" ]')
+
+
+class TestValidation:
+    """Malformed payloads surface as JobValidationError, not as raw
+    KeyError/TypeError from deep inside a spec constructor."""
+
+    def test_unknown_kind(self):
+        with pytest.raises(JobValidationError, match="unknown job kind"):
+            job_from_dict({"kind": "petri-net-repair", "job_id": "x"})
+
+    def test_missing_job_id(self):
+        with pytest.raises(JobValidationError, match="missing its job_id"):
+            job_from_dict({"kind": "check"})
+
+    def test_non_mapping_entry(self):
+        with pytest.raises(JobValidationError, match="must be an object"):
+            job_from_dict("not a job")
+
+    def test_missing_required_field_is_wrapped(self):
+        with pytest.raises(JobValidationError, match="bad check job 'c'"):
+            job_from_dict({"kind": "check", "job_id": "c"})
+
+    def test_non_finite_numbers_rejected(self, sluggish_chain):
+        job = RobustRepairJob.for_model(
+            "rb", sluggish_chain, 'R<=6 [ F "goal" ]'
+        )
+        payload = job.to_dict()
+        payload["epsilon"] = float("nan")
+        with pytest.raises(JobValidationError, match="non-finite"):
+            job_from_dict(payload)
+        # json.loads happily decodes the non-standard Infinity token.
+        decoded = json.loads(
+            json.dumps(job.to_dict()).replace('"seed": 0', '"seed": Infinity')
+        )
+        with pytest.raises(JobValidationError, match="non-finite"):
+            job_from_dict(decoded)
+
+    def test_validation_error_is_a_value_error(self):
+        # The HTTP façade's 400 path catches ValueError; keep that true.
+        assert issubclass(JobValidationError, ValueError)
+
+
+class TestRegistry:
+    """Every registered job kind must round-trip through its own
+    ``to_dict`` / ``job_from_dict`` — new kinds cannot ship without a
+    working serialisation."""
+
+    def example_jobs(self):
+        from repro.ctmc import CTMC
+
+        chain = chain_dtmc(5, forward_probability=0.5)
+        ctmc = CTMC(
+            states=["s0", "done"],
+            rates={"s0": {"done": 1.0}},
+            initial_state="s0",
+            labels={"done": {"done"}},
+        )
+        mdp = car.build_car_mdp()
+        return {
+            "check": CheckJob.for_model(
+                "c", chain, 'P>=0.2 [ F "goal" ]'
+            ),
+            "model-repair": ModelRepairJob.for_model(
+                "m", chain, 'R<=6 [ F "goal" ]'
+            ),
+            "data-repair": data_repair_job(
+                TraceDataset([TraceGroup("g", observations("a", "b", 3))])
+            ),
+            "reward-repair": RewardRepairJob.for_mdp(
+                "r", mdp, car.car_features().table, car.PAPER_LEARNED_THETA,
+                [{"state": "S1", "preferred": car.LEFT,
+                  "dispreferred": car.FORWARD}],
+            ),
+            "rate-repair": RateRepairJob.for_model(
+                "rt", ctmc, ["done"], 2.0
+            ),
+            "robust-repair": RobustRepairJob.for_model(
+                "rb", chain, 'R<=6 [ F "goal" ]'
+            ),
+        }
+
+    def test_examples_cover_every_kind(self):
+        assert set(self.example_jobs()) == set(JOB_KINDS)
+
+    def test_every_kind_round_trips(self):
+        for kind, job in self.example_jobs().items():
+            payload = json.loads(json.dumps(job.to_dict()))
+            assert payload["kind"] == kind
+            clone = job_from_dict(payload)
+            assert type(clone) is type(job)
+            assert clone.to_dict() == job.to_dict()
+            assert clone.fingerprint() == job.fingerprint()
 
 
 class TestFingerprint:
@@ -198,6 +303,43 @@ class TestExecution:
         assert result["verified"] is True
         assert result["expected_time"] <= 2.0 + 1e-6
         assert result["solver_stats"]["iterations"] > 0
+
+
+class TestRobustExecution:
+    def coin(self):
+        from repro.mdp import DTMC
+
+        return DTMC(
+            states=["s0", "good", "bad"],
+            transitions={
+                "s0": {"good": 0.5, "bad": 0.5},
+                "good": {"good": 1.0},
+                "bad": {"bad": 1.0},
+            },
+            initial_state="s0",
+            labels={"good": {"good"}},
+        )
+
+    def test_robust_repair_job_repairs(self):
+        job = RobustRepairJob.for_model(
+            "rb", self.coin(), 'P<=0.3 [ F "good" ]', epsilon=0.01
+        )
+        result = execute(job)
+        assert result["flavor"] == "robust"
+        assert result["status"] == "repaired"
+        assert result["robust"] is True
+        assert result["verified"] is True
+        assert result["certificate"]["margin"] >= 0
+        assert result["vi_iterations"] > 0
+
+    def test_vi_cap_surfaces_fallback_in_payload(self):
+        job = RobustRepairJob.for_model(
+            "rb", self.coin(), 'P<=0.6 [ F "good" ]', epsilon=0.01,
+            vi_max_iterations=1,
+        )
+        result = execute(job)
+        assert result["robust"] is False
+        assert result["certificate"]["fallback_reason"] == "vi-iteration-cap"
 
 
 class TestJobFiles:

@@ -72,6 +72,84 @@ class TestHappyPath:
         assert report.all_ok
 
 
+class TestInvalidPayloads:
+    """Malformed job payloads must terminate as structured records —
+    never rip through a worker, never burn the retry budget."""
+
+    class RottenJob(CheckJob):
+        """A spec whose serialised form no longer validates."""
+
+        def to_dict(self):
+            payload = super().to_dict()
+            payload["smc_samples"] = float("nan")
+            return payload
+
+    def rotten(self, chain):
+        # for_model is a staticmethod returning a plain CheckJob; swap
+        # in the corrupting subclass to poison the serialised form.
+        job = CheckJob.for_model("rotten", chain, 'P>=0.2 [ F "goal" ]')
+        job.__class__ = self.RottenJob
+        return job
+
+    def test_inline_invalid_fails_without_retries(self, sluggish_chain):
+        telemetry = Telemetry()
+        report = fast_runner(
+            max_workers=0, telemetry=telemetry, max_retries=3
+        ).run([self.rotten(sluggish_chain)])
+        outcome = report.outcomes[0]
+        assert outcome.status == "failed-after-retries"
+        assert outcome.attempts == 1  # deterministic failure: no retries
+        assert "non-finite" in outcome.error
+        assert telemetry.counters()["job_invalid"] == 1
+        assert "job_retry" not in telemetry.counters()
+
+    def test_pool_invalid_fails_without_retries(self, sluggish_chain):
+        report = fast_runner(max_workers=2, max_retries=3).run(
+            [self.rotten(sluggish_chain)] + check_jobs(sluggish_chain, 2)
+        )
+        rotten = report.outcome("rotten")
+        assert rotten.status == "failed-after-retries"
+        assert rotten.attempts == 1
+        # The malformed job must not poison its batch-mates.
+        assert report.by_status()["succeeded"] == 2
+
+
+class TestRobustCounters:
+    def coin(self):
+        from repro.mdp import DTMC
+
+        return DTMC(
+            states=["s0", "good", "bad"],
+            transitions={
+                "s0": {"good": 0.5, "bad": 0.5},
+                "good": {"good": 1.0},
+                "bad": {"bad": 1.0},
+            },
+            initial_state="s0",
+            labels={"good": {"good"}},
+        )
+
+    def test_vi_effort_and_fallbacks_reach_telemetry(self):
+        from repro.service import RobustRepairJob
+
+        telemetry = Telemetry()
+        jobs = [
+            RobustRepairJob.for_model(
+                "ok", self.coin(), 'P<=0.3 [ F "good" ]', epsilon=0.01
+            ),
+            RobustRepairJob.for_model(
+                "capped", self.coin(), 'P<=0.6 [ F "good" ]', epsilon=0.01,
+                vi_max_iterations=1,
+            ),
+        ]
+        report = fast_runner(max_workers=0, telemetry=telemetry).run(jobs)
+        assert report.all_ok
+        counters = telemetry.counters()
+        assert counters["robust_vi_iterations"] > 0
+        assert counters["robust_fallbacks"] == 1
+        assert report.counters["robust_fallbacks"] == 1
+
+
 class TestTransientErrors:
     def test_retry_then_success(self, sluggish_chain):
         telemetry = Telemetry()

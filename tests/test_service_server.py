@@ -91,11 +91,23 @@ class TestEndpoints:
         for payload in (
             {"jobs": [{"kind": "nope", "job_id": "x"}]},
             {"jobs": [{"kind": "check"}]},  # missing job_id/model
+            {"jobs": ["not-an-object"]},
             {"no_jobs_key": True},
         ):
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 post_json(base + "/batch", payload)
             assert excinfo.value.code == 400
+
+    def test_non_finite_numbers_400(self, service):
+        # json.dumps/loads pass the non-standard NaN token through, so
+        # the validator must catch it before it poisons a worker.
+        base, _ = service
+        chain = chain_dtmc(4, forward_probability=0.5)
+        job = CheckJob.for_model("nan", chain, 'P>=0.2 [ F "goal" ]').to_dict()
+        job["smc_samples"] = float("nan")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(base + "/batch", {"jobs": [job]})
+        assert excinfo.value.code == 400
 
     def test_per_request_retry_override(self, service):
         base, _ = service
