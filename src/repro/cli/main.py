@@ -260,6 +260,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.service.server import build_server
     from repro.service.telemetry import Telemetry
 
@@ -268,15 +271,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         store_dir=args.store,
         telemetry=Telemetry(path=args.telemetry),
+        queue_size=args.queue_size,
+        queue_workers=args.queue_workers,
+        rate_limit=args.rate_limit,
+        drain_timeout=args.drain_timeout,
     )
+
+    def on_sigterm(_signum, _frame):
+        # shutdown() must not run on the serve_forever thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, on_sigterm)
+    except ValueError:
+        pass  # not on the main thread
     host, port = server.server_address[:2]
     print(f"repro service listening on http://{host}:{port}")
-    print("endpoints: GET /health, GET /counters, POST /batch")
+    print(
+        "endpoints: GET /health, GET /counters, GET /queue, "
+        "GET /jobs/<ticket>, POST /batch (sync), POST /jobs (async)"
+    )
+    print(
+        f"queue: capacity={args.queue_size} workers={args.queue_workers} "
+        f"rate_limit={args.rate_limit or 'off'}"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
     finally:
+        print("draining queue...")
         server.server_close()
     return 0
 
@@ -459,6 +483,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8765)
     serve.add_argument("--store", default=None)
     serve.add_argument("--telemetry", default=None)
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="bounded async queue capacity; a full queue answers 503 "
+        "with Retry-After (default 64)",
+    )
+    serve.add_argument(
+        "--queue-workers",
+        type=int,
+        default=2,
+        help="worker threads draining the async queue (default 2)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        help="per-client POST /jobs submissions per second "
+        "(token bucket; default unlimited)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to let queued/in-flight jobs finish on shutdown "
+        "(default 30)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     export = sub.add_parser("export-prism", help="export a model to PRISM syntax")

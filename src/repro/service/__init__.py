@@ -25,8 +25,15 @@ into a resilient runtime:
 ``faults``
     Deterministic fault injection (seeded crash/hang/error decisions)
     used by the robustness test suite.
+``queue``
+    A bounded asynchronous job queue (worker threads with persistent
+    inline runners, token-bucket rate limiting, drain-on-shutdown)
+    behind the server's ``POST /jobs`` front door.
 ``server``
-    A localhost JSON API (stdlib ``http.server``) wrapping the runner.
+    A localhost JSON API (stdlib ``http.server``) wrapping the runner:
+    synchronous ``POST /batch`` plus the asynchronous ``POST /jobs`` /
+    ``GET /jobs/<ticket>`` / ``GET /queue`` surface with backpressure
+    (``503`` + ``Retry-After``) and hardened request validation.
 """
 
 from repro.service.faults import FaultPlan, InjectedFault
@@ -45,6 +52,14 @@ from repro.service.jobs import (
     load_jobs_payload,
     save_jobs,
 )
+from repro.service.queue import (
+    JobQueue,
+    QueuedJob,
+    QueueFull,
+    RateLimited,
+    RateLimiter,
+    TokenBucket,
+)
 from repro.service.runner import BatchReport, BatchRunner, JobOutcome, run_batch
 from repro.service.store import ResultStore, open_disk_cache
 from repro.service.telemetry import (
@@ -62,9 +77,15 @@ __all__ = [
     "FaultPlan",
     "InjectedFault",
     "JobOutcome",
+    "JobQueue",
     "JobSpec",
     "JobValidationError",
     "ModelRepairJob",
+    "QueueFull",
+    "QueuedJob",
+    "RateLimited",
+    "RateLimiter",
+    "TokenBucket",
     "RateRepairJob",
     "ResultStore",
     "RewardRepairJob",

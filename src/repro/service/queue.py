@@ -1,0 +1,516 @@
+"""Bounded asynchronous job queue with backpressure and rate limiting.
+
+The synchronous ``POST /batch`` endpoint runs every job inline in the
+HTTP handler thread — fine for notebooks, hopeless under load.  This
+module is the asynchronous front door the service grew instead:
+
+:class:`JobQueue`
+    A bounded in-process queue drained by a pool of worker threads,
+    each owning one persistent :class:`~repro.service.runner.BatchRunner`
+    (inline mode), so every dequeued job flows through the exact retry /
+    timeout / store-dedup machinery that ``repro batch`` uses.  A full
+    queue rejects **at the door** (:class:`QueueFull` carries a
+    ``retry_after`` estimate derived from observed job durations) — the
+    server never buffers unboundedly and never drops a connection.
+:class:`TokenBucket` / :class:`RateLimiter`
+    Classic token-bucket admission control, one bucket per client key,
+    so a single flooding client cannot starve the queue for everyone.
+:class:`QueuedJob`
+    The per-submission record: a server-assigned ticket, queue/run
+    timestamps, and the terminal :class:`~repro.service.runner.JobOutcome`.
+
+Lifecycle: terminal records are kept in a bounded in-memory registry
+*and* persisted to the content-addressed
+:class:`~repro.service.store.ResultStore` (key ``("queue-outcome",
+ticket)``) when a store is configured, so status polling survives
+registry eviction.  :meth:`JobQueue.close` with ``drain=True`` (what
+``ServiceServer.server_close`` and the SIGTERM handler call) stops
+admissions, lets the workers finish every queued and in-flight job
+within the timeout, and marks whatever remains ``cancelled``.
+
+Telemetry: ``job_enqueued`` events carry ``queue_depth`` (depth after
+the enqueue), ``job_dequeued`` events carry ``queue_wait`` (integer
+milliseconds spent queued), and ``job_rejected`` events carry
+``jobs_rejected=1`` — all three are summed counters
+(:data:`repro.service.telemetry.SUMMED_FIELDS`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.service.jobs import JobSpec
+from repro.service.runner import BatchRunner, JobOutcome
+from repro.service.telemetry import Telemetry
+
+#: Statuses a queued job moves through before its terminal
+#: :data:`~repro.service.runner.TERMINAL_STATUSES` outcome.
+PENDING_STATUSES = ("queued", "running")
+
+
+class QueueFull(RuntimeError):
+    """The bounded queue cannot admit the submission right now.
+
+    ``retry_after`` is the server's estimate (seconds, >= 1) of when
+    capacity will free up, derived from the current backlog and the
+    exponentially-weighted average job duration.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = max(1.0, float(retry_after))
+
+
+class RateLimited(RuntimeError):
+    """The client's token bucket is empty; retry after ``retry_after``s."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = max(1.0, float(retry_after))
+
+
+class TokenBucket:
+    """A token bucket refilled at ``rate`` tokens/second up to ``burst``.
+
+    Not thread-safe on its own — :class:`RateLimiter` serialises access.
+
+    Examples
+    --------
+    >>> clock = iter([0.0, 0.0, 0.0, 10.0]).__next__
+    >>> bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+    >>> bucket.try_acquire(), bucket.try_acquire()  # burst of 2 admitted
+    (0.0, 0.0)
+    >>> bucket.try_acquire() > 0  # empty: returns the wait in seconds
+    True
+    >>> bucket.try_acquire()  # 10s later the bucket has refilled
+    0.0
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self.tokens = float(burst)
+        self.updated = clock()
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available; returns 0.0, else seconds to wait."""
+        now = self.clock()
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.updated) * self.rate
+        )
+        self.updated = now
+        if self.tokens >= tokens:
+            self.tokens -= tokens
+            return 0.0
+        return (tokens - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Per-client token buckets (thread-safe).
+
+    ``check(client)`` raises :class:`RateLimited` when the client's
+    bucket is empty.  Buckets are pruned once ``max_clients`` is
+    exceeded — full (idle) buckets go first, so an attacker churning
+    client ids cannot grow the table unboundedly.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        clock=time.monotonic,
+        max_clients: int = 1024,
+    ):
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, rate)
+        self.clock = clock
+        self.max_clients = int(max_clients)
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def check(self, client: str, tokens: float = 1.0) -> None:
+        """Admit one submission for ``client`` or raise :class:`RateLimited`."""
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                self._prune_locked()
+                bucket = TokenBucket(self.rate, self.burst, clock=self.clock)
+                self._buckets[client] = bucket
+            wait = bucket.try_acquire(tokens)
+        if wait > 0:
+            raise RateLimited(
+                f"client {client!r} exceeded {self.rate:g} submissions/s",
+                retry_after=wait,
+            )
+
+    def _prune_locked(self) -> None:
+        if len(self._buckets) < self.max_clients:
+            return
+        # Idle clients have refilled to burst; drop them first.
+        now = self.clock()
+        for key in list(self._buckets):
+            bucket = self._buckets[key]
+            refilled = min(
+                bucket.burst,
+                bucket.tokens + (now - bucket.updated) * bucket.rate,
+            )
+            if refilled >= bucket.burst:
+                del self._buckets[key]
+        while len(self._buckets) >= self.max_clients:
+            self._buckets.pop(next(iter(self._buckets)))
+
+
+class QueuedJob:
+    """One submission's lifecycle record (ticket, timing, outcome)."""
+
+    def __init__(
+        self,
+        ticket: str,
+        spec: JobSpec,
+        submitted_at: float,
+        max_retries: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+    ):
+        self.ticket = ticket
+        self.spec = spec
+        self.status = "queued"
+        self.submitted_at = submitted_at
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.outcome: Optional[JobOutcome] = None
+        self.max_retries = max_retries
+        self.job_timeout = job_timeout
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        """Seconds spent queued (``None`` until dequeued)."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    def to_dict(self) -> Dict:
+        """JSON-ready status record (what ``GET /jobs/<ticket>`` serves)."""
+        return {
+            "ticket": self.ticket,
+            "job_id": self.spec.job_id,
+            "kind": self.spec.kind,
+            "status": self.status,
+            "queue_wait": self.queue_wait,
+            "outcome": self.outcome.to_dict() if self.outcome else None,
+        }
+
+
+class JobQueue:
+    """Bounded job queue drained by persistent inline-runner workers.
+
+    Parameters
+    ----------
+    runner_factory:
+        Zero-argument callable building a fresh
+        :class:`~repro.service.runner.BatchRunner`; each worker thread
+        calls it once and keeps the runner for its lifetime (warm
+        process-global caches persist across jobs).
+    capacity:
+        Maximum number of *queued* (not yet running) jobs; submissions
+        beyond it raise :class:`QueueFull`.
+    workers:
+        Worker-thread count (>= 1).
+    telemetry:
+        Shared :class:`~repro.service.telemetry.Telemetry`.
+    store:
+        Optional :class:`~repro.service.store.ResultStore`; terminal
+        records are persisted under ``("queue-outcome", ticket)``.
+    registry_limit:
+        In-memory cap on retained job records; the oldest terminal
+        records are evicted first (still pollable via the store).
+    """
+
+    def __init__(
+        self,
+        runner_factory: Callable[[], BatchRunner],
+        capacity: int = 64,
+        workers: int = 2,
+        telemetry: Optional[Telemetry] = None,
+        store=None,
+        registry_limit: int = 4096,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.capacity = int(capacity)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.store = store
+        self.registry_limit = int(registry_limit)
+        self._runner_factory = runner_factory
+        self._queue: deque = deque()
+        self._jobs: "OrderedDict[str, QueuedJob]" = OrderedDict()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._counter = 0
+        self._in_flight = 0
+        self._submitted = 0
+        self._completed = 0
+        self._cancelled = 0
+        self._rejected: Dict[str, int] = {}
+        # EWMA of job service time, seeding the Retry-After estimate.
+        self._avg_seconds = 0.5
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-queue-{i}", daemon=True
+            )
+            for i in range(int(workers))
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec, **overrides) -> QueuedJob:
+        """Enqueue one job; returns its record or raises :class:`QueueFull`."""
+        return self.submit_many([spec], **overrides)[0]
+
+    def submit_many(
+        self,
+        specs: Sequence[JobSpec],
+        max_retries: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+    ) -> List[QueuedJob]:
+        """Atomically enqueue ``specs`` (all admitted or none).
+
+        Raises :class:`QueueFull` — with a backlog-derived
+        ``retry_after`` — when the batch does not fit, leaving the
+        queue untouched, so a client never observes a half-admitted
+        submission.
+        """
+        specs = list(specs)
+        if not specs:
+            raise ValueError("nothing to enqueue")
+        with self._cond:
+            if self._closed:
+                raise QueueFull("queue is shutting down", retry_after=1.0)
+            if len(self._queue) + len(specs) > self.capacity:
+                self._note_rejected_locked("queue-full", len(specs))
+                raise QueueFull(
+                    f"queue full ({len(self._queue)}/{self.capacity} queued, "
+                    f"{self._in_flight} in flight)",
+                    retry_after=self._retry_after_locked(),
+                )
+            now = time.monotonic()
+            admitted = []
+            for spec in specs:
+                self._counter += 1
+                ticket = f"job-{self._counter:08d}"
+                record = QueuedJob(
+                    ticket,
+                    spec,
+                    submitted_at=now,
+                    max_retries=max_retries,
+                    job_timeout=job_timeout,
+                )
+                self._queue.append(record)
+                self._register_locked(record)
+                self._submitted += 1
+                admitted.append(record)
+                self.telemetry.emit(
+                    "job_enqueued",
+                    ticket=ticket,
+                    job_id=spec.job_id,
+                    queue_depth=len(self._queue),
+                )
+            self._cond.notify_all()
+        return admitted
+
+    def note_rejected(self, reason: str, count: int = 1) -> None:
+        """Account a rejection decided outside the queue (rate limiting)."""
+        with self._cond:
+            self._note_rejected_locked(reason, count)
+
+    def _note_rejected_locked(self, reason: str, count: int) -> None:
+        self._rejected[reason] = self._rejected.get(reason, 0) + count
+        self.telemetry.emit(
+            "job_rejected", reason=reason, jobs_rejected=count
+        )
+
+    def _retry_after_locked(self) -> float:
+        backlog = len(self._queue) + self._in_flight
+        workers = max(1, len(self._workers))
+        estimate = (backlog / workers) * self._avg_seconds
+        return min(60.0, max(1.0, estimate))
+
+    def _register_locked(self, record: QueuedJob) -> None:
+        self._jobs[record.ticket] = record
+        self._evict_terminal_locked()
+
+    def _evict_terminal_locked(self) -> None:
+        # Evict the oldest *terminal* records over the limit; pending
+        # records must stay addressable until they finish (their
+        # terminal form lands in the store, so polling still works).
+        while len(self._jobs) > self.registry_limit:
+            for ticket, candidate in self._jobs.items():
+                if candidate.status not in PENDING_STATUSES:
+                    del self._jobs[ticket]
+                    break
+            else:
+                break
+
+    # ------------------------------------------------------------------
+    # Polling
+    # ------------------------------------------------------------------
+    def snapshot(self, ticket: str) -> Optional[Dict]:
+        """The status record for ``ticket`` (registry, then store)."""
+        with self._cond:
+            record = self._jobs.get(ticket)
+            if record is not None:
+                return record.to_dict()
+        if self.store is not None:
+            stored = self.store.get(("queue-outcome", ticket))
+            if isinstance(stored, Mapping):
+                return dict(stored)
+        return None
+
+    def stats(self) -> Dict:
+        """Queue health: depth, in-flight, throughput and rejections."""
+        with self._cond:
+            return {
+                "capacity": self.capacity,
+                "workers": len(self._workers),
+                "depth": len(self._queue),
+                "in_flight": self._in_flight,
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "cancelled": self._cancelled,
+                "rejected": dict(self._rejected),
+                "rejected_total": sum(self._rejected.values()),
+                "avg_job_seconds": round(self._avg_seconds, 6),
+                "closed": self._closed,
+            }
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Block until queued + in-flight reach zero; False on timeout."""
+        deadline = (
+            None if timeout is None else time.monotonic() + float(timeout)
+        )
+        with self._cond:
+            while self._queue or self._in_flight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(remaining if remaining is not None else 0.5)
+            return True
+
+    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop admissions and shut the workers down (idempotent).
+
+        ``drain=True`` lets the workers finish every queued and
+        in-flight job before returning (bounded by ``timeout``); jobs
+        still pending at the deadline — and all queued jobs when
+        ``drain=False`` — are marked ``cancelled``.
+        """
+        with self._cond:
+            if self._closed:
+                drained_already = not self._queue and not self._in_flight
+            else:
+                drained_already = False
+                if not drain:
+                    self._cancel_queued_locked()
+                self._closed = True
+                self._cond.notify_all()
+        if not drained_already and drain:
+            self.join(timeout=timeout)
+        with self._cond:
+            self._cancel_queued_locked()
+            self._cond.notify_all()
+        for worker in self._workers:
+            worker.join(timeout=1.0)
+
+    def _cancel_queued_locked(self) -> None:
+        while self._queue:
+            record = self._queue.popleft()
+            record.status = "cancelled"
+            record.finished_at = time.monotonic()
+            record.outcome = JobOutcome(
+                record.spec.job_id, record.spec.kind, "cancelled", 0, 0.0
+            )
+            self._cancelled += 1
+            self.telemetry.emit(
+                "job_end",
+                job_id=record.spec.job_id,
+                ticket=record.ticket,
+                status="cancelled",
+            )
+            self._persist(record)
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        runner = self._runner_factory()
+        base_retries = runner.max_retries
+        base_timeout = runner.job_timeout
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait(0.5)
+                if not self._queue:
+                    return  # closed and drained
+                record = self._queue.popleft()
+                record.status = "running"
+                record.started_at = time.monotonic()
+                self._in_flight += 1
+            self.telemetry.emit(
+                "job_dequeued",
+                ticket=record.ticket,
+                job_id=record.spec.job_id,
+                queue_wait=int((record.queue_wait or 0.0) * 1000),
+            )
+            # Each worker owns its runner, so per-job override twiddling
+            # is single-threaded by construction.
+            runner.max_retries = (
+                base_retries
+                if record.max_retries is None
+                else record.max_retries
+            )
+            runner.job_timeout = (
+                base_timeout
+                if record.job_timeout is None
+                else record.job_timeout
+            )
+            try:
+                outcome = runner.run_one(record.spec)
+            except Exception as exc:  # noqa: BLE001 — workers must survive
+                outcome = JobOutcome(
+                    record.spec.job_id,
+                    record.spec.kind,
+                    "failed-after-retries",
+                    attempts=1,
+                    duration=time.monotonic() - record.started_at,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            with self._cond:
+                record.outcome = outcome
+                record.status = outcome.status
+                record.finished_at = time.monotonic()
+                self._in_flight -= 1
+                self._completed += 1
+                duration = record.finished_at - record.started_at
+                self._avg_seconds += 0.2 * (duration - self._avg_seconds)
+                self._evict_terminal_locked()
+                self._cond.notify_all()
+            self._persist(record)
+
+    def _persist(self, record: QueuedJob) -> None:
+        if self.store is not None:
+            self.store.put(("queue-outcome", record.ticket), record.to_dict())

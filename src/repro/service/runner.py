@@ -594,6 +594,21 @@ class BatchRunner:
         report.counters = self.telemetry.counters()
         return report
 
+    def run_one(self, job: JobSpec) -> JobOutcome:
+        """Run a single job inline through the full retry machinery.
+
+        The execution path of the async job queue's worker threads: no
+        batch bookkeeping (``batch_start``/``batch_end`` events are a
+        batch concept), but the same attempt telemetry, bounded
+        retries with backoff, store-level dedup and statistical
+        fallback as a one-job batch.  Never raises for job failures —
+        the returned :class:`JobOutcome` always has a terminal status.
+        """
+        outcomes = self._run_inline([job])
+        return outcomes.get(
+            job.job_id, JobOutcome(job.job_id, job.kind, "cancelled", 0, 0.0)
+        )
+
     # -- inline ---------------------------------------------------------
     def _run_inline(self, jobs: Sequence[JobSpec]) -> Dict[str, JobOutcome]:
         outcomes: Dict[str, JobOutcome] = {}

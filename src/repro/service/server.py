@@ -1,24 +1,51 @@
-"""Minimal JSON-over-HTTP façade for the batch runtime (stdlib only).
+"""JSON-over-HTTP front door for the batch runtime (stdlib only).
 
-``repro serve`` exposes three endpoints on a
-:class:`http.server.ThreadingHTTPServer`:
+``repro serve`` exposes the batch runtime on a
+:class:`http.server.ThreadingHTTPServer` with both a synchronous and an
+asynchronous surface:
 
 ``GET /health``
-    Liveness probe — ``{"status": "ok", "batches": <count>}``.
+    Liveness probe — ``{"status": "ok", "batches": <count>, "queue":
+    {...}}``.
 ``GET /counters``
     The server-lifetime telemetry counters
     (:meth:`repro.service.telemetry.Telemetry.counters`).
 ``POST /batch``
     Body ``{"jobs": [...]}`` in the :mod:`repro.service.jobs` schema
-    (optional per-request ``max_retries`` / ``job_timeout`` overrides);
-    runs the batch synchronously and returns the
-    :meth:`~repro.service.runner.BatchReport.to_dict` report.
+    (optional validated ``max_retries`` / ``job_timeout`` overrides);
+    runs the batch synchronously **inline in the handler thread** and
+    returns the :meth:`~repro.service.runner.BatchReport.to_dict`
+    report.  Kept for compatibility and small interactive batches.
+``POST /jobs``
+    The asynchronous front door: validates the same payload shape
+    (``{"jobs": [...]}``, a bare job object, or ``{"job": {...}}``),
+    enqueues onto the bounded :class:`~repro.service.queue.JobQueue`
+    and returns ``202`` with one server-assigned ticket per job.  A
+    full queue answers ``503`` with a ``Retry-After`` header (never a
+    dropped connection); a client exceeding the token-bucket rate
+    limit answers ``429`` with ``Retry-After``.
+``GET /jobs/<ticket>``
+    Status/result polling — ``queued`` / ``running`` / terminal with
+    the full :class:`~repro.service.runner.JobOutcome`; terminal
+    records are also persisted to the content-addressed
+    :class:`~repro.service.store.ResultStore`, so polling survives
+    registry eviction.
+``GET /queue``
+    Queue depth, in-flight count, completions and rejections.
 
-Requests execute **inline** in the handler thread (``max_workers=0``) —
-the server is a thin remote-procedure surface for notebooks and smoke
-tests, not a scheduler; point heavy batches at ``repro batch`` and a
-real pool instead.  Handler threads are not the main thread, so the
-per-job alarm is skipped; rely on ``max_retries`` bounding instead.
+Hardening (every failure is a structured JSON error, never an
+unhandled exception in the handler thread):
+
+* ``Content-Length`` is validated — absent/negative/non-numeric bodies
+  answer ``400``, bodies over ``max_body_bytes`` answer ``413``, and
+  the server only ever reads the declared (bounded) length;
+* per-request ``max_retries`` / ``job_timeout`` overrides are
+  validated before any runner is built (``"abc"`` answers ``400``
+  instead of crashing the handler);
+* shared counters are guarded by ``ServiceServer.lock`` — concurrent
+  POSTs cannot lose increments;
+* ``server_close`` (and the SIGTERM handler installed by
+  :func:`serve`) drains queued and in-flight jobs before exit.
 
 ``build_server`` binds (port ``0`` picks a free port, for tests) and
 returns the server without starting it; call ``serve_forever`` on it.
@@ -27,64 +54,299 @@ returns the server without starting it; call ``serve_forever`` on it.
 from __future__ import annotations
 
 import json
+import math
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from repro.service.jobs import load_jobs_payload
+from repro.service.queue import JobQueue, QueueFull, RateLimited, RateLimiter
 from repro.service.runner import BatchRunner
+from repro.service.store import ResultStore
 from repro.service.telemetry import Telemetry
+
+#: Default request-body cap (8 MiB) — large enough for real model
+#: payloads, small enough that a flood cannot exhaust memory.
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class RequestError(ValueError):
+    """A request the server refuses; carries the HTTP status + code."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = int(status)
+        self.code = str(code)
+
+
+def validate_overrides(
+    payload: Dict,
+    default_max_retries: int,
+    default_job_timeout: Optional[float],
+) -> Tuple[int, Optional[float]]:
+    """Validated per-request runner overrides, or :class:`RequestError`.
+
+    ``max_retries`` must parse as a non-negative integer and
+    ``job_timeout`` as a positive finite number (or ``null``); anything
+    else — ``"abc"``, ``-1``, ``NaN`` — is a client error, answered
+    with a structured 400 instead of an exception in the handler
+    thread.
+    """
+    max_retries = payload.get("max_retries", default_max_retries)
+    try:
+        max_retries = int(max_retries)
+    except (TypeError, ValueError):
+        raise RequestError(
+            400,
+            "invalid-override",
+            f"max_retries must be an integer, got {max_retries!r}",
+        ) from None
+    if max_retries < 0:
+        raise RequestError(
+            400, "invalid-override", "max_retries must be >= 0"
+        )
+    job_timeout = payload.get("job_timeout", default_job_timeout)
+    if job_timeout is not None:
+        try:
+            job_timeout = float(job_timeout)
+        except (TypeError, ValueError):
+            raise RequestError(
+                400,
+                "invalid-override",
+                f"job_timeout must be a number, got {job_timeout!r}",
+            ) from None
+        if not math.isfinite(job_timeout) or job_timeout <= 0:
+            raise RequestError(
+                400,
+                "invalid-override",
+                "job_timeout must be a positive finite number",
+            )
+    return max_retries, job_timeout
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
-    """Routes /health, /counters and /batch (see module docstring)."""
+    """Routes the endpoints described in the module docstring."""
 
     # Quiet by default: per-request stderr noise is telemetry's job.
     def log_message(self, format, *args):  # noqa: A002 — stdlib signature
         pass
 
     # -- plumbing -------------------------------------------------------
-    def _send_json(self, status: int, payload: Dict) -> None:
+    def _send_json(
+        self, status: int, payload: Dict, headers: Optional[Dict] = None
+    ) -> None:
         body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_error(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        headers: Optional[Dict] = None,
+    ) -> None:
+        self._send_json(
+            status,
+            {"error": {"code": code, "message": message}},
+            headers=headers,
+        )
 
     @property
     def _service(self) -> "ServiceServer":
         return self.server  # type: ignore[return-value]
 
+    def _read_body(self) -> bytes:
+        """The request body, with the Content-Length fully validated.
+
+        Never trusts the header: absent, non-numeric or negative
+        lengths raise a 400 (a negative length would make
+        ``rfile.read`` consume until EOF and hang the handler), and
+        anything over the body cap raises 413 *before* a byte is read.
+        """
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            raise RequestError(
+                400, "missing-content-length", "Content-Length is required"
+            )
+        try:
+            length = int(raw)
+        except ValueError:
+            raise RequestError(
+                400,
+                "invalid-content-length",
+                f"Content-Length must be an integer, got {raw!r}",
+            ) from None
+        if length < 0:
+            raise RequestError(
+                400,
+                "invalid-content-length",
+                "Content-Length must be >= 0",
+            )
+        if length > self._service.max_body_bytes:
+            raise RequestError(
+                413,
+                "body-too-large",
+                f"body of {length} bytes exceeds the "
+                f"{self._service.max_body_bytes}-byte cap",
+            )
+        return self.rfile.read(length)
+
+    def _parse_payload(self) -> Dict:
+        body = self._read_body()
+        try:
+            payload = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise RequestError(
+                400, "invalid-json", f"body is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(payload, (dict, list)):
+            raise RequestError(
+                400, "invalid-payload", "body must be a JSON object or array"
+            )
+        return payload
+
+    def _client_key(self) -> str:
+        """Rate-limit key: explicit client id header, else peer address."""
+        explicit = self.headers.get("X-Client-Id")
+        if explicit:
+            return str(explicit)
+        return str(self.client_address[0])
+
     # -- routes ---------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
         if self.path == "/health":
+            with self._service.lock:
+                batches = self._service.batches_run
             self._send_json(
-                200, {"status": "ok", "batches": self._service.batches_run}
+                200,
+                {
+                    "status": "ok",
+                    "batches": batches,
+                    "queue": self._service.queue.stats(),
+                },
             )
         elif self.path == "/counters":
             self._send_json(200, self._service.telemetry.counters())
+        elif self.path == "/queue":
+            self._send_json(200, self._service.queue.stats())
+        elif self.path.startswith("/jobs/"):
+            ticket = self.path[len("/jobs/"):].split("?", 1)[0]
+            record = self._service.queue.snapshot(ticket)
+            if record is None:
+                self._send_error(
+                    404, "unknown-ticket", f"no job with ticket {ticket!r}"
+                )
+            else:
+                self._send_json(200, record)
         else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            self._send_error(
+                404, "unknown-path", f"unknown path {self.path!r}"
+            )
 
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
-        if self.path != "/batch":
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
-            return
         try:
-            length = int(self.headers.get("Content-Length", "0"))
-            payload = json.loads(self.rfile.read(length) or b"{}")
-            jobs = load_jobs_payload(payload)
+            if self.path == "/batch":
+                self._post_batch()
+            elif self.path == "/jobs":
+                self._post_jobs()
+            else:
+                self._send_error(
+                    404, "unknown-path", f"unknown path {self.path!r}"
+                )
+        except RequestError as exc:
+            self._send_error(exc.status, exc.code, str(exc))
         except (ValueError, KeyError, TypeError) as exc:
-            self._send_json(400, {"error": f"bad batch request: {exc}"})
-            return
-        runner = self._service.make_runner(payload)
+            # Job-payload validation (load_jobs_payload) errors.
+            self._send_error(400, "invalid-jobs", f"bad request: {exc}")
+
+    def _post_batch(self) -> None:
+        payload = self._parse_payload()
+        jobs = load_jobs_payload(payload)
+        overrides = payload if isinstance(payload, dict) else {}
+        max_retries, job_timeout = validate_overrides(
+            overrides,
+            self._service.default_max_retries,
+            self._service.default_job_timeout,
+        )
+        runner = self._service.make_runner(max_retries, job_timeout)
         report = runner.run(jobs)
-        self._service.batches_run += 1
+        self._service.record_batch()
         self._send_json(200, report.to_dict())
+
+    def _post_jobs(self) -> None:
+        payload = self._parse_payload()
+        # Accept {"jobs": [...]}, {"job": {...}} or a bare job object.
+        if isinstance(payload, dict) and "job" in payload:
+            shaped: object = {"jobs": [payload["job"]], **{
+                key: value
+                for key, value in payload.items()
+                if key in ("max_retries", "job_timeout")
+            }}
+        elif isinstance(payload, dict) and "kind" in payload:
+            shaped = {"jobs": [payload]}
+        else:
+            shaped = payload
+        jobs = load_jobs_payload(shaped)
+        overrides = shaped if isinstance(shaped, dict) else {}
+        max_retries, job_timeout = validate_overrides(
+            overrides, self._service.default_max_retries,
+            self._service.default_job_timeout,
+        )
+        limiter = self._service.rate_limiter
+        if limiter is not None:
+            try:
+                limiter.check(self._client_key())
+            except RateLimited as exc:
+                self._service.queue.note_rejected("rate-limited", len(jobs))
+                self._send_error(
+                    429,
+                    "rate-limited",
+                    str(exc),
+                    headers={"Retry-After": max(1, int(exc.retry_after))},
+                )
+                return
+        try:
+            admitted = self._service.queue.submit_many(
+                jobs, max_retries=max_retries, job_timeout=job_timeout
+            )
+        except QueueFull as exc:
+            self._send_error(
+                503,
+                "queue-full",
+                str(exc),
+                headers={"Retry-After": max(1, int(exc.retry_after))},
+            )
+            return
+        self._send_json(
+            202,
+            {
+                "accepted": [
+                    {
+                        "ticket": record.ticket,
+                        "job_id": record.spec.job_id,
+                        "status_url": f"/jobs/{record.ticket}",
+                    }
+                    for record in admitted
+                ],
+                "queue": self._service.queue.stats(),
+            },
+        )
 
 
 class ServiceServer(ThreadingHTTPServer):
-    """A ``ThreadingHTTPServer`` carrying the service state."""
+    """A ``ThreadingHTTPServer`` carrying the service state.
+
+    Handler threads share this object; every mutable counter on it is
+    guarded by :attr:`lock` (the queue has its own internal lock with
+    the same discipline).
+    """
 
     daemon_threads = True
 
@@ -95,26 +357,74 @@ class ServiceServer(ThreadingHTTPServer):
         store_dir: Optional[str] = None,
         default_max_retries: int = 2,
         default_job_timeout: Optional[float] = None,
+        queue_size: int = 64,
+        queue_workers: int = 2,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[float] = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        drain_timeout: float = 30.0,
     ):
         super().__init__(address, ServiceHandler)
         self.telemetry = telemetry
         self.store_dir = store_dir
         self.default_max_retries = default_max_retries
         self.default_job_timeout = default_job_timeout
+        self.max_body_bytes = int(max_body_bytes)
+        self.drain_timeout = float(drain_timeout)
+        self.lock = threading.Lock()
         self.batches_run = 0
+        self.store = (
+            ResultStore(store_dir) if store_dir is not None else None
+        )
+        self.queue = JobQueue(
+            runner_factory=self._queue_runner,
+            capacity=queue_size,
+            workers=queue_workers,
+            telemetry=telemetry,
+            store=self.store,
+        )
+        self.rate_limiter = (
+            RateLimiter(rate_limit, burst=rate_burst)
+            if rate_limit is not None
+            else None
+        )
+        self._closed = False
 
-    def make_runner(self, request: Dict) -> BatchRunner:
-        """An inline runner honouring per-request overrides."""
-        overrides = request if isinstance(request, dict) else {}
+    def _queue_runner(self) -> BatchRunner:
+        """A fresh inline runner for one queue worker thread."""
         return BatchRunner(
             max_workers=0,
             store_dir=self.store_dir,
             telemetry=self.telemetry,
-            job_timeout=overrides.get("job_timeout", self.default_job_timeout),
-            max_retries=int(
-                overrides.get("max_retries", self.default_max_retries)
-            ),
+            job_timeout=self.default_job_timeout,
+            max_retries=self.default_max_retries,
         )
+
+    def make_runner(
+        self, max_retries: int, job_timeout: Optional[float]
+    ) -> BatchRunner:
+        """An inline runner honouring validated per-request overrides."""
+        return BatchRunner(
+            max_workers=0,
+            store_dir=self.store_dir,
+            telemetry=self.telemetry,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+        )
+
+    def record_batch(self) -> None:
+        """Count one served batch (thread-safe)."""
+        with self.lock:
+            self.batches_run += 1
+
+    def server_close(self) -> None:
+        """Drain the queue, then release the socket (idempotent)."""
+        with self.lock:
+            already = self._closed
+            self._closed = True
+        if not already:
+            self.queue.close(drain=True, timeout=self.drain_timeout)
+        super().server_close()
 
 
 def build_server(
@@ -124,6 +434,12 @@ def build_server(
     telemetry: Optional[Telemetry] = None,
     max_retries: int = 2,
     job_timeout: Optional[float] = None,
+    queue_size: int = 64,
+    queue_workers: int = 2,
+    rate_limit: Optional[float] = None,
+    rate_burst: Optional[float] = None,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    drain_timeout: float = 30.0,
 ) -> ServiceServer:
     """Bind the service (``port=0`` → ephemeral); caller serves/closes."""
     return ServiceServer(
@@ -132,6 +448,12 @@ def build_server(
         store_dir=store_dir,
         default_max_retries=max_retries,
         default_job_timeout=job_timeout,
+        queue_size=queue_size,
+        queue_workers=queue_workers,
+        rate_limit=rate_limit,
+        rate_burst=rate_burst,
+        max_body_bytes=max_body_bytes,
+        drain_timeout=drain_timeout,
     )
 
 
@@ -140,14 +462,36 @@ def serve(
     port: int = 8765,
     store_dir: Optional[str] = None,
     telemetry: Optional[Telemetry] = None,
+    **server_kwargs,
 ) -> None:
-    """Blocking entry point used by ``repro serve``."""
+    """Blocking entry point used by ``repro serve``.
+
+    Installs a SIGTERM handler (when running on the main thread) that
+    stops the accept loop; ``server_close`` then drains queued and
+    in-flight jobs before the process exits.
+    """
     server = build_server(
-        host=host, port=port, store_dir=store_dir, telemetry=telemetry
+        host=host,
+        port=port,
+        store_dir=store_dir,
+        telemetry=telemetry,
+        **server_kwargs,
     )
+
+    def on_sigterm(_signum, _frame):
+        # shutdown() must not run on the serve_forever thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, on_sigterm)
+    except ValueError:
+        pass  # not on the main thread (embedded use); skip the handler
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.server_close()
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)

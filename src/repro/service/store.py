@@ -105,7 +105,13 @@ class ResultStore:
                     pass
 
     def __contains__(self, key: object) -> bool:
-        return self._path(key).exists()
+        """Whether ``get(key)`` would hit.
+
+        Delegates to :meth:`get` so membership agrees with retrieval —
+        a corrupt or version-skewed pickle on disk is *not* "present"
+        (``get`` would miss it), and the read counters see the probe.
+        """
+        return self.get(key) is not None
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.pkl"))

@@ -41,6 +41,13 @@ SUMMED_FIELDS = (
     "kernel_evaluations",
     "robust_vi_iterations",
     "robust_fallbacks",
+    # Async front door (repro.service.queue): depth observed at each
+    # enqueue (average depth = queue_depth / job_enqueued), queued
+    # milliseconds observed at each dequeue, and admission rejections
+    # (queue full / rate limited).
+    "queue_depth",
+    "queue_wait",
+    "jobs_rejected",
 )
 
 

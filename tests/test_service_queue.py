@@ -1,0 +1,251 @@
+"""Unit tests for the bounded async job queue and rate limiter."""
+
+import threading
+import time
+
+import pytest
+
+from repro.mdp import chain_dtmc
+from repro.service import (
+    BatchRunner,
+    CheckJob,
+    JobQueue,
+    QueueFull,
+    RateLimited,
+    RateLimiter,
+    Telemetry,
+    TokenBucket,
+)
+
+pytestmark = pytest.mark.service
+
+
+def check_job(job_id: str, n: int = 4) -> CheckJob:
+    return CheckJob.for_model(
+        job_id, chain_dtmc(n, forward_probability=0.5), 'P>=0.2 [ F "goal" ]'
+    )
+
+
+def make_queue(telemetry=None, **kwargs):
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    return JobQueue(
+        runner_factory=lambda: BatchRunner(
+            max_workers=0, telemetry=telemetry, max_retries=0
+        ),
+        telemetry=telemetry,
+        **kwargs,
+    )
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        times = iter([0.0] * 10)
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=lambda: next(times))
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(1.0)
+
+    def test_refill_over_time(self):
+        times = iter([0.0, 0.0, 0.0, 5.0])  # init + three acquires
+        bucket = TokenBucket(rate=0.5, burst=1.0, clock=lambda: next(times))
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+        assert bucket.try_acquire() == 0.0  # 5s later: refilled
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=-1.0)
+
+
+class TestRateLimiter:
+    def test_per_client_buckets_are_independent(self):
+        clock = lambda: 0.0  # noqa: E731 — frozen clock
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock)
+        limiter.check("alice")
+        limiter.check("bob")  # bob has his own bucket
+        with pytest.raises(RateLimited) as excinfo:
+            limiter.check("alice")
+        assert excinfo.value.retry_after >= 1.0
+
+    def test_prunes_idle_clients(self):
+        limiter = RateLimiter(rate=100.0, burst=100.0, max_clients=4)
+        for i in range(32):
+            limiter.check(f"client-{i}")
+        assert len(limiter._buckets) <= 4
+
+
+class TestJobQueue:
+    def test_submit_runs_to_completion(self):
+        queue = make_queue(capacity=8, workers=2)
+        try:
+            record = queue.submit(check_job("q1"))
+            assert record.ticket.startswith("job-")
+            assert queue.join(timeout=30)
+            snap = queue.snapshot(record.ticket)
+            assert snap["status"] == "succeeded"
+            assert snap["outcome"]["result"]["holds"] is True
+            assert snap["queue_wait"] >= 0.0
+        finally:
+            queue.close()
+
+    def test_full_queue_raises_with_retry_after(self):
+        # A runner gated on a lock keeps the single worker busy, so the
+        # queue cannot drain while we fill it.
+        gate = threading.Lock()
+        gate.acquire()
+
+        class GatedRunner(BatchRunner):
+            def run_one(self, job):
+                with gate:
+                    pass
+                return super().run_one(job)
+
+        telemetry = Telemetry()
+        queue = JobQueue(
+            runner_factory=lambda: GatedRunner(
+                max_workers=0, telemetry=telemetry, max_retries=0
+            ),
+            capacity=2,
+            workers=1,
+            telemetry=telemetry,
+        )
+        try:
+            queue.submit(check_job("blocker"))
+            # Wait until the worker picked the blocker up.
+            deadline = time.monotonic() + 10
+            while queue.stats()["in_flight"] == 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            queue.submit(check_job("q1"))
+            queue.submit(check_job("q2"))
+            with pytest.raises(QueueFull) as excinfo:
+                queue.submit(check_job("q3"))
+            assert excinfo.value.retry_after >= 1.0
+            assert queue.stats()["rejected"] == {"queue-full": 1}
+            assert telemetry.counters()["jobs_rejected"] == 1
+        finally:
+            gate.release()
+            queue.close()
+
+    def test_submit_many_is_atomic(self):
+        queue = make_queue(capacity=3, workers=1)
+        try:
+            with pytest.raises(QueueFull):
+                queue.submit_many([check_job(f"q{i}") for i in range(4)])
+            # Nothing admitted: the batch did not fit.
+            assert queue.stats()["submitted"] == 0
+        finally:
+            queue.close()
+
+    def test_close_drains_queued_jobs(self):
+        queue = make_queue(capacity=32, workers=1)
+        records = queue.submit_many([check_job(f"d{i}") for i in range(8)])
+        queue.close(drain=True, timeout=60)
+        statuses = {
+            queue.snapshot(record.ticket)["status"] for record in records
+        }
+        assert statuses == {"succeeded"}
+        assert queue.stats()["completed"] == 8
+
+    def test_close_without_drain_cancels_queued(self):
+        gate = threading.Lock()
+        gate.acquire()
+
+        class GatedRunner(BatchRunner):
+            def run_one(self, job):
+                with gate:
+                    pass
+                return super().run_one(job)
+
+        telemetry = Telemetry()
+        queue = JobQueue(
+            runner_factory=lambda: GatedRunner(
+                max_workers=0, telemetry=telemetry, max_retries=0
+            ),
+            capacity=32,
+            workers=1,
+            telemetry=telemetry,
+        )
+        queue.submit(check_job("blocker"))
+        deadline = time.monotonic() + 10
+        while queue.stats()["in_flight"] == 0:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        queued = queue.submit_many([check_job(f"c{i}") for i in range(4)])
+        closer = threading.Thread(
+            target=lambda: queue.close(drain=False, timeout=30)
+        )
+        closer.start()
+        gate.release()
+        closer.join(timeout=30)
+        assert not closer.is_alive()
+        for record in queued:
+            assert queue.snapshot(record.ticket)["status"] == "cancelled"
+        assert queue.stats()["cancelled"] == 4
+
+    def test_closed_queue_rejects_submissions(self):
+        queue = make_queue(capacity=4, workers=1)
+        queue.close()
+        with pytest.raises(QueueFull):
+            queue.submit(check_job("late"))
+
+    def test_telemetry_queue_counters(self):
+        telemetry = Telemetry()
+        queue = make_queue(telemetry=telemetry, capacity=16, workers=1)
+        try:
+            queue.submit_many([check_job(f"t{i}") for i in range(3)])
+            assert queue.join(timeout=30)
+        finally:
+            queue.close()
+        counters = telemetry.counters()
+        assert counters["job_enqueued"] == 3
+        assert counters["job_dequeued"] == 3
+        # Depths observed at enqueue time: 1 + 2 + 3 at worst, >= 3.
+        assert counters["queue_depth"] >= 3
+        assert counters["queue_wait"] >= 0
+
+    def test_registry_eviction_falls_back_to_store(self, tmp_path):
+        from repro.service import ResultStore
+
+        store = ResultStore(tmp_path)
+        telemetry = Telemetry()
+        queue = JobQueue(
+            runner_factory=lambda: BatchRunner(
+                max_workers=0, telemetry=telemetry, max_retries=0
+            ),
+            capacity=32,
+            workers=1,
+            telemetry=telemetry,
+            store=store,
+            registry_limit=2,
+        )
+        try:
+            records = queue.submit_many([check_job(f"e{i}") for i in range(6)])
+            assert queue.join(timeout=60)
+            # Every ticket stays pollable even after registry eviction.
+            for record in records:
+                snap = queue.snapshot(record.ticket)
+                assert snap is not None
+                assert snap["status"] == "succeeded"
+            assert len(queue._jobs) <= 2
+        finally:
+            queue.close()
+
+    def test_per_job_override_applies(self):
+        queue = make_queue(capacity=8, workers=1)
+        try:
+            bad = CheckJob.for_model(
+                "bad",
+                chain_dtmc(4, forward_probability=0.5),
+                "this is not PCTL",
+            )
+            record = queue.submit(bad, max_retries=0)
+            assert queue.join(timeout=30)
+            snap = queue.snapshot(record.ticket)
+            assert snap["status"] == "failed-after-retries"
+            assert snap["outcome"]["attempts"] == 1
+        finally:
+            queue.close()

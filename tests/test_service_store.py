@@ -43,6 +43,20 @@ class TestResultStore:
         path.write_bytes(b"not a pickle")
         assert store.get("k") is None
 
+    def test_membership_agrees_with_get_on_corrupt_entry(self, tmp_path):
+        # A corrupt pickle sits on disk but get() treats it as a miss;
+        # `in` must agree (and go through the read counters), or
+        # membership probes would promise values get() cannot deliver.
+        store = ResultStore(tmp_path)
+        store.put("k", [1, 2, 3])
+        assert "k" in store
+        store._path("k").write_bytes(b"not a pickle")
+        reads_before = store.reads
+        assert "k" not in store
+        assert store.get("k") is None
+        assert store.reads == reads_before + 2
+        assert store.read_hits == 1  # only the pre-corruption probe hit
+
     def test_unpicklable_value_skipped(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put("k", lambda: None)  # locals cannot pickle
