@@ -1,0 +1,225 @@
+"""CEGIS repair vs one global elimination on the monitored-delivery WSN.
+
+The scaling scenario (``wsn.monitored_repair_problem``) grows the
+repair dimension with the grid area — one interference knob per
+mains-powered node — while the violating evidence stays a thin corridor
+through the monitor gap.  The global path must eliminate the full
+parametric chain before it can solve anything, so its wall clock
+explodes with the variable count; the CEGIS loop only ever eliminates
+the corridor and keeps going at least one size class beyond the largest
+instance the global elimination can finish inside its budget.
+
+Sections written to ``BENCH_cegis_repair.json``:
+
+- ``variables_vs_wallclock``: the headline curve — per-size rows for
+  both arms (variables, seconds, status, objective), the global-probe
+  row at the largest CEGIS size, and the objective agreement on every
+  common size.
+- ``paper_scale_verdicts``: CEGIS must reproduce the global verdicts on
+  the paper's 3×3 attempts-bound instances (X = 100 / 40 / 19).
+"""
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+from conftest import report
+
+from repro.casestudies import wsn
+from repro.core.api import check_model
+from repro.repair.cegis import CegisRepair
+
+RESULTS_PATH = Path(__file__).with_name("BENCH_cegis_repair.json")
+
+#: Tighten clean deliveries to a fifth of the nominal value.
+BOUND_RATIO = 0.2
+#: Evidence budget for the larger grids (paths stay cheap on the DAG).
+MAX_EXPANSIONS = 400_000
+#: Wall-clock budget for the global-elimination probe at the largest
+#: CEGIS size; past it the probe is recorded as a timeout.
+GLOBAL_PROBE_BUDGET = 120.0
+
+
+def save_results(section: str, rows) -> None:
+    data = json.loads(RESULTS_PATH.read_text()) if RESULTS_PATH.exists() else {}
+    data[section] = rows
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def monitored_bound(size: int) -> float:
+    chain = wsn.build_monitored_chain(size=size)
+    nominal = check_model(
+        chain, wsn.clean_delivery_property(1.0), engine="sparse"
+    ).value
+    return round(BOUND_RATIO * nominal, 6)
+
+
+def global_probe(size: int, bound: float, budget: float) -> dict:
+    """Run the global elimination in a subprocess with a hard timeout."""
+    script = (
+        "import time\n"
+        "from repro.casestudies import wsn\n"
+        f"base = wsn.monitored_repair_problem(bound={bound!r}, size={size})\n"
+        "start = time.perf_counter()\n"
+        "result = base.repair(seed=0)\n"
+        "print(f'{result.status} {time.perf_counter() - start:.3f}')\n"
+    )
+    try:
+        probe = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=budget,
+        )
+    except subprocess.TimeoutExpired:
+        return {"status": f"timeout(>{budget:.0f}s)", "seconds": budget}
+    status, seconds = probe.stdout.split()
+    return {"status": status, "seconds": float(seconds)}
+
+
+def test_variables_vs_wallclock(benchmark, quick_bench):
+    """The headline curve: elimination cost vs corridor cost."""
+    global_sizes = [3, 4, 5] if quick_bench else [3, 4, 5, 6, 7]
+    cegis_sizes = [3, 4, 5, 6] if quick_bench else [3, 4, 5, 6, 7, 8]
+    extra_starts = 2 if quick_bench else 8
+    bounds = {size: monitored_bound(size) for size in cegis_sizes}
+
+    def sweep():
+        curve = {"global": [], "cegis": []}
+        for size in global_sizes:
+            base = wsn.monitored_repair_problem(bound=bounds[size], size=size)
+            seconds, result = timed(
+                lambda: base.repair(extra_starts=extra_starts, seed=0)
+            )
+            curve["global"].append(
+                {
+                    "size": size,
+                    "variables": len(base.variables),
+                    "status": result.status,
+                    "verified": result.verified,
+                    "objective": result.objective_value,
+                    "seconds": round(seconds, 4),
+                }
+            )
+        for size in cegis_sizes:
+            base = wsn.monitored_repair_problem(bound=bounds[size], size=size)
+            loop = CegisRepair(base, max_expansions=MAX_EXPANSIONS)
+            seconds, result = timed(
+                lambda: loop.repair(extra_starts=extra_starts, seed=0)
+            )
+            curve["cegis"].append(
+                {
+                    "size": size,
+                    "variables": len(base.variables),
+                    "status": result.status,
+                    "verified": result.verified,
+                    "objective": result.objective_value,
+                    "seconds": round(seconds, 4),
+                    "iterations": result.iterations,
+                    "constraints_added": result.constraints_added,
+                    "fallbacks": result.fallbacks,
+                    "counterexample_states": result.counterexample_states,
+                }
+            )
+        return curve
+
+    curve = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Every instance on both arms repairs and re-verifies concretely.
+    for arm in ("global", "cegis"):
+        for row in curve[arm]:
+            assert row["status"] == "repaired", (arm, row)
+            assert row["verified"], (arm, row)
+    # The loop localizes on this scenario — no global fallbacks.
+    assert all(row["fallbacks"] == 0 for row in curve["cegis"])
+
+    # Identical verdicts and matching objectives on every common size.
+    global_by_size = {row["size"]: row for row in curve["global"]}
+    for row in curve["cegis"]:
+        twin = global_by_size.get(row["size"])
+        if twin is None:
+            continue
+        assert row["objective"] == pytest.approx(
+            twin["objective"], rel=1e-4
+        ), row["size"]
+
+    # CEGIS extends the ladder at least one size class beyond the
+    # largest instance the global arm runs at.
+    assert max(r["size"] for r in curve["cegis"]) > max(
+        r["size"] for r in curve["global"]
+    )
+
+    largest = curve["cegis"][-1]
+    probe = None
+    if not quick_bench:
+        # The control at the largest CEGIS size: the global elimination
+        # either times out or loses outright.
+        probe = global_probe(
+            largest["size"], bounds[largest["size"]], GLOBAL_PROBE_BUDGET
+        )
+        assert largest["seconds"] < probe["seconds"], (largest, probe)
+
+    section = {
+        "bound_ratio": BOUND_RATIO,
+        "curve": curve,
+        "largest_cegis": largest,
+        "global_probe_at_largest": probe,
+    }
+    save_results("variables_vs_wallclock", section)
+    report(
+        benchmark,
+        {
+            "global_sizes": [r["size"] for r in curve["global"]],
+            "cegis_sizes": [r["size"] for r in curve["cegis"]],
+            "global_seconds": [r["seconds"] for r in curve["global"]],
+            "cegis_seconds": [r["seconds"] for r in curve["cegis"]],
+            "variables": [r["variables"] for r in curve["cegis"]],
+            "largest_cegis_seconds": largest["seconds"],
+            "global_probe": probe["status"] if probe else "skipped(quick)",
+        },
+    )
+
+
+def test_paper_scale_verdicts(benchmark, quick_bench):
+    """CEGIS agrees with the global path on the paper's 3×3 cases."""
+    extra_starts = 2 if quick_bench else 8
+    scenarios = {
+        "X=100": (100.0, "already_satisfied"),
+        "X=40": (40.0, "repaired"),
+        "X=19": (19.0, "infeasible"),
+    }
+
+    def sweep():
+        results = {}
+        for name, (bound, _expected) in scenarios.items():
+            nominal = wsn.model_repair_problem(bound).repair(
+                extra_starts=extra_starts, seed=0
+            )
+            cegis = CegisRepair(wsn.model_repair_problem(bound)).repair(
+                extra_starts=extra_starts, seed=0
+            )
+            results[name] = (nominal, cegis)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = {}
+    for name, (bound, expected) in scenarios.items():
+        nominal, cegis = results[name]
+        assert nominal.status == expected, name
+        assert cegis.status == expected, name
+        assert cegis.feasible == nominal.feasible, name
+        if expected == "repaired":
+            assert cegis.verified
+        rows[f"{name}_global"] = nominal.status
+        rows[f"{name}_cegis"] = cegis.status
+    save_results("paper_scale_verdicts", rows)
+    report(benchmark, rows)

@@ -239,6 +239,214 @@ def model_repair_problem(
 
 
 # ----------------------------------------------------------------------
+# Monitored delivery (CEGIS scaling scenario)
+# ----------------------------------------------------------------------
+#: The scaling scenario swaps uniform peer-to-peer routing for
+#: *directed* routing: each holder forwards to a uniformly random
+#: neighbour closer to the station (up or left) and a failed forward
+#: drops the message (absorbing ``lost`` node) instead of retrying.
+#: The chain is then a DAG, so strongest-evidence enumeration is exact
+#: and cheap.  A monitor row watches the grid one row below the
+#: stations, with a single unwatched gap column: a query only counts as
+#: *cleanly* delivered when it reaches ``n11`` without ever being held
+#: by a monitored node, so every clean route squeezes through the gap —
+#: evidence corridors stay a thin slice of the grid, which is exactly
+#: the regime counterexample-guided repair exploits.
+MONITOR_ROW = 2
+GAP_COLUMN = 1
+MONITORED_FORWARD_PROBABILITY = 0.98
+MONITORED_IGNORE = 0.04
+LOST_NODE = "lost"
+
+
+def monitored_nodes(
+    size: int = GRID_SIZE,
+    monitor_row: int = MONITOR_ROW,
+    gap_column: int = GAP_COLUMN,
+) -> List[str]:
+    """The watched nodes: row ``monitor_row`` minus the gap column."""
+    return [
+        node_name(monitor_row, col)
+        for col in range(1, size + 1)
+        if col != gap_column
+    ]
+
+
+def forward_neighbours(node: str, size: int = GRID_SIZE) -> List[str]:
+    """The neighbours strictly closer to the station: up and left."""
+    row, col = _node_coords(node)
+    closer = []
+    if row > 1:
+        closer.append(node_name(row - 1, col))
+    if col > 1:
+        closer.append(node_name(row, col - 1))
+    return closer
+
+
+def interference_parameter(node: str) -> str:
+    """The repair variable name for one node's interference knob."""
+    return f"c_{node}"
+
+
+def jammable(node: str) -> bool:
+    """Whether a node can host an interference knob.
+
+    Only even-parity cells are mains-powered, so only they can run a
+    jammer; the station itself is never jammed.  Because every forward
+    hop (up or left) flips the parity of ``row + col``, a routing path
+    meets knobs on exactly every other hop — the knob count of any
+    single evidence corridor grows with *half* its path length, which
+    is what keeps the localized eliminations cheap while the total
+    variable count still grows with the grid area.
+    """
+    if node == STATION_NODE:
+        return False
+    row, col = _node_coords(node)
+    return (row + col) % 2 == 0
+
+
+def jammable_nodes(size: int = GRID_SIZE) -> List[str]:
+    """The nodes carrying interference knobs, in grid order."""
+    return [node for node in grid_nodes(size) if jammable(node)]
+
+
+def _directed_rows(ignore: Mapping[str, object], forward_probability, size):
+    """Directed-routing rows: forward or drop, never retry.
+
+    From holder ``u`` the message moves to forward neighbour ``v`` with
+    probability ``(1/|fwd(u)|) · f · (1 − ignore(v))``; the remaining
+    mass is dropped into the absorbing ``lost`` node.
+    """
+    rows: Dict[str, Dict[str, object]] = {
+        STATION_NODE: {STATION_NODE: 1.0},
+        LOST_NODE: {LOST_NODE: 1.0},
+    }
+    for node in grid_nodes(size):
+        if node == STATION_NODE:
+            continue
+        targets = forward_neighbours(node, size)
+        share = 1.0 / len(targets)
+        row: Dict[str, object] = {}
+        dropped = 1.0
+        for target in targets:
+            move = share * forward_probability * (1.0 - ignore[target])
+            row[target] = move
+            dropped = dropped - move
+        row[LOST_NODE] = dropped
+        rows[node] = row
+    return rows
+
+
+def _monitored_labels(size, monitor_row, gap_column) -> Dict[str, set]:
+    watched = set(monitored_nodes(size, monitor_row, gap_column))
+    labels: Dict[str, set] = {STATION_NODE: {"delivered"}}
+    for node in grid_nodes(size):
+        if node != STATION_NODE and node not in watched:
+            labels[node] = {"clean"}
+    return labels
+
+
+def build_monitored_chain(
+    size: int = GRID_SIZE,
+    forward_probability: float = MONITORED_FORWARD_PROBABILITY,
+    ignore: float = MONITORED_IGNORE,
+    monitor_row: int = MONITOR_ROW,
+    gap_column: int = GAP_COLUMN,
+) -> DTMC:
+    """The directed-routing chain for the monitored-delivery property.
+
+    Labels mark ``n11`` as ``delivered`` and every other unwatched node
+    as ``clean``, so
+
+        ``P <= b [ clean U delivered ]``
+
+    bounds the probability of a delivery that dodges every monitor.
+    """
+    ignore_map = {node: ignore for node in grid_nodes(size)}
+    rows = _directed_rows(ignore_map, forward_probability, size)
+    return DTMC(
+        states=grid_nodes(size) + [LOST_NODE],
+        transitions={
+            s: {t: float(p) for t, p in row.items()} for s, row in rows.items()
+        },
+        initial_state=node_name(size, size),
+        labels=_monitored_labels(size, monitor_row, gap_column),
+    )
+
+
+def clean_delivery_property(bound: float) -> StateFormula:
+    """``P <= bound [ clean U delivered ]``."""
+    return parse_pctl(f'P<={bound} [ "clean" U "delivered" ]')
+
+
+def build_monitored_parametric(
+    size: int = GRID_SIZE,
+    forward_probability: float = MONITORED_FORWARD_PROBABILITY,
+    ignore: float = MONITORED_IGNORE,
+    monitor_row: int = MONITOR_ROW,
+    gap_column: int = GAP_COLUMN,
+) -> ParametricDTMC:
+    """Per-node interference repair of the monitored-delivery chain.
+
+    Every :func:`jammable` grid node ``v`` gets its own knob ``c_v``
+    *raising* its ignore probability (jamming traffic into ``v``), so
+    repair can suppress clean deliveries node by node.  One variable
+    per mains-powered node means the problem dimension grows with the
+    grid area (4 at the paper's 3×3, 31 at 8×8) — the regime where the
+    global elimination gives out — while any *single* localized
+    constraint only mentions the knobs on its evidence corridor, every
+    other hop of each path (a failed forward is dropped, so no row
+    mixes in the knobs of off-corridor neighbours).
+    """
+    ignore_map = {
+        node: (
+            Polynomial.constant(ignore)
+            + Polynomial.variable(interference_parameter(node))
+            if jammable(node)
+            else Polynomial.constant(ignore)
+        )
+        for node in grid_nodes(size)
+    }
+    rows = _directed_rows(
+        ignore_map, Polynomial.constant(forward_probability), size
+    )
+    return ParametricDTMC(
+        states=grid_nodes(size) + [LOST_NODE],
+        transitions=rows,
+        initial_state=node_name(size, size),
+        labels=_monitored_labels(size, monitor_row, gap_column),
+    )
+
+
+def monitored_repair_problem(
+    bound: float,
+    size: int = GRID_SIZE,
+    max_interference: float = 0.9,
+    forward_probability: float = MONITORED_FORWARD_PROBABILITY,
+    ignore: float = MONITORED_IGNORE,
+) -> ModelRepair:
+    """Suppress clean deliveries below ``bound`` at minimum interference.
+
+    One ``c_v ∈ [0, max_interference]`` per :func:`jammable` grid node;
+    the variable count grows with the grid area (4 at the paper's 3×3,
+    31 at 8×8), which is what the CEGIS scaling bench sweeps.
+    """
+    chain = build_monitored_chain(size, forward_probability, ignore)
+    parametric = build_monitored_parametric(size, forward_probability, ignore)
+    variables = [
+        Variable(interference_parameter(node), 0.0, max_interference,
+                 initial=0.0)
+        for node in jammable_nodes(size)
+    ]
+    return ModelRepair.from_parametric(
+        chain=chain,
+        formula=clean_delivery_property(bound),
+        parametric_model=parametric,
+        variables=variables,
+    )
+
+
+# ----------------------------------------------------------------------
 # Data Repair (Section V-A.2)
 # ----------------------------------------------------------------------
 GROUP_FORWARD_SUCCESS = "forward-success"

@@ -45,9 +45,16 @@ from repro.checking.parametric import (
     ParametricConstraint,
     ParametricDTMC,
     parametric_constraint,
+    restricted_constraint,
+    restricted_model,
 )
 from repro.checking.result import ModelCheckingResult
-from repro.checking.counterexample import Counterexample, counterexample, strongest_evidence_paths
+from repro.checking.counterexample import (
+    Counterexample,
+    EvidenceSearch,
+    counterexample,
+    strongest_evidence_paths,
+)
 from repro.checking.steady_state import (
     long_run_average_reward,
     long_run_distribution,
@@ -80,11 +87,14 @@ __all__ = [
     "ParametricDTMC",
     "ParametricConstraint",
     "parametric_constraint",
+    "restricted_constraint",
+    "restricted_model",
     "ModelCheckingResult",
     "StatisticalModelChecker",
     "SMCResult",
     "chernoff_sample_size",
     "Counterexample",
+    "EvidenceSearch",
     "counterexample",
     "strongest_evidence_paths",
     "long_run_distribution",

@@ -8,14 +8,23 @@ non-increasing probability order, so collecting them greedily yields a
 minimal-cardinality evidence set.
 
 Repair workflows use this to show *which* behaviours make a learned
-model untrustworthy before deciding what to perturb.
+model untrustworthy before deciding what to perturb; the CEGIS loop
+(:mod:`repro.repair.cegis`) additionally uses the touched states to
+restrict parametric elimination to the violating subchain.
+
+Budget semantics: both searches charge the expansion budget only when a
+prefix is *expanded* (its successors pushed).  Paths that already end in
+a target are free to collect, so when the budget fires mid-search the
+heap is still drained of every finished path before reporting — the
+evidence mass is never silently under-reported by paths the search had
+already found but not yet popped.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.checking.graph import backward_reachable
 from repro.checking.parametric import label_satisfaction_set
@@ -40,6 +49,10 @@ class Counterexample:
     complete:
         Whether enough mass was collected to exceed the bound (the
         search budget can cut collection short on stiff models).
+    expansions / max_expansions / max_paths:
+        Search-effort diagnostics: prefixes expanded versus the budget,
+        and the path-count cap, so callers can tell *why* an incomplete
+        evidence set stopped growing.
     """
 
     def __init__(
@@ -48,16 +61,51 @@ class Counterexample:
         probabilities: List[float],
         bound: float,
         complete: bool,
+        expansions: int = 0,
+        max_expansions: int = 0,
+        max_paths: int = 0,
     ):
         self.paths = paths
         self.probabilities = probabilities
         self.bound = bound
         self.complete = complete
+        self.expansions = expansions
+        self.max_expansions = max_expansions
+        self.max_paths = max_paths
 
     @property
     def total_probability(self) -> float:
         """Accumulated probability mass of the evidence paths."""
         return float(sum(self.probabilities))
+
+    def touched_states(self) -> Set[State]:
+        """Every state on any evidence path."""
+        return {state for path in self.paths for state in path}
+
+    def to_dict(self) -> Dict:
+        """JSON-ready payload; inverse of :meth:`from_dict`."""
+        return {
+            "paths": [list(path) for path in self.paths],
+            "probabilities": [float(p) for p in self.probabilities],
+            "bound": float(self.bound),
+            "complete": bool(self.complete),
+            "total_probability": self.total_probability,
+            "expansions": int(self.expansions),
+            "max_expansions": int(self.max_expansions),
+            "max_paths": int(self.max_paths),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Counterexample":
+        return cls(
+            paths=[tuple(path) for path in payload["paths"]],
+            probabilities=[float(p) for p in payload["probabilities"]],
+            bound=float(payload["bound"]),
+            complete=bool(payload["complete"]),
+            expansions=int(payload.get("expansions", 0)),
+            max_expansions=int(payload.get("max_expansions", 0)),
+            max_paths=int(payload.get("max_paths", 0)),
+        )
 
     def __len__(self) -> int:
         return len(self.paths)
@@ -70,17 +118,54 @@ class Counterexample:
         )
 
 
+class EvidenceSearch(List[Tuple[Tuple[State, ...], float]]):
+    """Result of :func:`strongest_evidence_paths`.
+
+    A plain list of ``(path, probability)`` pairs (existing callers
+    index and iterate it unchanged) carrying the search diagnostics:
+    ``complete`` is ``False`` exactly when the expansion budget cut
+    collection short of the requested count, in which case
+    ``total_probability`` is the partial mass actually enumerated.
+    """
+
+    def __init__(
+        self,
+        pairs: Sequence[Tuple[Tuple[State, ...], float]] = (),
+        complete: bool = True,
+        expansions: int = 0,
+        max_expansions: int = 0,
+    ):
+        super().__init__(pairs)
+        self.complete = complete
+        self.expansions = expansions
+        self.max_expansions = max_expansions
+
+    @property
+    def total_probability(self) -> float:
+        """Probability mass of the collected paths."""
+        return float(sum(probability for _, probability in self))
+
+    def __repr__(self) -> str:
+        return (
+            f"EvidenceSearch(paths={len(self)}, "
+            f"mass={self.total_probability:.6g}, complete={self.complete})"
+        )
+
+
 def strongest_evidence_paths(
     chain: DTMC,
     targets: Set[State],
     allowed: Optional[Set[State]] = None,
     count: int = 1,
     max_expansions: int = 100_000,
-) -> List[Tuple[Tuple[State, ...], float]]:
+) -> EvidenceSearch:
     """The ``count`` most probable until-satisfying paths from ``s0``.
 
     Best-first (uniform-cost in −log probability) search over prefixes;
-    prefixes leaving ``allowed`` before the targets are pruned.
+    prefixes leaving ``allowed`` before the targets are pruned.  Returns
+    an :class:`EvidenceSearch` — list-compatible, with ``complete=False``
+    when the expansion budget stopped collection before ``count`` paths
+    (or the full path set) were enumerated.
     """
     allowed = set(chain.states) if allowed is None else set(allowed)
     # Prune prefixes that can no longer reach the targets — without this,
@@ -93,13 +178,20 @@ def strongest_evidence_paths(
     heapq.heappush(heap, (-1.0, next(tie_breaker), (start,), 1.0))
     found: List[Tuple[Tuple[State, ...], float]] = []
     expansions = 0
-    while heap and len(found) < count and expansions < max_expansions:
+    exhausted = False
+    while heap and len(found) < count:
         _, _, path, probability = heapq.heappop(heap)
         state = path[-1]
         if state in targets:
+            # Finished paths are free: collecting them does not charge
+            # the budget, so an exhausted search still drains the heap
+            # of everything it had already found.
             found.append((path, probability))
             continue
         if state not in allowed:
+            continue
+        if expansions >= max_expansions:
+            exhausted = True
             continue
         expansions += 1
         for target, step in chain.transitions[state].items():
@@ -110,7 +202,13 @@ def strongest_evidence_paths(
                 heap,
                 (-extended, next(tie_breaker), path + (target,), extended),
             )
-    return found
+    complete = len(found) >= count or not exhausted
+    return EvidenceSearch(
+        found,
+        complete=complete,
+        expansions=expansions,
+        max_expansions=max_expansions,
+    )
 
 
 def counterexample(
@@ -145,16 +243,18 @@ def counterexample(
     mass = 0.0
     expansions = 0
     while heap and mass <= formula.bound and len(paths) < max_paths:
-        if expansions >= max_expansions:
-            break
         _, _, path, probability = heapq.heappop(heap)
         state = path[-1]
         if state in targets:
+            # Free to collect (see module docstring): a budget-cut
+            # search still reports every finished path in the heap.
             paths.append(path)
             probabilities.append(probability)
             mass += probability
             continue
         if state not in allowed:
+            continue
+        if expansions >= max_expansions:
             continue
         expansions += 1
         for target, step in chain.transitions[state].items():
@@ -170,4 +270,7 @@ def counterexample(
         probabilities=probabilities,
         bound=formula.bound,
         complete=mass > formula.bound,
+        expansions=expansions,
+        max_expansions=max_expansions,
+        max_paths=max_paths,
     )

@@ -706,3 +706,105 @@ def parametric_constraint(
         "parametric checking expects a top-level P or R operator, "
         f"got {formula!r}"
     )
+
+
+def restricted_model(
+    model: ParametricDTMC, restriction: Iterable[State]
+) -> ParametricDTMC:
+    """Sub-stochastic truncation of ``model`` to the ``restriction`` states.
+
+    Keeps only the restriction states (plus the initial state) and drops
+    every transition into a dropped state, so row sums may fall below 1:
+    the dropped mass escapes the truncation and contributes nothing to
+    reachability or reward.  That makes the truncation an
+    *under-approximation* — the foundation of counterexample-guided
+    localization, where eliminating only the evidence-touched subchain
+    stands in for the (much larger) full elimination.
+    """
+    keep = set(restriction) | {model.initial_state}
+    states = [state for state in model.states if state in keep]
+    transitions = {
+        state: {
+            target: function
+            for target, function in model.transitions[state].items()
+            if target in keep
+        }
+        for state in states
+    }
+    return ParametricDTMC(
+        states=states,
+        transitions=transitions,
+        initial_state=model.initial_state,
+        labels={state: model.labels[state] for state in states},
+        state_rewards={state: model.state_rewards[state] for state in states},
+    )
+
+
+def _validate_restriction_direction(
+    model: ParametricDTMC, formula: StateFormula
+) -> None:
+    """Reject formula shapes whose truth is not preserved by truncation.
+
+    Truncation *under*-approximates reachability probability and (for
+    non-negative rewards) expected reward, so an upper bound on the
+    truncation is a necessary condition — a relaxation — of the full
+    constraint.  Lower bounds and ``G`` (whose value truncation
+    over-approximates) would flip into unsound strengthenings.
+    """
+    if formula.comparison not in ("<", "<="):
+        raise ValueError(
+            "restricted elimination relaxes upper-bound formulas only; a "
+            "lower bound on the truncated under-approximation would "
+            "unsoundly strengthen the constraint"
+        )
+    if isinstance(formula, ProbabilisticOperator):
+        if not isinstance(formula.path, Until):
+            raise ValueError(
+                "restricted elimination supports until/eventually paths "
+                "only (G is over-approximated by truncation)"
+            )
+        return
+    if isinstance(formula, RewardOperator):
+        for state, reward in model.state_rewards.items():
+            if reward.variables():
+                raise ValueError(
+                    "restricted elimination needs constant state rewards "
+                    f"(reward of {state!r} is parametric)"
+                )
+            if float(reward.evaluate({})) < 0.0:
+                raise ValueError(
+                    "restricted elimination needs non-negative state "
+                    f"rewards (reward of {state!r} is negative)"
+                )
+        return
+    raise TypeError(
+        "restricted elimination expects a top-level P or R operator, "
+        f"got {formula!r}"
+    )
+
+
+def restricted_constraint(
+    model: ParametricDTMC,
+    formula: StateFormula,
+    restriction: Iterable[State],
+    cache=None,
+) -> ParametricConstraint:
+    """Eliminate only the ``restriction`` subchain of ``model |= formula``.
+
+    Returns the :class:`ParametricConstraint` of the sub-stochastic
+    truncation (see :func:`restricted_model`) — a *relaxation* of the
+    full constraint: every assignment satisfying the full formula
+    satisfies it, so adding it to a repair never cuts off true repairs,
+    and its infeasibility implies the full problem's.  The elimination is
+    memoized through :class:`~repro.checking.cache.CheckCache` keyed on
+    the truncation's own content fingerprint, so re-localizing the same
+    evidence subchain is free.
+
+    Raises ``ValueError`` for directions truncation does not preserve:
+    lower bounds, ``G`` paths, and parametric or negative rewards.
+    """
+    _validate_restriction_direction(model, formula)
+    truncated = restricted_model(model, restriction)
+    from repro.checking.cache import get_cache
+
+    return get_cache(cache).parametric_constraint(truncated, formula)

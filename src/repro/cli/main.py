@@ -5,6 +5,7 @@ Subcommands::
     repro check <model.json> "<pctl formula>" [--engine E] [--seed N]
     repro model-repair <model.json> "<pctl formula>" [--max-perturbation D]
     repro robust-repair <model.json> "<pctl formula>" [--epsilon E]
+    repro cegis-repair <model.json> "<pctl formula>" [--max-iterations N]
     repro rate-repair <ctmc.json> --targets A,B --bound T [--max-speedup S]
     repro counterexample <model.json> "<pctl formula>" [--max-paths N]
     repro export-prism <model.json> [-o out.pm]
@@ -131,6 +132,49 @@ def _cmd_robust_repair(args: argparse.Namespace) -> int:
     return 0 if result.feasible and result.robust else 1
 
 
+def _cmd_cegis_repair(args: argparse.Namespace) -> int:
+    from repro.core import repair_cegis
+    from repro.io import load_model, save_model
+    from repro.mdp import DTMC
+
+    model = load_model(args.model)
+    if not isinstance(model, DTMC):
+        print("cegis-repair operates on DTMC models", file=sys.stderr)
+        return 2
+    np.random.seed(args.seed)
+    result = repair_cegis(
+        model,
+        args.formula,
+        max_perturbation=args.max_perturbation,
+        engine=args.engine,
+        max_iterations=args.max_iterations,
+        seed=args.seed,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0 if result.feasible else 1
+    print(f"status: {result.status}")
+    print(
+        f"iterations: {result.iterations} "
+        f"(constraints={result.constraints_added}, "
+        f"fallbacks={result.fallbacks})"
+    )
+    if result.status == "repaired":
+        print(f"cost g(Z) = {result.objective_value:.6g}")
+        print(f"verified: {result.verified}")
+        nonzero = {
+            k: round(v, 6) for k, v in result.assignment.items() if abs(v) > 1e-9
+        }
+        print(f"perturbation: {nonzero}")
+        if args.output and result.repaired_model is not None:
+            save_model(result.repaired_model, args.output)
+            print(f"repaired model written to {args.output}")
+    print(f"message: {result.message}")
+    return 0 if result.feasible else 1
+
+
 def _cmd_rate_repair(args: argparse.Namespace) -> int:
     from repro.core import repair_rates
     from repro.ctmc import CTMC
@@ -190,9 +234,24 @@ def _cmd_counterexample(args: argparse.Namespace) -> int:
         return 2
     check = DTMCModelChecker(model, engine=args.engine).check(formula)
     if check.holds:
-        print("property holds; no counterexample exists")
+        if args.json:
+            import json
+
+            print(json.dumps({"holds": True, "counterexample": None}))
+        else:
+            print("property holds; no counterexample exists")
         return 0
     evidence = counterexample(model, formula, max_paths=args.max_paths)
+    if args.json:
+        import json
+
+        payload = {
+            "holds": False,
+            "value": check.value,
+            "counterexample": evidence.to_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1
     print(
         f"violated: probability {check.value:.6g} exceeds bound "
         f"{formula.bound:.6g}"
@@ -413,6 +472,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     robust.set_defaults(func=_cmd_robust_repair)
 
+    cegis = sub.add_parser(
+        "cegis-repair",
+        parents=[engine_opts],
+        help="counterexample-guided repair (localized constraints)",
+    )
+    cegis.add_argument("model")
+    cegis.add_argument("formula")
+    cegis.add_argument(
+        "--max-iterations",
+        type=int,
+        default=10,
+        help="bound on check → localize → solve rounds (default: 10)",
+    )
+    cegis.add_argument("--max-perturbation", type=float, default=None)
+    cegis.add_argument("-o", "--output", default=None)
+    cegis.add_argument(
+        "--json",
+        action="store_true",
+        help="print the canonical RepairResult.to_dict() payload",
+    )
+    cegis.set_defaults(func=_cmd_cegis_repair)
+
     rate = sub.add_parser(
         "rate-repair",
         parents=[engine_opts],
@@ -447,6 +528,11 @@ def build_parser() -> argparse.ArgumentParser:
     cx.add_argument("model")
     cx.add_argument("formula")
     cx.add_argument("--max-paths", type=int, default=25)
+    cx.add_argument(
+        "--json",
+        action="store_true",
+        help="print the verdict and Counterexample.to_dict() payload",
+    )
     cx.set_defaults(func=_cmd_counterexample)
 
     batch = sub.add_parser(

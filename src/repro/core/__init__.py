@@ -18,6 +18,7 @@
 
 from repro.core.api import (
     check_model,
+    repair_cegis,
     repair_data,
     repair_model,
     repair_rates,
@@ -53,6 +54,7 @@ __all__ = [
     "repair_reward",
     "repair_rates",
     "repair_robust",
+    "repair_cegis",
     "ModelRepair",
     "ModelRepairResult",
     "DataRepair",

@@ -17,6 +17,8 @@ Each function mirrors one decision-procedure step:
 ``repair_rates``     check → **Rate Repair** (the CTMC extension)
 ``repair_robust``    check → **Robust Repair** (interval-certified
                      Model Repair, :mod:`repro.repair.robust`)
+``repair_cegis``     check → **CEGIS Repair** (counterexample-guided
+                     Model Repair, :mod:`repro.repair.cegis`)
 """
 
 from __future__ import annotations
@@ -130,6 +132,49 @@ def repair_robust(
             if vi_max_iterations is None
             else vi_max_iterations
         ),
+    )
+    repair.base.cache = cache
+    return repair.repair(extra_starts=extra_starts, seed=seed)
+
+
+def repair_cegis(
+    model,
+    formula: Formula,
+    *,
+    controllable_states: Optional[Sequence[State]] = None,
+    max_perturbation: Optional[float] = None,
+    cost: str = "frobenius",
+    engine: str = "sparse",
+    max_iterations: int = 10,
+    max_counterexample_paths: int = 10_000,
+    max_expansions: int = 200_000,
+    extra_starts: int = 8,
+    seed: int = 0,
+    cache: Optional[CheckCache] = None,
+):
+    """Counterexample-guided Model Repair of a chain toward ``formula``.
+
+    A kwargs-only wrapper over
+    :meth:`~repro.repair.cegis.CegisRepair.for_chain` +
+    :meth:`~repro.repair.cegis.CegisRepair.repair`; returns the
+    :class:`~repro.repair.cegis.CegisRepairResult`.  Instead of one
+    global state elimination, the loop grows a working set of
+    constraints localized to counterexample-touched subchains —
+    ``max_iterations`` bounds the check → localize → solve rounds and
+    the two budget arguments bound each counterexample search.
+    """
+    from repro.repair.cegis import CegisRepair
+
+    repair = CegisRepair.for_chain(
+        model,
+        _as_formula(formula),
+        controllable_states=controllable_states,
+        max_perturbation=max_perturbation,
+        cost=cost,
+        engine=engine,
+        max_iterations=max_iterations,
+        max_counterexample_paths=max_counterexample_paths,
+        max_expansions=max_expansions,
     )
     repair.base.cache = cache
     return repair.repair(extra_starts=extra_starts, seed=seed)

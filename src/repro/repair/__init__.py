@@ -23,9 +23,15 @@ scheme; the flavour modules reduce to thin problem-builders:
     wraps any model/data-repair builder so the repaired model is
     certified against every chain in a ±ε interval ball, with graceful
     degradation to the nominal check on non-convergence.
+:class:`CegisRepair` / :class:`CegisRepairResult`
+    The counterexample-guided flavour (:mod:`repro.repair.cegis`):
+    grows a working set of localized constraints from smallest
+    counterexamples instead of eliminating the full parametric chain,
+    scaling repair past the global-elimination wall.
 
 See ``docs/repair_engine.md`` for the architecture and how to add a
-new repair variant; ``docs/robust_repair.md`` for the robust flavour.
+new repair variant; ``docs/robust_repair.md`` for the robust flavour;
+``docs/cegis_repair.md`` for the CEGIS loop.
 """
 
 from repro.repair.engine import EngineOutcome, solve_repair
@@ -41,9 +47,17 @@ from repro.repair.robust import (
     RobustRepairResult,
     robust_verify,
 )
+from repro.repair.cegis import (
+    CegisIteration,
+    CegisRepair,
+    CegisRepairResult,
+)
 
 __all__ = [
     "DEFAULT_SAFETY_MARGIN",
+    "CegisIteration",
+    "CegisRepair",
+    "CegisRepairResult",
     "EngineOutcome",
     "ParametricSpec",
     "RepairProblem",

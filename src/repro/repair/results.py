@@ -32,6 +32,7 @@ _FLAVOR_MODULES = {
     "reward": "repro.core.reward_repair",
     "rate": "repro.ctmc.repair",
     "robust": "repro.repair.robust",
+    "cegis": "repro.repair.cegis",
 }
 
 #: Filled by ``__init_subclass__`` as flavour modules are imported.

@@ -7,8 +7,8 @@ multi-start NLP solves.  This package turns the one-shot library calls
 into a resilient runtime:
 
 ``jobs``
-    Typed job specs (check / model-, data-, reward-, rate-,
-    robust-repair) with a JSON round-trip, so batches are files;
+    Typed job specs (check / model-, data-, reward-, rate-, robust-,
+    cegis-repair) with a JSON round-trip, so batches are files;
     malformed payloads raise :class:`~repro.service.jobs.JobValidationError`
     and terminate as structured ``invalid`` records, never retried.
 ``runner``
@@ -38,6 +38,7 @@ into a resilient runtime:
 
 from repro.service.faults import FaultPlan, InjectedFault
 from repro.service.jobs import (
+    CegisRepairJob,
     CheckJob,
     DataRepairJob,
     JobSpec,
@@ -72,6 +73,7 @@ from repro.service.telemetry import (
 __all__ = [
     "BatchReport",
     "BatchRunner",
+    "CegisRepairJob",
     "CheckJob",
     "DataRepairJob",
     "FaultPlan",

@@ -692,6 +692,112 @@ class RobustRepairJob(JobSpec):
         return result.to_dict()
 
 
+@_register
+class CegisRepairJob(JobSpec):
+    """Counterexample-guided Model Repair (the CEGIS loop).
+
+    Instead of one global state elimination, the loop grows a working
+    set of constraints localized to counterexample-touched subchains;
+    the result's ``iterations`` / ``constraints_added`` /
+    ``counterexample_states`` fields feed the runner's summed
+    ``cegis_*`` telemetry counters.
+    """
+
+    kind = "cegis-repair"
+
+    def __init__(
+        self,
+        job_id: str,
+        model: Mapping,
+        formula: str,
+        controllable_states: Optional[Sequence[str]] = None,
+        max_perturbation: Optional[float] = None,
+        cost: str = "frobenius",
+        engine: str = "sparse",
+        max_iterations: int = 10,
+        max_counterexample_paths: int = 10_000,
+        max_expansions: int = 200_000,
+        extra_starts: int = 8,
+        seed: int = 0,
+    ):
+        super().__init__(job_id)
+        self.model = dict(model)
+        self.formula = str(formula)
+        self.controllable_states = (
+            list(controllable_states) if controllable_states is not None else None
+        )
+        self.max_perturbation = max_perturbation
+        self.cost = cost
+        self.engine = engine
+        self.max_iterations = int(max_iterations)
+        self.max_counterexample_paths = int(max_counterexample_paths)
+        self.max_expansions = int(max_expansions)
+        self.extra_starts = int(extra_starts)
+        self.seed = int(seed)
+
+    @staticmethod
+    def for_model(
+        job_id: str, model, formula: str, **kwargs
+    ) -> "CegisRepairJob":
+        """Build from an in-memory chain."""
+        return CegisRepairJob(
+            job_id, model_to_payload(model), formula, **kwargs
+        )
+
+    def payload(self) -> Dict:
+        return {
+            "model": self.model,
+            "formula": self.formula,
+            "controllable_states": self.controllable_states,
+            "max_perturbation": self.max_perturbation,
+            "cost": self.cost,
+            "engine": self.engine,
+            "max_iterations": self.max_iterations,
+            "max_counterexample_paths": self.max_counterexample_paths,
+            "max_expansions": self.max_expansions,
+            "extra_starts": self.extra_starts,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_payload(cls, job_id: str, payload: Mapping) -> "CegisRepairJob":
+        return cls(
+            job_id,
+            payload["model"],
+            payload["formula"],
+            controllable_states=payload.get("controllable_states"),
+            max_perturbation=payload.get("max_perturbation"),
+            cost=payload.get("cost", "frobenius"),
+            engine=payload.get("engine", "sparse"),
+            max_iterations=payload.get("max_iterations", 10),
+            max_counterexample_paths=payload.get(
+                "max_counterexample_paths", 10_000
+            ),
+            max_expansions=payload.get("max_expansions", 200_000),
+            extra_starts=payload.get("extra_starts", 8),
+            seed=payload.get("seed", 0),
+        )
+
+    def run(self, cache=None) -> Dict:
+        from repro.core.api import repair_cegis
+
+        result = repair_cegis(
+            model_from_payload(self.model),
+            self.formula,
+            controllable_states=self.controllable_states,
+            max_perturbation=self.max_perturbation,
+            cost=self.cost,
+            engine=self.engine,
+            max_iterations=self.max_iterations,
+            max_counterexample_paths=self.max_counterexample_paths,
+            max_expansions=self.max_expansions,
+            extra_starts=self.extra_starts,
+            seed=self.seed,
+            cache=cache,
+        )
+        return result.to_dict()
+
+
 # ----------------------------------------------------------------------
 # Files
 # ----------------------------------------------------------------------

@@ -476,6 +476,11 @@ class BatchRunner:
             kernel_evaluations=payload.get("kernel_evaluations", 0),
             robust_vi_iterations=payload.get("robust_vi_iterations", 0),
             robust_fallbacks=payload.get("robust_fallbacks", 0),
+            cegis_iterations=payload.get("cegis_iterations", 0),
+            cegis_constraints_added=payload.get("cegis_constraints_added", 0),
+            cegis_counterexample_states=payload.get(
+                "cegis_counterexample_states", 0
+            ),
         )
 
     def _finish(

@@ -41,6 +41,12 @@ SUMMED_FIELDS = (
     "kernel_evaluations",
     "robust_vi_iterations",
     "robust_fallbacks",
+    # CEGIS repair (repro.repair.cegis): check → localize → solve
+    # rounds, working-set size, and evidence states across all
+    # counterexamples.
+    "cegis_iterations",
+    "cegis_constraints_added",
+    "cegis_counterexample_states",
     # Async front door (repro.service.queue): depth observed at each
     # enqueue (average depth = queue_depth / job_enqueued), queued
     # milliseconds observed at each dequeue, and admission rejections
@@ -64,6 +70,9 @@ def solver_counters(result) -> Dict[str, int]:
     effort (``robust_vi_iterations``) and whether the certificate
     degraded to the nominal check (``robust_fallbacks``), keeping the
     adversarial accounting separate from the NLP accounting.
+    CEGIS-repair results likewise report their loop effort
+    (``cegis_iterations`` / ``cegis_constraints_added`` /
+    ``cegis_counterexample_states``).
     """
     stats = result.get("solver_stats") if isinstance(result, dict) else None
     stats = stats or {}
@@ -83,6 +92,14 @@ def solver_counters(result) -> Dict[str, int]:
             and bool(certificate.get("fallback_reason"))
         )
         counters["robust_fallbacks"] = 1 if fallback else 0
+    if isinstance(result, dict) and result.get("flavor") == "cegis":
+        counters["cegis_iterations"] = int(result.get("iterations") or 0)
+        counters["cegis_constraints_added"] = int(
+            result.get("constraints_added") or 0
+        )
+        counters["cegis_counterexample_states"] = int(
+            result.get("counterexample_states") or 0
+        )
     return counters
 
 

@@ -1,14 +1,17 @@
 """Tests for counterexample generation."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.checking import (
+    Counterexample,
     DTMCModelChecker,
     counterexample,
     strongest_evidence_paths,
 )
 from repro.logic import parse_pctl
-from repro.mdp import DTMC
+from repro.mdp import DTMC, random_dtmc
 
 
 @pytest.fixture
@@ -106,3 +109,109 @@ class TestCounterexample:
         # True probability 2/3 needs many looping paths; 2 are not enough.
         assert not evidence.complete
         assert evidence.total_probability <= 0.66
+
+
+class TestEvidenceBudget:
+    """Regression: a budget cut must be *reported*, not silently
+    under-count — stiff models (absorbing self-loops) fragment the mass
+    over unboundedly many looping paths."""
+
+    @pytest.fixture
+    def sticky_chain(self):
+        """0.9 of the mass loops in place every step."""
+        return DTMC(
+            states=["start", "goal"],
+            transitions={
+                "start": {"start": 0.9, "goal": 0.1},
+                "goal": {"goal": 1.0},
+            },
+            initial_state="start",
+            labels={"goal": {"goal"}},
+        )
+
+    def test_budget_cut_is_flagged_with_partial_mass(self, sticky_chain):
+        evidence = strongest_evidence_paths(
+            sticky_chain, {"goal"}, count=50, max_expansions=10
+        )
+        assert not evidence.complete
+        assert len(evidence) < 50
+        # The partial mass collected before the cut is still reported.
+        assert 0.0 < evidence.total_probability < 1.0
+        assert evidence.expansions == evidence.max_expansions == 10
+
+    def test_reaching_count_is_complete(self, sticky_chain):
+        evidence = strongest_evidence_paths(
+            sticky_chain, {"goal"}, count=3, max_expansions=10_000
+        )
+        assert evidence.complete
+        assert len(evidence) == 3
+        assert evidence.expansions < evidence.max_expansions
+
+    def test_counterexample_diagnostics_on_budget_cut(self, sticky_chain):
+        formula = parse_pctl('P<=0.95 [ F "goal" ]')
+        evidence = counterexample(
+            sticky_chain, formula, max_expansions=8
+        )
+        assert not evidence.complete
+        assert evidence.total_probability < 0.95
+        assert evidence.expansions == evidence.max_expansions == 8
+
+
+class TestSerialization:
+    def test_round_trip(self, branching_chain):
+        formula = parse_pctl('P<=0.6 [ F "bad" ]')
+        evidence = counterexample(branching_chain, formula)
+        payload = evidence.to_dict()
+        clone = Counterexample.from_dict(payload)
+        assert clone.paths == evidence.paths
+        assert clone.probabilities == evidence.probabilities
+        assert clone.bound == evidence.bound
+        assert clone.complete == evidence.complete
+        assert clone.expansions == evidence.expansions
+        assert clone.max_expansions == evidence.max_expansions
+        assert clone.max_paths == evidence.max_paths
+        assert clone.to_dict() == payload
+
+    def test_dict_exposes_diagnostics(self, branching_chain):
+        formula = parse_pctl('P<=0.1 [ F "bad" ]')
+        payload = counterexample(branching_chain, formula).to_dict()
+        for key in (
+            "paths", "probabilities", "bound", "complete",
+            "total_probability", "expansions", "max_expansions",
+            "max_paths",
+        ):
+            assert key in payload
+
+
+class TestEvidenceMassMonotone:
+    """Property: greedy most-probable-first enumeration yields a
+    non-increasing probability sequence on arbitrary chains."""
+
+    @given(seed=st.integers(0, 400), count=st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_evidence_probabilities_non_increasing(self, seed, count):
+        chain = random_dtmc(6, seed=seed, num_labels=1)
+        targets = chain.states_with_atom("l0")
+        if not targets:
+            return
+        evidence = strongest_evidence_paths(
+            chain, targets, count=count, max_expansions=5_000
+        )
+        probabilities = [p for _, p in evidence]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert evidence.total_probability == pytest.approx(
+            sum(probabilities)
+        )
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_counterexample_probabilities_non_increasing(self, seed):
+        chain = random_dtmc(6, seed=seed, num_labels=1)
+        formula = parse_pctl('P<=0.05 [ F "l0" ]')
+        check = DTMCModelChecker(chain).check(formula)
+        if check.holds:
+            return
+        evidence = counterexample(chain, formula, max_expansions=5_000)
+        assert evidence.probabilities == sorted(
+            evidence.probabilities, reverse=True
+        )

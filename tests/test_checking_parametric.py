@@ -286,3 +286,171 @@ class TestAgreementWithConcrete:
             Eventually(AtomicProposition(atom))
         )[chain.initial_state]
         assert float(f.evaluate({"p": value})) == pytest.approx(expected, abs=1e-8)
+
+
+class TestRestrictedElimination:
+    """The CEGIS localization primitive.
+
+    Soundness rests on two facts checked here against independent
+    references: (1) when the restriction covers every state, the
+    restricted elimination *is* the full elimination; (2) on a proper
+    counterexample-touched subchain the eliminated function equals a
+    direct linear solve of the truncated system and never exceeds the
+    full value (sub-stochastic truncation only loses mass).
+    """
+
+    @staticmethod
+    def truncated_until_reference(model, formula, restriction, assignment):
+        """Solve the truncated ``clean U delivered`` system directly."""
+        import numpy as np
+
+        from repro.checking.parametric import restricted_model
+
+        truncated = restricted_model(model, restriction)
+        left = formula.path.left
+        right = formula.path.right
+        targets = label_satisfaction_set(
+            truncated.states, truncated.labels, right
+        )
+        allowed = label_satisfaction_set(
+            truncated.states, truncated.labels, left
+        )
+
+        def value_at(entry):
+            return (
+                float(entry.evaluate(assignment))
+                if hasattr(entry, "evaluate")
+                else float(entry)
+            )
+
+        # States that can reach a target through allowed states get an
+        # equation; everything else is pinned to 0 (matching the
+        # elimination's graph precomputation).
+        reaching = set(targets)
+        frontier = list(targets)
+        incoming = {s: [] for s in truncated.states}
+        for u in truncated.states:
+            for v in truncated.transitions.get(u, {}):
+                incoming[v].append(u)
+        while frontier:
+            v = frontier.pop()
+            for u in incoming[v]:
+                if u in reaching or u not in allowed or u in targets:
+                    continue
+                reaching.add(u)
+                frontier.append(u)
+
+        order = list(truncated.states)
+        index = {s: i for i, s in enumerate(order)}
+        n = len(order)
+        matrix = np.eye(n)
+        rhs = np.zeros(n)
+        for u in order:
+            i = index[u]
+            if u in targets:
+                rhs[i] = 1.0
+                continue
+            if u not in allowed or u not in reaching:
+                continue
+            for v, entry in truncated.transitions.get(u, {}).items():
+                matrix[i, index[v]] -= value_at(entry)
+        solution = np.linalg.solve(matrix, rhs)
+        return float(solution[index[truncated.initial_state]])
+
+    def test_full_cover_restriction_equals_full_elimination_wsn(self):
+        from repro.casestudies import wsn
+        from repro.checking import restricted_constraint
+
+        model = wsn.build_wsn_parametric()
+        formula = wsn.attempts_property(40)
+        full = parametric_constraint(model, formula)
+        restricted = restricted_constraint(model, formula, set(model.states))
+        for point in ({"p": 0.0, "q": 0.0}, {"p": 0.05, "q": 0.02},
+                      {"p": 0.1, "q": 0.1}):
+            assert float(restricted.function.evaluate(point)) == pytest.approx(
+                float(full.function.evaluate(point)), abs=1e-9
+            )
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_wsn_corridor_agrees_with_direct_solve(self, seed):
+        import numpy as np
+
+        from repro.casestudies import wsn
+        from repro.checking import (
+            counterexample,
+            restricted_constraint,
+        )
+
+        size = 4
+        chain = wsn.build_monitored_chain(size=size)
+        formula = wsn.clean_delivery_property(0.04)
+        evidence = counterexample(chain, formula)
+        assert evidence.complete
+        restriction = evidence.touched_states()
+        assert len(restriction) < len(chain.states)
+        model = wsn.build_monitored_parametric(size=size)
+        constraint = restricted_constraint(model, formula, restriction)
+        full = parametric_constraint(model, formula)
+        rng = np.random.default_rng(seed)
+        assignment = {
+            wsn.interference_parameter(node): float(rng.uniform(0.0, 0.9))
+            for node in wsn.grid_nodes(size)
+            if node != wsn.STATION_NODE
+        }
+        value = float(constraint.function.evaluate(assignment))
+        reference = self.truncated_until_reference(
+            model, formula, restriction, assignment
+        )
+        assert value == pytest.approx(reference, abs=1e-9)
+        # Truncation only drops probability mass.
+        assert value <= float(full.function.evaluate(assignment)) + 1e-9
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_car_corridor_agrees_with_direct_solve(self, seed):
+        import numpy as np
+
+        from repro.casestudies import car
+        from repro.checking import (
+            restricted_constraint,
+            strongest_evidence_paths,
+        )
+        from repro.core.model_repair import ModelRepair
+        from repro.mdp import DTMC
+
+        # The uniform-random-policy chain: branching rows, so edge-wise
+        # repair has controllable states.
+        mdp = car.build_car_mdp()
+        transitions = {}
+        for state in mdp.states:
+            row = {}
+            actions = sorted(mdp.actions(state))
+            for action in actions:
+                for target, prob in mdp.transitions[state][action].items():
+                    row[target] = row.get(target, 0.0) + prob / len(actions)
+            transitions[state] = row
+        chain = DTMC(
+            states=mdp.states,
+            transitions=transitions,
+            initial_state=mdp.initial_state,
+            labels=mdp.labels,
+        )
+        unsafe = set(chain.states_with_atom("unsafe"))
+        evidence = strongest_evidence_paths(chain, unsafe, count=2)
+        restriction = {s for path, _ in evidence for s in path}
+        formula = parse_pctl('P<=0.01 [ F "unsafe" ]')
+        base = ModelRepair.for_chain(chain, formula)
+        model = base.problem().parametric[0].model
+        constraint = restricted_constraint(model, formula, restriction)
+        rng = np.random.default_rng(seed)
+        names = sorted(
+            constraint.function.numerator.variables()
+            | constraint.function.denominator.variables()
+        )
+        assignment = {name: float(rng.uniform(0.0, 0.03)) for name in names}
+        value = float(constraint.function.evaluate(assignment))
+        reference = self.truncated_until_reference(
+            model, formula, restriction, assignment
+        )
+        assert value == pytest.approx(reference, abs=1e-9)

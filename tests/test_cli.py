@@ -352,3 +352,121 @@ class TestCounterexample:
         code = main(["counterexample", chain_file, 'P<=0.999 [ F "missing" ]'])
         assert code == 0
         assert "no counterexample" in capsys.readouterr().out
+
+    def test_json_output_is_canonical_payload(self, tmp_path, capsys):
+        import json
+
+        from repro.checking import Counterexample
+        from repro.io import save_model
+        from repro.mdp import DTMC
+
+        chain = DTMC(
+            states=["s", "bad", "safe"],
+            transitions={
+                "s": {"bad": 0.6, "safe": 0.4},
+                "bad": {"bad": 1.0},
+                "safe": {"safe": 1.0},
+            },
+            initial_state="s",
+            labels={"bad": {"bad"}},
+        )
+        path = tmp_path / "chain.json"
+        save_model(chain, path)
+        code = main(
+            ["counterexample", str(path), 'P<=0.5 [ F "bad" ]', "--json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["holds"] is False
+        assert payload["value"] == pytest.approx(0.6)
+        evidence = Counterexample.from_dict(payload["counterexample"])
+        assert evidence.paths == [("s", "bad")]
+        assert evidence.complete
+
+    def test_json_when_property_holds(self, chain_file, capsys):
+        import json
+
+        code = main(
+            ["counterexample", chain_file, 'P<=0.999 [ F "missing" ]',
+             "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"holds": True, "counterexample": None}
+
+
+class TestCegisRepair:
+    @pytest.fixture
+    def bad_chain_file(self, tmp_path):
+        from repro.io import save_model
+        from repro.mdp import DTMC
+
+        chain = DTMC(
+            states=["s", "a", "bad", "safe"],
+            transitions={
+                "s": {"bad": 0.5, "a": 0.5},
+                "a": {"bad": 0.4, "safe": 0.6},
+                "bad": {"bad": 1.0},
+                "safe": {"safe": 1.0},
+            },
+            initial_state="s",
+            labels={"bad": {"bad"}},
+        )
+        path = tmp_path / "bad.json"
+        save_model(chain, path)
+        return str(path)
+
+    def test_repair_writes_output(self, bad_chain_file, tmp_path, capsys):
+        from repro.core.api import check_model
+        from repro.io import load_model
+
+        out_file = tmp_path / "fixed.json"
+        code = main(
+            ["cegis-repair", bad_chain_file, 'P<=0.3 [ F "bad" ]',
+             "--seed", "0", "-o", str(out_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "status: repaired" in out
+        assert "verified: True" in out
+        assert "iterations:" in out
+        repaired = load_model(out_file)
+        assert check_model(repaired, 'P<=0.3 [ F "bad" ]').holds
+
+    def test_json_output_is_canonical_payload(self, bad_chain_file, capsys):
+        import json
+
+        from repro.repair import CegisRepairResult
+        from repro.repair.results import RepairResult
+
+        code = main(
+            ["cegis-repair", bad_chain_file, 'P<=0.3 [ F "bad" ]',
+             "--seed", "0", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["flavor"] == "cegis"
+        clone = RepairResult.from_dict(payload)
+        assert isinstance(clone, CegisRepairResult)
+        assert clone.status == "repaired"
+        assert clone.iterations >= 1
+
+    def test_max_iterations_flag_caps_the_loop(self, bad_chain_file, capsys):
+        import json
+
+        main(
+            ["cegis-repair", bad_chain_file, 'P<=0.3 [ F "bad" ]',
+             "--seed", "0", "--max-iterations", "1", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["iterations"] <= 1
+
+    def test_rejects_non_dtmc(self, tmp_path, capsys):
+        from repro.casestudies import car
+        from repro.io import save_model
+
+        path = tmp_path / "mdp.json"
+        save_model(car.build_car_mdp(), path)
+        code = main(["cegis-repair", str(path), 'P<=0.3 [ F "unsafe" ]'])
+        assert code == 2
+        assert "DTMC" in capsys.readouterr().err

@@ -8,6 +8,7 @@ from repro.casestudies import car
 from repro.data import TraceDataset, TraceGroup
 from repro.mdp import Trajectory, chain_dtmc
 from repro.service import (
+    CegisRepairJob,
     CheckJob,
     DataRepairJob,
     JobValidationError,
@@ -193,6 +194,9 @@ class TestRegistry:
             ),
             "robust-repair": RobustRepairJob.for_model(
                 "rb", chain, 'R<=6 [ F "goal" ]'
+            ),
+            "cegis-repair": CegisRepairJob.for_model(
+                "cg", chain, 'R<=6 [ F "goal" ]'
             ),
         }
 
