@@ -165,13 +165,44 @@ class CheckCache:
         def eliminate() -> ParametricConstraint:
             self.parametric_eliminations += 1
             constraint = parametric_constraint(model, formula)
-            # Pre-compile the numpy kernel so it is memoised (and, with a
-            # persistent backing, pickled) beside the elimination — warm
-            # runs then skip both the elimination *and* the compilation.
+            # Pre-compile the numpy kernel and the one-row stacked kernel
+            # so both are memoised (and, with a persistent backing,
+            # pickled) beside the elimination — warm runs then skip the
+            # elimination *and* every compilation.
             constraint.compiled()
+            constraint.stacked()
             return constraint
 
         return self.get_or_compute(key, eliminate)
+
+    def stacked_kernel(self, constraints):
+        """Memoised fused kernel over an ordered constraint list.
+
+        A single constraint reuses its own cached one-row kernel
+        (:meth:`ParametricConstraint.stacked` — already pickled beside
+        the elimination); multiple constraints build one
+        :class:`~repro.symbolic.compile.StackedConstraintKernel` under a
+        content-addressed key, so same-fingerprint repair problems (and
+        same-fingerprint service jobs in a batch) share one compilation.
+        """
+        constraints = list(constraints)
+        if not constraints:
+            return None
+        if len(constraints) == 1:
+            return constraints[0].stacked()
+        key: Key = ("stacked",) + tuple(
+            (str(c.function), float(c._sign), float(c.bound))
+            for c in constraints
+        )
+
+        def build():
+            from repro.symbolic.compile import StackedConstraintKernel
+
+            return StackedConstraintKernel(
+                [(c.function, c._sign, c.bound) for c in constraints]
+            )
+
+        return self.get_or_compute(key, build)
 
 
 def cached_check(

@@ -586,6 +586,7 @@ class ParametricConstraint:
         self.comparison = comparison
         self.bound = float(bound)
         self._compiled = None
+        self._stacked = None
 
     @property
     def _sign(self) -> float:
@@ -609,6 +610,29 @@ class ParametricConstraint:
         if cached is None:
             cached = self.function.compiled()
             self._compiled = cached
+        return cached
+
+    def stacked(self):
+        """A one-row stacked kernel for this constraint (cached).
+
+        The margin row ``sign · (f(v) − b)`` as a
+        :class:`~repro.symbolic.compile.StackedConstraintKernel`; the
+        NLP solver fuses it with sibling constraints' rows (or uses it
+        standalone) so SLSQP sees one vector-valued callback.  Picklable
+        and cached on the object, so warm stores carry it alongside
+        :meth:`compiled`.
+        """
+        try:
+            cached = self._stacked
+        except AttributeError:  # unpickled from an older on-disk store
+            cached = None
+        if cached is None:
+            from repro.symbolic.compile import StackedConstraintKernel
+
+            cached = StackedConstraintKernel(
+                [(self.function, self._sign, self.bound)]
+            )
+            self._stacked = cached
         return cached
 
     def holds_at(self, assignment: Mapping[str, float]) -> bool:

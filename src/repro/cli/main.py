@@ -9,6 +9,8 @@ Subcommands::
     repro rate-repair <ctmc.json> --targets A,B --bound T [--max-speedup S]
     repro counterexample <model.json> "<pctl formula>" [--max-paths N]
     repro export-prism <model.json> [-o out.pm]
+    repro corpus list [--json]
+    repro corpus generate --family F [--size N] [--seed S] [--json]
     repro batch <jobs.json> [--workers N] [--store DIR] [--telemetry LOG]
     repro serve [--port P] [--store DIR]
     repro wsn-demo [--bound X]
@@ -278,6 +280,55 @@ def _cmd_export_prism(args: argparse.Namespace) -> int:
         print(f"written to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.corpus import FAMILIES, get_family
+
+    if args.corpus_command == "list":
+        entries = [FAMILIES[name].describe() for name in sorted(FAMILIES)]
+        if args.json:
+            print(json.dumps(entries, indent=2, sort_keys=True))
+        else:
+            for entry in entries:
+                sizes = ", ".join(str(s) for s in entry["sizes"])
+                print(
+                    f"{entry['name']:<8s} {entry['kind']:<11s} "
+                    f"sizes [{sizes}]  {entry['description']}"
+                )
+        return 0
+    try:
+        family = get_family(args.family)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    size = args.size if args.size is not None else family.sizes[0]
+    try:
+        source = family.prism_source(size, seed=args.seed)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.json:
+        model = family.model(size, seed=args.seed)
+        payload = {
+            "family": family.name,
+            "size": int(size),
+            "seed": int(args.seed),
+            "states": model.num_states,
+            "variables": family.variable_count(size, seed=args.seed),
+            "prism": source,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(source)
+        print(f"written to {args.output}")
+    else:
+        print(source)
     return 0
 
 
@@ -602,6 +653,38 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("model")
     export.add_argument("-o", "--output", default=None)
     export.set_defaults(func=_cmd_export_prism)
+
+    corpus = sub.add_parser(
+        "corpus", help="the PRISM scenario corpus (list / generate)"
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    corpus_list = corpus_sub.add_parser(
+        "list", help="list the benchmark families and their sizes"
+    )
+    corpus_list.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    corpus_list.set_defaults(func=_cmd_corpus)
+    corpus_generate = corpus_sub.add_parser(
+        "generate", help="emit one family member as PRISM source"
+    )
+    corpus_generate.add_argument(
+        "--family", required=True, help="family name (see 'corpus list')"
+    )
+    corpus_generate.add_argument(
+        "--size", type=int, default=None,
+        help="family size parameter (default: the family's smallest)",
+    )
+    corpus_generate.add_argument(
+        "--seed", type=int, default=0,
+        help="generator seed (only the seeded families vary with it)",
+    )
+    corpus_generate.add_argument("-o", "--output", default=None)
+    corpus_generate.add_argument(
+        "--json", action="store_true",
+        help="wrap the PRISM source in a JSON summary payload",
+    )
+    corpus_generate.set_defaults(func=_cmd_corpus)
 
     wsn_demo = sub.add_parser("wsn-demo", help="run the WSN model-repair case study")
     wsn_demo.add_argument("--bound", type=float, default=40.0)

@@ -62,6 +62,19 @@ def _linear_row_batch(row_vars: Sequence[str], offset: float, sign: float):
     return batch
 
 
+def _abs_row_batch(row_vars: Sequence[str], bound: float):
+    """Vectorized margin ``bound − |Σ z_row|`` for start screening."""
+
+    def batch(points, names):
+        import numpy as np
+
+        columns = [names.index(name) for name in row_vars]
+        matrix = np.asarray(points, dtype=float)
+        return bound - np.abs(matrix[:, columns].sum(axis=1))
+
+    return batch
+
+
 def _abs_sum_gradient(
     assignment: Mapping[str, float], row_vars: Sequence[str]
 ) -> Dict[str, float]:
@@ -290,6 +303,9 @@ class ModelRepair:
                         name=f"row_{chain.index[state]}_delta",
                         gradient=lambda v, names=row_vars: _abs_sum_gradient(
                             v, names
+                        ),
+                        batch_margin=_abs_row_batch(
+                            row_vars, max_perturbation
                         ),
                     )
                 )

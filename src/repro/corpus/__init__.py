@@ -1,0 +1,26 @@
+"""The PRISM scenario corpus.
+
+Named benchmark families (grid / network / refuel / drone / random) at
+several sizes, each rendered to PRISM text and re-imported through
+:mod:`repro.io.prism_parser`, plus the seeded random model generators.
+``benchmarks/bench_scalability_matrix.py`` runs the repair engine over
+this corpus so every speed PR reports against the same matrix; the CLI
+exposes it as ``repro corpus``.
+"""
+
+from repro.corpus.families import (
+    FAMILIES,
+    CorpusFamily,
+    family_names,
+    get_family,
+)
+from repro.corpus.generators import random_dtmc, random_mdp
+
+__all__ = [
+    "FAMILIES",
+    "CorpusFamily",
+    "family_names",
+    "get_family",
+    "random_dtmc",
+    "random_mdp",
+]

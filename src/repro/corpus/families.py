@@ -1,0 +1,440 @@
+"""The PRISM scenario corpus: named benchmark families at several sizes.
+
+Every family renders a DTMC to PRISM source with
+:func:`repro.io.prism.dtmc_to_prism` and loads the *canonical* corpus
+model back through :func:`repro.io.prism_parser.parse_prism` — the
+corpus is therefore exactly the set of models a user could hand this
+library as ``.prism`` files, and every benchmark number is measured on
+the imported representation (states ``s0 … sN``), not on a privileged
+in-memory one.
+
+Each family supplies, per ``(size, seed)``:
+
+* ``prism_source`` — the model as PRISM text;
+* ``model`` — the parsed :class:`~repro.mdp.model.DTMC`;
+* ``formula`` — a PCTL requirement *calibrated against the model's
+  baseline value* so the repair is non-trivial (not already satisfied:
+  the bound demands a fixed relative improvement over the unrepaired
+  model);
+* ``repair`` — a :class:`~repro.core.model_repair.ModelRepair` with a
+  bounded controllable-state set, keeping the NLP in the 2–8 variable
+  dispatch-bound regime the stacked kernels target.
+
+Families
+--------
+``grid``     slip-gridworld reachability (P ≥ b [F goal])
+``network``  the paper's WSN routing grid (R ≤ b [F delivered])
+``refuel``   birth–death fuel tank with dry-out (P ≤ b [F empty])
+``drone``    altitude corridor with crash floor (P ≥ b [F target])
+``random``   seeded random chains from :mod:`repro.corpus.generators`
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.checking.cache import cached_check
+from repro.core.model_repair import ModelRepair
+from repro.io.prism import dtmc_to_prism
+from repro.io.prism_parser import parse_prism
+from repro.logic.pctl import (
+    AtomicProposition,
+    Eventually,
+    ProbabilisticOperator,
+    RewardOperator,
+    StateFormula,
+)
+from repro.mdp.model import DTMC
+
+from repro.corpus.generators import random_dtmc
+
+#: Default perturbation box for corpus repairs: generous enough that the
+#: calibrated bounds are typically reachable, small enough that the
+#: problems stay in the paper's "small perturbation" regime.
+DEFAULT_MAX_PERTURBATION = 0.2
+
+
+class CorpusFamily:
+    """One benchmark family: a sized, seeded model plus its requirement.
+
+    Parameters
+    ----------
+    build:
+        ``(size, seed) -> DTMC`` over arbitrary state names; the family
+        renders it to PRISM and parses it back, so the canonical corpus
+        model always carries the importer's ``s0 … sN`` state names.
+    goal_atom / direction:
+        The reachability target and whether the requirement lower-bounds
+        (``">="``) or upper-bounds (``"<="``) the checked value.
+    reward:
+        Calibrate against an expected-reward probe (``R ⋈ b [F goal]``)
+        instead of a probability probe.
+    improvement:
+        Relative improvement the calibrated bound demands over the
+        baseline: for ``">="`` the bound closes this fraction of the gap
+        to certainty, for ``"<="`` it shaves this fraction off the
+        baseline value.
+    controllable:
+        ``(model, size) -> state list`` choosing the rows the repair may
+        perturb (bounded, to stay in the dispatch-bound regime).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        sizes: Sequence[int],
+        build: Callable[[int, int], DTMC],
+        goal_atom: str,
+        direction: str,
+        controllable: Callable[[DTMC, int], List[str]],
+        reward: bool = False,
+        improvement: float = 0.05,
+        max_perturbation: float = DEFAULT_MAX_PERTURBATION,
+        seeded: bool = False,
+    ):
+        self.name = name
+        self.description = description
+        self.sizes = tuple(int(s) for s in sizes)
+        self._build = build
+        self.goal_atom = goal_atom
+        self.direction = direction
+        self._controllable = controllable
+        self.reward = reward
+        self.improvement = float(improvement)
+        self.max_perturbation = float(max_perturbation)
+        #: Whether ``seed`` changes the model (only the random family).
+        self.seeded = seeded
+
+    # ------------------------------------------------------------------
+    # Model surface
+    # ------------------------------------------------------------------
+    def prism_source(self, size: int, seed: int = 0) -> str:
+        """The family member as PRISM source text."""
+        self._check_size(size)
+        return dtmc_to_prism(self._build(size, seed), module_name=self.name)
+
+    def model(self, size: int, seed: int = 0) -> DTMC:
+        """The canonical corpus model: PRISM-rendered, then re-parsed."""
+        return parse_prism(self.prism_source(size, seed))
+
+    def baseline_value(self, size: int, seed: int = 0, cache=None) -> float:
+        """The checked value of the unrepaired model (memoised)."""
+        model = self.model(size, seed)
+        return float(cached_check(model, self._probe(), cache=cache).value)
+
+    def formula(self, size: int, seed: int = 0, cache=None) -> StateFormula:
+        """The calibrated requirement for this ``(size, seed)``.
+
+        The bound demands :attr:`improvement` relative improvement over
+        the unrepaired baseline, so the repair NLP always actually runs
+        (an uncalibrated fixed bound degenerates into
+        ``already_satisfied`` at most sizes).
+        """
+        baseline = self.baseline_value(size, seed, cache=cache)
+        if self.direction == ">=":
+            bound = baseline + self.improvement * (1.0 - baseline)
+        else:
+            bound = baseline * (1.0 - self.improvement)
+        path = Eventually(AtomicProposition(self.goal_atom))
+        if self.reward:
+            return RewardOperator(self.direction, bound, path)
+        return ProbabilisticOperator(
+            self.direction, min(max(bound, 0.0), 1.0), path
+        )
+
+    def repair(self, size: int, seed: int = 0, cache=None) -> ModelRepair:
+        """The family's Model Repair problem at ``(size, seed)``."""
+        model = self.model(size, seed)
+        return ModelRepair.for_chain(
+            model,
+            self.formula(size, seed, cache=cache),
+            controllable_states=self._controllable(model, size),
+            max_perturbation=self.max_perturbation,
+            engine="sparse",
+        )
+
+    def describe(self, size: Optional[int] = None) -> Dict[str, object]:
+        """A JSON-friendly summary (CLI ``repro corpus list`` payload)."""
+        info: Dict[str, object] = {
+            "name": self.name,
+            "description": self.description,
+            "sizes": list(self.sizes),
+            "goal": self.goal_atom,
+            "direction": self.direction,
+            "kind": "reward" if self.reward else "probability",
+            "seeded": self.seeded,
+        }
+        if size is not None:
+            model = self.model(size)
+            info["size"] = int(size)
+            info["states"] = model.num_states
+            info["variables"] = self.variable_count(size)
+        return info
+
+    def variable_count(self, size: int, seed: int = 0) -> int:
+        """Number of NLP decision variables at this size."""
+        model = self.model(size, seed)
+        return sum(
+            len(model.transitions[state]) - 1
+            for state in self._controllable(model, size)
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _probe(self) -> StateFormula:
+        path = Eventually(AtomicProposition(self.goal_atom))
+        if self.reward:
+            return RewardOperator("<=", float("inf"), path)
+        return ProbabilisticOperator(">=", 0.0, path)
+
+    def _check_size(self, size: int) -> None:
+        if int(size) < min(self.sizes):
+            raise ValueError(
+                f"family {self.name!r}: size {size} below the smallest "
+                f"supported size {min(self.sizes)}"
+            )
+
+    def __repr__(self) -> str:
+        return f"CorpusFamily({self.name!r}, sizes={list(self.sizes)})"
+
+
+# ----------------------------------------------------------------------
+# grid: slip-gridworld reachability
+# ----------------------------------------------------------------------
+def _grid_chain(size: int, seed: int = 0) -> DTMC:
+    """An s×s gridworld walked corner to corner with slip and traps.
+
+    From cell ``(r, c)`` the walker moves right or down (uniformly over
+    the available directions) with probability ``1 − slip − drop``,
+    slips back to the start with ``slip`` and falls into an absorbing
+    trap with ``drop``.  The goal corner is absorbing and labelled.
+    """
+    slip, drop = 0.08, 0.02
+    cells = [(r, c) for r in range(size) for c in range(size)]
+    goal = (size - 1, size - 1)
+    transitions = {}
+    for cell in cells:
+        r, c = cell
+        if cell == goal:
+            transitions[cell] = {cell: 1.0}
+            continue
+        moves = []
+        if r + 1 < size:
+            moves.append((r + 1, c))
+        if c + 1 < size:
+            moves.append((r, c + 1))
+        row: Dict[object, float] = {}
+        advance = (1.0 - slip - drop) / len(moves)
+        for target in moves:
+            row[target] = row.get(target, 0.0) + advance
+        row[(0, 0)] = row.get((0, 0), 0.0) + slip
+        row["trap"] = drop
+        transitions[cell] = row
+    transitions["trap"] = {"trap": 1.0}
+    return DTMC(
+        states=cells + ["trap"],
+        transitions=transitions,
+        initial_state=(0, 0),
+        labels={goal: {"goal"}, "trap": {"trap"}},
+        state_rewards={s: (0.0 if s in (goal, "trap") else 1.0)
+                       for s in cells + ["trap"]},
+    )
+
+
+def _grid_controllable(model: DTMC, size: int) -> List[str]:
+    # The start cell and its two forward neighbours: 2 successors each
+    # near the corner, so 4–6 variables across sizes.
+    return ["s0", "s1", f"s{size}"]
+
+
+# ----------------------------------------------------------------------
+# network: the paper's WSN routing grid
+# ----------------------------------------------------------------------
+def _network_chain(size: int, seed: int = 0) -> DTMC:
+    from repro.casestudies import wsn
+
+    return wsn.build_wsn_chain(size=size)
+
+
+def _network_controllable(model: DTMC, size: int) -> List[str]:
+    # The query source corner and one interior relay: the source is the
+    # last state in the row-major grid ordering, the relay sits one row
+    # and one column in.
+    source = model.num_states - 1
+    relay = (size - 2) * size + (size - 2)
+    return [f"s{source}", f"s{relay}"]
+
+
+# ----------------------------------------------------------------------
+# refuel: birth–death fuel tank
+# ----------------------------------------------------------------------
+def _refuel_chain(size: int, seed: int = 0) -> DTMC:
+    """Fuel levels ``0 … size``; consume, hold, or jump to full.
+
+    Level 0 is the absorbing labelled ``empty`` dry-out; reaching the
+    full tank (absorbing, labelled ``full``) completes the mission.
+    Mid-tank levels host a refuel pump with a small activation
+    probability, so survival hinges on a handful of pump rows — exactly
+    the rows the repair controls.
+    """
+    consume, pump = 0.25, 0.1
+    levels = list(range(size + 1))
+    pumps = {level for level in levels if level % 4 == 2}
+    transitions = {}
+    for level in levels:
+        if level in (0, size):
+            transitions[level] = {level: 1.0}
+            continue
+        row = {level - 1: consume}
+        stay = 1.0 - consume
+        if level in pumps:
+            row[size] = pump
+            stay -= pump
+        row[level] = row.get(level, 0.0) + stay
+        transitions[level] = row
+    return DTMC(
+        states=levels,
+        transitions=transitions,
+        initial_state=size // 2,
+        labels={0: {"empty"}, size: {"full"}},
+        state_rewards={level: (0.0 if level in (0, size) else 1.0)
+                       for level in levels},
+    )
+
+
+def _refuel_controllable(model: DTMC, size: int) -> List[str]:
+    # The two lowest pump rows (levels 2 and 6): 3 successors each.
+    pumps = [level for level in range(1, size) if level % 4 == 2]
+    return [f"s{level}" for level in pumps[:2]]
+
+
+# ----------------------------------------------------------------------
+# drone: altitude corridor with a crash floor
+# ----------------------------------------------------------------------
+def _drone_chain(size: int, seed: int = 0) -> DTMC:
+    """Altitudes ``0 … size``: wind pushes down, thrust pushes up.
+
+    Altitude 0 is the absorbing ``crash`` floor, altitude ``size`` the
+    absorbing ``target`` ceiling; interior altitudes climb with
+    probability ``up``, sink with ``down`` (stronger near the ground —
+    turbulence), and hold otherwise.
+    """
+    levels = list(range(size + 1))
+    transitions = {}
+    for level in levels:
+        if level in (0, size):
+            transitions[level] = {level: 1.0}
+            continue
+        turbulence = 0.1 if level <= max(2, size // 4) else 0.0
+        up, down = 0.3, 0.2 + turbulence
+        transitions[level] = {
+            level - 1: down,
+            level + 1: up,
+            level: round(1.0 - up - down, 12),
+        }
+    start = max(1, size // 3)
+    return DTMC(
+        states=levels,
+        transitions=transitions,
+        initial_state=start,
+        labels={0: {"crash"}, size: {"target"}},
+        state_rewards={level: (0.0 if level in (0, size) else 1.0)
+                       for level in levels},
+    )
+
+
+def _drone_controllable(model: DTMC, size: int) -> List[str]:
+    # The turbulent band just above the floor: start altitude and its
+    # neighbour, 3 successors each → 4 variables.
+    start = max(1, size // 3)
+    return [f"s{start}", f"s{start + 1}"]
+
+
+# ----------------------------------------------------------------------
+# random: seeded generator chains
+# ----------------------------------------------------------------------
+def _random_chain(size: int, seed: int = 0) -> DTMC:
+    return random_dtmc(states=size, seed=seed)
+
+
+def _random_controllable(model: DTMC, size: int) -> List[str]:
+    # The initial state plus the two branchiest early states.
+    ranked = sorted(
+        (s for s in model.states[: max(3, size // 4)]),
+        key=lambda s: -len(model.transitions[s]),
+    )
+    chosen = {model.states[0], *ranked[:2]}
+    return sorted(chosen, key=lambda s: int(s[1:]))
+
+
+FAMILIES: Dict[str, CorpusFamily] = {
+    family.name: family
+    for family in (
+        CorpusFamily(
+            name="grid",
+            description="slip-gridworld corner-to-corner reachability",
+            sizes=(3, 4, 5, 6),
+            build=_grid_chain,
+            goal_atom="goal",
+            direction=">=",
+            controllable=_grid_controllable,
+        ),
+        CorpusFamily(
+            name="network",
+            description="WSN routing grid, expected delivery attempts",
+            sizes=(3, 4, 5),
+            build=_network_chain,
+            goal_atom="delivered",
+            direction="<=",
+            reward=True,
+            controllable=_network_controllable,
+        ),
+        CorpusFamily(
+            name="refuel",
+            description="birth-death fuel tank, dry-out probability",
+            sizes=(8, 12, 16, 20),
+            build=_refuel_chain,
+            goal_atom="empty",
+            direction="<=",
+            improvement=0.1,
+            controllable=_refuel_controllable,
+        ),
+        CorpusFamily(
+            name="drone",
+            description="altitude corridor with a crash floor",
+            sizes=(8, 12, 16, 20),
+            build=_drone_chain,
+            goal_atom="target",
+            direction=">=",
+            controllable=_drone_controllable,
+        ),
+        CorpusFamily(
+            name="random",
+            description="seeded random chains (repro.corpus.generators)",
+            sizes=(12, 16, 24, 32),
+            build=_random_chain,
+            goal_atom="goal",
+            direction=">=",
+            controllable=_random_controllable,
+            seeded=True,
+        ),
+    )
+}
+
+
+def get_family(name: str) -> CorpusFamily:
+    """Look up a family by name (raises ``KeyError`` with the options)."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown corpus family {name!r}; "
+            f"available: {', '.join(sorted(FAMILIES))}"
+        ) from None
+
+
+def family_names() -> List[str]:
+    """The corpus family names, sorted."""
+    return sorted(FAMILIES)

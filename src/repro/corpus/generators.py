@@ -1,0 +1,96 @@
+"""Seeded random model generators for the scenario corpus.
+
+Fuzz-style benchmark inputs: structurally random DTMCs/MDPs whose shape
+is fully determined by ``(states, seed)``, so every corpus point is
+reproducible bit-for-bit.  Rows are drawn from a Dirichlet over a small
+random successor set, with a guaranteed forward edge so the ``goal``
+state stays reachable from everywhere (no degenerate benchmark points
+where the repair problem is vacuous).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mdp.model import DTMC, MDP
+
+
+def _random_row(rng, source: int, states: int, branching: int):
+    """Successor indices + probabilities for one state.
+
+    Always includes one strictly-forward edge (towards the goal, the
+    last index) so reachability never collapses; the remaining targets
+    are drawn anywhere, which produces the loops and backward edges that
+    make the reachability function genuinely rational in the repair
+    parameters.
+    """
+    forward = int(rng.integers(source + 1, states))
+    others = rng.choice(states, size=min(branching - 1, states - 1), replace=False)
+    targets = sorted({forward, *(int(t) for t in others)})
+    weights = rng.dirichlet(np.ones(len(targets)) * 2.0)
+    # Round to a short decimal so the PRISM rendering (%.12g) round-trips
+    # exactly; the largest edge absorbs the rounding slack (it is always
+    # big enough to stay positive).
+    probs = [round(float(w), 6) for w in weights]
+    slack = round(1.0 - sum(probs), 6)
+    probs[int(np.argmax(probs))] = round(
+        probs[int(np.argmax(probs))] + slack, 6
+    )
+    return {t: p for t, p in zip(targets, probs) if p > 0.0}
+
+
+def random_dtmc(states: int = 20, seed: int = 0, branching: int = 3) -> DTMC:
+    """A seeded random chain with absorbing ``goal`` and ``trap`` states.
+
+    State ``states−1`` is the labelled ``goal``, state ``states−2`` the
+    labelled ``trap``; both absorb.  Every other state carries reward 1
+    (so both ``P ⋈ b [F goal]`` and ``R ⋈ b [F goal]`` probes are
+    meaningful) and branches over ``branching`` random successors.
+    """
+    if states < 3:
+        raise ValueError("random_dtmc needs at least 3 states")
+    rng = np.random.default_rng(seed)
+    goal, trap = states - 1, states - 2
+    transitions = {}
+    for source in range(states):
+        if source in (goal, trap):
+            transitions[source] = {source: 1.0}
+        else:
+            transitions[source] = _random_row(rng, source, states, branching)
+    return DTMC(
+        states=list(range(states)),
+        transitions=transitions,
+        initial_state=0,
+        labels={goal: {"goal"}, trap: {"trap"}},
+        state_rewards={
+            s: (0.0 if s in (goal, trap) else 1.0) for s in range(states)
+        },
+    )
+
+
+def random_mdp(
+    states: int = 20, actions: int = 2, seed: int = 0, branching: int = 3
+) -> MDP:
+    """A seeded random MDP; same shape as :func:`random_dtmc` per action."""
+    if states < 3:
+        raise ValueError("random_mdp needs at least 3 states")
+    rng = np.random.default_rng(seed)
+    goal, trap = states - 1, states - 2
+    transitions = {}
+    for source in range(states):
+        if source in (goal, trap):
+            transitions[source] = {"stay": {source: 1.0}}
+        else:
+            transitions[source] = {
+                f"a{k}": _random_row(rng, source, states, branching)
+                for k in range(actions)
+            }
+    return MDP(
+        states=list(range(states)),
+        transitions=transitions,
+        initial_state=0,
+        labels={goal: {"goal"}, trap: {"trap"}},
+        state_rewards={
+            s: (0.0 if s in (goal, trap) else 1.0) for s in range(states)
+        },
+    )

@@ -60,9 +60,20 @@ class EngineOutcome:
 
 
 def solve_repair(
-    problem: RepairProblem, extra_starts: int = 8, seed: int = 0
+    problem: RepairProblem,
+    extra_starts: int = 8,
+    seed: int = 0,
+    fused: bool = True,
 ) -> EngineOutcome:
-    """Run the full repair pipeline on a declarative problem."""
+    """Run the full repair pipeline on a declarative problem.
+
+    With ``fused=True`` (default) the NLP solve reads every parametric
+    constraint through one CheckCache-memoized
+    :class:`~repro.symbolic.compile.StackedConstraintKernel` (warm store
+    = zero compilations) and auto-selects thread parallelism;
+    ``fused=False`` reproduces the pre-fusion per-constraint dispatch
+    path, kept for benchmarking and as a behavioural reference.
+    """
     if problem.run_check():
         return EngineOutcome(
             status="already_satisfied",
@@ -86,7 +97,12 @@ def solve_repair(
         objective_gradient=problem.cost_gradient,
         constraints=problem.solver_constraints(),
     )
-    solved = program.solve(extra_starts=extra_starts, seed=seed)
+    solved = program.solve(
+        extra_starts=extra_starts,
+        seed=seed,
+        stacked=problem.stacked_kernel() if fused else False,
+        parallel=None if fused else True,
+    )
     if not solved.feasible:
         artifact = (
             problem.run_instantiate(solved.assignment)

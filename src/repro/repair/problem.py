@@ -150,13 +150,21 @@ class RepairProblem:
         return {v.name: float(v.initial) for v in self.variables}
 
     def parametric_constraints(self) -> List[ParametricConstraint]:
-        """The reduced closed forms of every parametric side condition."""
-        return [
-            spec.reduced(self.cache)
-            if isinstance(spec, ParametricSpec)
-            else spec
-            for spec in self.parametric
-        ]
+        """The reduced closed forms of every parametric side condition.
+
+        Memoised per problem instance: the driver consumes the list
+        twice per solve (fused kernel + solver constraints), and even a
+        CheckCache hit pays a content fingerprint over the symbolic
+        transition matrix, which is measurable on warm repairs.
+        """
+        if getattr(self, "_reduced", None) is None:
+            self._reduced = [
+                spec.reduced(self.cache)
+                if isinstance(spec, ParametricSpec)
+                else spec
+                for spec in self.parametric
+            ]
+        return list(self._reduced)
 
     def solver_constraints(self, compiled: bool = True) -> List[Constraint]:
         """All NLP constraints: adapted parametric ones + extras.
@@ -175,6 +183,24 @@ class RepairProblem:
             for index, reduced in enumerate(self.parametric_constraints())
         ]
         return adapted + self.constraints
+
+    def stacked_kernel(self):
+        """One fused kernel over every parametric constraint (memoised).
+
+        The rows of the
+        :class:`~repro.symbolic.compile.StackedConstraintKernel` follow
+        :meth:`parametric_constraints` order — the same order
+        :meth:`solver_constraints` adapts them in, which is what lets
+        :meth:`NonlinearProgram.solve` line the kernel rows up with the
+        stackable constraints.  Memoised through the problem's
+        :class:`~repro.checking.cache.CheckCache`, so same-fingerprint
+        service jobs (and warm stores) share one compiled stack.
+        Returns ``None`` when there are no parametric constraints.
+        """
+        reduced = self.parametric_constraints()
+        if not reduced:
+            return None
+        return get_cache(self.cache).stacked_kernel(reduced)
 
     # ------------------------------------------------------------------
     # Hook dispatch (with the DTMC/MDP defaults)

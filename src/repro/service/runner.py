@@ -101,6 +101,8 @@ def _cache_delta(before: Dict[str, int]) -> Dict[str, int]:
         - before.get("compilations", 0),
         "kernel_evaluations": after.get("evaluations", 0)
         - before.get("evaluations", 0),
+        "kernel_dispatches": after.get("dispatches", 0)
+        - before.get("dispatches", 0),
     }
 
 
@@ -474,6 +476,7 @@ class BatchRunner:
             ),
             kernel_compilations=payload.get("kernel_compilations", 0),
             kernel_evaluations=payload.get("kernel_evaluations", 0),
+            kernel_dispatches=payload.get("kernel_dispatches", 0),
             robust_vi_iterations=payload.get("robust_vi_iterations", 0),
             robust_fallbacks=payload.get("robust_fallbacks", 0),
             cegis_iterations=payload.get("cegis_iterations", 0),

@@ -39,6 +39,7 @@ SUMMED_FIELDS = (
     "solver_function_evaluations",
     "kernel_compilations",
     "kernel_evaluations",
+    "kernel_dispatches",
     "robust_vi_iterations",
     "robust_fallbacks",
     # CEGIS repair (repro.repair.cegis): check → localize → solve

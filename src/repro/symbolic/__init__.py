@@ -26,8 +26,10 @@ from repro.symbolic.rational import RationalFunction
 from repro.symbolic.compile import (
     CompiledPolynomial,
     CompiledRationalFunction,
+    StackedConstraintKernel,
     compile_polynomial,
     compile_rational,
+    compile_stack,
     kernel_stats,
 )
 
@@ -38,7 +40,9 @@ __all__ = [
     "bareiss_determinant",
     "CompiledPolynomial",
     "CompiledRationalFunction",
+    "StackedConstraintKernel",
     "compile_polynomial",
     "compile_rational",
+    "compile_stack",
     "kernel_stats",
 ]

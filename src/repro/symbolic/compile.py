@@ -31,6 +31,7 @@ screening pass.
 
 from __future__ import annotations
 
+from fractions import Fraction
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -41,16 +42,19 @@ from repro.symbolic.rational import RationalFunction
 __all__ = [
     "CompiledPolynomial",
     "CompiledRationalFunction",
+    "StackedConstraintKernel",
     "compile_polynomial",
     "compile_rational",
+    "compile_stack",
     "kernel_stats",
 ]
 
 #: Process-wide kernel accounting, mirrored into the service telemetry
-#: (``kernel_compilations`` / ``kernel_evaluations``) the same way the
+#: (``kernel_compilations`` / ``kernel_evaluations`` /
+#: ``kernel_dispatches``) the same way the
 #: :class:`~repro.checking.cache.CheckCache` counters are: callers
 #: snapshot :func:`kernel_stats` and emit deltas.
-_KERNEL_COUNTER = {"compilations": 0, "evaluations": 0}
+_KERNEL_COUNTER = {"compilations": 0, "evaluations": 0, "dispatches": 0}
 
 
 def kernel_stats() -> Dict[str, int]:
@@ -58,8 +62,13 @@ def kernel_stats() -> Dict[str, int]:
 
     ``compilations`` counts symbolic→numeric lowerings performed in this
     process (kernels restored from a pickle — e.g. a warm result store —
-    do not count); ``evaluations`` counts evaluated points across
-    ``evaluate`` / ``evaluate_batch`` / ``gradient`` calls.
+    do not count); ``evaluations`` counts evaluated *rows* — one per
+    point for the single-function kernels, ``points × constraints`` for
+    a :class:`StackedConstraintKernel`; ``dispatches`` counts python
+    entry calls into any kernel.  ``dispatches / evaluations`` is the
+    dispatch ratio the scalability benchmarks report: 1.0 means every
+    row paid python call overhead (the dispatch-bound regime), values
+    near ``1/(starts × constraints)`` mean the work was fused.
     """
     return dict(_KERNEL_COUNTER)
 
@@ -92,6 +101,53 @@ def _term_table(
             vector[index[mono]] = float(coeff)
         coefficients.append(vector)
     return exponents, coefficients
+
+
+#: Power-of-two magnitude beyond which exact coefficients are rescaled
+#: before the float64 conversion (float64 overflows past 2^1024).
+_FLOAT_SAFE_EXPONENT = 900
+
+
+def _magnitude_exponent(poly: Polynomial) -> Optional[int]:
+    """≈``log2`` of the largest coefficient magnitude (``None`` if zero)."""
+    best = None
+    for coeff in poly.terms.values():
+        if coeff == 0:
+            continue
+        k = coeff.numerator.bit_length() - coeff.denominator.bit_length()
+        if best is None or k > best:
+            best = k
+    return best
+
+
+def _float_safe_pair(
+    numerator: Polynomial, denominator: Polynomial
+) -> Tuple[Polynomial, Polynomial]:
+    """Rescale a num/den pair whose exact coefficients exceed float range.
+
+    State elimination over long-denominator probabilities (e.g. parsed
+    6-decimal PRISM models) can produce rational functions whose exact
+    ``Fraction`` coefficients overflow ``float64`` even though the
+    *quotient* is a tame probability.  Dividing both polynomials by a
+    common power of two leaves the quotient (and, consistently, the
+    quotient-rule gradient) unchanged — and is exact in binary floating
+    point, so in-range kernels are bit-identical to the unscaled ones.
+    """
+    exponents = [
+        e
+        for e in (
+            _magnitude_exponent(numerator),
+            _magnitude_exponent(denominator),
+        )
+        if e is not None
+    ]
+    if not exponents:
+        return numerator, denominator
+    top = max(exponents)
+    if abs(top) <= _FLOAT_SAFE_EXPONENT:
+        return numerator, denominator
+    scale = Fraction(1, 1 << top) if top > 0 else Fraction(1 << (-top))
+    return numerator.scaled(scale), denominator.scaled(scale)
 
 
 def _default_params(*polynomials: Polynomial) -> Tuple[str, ...]:
@@ -297,6 +353,7 @@ class CompiledPolynomial(_Kernel):
 
     def evaluate(self, x) -> float:
         """The polynomial's value at one point (``params`` order)."""
+        _KERNEL_COUNTER["dispatches"] += 1
         _KERNEL_COUNTER["evaluations"] += 1
         scalar = self._scalar()
         if scalar is not None:
@@ -306,11 +363,13 @@ class CompiledPolynomial(_Kernel):
     def evaluate_batch(self, X) -> np.ndarray:
         """Values at an ``(m, n)`` matrix of points, as an ``(m,)`` array."""
         matrix = self._matrix(X)
+        _KERNEL_COUNTER["dispatches"] += 1
         _KERNEL_COUNTER["evaluations"] += len(matrix)
         return self._powers_batch(matrix) @ self.coefficients
 
     def gradient(self, x) -> np.ndarray:
         """``(n,)`` gradient at one point, from the derivative rows."""
+        _KERNEL_COUNTER["dispatches"] += 1
         _KERNEL_COUNTER["evaluations"] += 1
         scalar = self._scalar()
         if scalar is not None:
@@ -352,7 +411,9 @@ class CompiledRationalFunction(_Kernel):
         missing = function.variables() - set(params)
         if missing:
             raise ValueError(f"params {params} do not cover {sorted(missing)}")
-        numerator, denominator = function.numerator, function.denominator
+        numerator, denominator = _float_safe_pair(
+            function.numerator, function.denominator
+        )
         num_partials = [numerator.derivative(name) for name in params]
         den_partials = [denominator.derivative(name) for name in params]
         exponents, coefficients = _term_table(
@@ -406,6 +467,7 @@ class CompiledRationalFunction(_Kernel):
     # ------------------------------------------------------------------
     def evaluate(self, x) -> float:
         """``f(x)``; raises ``ZeroDivisionError`` on a vanishing denominator."""
+        _KERNEL_COUNTER["dispatches"] += 1
         scalar = self._scalar()
         if scalar is not None:
             _KERNEL_COUNTER["evaluations"] += 1
@@ -441,6 +503,7 @@ class CompiledRationalFunction(_Kernel):
         array round-trip.
         """
         args = [float(assignment[name]) for name in self.params]
+        _KERNEL_COUNTER["dispatches"] += 1
         scalar = self._scalar()
         if scalar is not None:
             _KERNEL_COUNTER["evaluations"] += 1
@@ -468,6 +531,7 @@ class CompiledRationalFunction(_Kernel):
         isolated bad candidates.
         """
         matrix = self._matrix(X)
+        _KERNEL_COUNTER["dispatches"] += 1
         _KERNEL_COUNTER["evaluations"] += len(matrix)
         powers = self._powers_batch(matrix)
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -481,6 +545,7 @@ class CompiledRationalFunction(_Kernel):
 
     def value_and_gradient(self, x) -> Tuple[float, np.ndarray]:
         """``(f(x), ∇f(x))`` from a single power-product evaluation."""
+        _KERNEL_COUNTER["dispatches"] += 1
         scalar = self._scalar()
         if scalar is not None:
             _KERNEL_COUNTER["evaluations"] += 1
@@ -533,3 +598,268 @@ def compile_rational(
 ) -> CompiledRationalFunction:
     """Lower a :class:`RationalFunction` (and its partials) to a kernel."""
     return CompiledRationalFunction(function, params)
+
+
+class StackedConstraintKernel(_Kernel):
+    """``k`` inequality margins fused over one union term table.
+
+    Each row is a triple ``(function, sign, bound)`` describing the
+    margin ``sign · (function(x) − bound)`` of one
+    :class:`~repro.checking.parametric.ParametricConstraint`.  All ``k``
+    numerators, denominators and every one of the ``2·k·n`` partial
+    derivatives become dense coefficient rows over a *single* exponent
+    matrix, so one python call returns every constraint margin (and, on
+    request, the full ``(k, n)`` jacobian) from one power-product — the
+    NLP's SLSQP callbacks stop paying per-constraint dispatch.
+
+    Row arithmetic matches the per-constraint
+    :meth:`~repro.checking.parametric.ParametricConstraint.fast_margin`
+    float path (value first, then ``sign · (value − bound)``), so fused
+    and unfused solves see identical margins up to summation order.
+
+    Scalar entry points (:meth:`margins`, :meth:`margins_and_jacobian`)
+    raise ``ZeroDivisionError`` when any row's denominator vanishes;
+    the batch entry points let IEEE semantics mark the offending
+    entries ``inf``/``nan`` instead, so screening whole start pools
+    survives isolated bad candidates.
+
+    Examples
+    --------
+    >>> from repro.symbolic import Polynomial, RationalFunction
+    >>> x = Polynomial.variable("x")
+    >>> stack = compile_stack(
+    ...     [
+    ...         (RationalFunction(x, Polynomial.one()), 1.0, 0.25),
+    ...         (RationalFunction(Polynomial.one(), x), -1.0, 3.0),
+    ...     ]
+    ... )
+    >>> stack.margins([0.5])
+    array([0.25, 1.  ])
+    """
+
+    def __init__(self, rows, params: Optional[Sequence[str]] = None):
+        rows = [
+            (function, float(sign), float(bound))
+            for function, sign, bound in rows
+        ]
+        if not rows:
+            raise ValueError("a stacked kernel needs at least one row")
+        functions = [function for function, _, _ in rows]
+        if params is None:
+            names: set = set()
+            for function in functions:
+                names |= function.variables()
+            params = tuple(sorted(names))
+        else:
+            params = tuple(params)
+        for function in functions:
+            missing = function.variables() - set(params)
+            if missing:
+                raise ValueError(
+                    f"params {params} do not cover {sorted(missing)}"
+                )
+        pairs = [
+            _float_safe_pair(function.numerator, function.denominator)
+            for function in functions
+        ]
+        polynomials: List[Polynomial] = []
+        for numerator, denominator in pairs:
+            polynomials.append(numerator)
+            polynomials.append(denominator)
+        for numerator, denominator in pairs:
+            for name in params:
+                polynomials.append(numerator.derivative(name))
+            for name in params:
+                polynomials.append(denominator.derivative(name))
+        exponents, coefficients = _term_table(polynomials, params)
+        super().__init__(params, exponents)
+        count = len(rows)
+        arity = len(params)
+        terms = len(exponents)
+        self.signs = np.array([sign for _, sign, _ in rows], dtype=np.float64)
+        self.bounds = np.array(
+            [bound for _, _, bound in rows], dtype=np.float64
+        )
+        #: ``(k, T)`` numerator / denominator coefficient rows.
+        self.numerator_coefficients = np.stack(coefficients[: 2 * count : 2])
+        self.denominator_coefficients = np.stack(
+            coefficients[1 : 2 * count : 2]
+        )
+        #: ``(k, n, T)``: partial-derivative coefficient rows per
+        #: constraint and parameter, over the shared term table.
+        partials = coefficients[2 * count :]
+        numerator_gradient = np.zeros((count, arity, terms), dtype=np.float64)
+        denominator_gradient = np.zeros(
+            (count, arity, terms), dtype=np.float64
+        )
+        for i in range(count):
+            block = partials[i * 2 * arity : (i + 1) * 2 * arity]
+            for j in range(arity):
+                numerator_gradient[i, j] = block[j]
+                denominator_gradient[i, j] = block[arity + j]
+        self.numerator_gradient = numerator_gradient
+        self.denominator_gradient = denominator_gradient
+        _KERNEL_COUNTER["compilations"] += 1
+
+    @property
+    def size(self) -> int:
+        """Number of stacked constraint rows."""
+        return len(self.bounds)
+
+    def _build_scalar(self):
+        if len(self.exponents) > _CODEGEN_TERM_LIMIT:
+            return False
+        arity = len(self.params)
+        numerators = [
+            _polynomial_source(self.exponents, row)
+            for row in self.numerator_coefficients
+        ]
+        denominators = [
+            _polynomial_source(self.exponents, row)
+            for row in self.denominator_coefficients
+        ]
+        partials: List[str] = []
+        for i in range(self.size):
+            partials.extend(
+                _polynomial_source(self.exponents, self.numerator_gradient[i, j])
+                for j in range(arity)
+            )
+            partials.extend(
+                _polynomial_source(
+                    self.exponents, self.denominator_gradient[i, j]
+                )
+                for j in range(arity)
+            )
+        return {
+            "value": _scalar_function(
+                "stack_value", arity, numerators + denominators
+            ),
+            "full": _scalar_function(
+                "stack_full", arity, numerators + denominators + partials
+            ),
+        }
+
+    def _raise_vanishing(self, x) -> None:
+        raise ZeroDivisionError(
+            f"denominator vanishes at {dict(zip(self.params, x))}"
+        )
+
+    # ------------------------------------------------------------------
+    # Scalar evaluation (one point, every constraint)
+    # ------------------------------------------------------------------
+    def margins(self, x) -> np.ndarray:
+        """``(k,)`` margins ``sign_i · (f_i(x) − b_i)`` at one point."""
+        _KERNEL_COUNTER["dispatches"] += 1
+        _KERNEL_COUNTER["evaluations"] += self.size
+        count = self.size
+        scalar = self._scalar()
+        if scalar is not None:
+            out = scalar["value"](*[float(v) for v in x])
+            values = np.empty(count, dtype=np.float64)
+            for i in range(count):
+                denominator = out[count + i]
+                if denominator == 0.0:
+                    self._raise_vanishing(x)
+                values[i] = out[i] / denominator
+        else:
+            powers = self._powers(self._vector(x))
+            denominators = self.denominator_coefficients @ powers
+            if (denominators == 0.0).any():
+                self._raise_vanishing(x)
+            values = (self.numerator_coefficients @ powers) / denominators
+        return self.signs * (values - self.bounds)
+
+    def margins_and_jacobian(self, x) -> Tuple[np.ndarray, np.ndarray]:
+        """``((k,), (k, n))`` margins and jacobian from one evaluation."""
+        _KERNEL_COUNTER["dispatches"] += 1
+        _KERNEL_COUNTER["evaluations"] += self.size
+        count = self.size
+        arity = len(self.params)
+        scalar = self._scalar()
+        if scalar is not None:
+            out = scalar["full"](*[float(v) for v in x])
+            values = np.empty(count, dtype=np.float64)
+            jacobian = np.empty((count, arity), dtype=np.float64)
+            for i in range(count):
+                denominator = out[count + i]
+                if denominator == 0.0:
+                    self._raise_vanishing(x)
+                inverse = 1.0 / denominator
+                value = out[i] * inverse
+                values[i] = value
+                offset = 2 * count + i * 2 * arity
+                for j in range(arity):
+                    jacobian[i, j] = (
+                        out[offset + j] - value * out[offset + arity + j]
+                    ) * inverse
+        else:
+            powers = self._powers(self._vector(x))
+            denominators = self.denominator_coefficients @ powers
+            if (denominators == 0.0).any():
+                self._raise_vanishing(x)
+            numerators = self.numerator_coefficients @ powers
+            values = numerators / denominators
+            jacobian = (
+                self.numerator_gradient @ powers
+                - values[:, np.newaxis] * (self.denominator_gradient @ powers)
+            ) / denominators[:, np.newaxis]
+        margins = self.signs * (values - self.bounds)
+        return margins, self.signs[:, np.newaxis] * jacobian
+
+    # ------------------------------------------------------------------
+    # Batch evaluation (many points, every constraint)
+    # ------------------------------------------------------------------
+    def margins_batch(self, X) -> np.ndarray:
+        """``(m, k)`` margins at an ``(m, n)`` matrix of points.
+
+        Rows with a vanishing denominator come back ``inf``/``nan``
+        rather than raising (IEEE division), matching
+        :meth:`CompiledRationalFunction.evaluate_batch`.
+        """
+        matrix = self._matrix(X)
+        _KERNEL_COUNTER["dispatches"] += 1
+        _KERNEL_COUNTER["evaluations"] += len(matrix) * self.size
+        powers = self._powers_batch(matrix)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            values = (powers @ self.numerator_coefficients.T) / (
+                powers @ self.denominator_coefficients.T
+            )
+            return self.signs * (values - self.bounds)
+
+    def margins_and_jacobian_batch(
+        self, X
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``((m, k), (m, k, n))`` margins and jacobians for ``m`` points.
+
+        The joint multi-start solve reads every SLSQP constraint value
+        *and* derivative for every candidate start from this single
+        call.  Non-finite rows (vanishing denominators) follow IEEE
+        semantics as in :meth:`margins_batch`.
+        """
+        matrix = self._matrix(X)
+        _KERNEL_COUNTER["dispatches"] += 1
+        _KERNEL_COUNTER["evaluations"] += len(matrix) * self.size
+        powers = self._powers_batch(matrix)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            numerators = powers @ self.numerator_coefficients.T
+            denominators = powers @ self.denominator_coefficients.T
+            values = numerators / denominators
+            numerator_grad = np.tensordot(
+                powers, self.numerator_gradient, axes=([1], [2])
+            )
+            denominator_grad = np.tensordot(
+                powers, self.denominator_gradient, axes=([1], [2])
+            )
+            jacobian = (
+                numerator_grad
+                - values[:, :, np.newaxis] * denominator_grad
+            ) / denominators[:, :, np.newaxis]
+            margins = self.signs * (values - self.bounds)
+            return margins, self.signs[np.newaxis, :, np.newaxis] * jacobian
+
+
+def compile_stack(
+    rows, params: Optional[Sequence[str]] = None
+) -> StackedConstraintKernel:
+    """Fuse ``(function, sign, bound)`` rows into one stacked kernel."""
+    return StackedConstraintKernel(rows, params)

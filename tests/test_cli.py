@@ -470,3 +470,86 @@ class TestCegisRepair:
         code = main(["cegis-repair", str(path), 'P<=0.3 [ F "unsafe" ]'])
         assert code == 2
         assert "DTMC" in capsys.readouterr().err
+
+
+class TestCorpus:
+    def test_list_names_every_family(self, capsys):
+        from repro.corpus import FAMILIES
+
+        assert main(["corpus", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in FAMILIES:
+            assert name in out
+
+    def test_list_json_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["corpus", "list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert {e["name"] for e in entries} >= {"grid", "network", "refuel"}
+        for entry in entries:
+            assert entry["kind"] in {"probability", "reward"}
+            assert entry["sizes"]
+
+    def test_generate_prints_parseable_prism(self, capsys):
+        from repro.io.prism_parser import parse_prism
+
+        assert main(["corpus", "generate", "--family", "refuel"]) == 0
+        model = parse_prism(capsys.readouterr().out)
+        assert model.num_states == 9  # smallest refuel size
+
+    def test_generate_json_payload(self, capsys):
+        import json
+
+        code = main(
+            ["corpus", "generate", "--family", "random",
+             "--size", "12", "--seed", "7", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["family"] == "random"
+        assert payload["size"] == 12
+        assert payload["seed"] == 7
+        assert "module random" in payload["prism"]
+
+    def test_generate_writes_output_file(self, tmp_path, capsys):
+        from repro.io.prism_parser import parse_prism
+
+        target = tmp_path / "drone.prism"
+        code = main(
+            ["corpus", "generate", "--family", "drone", "-o", str(target)]
+        )
+        assert code == 0
+        assert "written to" in capsys.readouterr().out
+        assert parse_prism(target.read_text()).num_states == 9
+
+    def test_unknown_family_exits_two(self, capsys):
+        code = main(["corpus", "generate", "--family", "nonesuch"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "nonesuch" in err and "grid" in err
+
+    def test_undersized_family_exits_two(self, capsys):
+        code = main(
+            ["corpus", "generate", "--family", "grid", "--size", "1"]
+        )
+        assert code == 2
+        assert "smallest" in capsys.readouterr().err
+
+    def test_seed_changes_random_family_only(self, capsys):
+        assert main(
+            ["corpus", "generate", "--family", "random", "--seed", "1"]
+        ) == 0
+        first = capsys.readouterr().out
+        assert main(
+            ["corpus", "generate", "--family", "random", "--seed", "2"]
+        ) == 0
+        assert capsys.readouterr().out != first
+        assert main(
+            ["corpus", "generate", "--family", "grid", "--seed", "1"]
+        ) == 0
+        grid_first = capsys.readouterr().out
+        assert main(
+            ["corpus", "generate", "--family", "grid", "--seed", "2"]
+        ) == 0
+        assert capsys.readouterr().out == grid_first

@@ -1,0 +1,216 @@
+"""Fused NLP solve path: stacked kernels vs the per-constraint ladder.
+
+``NonlinearProgram.solve`` must give the same verdicts and (up to solver
+tolerance) the same optima whether it runs the fused stacked-kernel path
+(the default for compiled parametric constraints), an explicitly
+provided kernel, or the legacy per-constraint callbacks
+(``stacked=False``) — the fused path is a pure evaluation strategy, not
+a different optimisation problem.  The cache/service layers ride on the
+same guarantee: a warm store must reuse stacked kernels rather than
+recompile, and the dispatch savings must reach telemetry.
+"""
+
+import pytest
+
+from repro.checking.cache import CheckCache
+from repro.checking.parametric import ParametricConstraint
+from repro.corpus import FAMILIES
+from repro.mdp import chain_dtmc
+from repro.optimize.nlp import (
+    NonlinearProgram,
+    Variable,
+    constraint_from_parametric,
+)
+from repro.repair.engine import solve_repair
+from repro.service import BatchRunner, ModelRepairJob, Telemetry
+from repro.service.telemetry import SUMMED_FIELDS
+from repro.symbolic import Polynomial, RationalFunction
+from repro.symbolic.compile import StackedConstraintKernel, kernel_stats
+
+X = Polynomial.variable("x")
+Y = Polynomial.variable("y")
+
+
+def ring_program():
+    """Minimise x²+y² s.t. (x+y)/(xy+2) ≥ 0.5 — joint-eligible shape."""
+    function = RationalFunction(X + Y, X * Y + 2)
+    return NonlinearProgram(
+        variables=[
+            Variable("x", -1.0, 1.0, initial=0.9),
+            Variable("y", -1.0, 1.0, initial=0.9),
+        ],
+        objective=lambda v: v["x"] ** 2 + v["y"] ** 2,
+        objective_gradient=lambda v: {"x": 2 * v["x"], "y": 2 * v["y"]},
+        constraints=[
+            constraint_from_parametric(
+                ParametricConstraint(function, ">=", 0.5)
+            )
+        ],
+    )
+
+
+class TestFusedSolveEquivalence:
+    def test_fused_matches_legacy_path(self):
+        fused = ring_program().solve(seed=1)
+        legacy = ring_program().solve(seed=1, stacked=False)
+        assert fused.feasible and legacy.feasible
+        assert fused.objective_value == pytest.approx(
+            legacy.objective_value, rel=1e-6
+        )
+
+    def test_joint_path_engages_for_eligible_programs(self):
+        result = ring_program().solve(seed=1)
+        assert result.solver_stats.get("joint_solves", 0) == 1
+
+    def test_infeasible_agrees_with_legacy(self):
+        function = RationalFunction(X, Polynomial.one())
+
+        def build():
+            return NonlinearProgram(
+                variables=[Variable("x", 0.0, 1.0, initial=0.5)],
+                objective=lambda v: v["x"] ** 2,
+                objective_gradient=lambda v: {"x": 2 * v["x"]},
+                constraints=[
+                    constraint_from_parametric(
+                        ParametricConstraint(function, ">=", 2.0)
+                    )
+                ],
+            )
+
+        assert not build().solve(seed=0).feasible
+        assert not build().solve(seed=0, stacked=False).feasible
+
+    def test_explicit_kernel_size_mismatch_rejected(self):
+        program = ring_program()
+        wrong = StackedConstraintKernel(
+            [
+                (RationalFunction(X, Polynomial.one()), 1.0, 0.0),
+                (RationalFunction(Y, Polynomial.one()), 1.0, 0.0),
+            ]
+        )
+        with pytest.raises(ValueError):
+            program.solve(stacked=wrong)
+
+    def test_foreign_kernel_params_fall_back_gracefully(self):
+        z = Polynomial.variable("z")
+        foreign = StackedConstraintKernel(
+            [(RationalFunction(z, Polynomial.one()), 1.0, -0.5)]
+        )
+        program = ring_program()
+        result = program.solve(stacked=foreign)
+        assert result.feasible  # silently solved on the legacy path
+
+    def test_fused_dispatches_fewer_kernel_calls(self):
+        before = dict(kernel_stats())
+        ring_program().solve(seed=2)
+        mid = dict(kernel_stats())
+        ring_program().solve(seed=2, stacked=False)
+        after = kernel_stats()
+        fused_dispatches = mid["dispatches"] - before["dispatches"]
+        legacy_dispatches = after["dispatches"] - mid["dispatches"]
+        assert fused_dispatches < legacy_dispatches
+
+
+class TestStackedKernelCache:
+    def constraints(self):
+        return [
+            ParametricConstraint(
+                RationalFunction(X + Y, X * Y + 2), ">=", 0.5
+            ),
+            ParametricConstraint(RationalFunction(X, X + 1), "<=", 0.9),
+        ]
+
+    def test_single_constraint_reuses_its_own_kernel(self):
+        cache = CheckCache()
+        constraint = self.constraints()[0]
+        kernel = cache.stacked_kernel([constraint])
+        assert kernel is constraint.stacked()
+
+    def test_multi_constraint_kernel_is_content_addressed(self):
+        cache = CheckCache()
+        first = cache.stacked_kernel(self.constraints())
+        before = kernel_stats()["compilations"]
+        second = cache.stacked_kernel(self.constraints())
+        assert first is second
+        assert kernel_stats()["compilations"] == before
+
+    def test_empty_constraint_list_yields_none(self):
+        assert CheckCache().stacked_kernel([]) is None
+
+    def test_repair_problem_kernel_is_stable_across_calls(self):
+        problem = FAMILIES["refuel"].repair(8).problem()
+        first = problem.stacked_kernel()
+        before = kernel_stats()["compilations"]
+        assert problem.stacked_kernel() is first
+        assert kernel_stats()["compilations"] == before
+
+
+class TestServiceReuse:
+    def test_same_fingerprint_jobs_share_kernels(self, tmp_path):
+        chain = chain_dtmc(5, forward_probability=0.5)
+        telemetry = Telemetry()
+        runner = BatchRunner(
+            max_workers=1, store_dir=tmp_path, telemetry=telemetry
+        )
+        jobs = [
+            ModelRepairJob.for_model(f"rep-{i}", chain, 'R<=6 [ F "goal" ]')
+            for i in range(2)
+        ]
+        report = runner.run(jobs)
+        assert report.by_status() == {"succeeded": 2}
+        # The duplicate job is served from the store: no second solve,
+        # hence no second round of kernel work.
+        assert sum(1 for outcome in report if outcome.cached) == 1
+
+    def test_kernel_dispatches_reach_telemetry(self, tmp_path):
+        chain = chain_dtmc(5, forward_probability=0.5)
+        telemetry = Telemetry()
+        runner = BatchRunner(
+            max_workers=1, store_dir=tmp_path, telemetry=telemetry
+        )
+        report = runner.run(
+            [ModelRepairJob.for_model("rep", chain, 'R<=6 [ F "goal" ]')]
+        )
+        assert report.by_status() == {"succeeded": 1}
+        counters = telemetry.counters()
+        assert counters.get("kernel_dispatches", 0) > 0
+        assert counters.get("kernel_evaluations", 0) >= counters[
+            "kernel_dispatches"
+        ]
+
+    def test_kernel_dispatches_is_a_summed_field(self):
+        assert "kernel_dispatches" in SUMMED_FIELDS
+        assert "kernel_evaluations" in SUMMED_FIELDS
+
+
+class TestSolveRepairFusedFlag:
+    def test_default_is_fused_and_verified(self):
+        from repro.core.model_repair import ModelRepair
+        from repro.logic import parse_pctl
+
+        chain = chain_dtmc(5, forward_probability=0.5)
+        outcome = solve_repair(
+            ModelRepair.for_chain(
+                chain, parse_pctl('R<=6 [ F "goal" ]'), engine="sparse"
+            ).problem()
+        )
+        assert outcome.status == "repaired"
+        assert outcome.verified
+
+    def test_fused_false_gives_identical_verdict(self):
+        from repro.core.model_repair import ModelRepair
+        from repro.logic import parse_pctl
+
+        chain = chain_dtmc(5, forward_probability=0.5)
+
+        def problem():
+            return ModelRepair.for_chain(
+                chain, parse_pctl('R<=6 [ F "goal" ]'), engine="sparse"
+            ).problem()
+
+        fused = solve_repair(problem(), fused=True)
+        unfused = solve_repair(problem(), fused=False)
+        assert fused.status == unfused.status == "repaired"
+        assert fused.objective_value == pytest.approx(
+            unfused.objective_value, rel=1e-6
+        )

@@ -1,0 +1,247 @@
+"""Stacked-kernel equivalence: fused margins vs the per-constraint path.
+
+The fused repair hot path trusts :class:`StackedConstraintKernel` to
+reproduce every per-constraint ``fast_margin`` / ``margin_gradient``
+bit-for-tolerance — one wrong row silently flips an NLP verdict.  These
+tests pin the stacked path to the per-constraint one at 1e-12 over
+seeded and hypothesis-generated constraint systems, including the
+awkward corners: vanishing denominators, constant constraints, pickle
+round-trips and union term tables over disjoint variable sets.
+"""
+
+import pickle
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checking.parametric import ParametricConstraint
+from repro.symbolic import Polynomial, RationalFunction
+from repro.symbolic.compile import (
+    StackedConstraintKernel,
+    _float_safe_pair,
+    kernel_stats,
+)
+
+from conftest import polynomials
+
+X = Polynomial.variable("x")
+Y = Polynomial.variable("y")
+Z = Polynomial.variable("z")
+
+#: Agreement tolerance between stacked and per-constraint evaluation.
+TOL = 1e-12
+
+
+def assert_close(left, right):
+    left, right = float(left), float(right)
+    assert left == pytest.approx(right, rel=TOL, abs=TOL)
+
+
+def example_constraints():
+    """Three constraints with mixed directions over overlapping vars."""
+    return [
+        ParametricConstraint(RationalFunction(X * Y + 1, X + Y + 3), ">=", 0.25),
+        ParametricConstraint(RationalFunction(X - Y, X * X + 2), "<=", 0.75),
+        ParametricConstraint(
+            RationalFunction(Z * Z + X, Z + 4), ">", Fraction(1, 3)
+        ),
+    ]
+
+
+def stack_of(constraints):
+    return StackedConstraintKernel(
+        [(c.function, c._sign, c.bound) for c in constraints]
+    )
+
+
+def random_points(names, count, seed, low=-1.5, high=1.5):
+    rng = np.random.default_rng(seed)
+    return [
+        {name: float(v) for name, v in zip(sorted(names), row)}
+        for row in rng.uniform(low, high, size=(count, len(names)))
+    ]
+
+
+class TestStackedMatchesPerConstraint:
+    def test_margins_match_fast_margin(self):
+        constraints = example_constraints()
+        stack = stack_of(constraints)
+        for point in random_points({"x", "y", "z"}, 20, seed=3):
+            margins = stack.margins(stack.vector_from(point))
+            for value, constraint in zip(margins, constraints):
+                assert_close(value, constraint.fast_margin(point))
+
+    def test_jacobian_matches_margin_gradient(self):
+        constraints = example_constraints()
+        stack = stack_of(constraints)
+        for point in random_points({"x", "y", "z"}, 20, seed=4):
+            _, jacobian = stack.margins_and_jacobian(stack.vector_from(point))
+            for row, constraint in zip(jacobian, constraints):
+                gradient = constraint.margin_gradient(point)
+                for j, name in enumerate(stack.params):
+                    assert_close(row[j], gradient.get(name, 0.0))
+
+    def test_batch_matches_scalar_rows(self):
+        constraints = example_constraints()
+        stack = stack_of(constraints)
+        points = random_points({"x", "y", "z"}, 12, seed=5)
+        matrix = np.array([stack.vector_from(p) for p in points])
+        batch = stack.margins_batch(matrix)
+        batch_m, batch_j = stack.margins_and_jacobian_batch(matrix)
+        for i, point in enumerate(points):
+            vector = stack.vector_from(point)
+            scalar_m, scalar_j = stack.margins_and_jacobian(vector)
+            np.testing.assert_allclose(batch[i], scalar_m, rtol=TOL, atol=TOL)
+            np.testing.assert_allclose(
+                batch_m[i], scalar_m, rtol=TOL, atol=TOL
+            )
+            np.testing.assert_allclose(
+                batch_j[i], scalar_j, rtol=TOL, atol=TOL
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        numerators=st.lists(polynomials(), min_size=1, max_size=4),
+        direction=st.sampled_from([">=", "<=", ">", "<"]),
+        bound=st.floats(-2.0, 2.0),
+    )
+    def test_hypothesis_rows_agree(self, numerators, direction, bound):
+        # Denominator x+y+z+5 stays positive on the sampled box, so the
+        # scalar path never divides by zero.
+        denominator = X + Y + Z + 5
+        constraints = [
+            ParametricConstraint(
+                RationalFunction(num, denominator), direction, bound
+            )
+            for num in numerators
+        ]
+        stack = StackedConstraintKernel(
+            [(c.function, c._sign, c.bound) for c in constraints],
+            params=("x", "y", "z"),
+        )
+        for point in random_points({"x", "y", "z"}, 5, seed=7, low=-1, high=1):
+            margins, jacobian = stack.margins_and_jacobian(
+                stack.vector_from(point)
+            )
+            for i, constraint in enumerate(constraints):
+                assert_close(margins[i], constraint.margin(point))
+                gradient = constraint.margin_gradient(point)
+                for j, name in enumerate(stack.params):
+                    assert_close(jacobian[i][j], gradient.get(name, 0.0))
+
+
+class TestStackedEdgeCases:
+    def test_scalar_vanishing_denominator_raises(self):
+        stack = StackedConstraintKernel(
+            [(RationalFunction(X + 1, X), 1.0, 0.0)]
+        )
+        with pytest.raises(ZeroDivisionError):
+            stack.margins(np.array([0.0]))
+
+    def test_batch_vanishing_denominator_is_ieee(self):
+        stack = StackedConstraintKernel(
+            [(RationalFunction(X + 1, X), 1.0, 0.0)]
+        )
+        out = stack.margins_batch(np.array([[0.0], [1.0]]))
+        assert not np.isfinite(out[0][0])
+        assert_close(out[1][0], 2.0)
+
+    def test_constant_constraint_row(self):
+        constant = RationalFunction(
+            Polynomial.constant(Fraction(3, 4)), Polynomial.one()
+        )
+        stack = StackedConstraintKernel(
+            [
+                (constant, 1.0, 0.5),
+                (RationalFunction(X, Polynomial.one()), -1.0, 1.0),
+            ],
+            params=("x",),
+        )
+        margins, jacobian = stack.margins_and_jacobian(np.array([0.2]))
+        assert_close(margins[0], 0.25)
+        assert_close(jacobian[0][0], 0.0)
+        assert_close(margins[1], 0.8)
+        assert_close(jacobian[1][0], -1.0)
+
+    def test_disjoint_variable_rows_share_union_table(self):
+        stack = stack_of(
+            [
+                ParametricConstraint(
+                    RationalFunction(X, Polynomial.one()), ">=", 0.0
+                ),
+                ParametricConstraint(
+                    RationalFunction(Y * Y, Y + 2), "<=", 1.0
+                ),
+            ]
+        )
+        assert stack.params == ("x", "y")
+        margins, jacobian = stack.margins_and_jacobian(np.array([0.5, 1.0]))
+        assert_close(margins[0], 0.5)
+        assert_close(jacobian[0][1], 0.0)  # row 0 is flat in y
+        assert_close(margins[1], 1.0 - 1.0 / 3.0)
+        assert_close(jacobian[1][0], 0.0)  # row 1 is flat in x
+
+    def test_pickle_round_trip_preserves_margins(self):
+        stack = stack_of(example_constraints())
+        clone = pickle.loads(pickle.dumps(stack))
+        point = np.array([0.3, -0.2, 0.9])
+        np.testing.assert_allclose(
+            clone.margins(point), stack.margins(point), rtol=TOL
+        )
+        m0, j0 = stack.margins_and_jacobian(point)
+        m1, j1 = clone.margins_and_jacobian(point)
+        np.testing.assert_allclose(m1, m0, rtol=TOL)
+        np.testing.assert_allclose(j1, j0, rtol=TOL)
+
+    def test_constraint_stacked_is_cached_and_survives_pickle(self):
+        constraint = example_constraints()[0]
+        assert constraint.stacked() is constraint.stacked()
+        constraint.stacked()
+        clone = pickle.loads(pickle.dumps(constraint))
+        before = kernel_stats()["compilations"]
+        clone.stacked().margins(np.array([0.1, 0.2]))
+        assert kernel_stats()["compilations"] == before
+
+    def test_counter_counts_rows_for_batches(self):
+        stack = stack_of(example_constraints())
+        before = dict(kernel_stats())
+        stack.margins_batch(np.zeros((4, 3)) + 0.1)
+        after = kernel_stats()
+        assert after["dispatches"] - before["dispatches"] == 1
+        assert after["evaluations"] - before["evaluations"] == 4 * 3
+
+
+class TestFloatSafeRescaling:
+    def test_huge_exact_coefficients_stay_finite(self):
+        # Exact Fractions whose numerator/denominator alone overflow
+        # float64 while their quotient is tame — the state-elimination
+        # regime that motivated the common power-of-two rescale.
+        huge = Fraction(3 * 2**1400, 7)
+        numerator = Polynomial.constant(huge) * X + Polynomial.constant(
+            huge * 2
+        )
+        denominator = Polynomial.constant(huge)
+        function = RationalFunction(numerator, denominator)
+        stack = StackedConstraintKernel([(function, 1.0, 0.0)])
+        assert_close(stack.margins(np.array([0.5]))[0], 2.5)
+
+    def test_rescale_is_exact_for_in_range_pairs(self):
+        numerator = 3 * X + 1
+        denominator = X + 2
+        scaled_n, scaled_d = _float_safe_pair(numerator, denominator)
+        assert scaled_n is numerator and scaled_d is denominator
+
+    def test_rescaled_pair_preserves_quotient(self):
+        factor = Fraction(2) ** 1200
+        numerator = Polynomial.constant(factor) * (3 * X + 1)
+        denominator = Polynomial.constant(factor) * (X + 2)
+        scaled_n, scaled_d = _float_safe_pair(numerator, denominator)
+        point = {"x": 0.25}
+        expected = Fraction(3, 4) + 1  # (3·¼+1)
+        assert_close(
+            float(scaled_n.evaluate(point)) / float(scaled_d.evaluate(point)),
+            float(expected) / 2.25,
+        )
