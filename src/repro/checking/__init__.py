@@ -42,8 +42,11 @@ from repro.checking.matrix import (
 from repro.checking.dtmc import DTMCModelChecker
 from repro.checking.mdp import MDPModelChecker
 from repro.checking.parametric import (
+    ELIMINATION_ORDERS,
+    EliminationSnapshot,
     ParametricConstraint,
     ParametricDTMC,
+    corridor_elimination,
     parametric_constraint,
     restricted_constraint,
     restricted_model,
@@ -86,6 +89,9 @@ __all__ = [
     "parametric_fingerprint",
     "ParametricDTMC",
     "ParametricConstraint",
+    "ELIMINATION_ORDERS",
+    "EliminationSnapshot",
+    "corridor_elimination",
     "parametric_constraint",
     "restricted_constraint",
     "restricted_model",

@@ -14,7 +14,12 @@ content-addressed cache turns every repeat into a dictionary lookup.
   state order, transition bytes, rewards and labelling), and
 * ``("parametric", parametric fingerprint, formula, method)`` for the
   closed-form :class:`~repro.checking.parametric.ParametricConstraint`
-  produced by state elimination / fraction-free Gauss.
+  produced by state elimination / fraction-free Gauss, and
+* ``("corridor", parametric fingerprint, formula, order, sorted
+  corridor)`` for corridor-restricted constraints, with the companion
+  ``("corridor-snapshot", …)`` key holding the resumable
+  :class:`~repro.checking.parametric.EliminationSnapshot` so warm runs
+  and wider corridors skip the interior re-elimination.
 
 Mutating a model never invalidates a *wrong* entry: models are
 effectively immutable (updates go through ``with_transitions`` /
@@ -28,12 +33,15 @@ are used directly as key components.
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Dict, Hashable, Optional, Tuple
+import time
+from typing import Callable, Dict, Hashable, Iterable, Optional, Tuple
 
 from repro.checking.matrix import model_fingerprint
 from repro.checking.parametric import (
+    EliminationSnapshot,
     ParametricConstraint,
     ParametricDTMC,
+    corridor_elimination,
     parametric_constraint,
 )
 from repro.logic.pctl import StateFormula
@@ -61,7 +69,7 @@ class CheckCache:
     >>> cache.get_or_compute(("k",), lambda: 0)  # hit, thunk not called
     42
     >>> cache.stats()
-    {'hits': 1, 'misses': 1, 'entries': 1, 'evictions': 0, 'backing_hits': 0, 'parametric_eliminations': 0}
+    {'hits': 1, 'misses': 1, 'entries': 1, 'evictions': 0, 'backing_hits': 0, 'parametric_eliminations': 0, 'elimination_states': 0, 'elimination_fill_in': 0, 'elimination_reuse_hits': 0, 'elimination_ms': 0}
     """
 
     def __init__(self, max_entries: int = 4096, backing=None):
@@ -75,6 +83,14 @@ class CheckCache:
         self.evictions = 0
         self.backing_hits = 0
         self.parametric_eliminations = 0
+        #: Elimination-effort counters (states removed, fill-in entries
+        #: created, corridor/snapshot reuses, wall-clock milliseconds) —
+        #: surfaced in ``RepairResult.solver_stats`` and the runtime
+        #: telemetry deltas.
+        self.elimination_states = 0
+        self.elimination_fill_in = 0
+        self.elimination_reuse_hits = 0
+        self.elimination_ms = 0.0
 
     # ------------------------------------------------------------------
     # Core operations
@@ -109,6 +125,27 @@ class CheckCache:
             self.backing.put(key, value)
         return value
 
+    def _lookup(self, key: Key) -> Optional[object]:
+        """Like :meth:`get_or_compute` without the compute: ``None`` on miss.
+
+        A hit counts (and refreshes recency) exactly as in
+        :meth:`get_or_compute`; a miss counts nothing — the caller
+        decides whether a computation follows.
+        """
+        if key in self._store:
+            self.hits += 1
+            value = self._store.pop(key)
+            self._store[key] = value
+            return value
+        if self.backing is not None:
+            stored = self.backing.get(key)
+            if stored is not None:
+                self.hits += 1
+                self.backing_hits += 1
+                self._insert(key, stored)
+                return stored
+        return None
+
     def clear(self) -> None:
         """Drop every entry and reset the counters (backing is untouched)."""
         self._store.clear()
@@ -117,6 +154,10 @@ class CheckCache:
         self.evictions = 0
         self.backing_hits = 0
         self.parametric_eliminations = 0
+        self.elimination_states = 0
+        self.elimination_fill_in = 0
+        self.elimination_reuse_hits = 0
+        self.elimination_ms = 0.0
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss/size counters (used by the cache-reuse assertions)."""
@@ -127,6 +168,10 @@ class CheckCache:
             "evictions": self.evictions,
             "backing_hits": self.backing_hits,
             "parametric_eliminations": self.parametric_eliminations,
+            "elimination_states": self.elimination_states,
+            "elimination_fill_in": self.elimination_fill_in,
+            "elimination_reuse_hits": self.elimination_reuse_hits,
+            "elimination_ms": int(self.elimination_ms),
         }
 
     def __len__(self) -> int:
@@ -145,11 +190,18 @@ class CheckCache:
         """Key for a parametric state-elimination closed form."""
         return ("parametric", parametric_fingerprint(model), formula, method)
 
+    def _record_elimination(self, stats: Dict[str, int], seconds: float) -> None:
+        self.parametric_eliminations += 1
+        self.elimination_states += int(stats.get("eliminated", 0))
+        self.elimination_fill_in += int(stats.get("fill_in", 0))
+        self.elimination_ms += seconds * 1000.0
+
     def parametric_constraint(
         self,
         model: ParametricDTMC,
         formula: StateFormula,
         method: str = "gauss",
+        order: str = "min-degree",
     ) -> ParametricConstraint:
         """Memoised :func:`repro.checking.parametric.parametric_constraint`.
 
@@ -159,12 +211,21 @@ class CheckCache:
         ``parametric_eliminations`` counter records how many eliminations
         this cache actually performed — a warm persistent store keeps it
         at zero across whole batches.
+
+        ``order`` picks the elimination order for ``method="eliminate"``
+        (``"gauss"`` ignores it).  It is deliberately absent from the
+        key: every order produces the same closed form, so whichever
+        runs first is the one shared.
         """
         key = self.parametric_key(model, formula, method)
 
         def eliminate() -> ParametricConstraint:
-            self.parametric_eliminations += 1
-            constraint = parametric_constraint(model, formula)
+            stats: Dict[str, int] = {}
+            started = time.perf_counter()
+            constraint = parametric_constraint(
+                model, formula, method=method, order=order, stats=stats
+            )
+            self._record_elimination(stats, time.perf_counter() - started)
             # Pre-compile the numpy kernel and the one-row stacked kernel
             # so both are memoised (and, with a persistent backing,
             # pickled) beside the elimination — warm runs then skip the
@@ -174,6 +235,74 @@ class CheckCache:
             return constraint
 
         return self.get_or_compute(key, eliminate)
+
+    def corridor_key(
+        self,
+        model: ParametricDTMC,
+        formula: StateFormula,
+        restriction: Iterable,
+        order: str,
+    ) -> Key:
+        """Key for a corridor-restricted constraint (sorted corridor)."""
+        corridor = tuple(sorted(repr(state) for state in set(restriction)))
+        return (
+            "corridor",
+            parametric_fingerprint(model),
+            formula,
+            order,
+            corridor,
+        )
+
+    def corridor_constraint(
+        self,
+        model: ParametricDTMC,
+        formula: StateFormula,
+        restriction: Iterable,
+        order: str = "min-degree",
+        snapshot: Optional[EliminationSnapshot] = None,
+    ) -> Tuple[ParametricConstraint, Optional[EliminationSnapshot]]:
+        """Memoised :func:`repro.checking.parametric.corridor_elimination`.
+
+        Returns ``(constraint, snapshot)``.  Constraint and snapshot are
+        content-addressed under the model fingerprint plus the sorted
+        corridor, write-through to any persistent backing — so a warm
+        service run (or a same-fingerprint job in another process)
+        reuses both without re-eliminating.  On a miss the reduction
+        resumes from ``snapshot`` when it matches a narrower corridor of
+        the same reduction; ``elimination_reuse_hits`` counts both exact
+        corridor hits and snapshot-seeded resumptions.
+        """
+        key = self.corridor_key(model, formula, restriction, order)
+        snapshot_key = ("corridor-snapshot",) + key[1:]
+        cached = self._lookup(key)
+        if cached is not None:
+            self.elimination_reuse_hits += 1
+            stored = self._lookup(snapshot_key)
+            return cached, (stored if stored is not None else snapshot)
+        self.misses += 1
+        stats: Dict[str, int] = {}
+        started = time.perf_counter()
+        constraint, produced = corridor_elimination(
+            model,
+            formula,
+            restriction,
+            snapshot=snapshot,
+            order=order,
+            stats=stats,
+        )
+        self._record_elimination(stats, time.perf_counter() - started)
+        if stats.get("resumed"):
+            self.elimination_reuse_hits += 1
+        constraint.compiled()
+        constraint.stacked()
+        self._insert(key, constraint)
+        if self.backing is not None:
+            self.backing.put(key, constraint)
+        if produced is not None:
+            self._insert(snapshot_key, produced)
+            if self.backing is not None:
+                self.backing.put(snapshot_key, produced)
+        return constraint, produced
 
     def stacked_kernel(self, constraints):
         """Memoised fused kernel over an ordered constraint list.
@@ -237,7 +366,15 @@ def parametric_fingerprint(model: ParametricDTMC) -> str:
     exact :class:`~fractions.Fraction` coefficients), so hashing the
     textual transition matrix — plus state order, initial state, rewards
     and labelling — identifies the model up to symbolic content.
+
+    Memoised on the model object: parametric chains are immutable by
+    convention (updates build new objects), and rendering every rational
+    function is measurable on warm repairs that re-fingerprint the same
+    lift each round.
     """
+    cached = getattr(model, "_fingerprint", None)
+    if cached is not None:
+        return cached
     digest = hashlib.sha256()
     digest.update(repr(model.states).encode("utf-8"))
     digest.update(repr(model.initial_state).encode("utf-8"))
@@ -249,7 +386,12 @@ def parametric_fingerprint(model: ParametricDTMC) -> str:
         digest.update(str(model.state_rewards[state]).encode("utf-8"))
         digest.update(repr(sorted(model.labels[state])).encode("utf-8"))
         digest.update(b"\x00")
-    return digest.hexdigest()
+    fingerprint = digest.hexdigest()
+    try:
+        model._fingerprint = fingerprint
+    except AttributeError:  # slotted/frozen model stand-ins: skip the memo
+        pass
+    return fingerprint
 
 
 #: Process-wide default cache; repairs share it so a ``ModelRepair`` and a

@@ -29,6 +29,8 @@ through their box constraints, Equation 6).
 
 from __future__ import annotations
 
+import heapq
+import logging
 from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Set, Union
 
 from repro.logic.pctl import (
@@ -52,6 +54,11 @@ from repro.symbolic import Polynomial, RationalFunction, bareiss_determinant
 
 State = Hashable
 Coefficient = Union[int, float, RationalFunction, Polynomial]
+
+logger = logging.getLogger(__name__)
+
+#: Valid elimination orders for :meth:`ParametricDTMC._eliminate`.
+ELIMINATION_ORDERS = ("insertion", "min-degree")
 
 #: Count of symbolic reductions actually performed (state elimination or
 #: fraction-free Gauss).  :class:`repro.checking.cache.CheckCache` reuse
@@ -234,6 +241,8 @@ class ParametricDTMC:
         targets: Iterable[State],
         allowed: Optional[Set[State]] = None,
         method: str = "gauss",
+        order: str = "insertion",
+        stats: Optional[Dict[str, int]] = None,
     ) -> RationalFunction:
         """``Pr_{s0}(allowed U targets)`` as a rational function.
 
@@ -248,6 +257,9 @@ class ParametricDTMC:
             denser models.  ``"eliminate"`` is classic Daws state
             elimination; equivalent output, but intermediate rational
             functions can blow up on dense graphs.
+        order / stats:
+            Elimination order and counter sink for ``"eliminate"`` (see
+            :meth:`_eliminate`); ignored by ``"gauss"``.
         """
         targets = set(targets)
         if self.initial_state in targets:
@@ -271,7 +283,8 @@ class ParametricDTMC:
             raise ValueError(f"unknown method {method!r}")
         rewards = {s: RationalFunction.zero() for s in matrix}
         matrix, rewards = self._eliminate(
-            matrix, rewards, targets | {self.initial_state}
+            matrix, rewards, targets | {self.initial_state}, order=order,
+            stats=stats,
         )
         row = matrix[self.initial_state]
         numerator = RationalFunction.zero()
@@ -328,15 +341,19 @@ class ParametricDTMC:
         return values[self.initial_state]
 
     def expected_reward(
-        self, targets: Iterable[State], method: str = "gauss"
+        self,
+        targets: Iterable[State],
+        method: str = "gauss",
+        order: str = "insertion",
+        stats: Optional[Dict[str, int]] = None,
     ) -> RationalFunction:
         """``E[cumulative reward until reaching targets]`` symbolically.
 
         Requires (graph-preserving assumption) that the targets are
         reached with probability 1 from every state that the initial
         state can reach; otherwise the expected reward is infinite and a
-        ``ValueError`` is raised.  ``method`` as in
-        :meth:`reachability_probability`.
+        ``ValueError`` is raised.  ``method``, ``order`` and ``stats``
+        as in :meth:`reachability_probability`.
         """
         targets = set(targets)
         if self.initial_state in targets:
@@ -365,7 +382,8 @@ class ParametricDTMC:
             raise ValueError(f"unknown method {method!r}")
         rewards = {s: self.state_rewards[s] for s in matrix}
         matrix, rewards = self._eliminate(
-            matrix, rewards, targets | {self.initial_state}
+            matrix, rewards, targets | {self.initial_state}, order=order,
+            stats=stats,
         )
         self_loop = matrix[self.initial_state].get(
             self.initial_state, RationalFunction.zero()
@@ -512,29 +530,68 @@ class ParametricDTMC:
         matrix: Dict[State, Dict[State, RationalFunction]],
         rewards: Dict[State, RationalFunction],
         protected: Set[State],
+        order: str = "insertion",
+        stats: Optional[Dict[str, int]] = None,
     ):
         """Eliminate every state not in ``protected``.
 
         Callers protect the targets and the initial state; every other
-        state is removed by the Daws redirection rule.
+        state is removed by the Daws redirection rule.  Any order yields
+        the same rational function — the order only changes how large
+        the intermediate products grow:
+
+        * ``order="insertion"`` removes states in matrix insertion order
+          (the historical behaviour);
+        * ``order="min-degree"`` greedily removes the state with the
+          fewest predecessor×successor redirection products next — the
+          classic fewest-fill-in heuristic.  Degrees live in a lazy
+          heap: stale entries (a neighbour's elimination changed the
+          degree) are re-pushed with the fresh score on pop, so each
+          pick costs O(log n) amortised instead of a linear rescan.
+
+        ``stats``, when given, accumulates ``eliminated`` / ``fill_in``
+        / ``absorbed`` counters in place.
         """
+        if order not in ELIMINATION_ORDERS:
+            raise ValueError(f"unknown elimination order {order!r}")
         one = RationalFunction.one()
+        counters = stats if stats is not None else {}
+        for name in ("eliminated", "fill_in", "absorbed"):
+            counters.setdefault(name, 0)
         predecessors: Dict[State, Set[State]] = {s: set() for s in matrix}
         for source, row in matrix.items():
             for target in row:
                 predecessors[target].add(source)
-        # Eliminate in insertion order; any order is correct.
-        for state in list(matrix):
-            if state in protected:
-                continue
+
+        def degree(state: State) -> int:
+            """Redirection products eliminating ``state`` would perform."""
+            incoming = len(predecessors[state]) - (
+                1 if state in predecessors[state] else 0
+            )
+            outgoing = len(matrix[state]) - (1 if state in matrix[state] else 0)
+            return incoming * outgoing
+
+        def eliminate_state(state: State) -> None:
             row = matrix[state]
             self_loop = row.get(state, RationalFunction.zero())
             denominator = one - self_loop
+            counters["eliminated"] += 1
             if denominator.is_zero():
                 # Structurally-absorbing state (p(s,s) == 1, e.g. a trap
                 # introduced by a repair candidate): no mass ever leaves
                 # it, so under sub-stochastic semantics every incoming
                 # transition is simply dropped instead of redistributed.
+                counters["absorbed"] += 1
+                logger.debug(
+                    "state elimination: dropping structurally-absorbing "
+                    "state %r (%d incoming transition(s) discarded)",
+                    state,
+                    sum(
+                        1
+                        for pred in predecessors[state]
+                        if pred != state and pred in matrix
+                    ),
+                )
                 for pred in list(predecessors[state]):
                     if pred == state or pred not in matrix:
                         continue
@@ -543,7 +600,7 @@ class ParametricDTMC:
                     predecessors[target].discard(state)
                 del matrix[state]
                 del predecessors[state]
-                continue
+                return
             factor = one / denominator
             out_edges = {t: f for t, f in row.items() if t != state}
             reward_here = rewards[state]
@@ -556,17 +613,46 @@ class ParametricDTMC:
                 through = weight * factor
                 rewards[pred] = rewards[pred] + through * reward_here
                 for target, function in out_edges.items():
-                    updated = matrix[pred].get(target, RationalFunction.zero()) + (
-                        through * function
-                    )
-                    matrix[pred][target] = updated
+                    existing = matrix[pred].get(target)
+                    if existing is None:
+                        counters["fill_in"] += 1
+                        matrix[pred][target] = through * function
+                    else:
+                        matrix[pred][target] = existing + through * function
                     predecessors[target].add(pred)
-            # Absorb the self-loop's reward contribution is already in
-            # `factor`; drop the state.
+            # The self-loop's reward contribution is already folded into
+            # ``factor`` (1 / (1 − p(s, s)) sums the geometric series of
+            # revisits); with every predecessor redirected, the state
+            # can simply be dropped.
             for target in row:
                 predecessors[target].discard(state)
             del matrix[state]
             del predecessors[state]
+
+        if order == "insertion":
+            for state in list(matrix):
+                if state not in protected:
+                    eliminate_state(state)
+            return matrix, rewards
+        # Lazy min-degree heap.  The tiebreak index keeps the order (and
+        # therefore the intermediate representations) deterministic and
+        # avoids ever comparing state objects of mixed types.
+        tiebreak = {state: position for position, state in enumerate(matrix)}
+        heap = [
+            (degree(state), tiebreak[state], state)
+            for state in matrix
+            if state not in protected
+        ]
+        heapq.heapify(heap)
+        while heap:
+            score, position, state = heapq.heappop(heap)
+            if state not in matrix:
+                continue
+            current = degree(state)
+            if current != score:
+                heapq.heappush(heap, (current, position, state))
+                continue
+            eliminate_state(state)
         return matrix, rewards
 
 
@@ -683,13 +769,20 @@ class ParametricConstraint:
 
 
 def parametric_constraint(
-    model: ParametricDTMC, formula: StateFormula
+    model: ParametricDTMC,
+    formula: StateFormula,
+    method: str = "gauss",
+    order: str = "insertion",
+    stats: Optional[Dict[str, int]] = None,
 ) -> ParametricConstraint:
     """Reduce ``model |= formula`` to a rational constraint.
 
     Supports the non-nested PCTL fragment of the paper's repairs:
     ``P ⋈ b [φ1 U φ2]`` (incl. ``F``), ``P ⋈ b [G φ]`` via its dual, and
     ``R ⋈ b [F φ]``, where ``φ1``, ``φ2``, ``φ`` are label-only formulas.
+    ``method``, ``order`` and ``stats`` as in
+    :meth:`ParametricDTMC.reachability_probability` (step-bounded paths
+    iterate the transition matrix instead and ignore all three).
     """
     if isinstance(formula, ProbabilisticOperator):
         path = formula.path
@@ -697,7 +790,9 @@ def parametric_constraint(
             inner = label_satisfaction_set(model.states, model.labels, path.operand)
             complement = set(model.states) - set(inner)
             if path.step_bound is None:
-                reach_bad = model.reachability_probability(complement)
+                reach_bad = model.reachability_probability(
+                    complement, method=method, order=order, stats=stats
+                )
             else:
                 reach_bad = model.bounded_reachability_probability(
                     complement, path.step_bound
@@ -712,7 +807,8 @@ def parametric_constraint(
             right = label_satisfaction_set(model.states, model.labels, path.right)
             if path.step_bound is None:
                 function = model.reachability_probability(
-                    right, allowed=set(left)
+                    right, allowed=set(left), method=method, order=order,
+                    stats=stats,
                 )
             else:
                 function = model.bounded_reachability_probability(
@@ -724,7 +820,9 @@ def parametric_constraint(
         targets = label_satisfaction_set(
             model.states, model.labels, formula.path.right
         )
-        function = model.expected_reward(targets)
+        function = model.expected_reward(
+            targets, method=method, order=order, stats=stats
+        )
         return ParametricConstraint(function, formula.comparison, formula.bound)
     raise TypeError(
         "parametric checking expects a top-level P or R operator, "
@@ -807,28 +905,327 @@ def _validate_restriction_direction(
     )
 
 
+class EliminationSnapshot:
+    """A resumable partial elimination of a truncated corridor.
+
+    Produced by :func:`corridor_elimination`: the partially eliminated
+    sub-stochastic matrix (interior states removed, frontier states
+    protected), the accumulated rewards, and enough identity — model
+    fingerprint, formula, elimination order, kept-state set — to decide
+    whether a later, wider corridor may resume from it.  Picklable, so
+    :class:`~repro.checking.cache.CheckCache` can persist snapshots to
+    its backing store and same-fingerprint jobs in other processes warm
+    start from them.
+
+    Soundness of resumption: only *interior* states — every admissible
+    full-model successor **and** predecessor inside the kept set — are
+    eliminated into a snapshot.  Eliminating an interior state never
+    reads or writes an edge incident to a state outside the corridor,
+    and corridors only ever grow, so a state interior to a corridor is
+    interior to every wider one; the edges a wider corridor re-admits
+    run exclusively between surviving states, and splicing them in
+    afterwards commutes with the eliminations already performed.
+    """
+
+    def __init__(
+        self,
+        matrix: Dict[State, Dict[State, RationalFunction]],
+        rewards: Dict[State, RationalFunction],
+        eliminated: Iterable[State],
+        kept: Iterable[State],
+        fingerprint: str,
+        formula: StateFormula,
+        order: str,
+    ):
+        self.matrix = {s: dict(row) for s, row in matrix.items()}
+        self.rewards = dict(rewards)
+        self.eliminated = frozenset(eliminated)
+        self.kept = frozenset(kept)
+        self.fingerprint = fingerprint
+        self.formula = formula
+        self.order = order
+
+    def resumes(
+        self, fingerprint: str, formula: StateFormula, order: str, kept: Set[State]
+    ) -> bool:
+        """Whether a corridor ``kept`` of the same reduction may resume here."""
+        return (
+            self.fingerprint == fingerprint
+            and self.formula == formula
+            and self.order == order
+            and self.kept <= kept
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"EliminationSnapshot(kept={len(self.kept)}, "
+            f"eliminated={len(self.eliminated)})"
+        )
+
+
+def _corridor_value_sets(model: ParametricDTMC, formula: StateFormula):
+    """(targets, allowed, reward_mode) for a validated corridor formula."""
+    if isinstance(formula, ProbabilisticOperator):
+        path = formula.path  # _validate guarantees an Until/Eventually
+        targets = set(
+            label_satisfaction_set(model.states, model.labels, path.right)
+        )
+        allowed = set(
+            label_satisfaction_set(model.states, model.labels, path.left)
+        )
+        return targets, allowed, False
+    targets = set(
+        label_satisfaction_set(model.states, model.labels, formula.path.right)
+    )
+    return targets, None, True
+
+
+def corridor_elimination(
+    model: ParametricDTMC,
+    formula: StateFormula,
+    restriction: Iterable[State],
+    snapshot: Optional[EliminationSnapshot] = None,
+    order: str = "min-degree",
+    stats: Optional[Dict[str, int]] = None,
+):
+    """Eliminate the truncated corridor, resuming from ``snapshot``.
+
+    Computes the same closed form as ``parametric_constraint(
+    restricted_model(model, restriction), formula)`` — identical value
+    at every parameter point — but by order-aware state elimination,
+    and *incrementally*: interior corridor states (all admissible
+    full-model neighbours inside the corridor) are eliminated into a
+    reusable :class:`EliminationSnapshot`, frontier states stay
+    protected, and a compatible snapshot of a narrower corridor seeds
+    the matrix so only newly admitted states (plus their fill-in
+    neighbourhood and the frontier) are worked on.
+
+    Returns ``(constraint, snapshot)``.  The snapshot is ``None`` when
+    there is nothing to resume: step-bounded paths (a fixed number of
+    symbolic iterations, no elimination) and corridors whose truncated
+    probability is structurally zero or one.
+
+    ``stats``, when given, additionally accumulates the
+    :meth:`ParametricDTMC._eliminate` counters plus ``resumed`` (1 when
+    a snapshot was actually reused).
+    """
+    _validate_restriction_direction(model, formula)
+    counters = stats if stats is not None else {}
+    if (
+        isinstance(formula, ProbabilisticOperator)
+        and formula.path.step_bound is not None
+    ):
+        # Bounded until needs no elimination — nothing to snapshot.
+        constraint = parametric_constraint(
+            restricted_model(model, restriction), formula
+        )
+        return constraint, None
+    targets, allowed, reward_mode = _corridor_value_sets(model, formula)
+    initial = model.initial_state
+    if initial in targets:
+        value = (
+            RationalFunction.zero() if reward_mode else RationalFunction.one()
+        )
+        return (
+            ParametricConstraint(value, formula.comparison, formula.bound),
+            None,
+        )
+    state_set = set(model.states)
+    kept = (set(restriction) & state_set) | {initial}
+    if allowed is not None:
+        kept = {
+            s for s in kept if s in targets or s in allowed or s == initial
+        }
+    kept_targets = targets & kept
+
+    # Structural pre-checks on the truncation, mirroring the scratch
+    # paths (`_restricted_matrix` / `expected_reward`) exactly.
+    rows = {
+        s: [t for t in model.transitions[s] if t in kept] for s in kept
+    }
+    preds: Dict[State, list] = {s: [] for s in kept}
+    for s, succs in rows.items():
+        for t in succs:
+            preds[t].append(s)
+    can_reach = set(kept_targets)
+    stack = list(kept_targets)
+    while stack:
+        s = stack.pop()
+        for u in preds[s]:
+            if u in can_reach:
+                continue
+            if allowed is not None and u not in allowed and u not in targets:
+                continue
+            can_reach.add(u)
+            stack.append(u)
+    if reward_mode:
+        seen = {initial}
+        stack = [initial]
+        while stack:
+            s = stack.pop()
+            if s in targets:
+                continue
+            for t in rows[s]:
+                if t not in seen:
+                    seen.add(t)
+                    stack.append(t)
+        stuck = seen - can_reach
+        if stuck:
+            raise ValueError(
+                "expected reward is infinite: states "
+                f"{sorted(map(str, stuck))} reachable from the initial state "
+                "cannot reach the target"
+            )
+        if initial not in can_reach:
+            raise ValueError("initial state cannot reach the target")
+    elif initial not in can_reach:
+        # No allowed corridor path from the initial state to a target:
+        # the truncated probability is structurally zero.
+        return (
+            ParametricConstraint(
+                RationalFunction.zero(), formula.comparison, formula.bound
+            ),
+            None,
+        )
+
+    from repro.checking.cache import parametric_fingerprint
+
+    fingerprint = parametric_fingerprint(model)
+    zero = RationalFunction.zero()
+
+    def fresh_row(s: State) -> Dict[State, RationalFunction]:
+        if s in targets:
+            return {}
+        return {t: f for t, f in model.transitions[s].items() if t in kept}
+
+    if snapshot is not None and snapshot.resumes(
+        fingerprint, formula, order, kept
+    ):
+        matrix = {s: dict(row) for s, row in snapshot.matrix.items()}
+        rewards = dict(snapshot.rewards)
+        eliminated = set(snapshot.eliminated)
+        new_states = kept - snapshot.kept
+        for s in new_states:
+            matrix[s] = fresh_row(s)
+            rewards[s] = model.state_rewards[s] if reward_mode else zero
+        # Re-admit the edges the narrower corridor truncated: surviving
+        # old states may point at newly admitted ones.  (Eliminated
+        # states were interior — they had no such edges.)
+        for s in snapshot.kept - eliminated:
+            if s in targets:
+                continue
+            row = model.transitions[s]
+            for t in new_states:
+                if t in row:
+                    matrix[s][t] = row[t]
+        counters["resumed"] = counters.get("resumed", 0) + 1
+    else:
+        matrix = {s: fresh_row(s) for s in kept}
+        rewards = {
+            s: (model.state_rewards[s] if reward_mode else zero) for s in kept
+        }
+        eliminated = set()
+
+    # Frontier: corridor states with an admissible full-model neighbour
+    # outside the corridor.  A wider corridor may re-admit their edges,
+    # so they must survive into the snapshot; everything else is
+    # interior and safe to eliminate once and for all.
+    admissible = state_set if allowed is None else (allowed | targets | {initial})
+    full_preds: Dict[State, Set[State]] = {}
+    for s, row in model.transitions.items():
+        for t in row:
+            full_preds.setdefault(t, set()).add(s)
+    snapshot_protected = {initial} | kept_targets
+    for s in kept:
+        if s in snapshot_protected or s in eliminated:
+            continue
+        boundary = any(
+            t not in kept and t in admissible for t in model.transitions[s]
+        ) or any(
+            u not in kept and u in admissible for u in full_preds.get(s, ())
+        )
+        if boundary:
+            snapshot_protected.add(s)
+
+    _ANALYSIS_COUNTER["count"] += 1
+    before = set(matrix)
+    ParametricDTMC._eliminate(
+        matrix, rewards, snapshot_protected, order=order, stats=counters
+    )
+    eliminated |= before - set(matrix)
+    produced = EliminationSnapshot(
+        matrix, rewards, eliminated, kept, fingerprint, formula, order
+    )
+
+    # Finish on a copy: fold the protected frontier down to the initial
+    # state and the targets for the closed form, leaving the snapshot
+    # resumable.
+    final_matrix = {s: dict(row) for s, row in matrix.items()}
+    final_rewards = dict(rewards)
+    ParametricDTMC._eliminate(
+        final_matrix,
+        final_rewards,
+        {initial} | kept_targets,
+        order=order,
+        stats=counters,
+    )
+    row = final_matrix[initial]
+    self_loop = row.get(initial, zero)
+    denominator = RationalFunction.one() - self_loop
+    if reward_mode:
+        if denominator.is_zero():
+            raise ValueError(
+                "expected reward is infinite: the initial state's residual "
+                "self-loop is structurally 1 (absorbing non-target state)"
+            )
+        function = final_rewards[initial] / denominator
+    else:
+        numerator = zero
+        for t in kept_targets:
+            if t in row:
+                numerator = numerator + row[t]
+        function = zero if denominator.is_zero() else numerator / denominator
+    constraint = ParametricConstraint(function, formula.comparison, formula.bound)
+    return constraint, produced
+
+
 def restricted_constraint(
     model: ParametricDTMC,
     formula: StateFormula,
     restriction: Iterable[State],
     cache=None,
-) -> ParametricConstraint:
+    order: str = "min-degree",
+    snapshot: Optional[EliminationSnapshot] = None,
+    with_snapshot: bool = False,
+):
     """Eliminate only the ``restriction`` subchain of ``model |= formula``.
 
     Returns the :class:`ParametricConstraint` of the sub-stochastic
     truncation (see :func:`restricted_model`) — a *relaxation* of the
     full constraint: every assignment satisfying the full formula
     satisfies it, so adding it to a repair never cuts off true repairs,
-    and its infeasibility implies the full problem's.  The elimination is
-    memoized through :class:`~repro.checking.cache.CheckCache` keyed on
-    the truncation's own content fingerprint, so re-localizing the same
-    evidence subchain is free.
+    and its infeasibility implies the full problem's.  The reduction is
+    performed by :func:`corridor_elimination` with the given ``order``
+    and is memoized through
+    :class:`~repro.checking.cache.CheckCache` under the model
+    fingerprint plus the sorted corridor, so re-localizing the same
+    evidence subchain is free — in this process or, with a persistent
+    backing, across processes.
+
+    ``snapshot`` seeds an incremental re-elimination when it matches a
+    narrower corridor of the same reduction; ``with_snapshot=True``
+    returns ``(constraint, snapshot)`` so callers (the CEGIS loop) can
+    thread the partial elimination into the next, wider corridor.
 
     Raises ``ValueError`` for directions truncation does not preserve:
     lower bounds, ``G`` paths, and parametric or negative rewards.
     """
     _validate_restriction_direction(model, formula)
-    truncated = restricted_model(model, restriction)
     from repro.checking.cache import get_cache
 
-    return get_cache(cache).parametric_constraint(truncated, formula)
+    constraint, produced = get_cache(cache).corridor_constraint(
+        model, formula, restriction, order=order, snapshot=snapshot
+    )
+    if with_snapshot:
+        return constraint, produced
+    return constraint

@@ -47,9 +47,10 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Mapping, Optional, Set
 
-from repro.checking.cache import cached_check
+from repro.checking.cache import cached_check, get_cache
 from repro.checking.counterexample import counterexample, strongest_evidence_paths
 from repro.checking.parametric import (
+    EliminationSnapshot,
     ParametricConstraint,
     label_satisfaction_set,
     restricted_constraint,
@@ -108,6 +109,9 @@ class CegisIteration:
         solve_seconds: float = 0.0,
         tightenings: int = 0,
         status: str = "",
+        elimination_states: int = 0,
+        elimination_ms: int = 0,
+        elimination_resumed: bool = False,
     ):
         self.index = int(index)
         #: ``"localized"`` or ``"global"`` (the fallback).
@@ -123,6 +127,13 @@ class CegisIteration:
         #: Inner bound-tightening re-solves run inside this iteration.
         self.tightenings = int(tightenings)
         self.status = str(status)
+        #: States eliminated / wall-clock spent localizing this round,
+        #: and whether the round reused a prior corridor elimination
+        #: (exact cache hit or snapshot resume) instead of starting from
+        #: scratch.
+        self.elimination_states = int(elimination_states)
+        self.elimination_ms = int(elimination_ms)
+        self.elimination_resumed = bool(elimination_resumed)
 
     def to_dict(self) -> Dict:
         return {
@@ -138,6 +149,9 @@ class CegisIteration:
             "solve_seconds": self.solve_seconds,
             "tightenings": self.tightenings,
             "status": self.status,
+            "elimination_states": self.elimination_states,
+            "elimination_ms": self.elimination_ms,
+            "elimination_resumed": self.elimination_resumed,
         }
 
     @classmethod
@@ -155,6 +169,9 @@ class CegisIteration:
             solve_seconds=payload.get("solve_seconds", 0.0),
             tightenings=payload.get("tightenings", 0),
             status=payload.get("status", ""),
+            elimination_states=payload.get("elimination_states", 0),
+            elimination_ms=payload.get("elimination_ms", 0),
+            elimination_resumed=payload.get("elimination_resumed", False),
         )
 
     def __repr__(self) -> str:
@@ -295,6 +312,7 @@ class _Localization:
         mass: float = 0.0,
         complete: bool = False,
         fallback_reason: Optional[str] = None,
+        snapshot: Optional[EliminationSnapshot] = None,
     ):
         self.constraint = constraint
         self.kind = kind
@@ -303,6 +321,8 @@ class _Localization:
         self.mass = mass
         self.complete = complete
         self.fallback_reason = fallback_reason
+        #: The corridor's partial elimination, for the next (wider) round.
+        self.snapshot = snapshot
 
 
 class CegisRepair:
@@ -329,6 +349,8 @@ class CegisRepair:
         max_expansions: int = DEFAULT_MAX_EXPANSIONS,
         max_tightenings: int = DEFAULT_MAX_TIGHTENINGS,
         tighten_after_seconds: float = DEFAULT_TIGHTEN_AFTER_SECONDS,
+        incremental: bool = True,
+        order: str = "min-degree",
     ):
         if max_iterations < 1:
             raise ValueError("need at least one CEGIS iteration")
@@ -343,6 +365,13 @@ class CegisRepair:
         self.max_expansions = int(max_expansions)
         self.max_tightenings = int(max_tightenings)
         self.tighten_after_seconds = float(tighten_after_seconds)
+        #: Resume each round's corridor elimination from the previous
+        #: round's :class:`~repro.checking.parametric.EliminationSnapshot`
+        #: (``False`` re-eliminates every corridor from scratch — kept
+        #: for benchmarking the incremental path against its baseline).
+        self.incremental = bool(incremental)
+        #: Elimination order for the corridor reductions.
+        self.order = str(order)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -388,27 +417,33 @@ class CegisRepair:
         candidate: Mapping[str, float],
         restriction: Set,
         cache,
+        snapshot: Optional[EliminationSnapshot] = None,
     ) -> _Localization:
         """A working-set constraint that cuts off ``candidate``.
 
         Grows ``restriction`` (in place, monotone across iterations)
         with the evidence-touched states and eliminates only that
-        subchain.  Falls back to the global elimination — annotated,
-        never silent — when the evidence cannot be localized.
+        subchain — resuming from ``snapshot`` (the previous round's
+        partial elimination) so the wider corridor only pays for its
+        newly admitted states.  Falls back to the global elimination —
+        annotated, never silent — when the evidence cannot be localized.
         """
         model = spec.resolve_model()
         if isinstance(formula, ProbabilisticOperator):
             return self._localize_probability(
-                spec, model, formula, violating, candidate, restriction, cache
+                spec, model, formula, violating, candidate, restriction,
+                cache, snapshot,
             )
         if isinstance(formula, RewardOperator):
             return self._localize_reward(
-                spec, model, formula, violating, candidate, restriction, cache
+                spec, model, formula, violating, candidate, restriction,
+                cache, snapshot,
             )
         return self._global_fallback(spec, cache, "unsupported-formula")
 
     def _localize_probability(
-        self, spec, model, formula, violating, candidate, restriction, cache
+        self, spec, model, formula, violating, candidate, restriction, cache,
+        snapshot=None,
     ) -> _Localization:
         try:
             evidence = counterexample(
@@ -429,8 +464,14 @@ class CegisRepair:
             # the shared (cached) global constraint instead.
             return self._global_fallback(spec, cache, "restriction-covers-model")
         try:
-            constraint = restricted_constraint(
-                model, formula, restriction, cache=cache
+            constraint, snapshot = restricted_constraint(
+                model,
+                formula,
+                restriction,
+                cache=cache,
+                order=self.order,
+                snapshot=snapshot,
+                with_snapshot=True,
             )
         except (ValueError, TypeError):
             return self._global_fallback(spec, cache, "unsupported-direction")
@@ -445,10 +486,12 @@ class CegisRepair:
             states=len(evidence.touched_states()),
             mass=evidence.total_probability,
             complete=True,
+            snapshot=snapshot,
         )
 
     def _localize_reward(
-        self, spec, model, formula, violating, candidate, restriction, cache
+        self, spec, model, formula, violating, candidate, restriction, cache,
+        snapshot=None,
     ) -> _Localization:
         if formula.comparison not in ("<", "<="):
             return self._global_fallback(spec, cache, "unsupported-direction")
@@ -486,8 +529,14 @@ class CegisRepair:
                 continue
             previous_size = len(restriction)
             try:
-                constraint = restricted_constraint(
-                    model, formula, restriction, cache=cache
+                constraint, snapshot = restricted_constraint(
+                    model,
+                    formula,
+                    restriction,
+                    cache=cache,
+                    order=self.order,
+                    snapshot=snapshot,
+                    with_snapshot=True,
                 )
             except (ValueError, TypeError):
                 return self._global_fallback(spec, cache, "unsupported-reward")
@@ -501,6 +550,7 @@ class CegisRepair:
                     states=len(restriction),
                     mass=evidence.total_probability,
                     complete=evidence.complete,
+                    snapshot=snapshot,
                 )
             if evidence.complete and len(evidence) < count:
                 # Every until-satisfying path is already in the
@@ -570,10 +620,40 @@ class CegisRepair:
         floor = bound * _TIGHTEN_FLOOR
         base_constraint = working[-1]
         beta = float(base_constraint.bound)
+        # Bracket the verified/unverified boundary in corridor-bound
+        # space: ``beta_hi`` is the tightest bound whose solve still
+        # failed full verification, ``beta_lo`` the loosest bound whose
+        # solve verified.  The proportional update ``β · target/value``
+        # is the first guess (the full value responds near-proportionally
+        # to the corridor bound while the solver stays in one basin), but
+        # multi-start re-solves can hop basins, making value(β)
+        # discontinuous — guesses falling outside the bracket are
+        # replaced by its midpoint, so the loop converges onto the
+        # cheapest verified candidate instead of chasing a broken
+        # proportionality.
+        beta_hi = beta
+        beta_lo = None
         best = None
         current = outcome
-        previous_violation = None
-        for _ in range(self.max_tightenings):
+
+        def resolve(next_beta: float, shift: int):
+            tightened = list(working)
+            tightened[-1] = ParametricConstraint(
+                base_constraint.function, base_constraint.comparison, next_beta
+            )
+            started = time.perf_counter()
+            attempt = solve_repair(
+                self._working_problem(tightened),
+                extra_starts=extra_starts,
+                seed=seed + shift,
+            )
+            record.solve_seconds += time.perf_counter() - started
+            record.tightenings += 1
+            for key, count in attempt.solver_stats.items():
+                solver_totals[key] = solver_totals.get(key, 0) + int(count)
+            return attempt
+
+        while record.tightenings < self.max_tightenings:
             artifact = current.artifact
             if not isinstance(artifact, DTMC):
                 break
@@ -583,35 +663,49 @@ class CegisRepair:
             if value is None or value <= 0.0:
                 break
             if current.verified:
-                best = current
+                if best is None or current.objective_value < best.objective_value:
+                    best = current
                 if value >= bound * (1.0 - _TIGHTEN_ACCEPT_GAP):
                     break
+                beta_lo = beta if beta_lo is None else max(beta_lo, beta)
             else:
-                if previous_violation is not None and value >= previous_violation:
-                    break  # tightening stopped helping — widen instead
-                previous_violation = value
+                beta_hi = min(beta_hi, beta)
             next_beta = beta * (target / value)
+            if beta_lo is not None and not (beta_lo < next_beta < beta_hi):
+                if beta_hi - beta_lo <= abs(beta_hi) * 1e-9:
+                    break  # bracket exhausted — the boundary is resolved
+                next_beta = 0.5 * (beta_lo + beta_hi)
             if next_beta < floor or abs(next_beta - beta) <= abs(beta) * 1e-12:
                 break
             beta = next_beta
-            tightened = list(working)
-            tightened[-1] = ParametricConstraint(
-                base_constraint.function, base_constraint.comparison, beta
-            )
-            started = time.perf_counter()
-            attempt = solve_repair(
-                self._working_problem(tightened),
-                extra_starts=extra_starts,
-                seed=seed,
-            )
-            record.solve_seconds += time.perf_counter() - started
-            record.tightenings += 1
-            for key, count in attempt.solver_stats.items():
-                solver_totals[key] = solver_totals.get(key, 0) + int(count)
+            attempt = resolve(beta, 0)
+            if (
+                attempt.status == "repaired"
+                and not attempt.verified
+                and record.tightenings < self.max_tightenings
+            ):
+                # When the working problem has symmetric optima (the
+                # corridor polynomial often is symmetric in its
+                # parameters while the full chain is not), the solver's
+                # tie-break decides which equal-cost candidate comes
+                # back — and only some of them verify.  One re-solve
+                # with a shifted start pool breaks the tie the other
+                # way; accept it only at equal-or-better cost.
+                nudge = resolve(beta, 1)
+                if (
+                    nudge.status == "repaired"
+                    and nudge.verified
+                    and nudge.objective_value
+                    <= attempt.objective_value * (1.0 + 1e-9) + 1e-12
+                ):
+                    attempt = nudge
             if attempt.status != "repaired":
                 break
             current = attempt
-        if best is not None and not current.verified:
+        if best is not None and (
+            not current.verified
+            or best.objective_value < current.objective_value
+        ):
             current = best
         record.status = current.status
         return current
@@ -672,12 +766,36 @@ class CegisRepair:
         total_states = 0
         fallbacks = 0
         last_outcome = None
+        snapshot: Optional[EliminationSnapshot] = None
+        cache_obj = get_cache(cache)
         for index in range(1, self.max_iterations + 1):
             started = time.perf_counter()
+            stats_before = cache_obj.stats()
             localization = self._localize(
-                spec, formula, violating, candidate, restriction, cache
+                spec,
+                formula,
+                violating,
+                candidate,
+                restriction,
+                cache,
+                snapshot if self.incremental else None,
             )
+            stats_after = cache_obj.stats()
             localize_seconds = time.perf_counter() - started
+            if self.incremental and localization.snapshot is not None:
+                snapshot = localization.snapshot
+            elimination_deltas = {
+                key: stats_after.get(key, 0) - stats_before.get(key, 0)
+                for key in (
+                    "elimination_states",
+                    "elimination_fill_in",
+                    "elimination_reuse_hits",
+                    "elimination_ms",
+                )
+            }
+            for key, delta in elimination_deltas.items():
+                if delta:
+                    solver_totals[key] = solver_totals.get(key, 0) + int(delta)
             working.append(localization.constraint)
             total_states += localization.states
             if localization.kind == "global":
@@ -705,6 +823,11 @@ class CegisRepair:
                     localize_seconds=localize_seconds,
                     solve_seconds=solve_seconds,
                     status=outcome.status,
+                    elimination_states=elimination_deltas["elimination_states"],
+                    elimination_ms=elimination_deltas["elimination_ms"],
+                    elimination_resumed=(
+                        elimination_deltas["elimination_reuse_hits"] > 0
+                    ),
                 )
             )
             if (

@@ -23,9 +23,26 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.checking.cache import get_cache
 from repro.optimize import NonlinearProgram
 
 from repro.repair.problem import RepairProblem
+
+_ELIMINATION_STAT_KEYS = (
+    "elimination_states",
+    "elimination_fill_in",
+    "elimination_reuse_hits",
+    "elimination_ms",
+)
+
+
+def _elimination_deltas(before: Dict[str, int], after: Dict[str, int]):
+    """Nonzero elimination-counter movement between two cache snapshots."""
+    return {
+        key: int(after.get(key, 0) - before.get(key, 0))
+        for key in _ELIMINATION_STAT_KEYS
+        if after.get(key, 0) != before.get(key, 0)
+    }
 
 
 class EngineOutcome:
@@ -74,6 +91,8 @@ def solve_repair(
     ``fused=False`` reproduces the pre-fusion per-constraint dispatch
     path, kept for benchmarking and as a behavioural reference.
     """
+    cache = get_cache(problem.cache)
+    stats_before = cache.stats()
     if problem.run_check():
         return EngineOutcome(
             status="already_satisfied",
@@ -109,15 +128,19 @@ def solve_repair(
             if problem.instantiate_when_infeasible
             else None
         )
+        stats = dict(solved.solver_stats)
+        stats.update(_elimination_deltas(stats_before, cache.stats()))
         return EngineOutcome(
             status="infeasible",
             assignment=solved.assignment,
             objective_value=solved.objective_value,
             artifact=artifact,
             message=solved.message,
-            solver_stats=solved.solver_stats,
+            solver_stats=stats,
         )
     artifact = problem.run_instantiate(solved.assignment)
+    stats = dict(solved.solver_stats)
+    stats.update(_elimination_deltas(stats_before, cache.stats()))
     return EngineOutcome(
         status="repaired",
         assignment=solved.assignment,
@@ -126,5 +149,5 @@ def solve_repair(
         epsilon=problem.run_epsilon(artifact),
         verified=problem.run_verify(artifact),
         message=solved.message,
-        solver_stats=solved.solver_stats,
+        solver_stats=stats,
     )

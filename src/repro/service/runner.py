@@ -97,6 +97,14 @@ def _cache_delta(before: Dict[str, int]) -> Dict[str, int]:
         - before.get("backing_hits", 0),
         "parametric_eliminations": after.get("parametric_eliminations", 0)
         - before.get("parametric_eliminations", 0),
+        "elimination_states": after.get("elimination_states", 0)
+        - before.get("elimination_states", 0),
+        "elimination_fill_in": after.get("elimination_fill_in", 0)
+        - before.get("elimination_fill_in", 0),
+        "elimination_reuse_hits": after.get("elimination_reuse_hits", 0)
+        - before.get("elimination_reuse_hits", 0),
+        "elimination_ms": after.get("elimination_ms", 0)
+        - before.get("elimination_ms", 0),
         "kernel_compilations": after.get("compilations", 0)
         - before.get("compilations", 0),
         "kernel_evaluations": after.get("evaluations", 0)
@@ -470,6 +478,10 @@ class BatchRunner:
             cache_evictions=payload.get("cache_evictions", 0),
             backing_hits=payload.get("backing_hits", 0),
             parametric_eliminations=payload.get("parametric_eliminations", 0),
+            elimination_states=payload.get("elimination_states", 0),
+            elimination_fill_in=payload.get("elimination_fill_in", 0),
+            elimination_reuse_hits=payload.get("elimination_reuse_hits", 0),
+            elimination_ms=payload.get("elimination_ms", 0),
             solver_iterations=payload.get("solver_iterations", 0),
             solver_function_evaluations=payload.get(
                 "solver_function_evaluations", 0

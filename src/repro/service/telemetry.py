@@ -35,6 +35,10 @@ SUMMED_FIELDS = (
     "cache_evictions",
     "backing_hits",
     "parametric_eliminations",
+    "elimination_states",
+    "elimination_fill_in",
+    "elimination_reuse_hits",
+    "elimination_ms",
     "solver_iterations",
     "solver_function_evaluations",
     "kernel_compilations",

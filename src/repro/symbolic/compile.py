@@ -83,11 +83,16 @@ def _term_table(
     that shared term axis.  Evaluating the power-product ``x**E`` once
     then serves every polynomial with a single dot product each.
     """
-    index: Dict[Monomial, int] = {}
+    # The term axis is sorted canonically so that mathematically equal
+    # polynomials compile to bit-identical kernels no matter how their
+    # term dicts were built — elimination order then cannot perturb the
+    # float summation order (verdict identity down to the last bit).
+    monomials = set()
     for poly in polynomials:
-        for mono in poly.terms:
-            if mono not in index:
-                index[mono] = len(index)
+        monomials.update(poly.terms)
+    index: Dict[Monomial, int] = {
+        mono: row for row, mono in enumerate(sorted(monomials))
+    }
     count = len(index)
     exponents = np.zeros((count, len(params)), dtype=np.int64)
     column = {name: j for j, name in enumerate(params)}

@@ -23,6 +23,32 @@ Scalar = Union[int, float, Fraction]
 # GCD routine; simplification silently degrades instead of hanging.
 _GCD_SIZE_LIMIT = 250
 
+# Bounded memo tables for the elimination hot path.  Monomials and
+# polynomials are immutable and hashable, and state elimination combines
+# the same rational functions over and over, so identical products,
+# divisions and GCDs recur constantly.  Each table is cleared wholesale
+# once it reaches the cap — correctness never depends on a hit, so a
+# flush only costs warm-up.
+_MEMO_LIMIT = 1 << 15
+_MONO_INTERN: Dict[Monomial, Monomial] = {}
+_MONO_MUL_CACHE: Dict[Tuple[Monomial, Monomial], Monomial] = {}
+_DIV_CACHE: Dict[Tuple["Polynomial", "Polynomial"], "Polynomial"] = {}
+_GCD_CACHE: Dict[Tuple["Polynomial", "Polynomial"], "Polynomial"] = {}
+
+
+def _intern_monomial(mono: Monomial) -> Monomial:
+    """One shared tuple per distinct monomial (dict keys then compare
+    by identity on the fast path)."""
+    if not mono:
+        return mono
+    cached = _MONO_INTERN.get(mono)
+    if cached is not None:
+        return cached
+    if len(_MONO_INTERN) >= _MEMO_LIMIT:
+        _MONO_INTERN.clear()
+    _MONO_INTERN[mono] = mono
+    return mono
+
 
 def _as_fraction(value: Scalar) -> Fraction:
     """Convert supported scalar types to an exact Fraction."""
@@ -36,15 +62,23 @@ def _as_fraction(value: Scalar) -> Fraction:
 
 
 def _mono_mul(a: Monomial, b: Monomial) -> Monomial:
-    """Multiply two monomials (merge exponent vectors)."""
+    """Multiply two monomials (merge exponent vectors; memoised)."""
     if not a:
         return b
     if not b:
         return a
+    key = (a, b)
+    cached = _MONO_MUL_CACHE.get(key)
+    if cached is not None:
+        return cached
     exps: Dict[str, int] = dict(a)
     for var, exp in b:
         exps[var] = exps.get(var, 0) + exp
-    return tuple(sorted(exps.items()))
+    product = _intern_monomial(tuple(sorted(exps.items())))
+    if len(_MONO_MUL_CACHE) >= _MEMO_LIMIT:
+        _MONO_MUL_CACHE.clear()
+    _MONO_MUL_CACHE[key] = product
+    return product
 
 
 def _mono_divides(a: Monomial, b: Monomial) -> bool:
@@ -85,7 +119,9 @@ class Polynomial:
     __slots__ = ("_terms", "_hash", "_vars", "_float_terms")
 
     def __init__(self, terms: Mapping[Monomial, Fraction] = ()):
-        cleaned = {m: c for m, c in dict(terms).items() if c != 0}
+        cleaned = {
+            _intern_monomial(m): c for m, c in dict(terms).items() if c != 0
+        }
         self._terms: Dict[Monomial, Fraction] = cleaned
         self._hash = None
         self._vars = None
@@ -362,9 +398,24 @@ class Polynomial:
 
     def exact_div(self, divisor: "Polynomial") -> "Polynomial":
         """Exact division; raises ``ArithmeticError`` on nonzero remainder."""
+        if divisor.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        if divisor.is_constant():
+            # Dividing by a nonzero constant is always exact.
+            value = divisor.constant_value()
+            if value == 1:
+                return self
+            return self.scaled(Fraction(1) / value)
+        key = (self, divisor)
+        cached = _DIV_CACHE.get(key)
+        if cached is not None:
+            return cached
         quotient, remainder = self.divmod(divisor)
         if not remainder.is_zero():
             raise ArithmeticError(f"{divisor} does not divide {self}")
+        if len(_DIV_CACHE) >= _MEMO_LIMIT:
+            _DIV_CACHE.clear()
+        _DIV_CACHE[key] = quotient
         return quotient
 
     # ------------------------------------------------------------------
@@ -587,11 +638,21 @@ def poly_gcd(a: Polynomial, b: Polynomial) -> Polynomial:
         return _make_primitive_positive(a)
     if len(a) > _GCD_SIZE_LIMIT or len(b) > _GCD_SIZE_LIMIT:
         return Polynomial.one()
+    key = (a, b)
+    cached = _GCD_CACHE.get(key)
+    if cached is not None:
+        return cached
     budget = _GcdBudget(units=4_000)
     try:
-        return _make_primitive_positive(_gcd_recursive(a, b, 0, budget))
+        result = _make_primitive_positive(_gcd_recursive(a, b, 0, budget))
     except _GcdTooLarge:
-        return Polynomial.one()
+        result = Polynomial.one()
+    if len(_GCD_CACHE) >= _MEMO_LIMIT:
+        _GCD_CACHE.clear()
+    # The normalised GCD is symmetric in its arguments.
+    _GCD_CACHE[key] = result
+    _GCD_CACHE[(b, a)] = result
+    return result
 
 
 class _GcdBudget:

@@ -27,6 +27,13 @@ from repro.symbolic.polynomial import Polynomial, Scalar, poly_gcd
 
 _REDUCE_SIZE_LIMIT = 200
 
+# Bounded memo of normalised (numerator, denominator) pairs.  State
+# elimination rebuilds the same quotients constantly (every redirection
+# divides by the same ``1 − p(s, s)``), so the content/GCD work repeats;
+# the table is flushed wholesale at the cap — a miss only re-computes.
+_NORMALISE_CACHE = {}
+_NORMALISE_LIMIT = 1 << 14
+
 
 class RationalFunction:
     """An exact quotient ``numerator / denominator`` of polynomials.
@@ -282,6 +289,11 @@ def _normalise(numerator: Polynomial, denominator: Polynomial):
         return Polynomial.zero(), Polynomial.one()
     if numerator == denominator:
         return Polynomial.one(), Polynomial.one()
+    key = (numerator, denominator)
+    cached = _NORMALISE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    original_key = key
     # Cancel rational-constant content.
     num_content = numerator.content()
     den_content = denominator.content()
@@ -304,4 +316,7 @@ def _normalise(numerator: Polynomial, denominator: Polynomial):
     _, lead = denominator.leading_term()
     if lead < 0:
         numerator, denominator = -numerator, -denominator
+    if len(_NORMALISE_CACHE) >= _NORMALISE_LIMIT:
+        _NORMALISE_CACHE.clear()
+    _NORMALISE_CACHE[original_key] = (numerator, denominator)
     return numerator, denominator
